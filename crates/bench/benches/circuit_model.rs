@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the circuit model: slack evaluation,
+//! PB derivation, and the Fig. 9 sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nuat_circuit::{
+    CalibratedSlack, ExponentialChargeModel, Fig9Report, PbGrouping, SlackModel,
+};
+use nuat_types::DramTimings;
+use std::hint::black_box;
+
+fn bench_slack_models(c: &mut Criterion) {
+    let cal = CalibratedSlack::paper_default();
+    let exp = ExponentialChargeModel::default();
+    let mut g = c.benchmark_group("slack_eval");
+    g.bench_function("calibrated", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..64 {
+                acc += cal.trcd_slack_ns(black_box(i as f64 * 1.0e6));
+            }
+            acc
+        })
+    });
+    g.bench_function("exponential", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..64 {
+                acc += exp.trcd_slack_ns(black_box(i as f64 * 1.0e6));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_grouping_derivation(c: &mut Criterion) {
+    let model = CalibratedSlack::paper_default();
+    let base = DramTimings::default();
+    c.bench_function("derive_5pb_grouping", |b| {
+        b.iter(|| PbGrouping::derive(black_box(&model), black_box(&base), 5, 32))
+    });
+}
+
+fn bench_fig9_sweep(c: &mut Criterion) {
+    c.bench_function("fig9_sweep_33_points", |b| b.iter(Fig9Report::paper_default));
+}
+
+criterion_group!(benches, bench_slack_models, bench_grouping_derivation, bench_fig9_sweep);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion wrappers around miniature versions of every figure run,
+//! so `cargo bench` exercises the full experiment pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nuat_sim::{LatencyExecReport, MulticoreEffects, PbSensitivity, RunConfig};
+use nuat_workloads::by_name;
+
+fn rc() -> RunConfig {
+    RunConfig { mem_ops_per_core: 600, ..RunConfig::quick() }
+}
+
+fn bench_fig18_mini(c: &mut Criterion) {
+    let specs = [by_name("ferret").unwrap(), by_name("libq").unwrap()];
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig18_two_workloads", |b| {
+        b.iter(|| LatencyExecReport::run_subset(&specs, &rc()))
+    });
+    g.finish();
+}
+
+fn bench_fig21_mini(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig21_single_core_sweep", |b| {
+        b.iter(|| PbSensitivity::run(&[1], &[2, 5], 2, 1, &rc()))
+    });
+    g.finish();
+}
+
+fn bench_fig22_mini(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig22_two_core_mixes", |b| {
+        b.iter(|| MulticoreEffects::run(&[2], 0, 1, &rc()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig18_mini, bench_fig21_mini, bench_fig22_mini);
+criterion_main!(benches);

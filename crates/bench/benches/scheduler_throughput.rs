@@ -1,0 +1,106 @@
+//! Criterion benchmarks of the simulator hot path: controller cycles
+//! per second under each scheduling policy, and the PBR/scoring
+//! primitives the NUAT policy runs per candidate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nuat_circuit::PbGrouping;
+use nuat_core::{PbrAcquisition, SchedulerKind};
+use nuat_sim::{RunConfig, System};
+use nuat_types::{DramGeometry, DramTimings, Row, SystemConfig};
+use nuat_workloads::{by_name, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_pbr_primitives(c: &mut Criterion) {
+    let pbr = PbrAcquisition::paper_default();
+    c.bench_function("pbr_pb_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in (0..8192u32).step_by(97) {
+                acc += pbr.pb(black_box(Row::new(1000)), black_box(Row::new(row))).index();
+            }
+            acc
+        })
+    });
+    c.bench_function("pbr_boundary_zone", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in (0..8192u32).step_by(97) {
+                acc += pbr.boundary_zone(Row::new(1000), Row::new(row)) as usize;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_device_issue_path(c: &mut Criterion) {
+    use nuat_dram::{DramCommand, DramDevice};
+    use nuat_types::{Bank, Col, DramConfig, McCycle, Rank, Row};
+    c.bench_function("device_act_read_pre_cycle", |b| {
+        b.iter_batched(
+            || DramDevice::new(DramConfig::default()),
+            |mut dev| {
+                let t = *dev.timings();
+                let mut now = McCycle::new(100);
+                for i in 0..64u32 {
+                    let bank = Bank::new(i % 8);
+                    let act = DramCommand::activate_worst_case(
+                        Rank::new(0),
+                        bank,
+                        Row::new(i * 97 % 8192),
+                        &t,
+                    );
+                    while dev.issue(act, now).is_err() {
+                        now += 1;
+                    }
+                    let rd = DramCommand::Read {
+                        rank: Rank::new(0),
+                        bank,
+                        col: Col::new(i % 1024),
+                        auto_precharge: true,
+                    };
+                    while dev.issue(rd, now).is_err() {
+                        now += 1;
+                    }
+                }
+                black_box(now)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    let rc = RunConfig { mem_ops_per_core: 2_000, ..RunConfig::quick() };
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfsOpen,
+        SchedulerKind::FrFcfsClose,
+        SchedulerKind::Nuat,
+    ] {
+        g.throughput(Throughput::Elements(rc.mem_ops_per_core as u64));
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let trace = TraceGenerator::new(
+                    by_name("comm3").unwrap(),
+                    DramGeometry::default(),
+                    7,
+                )
+                .generate(rc.mem_ops_per_core);
+                let sys = System::new(
+                    SystemConfig::with_cores(1),
+                    kind,
+                    PbGrouping::paper(5),
+                    vec![trace],
+                );
+                sys.run(rc.max_mc_cycles).mc_cycles
+            })
+        });
+    }
+    g.finish();
+    let _ = DramTimings::default();
+}
+
+criterion_group!(benches, bench_pbr_primitives, bench_device_issue_path, bench_simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation study: decompose NUAT's latency reduction into its
+//! mechanisms (DESIGN.md §6).
+//!
+//! * `timing` — FR-FCFS ordering + per-PB reduced timings only
+//!   (NUAT with FR-FCFS weights, page mode pinned open): isolates the
+//!   raw charge-slack benefit.
+//! * `+scoring` — full NUAT table, page mode pinned open: adds
+//!   Element 4/5 PB-aware ordering.
+//! * `+ppm` — full NUAT (scoring + PPM page-mode selection).
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin ablation [--quick]
+//! ```
+
+use nuat_bench::run_config_from_args;
+use nuat_core::{NuatWeights, PageMode, SchedulerKind};
+use nuat_sim::{run_single, RunConfig};
+use nuat_workloads::table2;
+
+fn main() {
+    let rc: RunConfig = run_config_from_args();
+    println!(
+        "{:<12} {:>8} {:>8} {:>9} {:>8} {:>8} {:>7} {:>7}",
+        "workload", "open", "timing", "+scoring", "+ppm", "close", "util", "hit"
+    );
+    let mut sums = [0.0f64; 5];
+    for spec in table2() {
+        let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
+        let timing = run_single(
+            spec,
+            SchedulerKind::NuatAblation {
+                weights: NuatWeights::frfcfs(),
+                page: PageMode::Open,
+            },
+            &rc,
+        );
+        let scoring = run_single(spec, SchedulerKind::NuatFixedPage(PageMode::Open), &rc);
+        let full = run_single(spec, SchedulerKind::Nuat, &rc);
+        let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
+        println!(
+            "{:<12} {:>8.1} {:>8.1} {:>9.1} {:>8.1} {:>8.1} {:>7.2} {:>7.2}",
+            spec.name,
+            open.avg_read_latency(),
+            timing.avg_read_latency(),
+            scoring.avg_read_latency(),
+            full.avg_read_latency(),
+            close.avg_read_latency(),
+            open.stats.bus_utilization(),
+            open.stats.read_hit_rate(),
+        );
+        for (i, r) in [&open, &timing, &scoring, &full, &close].iter().enumerate() {
+            sums[i] += r.avg_read_latency();
+        }
+    }
+    let n = table2().len() as f64;
+    println!(
+        "{:<12} {:>8.1} {:>8.1} {:>9.1} {:>8.1} {:>8.1}",
+        "average",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n
+    );
+}

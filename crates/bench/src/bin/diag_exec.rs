@@ -1,0 +1,40 @@
+//! Diagnostic: per-workload execution-time impact of each NUAT variant
+//! vs FR-FCFS(open), single core. Used to localize exec-time
+//! regressions (write-drain interaction with PPM's close decisions).
+
+use nuat_bench::run_config_from_args;
+use nuat_core::{PageMode, SchedulerKind};
+use nuat_sim::run_single;
+use nuat_workloads::table2;
+
+fn main() {
+    let rc = run_config_from_args();
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "open-exec", "nuat%", "nuat(open)%", "close%"
+    );
+    let mut s = [0.0f64; 3];
+    for spec in table2() {
+        let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
+        let base = open.execution_cpu_cycles as f64;
+        let pct = |r: &nuat_sim::SimResult| {
+            (base - r.execution_cpu_cycles as f64) / base * 100.0
+        };
+        let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
+        let nuat_open = run_single(spec, SchedulerKind::NuatFixedPage(PageMode::Open), &rc);
+        let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
+        println!(
+            "{:<12} {:>10} {:>10.1} {:>10.1} {:>10.1}",
+            spec.name,
+            open.execution_cpu_cycles,
+            pct(&nuat),
+            pct(&nuat_open),
+            pct(&close)
+        );
+        s[0] += pct(&nuat);
+        s[1] += pct(&nuat_open);
+        s[2] += pct(&close);
+    }
+    let n = table2().len() as f64;
+    println!("{:<12} {:>10} {:>10.1} {:>10.1} {:>10.1}", "average", "", s[0] / n, s[1] / n, s[2] / n);
+}

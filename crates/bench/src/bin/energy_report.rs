@@ -1,0 +1,51 @@
+//! Energy comparison (extension): NUAT barely changes the DRAM command
+//! mix, so its latency gains come at ~zero energy cost — and the
+//! close-page baseline pays for its extra activations. This binary
+//! quantifies both across the Table 2 suite.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin energy_report [--quick]
+//! ```
+
+use nuat_bench::run_config_from_args;
+use nuat_core::SchedulerKind;
+use nuat_sim::run_single;
+use nuat_workloads::table2;
+
+fn main() {
+    let rc = run_config_from_args();
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "workload", "open (uJ)", "NUAT (uJ)", "close (uJ)", "NUAT ACTs", "close ACTs"
+    );
+    let mut sums = [0.0f64; 3];
+    for spec in table2() {
+        let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
+        let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
+        let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
+        let uj = |r: &nuat_sim::SimResult| r.energy_pj / 1.0e6;
+        let acts =
+            |r: &nuat_sim::SimResult| r.stats.acts_for_reads + r.stats.acts_for_writes;
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>10.1} {:>12} {:>12}",
+            spec.name,
+            uj(&open),
+            uj(&nuat),
+            uj(&close),
+            acts(&nuat),
+            acts(&close),
+        );
+        sums[0] += uj(&open);
+        sums[1] += uj(&nuat);
+        sums[2] += uj(&close);
+    }
+    println!(
+        "{:<12} {:>12.1} {:>10.1} {:>10.1}",
+        "total", sums[0], sums[1], sums[2]
+    );
+    println!(
+        "\nNUAT vs open: {:+.1} % energy; close vs open: {:+.1} %",
+        (sums[1] - sums[0]) / sums[0] * 100.0,
+        (sums[2] - sums[0]) / sums[0] * 100.0
+    );
+}

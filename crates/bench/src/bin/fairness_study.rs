@@ -1,0 +1,60 @@
+//! Multicore fairness study (extension): NUAT reorders by charge state,
+//! which is uncorrelated with the issuing core, so it should not
+//! degrade fairness. Measured as max per-core slowdown (mix execution
+//! time over solo execution time) across random 4-core mixes.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fairness_study [--quick]
+//! ```
+
+use nuat_bench::{quick_requested, run_config_from_args};
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_sim::{run_mix, run_single, RunConfig};
+use nuat_workloads::random_mixes;
+use std::collections::HashMap;
+
+fn main() {
+    let rc: RunConfig = run_config_from_args();
+    let n_mixes = if quick_requested() { 3 } else { 8 };
+    let mixes = random_mixes(4, n_mixes, 0xFA1C);
+
+    // Solo baselines (per workload, per scheduler).
+    let mut solo: HashMap<(&str, &str), f64> = HashMap::new();
+
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "mix", "max slowdown", "max slowdown"
+    );
+    println!("{:<10} {:>16} {:>16}", "", "FR-FCFS(open)", "NUAT");
+    let mut worst = [0.0f64; 2];
+    let mut sums = [0.0f64; 2];
+    for mix in &mixes {
+        let mut row = Vec::new();
+        for kind in [SchedulerKind::FrFcfsOpen, SchedulerKind::Nuat] {
+            let r = run_mix(&mix.workloads, kind, PbGrouping::paper(5), &rc);
+            let mut max_slowdown = 0.0f64;
+            for (core, spec) in mix.workloads.iter().enumerate() {
+                let key = (spec.name, kind.name());
+                let base = *solo.entry(key).or_insert_with(|| {
+                    run_single(*spec, kind, &rc).execution_cpu_cycles as f64
+                });
+                let slowdown = r.core_finish_cpu_cycles[core] as f64 / base;
+                max_slowdown = max_slowdown.max(slowdown);
+            }
+            row.push(max_slowdown);
+        }
+        println!("{:<10} {:>16.2} {:>16.2}", mix.name, row[0], row[1]);
+        for i in 0..2 {
+            worst[i] = worst[i].max(row[i]);
+            sums[i] += row[i];
+        }
+    }
+    let n = mixes.len() as f64;
+    println!(
+        "{:<10} {:>16.2} {:>16.2}   (mean)\n{:<10} {:>16.2} {:>16.2}   (worst)",
+        "", sums[0] / n, sums[1] / n, "", worst[0], worst[1]
+    );
+    println!("\n[NUAT's reordering keys on row charge state, not on the issuing");
+    println!(" core, so its max slowdown should track FR-FCFS's closely]");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 9: sense-amplifier sensitivity (circuit evaluation).
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fig09_sense_amp
+//! ```
+
+use nuat_circuit::Fig9Report;
+
+fn main() {
+    let report = Fig9Report::paper_default();
+    println!("{report}");
+    println!("Paper reference points: tRCD reducible by 5.6 ns, tRAS by 10.4 ns;");
+    println!("at 800 MHz that is up to 4 / 8 controller cycles (paper §5.2).");
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 17 and the PBR half of Table 4: the PB
+//! configurations derived from the circuit model for 2..5 partitions.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fig17_pb_config
+//! ```
+
+use nuat_circuit::{PbGrouping, PbId};
+use nuat_core::{PbrAcquisition, PpmDecisionMaker};
+
+fn main() {
+    println!("Fig. 17 / Table 4 — PB configurations (#LP = 32)\n");
+    for n in 2..=5 {
+        println!("{}", PbGrouping::paper(n));
+    }
+
+    println!("Table 4 check (5PB): expected sizes 3/5/6/8/10, tRCD 8..12, tRAS 22..30");
+    let g = PbGrouping::paper(5);
+    assert_eq!(g.sizes(), vec![3, 5, 6, 8, 10]);
+
+    println!("\nPPM thresholds per PB (equation (7), tRP = 12):");
+    let pbr = PbrAcquisition::paper_default();
+    let ppm = PpmDecisionMaker::new(&pbr, 12);
+    for k in 0..pbr.n_pb() {
+        println!("  PB{k}: {:.3}", ppm.threshold(PbId(k as u8)));
+    }
+}

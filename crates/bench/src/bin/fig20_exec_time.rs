@@ -1,0 +1,20 @@
+//! Regenerates Fig. 20 (total execution time improvement).
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fig20_exec_time [--quick]
+//! ```
+
+use nuat_sim::latency_exec_csv;
+use nuat_bench::run_config_from_args;
+use nuat_sim::LatencyExecReport;
+
+fn main() {
+    let rc = run_config_from_args();
+    eprintln!("running 18 workloads x 3 schedulers ({} mem ops each)...", rc.mem_ops_per_core);
+    let report = LatencyExecReport::run(&rc);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", latency_exec_csv(&report));
+        return;
+    }
+    println!("{}", report.render_fig20());
+}

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 21 (sensitivity to the number of PBs).
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fig21_pb_sensitivity [--quick]
+//! ```
+
+use nuat_sim::pb_sensitivity_csv;
+use nuat_bench::{quick_requested, run_config_from_args};
+use nuat_sim::PbSensitivity;
+
+fn main() {
+    let rc = run_config_from_args();
+    let mixes = if quick_requested() { 3 } else { 16 };
+    eprintln!(
+        "sweeping #PB in 2..5 for 1/2/4 cores ({} mem ops, {mixes} mixes per multi-core count)...",
+        rc.mem_ops_per_core
+    );
+    let s = PbSensitivity::run_paper(&rc, mixes);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", pb_sensitivity_csv(&s));
+        return;
+    }
+    println!("{s}");
+    println!("[paper: saved cycles grow with #PB with diminishing returns,");
+    println!(" and the sensitivity steepens with core count]");
+}

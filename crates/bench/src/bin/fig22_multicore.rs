@@ -1,0 +1,25 @@
+//! Regenerates Fig. 22 (multi-core effects: execution-time improvement
+//! for 1/2/4 cores).
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin fig22_multicore [--quick]
+//! ```
+
+use nuat_sim::multicore_csv;
+use nuat_bench::{quick_requested, run_config_from_args};
+use nuat_sim::MulticoreEffects;
+
+fn main() {
+    let rc = run_config_from_args();
+    let mixes = if quick_requested() { 4 } else { 32 };
+    eprintln!(
+        "running 1/2/4-core sweeps ({} mem ops per core, {mixes} mixes per multi-core count)...",
+        rc.mem_ops_per_core
+    );
+    let m = MulticoreEffects::run_paper(&rc, mixes);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", multicore_csv(&m));
+        return;
+    }
+    println!("{m}");
+}

@@ -1,0 +1,51 @@
+//! Address-mapping study (extension): how the physical-to-DRAM mapping
+//! interacts with NUAT. The XOR bank hash spreads conflicting streams
+//! across banks, changing both the baseline and how much charge slack
+//! NUAT can harvest.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin mapping_study [--quick]
+//! ```
+
+use nuat_bench::run_config_from_args;
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_sim::{traces_for, System};
+use nuat_types::{AddressMapping, SystemConfig};
+use nuat_workloads::by_name;
+
+fn main() {
+    let rc = run_config_from_args();
+    let mappings = [
+        AddressMapping::OpenPageBaseline,
+        AddressMapping::OpenPageXorBank,
+        AddressMapping::ClosePageInterleaved,
+    ];
+    println!(
+        "{:<12} {:<26} {:>10} {:>10} {:>8} {:>10}",
+        "workload", "mapping", "open lat", "NUAT lat", "hit", "imbalance"
+    );
+    for name in ["comm1", "ferret", "libq", "mummer"] {
+        let spec = by_name(name).expect("workload");
+        for mapping in mappings {
+            let mut cfg = SystemConfig::with_cores(1);
+            cfg.controller.mapping = mapping;
+            let run = |kind| {
+                let traces = traces_for(&[spec], &cfg, &rc);
+                System::new(cfg, kind, PbGrouping::paper(5), traces).run(rc.max_mc_cycles)
+            };
+            let open = run(SchedulerKind::FrFcfsOpen);
+            let nuat = run(SchedulerKind::Nuat);
+            println!(
+                "{:<12} {:<26} {:>10.1} {:>10.1} {:>8.2} {:>10.2}",
+                name,
+                mapping.to_string(),
+                open.avg_read_latency(),
+                nuat.avg_read_latency(),
+                open.stats.read_hit_rate(),
+                open.stats.bank_imbalance(),
+            );
+        }
+    }
+    println!("\n(imbalance = max/mean activations per bank under FR-FCFS open)");
+}

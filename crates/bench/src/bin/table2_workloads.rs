@@ -1,0 +1,32 @@
+//! Prints Table 2 (the workload suite) together with the synthetic
+//! parameters standing in for each trace, plus measured trace stats.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin table2_workloads
+//! ```
+
+use nuat_types::DramGeometry;
+use nuat_workloads::{table2, TraceGenerator};
+
+fn main() {
+    println!("Table 2 — Workloads (synthetic substitution parameters)\n");
+    println!(
+        "{:<12} {:<11} {:>6} {:>9} {:>7} {:>8} {:>7} {:>12}",
+        "name", "suite", "MPKI", "locality", "reads", "streams", "phased", "trace MPKI"
+    );
+    for spec in table2() {
+        let trace =
+            TraceGenerator::new(spec, DramGeometry::default(), 42).generate(2_000);
+        println!(
+            "{:<12} {:<11} {:>6.1} {:>9.2} {:>7.2} {:>8} {:>7} {:>12.1}",
+            spec.name,
+            spec.suite.to_string(),
+            spec.mpki,
+            spec.row_locality,
+            spec.read_fraction,
+            spec.streams,
+            if spec.phased { "yes" } else { "no" },
+            trace.mpki(),
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Temperature study (extension of §10's PVT discussion): how many of
+//! the nominal partitions stay physically safe as the device heats up,
+//! and what that costs in scheduler performance.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin temperature_study [--quick]
+//! ```
+
+use nuat_bench::run_config_from_args;
+use nuat_circuit::{PbGrouping, TemperatureModel};
+use nuat_core::SchedulerKind;
+use nuat_sim::run_mix;
+use nuat_types::DramTimings;
+use nuat_workloads::by_name;
+
+fn main() {
+    let rc = run_config_from_args();
+    let t = TemperatureModel::default();
+    let base = DramTimings::default();
+    let spec = by_name("ferret").expect("workload");
+
+    println!("{:>8} {:>9} {:>8} {:>14}", "temp/C", "leakage", "safe#PB", "NUAT latency");
+    for celsius in [60.0, 85.0, 95.0, 105.0, 115.0, 125.0] {
+        let n_pb = t.max_pb_at(celsius, &base, 5);
+        let r = run_mix(
+            &[spec],
+            SchedulerKind::Nuat,
+            PbGrouping::paper(n_pb.max(1)),
+            &rc,
+        );
+        println!(
+            "{:>8.0} {:>8.2}x {:>8} {:>14.1}",
+            celsius,
+            t.leakage_factor(celsius),
+            n_pb,
+            r.avg_read_latency()
+        );
+    }
+    println!("\n[hotter silicon leaks faster, shrinking the charge slack; the");
+    println!(" controller falls back to fewer partitions — the temperature");
+    println!(" axis of the paper's binning discussion (§10)]");
+}

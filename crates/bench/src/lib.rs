@@ -1,0 +1,44 @@
+//! # nuat-bench
+//!
+//! Evaluation harness for the NUAT reproduction. Two kinds of targets:
+//!
+//! * **Figure-regeneration binaries** (`src/bin/`): one per table/figure
+//!   of the paper's evaluation. Run e.g.
+//!   `cargo run --release -p nuat-bench --bin fig18_read_latency`.
+//!   Every binary accepts `--quick` for a reduced-scale smoke run.
+//! * **Criterion benches** (`benches/`): micro-benchmarks of the circuit
+//!   model, the scheduler hot path, and miniature figure runs.
+
+/// Returns the run configuration selected by the command line:
+/// `--quick` for smoke scale, `--ops N` to override the per-core memory
+/// operation count.
+pub fn run_config_from_args() -> nuat_sim::RunConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut rc = if args.iter().any(|a| a == "--quick") {
+        nuat_sim::RunConfig::quick()
+    } else {
+        nuat_sim::RunConfig::default()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--ops") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            rc.mem_ops_per_core = n;
+        }
+    }
+    rc
+}
+
+/// `--quick` flag presence (smaller mix counts for Figs. 21/22).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_config_is_paper_scale() {
+        let rc = nuat_sim::RunConfig::default();
+        assert!(rc.mem_ops_per_core >= 10_000);
+        let quick = nuat_sim::RunConfig::quick();
+        assert!(quick.mem_ops_per_core < rc.mem_ops_per_core);
+    }
+}

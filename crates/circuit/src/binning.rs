@@ -1,0 +1,271 @@
+//! Binning and architectural support (paper §10, Fig. 23).
+//!
+//! PVT variation means not every device has the full charge-slack
+//! margin the 5PB tables assume. The paper's answer is *binning*:
+//! measure each device's margin and sell it as a 1PB..5PB part — the
+//! more margin, the more partitions a controller may exploit. §10.2
+//! adds *architectural support*: almost all faulty words have exactly
+//! one weak cell, so a device with a few weak words can still be binned
+//! high if the platform has ECC that corrects them.
+//!
+//! The model here: a device's `margin` scales its slack curves — a
+//! margin-0.8 device develops only 80 % of the nominal ΔV headroom — and
+//! its bin is the largest #PB whose timing table remains physically
+//! safe under the scaled curve. Weak cells (rare, random) break the
+//! margin locally; without ECC one weak word caps the device at 1PB
+//! (worst-case timings only), with k-bit-correcting ECC up to k weak
+//! bits per word are tolerated.
+
+use crate::grouping::PbGrouping;
+use crate::slack::{CalibratedSlack, SlackModel};
+use nuat_types::DramTimings;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A slack curve scaled by a device's PVT margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginedSlack {
+    inner: CalibratedSlack,
+    margin: f64,
+}
+
+impl MarginedSlack {
+    /// Scales `inner` by `margin` (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not in `(0, 1]`.
+    pub fn new(inner: CalibratedSlack, margin: f64) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0, "margin must be in (0, 1]");
+        MarginedSlack { inner, margin }
+    }
+}
+
+impl SlackModel for MarginedSlack {
+    fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        self.margin * self.inner.trcd_slack_ns(elapsed_ns)
+    }
+
+    fn tras_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        self.margin * self.inner.tras_slack_ns(elapsed_ns)
+    }
+
+    fn retention_ns(&self) -> f64 {
+        self.inner.retention_ns()
+    }
+}
+
+/// One manufactured device, as seen by the binning tester.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSample {
+    /// PVT margin factor in `(0, 1]`; 1.0 is the nominal corner.
+    pub margin: f64,
+    /// Words containing exactly one weak bit.
+    pub single_bit_weak_words: u64,
+    /// Words containing two or more weak bits (rare; §10.2 cites that
+    /// almost all faulty words have one faulty cell).
+    pub multi_bit_weak_words: u64,
+}
+
+/// Platform ECC capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccSupport {
+    /// No correction: any weak word disqualifies reduced timings.
+    None,
+    /// SECDED: corrects one bit per word.
+    Secded,
+    /// Stronger ECC (e.g. chipkill-class): corrects multi-bit words too.
+    MultiBit,
+}
+
+/// The binning process: maps device samples to #PB bins.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_circuit::{BinningProcess, DeviceSample, EccSupport};
+///
+/// let station = BinningProcess::paper_default();
+/// let weak = DeviceSample { margin: 1.0, single_bit_weak_words: 1, multi_bit_weak_words: 0 };
+/// assert_eq!(station.bin(&weak, EccSupport::None), 1);   // demoted
+/// assert_eq!(station.bin(&weak, EccSupport::Secded), 5); // recovered (§10.2)
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinningProcess {
+    slack: CalibratedSlack,
+    base: DramTimings,
+    max_pb: usize,
+    n_lp: u32,
+}
+
+impl BinningProcess {
+    /// A paper-default binning station (5PB ceiling, #LP = 32).
+    pub fn paper_default() -> Self {
+        BinningProcess {
+            slack: CalibratedSlack::paper_default(),
+            base: DramTimings::default(),
+            max_pb: 5,
+            n_lp: 32,
+        }
+    }
+
+    /// The largest usable #PB for a device of the given margin, before
+    /// considering weak cells: derive the PB grouping from the device's
+    /// *scaled* slack curve — fewer distinct whole-cycle reductions
+    /// survive, so the derivation naturally yields fewer partitions
+    /// (exactly the paper's "the more margin a DRAM device has, the
+    /// more #PB memory controllers can consider").
+    pub fn margin_bin(&self, margin: f64) -> usize {
+        let scaled = MarginedSlack::new(self.slack.clone(), margin);
+        PbGrouping::derive(&scaled, &self.base, self.max_pb, self.n_lp).n_pb()
+    }
+
+    /// The margined grouping a device of this bin actually operates
+    /// with (its timing table is looser than nominal Table 4 for
+    /// margins below 1.0).
+    pub fn grouping_for_margin(&self, margin: f64) -> PbGrouping {
+        let scaled = MarginedSlack::new(self.slack.clone(), margin);
+        PbGrouping::derive(&scaled, &self.base, self.max_pb, self.n_lp)
+    }
+
+    /// The final bin of a device under the given ECC support: the margin
+    /// bin unless uncorrectable weak words force worst-case timings.
+    pub fn bin(&self, device: &DeviceSample, ecc: EccSupport) -> usize {
+        let uncorrectable = match ecc {
+            EccSupport::None => device.single_bit_weak_words + device.multi_bit_weak_words,
+            EccSupport::Secded => device.multi_bit_weak_words,
+            EccSupport::MultiBit => 0,
+        };
+        if uncorrectable > 0 {
+            1
+        } else {
+            self.margin_bin(device.margin)
+        }
+    }
+
+    /// Bins a whole population, returning counts per bin (index 0 =
+    /// 1PB-DRAM ... index `max_pb - 1` = 5PB-DRAM), the Fig. 23 output.
+    pub fn bin_population<'a>(
+        &self,
+        devices: impl IntoIterator<Item = &'a DeviceSample>,
+        ecc: EccSupport,
+    ) -> BinningReport {
+        let mut counts = vec![0u64; self.max_pb];
+        for d in devices {
+            counts[self.bin(d, ecc) - 1] += 1;
+        }
+        BinningReport { counts, ecc }
+    }
+}
+
+/// Population-level binning outcome (Fig. 23).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinningReport {
+    /// Devices per bin; `counts[k]` is the number of `(k+1)PB` parts.
+    pub counts: Vec<u64>,
+    /// ECC support assumed during binning.
+    pub ecc: EccSupport,
+}
+
+impl BinningReport {
+    /// Total devices binned.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean sellable #PB across the population — the paper's argument
+    /// that vendors profit from higher bins.
+    pub fn mean_bin(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.counts.iter().enumerate().map(|(k, &c)| (k as u64 + 1) * c).sum();
+        weighted as f64 / self.total() as f64
+    }
+}
+
+impl fmt::Display for BinningReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "binning with ECC = {:?}:", self.ecc)?;
+        for (k, &c) in self.counts.iter().enumerate() {
+            let share = if self.total() == 0 { 0.0 } else { c as f64 / self.total() as f64 };
+            writeln!(f, "  {}PB-DRAM: {:>6} ({:>5.1} %)", k + 1, c, share * 100.0)?;
+        }
+        write!(f, "  mean sellable bin: {:.2} PB", self.mean_bin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station() -> BinningProcess {
+        BinningProcess::paper_default()
+    }
+
+    #[test]
+    fn nominal_margin_bins_at_5pb() {
+        assert_eq!(station().margin_bin(1.0), 5);
+    }
+
+    #[test]
+    fn margin_bins_are_monotone() {
+        let s = station();
+        let mut last = usize::MAX;
+        for m in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
+            let b = s.margin_bin(m);
+            assert!(b <= last, "margin {m} bin {b} must not exceed previous {last}");
+            last = b;
+        }
+        assert_eq!(s.margin_bin(0.05), 1, "a near-worst-case device is a 1PB part");
+    }
+
+    #[test]
+    fn weak_words_cap_the_bin_without_ecc() {
+        let s = station();
+        let d = DeviceSample { margin: 1.0, single_bit_weak_words: 2, multi_bit_weak_words: 0 };
+        assert_eq!(s.bin(&d, EccSupport::None), 1);
+        // SECDED recovers the margin bin (the §10.2 example).
+        assert_eq!(s.bin(&d, EccSupport::Secded), 5);
+    }
+
+    #[test]
+    fn multi_bit_words_need_stronger_ecc() {
+        let s = station();
+        let d = DeviceSample { margin: 0.9, single_bit_weak_words: 1, multi_bit_weak_words: 1 };
+        assert_eq!(s.bin(&d, EccSupport::Secded), 1);
+        let b = s.bin(&d, EccSupport::MultiBit);
+        assert!(b >= 2, "strong ECC must recover the margin bin, got {b}");
+    }
+
+    #[test]
+    fn population_report_counts_and_mean() {
+        let s = station();
+        let pop = vec![
+            DeviceSample { margin: 1.0, single_bit_weak_words: 0, multi_bit_weak_words: 0 },
+            DeviceSample { margin: 1.0, single_bit_weak_words: 1, multi_bit_weak_words: 0 },
+            DeviceSample { margin: 0.05, single_bit_weak_words: 0, multi_bit_weak_words: 0 },
+        ];
+        let none = s.bin_population(&pop, EccSupport::None);
+        let secded = s.bin_population(&pop, EccSupport::Secded);
+        assert_eq!(none.total(), 3);
+        assert!(secded.mean_bin() > none.mean_bin(), "ECC raises the sellable mix");
+        let text = secded.to_string();
+        assert!(text.contains("5PB-DRAM"));
+        assert!(text.contains("mean sellable bin"));
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn zero_margin_rejected() {
+        MarginedSlack::new(CalibratedSlack::paper_default(), 0.0);
+    }
+
+    #[test]
+    fn margined_slack_scales_linearly() {
+        let m = MarginedSlack::new(CalibratedSlack::paper_default(), 0.5);
+        assert!((m.trcd_slack_ns(0.0) - 2.8).abs() < 1e-12);
+        assert!((m.tras_slack_ns(0.0) - 5.2).abs() < 1e-12);
+    }
+}

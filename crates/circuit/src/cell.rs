@@ -1,0 +1,138 @@
+//! DRAM cell capacitor model: charge decay and charge-sharing ΔV.
+//!
+//! The paper's analogy model (Fig. 5) treats the cell capacitor as a
+//! leaking water tank: a stored '1' decays from `V_DD` toward ground
+//! between refreshes. When the access transistor opens, the cell and the
+//! bit line (precharged to `V_DD/2`) share charge, producing the initial
+//! sense-amplifier input
+//!
+//! ```text
+//! ΔV(t) = C_cell / (C_cell + C_bitline) · (V_cell(t) − V_DD/2)
+//! ```
+//!
+//! Capacitance values follow the publicly available 55 nm DDR3 numbers
+//! the paper cites (Vogelsang, MICRO 2010 / Rambus power model):
+//! roughly 24 fF cell and 85 fF bit line.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of one DRAM cell + bit line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellModel {
+    /// Supply voltage in volts (DDR3: 1.5 V).
+    pub vdd: f64,
+    /// Cell capacitance in farads.
+    pub c_cell: f64,
+    /// Bit-line capacitance in farads.
+    pub c_bitline: f64,
+    /// Leakage time constant in nanoseconds. The default is calibrated so
+    /// a stored '1' decays to 0.85 V after the 64 ms retention window,
+    /// the minimum the sense amplifier must still resolve.
+    pub tau_leak_ns: f64,
+    /// Retention window in nanoseconds (64 ms).
+    pub retention_ns: f64,
+}
+
+impl Default for CellModel {
+    fn default() -> Self {
+        // tau chosen so V(64 ms) = 0.85 V: tau = 64 ms / ln(1.5/0.85).
+        let retention_ns = 64.0e6;
+        let tau_leak_ns = retention_ns / (1.5f64 / 0.85).ln();
+        CellModel {
+            vdd: 1.5,
+            c_cell: 24e-15,
+            c_bitline: 85e-15,
+            tau_leak_ns,
+            retention_ns,
+        }
+    }
+}
+
+impl CellModel {
+    /// Charge-transfer ratio `C_cell / (C_cell + C_bitline)`.
+    pub fn transfer_ratio(&self) -> f64 {
+        self.c_cell / (self.c_cell + self.c_bitline)
+    }
+
+    /// Cell voltage of a stored '1', `elapsed_ns` after the last
+    /// refresh/restore. Clamped at the retention window: beyond it the
+    /// device is out of spec and we report the worst in-spec voltage.
+    pub fn cell_voltage(&self, elapsed_ns: f64) -> f64 {
+        let t = elapsed_ns.clamp(0.0, self.retention_ns);
+        self.vdd * (-t / self.tau_leak_ns).exp()
+    }
+
+    /// Initial sense-amplifier voltage difference ΔV (volts) for a stored
+    /// '1', `elapsed_ns` after the last refresh.
+    pub fn delta_v(&self, elapsed_ns: f64) -> f64 {
+        self.transfer_ratio() * (self.cell_voltage(elapsed_ns) - self.vdd / 2.0)
+    }
+
+    /// ΔV of a freshly refreshed cell (the maximum).
+    pub fn delta_v_full(&self) -> f64 {
+        self.delta_v(0.0)
+    }
+
+    /// ΔV of a cell at the end of the retention window (the minimum the
+    /// data-sheet timings are specified for).
+    pub fn delta_v_min(&self) -> f64 {
+        self.delta_v(self.retention_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfer_ratio_matches_capacitances() {
+        let m = CellModel::default();
+        let r = m.transfer_ratio();
+        assert!((r - 24.0 / 109.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_cell_is_at_vdd() {
+        let m = CellModel::default();
+        assert!((m.cell_voltage(0.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_endpoint_calibration() {
+        let m = CellModel::default();
+        assert!((m.cell_voltage(m.retention_ns) - 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_v_endpoints() {
+        let m = CellModel::default();
+        // Fresh: 0.22 * 0.75 V ~ 165 mV. Stale: 0.22 * 0.10 V ~ 22 mV.
+        assert!((m.delta_v_full() - m.transfer_ratio() * 0.75).abs() < 1e-12);
+        assert!((m.delta_v_min() - m.transfer_ratio() * 0.10).abs() < 1e-9);
+        assert!(m.delta_v_full() > m.delta_v_min());
+        assert!(m.delta_v_min() > 0.0, "cell must remain readable at the deadline");
+    }
+
+    #[test]
+    fn voltage_clamps_beyond_retention() {
+        let m = CellModel::default();
+        assert_eq!(m.cell_voltage(m.retention_ns * 2.0), m.cell_voltage(m.retention_ns));
+        assert_eq!(m.cell_voltage(-5.0), m.cell_voltage(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn delta_v_is_monotonically_decreasing(a in 0.0f64..64.0e6, b in 0.0f64..64.0e6) {
+            let m = CellModel::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.delta_v(lo) >= m.delta_v(hi));
+        }
+
+        #[test]
+        fn delta_v_stays_positive_in_window(t in 0.0f64..=64.0e6) {
+            let m = CellModel::default();
+            prop_assert!(m.delta_v(t) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Regeneration of the paper's Fig. 9: sense-amplifier sensitivity.
+//!
+//! Fig. 9(a) sweeps the initial ΔV from fully charged (right after
+//! refresh) to minimally charged (right before refresh) and reports the
+//! achievable tRCD / tRAS reductions; Fig. 9(b) shows the nonlinearity of
+//! the sense amplifier. This module produces both curves from the
+//! first-principles [`ExponentialChargeModel`].
+
+use crate::slack::{ExponentialChargeModel, SlackModel};
+use nuat_types::MC_CYCLE_NS;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One sample of the Fig. 9 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Point {
+    /// Elapsed time since the last refresh, milliseconds.
+    pub elapsed_ms: f64,
+    /// Cell voltage at activation, volts.
+    pub cell_voltage: f64,
+    /// Initial sense-amplifier input ΔV, millivolts.
+    pub delta_v_mv: f64,
+    /// Absolute sense time, nanoseconds.
+    pub sense_time_ns: f64,
+    /// Achievable tRCD reduction vs the data-sheet worst case, ns.
+    pub trcd_slack_ns: f64,
+    /// Achievable tRAS reduction vs the data-sheet worst case, ns.
+    pub tras_slack_ns: f64,
+}
+
+/// The full Fig. 9 sweep plus its headline numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Report {
+    /// Sweep samples, fresh cell first.
+    pub points: Vec<Fig9Point>,
+    /// Maximum tRCD reduction (paper: 5.6 ns).
+    pub max_trcd_slack_ns: f64,
+    /// Maximum tRAS reduction (paper: 10.4 ns).
+    pub max_tras_slack_ns: f64,
+    /// Maximum tRCD reduction in 800 MHz controller cycles (paper: up to
+    /// 4 whole cycles usable).
+    pub max_trcd_cycles: u64,
+    /// Maximum tRAS reduction in controller cycles (paper: up to 8).
+    pub max_tras_cycles: u64,
+}
+
+impl Fig9Report {
+    /// Runs the sweep with `samples` points across the retention window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2`.
+    pub fn generate(model: &ExponentialChargeModel, samples: usize) -> Self {
+        assert!(samples >= 2, "need at least two sweep samples");
+        let retention = model.retention_ns();
+        let points: Vec<Fig9Point> = (0..samples)
+            .map(|i| {
+                let t = retention * i as f64 / (samples - 1) as f64;
+                let dv = model.cell.delta_v(t);
+                Fig9Point {
+                    elapsed_ms: t / 1.0e6,
+                    cell_voltage: model.cell.cell_voltage(t),
+                    delta_v_mv: dv * 1e3,
+                    sense_time_ns: model.sense_amp.sense_time_ns(dv),
+                    trcd_slack_ns: model.trcd_slack_ns(t),
+                    tras_slack_ns: model.tras_slack_ns(t),
+                }
+            })
+            .collect();
+        let max_trcd_slack_ns = points[0].trcd_slack_ns;
+        let max_tras_slack_ns = points[0].tras_slack_ns;
+        Fig9Report {
+            max_trcd_cycles: (max_trcd_slack_ns / MC_CYCLE_NS).floor() as u64,
+            max_tras_cycles: (max_tras_slack_ns / MC_CYCLE_NS).floor() as u64,
+            points,
+            max_trcd_slack_ns,
+            max_tras_slack_ns,
+        }
+    }
+
+    /// The default 33-sample sweep of the paper-calibrated model.
+    pub fn paper_default() -> Self {
+        Self::generate(&ExponentialChargeModel::default(), 33)
+    }
+}
+
+impl fmt::Display for Fig9Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 9 — Sensitivity of Sense Amplifiers (analytic circuit model)")?;
+        writeln!(
+            f,
+            "  max tRCD reduction: {:.2} ns ({} cycles @ 800 MHz)   [paper: 5.6 ns / 4 cycles]",
+            self.max_trcd_slack_ns, self.max_trcd_cycles
+        )?;
+        writeln!(
+            f,
+            "  max tRAS reduction: {:.2} ns ({} cycles @ 800 MHz)   [paper: 10.4 ns / 8 cycles]",
+            self.max_tras_slack_ns, self.max_tras_cycles
+        )?;
+        writeln!(f, "  {:>10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "elapsed/ms", "Vcell/V", "dV/mV", "sense/ns", "dtRCD/ns", "dtRAS/ns")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "  {:>10.2} {:>8.3} {:>8.1} {:>10.3} {:>10.3} {:>10.3}",
+                p.elapsed_ms, p.cell_voltage, p.delta_v_mv, p.sense_time_ns,
+                p.trcd_slack_ns, p.tras_slack_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_match_the_paper() {
+        let r = Fig9Report::paper_default();
+        assert!((r.max_trcd_slack_ns - 5.6).abs() < 1e-9);
+        assert!((r.max_tras_slack_ns - 10.4).abs() < 1e-9);
+        assert_eq!(r.max_trcd_cycles, 4);
+        assert_eq!(r.max_tras_cycles, 8);
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let r = Fig9Report::paper_default();
+        for w in r.points.windows(2) {
+            assert!(w[0].delta_v_mv >= w[1].delta_v_mv);
+            assert!(w[0].sense_time_ns <= w[1].sense_time_ns);
+            assert!(w[0].trcd_slack_ns >= w[1].trcd_slack_ns);
+        }
+    }
+
+    #[test]
+    fn sweep_endpoints() {
+        let r = Fig9Report::paper_default();
+        let first = r.points.first().unwrap();
+        let last = r.points.last().unwrap();
+        assert_eq!(first.elapsed_ms, 0.0);
+        assert!((last.elapsed_ms - 64.0).abs() < 1e-9);
+        assert!(last.trcd_slack_ns.abs() < 1e-9);
+        assert!(last.tras_slack_ns.abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_every_point() {
+        let r = Fig9Report::generate(&ExponentialChargeModel::default(), 5);
+        let text = r.to_string();
+        assert!(text.contains("Fig. 9"));
+        assert_eq!(text.lines().count(), 3 + 1 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn generate_rejects_single_sample() {
+        Fig9Report::generate(&ExponentialChargeModel::default(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Partitioned-Bank grouping: quantizing the continuous slack curve into
+//! the per-PB timing table (paper §5.3, Fig. 17, Table 4).
+//!
+//! The retention window is first divided into `#LP = 32` equal *linear*
+//! windows (`PRE_PB`s). Because the sense amplifier is nonlinear
+//! (Fig. 9b), equal-width windows do not buy equal timing reductions, so
+//! PRE_PBs are then grouped non-uniformly into `#PB` partitioned banks:
+//! every PRE_PB in a group shares the group's *worst-case* (window-end)
+//! timing, which keeps the controller conservative.
+//!
+//! For fewer than the maximum number of PBs, adjacent *fastest* groups
+//! are merged (a merged group inherits its slowest member's timing).
+//! This reproduces the monotone, diminishing-returns #PB sensitivity of
+//! the paper's Fig. 21.
+
+use crate::slack::SlackModel;
+use nuat_types::{DramTimings, Nanos, RowTimings};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a partitioned bank. `PbId(0)` is the fastest (most
+/// recently refreshed) partition.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PbId(pub u8);
+
+impl PbId {
+    /// Returns the raw partition number.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the partition number as an index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PB{}", self.0)
+    }
+}
+
+/// A complete PB configuration: how the 32 linear windows group into
+/// partitions, and each partition's activation timings.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_circuit::{PbGrouping, PbId};
+///
+/// let g = PbGrouping::paper(5);
+/// assert_eq!(g.sizes(), vec![3, 5, 6, 8, 10]); // Table 4
+/// assert_eq!(g.timings(PbId(0)).trcd, 8);      // freshly refreshed rows
+/// assert_eq!(g.timings(g.last_pb()).trcd, 12); // data-sheet worst case
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbGrouping {
+    n_lp: u32,
+    /// `starts[k]` is the first PRE_PB of PB `k`; `starts[0] == 0`.
+    starts: Vec<u32>,
+    /// Per-PB activation timings, fastest first.
+    timings: Vec<RowTimings>,
+    /// Per-PB tRCD reduction in cycles (for reporting / Fig. 21).
+    trcd_reductions: Vec<u64>,
+    /// Per-PB tRAS reduction in cycles.
+    tras_reductions: Vec<u64>,
+}
+
+impl PbGrouping {
+    /// Derives a grouping with up to `max_pb` partitions from a slack
+    /// model, `n_lp` linear windows, and the data-sheet timing set.
+    ///
+    /// The returned grouping may have fewer than `max_pb` partitions if
+    /// the slack curve does not support that many distinct whole-cycle
+    /// tRCD reductions (the paper's §8: "the maximum number of PBs is 5
+    /// because 5.6 ns is 5 cycles").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_pb == 0`, `n_lp` is not a power of two, or the
+    /// model yields a non-monotone reduction sequence.
+    pub fn derive<M: SlackModel + ?Sized>(model: &M, base: &DramTimings, max_pb: usize, n_lp: u32) -> Self {
+        assert!(max_pb >= 1, "need at least one PB");
+        assert!(n_lp.is_power_of_two(), "#LP must be a power of two");
+        let retention_ns = model.retention_ns();
+
+        // Whole-cycle tRCD reduction achievable by each linear window,
+        // evaluated at the window end (its worst case).
+        let window_trcd_red: Vec<u64> = (0..n_lp)
+            .map(|i| {
+                let end_ns = retention_ns * (i as f64 + 1.0) / n_lp as f64;
+                Nanos::new(model.trcd_slack_ns(end_ns)).to_mc_cycles_floor()
+            })
+            .collect();
+        for w in window_trcd_red.windows(2) {
+            assert!(w[0] >= w[1], "slack model must be monotone non-increasing");
+        }
+
+        // Distinct reduction levels, fastest first.
+        let mut levels: Vec<u64> = window_trcd_red.clone();
+        levels.dedup();
+
+        // Merge the fastest levels if we have more levels than partitions.
+        let merged_levels: Vec<u64> = if levels.len() > max_pb {
+            let keep_from = levels.len() - max_pb;
+            // The merged front group is as slow as its slowest member.
+            let mut v = vec![levels[keep_from]];
+            v.extend_from_slice(&levels[keep_from + 1..]);
+            v
+        } else {
+            levels.clone()
+        };
+
+        // Group boundaries: a PRE_PB belongs to merged group k if its raw
+        // reduction is >= merged_levels[k] (and < merged_levels[k-1] when
+        // k > 0 ... but because raw reductions are monotone we can simply
+        // find the first window at or below each level).
+        let mut starts = Vec::with_capacity(merged_levels.len());
+        let mut trcd_reductions = Vec::with_capacity(merged_levels.len());
+        let mut tras_reductions = Vec::with_capacity(merged_levels.len());
+        let mut timings = Vec::with_capacity(merged_levels.len());
+        let mut next_start = 0u32;
+        for (k, &level) in merged_levels.iter().enumerate() {
+            starts.push(next_start);
+            // Find the end of this group: last window whose reduction is
+            // still >= level (for the last group: everything remaining).
+            let group_end = if k + 1 < merged_levels.len() {
+                let next_level = merged_levels[k + 1];
+                window_trcd_red
+                    .iter()
+                    .position(|&r| r <= next_level)
+                    .unwrap_or(n_lp as usize) as u32
+            } else {
+                n_lp
+            };
+            assert!(group_end > next_start, "empty PB group");
+            // Worst case of the group is its last window's end.
+            let end_ns = retention_ns * group_end as f64 / n_lp as f64;
+            let tras_red = Nanos::new(model.tras_slack_ns(end_ns)).to_mc_cycles_floor();
+            trcd_reductions.push(level);
+            tras_reductions.push(tras_red);
+            timings.push(RowTimings::new(
+                base.trcd - level,
+                base.tras - tras_red,
+                base.trp,
+            ));
+            next_start = group_end;
+        }
+
+        PbGrouping { n_lp, starts, timings, trcd_reductions, tras_reductions }
+    }
+
+    /// The paper's configuration for `n_pb` partitions (2..=5), derived
+    /// from the calibrated slack curve with `#LP = 32` and Table 3
+    /// timings. `PbGrouping::paper(5)` reproduces Table 4 exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pb` is 0.
+    pub fn paper(n_pb: usize) -> Self {
+        let model = crate::slack::CalibratedSlack::paper_default();
+        Self::derive(&model, &DramTimings::default(), n_pb, 32)
+    }
+
+    /// Number of partitions (`#P` in the paper).
+    pub fn n_pb(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// Number of linear windows (`#LP` in the paper; 32).
+    pub fn n_lp(&self) -> u32 {
+        self.n_lp
+    }
+
+    /// Maps a linear window (`PRE_PB#`) to its partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pre_pb >= n_lp`.
+    pub fn pb_of_pre(&self, pre_pb: u32) -> PbId {
+        assert!(pre_pb < self.n_lp, "PRE_PB {pre_pb} out of range");
+        // starts is small (<= 5); linear scan beats binary search.
+        let mut pb = 0u8;
+        for (k, &s) in self.starts.iter().enumerate().skip(1) {
+            if pre_pb >= s {
+                pb = k as u8;
+            }
+        }
+        PbId(pb)
+    }
+
+    /// The activation timings of a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pb` is out of range.
+    pub fn timings(&self, pb: PbId) -> RowTimings {
+        self.timings[pb.index()]
+    }
+
+    /// Per-PB tRCD reduction in cycles, fastest partition first.
+    pub fn trcd_reductions(&self) -> &[u64] {
+        &self.trcd_reductions
+    }
+
+    /// Per-PB tRAS reduction in cycles, fastest partition first.
+    pub fn tras_reductions(&self) -> &[u64] {
+        &self.tras_reductions
+    }
+
+    /// Number of PRE_PBs in each partition (Table 4's 3/5/6/8/10 for the
+    /// 5PB configuration).
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.starts.len());
+        for k in 0..self.starts.len() {
+            let end = self.starts.get(k + 1).copied().unwrap_or(self.n_lp);
+            v.push(end - self.starts[k]);
+        }
+        v
+    }
+
+    /// First PRE_PB of each partition.
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// The identifier of the slowest partition (largest PB#).
+    pub fn last_pb(&self) -> PbId {
+        PbId((self.n_pb() - 1) as u8)
+    }
+}
+
+impl fmt::Display for PbGrouping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}PB configuration (#LP = {}):", self.n_pb(), self.n_lp)?;
+        for (k, (size, t)) in self.sizes().iter().zip(&self.timings).enumerate() {
+            writeln!(
+                f,
+                "  PB{k}: {size:2} PRE_PBs  {t}  (PRE_PB {} .. {})",
+                self.starts[k],
+                self.starts.get(k + 1).copied().unwrap_or(self.n_lp) - 1,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_5pb_reproduces_table4_sizes() {
+        let g = PbGrouping::paper(5);
+        assert_eq!(g.n_pb(), 5);
+        assert_eq!(g.sizes(), vec![3, 5, 6, 8, 10]);
+        assert_eq!(g.starts(), &[0, 3, 8, 14, 22]);
+    }
+
+    #[test]
+    fn paper_5pb_reproduces_table4_timings() {
+        let g = PbGrouping::paper(5);
+        let expect = [(8, 22, 34), (9, 24, 36), (10, 26, 38), (11, 28, 40), (12, 30, 42)];
+        for (k, (trcd, tras, trc)) in expect.into_iter().enumerate() {
+            let t = g.timings(PbId(k as u8));
+            assert_eq!((t.trcd, t.tras, t.trc), (trcd, tras, trc), "PB{k}");
+        }
+    }
+
+    #[test]
+    fn fewer_pbs_merge_the_fastest_groups() {
+        let g4 = PbGrouping::paper(4);
+        assert_eq!(g4.sizes(), vec![8, 6, 8, 10]);
+        assert_eq!(g4.timings(PbId(0)), RowTimings::new(9, 24, 12));
+
+        let g3 = PbGrouping::paper(3);
+        assert_eq!(g3.sizes(), vec![14, 8, 10]);
+        assert_eq!(g3.timings(PbId(0)), RowTimings::new(10, 26, 12));
+
+        let g2 = PbGrouping::paper(2);
+        assert_eq!(g2.sizes(), vec![22, 10]);
+        assert_eq!(g2.timings(PbId(0)), RowTimings::new(11, 28, 12));
+        // The slowest partition is always the data-sheet worst case.
+        assert_eq!(g2.timings(g2.last_pb()), RowTimings::new(12, 30, 12));
+    }
+
+    #[test]
+    fn pb_of_pre_covers_all_windows() {
+        let g = PbGrouping::paper(5);
+        let expect = [
+            (0, 0), (2, 0), (3, 1), (7, 1), (8, 2), (13, 2), (14, 3), (21, 3), (22, 4), (31, 4),
+        ];
+        for (pre, pb) in expect {
+            assert_eq!(g.pb_of_pre(pre), PbId(pb), "PRE_PB{pre}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pb_of_pre_rejects_out_of_range() {
+        PbGrouping::paper(5).pb_of_pre(32);
+    }
+
+    #[test]
+    fn one_pb_is_the_datasheet_baseline() {
+        let g = PbGrouping::paper(1);
+        assert_eq!(g.n_pb(), 1);
+        assert_eq!(g.timings(PbId(0)), RowTimings::new(12, 30, 12));
+    }
+
+    #[test]
+    fn reductions_are_monotone_across_pbs() {
+        for n in 1..=5 {
+            let g = PbGrouping::paper(n);
+            for w in g.trcd_reductions().windows(2) {
+                assert!(w[0] > w[1], "tRCD reductions must strictly decrease");
+            }
+            for w in g.tras_reductions().windows(2) {
+                assert!(w[0] >= w[1], "tRAS reductions must not increase");
+            }
+        }
+    }
+
+    #[test]
+    fn timings_never_beat_the_physical_window_end() {
+        // Every PB's timing, in ns, must be at least the physical minimum
+        // at its window end (the most decayed row it can contain).
+        use crate::slack::{CalibratedSlack, SlackModel};
+        let model = CalibratedSlack::paper_default();
+        let base = DramTimings::default();
+        let g = PbGrouping::paper(5);
+        let starts = g.starts();
+        for k in 0..g.n_pb() {
+            let end = starts.get(k + 1).copied().unwrap_or(g.n_lp());
+            let end_ns = model.retention_ns() * end as f64 / g.n_lp() as f64;
+            let t = g.timings(PbId(k as u8));
+            let trcd_ns = t.trcd as f64 * 1.25;
+            let min_ns = base.trcd as f64 * 1.25 - model.trcd_slack_ns(end_ns);
+            assert!(trcd_ns + 1e-9 >= min_ns, "PB{k} tRCD {trcd_ns} < physical {min_ns}");
+        }
+    }
+
+    #[test]
+    fn display_lists_every_pb() {
+        let s = PbGrouping::paper(5).to_string();
+        assert!(s.contains("PB0"));
+        assert!(s.contains("PB4"));
+        assert!(s.contains("tRCD 8"));
+    }
+
+    #[test]
+    fn derive_with_exponential_model_is_valid() {
+        use crate::slack::ExponentialChargeModel;
+        let g = PbGrouping::derive(
+            &ExponentialChargeModel::default(),
+            &DramTimings::default(),
+            5,
+            32,
+        );
+        // The physics model will not match Table 4 exactly, but it must
+        // produce a valid monotone configuration with >= 2 partitions.
+        assert!(g.n_pb() >= 2);
+        let sizes = g.sizes();
+        assert_eq!(sizes.iter().sum::<u32>(), 32);
+    }
+}

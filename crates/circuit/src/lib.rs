@@ -1,0 +1,54 @@
+//! # nuat-circuit
+//!
+//! Analytic replacement for the paper's SPICE evaluation (§5.2, Fig. 9):
+//! a DRAM cell-capacitor charge-decay model, a charge-sharing ΔV model,
+//! a sense-amplifier delay model, and the derived *timing slack* curves
+//! that NUAT consumes.
+//!
+//! Two slack models are provided:
+//!
+//! * [`ExponentialChargeModel`] — first-principles model (exponential cell
+//!   leakage, positive-feedback latch delay `τ·ln(V_half/ΔV)`). Used to
+//!   demonstrate the physics and in property tests (monotonicity,
+//!   saturation, nonlinearity direction).
+//! * [`CalibratedSlack`] — monotone piecewise-linear curves calibrated to
+//!   the paper's published endpoints (5.6 ns of tRCD slack, 10.4 ns of
+//!   tRAS slack) and PB boundaries, so that [`grouping::PbGrouping::derive`]
+//!   reproduces Table 4 exactly. This is the default model consumed by the
+//!   controller and the DRAM device's physical-timing validator.
+//!
+//! ## Example
+//!
+//! ```
+//! use nuat_circuit::PhysicalTimingModel;
+//! use nuat_types::DramTimings;
+//!
+//! let model = PhysicalTimingModel::paper_default(DramTimings::default());
+//! // A row refreshed 1 ms ago can be sensed ~5.5 ns faster than the
+//! // data-sheet worst case ...
+//! let fresh = model.min_trcd_ns(1_000_000.0);
+//! // ... while a row at the end of the retention window cannot.
+//! let stale = model.min_trcd_ns(63_000_000.0);
+//! assert!(fresh < stale);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod binning;
+pub mod cell;
+pub mod fig9;
+pub mod grouping;
+pub mod physical;
+pub mod sense_amp;
+pub mod slack;
+pub mod temperature;
+
+pub use binning::{BinningProcess, BinningReport, DeviceSample, EccSupport, MarginedSlack};
+pub use cell::CellModel;
+pub use fig9::{Fig9Point, Fig9Report};
+pub use grouping::{PbGrouping, PbId};
+pub use physical::PhysicalTimingModel;
+pub use sense_amp::SenseAmp;
+pub use slack::{CalibratedSlack, ExponentialChargeModel, SlackModel};
+pub use temperature::TemperatureModel;

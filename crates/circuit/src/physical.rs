@@ -1,0 +1,179 @@
+//! Physical minimum activation timings as a function of elapsed time
+//! since a row was last refreshed or restored.
+//!
+//! The DRAM device model (`nuat-dram`) uses this to *validate* every
+//! command sequence the controller issues: a controller may exploit
+//! charge-dependent slack, but never under-run the physics. FR-FCFS
+//! always uses data-sheet (worst-case) timings, which trivially satisfy
+//! the check; NUAT's per-PB timings satisfy it because PB assignment is
+//! conservative (window-end quantization, see `grouping`).
+
+use crate::slack::{CalibratedSlack, SlackModel};
+use nuat_types::{DramTimings, MC_CYCLE_NS};
+use serde::{Deserialize, Serialize};
+
+/// Physical minimum-timing oracle for a device with the given data-sheet
+/// timings and slack curve.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_circuit::PhysicalTimingModel;
+/// use nuat_types::DramTimings;
+///
+/// let m = PhysicalTimingModel::paper_default(DramTimings::default());
+/// // PB0's 8-cycle tRCD (10 ns) is fine right after refresh ...
+/// assert!(m.trcd_ok(0.0, 8));
+/// // ... and a physics violation at the end of the retention window.
+/// assert!(!m.trcd_ok(64.0e6, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalTimingModel {
+    slack: CalibratedSlack,
+    base: DramTimings,
+}
+
+impl PhysicalTimingModel {
+    /// Builds the oracle from an explicit slack curve.
+    pub fn new(slack: CalibratedSlack, base: DramTimings) -> Self {
+        PhysicalTimingModel { slack, base }
+    }
+
+    /// The paper-calibrated oracle for the given data-sheet timings.
+    pub fn paper_default(base: DramTimings) -> Self {
+        PhysicalTimingModel { slack: CalibratedSlack::paper_default(), base }
+    }
+
+    /// Builds the oracle by sampling an arbitrary [`SlackModel`] into a
+    /// piecewise-linear curve (65 samples across the retention window).
+    ///
+    /// Sampling *chords* of a convex-decreasing curve can only
+    /// under-estimate the slack between samples, which keeps the oracle
+    /// conservative.
+    pub fn from_model<M: SlackModel>(model: &M, base: DramTimings) -> Self {
+        const SAMPLES: usize = 64;
+        let retention = model.retention_ns();
+        let sample = |f: &dyn Fn(f64) -> f64| -> Vec<(f64, f64)> {
+            (0..=SAMPLES)
+                .map(|i| {
+                    let t = retention * i as f64 / SAMPLES as f64;
+                    (t, f(t))
+                })
+                .collect()
+        };
+        let trcd = sample(&|t| model.trcd_slack_ns(t));
+        let tras = sample(&|t| model.tras_slack_ns(t));
+        PhysicalTimingModel { slack: CalibratedSlack::new(trcd, tras), base }
+    }
+
+    /// The data-sheet timing set this oracle is relative to.
+    pub fn base(&self) -> &DramTimings {
+        &self.base
+    }
+
+    /// The underlying slack curve.
+    pub fn slack(&self) -> &CalibratedSlack {
+        &self.slack
+    }
+
+    /// Minimum physically required ACT→column delay, in nanoseconds, for
+    /// a row last refreshed `elapsed_ns` ago.
+    pub fn min_trcd_ns(&self, elapsed_ns: f64) -> f64 {
+        self.base.trcd as f64 * MC_CYCLE_NS - self.slack.trcd_slack_ns(elapsed_ns)
+    }
+
+    /// Minimum physically required ACT→PRE delay, in nanoseconds.
+    pub fn min_tras_ns(&self, elapsed_ns: f64) -> f64 {
+        self.base.tras as f64 * MC_CYCLE_NS - self.slack.tras_slack_ns(elapsed_ns)
+    }
+
+    /// Minimum physically required ACT→ACT (same bank) delay, in
+    /// nanoseconds: the reduced tRAS plus the full tRP.
+    pub fn min_trc_ns(&self, elapsed_ns: f64) -> f64 {
+        self.min_tras_ns(elapsed_ns) + self.base.trp as f64 * MC_CYCLE_NS
+    }
+
+    /// Checks a proposed ACT→column spacing (in controller cycles)
+    /// against the physical minimum. A small epsilon absorbs float noise
+    /// at exact window boundaries.
+    pub fn trcd_ok(&self, elapsed_ns: f64, spacing_cycles: u64) -> bool {
+        spacing_cycles as f64 * MC_CYCLE_NS + 1e-9 >= self.min_trcd_ns(elapsed_ns)
+    }
+
+    /// Checks a proposed ACT→PRE spacing (cycles) against the physical
+    /// minimum tRAS.
+    pub fn tras_ok(&self, elapsed_ns: f64, spacing_cycles: u64) -> bool {
+        spacing_cycles as f64 * MC_CYCLE_NS + 1e-9 >= self.min_tras_ns(elapsed_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack::ExponentialChargeModel;
+    use proptest::prelude::*;
+
+    #[test]
+    fn worst_case_equals_datasheet() {
+        let m = PhysicalTimingModel::paper_default(DramTimings::default());
+        assert!((m.min_trcd_ns(64.0e6) - 15.0).abs() < 1e-9);
+        assert!((m.min_tras_ns(64.0e6) - 37.5).abs() < 1e-9);
+        assert!((m.min_trc_ns(64.0e6) - 52.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_row_has_full_slack() {
+        let m = PhysicalTimingModel::paper_default(DramTimings::default());
+        assert!((m.min_trcd_ns(0.0) - (15.0 - 5.6)).abs() < 1e-9);
+        assert!((m.min_tras_ns(0.0) - (37.5 - 10.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datasheet_timings_always_pass() {
+        let m = PhysicalTimingModel::paper_default(DramTimings::default());
+        for t in [0.0, 1.0e6, 30.0e6, 64.0e6, 100.0e6] {
+            assert!(m.trcd_ok(t, 12));
+            assert!(m.tras_ok(t, 30));
+        }
+    }
+
+    #[test]
+    fn reduced_timings_fail_for_stale_rows() {
+        let m = PhysicalTimingModel::paper_default(DramTimings::default());
+        // PB0 timings on an end-of-retention row are a physics violation.
+        assert!(!m.trcd_ok(64.0e6, 8));
+        assert!(!m.tras_ok(64.0e6, 22));
+        // But they are fine right after refresh.
+        assert!(m.trcd_ok(0.0, 8));
+        assert!(m.tras_ok(0.0, 22));
+    }
+
+    #[test]
+    fn sampled_oracle_matches_exponential_model_at_samples() {
+        let exp = ExponentialChargeModel::default();
+        let m = PhysicalTimingModel::from_model(&exp, DramTimings::default());
+        for i in 0..=64 {
+            let t = 64.0e6 * i as f64 / 64.0;
+            let direct = 15.0 - exp.trcd_slack_ns(t);
+            assert!((m.min_trcd_ns(t) - direct).abs() < 1e-6, "sample {i}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn table4_pb_timings_satisfy_physics_in_their_windows(
+            pre in 0u32..32, frac in 0.0f64..1.0
+        ) {
+            use crate::grouping::PbGrouping;
+            let g = PbGrouping::paper(5);
+            let m = PhysicalTimingModel::paper_default(DramTimings::default());
+            let pb = g.pb_of_pre(pre);
+            let t = g.timings(pb);
+            // Any elapsed time inside this PRE_PB's window.
+            let window = 64.0e6 / 32.0;
+            let elapsed = (pre as f64 + frac) * window;
+            prop_assert!(m.trcd_ok(elapsed, t.trcd));
+            prop_assert!(m.tras_ok(elapsed, t.tras));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Sense-amplifier response-time model.
+//!
+//! A DRAM sense amplifier is a cross-coupled latch in positive feedback:
+//! a seed difference ΔV grows exponentially until it reaches the full
+//! swing needed to drive the column path. The resolve time is therefore
+//!
+//! ```text
+//! t_sense(ΔV) = τ_sa · ln(V_swing / ΔV)
+//! ```
+//!
+//! which reproduces the nonlinearity of the paper's Fig. 9(b): delay
+//! improves quickly at small ΔV and saturates at large ΔV. `τ_sa` is
+//! calibrated so that the total slack across the retention window equals
+//! the paper's measured 5.6 ns of tRCD.
+
+use crate::cell::CellModel;
+use serde::{Deserialize, Serialize};
+
+/// Positive-feedback latch delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseAmp {
+    /// Regeneration time constant in nanoseconds.
+    pub tau_sa_ns: f64,
+    /// Voltage swing the latch must develop before the column path can
+    /// fire, in volts (half the supply).
+    pub v_swing: f64,
+}
+
+impl SenseAmp {
+    /// Calibrates `τ_sa` against a [`CellModel`] so that the sensing-time
+    /// difference between a fresh and an end-of-retention cell equals
+    /// `total_slack_ns` (the paper's Fig. 9(a): 5.6 ns for tRCD).
+    pub fn calibrated(cell: &CellModel, total_slack_ns: f64) -> Self {
+        let ratio = cell.delta_v_full() / cell.delta_v_min();
+        SenseAmp {
+            tau_sa_ns: total_slack_ns / ratio.ln(),
+            v_swing: cell.vdd / 2.0,
+        }
+    }
+
+    /// Time for the latch to resolve a seed difference `delta_v` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `delta_v` is not positive (a
+    /// non-positive seed means the stored value is unreadable).
+    pub fn sense_time_ns(&self, delta_v: f64) -> f64 {
+        debug_assert!(delta_v > 0.0, "sense amp needs a positive seed ΔV");
+        self.tau_sa_ns * (self.v_swing / delta_v).ln()
+    }
+
+    /// Sensing-time *slack* of a seed `delta_v` relative to the worst-case
+    /// seed `delta_v_min`: how much earlier this access resolves than the
+    /// data-sheet assumption.
+    pub fn slack_ns(&self, delta_v: f64, delta_v_min: f64) -> f64 {
+        (self.sense_time_ns(delta_v_min) - self.sense_time_ns(delta_v)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn calibrated_pair() -> (CellModel, SenseAmp) {
+        let cell = CellModel::default();
+        let sa = SenseAmp::calibrated(&cell, 5.6);
+        (cell, sa)
+    }
+
+    #[test]
+    fn calibration_reproduces_fig9a_total_slack() {
+        let (cell, sa) = calibrated_pair();
+        let slack = sa.slack_ns(cell.delta_v_full(), cell.delta_v_min());
+        assert!((slack - 5.6).abs() < 1e-9, "fresh-cell slack must be 5.6 ns, got {slack}");
+    }
+
+    #[test]
+    fn sense_time_decreases_with_delta_v() {
+        let (_, sa) = calibrated_pair();
+        assert!(sa.sense_time_ns(0.05) > sa.sense_time_ns(0.10));
+        assert!(sa.sense_time_ns(0.10) > sa.sense_time_ns(0.15));
+    }
+
+    #[test]
+    fn nonlinearity_matches_fig9b_direction() {
+        // Equal ΔV increments buy less time at high ΔV than at low ΔV
+        // (the saturating curve of Fig. 9(b)).
+        let (_, sa) = calibrated_pair();
+        let low_gain = sa.sense_time_ns(0.03) - sa.sense_time_ns(0.06);
+        let high_gain = sa.sense_time_ns(0.12) - sa.sense_time_ns(0.15);
+        assert!(low_gain > high_gain);
+    }
+
+    proptest! {
+        #[test]
+        fn slack_is_nonnegative_and_bounded(t in 0.0f64..=64.0e6) {
+            let (cell, sa) = calibrated_pair();
+            let s = sa.slack_ns(cell.delta_v(t), cell.delta_v_min());
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= 5.6 + 1e-9);
+        }
+    }
+}

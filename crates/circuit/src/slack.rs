@@ -1,0 +1,245 @@
+//! Timing-slack curves: how much tRCD / tRAS can shrink as a function of
+//! the elapsed time since a row was last refreshed.
+//!
+//! This is the quantity the whole paper is built on ("the DRAM row access
+//! latency is a function of the elapsed time from when the row was last
+//! refreshed"). Two implementations of [`SlackModel`] are provided; see
+//! the crate docs for when each is used.
+
+use crate::cell::CellModel;
+use crate::sense_amp::SenseAmp;
+use serde::{Deserialize, Serialize};
+
+/// A monotone non-increasing map from *elapsed time since refresh* (ns)
+/// to *timing slack* (ns) relative to the data-sheet worst case.
+pub trait SlackModel {
+    /// tRCD slack at `elapsed_ns` since the last refresh of the row.
+    fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64;
+
+    /// tRAS slack at `elapsed_ns` since the last refresh of the row.
+    fn tras_slack_ns(&self, elapsed_ns: f64) -> f64;
+
+    /// The retention window length in nanoseconds (slack is zero at and
+    /// beyond this point).
+    fn retention_ns(&self) -> f64;
+}
+
+/// First-principles slack model: exponential cell leakage + latch delay.
+///
+/// tRAS slack is scaled from tRCD slack by the restore-to-sense ratio
+/// measured in the paper's circuit evaluation (10.4 ns / 5.6 ns): the
+/// restore phase, which tRAS additionally covers, benefits roughly
+/// proportionally to the sensing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialChargeModel {
+    /// Cell electrical model.
+    pub cell: CellModel,
+    /// Sense-amplifier delay model.
+    pub sense_amp: SenseAmp,
+    /// tRAS-slack / tRCD-slack ratio (paper: 10.4 / 5.6).
+    pub ras_scale: f64,
+}
+
+impl Default for ExponentialChargeModel {
+    fn default() -> Self {
+        let cell = CellModel::default();
+        let sense_amp = SenseAmp::calibrated(&cell, 5.6);
+        ExponentialChargeModel { cell, sense_amp, ras_scale: 10.4 / 5.6 }
+    }
+}
+
+impl SlackModel for ExponentialChargeModel {
+    fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        self.sense_amp.slack_ns(self.cell.delta_v(elapsed_ns), self.cell.delta_v_min())
+    }
+
+    fn tras_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        self.ras_scale * self.trcd_slack_ns(elapsed_ns)
+    }
+
+    fn retention_ns(&self) -> f64 {
+        self.cell.retention_ns
+    }
+}
+
+/// Monotone piecewise-linear slack curve through explicit control points.
+///
+/// [`CalibratedSlack::paper_default`] passes exactly through the paper's
+/// published anchors, so that quantizing the curve at the 32 linear-PB
+/// window boundaries reproduces Table 4's non-uniform grouping
+/// {3, 5, 6, 8, 10} and the per-PB timing table bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedSlack {
+    /// `(elapsed_ns, trcd_slack_ns)` control points, strictly increasing
+    /// in elapsed time, non-increasing in slack.
+    trcd_points: Vec<(f64, f64)>,
+    /// `(elapsed_ns, tras_slack_ns)` control points.
+    tras_points: Vec<(f64, f64)>,
+    retention_ns: f64,
+}
+
+impl CalibratedSlack {
+    /// Builds a curve from explicit control points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either list has fewer than two points, is not strictly
+    /// increasing in elapsed time, or is not non-increasing in slack —
+    /// these invariants are what make the physical-timing validation in
+    /// `nuat-dram` sound.
+    pub fn new(trcd_points: Vec<(f64, f64)>, tras_points: Vec<(f64, f64)>) -> Self {
+        for pts in [&trcd_points, &tras_points] {
+            assert!(pts.len() >= 2, "need at least two control points");
+            for w in pts.windows(2) {
+                assert!(w[0].0 < w[1].0, "elapsed times must be strictly increasing");
+                assert!(w[0].1 >= w[1].1, "slack must be non-increasing");
+            }
+        }
+        let retention_ns = trcd_points.last().unwrap().0.max(tras_points.last().unwrap().0);
+        CalibratedSlack { trcd_points, tras_points, retention_ns }
+    }
+
+    /// The paper's calibration. Anchors (elapsed ms → slack ns):
+    ///
+    /// * tRCD: (0, 5.6) (6, 5.0) (16, 3.75) (28, 2.5) (44, 1.25) (64, 0)
+    /// * tRAS: (0, 10.4) (6, 10.0) (16, 7.5) (28, 5.0) (44, 2.5) (64, 0)
+    ///
+    /// The interior anchors sit exactly on whole-cycle slack values
+    /// (1.25 ns grid) at the elapsed times implied by Table 4's PB
+    /// boundaries (PRE_PB 3, 8, 14, 22 of 32), which is what makes the
+    /// derived grouping match the paper.
+    pub fn paper_default() -> Self {
+        const MS: f64 = 1.0e6;
+        CalibratedSlack::new(
+            vec![
+                (0.0, 5.6),
+                (6.0 * MS, 5.0),
+                (16.0 * MS, 3.75),
+                (28.0 * MS, 2.5),
+                (44.0 * MS, 1.25),
+                (64.0 * MS, 0.0),
+            ],
+            vec![
+                (0.0, 10.4),
+                (6.0 * MS, 10.0),
+                (16.0 * MS, 7.5),
+                (28.0 * MS, 5.0),
+                (44.0 * MS, 2.5),
+                (64.0 * MS, 0.0),
+            ],
+        )
+    }
+
+    fn interpolate(points: &[(f64, f64)], x: f64) -> f64 {
+        let first = points.first().expect("validated nonempty");
+        let last = points.last().expect("validated nonempty");
+        if x <= first.0 {
+            return first.1;
+        }
+        if x >= last.0 {
+            return last.1;
+        }
+        for w in points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        last.1
+    }
+}
+
+impl SlackModel for CalibratedSlack {
+    fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        Self::interpolate(&self.trcd_points, elapsed_ns)
+    }
+
+    fn tras_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        Self::interpolate(&self.tras_points, elapsed_ns)
+    }
+
+    fn retention_ns(&self) -> f64 {
+        self.retention_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_default_endpoints_match_fig9a() {
+        let c = CalibratedSlack::paper_default();
+        assert_eq!(c.trcd_slack_ns(0.0), 5.6);
+        assert_eq!(c.tras_slack_ns(0.0), 10.4);
+        assert_eq!(c.trcd_slack_ns(64.0e6), 0.0);
+        assert_eq!(c.tras_slack_ns(64.0e6), 0.0);
+    }
+
+    #[test]
+    fn calibrated_clamps_outside_window() {
+        let c = CalibratedSlack::paper_default();
+        assert_eq!(c.trcd_slack_ns(-1.0), 5.6);
+        assert_eq!(c.trcd_slack_ns(1.0e9), 0.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_anchors() {
+        let c = CalibratedSlack::paper_default();
+        // Midpoint of (6 ms, 5.0) .. (16 ms, 3.75).
+        let mid = c.trcd_slack_ns(11.0e6);
+        assert!((mid - 4.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_model_matches_paper_endpoints() {
+        let m = ExponentialChargeModel::default();
+        assert!((m.trcd_slack_ns(0.0) - 5.6).abs() < 1e-9);
+        assert!((m.tras_slack_ns(0.0) - 10.4).abs() < 1e-9);
+        assert!(m.trcd_slack_ns(64.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn constructor_rejects_unsorted_points() {
+        CalibratedSlack::new(
+            vec![(0.0, 5.0), (0.0, 4.0)],
+            vec![(0.0, 10.0), (1.0, 9.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn constructor_rejects_increasing_slack() {
+        CalibratedSlack::new(
+            vec![(0.0, 1.0), (1.0, 2.0)],
+            vec![(0.0, 10.0), (1.0, 9.0)],
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn both_models_are_monotone(a in 0.0f64..64.0e6, b in 0.0f64..64.0e6) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let cal = CalibratedSlack::paper_default();
+            prop_assert!(cal.trcd_slack_ns(lo) >= cal.trcd_slack_ns(hi) - 1e-12);
+            prop_assert!(cal.tras_slack_ns(lo) >= cal.tras_slack_ns(hi) - 1e-12);
+            let exp = ExponentialChargeModel::default();
+            prop_assert!(exp.trcd_slack_ns(lo) >= exp.trcd_slack_ns(hi) - 1e-12);
+        }
+
+        #[test]
+        fn models_agree_at_endpoints_and_roughly_in_shape(t in 0.0f64..=64.0e6) {
+            // The calibrated curve is a piecewise-linear stand-in for the
+            // physics model; agreement is exact at the endpoints and must
+            // stay within ~1.6 ns of tRCD slack (about one controller
+            // cycle) anywhere in the window.
+            let cal = CalibratedSlack::paper_default();
+            let exp = ExponentialChargeModel::default();
+            let d = (cal.trcd_slack_ns(t) - exp.trcd_slack_ns(t)).abs();
+            prop_assert!(d < 1.6, "divergence {d} at t={t}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Temperature dependence of the charge slack (§10's "T" in
+//! PVT-variation).
+//!
+//! DRAM junction leakage roughly doubles every 10–15 °C, which is why
+//! DDR3 halves the refresh interval above 85 °C (2x self-refresh /
+//! extended-temperature mode). For NUAT, hotter silicon means faster
+//! decay: the same elapsed time leaves less charge, so the usable slack
+//! shrinks and the safe #PB drops — the temperature axis of the binning
+//! discussion.
+
+use crate::cell::CellModel;
+use crate::grouping::PbGrouping;
+use crate::sense_amp::SenseAmp;
+use crate::slack::ExponentialChargeModel;
+use nuat_types::DramTimings;
+use serde::{Deserialize, Serialize};
+
+/// Leakage-vs-temperature model: the cell time constant shrinks
+/// exponentially with temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureModel {
+    /// Reference junction temperature in °C at which [`CellModel`]'s
+    /// nominal leakage applies (DDR3 normal range tops out at 85 °C).
+    pub reference_celsius: f64,
+    /// Temperature increase that doubles the leakage (10–15 °C for
+    /// DRAM; default 12).
+    pub doubling_celsius: f64,
+}
+
+impl Default for TemperatureModel {
+    fn default() -> Self {
+        TemperatureModel { reference_celsius: 85.0, doubling_celsius: 12.0 }
+    }
+}
+
+impl TemperatureModel {
+    /// The leakage multiplier at `celsius` (1.0 at the reference).
+    pub fn leakage_factor(&self, celsius: f64) -> f64 {
+        2f64.powf((celsius - self.reference_celsius) / self.doubling_celsius)
+    }
+
+    /// A [`CellModel`] with its decay constant scaled for `celsius`.
+    pub fn cell_at(&self, nominal: &CellModel, celsius: f64) -> CellModel {
+        CellModel {
+            tau_leak_ns: nominal.tau_leak_ns / self.leakage_factor(celsius),
+            ..*nominal
+        }
+    }
+
+    /// The charge-slack model at `celsius`: hotter cells decay faster,
+    /// so the same elapsed time yields a smaller ΔV and less slack. The
+    /// sense amplifier keeps its nominal calibration (its temperature
+    /// dependence is second-order next to leakage), and the slack is
+    /// measured against the *reference-corner* worst-case ΔV — the one
+    /// the data-sheet timings are specified for — so a hotter device
+    /// simply runs out of slack earlier in its window.
+    pub fn slack_model_at(&self, celsius: f64) -> TemperatureScaledSlack {
+        let nominal = ExponentialChargeModel::default();
+        TemperatureScaledSlack {
+            cell: self.cell_at(&nominal.cell, celsius),
+            reference_min_dv: nominal.cell.delta_v_min(),
+            sense_amp: SenseAmp::calibrated(&nominal.cell, 5.6),
+            ras_scale: nominal.ras_scale,
+        }
+    }
+
+    /// The largest `n` such that the *nominal* `n`PB table
+    /// ([`PbGrouping::paper`]) stays physically safe at `celsius`: every
+    /// partition's promised reduction must be covered by the
+    /// temperature-scaled slack at its window end. Cold silicon only
+    /// gains margin; hot silicon loses partitions.
+    pub fn max_pb_at(&self, celsius: f64, base: &DramTimings, max_pb: usize) -> usize {
+        use crate::slack::SlackModel;
+        let model = self.slack_model_at(celsius);
+        let retention = model.retention_ns();
+        'outer: for n in (2..=max_pb).rev() {
+            let g = PbGrouping::paper(n);
+            let starts = g.starts();
+            for k in 0..g.n_pb() {
+                let end = starts.get(k + 1).copied().unwrap_or(g.n_lp());
+                let end_ns = retention * end as f64 / g.n_lp() as f64;
+                let trcd_red_ns = g.trcd_reductions()[k] as f64 * nuat_types::MC_CYCLE_NS;
+                let tras_red_ns = g.tras_reductions()[k] as f64 * nuat_types::MC_CYCLE_NS;
+                if model.trcd_slack_ns(end_ns) + 1e-9 < trcd_red_ns
+                    || model.tras_slack_ns(end_ns) + 1e-9 < tras_red_ns
+                {
+                    continue 'outer;
+                }
+            }
+            let _ = base;
+            return n;
+        }
+        1
+    }
+}
+
+/// Slack curve of a temperature-scaled cell, referenced to the nominal
+/// data-sheet worst-case ΔV. See [`TemperatureModel::slack_model_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureScaledSlack {
+    /// The temperature-scaled cell.
+    pub cell: CellModel,
+    /// The nominal (reference-corner) worst-case ΔV in volts.
+    pub reference_min_dv: f64,
+    /// The nominal sense-amplifier model.
+    pub sense_amp: SenseAmp,
+    /// tRAS-slack / tRCD-slack ratio.
+    pub ras_scale: f64,
+}
+
+impl crate::slack::SlackModel for TemperatureScaledSlack {
+    fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        let dv = self.cell.delta_v(elapsed_ns).max(self.reference_min_dv * 1e-3);
+        self.sense_amp.slack_ns(dv, self.reference_min_dv)
+    }
+
+    fn tras_slack_ns(&self, elapsed_ns: f64) -> f64 {
+        self.ras_scale * self.trcd_slack_ns(elapsed_ns)
+    }
+
+    fn retention_ns(&self) -> f64 {
+        self.cell.retention_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack::SlackModel;
+
+    #[test]
+    fn leakage_doubles_per_step() {
+        let t = TemperatureModel::default();
+        assert!((t.leakage_factor(85.0) - 1.0).abs() < 1e-12);
+        assert!((t.leakage_factor(97.0) - 2.0).abs() < 1e-12);
+        assert!((t.leakage_factor(73.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotter_cells_have_less_slack() {
+        let t = TemperatureModel::default();
+        let cool = t.slack_model_at(85.0);
+        let hot = t.slack_model_at(105.0);
+        for elapsed in [1.0e6, 10.0e6, 30.0e6] {
+            assert!(
+                hot.trcd_slack_ns(elapsed) < cool.trcd_slack_ns(elapsed),
+                "at {elapsed} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_silicon_keeps_or_gains_partitions() {
+        // The first-principles exponential model is slightly more
+        // conservative than the paper's calibrated anchors on tRAS
+        // (9.83 vs 10 ns at the PB0 boundary), so the reference corner
+        // supports 4 of the 5 nominal partitions under pure physics;
+        // cooling recovers the fifth.
+        let t = TemperatureModel::default();
+        let base = DramTimings::default();
+        let reference = t.max_pb_at(85.0, &base, 5);
+        assert!(reference >= 4, "reference corner supports >= 4 PBs, got {reference}");
+        let cold = t.max_pb_at(60.0, &base, 5);
+        assert!(cold >= reference, "cold silicon only gains margin");
+        assert_eq!(cold, 5);
+    }
+
+    #[test]
+    fn safe_pb_count_degrades_monotonically_with_heat() {
+        let t = TemperatureModel::default();
+        let base = DramTimings::default();
+        let mut last = usize::MAX;
+        for celsius in [85.0, 95.0, 105.0, 115.0, 125.0, 140.0] {
+            let n = t.max_pb_at(celsius, &base, 5);
+            assert!(n <= last, "{celsius} C: {n} PBs after {last}");
+            last = n;
+        }
+        assert!(last < 5, "extreme heat must cost at least one partition");
+    }
+}

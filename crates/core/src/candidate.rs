@@ -1,0 +1,73 @@
+//! Scheduling candidates: the next required DRAM command of each queued
+//! request, as enumerated by the controller each cycle.
+
+use crate::pbr::BoundaryZone;
+use crate::request::MemoryRequest;
+use nuat_circuit::PbId;
+use nuat_dram::DramCommand;
+use serde::{Deserialize, Serialize};
+
+/// Which command class a candidate belongs to (the condition columns of
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CandidateKind {
+    /// A row activation (`ACT` in Table 1).
+    Activate,
+    /// A column read/write to an open row (`COL`).
+    Column,
+    /// A precharge clearing a row-buffer conflict (`PRE`).
+    Precharge,
+}
+
+/// One issuable-this-cycle scheduling option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The request this command advances.
+    pub request: MemoryRequest,
+    /// The concrete DRAM command.
+    pub command: DramCommand,
+    /// Command class.
+    pub kind: CandidateKind,
+    /// The PB# of the request's row under the current LRRA.
+    pub pb: PbId,
+    /// Element-5 boundary classification of the request's row.
+    pub zone: BoundaryZone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestId, RequestKind};
+    use nuat_types::{Bank, Channel, Col, DecodedAddr, DramTimings, McCycle, Rank, Row};
+
+    #[test]
+    fn candidate_carries_scoring_inputs() {
+        let req = MemoryRequest {
+            id: RequestId(1),
+            core: 0,
+            kind: RequestKind::Read,
+            addr: DecodedAddr {
+                channel: Channel::new(0),
+                rank: Rank::new(0),
+                bank: Bank::new(0),
+                row: Row::new(10),
+                col: Col::new(0),
+            },
+            arrival: McCycle::ZERO,
+        };
+        let c = Candidate {
+            request: req,
+            command: DramCommand::activate_worst_case(
+                Rank::new(0),
+                Bank::new(0),
+                Row::new(10),
+                &DramTimings::default(),
+            ),
+            kind: CandidateKind::Activate,
+            pb: PbId(2),
+            zone: BoundaryZone::Stable,
+        };
+        assert_eq!(c.kind, CandidateKind::Activate);
+        assert_eq!(c.pb, PbId(2));
+    }
+}

@@ -1,0 +1,738 @@
+//! The memory controller: queues + candidate enumeration + refresh
+//! management + one scheduling decision per cycle.
+//!
+//! Each controller owns one channel's [`DramDevice`]. The per-cycle flow
+//! (`tick`) is:
+//!
+//! 1. advance the policy's per-cycle state (PHRC windows),
+//! 2. refresh management: when a rank's refresh batch is pending, stop
+//!    opening new rows there, force columns to auto-precharge, and issue
+//!    the `REF` as soon as every bank is idle,
+//! 3. enumerate the next required command of every queued request,
+//!    keeping only those issuable *this* cycle,
+//! 4. let the policy pick one and issue it,
+//! 5. if nothing else issued and a refresh is pending, force-close an
+//!    open bank.
+//!
+//! Candidate legality is pre-filtered with cheap per-bank/per-rank gate
+//! checks that mirror the device's rule set; the final `issue` call
+//! re-validates everything (including the charge-physics check), so any
+//! divergence between the two is caught immediately.
+
+use crate::candidate::{Candidate, CandidateKind};
+use crate::pbr::PbrAcquisition;
+use crate::queues::RequestQueues;
+use crate::request::{MemoryRequest, RequestId, RequestKind};
+use crate::scheduler::{PolicyView, SchedulerKind, SchedulerPolicy};
+use crate::stats::ControllerStats;
+use nuat_circuit::PbGrouping;
+use nuat_dram::{BankState, DramCommand, DramDevice, RefreshEngine};
+use nuat_types::{Bank, McCycle, PhysAddr, Rank, Row, SystemConfig};
+
+/// A read request whose data has returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The finished request.
+    pub request: MemoryRequest,
+    /// Cycle the last data beat arrived.
+    pub done: McCycle,
+}
+
+/// One channel's memory controller. See the module docs.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: SystemConfig,
+    device: DramDevice,
+    queues: RequestQueues,
+    policy: Box<dyn SchedulerPolicy>,
+    pbr: PbrAcquisition,
+    stats: ControllerStats,
+    completions: Vec<Completion>,
+    now: McCycle,
+    /// Opt-in stall diagnostics (set `NUAT_STALL_DEBUG=<cycles>`): dump
+    /// queue/bank state when a request has waited this long.
+    stall_debug: Option<u64>,
+    stall_reported: bool,
+    /// Per-rank cycles with no queued work (drives power-down entry).
+    rank_idle_cycles: Vec<u64>,
+}
+
+impl MemoryController {
+    /// Builds a controller with the paper's 5PB grouping.
+    pub fn new(cfg: SystemConfig, kind: SchedulerKind) -> Self {
+        Self::with_grouping(cfg, kind, PbGrouping::paper(5))
+    }
+
+    /// Builds a controller with an explicit PB grouping (the #PB
+    /// sensitivity axis of Fig. 21).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_grouping(cfg: SystemConfig, kind: SchedulerKind, grouping: PbGrouping) -> Self {
+        let pbr =
+            PbrAcquisition::new(grouping.clone(), cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        let policy = kind.build(&pbr, &cfg.dram.timings);
+        Self::with_policy(cfg, policy, grouping)
+    }
+
+    /// Builds a controller around a caller-supplied scheduling policy.
+    /// This is the extension point for custom schedulers; note that the
+    /// DRAM device validates every activation's promised timings against
+    /// the row's charge state, so a policy that over-promises panics the
+    /// controller rather than corrupting the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_policy(
+        cfg: SystemConfig,
+        policy: Box<dyn SchedulerPolicy>,
+        grouping: PbGrouping,
+    ) -> Self {
+        cfg.validate().expect("invalid system config");
+        let mut device = DramDevice::new(cfg.dram);
+        let mut pbr =
+            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        // Postponement and its PBR derate must travel together (the
+        // device's charge validator enforces this pairing at run time).
+        device.set_refresh_postpone_budget(cfg.controller.refresh_postpone_batches);
+        pbr.set_postpone_derate(cfg.controller.refresh_postpone_batches);
+        let banks =
+            (cfg.dram.geometry.ranks_per_channel * cfg.dram.geometry.banks_per_rank) as usize;
+        let stats = ControllerStats::new(cfg.processor.cores, pbr.n_pb(), banks);
+        MemoryController {
+            queues: RequestQueues::new(cfg.controller),
+            device,
+            policy,
+            pbr,
+            stats,
+            completions: Vec::new(),
+            now: McCycle::ZERO,
+            stall_debug: std::env::var("NUAT_STALL_DEBUG").ok().and_then(|v| v.parse().ok()),
+            stall_reported: false,
+            rank_idle_cycles: vec![0; cfg.dram.geometry.ranks_per_channel as usize],
+            cfg,
+        }
+    }
+
+    /// Current controller cycle.
+    pub fn now(&self) -> McCycle {
+        self.now
+    }
+
+    /// The DRAM device (for inspection).
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The queues (occupancy, drain mode).
+    pub fn queues(&self) -> &RequestQueues {
+        &self.queues
+    }
+
+    /// The PBR acquisition block in use.
+    pub fn pbr(&self) -> &PbrAcquisition {
+        &self.pbr
+    }
+
+    /// The policy's internal hit-rate estimate, if it keeps one (the
+    /// PHRC value for NUAT; `None` for the baselines).
+    pub fn pseudo_hit_rate(&self) -> Option<f64> {
+        self.policy.pseudo_hit_rate()
+    }
+
+    /// Starts recording every accepted DRAM command into a ring buffer
+    /// (see `nuat_dram::CommandLog` for dumping and replay validation).
+    pub fn enable_command_logging(&mut self, capacity: usize) {
+        self.device.enable_logging(capacity);
+    }
+
+    /// Resets the accumulated statistics (warmup support): counters and
+    /// histograms restart from zero while all simulation state — queues,
+    /// bank states, charge, refresh position — is preserved.
+    pub fn reset_stats(&mut self) {
+        let banks =
+            (self.cfg.dram.geometry.ranks_per_channel * self.cfg.dram.geometry.banks_per_rank)
+                as usize;
+        self.stats = ControllerStats::new(self.cfg.processor.cores, self.pbr.n_pb(), banks);
+    }
+
+    /// True if a request of `kind` can be accepted this cycle.
+    pub fn can_accept(&self, kind: RequestKind) -> bool {
+        self.queues.has_room(kind)
+    }
+
+    /// Enqueues a memory access. The address is decoded with the
+    /// configured mapping; this controller serves channel 0 of the
+    /// decode (callers with multiple channels route beforehand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target queue is full (check
+    /// [`can_accept`](Self::can_accept)).
+    pub fn enqueue(&mut self, core: usize, kind: RequestKind, addr: PhysAddr) -> RequestId {
+        let decoded = self.cfg.dram.geometry.decode(addr, self.cfg.controller.mapping);
+        self.enqueue_decoded(core, kind, decoded)
+    }
+
+    /// Enqueues an already-decoded request (multi-channel callers route
+    /// on the decoded channel and hand each controller its share; the
+    /// channel field itself is ignored here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target queue is full.
+    pub fn enqueue_decoded(
+        &mut self,
+        core: usize,
+        kind: RequestKind,
+        addr: nuat_types::DecodedAddr,
+    ) -> RequestId {
+        self.queues.push(MemoryRequest {
+            id: RequestId(0), // assigned by the queue
+            core,
+            kind,
+            addr,
+            arrival: self.now,
+        })
+    }
+
+    /// Drains the completed reads recorded since the last call.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// True when no request is queued (used by run loops to terminate).
+    pub fn is_idle(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Advances one controller cycle, issuing at most one command.
+    pub fn tick(&mut self) {
+        self.policy.on_cycle();
+        self.stats.total_cycles += 1;
+
+        if let Some(threshold) = self.stall_debug {
+            if !self.stall_reported {
+                if let Some(stuck) =
+                    self.queues.iter().find(|r| r.wait_cycles(self.now) > threshold)
+                {
+                    self.stall_reported = true;
+                    eprintln!("[stall @{}] stuck: {}", self.now, stuck);
+                    eprintln!(
+                        "  mode {:?}, occupancy {:?}",
+                        self.queues.mode(),
+                        self.queues.occupancy()
+                    );
+                    for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
+                        let bv = self.device.bank(stuck.addr.rank, Bank::new(b));
+                        eprintln!("  bank {b}: {:?} earliest_pre {}", bv.state, bv.earliest_pre);
+                    }
+                }
+            }
+        }
+
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+
+        // Power management: wake ranks with work or a due refresh; send
+        // long-idle ranks to power-down (closing parked rows first).
+        if self.cfg.controller.powerdown_after_idle > 0 && self.manage_power(ranks) {
+            self.now += 1;
+            return;
+        }
+
+        let postponing = self.cfg.controller.refresh_postpone_batches > 0;
+        let pending: Vec<bool> = (0..ranks)
+            .map(|r| {
+                use nuat_dram::refresh::RefreshUrgency::*;
+                match self.device.refresh_engine(Rank::new(r as u32)).urgency(self.now) {
+                    NotDue => false,
+                    Overdue => true,
+                    // With a postpone budget, due-but-not-overdue
+                    // refreshes yield to queued demand requests; without
+                    // one, the lead window drains promptly (the paper's
+                    // assumption).
+                    Pending | Postponable => !postponing || self.queues.is_empty(),
+                }
+            })
+            .collect();
+
+        // (2) Issue a due refresh the moment it is legal.
+        for (r, &p) in pending.iter().enumerate() {
+            if !p {
+                continue;
+            }
+            let rank = Rank::new(r as u32);
+            let cmd = DramCommand::Refresh { rank };
+            if self.device.can_issue(&cmd, self.now).is_ok() {
+                self.device.issue(cmd, self.now).expect("checked");
+                self.stats.refreshes += 1;
+                self.stats.busy_cycles += 1;
+                self.now += 1;
+                return;
+            }
+        }
+
+        // (3) Candidate enumeration.
+        let lrras: Vec<Row> =
+            (0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()).collect();
+        let candidates = self.enumerate_candidates(&lrras, &pending);
+
+        // (4) Policy decision.
+        let choice = {
+            let view =
+                PolicyView { now: self.now, mode: self.queues.mode(), lrras: &lrras, pbr: &self.pbr };
+            self.policy.choose(&view, &candidates)
+        };
+        if let Some(i) = choice {
+            let cand = candidates[i];
+            self.issue_candidate(cand);
+            self.now += 1;
+            return;
+        }
+
+        // (5) Refresh-pending fallback: force-close an open bank.
+        for (r, &p) in pending.iter().enumerate() {
+            if !p {
+                continue;
+            }
+            let rank = Rank::new(r as u32);
+            for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
+                let bank = Bank::new(b);
+                let cmd = DramCommand::Precharge { rank, bank };
+                if matches!(self.device.bank(rank, bank).state, BankState::Active { .. })
+                    && self.device.can_issue(&cmd, self.now).is_ok()
+                {
+                    self.device.issue(cmd, self.now).expect("checked");
+                    self.stats.precharges += 1;
+                    self.stats.busy_cycles += 1;
+                    self.now += 1;
+                    return;
+                }
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Runs `cycles` ticks.
+    pub fn run_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    fn enumerate_candidates(&mut self, lrras: &[Row], pending: &[bool]) -> Vec<Candidate> {
+        let mut out = Vec::with_capacity(16);
+        let view = PolicyView { now: self.now, mode: self.queues.mode(), lrras, pbr: &self.pbr };
+        // Track which (rank, bank) already produced an ACT or PRE this
+        // cycle so duplicates do not inflate the candidate list.
+        let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
+        let total_banks = self.cfg.dram.geometry.ranks_per_channel as usize * banks_per_rank;
+        let mut act_seen = vec![false; total_banks];
+        let mut pre_seen = vec![false; total_banks];
+
+        for req in self.queues.iter() {
+            let rank = req.addr.rank;
+            let bank = req.addr.bank;
+            let bv = self.device.bank(rank, bank);
+            let key = rank.index() * banks_per_rank + bank.index();
+            let lrra = lrras[rank.index()];
+            let pb = self.pbr.pb(lrra, req.addr.row);
+            let zone = self.pbr.boundary_zone(lrra, req.addr.row);
+
+            match bv.state {
+                BankState::Active { row, .. } if row == req.addr.row => {
+                    // Column candidate.
+                    let gate = match req.kind {
+                        RequestKind::Read => bv.earliest_read,
+                        RequestKind::Write => bv.earliest_write,
+                    };
+                    if self.now < gate {
+                        continue;
+                    }
+                    // NUAT's close-page decisions preserve imminent hits:
+                    // a row some other queued request still needs stays
+                    // open. The FR-FCFS(close) baseline stays pure.
+                    let auto = pending[rank.index()]
+                        || (self.policy.auto_precharge(&view, req)
+                            && !(self.policy.preserve_pending_hits()
+                                && self.queues.any_other_request_hits(
+                                    rank,
+                                    bank,
+                                    req.addr.row,
+                                    req.id,
+                                )));
+                    let command = match req.kind {
+                        RequestKind::Read => DramCommand::Read {
+                            rank,
+                            bank,
+                            col: req.addr.col,
+                            auto_precharge: auto,
+                        },
+                        RequestKind::Write => DramCommand::Write {
+                            rank,
+                            bank,
+                            col: req.addr.col,
+                            auto_precharge: auto,
+                        },
+                    };
+                    if self.device.can_issue(&command, self.now).is_ok() {
+                        out.push(Candidate {
+                            request: *req,
+                            command,
+                            kind: CandidateKind::Column,
+                            pb,
+                            zone,
+                        });
+                    }
+                }
+                BankState::Active { row, .. } => {
+                    // Conflict: consider precharging, but never close a
+                    // row some queued request still hits.
+                    if pre_seen[key] || self.queues.any_request_hits(rank, bank, row) {
+                        continue;
+                    }
+                    let command = DramCommand::Precharge { rank, bank };
+                    if self.device.can_issue(&command, self.now).is_ok() {
+                        pre_seen[key] = true;
+                        out.push(Candidate {
+                            request: *req,
+                            command,
+                            kind: CandidateKind::Precharge,
+                            pb,
+                            zone,
+                        });
+                    }
+                }
+                BankState::Idle => {
+                    // Activation candidate (blocked while refresh pends).
+                    if pending[rank.index()] || act_seen[key] {
+                        continue;
+                    }
+                    let timings = self.policy.act_timings(&view, req);
+                    let command =
+                        DramCommand::Activate { rank, bank, row: req.addr.row, timings };
+                    match self.device.can_issue(&command, self.now) {
+                        Ok(()) => {
+                            act_seen[key] = true;
+                            out.push(Candidate {
+                                request: *req,
+                                command,
+                                kind: CandidateKind::Activate,
+                                pb,
+                                zone,
+                            });
+                        }
+                        Err(e) if e.is_too_early() => {}
+                        // A non-timing rejection (physical violation,
+                        // protocol misuse) would silently starve the
+                        // request forever — that is always a bug.
+                        Err(e) => panic!("illegal ACT candidate {command}: {e}"),
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn issue_candidate(&mut self, cand: Candidate) {
+        let done = self
+            .device
+            .issue(cand.command, self.now)
+            .unwrap_or_else(|e| panic!("scheduler issued illegal command {}: {e}", cand.command));
+        self.stats.busy_cycles += 1;
+        self.policy.observe_issue(&cand);
+        match cand.kind {
+            CandidateKind::Activate => {
+                match cand.request.kind {
+                    RequestKind::Read => self.stats.acts_for_reads += 1,
+                    RequestKind::Write => self.stats.acts_for_writes += 1,
+                }
+                self.stats.pb_act_histogram[cand.pb.index()] += 1;
+                let bi = self.bank_index(&cand);
+                self.stats.per_bank_acts[bi] += 1;
+            }
+            CandidateKind::Column => {
+                self.queues.remove(cand.request.id);
+                match cand.request.kind {
+                    RequestKind::Read => {
+                        self.stats.cols_read += 1;
+                        let latency = done - cand.request.arrival;
+                        self.stats.record_read(cand.request.core, latency);
+                        self.stats.per_pb_reads[cand.pb.index()] += 1;
+                        self.stats.per_pb_read_latency[cand.pb.index()] += latency;
+                        self.completions.push(Completion { request: cand.request, done });
+                    }
+                    RequestKind::Write => {
+                        self.stats.cols_write += 1;
+                        self.stats.writes_drained += 1;
+                    }
+                }
+            }
+            CandidateKind::Precharge => {
+                self.stats.precharges += 1;
+                let bi = self.bank_index(&cand);
+                self.stats.per_bank_conflicts[bi] += 1;
+            }
+        }
+    }
+
+    /// Per-cycle CKE management: ranks with queued work or a due
+    /// refresh are woken (paying tXP through the device's earliest-time
+    /// registers); ranks idle beyond the configured threshold close any
+    /// parked rows and enter precharge power-down. Returns true if a
+    /// precharge consumed this cycle's command slot.
+    fn manage_power(&mut self, ranks: usize) -> bool {
+        for r in 0..ranks {
+            let rank = Rank::new(r as u32);
+            let has_work = self.queues.iter().any(|q| q.addr.rank == rank);
+            let refresh_soon = {
+                use nuat_dram::refresh::RefreshUrgency;
+                self.device.refresh_engine(rank).urgency(self.now) != RefreshUrgency::NotDue
+            };
+            if self.device.is_powered_down(rank) {
+                if has_work || refresh_soon {
+                    self.device.power_up(rank, self.now);
+                    self.rank_idle_cycles[r] = 0;
+                }
+                continue;
+            }
+            if has_work || refresh_soon {
+                self.rank_idle_cycles[r] = 0;
+                continue;
+            }
+            self.rank_idle_cycles[r] += 1;
+            if self.rank_idle_cycles[r] < self.cfg.controller.powerdown_after_idle {
+                continue;
+            }
+            if self.device.all_banks_idle(rank) {
+                self.device.power_down(rank, self.now);
+                continue;
+            }
+            // Close one parked row per cycle until the rank can sleep.
+            for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
+                let bank = Bank::new(b);
+                let cmd = DramCommand::Precharge { rank, bank };
+                if matches!(self.device.bank(rank, bank).state, BankState::Active { .. })
+                    && self.device.can_issue(&cmd, self.now).is_ok()
+                {
+                    self.device.issue(cmd, self.now).expect("checked");
+                    self.stats.precharges += 1;
+                    self.stats.busy_cycles += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn bank_index(&self, cand: &Candidate) -> usize {
+        cand.request.addr.rank.index() * self.cfg.dram.geometry.banks_per_rank as usize
+            + cand.request.addr.bank.index()
+    }
+
+    /// The refresh engine of one rank (stats/tests).
+    pub fn refresh_engine(&self, rank: Rank) -> &RefreshEngine {
+        self.device.refresh_engine(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::AddressMapping;
+
+    fn addr_for(row: u32, bank: u32, col: u32) -> PhysAddr {
+        let g = nuat_types::DramGeometry::default();
+        g.encode(
+            nuat_types::DecodedAddr {
+                channel: nuat_types::Channel::new(0),
+                rank: Rank::new(0),
+                bank: Bank::new(bank),
+                row: Row::new(row),
+                col: nuat_types::Col::new(col),
+            },
+            AddressMapping::OpenPageBaseline,
+        )
+        .unwrap()
+    }
+
+    fn controller(kind: SchedulerKind) -> MemoryController {
+        MemoryController::new(SystemConfig::default(), kind)
+    }
+
+    #[test]
+    fn single_read_completes_with_act_plus_cas_latency() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.run_for(100);
+        let done = mc.take_completions();
+        assert_eq!(done.len(), 1);
+        // ACT at cycle 0 is impossible (enqueue at 0, tick scheduling at
+        // 0 sees it), ACT@0, RD@12, data done 12+15 = 27.
+        let latency = done[0].done - done[0].request.arrival;
+        assert_eq!(latency, 27);
+        assert_eq!(mc.stats().reads_completed, 1);
+        assert_eq!(mc.stats().avg_read_latency(), 27.0);
+    }
+
+    #[test]
+    fn row_hits_skip_the_activation() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 1));
+        mc.run_for(200);
+        assert_eq!(mc.stats().reads_completed, 2);
+        assert_eq!(mc.stats().acts_for_reads, 1, "second read must hit");
+        assert!(mc.stats().read_hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn close_page_policy_precharges_once_pending_hits_drain() {
+        // USIMM-style close page: the row stays open while another
+        // queued request still hits it, then auto-precharges.
+        let mut mc = controller(SchedulerKind::FrFcfsClose);
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 1));
+        mc.run_for(300);
+        assert_eq!(mc.stats().reads_completed, 2);
+        assert_eq!(mc.stats().acts_for_reads, 1, "second read rides the open row");
+        // A later read to the same row re-activates: the row closed
+        // after the queue drained.
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 2));
+        mc.run_for(300);
+        assert_eq!(mc.stats().acts_for_reads, 2, "row was auto-precharged");
+    }
+
+    #[test]
+    fn conflicting_rows_precharge_then_activate() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.enqueue(0, RequestKind::Read, addr_for(200, 0, 0));
+        mc.run_for(300);
+        assert_eq!(mc.stats().reads_completed, 2);
+        assert_eq!(mc.stats().acts_for_reads, 2);
+        assert_eq!(mc.stats().precharges, 1);
+    }
+
+    #[test]
+    fn writes_drain_at_high_watermark() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        // One read to keep read mode busy, then flood writes past HW.
+        for i in 0..41 {
+            mc.enqueue(0, RequestKind::Write, addr_for(i, (i % 8), 0));
+        }
+        assert_eq!(mc.queues().occupancy().1, 41);
+        mc.run_for(4000);
+        assert!(mc.stats().writes_drained > 20, "drain mode must engage");
+    }
+
+    #[test]
+    fn nuat_uses_reduced_timings_for_fresh_rows() {
+        let mut mc = controller(SchedulerKind::Nuat);
+        // LRRA starts at 8191, so row 8191 is PB0.
+        mc.enqueue(0, RequestKind::Read, addr_for(8191, 0, 0));
+        mc.run_for(100);
+        assert_eq!(mc.stats().reads_completed, 1);
+        assert_eq!(mc.device().stats().reduced_activates, 1);
+        assert_eq!(mc.device().stats().trcd_cycles_saved, 4);
+    }
+
+    #[test]
+    fn nuat_never_violates_physics_across_many_rows() {
+        let mut mc = controller(SchedulerKind::Nuat);
+        // Rows spanning every PB; issue_candidate panics on violation.
+        for (i, row) in [8191u32, 8000, 7000, 5000, 2000, 0, 42, 4242].into_iter().enumerate() {
+            mc.enqueue(0, RequestKind::Read, addr_for(row, (i % 8) as u32, 0));
+        }
+        mc.run_for(2000);
+        assert_eq!(mc.stats().reads_completed, 8);
+    }
+
+    #[test]
+    fn refresh_batches_are_issued_on_schedule() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        // Run past several refresh due times with no traffic.
+        mc.run_for(8 * 6250 * 3 + 1000);
+        assert!(mc.stats().refreshes >= 3);
+        assert_eq!(mc.refresh_engine(Rank::new(0)).batches_done(), mc.stats().refreshes);
+    }
+
+    #[test]
+    fn refresh_preempts_open_rows() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        // Open a row just before the refresh window and keep hitting it.
+        let due = mc.refresh_engine(Rank::new(0)).next_due().raw();
+        while mc.now().raw() < due - 200 {
+            mc.tick();
+        }
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.run_for(1000);
+        assert!(mc.stats().refreshes >= 1, "refresh must get through");
+        assert_eq!(mc.stats().reads_completed, 1);
+    }
+
+    #[test]
+    fn completion_latency_includes_queueing() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        // Two conflicting requests: the second's latency includes the
+        // first's row cycle.
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.enqueue(0, RequestKind::Read, addr_for(200, 0, 0));
+        mc.run_for(400);
+        let dones = mc.take_completions();
+        assert_eq!(dones.len(), 2);
+        let l0 = dones[0].done - dones[0].request.arrival;
+        let l1 = dones[1].done - dones[1].request.arrival;
+        assert!(l1 > l0 + 20, "conflict latency {l1} must exceed hit path {l0}");
+    }
+
+    #[test]
+    fn power_management_sleeps_idle_ranks_and_wakes_for_work() {
+        let mut cfg = SystemConfig::default();
+        cfg.controller.powerdown_after_idle = 100;
+        let mut mc = MemoryController::new(cfg, SchedulerKind::FrFcfsOpen);
+        mc.run_for(500);
+        assert!(mc.device().is_powered_down(Rank::new(0)), "idle rank must sleep");
+        // Work arrives: rank wakes, pays tXP, read completes.
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.run_for(200);
+        assert_eq!(mc.stats().reads_completed, 1);
+        assert!(mc.device().powerdown_cycles(Rank::new(0)) > 300);
+        // The wake-up latency shows in the read (ACT waits for tXP).
+        assert!(mc.stats().min_read_latency.unwrap() >= 27);
+    }
+
+    #[test]
+    fn power_management_wakes_for_refresh() {
+        let mut cfg = SystemConfig::default();
+        cfg.controller.powerdown_after_idle = 100;
+        let mut mc = MemoryController::new(cfg, SchedulerKind::FrFcfsOpen);
+        // Run through two refresh deadlines with no traffic at all.
+        mc.run_for(2 * 50_000 + 1_000);
+        assert_eq!(mc.refresh_engine(Rank::new(0)).batches_done(), 2);
+        assert!(mc.device().is_powered_down(Rank::new(0)), "back to sleep after REF");
+    }
+
+    #[test]
+    fn is_idle_reflects_queue_state() {
+        let mut mc = controller(SchedulerKind::FrFcfsOpen);
+        assert!(mc.is_idle());
+        mc.enqueue(0, RequestKind::Read, addr_for(1, 0, 0));
+        assert!(!mc.is_idle());
+        mc.run_for(100);
+        assert!(mc.is_idle());
+    }
+}

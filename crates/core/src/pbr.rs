@@ -1,0 +1,299 @@
+//! PBR acquisition block (paper §5): derives PB# — the access-speed
+//! class of a row — from the refresh position (LRRA) and the row address.
+//!
+//! Implements the modified two-step acquisition of §5.3:
+//!
+//! 1. linear division (eq. 2): `PRE_PB# = (LRRA − RRA) >> (log2 #R − log2 #LP)`
+//! 2. non-linear grouping: `PB# = group(PRE_PB#)` per the circuit-derived
+//!    [`PbGrouping`].
+//!
+//! It also classifies rows near PB boundaries into the *warning* /
+//! *promising* zones of Element 5 (Fig. 14): a row whose PB# will change
+//! at the next refresh batch is in a transition region; if it is in the
+//! last (slowest) PB it is about to be refreshed (promising — wait and
+//! it becomes fast), otherwise it is about to get slower (warning —
+//! activate it now).
+
+use nuat_circuit::{PbGrouping, PbId};
+use nuat_types::{DramTimings, Row, RowTimings};
+use serde::{Deserialize, Serialize};
+
+/// Boundary classification for Element 5 of the NUAT table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundaryZone {
+    /// Not within a transition region.
+    Stable,
+    /// PB# will increase after the next refresh batch: schedule soon.
+    Warning,
+    /// The row is in the last PB and about to be refreshed into PB0:
+    /// deprioritize, it is about to become fast.
+    Promising,
+}
+
+/// The PBR acquisition block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbrAcquisition {
+    grouping: PbGrouping,
+    rows_per_bank: u64,
+    /// `log2 #R − log2 #LP`: the right-shift of equations (1)/(2).
+    shift: u32,
+    /// Rows refreshed per batch (how far LRRA jumps at once).
+    batch_rows: u64,
+    /// Rows added to every distance to stay conservative under refresh
+    /// postponement (budget × batch size); see
+    /// [`set_postpone_derate`](Self::set_postpone_derate).
+    derate_rows: u64,
+}
+
+impl PbrAcquisition {
+    /// Builds the block for a bank of `rows_per_bank` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_bank` is not a power of two or is smaller
+    /// than the grouping's `#LP`.
+    pub fn new(grouping: PbGrouping, rows_per_bank: u64, timings: &DramTimings) -> Self {
+        assert!(rows_per_bank.is_power_of_two(), "#R must be a power of two");
+        let row_bits = rows_per_bank.trailing_zeros();
+        let lp_bits = grouping.n_lp().trailing_zeros();
+        assert!(row_bits >= lp_bits, "#LP cannot exceed #R");
+        PbrAcquisition {
+            grouping,
+            rows_per_bank,
+            shift: row_bits - lp_bits,
+            batch_rows: timings.rows_per_refresh_batch(),
+            derate_rows: 0,
+        }
+    }
+
+    /// Derates every PB assignment for a refresh-postponement budget of
+    /// `batches` REF commands: a postponed schedule lets every row decay
+    /// up to `batches × batch_interval` longer than its LRRA distance
+    /// implies, which is exactly `batches × batch_rows` rows of extra
+    /// distance. Adding that to the distance keeps the PB# (and thus the
+    /// promised timings) conservative — required whenever the refresh
+    /// engine's postpone budget is nonzero.
+    pub fn set_postpone_derate(&mut self, batches: u64) {
+        self.derate_rows = batches * self.batch_rows;
+    }
+
+    /// The paper's default: 5 PBs, `#LP = 32`, Table 3 geometry/timings.
+    pub fn paper_default() -> Self {
+        Self::new(PbGrouping::paper(5), 8192, &DramTimings::default())
+    }
+
+    /// The PB grouping in use.
+    pub fn grouping(&self) -> &PbGrouping {
+        &self.grouping
+    }
+
+    /// Row distance `(LRRA − RRA) mod #R`, plus the postponement derate
+    /// (saturating at the slowest position).
+    fn distance(&self, lrra: Row, row: Row) -> u64 {
+        let d = (lrra.as_u64() + self.rows_per_bank - row.as_u64()) % self.rows_per_bank;
+        (d + self.derate_rows).min(self.rows_per_bank - 1)
+    }
+
+    /// Linear division — equation (2) of the paper.
+    pub fn pre_pb(&self, lrra: Row, row: Row) -> u32 {
+        (self.distance(lrra, row) >> self.shift) as u32
+    }
+
+    /// Full two-step acquisition: the PB# of `row` given the current
+    /// LRRA.
+    pub fn pb(&self, lrra: Row, row: Row) -> PbId {
+        self.grouping.pb_of_pre(self.pre_pb(lrra, row))
+    }
+
+    /// The activation timings the controller may use for `row` right
+    /// now.
+    pub fn timings(&self, lrra: Row, row: Row) -> RowTimings {
+        self.grouping.timings(self.pb(lrra, row))
+    }
+
+    /// Element-5 classification: does the next refresh batch move this
+    /// row into a different PB, and in which direction?
+    pub fn boundary_zone(&self, lrra: Row, row: Row) -> BoundaryZone {
+        let now_pb = self.pb(lrra, row);
+        // After the next batch, LRRA advances by `batch_rows`, so the
+        // row's distance grows by the same amount (unless the batch
+        // refreshes this very row, wrapping it to distance ~0).
+        let d = self.distance(lrra, row);
+        let next_d = d + self.batch_rows;
+        let next_pb = if next_d >= self.rows_per_bank {
+            PbId(0) // the row itself gets refreshed
+        } else {
+            self.grouping.pb_of_pre((next_d >> self.shift) as u32)
+        };
+        if next_pb == now_pb {
+            BoundaryZone::Stable
+        } else if now_pb == self.grouping.last_pb() {
+            BoundaryZone::Promising
+        } else {
+            BoundaryZone::Warning
+        }
+    }
+
+    /// Number of partitions (`#P`, the `#D` of Table 1).
+    pub fn n_pb(&self) -> usize {
+        self.grouping.n_pb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pbr() -> PbrAcquisition {
+        PbrAcquisition::paper_default()
+    }
+
+    #[test]
+    fn shift_matches_equation_two() {
+        // log2 8192 - log2 32 = 13 - 5 = 8.
+        assert_eq!(pbr().shift, 8);
+    }
+
+    #[test]
+    fn just_refreshed_row_is_pb0() {
+        let p = pbr();
+        let lrra = Row::new(1000);
+        assert_eq!(p.pre_pb(lrra, Row::new(1000)), 0);
+        assert_eq!(p.pb(lrra, Row::new(1000)), PbId(0));
+        assert_eq!(p.timings(lrra, Row::new(1000)), RowTimings::new(8, 22, 12));
+    }
+
+    #[test]
+    fn next_to_refresh_row_is_last_pb() {
+        let p = pbr();
+        let lrra = Row::new(1000);
+        // Row 1001 is the next to be refreshed: distance 8191.
+        assert_eq!(p.pre_pb(lrra, Row::new(1001)), 31);
+        assert_eq!(p.pb(lrra, Row::new(1001)), PbId(4));
+        assert_eq!(p.timings(lrra, Row::new(1001)), RowTimings::new(12, 30, 12));
+    }
+
+    #[test]
+    fn distances_wrap_correctly() {
+        let p = pbr();
+        let lrra = Row::new(7);
+        assert_eq!(p.distance(lrra, Row::new(7)), 0);
+        assert_eq!(p.distance(lrra, Row::new(0)), 7);
+        assert_eq!(p.distance(lrra, Row::new(8)), 8191);
+    }
+
+    #[test]
+    fn pb_boundaries_follow_table4() {
+        let p = pbr();
+        let lrra = Row::new(8191);
+        // PRE_PB windows are 256 rows; Table 4 boundaries at PRE 3/8/14/22.
+        let cases = [
+            (0u64, PbId(0)),
+            (3 * 256 - 1, PbId(0)),
+            (3 * 256, PbId(1)),
+            (8 * 256 - 1, PbId(1)),
+            (8 * 256, PbId(2)),
+            (14 * 256, PbId(3)),
+            (22 * 256, PbId(4)),
+            (8191, PbId(4)),
+        ];
+        for (dist, pb) in cases {
+            let row = Row::new(((8191 + 8192 - dist) % 8192) as u32);
+            assert_eq!(p.pb(lrra, row), pb, "distance {dist}");
+        }
+    }
+
+    #[test]
+    fn boundary_zone_warning_for_inner_boundaries() {
+        let p = pbr();
+        let lrra = Row::new(8191);
+        // Distance 3*256 - 8 .. 3*256 - 1 will cross into PB1 next batch.
+        let dist = 3 * 256 - 4;
+        let row = Row::new(((8191 + 8192 - dist) % 8192) as u32);
+        assert_eq!(p.pb(lrra, row), PbId(0));
+        assert_eq!(p.boundary_zone(lrra, row), BoundaryZone::Warning);
+        // Well inside PB0: stable.
+        let row = Row::new(8191 - 100);
+        assert_eq!(p.boundary_zone(lrra, row), BoundaryZone::Stable);
+    }
+
+    #[test]
+    fn boundary_zone_promising_for_rows_about_to_refresh() {
+        let p = pbr();
+        let lrra = Row::new(8191);
+        // Distance 8191 - 3: refreshed within the next batch -> PB0.
+        let dist = 8188;
+        let row = Row::new(((8191 + 8192 - dist) % 8192) as u32);
+        assert_eq!(p.pb(lrra, row), PbId(4));
+        assert_eq!(p.boundary_zone(lrra, row), BoundaryZone::Promising);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_rows() {
+        PbrAcquisition::new(PbGrouping::paper(5), 1000, &DramTimings::default());
+    }
+
+    #[test]
+    fn postpone_derate_shifts_assignments_conservatively() {
+        let mut derated = pbr();
+        derated.set_postpone_derate(8); // 64 rows of derate
+        let plain = pbr();
+        let lrra = Row::new(8191);
+        for dist in [0u64, 700, 760, 2047, 2048, 8000, 8191] {
+            let row = Row::new(((8191 + 8192 - dist) % 8192) as u32);
+            let d_pb = derated.pb(lrra, row);
+            // The derated PB equals the plain PB of a row 64 further back.
+            let shifted = (dist + 64).min(8191);
+            let shifted_row = Row::new(((8191 + 8192 - shifted) % 8192) as u32);
+            assert_eq!(d_pb, plain.pb(lrra, shifted_row), "distance {dist}");
+            // Never faster than the plain assignment.
+            assert!(d_pb >= plain.pb(lrra, row), "distance {dist}");
+        }
+        // The derated timings are valid even if the refresh of this row
+        // was late by the full budget (8 batches = one extra interval
+        // per batch of lag).
+        let row = Row::new(8191 - 760);
+        let t = derated.timings(lrra, row);
+        assert!(t.trcd >= plain.timings(lrra, row).trcd);
+    }
+
+    proptest! {
+        #[test]
+        fn pb_is_total_and_in_range(lrra in 0u32..8192, row in 0u32..8192) {
+            let p = pbr();
+            let pb = p.pb(Row::new(lrra), Row::new(row));
+            prop_assert!(pb.index() < 5);
+        }
+
+        #[test]
+        fn rotation_invariance(lrra in 0u32..8192, row in 0u32..8192, adv in 0u32..8192) {
+            // Advancing both LRRA and the row by the same amount keeps
+            // the PB# (the rotation of Fig. 1).
+            let p = pbr();
+            let pb1 = p.pb(Row::new(lrra), Row::new(row));
+            let l2 = Row::new((lrra + adv) % 8192);
+            let r2 = Row::new((row + adv) % 8192);
+            prop_assert_eq!(pb1, p.pb(l2, r2));
+        }
+
+        #[test]
+        fn refresh_advance_never_speeds_up_an_unrefreshed_row(
+            lrra in 0u32..8192, row in 0u32..8192
+        ) {
+            // One batch later a row is either refreshed (distance small)
+            // or its PB# is >= the current one.
+            let p = pbr();
+            let before = p.pb(Row::new(lrra), Row::new(row));
+            let lrra2 = Row::new((lrra + 8) % 8192);
+            let after = p.pb(lrra2, Row::new(row));
+            let d_after = p.distance(lrra2, Row::new(row));
+            if d_after >= 8 {
+                prop_assert!(after >= before);
+            } else {
+                prop_assert_eq!(after, PbId(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Pseudo Hit-Rate Calculator (paper §6.1).
+//!
+//! PHRC approximates the current row-buffer hit-rate without storing a
+//! full command history. Only the last *sub-window* of commands is
+//! recorded; the rest of the window is approximated by assuming it
+//! carried the current per-sub-window average (equations (4)–(6)):
+//!
+//! ```text
+//! Window_Ratio = Window / Sub_Window                  (4)
+//! #A           = #Current_Window / Window_Ratio       (5)
+//! #Next_Window = #Current_Window + (#B − #A)          (6)
+//! Hit_Rate     = (#Column − #Activation) / #Column    (3)
+//! ```
+//!
+//! Paper parameters (Table 4): sub-window 1024 cycles, window ratio 256.
+//! The estimator needs only two running sums and two sub-window counters
+//! — 1 K bits of state in hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// The PHRC estimator state.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_core::PseudoHitRate;
+///
+/// let mut phrc = PseudoHitRate::default(); // paper: sub-window 1024, ratio 256
+/// for _ in 0..20_000 {
+///     phrc.observe_column();
+///     phrc.observe_column();
+///     phrc.observe_activation(); // one miss per two columns
+///     for _ in 0..256 {
+///         phrc.tick();
+///     }
+/// }
+/// assert!((phrc.hit_rate() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PseudoHitRate {
+    sub_window_cycles: u64,
+    window_ratio: f64,
+    /// Estimated column accesses in the current window.
+    window_cols: f64,
+    /// Estimated row activations in the current window.
+    window_acts: f64,
+    /// Column accesses observed in the current sub-window.
+    sub_cols: u64,
+    /// Activations observed in the current sub-window.
+    sub_acts: u64,
+    /// Cycles into the current sub-window.
+    cycle_in_sub: u64,
+}
+
+impl Default for PseudoHitRate {
+    fn default() -> Self {
+        Self::new(1024, 256.0)
+    }
+}
+
+impl PseudoHitRate {
+    /// Creates an estimator with the given sub-window length (cycles)
+    /// and window ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero/non-positive.
+    pub fn new(sub_window_cycles: u64, window_ratio: f64) -> Self {
+        assert!(sub_window_cycles > 0, "sub-window must be nonzero");
+        assert!(window_ratio >= 1.0, "window ratio must be >= 1");
+        PseudoHitRate {
+            sub_window_cycles,
+            window_ratio,
+            window_cols: 0.0,
+            window_acts: 0.0,
+            sub_cols: 0,
+            sub_acts: 0,
+            cycle_in_sub: 0,
+        }
+    }
+
+    /// Records an issued column access (read or write).
+    pub fn observe_column(&mut self) {
+        self.sub_cols += 1;
+    }
+
+    /// Records an issued row activation.
+    pub fn observe_activation(&mut self) {
+        self.sub_acts += 1;
+    }
+
+    /// Advances one controller cycle; rolls the sub-window when full
+    /// (equations (5)/(6)).
+    pub fn tick(&mut self) {
+        self.cycle_in_sub += 1;
+        if self.cycle_in_sub >= self.sub_window_cycles {
+            self.cycle_in_sub = 0;
+            let a_cols = self.window_cols / self.window_ratio;
+            let a_acts = self.window_acts / self.window_ratio;
+            self.window_cols = (self.window_cols + self.sub_cols as f64 - a_cols).max(0.0);
+            self.window_acts = (self.window_acts + self.sub_acts as f64 - a_acts).max(0.0);
+            self.sub_cols = 0;
+            self.sub_acts = 0;
+        }
+    }
+
+    /// The current pseudo hit-rate (equation (3)); 0 when no columns
+    /// have been observed yet.
+    pub fn hit_rate(&self) -> f64 {
+        // Include the live sub-window so the estimate has no 1-sub-window
+        // blind spot at startup.
+        let cols = self.window_cols + self.sub_cols as f64;
+        let acts = self.window_acts + self.sub_acts as f64;
+        if cols <= 0.0 {
+            0.0
+        } else {
+            ((cols - acts) / cols).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs `subs` sub-windows, each issuing `cols` columns and `acts`
+    /// activations spread across the window.
+    fn run(p: &mut PseudoHitRate, subs: usize, cols: u64, acts: u64) {
+        for _ in 0..subs {
+            for _ in 0..cols {
+                p.observe_column();
+            }
+            for _ in 0..acts {
+                p.observe_activation();
+            }
+            for _ in 0..1024 {
+                p.tick();
+            }
+        }
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        assert_eq!(PseudoHitRate::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn steady_state_converges_to_true_hit_rate() {
+        let mut p = PseudoHitRate::default();
+        // 10 columns, 3 activations per sub-window -> hit rate 0.7.
+        run(&mut p, 2000, 10, 3);
+        assert!((p.hit_rate() - 0.7).abs() < 0.01, "got {}", p.hit_rate());
+    }
+
+    #[test]
+    fn tracks_phase_changes_with_lag() {
+        let mut p = PseudoHitRate::default();
+        run(&mut p, 2000, 10, 1); // 0.9 steady state
+        let high = p.hit_rate();
+        assert!(high > 0.85);
+        // Switch to a streaming phase: every column misses.
+        run(&mut p, 64, 10, 10);
+        let mid = p.hit_rate();
+        assert!(mid < high, "estimate must move down");
+        assert!(mid > 0.0, "but with tracking lag (Fig. 19's PHRC side-effect)");
+        run(&mut p, 4000, 10, 10);
+        assert!(p.hit_rate() < 0.05);
+    }
+
+    #[test]
+    fn all_hits_and_all_misses_are_the_extremes() {
+        let mut p = PseudoHitRate::default();
+        run(&mut p, 500, 8, 0);
+        assert!(p.hit_rate() > 0.99);
+        let mut p = PseudoHitRate::default();
+        run(&mut p, 500, 8, 8);
+        assert!(p.hit_rate() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_sub_window_rejected() {
+        PseudoHitRate::new(0, 256.0);
+    }
+
+    proptest! {
+        #[test]
+        fn hit_rate_is_always_a_probability(
+            pattern in proptest::collection::vec((0u64..20, 0u64..20), 1..50)
+        ) {
+            let mut p = PseudoHitRate::default();
+            for (cols, acts) in pattern {
+                run(&mut p, 1, cols, acts);
+                let h = p.hit_rate();
+                prop_assert!((0.0..=1.0).contains(&h));
+            }
+        }
+    }
+}

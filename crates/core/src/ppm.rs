@@ -1,0 +1,118 @@
+//! PPM decision maker (paper §6.2): picks the better page mode per PB.
+//!
+//! The break-even row-buffer hit-rate between open- and close-page
+//! operation is `Threshold = tRP / (tRCD + tRP)` (equation (7), from
+//! Jacob et al.). Because each PB has its own tRCD, each PB has its own
+//! threshold (Fig. 12): fast PBs (small tRCD) have *higher* thresholds —
+//! a cheap activation makes close-page attractive more often — so under
+//! one global hit-rate different PBs can sit on different sides of their
+//! thresholds.
+
+use crate::pbr::PbrAcquisition;
+use nuat_circuit::PbId;
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer page-management mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageMode {
+    /// Leave the row open after a column access.
+    Open,
+    /// Close the row (auto-precharge) after a column access.
+    Close,
+}
+
+/// Per-PB page-mode policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpmDecisionMaker {
+    /// `tRP / (tRCD_k + tRP)` per PB.
+    thresholds: Vec<f64>,
+}
+
+impl PpmDecisionMaker {
+    /// Computes the per-PB thresholds from a PBR block's grouping and
+    /// the bank's `tRP`.
+    pub fn new(pbr: &PbrAcquisition, trp: u64) -> Self {
+        let thresholds = (0..pbr.n_pb())
+            .map(|k| {
+                let trcd = pbr.grouping().timings(PbId(k as u8)).trcd;
+                trp as f64 / (trcd + trp) as f64
+            })
+            .collect();
+        PpmDecisionMaker { thresholds }
+    }
+
+    /// Threshold hit-rate of one PB (equation (7)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pb` is out of range.
+    pub fn threshold(&self, pb: PbId) -> f64 {
+        self.thresholds[pb.index()]
+    }
+
+    /// The page mode for `pb` given the current pseudo hit-rate.
+    pub fn mode(&self, pb: PbId, hit_rate: f64) -> PageMode {
+        if hit_rate > self.threshold(pb) {
+            PageMode::Open
+        } else {
+            PageMode::Close
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ppm() -> PpmDecisionMaker {
+        PpmDecisionMaker::new(&PbrAcquisition::paper_default(), 12)
+    }
+
+    #[test]
+    fn thresholds_follow_equation_seven() {
+        let p = ppm();
+        // PB0: 12/(8+12) = 0.6 ... PB4: 12/(12+12) = 0.5.
+        assert!((p.threshold(PbId(0)) - 0.6).abs() < 1e-12);
+        assert!((p.threshold(PbId(1)) - 12.0 / 21.0).abs() < 1e-12);
+        assert!((p.threshold(PbId(4)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_pbs_have_higher_thresholds() {
+        let p = ppm();
+        for k in 0..4u8 {
+            assert!(p.threshold(PbId(k)) > p.threshold(PbId(k + 1)));
+        }
+    }
+
+    #[test]
+    fn mode_splits_across_pbs_at_intermediate_hit_rates() {
+        // At hit-rate 0.55 the slow PBs run open-page while the fast PBs
+        // run close-page — the situation of Fig. 12.
+        let p = ppm();
+        assert_eq!(p.mode(PbId(0), 0.55), PageMode::Close);
+        assert_eq!(p.mode(PbId(4), 0.55), PageMode::Open);
+    }
+
+    #[test]
+    fn extremes_are_uniform() {
+        let p = ppm();
+        for k in 0..5u8 {
+            assert_eq!(p.mode(PbId(k), 0.95), PageMode::Open);
+            assert_eq!(p.mode(PbId(k), 0.05), PageMode::Close);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mode_is_monotone_in_hit_rate(k in 0u8..5, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let p = ppm();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            // Open at a lower rate implies open at any higher rate.
+            if p.mode(PbId(k), lo) == PageMode::Open {
+                prop_assert_eq!(p.mode(PbId(k), hi), PageMode::Open);
+            }
+        }
+    }
+}

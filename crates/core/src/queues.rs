@@ -1,0 +1,241 @@
+//! Read and write queues with the paper's watermark-driven write-drain
+//! hysteresis (Table 1, Element 1; Fig. 13).
+//!
+//! The controller services reads by default. When the write queue fills
+//! to its high watermark it switches to *drain* mode (path ① in Fig. 13)
+//! and prefers writes until occupancy falls to the low watermark (path
+//! ②). Between the watermarks the previous mode persists — the
+//! "Previous Variable" entry of Table 1.
+
+use crate::request::{MemoryRequest, RequestId, RequestKind};
+use nuat_types::ControllerConfig;
+use serde::{Deserialize, Serialize};
+
+/// The two Element-1 hysteresis states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrainMode {
+    /// Reads have priority (Fig. 13 path ② / below LW).
+    ServeReads,
+    /// Writes have priority (Fig. 13 path ① / above HW).
+    DrainWrites,
+}
+
+/// The controller's request queues.
+#[derive(Debug, Clone)]
+pub struct RequestQueues {
+    reads: Vec<MemoryRequest>,
+    writes: Vec<MemoryRequest>,
+    cfg: ControllerConfig,
+    mode: DrainMode,
+    next_id: u64,
+}
+
+impl RequestQueues {
+    /// Creates empty queues with the given capacities/watermarks.
+    pub fn new(cfg: ControllerConfig) -> Self {
+        RequestQueues {
+            reads: Vec::with_capacity(cfg.read_queue_capacity),
+            writes: Vec::with_capacity(cfg.write_queue_capacity),
+            cfg,
+            mode: DrainMode::ServeReads,
+            next_id: 0,
+        }
+    }
+
+    /// True if a request of `kind` can be accepted this cycle.
+    pub fn has_room(&self, kind: RequestKind) -> bool {
+        match kind {
+            RequestKind::Read => self.reads.len() < self.cfg.read_queue_capacity,
+            RequestKind::Write => self.writes.len() < self.cfg.write_queue_capacity,
+        }
+    }
+
+    /// Enqueues a request, assigning its id, and updates the drain mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target queue is full; callers must check
+    /// [`has_room`](Self::has_room) (the CPU model stalls on full queues).
+    pub fn push(&mut self, mut req: MemoryRequest) -> RequestId {
+        assert!(self.has_room(req.kind), "queue full: {}", req.kind);
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        req.id = id;
+        match req.kind {
+            RequestKind::Read => self.reads.push(req),
+            RequestKind::Write => self.writes.push(req),
+        }
+        self.update_mode();
+        id
+    }
+
+    /// Removes a completed/issued request.
+    pub fn remove(&mut self, id: RequestId) -> Option<MemoryRequest> {
+        if let Some(i) = self.reads.iter().position(|r| r.id == id) {
+            let r = self.reads.remove(i);
+            self.update_mode();
+            return Some(r);
+        }
+        if let Some(i) = self.writes.iter().position(|r| r.id == id) {
+            let r = self.writes.remove(i);
+            self.update_mode();
+            return Some(r);
+        }
+        None
+    }
+
+    fn update_mode(&mut self) {
+        let wq = self.writes.len();
+        if wq > self.cfg.write_high_watermark {
+            self.mode = DrainMode::DrainWrites;
+        } else if wq < self.cfg.write_low_watermark {
+            self.mode = DrainMode::ServeReads;
+        }
+        // Between the watermarks: keep the previous mode (hysteresis).
+    }
+
+    /// Current Element-1 hysteresis state.
+    pub fn mode(&self) -> DrainMode {
+        self.mode
+    }
+
+    /// Queued reads, arrival order.
+    pub fn reads(&self) -> &[MemoryRequest] {
+        &self.reads
+    }
+
+    /// Queued writes, arrival order.
+    pub fn writes(&self) -> &[MemoryRequest] {
+        &self.writes
+    }
+
+    /// All queued requests (reads then writes).
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryRequest> {
+        self.reads.iter().chain(self.writes.iter())
+    }
+
+    /// Occupancy `(reads, writes)`.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.reads.len(), self.writes.len())
+    }
+
+    /// True when both queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// True if any queued request (of either kind) targets `row` in the
+    /// given bank — used to guard precharges of useful rows.
+    pub fn any_request_hits(
+        &self,
+        rank: nuat_types::Rank,
+        bank: nuat_types::Bank,
+        row: nuat_types::Row,
+    ) -> bool {
+        self.iter()
+            .any(|r| r.addr.rank == rank && r.addr.bank == bank && r.addr.row == row)
+    }
+
+    /// Like [`any_request_hits`](Self::any_request_hits) but ignoring
+    /// request `except` — used by close-page auto-precharge decisions,
+    /// where the request being issued should not count as its own
+    /// pending hit.
+    pub fn any_other_request_hits(
+        &self,
+        rank: nuat_types::Rank,
+        bank: nuat_types::Bank,
+        row: nuat_types::Row,
+        except: RequestId,
+    ) -> bool {
+        self.iter().any(|r| {
+            r.id != except && r.addr.rank == rank && r.addr.bank == bank && r.addr.row == row
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::{Bank, Channel, Col, DecodedAddr, McCycle, Rank, Row};
+
+    fn mk(kind: RequestKind, row: u32) -> MemoryRequest {
+        MemoryRequest {
+            id: RequestId(0),
+            core: 0,
+            kind,
+            addr: DecodedAddr {
+                channel: Channel::new(0),
+                rank: Rank::new(0),
+                bank: Bank::new(0),
+                row: Row::new(row),
+                col: Col::new(0),
+            },
+            arrival: McCycle::ZERO,
+        }
+    }
+
+    fn queues() -> RequestQueues {
+        RequestQueues::new(ControllerConfig::default())
+    }
+
+    #[test]
+    fn push_assigns_monotone_ids() {
+        let mut q = queues();
+        let a = q.push(mk(RequestKind::Read, 0));
+        let b = q.push(mk(RequestKind::Write, 1));
+        assert!(b > a);
+        assert_eq!(q.occupancy(), (1, 1));
+    }
+
+    #[test]
+    fn drain_mode_hysteresis_matches_fig13() {
+        let mut q = queues();
+        assert_eq!(q.mode(), DrainMode::ServeReads);
+        // Fill to HW (40): still read mode until we *exceed* HW.
+        let ids: Vec<_> = (0..41).map(|i| q.push(mk(RequestKind::Write, i))).collect();
+        assert_eq!(q.mode(), DrainMode::DrainWrites);
+        // Draining back into the hysteresis band keeps drain mode.
+        for id in ids.iter().take(15) {
+            q.remove(*id);
+        }
+        assert_eq!(q.occupancy().1, 26);
+        assert_eq!(q.mode(), DrainMode::DrainWrites);
+        // Falling below LW (20) flips back to reads.
+        for id in ids.iter().skip(15).take(7) {
+            q.remove(*id);
+        }
+        assert_eq!(q.occupancy().1, 19);
+        assert_eq!(q.mode(), DrainMode::ServeReads);
+        // Climbing back into the band keeps read mode (path 2).
+        for i in 0..10 {
+            q.push(mk(RequestKind::Write, 100 + i));
+        }
+        assert_eq!(q.mode(), DrainMode::ServeReads);
+    }
+
+    #[test]
+    fn remove_unknown_id_is_none() {
+        let mut q = queues();
+        assert_eq!(q.remove(RequestId(99)), None);
+    }
+
+    #[test]
+    fn hit_detection_covers_both_queues() {
+        let mut q = queues();
+        q.push(mk(RequestKind::Read, 5));
+        q.push(mk(RequestKind::Write, 9));
+        let (rank, bank) = (Rank::new(0), Bank::new(0));
+        assert!(q.any_request_hits(rank, bank, Row::new(5)));
+        assert!(q.any_request_hits(rank, bank, Row::new(9)));
+        assert!(!q.any_request_hits(rank, bank, Row::new(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "queue full")]
+    fn push_to_full_queue_panics() {
+        let mut q = queues();
+        for i in 0..=64 {
+            q.push(mk(RequestKind::Read, i));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Memory requests as seen by the controller.
+
+use nuat_types::{DecodedAddr, McCycle};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique request identifier (monotone per controller).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// A demand load; the issuing core blocks retirement on it.
+    Read,
+    /// A writeback; posted (the core continues as soon as it is queued).
+    Write,
+}
+
+impl RequestKind {
+    /// True for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, RequestKind::Read)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestKind::Read => write!(f, "read"),
+            RequestKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// One queued memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Unique id (also encodes arrival order).
+    pub id: RequestId,
+    /// Issuing core (for multi-core stats).
+    pub core: usize,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Decoded DRAM coordinates.
+    pub addr: DecodedAddr,
+    /// Controller cycle the request entered its queue.
+    pub arrival: McCycle,
+}
+
+impl MemoryRequest {
+    /// Cycles this request has been queued as of `now`.
+    pub fn wait_cycles(&self, now: McCycle) -> u64 {
+        now.saturating_sub(self.arrival)
+    }
+}
+
+impl fmt::Display for MemoryRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} core{} @{} ({})", self.id, self.kind, self.core, self.addr, self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::{Bank, Channel, Col, Rank, Row};
+
+    fn req() -> MemoryRequest {
+        MemoryRequest {
+            id: RequestId(7),
+            core: 1,
+            kind: RequestKind::Read,
+            addr: DecodedAddr {
+                channel: Channel::new(0),
+                rank: Rank::new(0),
+                bank: Bank::new(3),
+                row: Row::new(99),
+                col: Col::new(5),
+            },
+            arrival: McCycle::new(100),
+        }
+    }
+
+    #[test]
+    fn wait_cycles_saturate() {
+        let r = req();
+        assert_eq!(r.wait_cycles(McCycle::new(150)), 50);
+        assert_eq!(r.wait_cycles(McCycle::new(50)), 0);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(RequestKind::Read.is_read());
+        assert!(!RequestKind::Write.is_read());
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let s = req().to_string();
+        assert!(s.contains("req7"));
+        assert!(s.contains("read"));
+        assert!(s.contains("core1"));
+        assert!(s.contains("row99"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Controller-side statistics: read latency, row-buffer hit rates, PB
+//! access distribution — the quantities plotted in Figs. 18–22.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bucketed latency histogram (controller cycles).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket upper bounds (inclusive), ascending; the last bucket is
+    /// unbounded.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // Read latencies in cycles: a hit costs ~15, a miss ~40, a
+        // conflict ~55+, queueing pushes further out.
+        Self::new(vec![16, 24, 32, 40, 48, 64, 96, 128, 192, 256, 512])
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "need at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let n = bounds.len() + 1;
+        LatencyHistogram { bounds, counts: vec![0; n] }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let i = self.bounds.iter().position(|&b| latency <= b).unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+    }
+
+    /// Accumulates another histogram's counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bounds, other.bounds, "histograms must share bounds");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair has `u64::MAX`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Everything the controller measures.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Reads returned to the cores.
+    pub reads_completed: u64,
+    /// Writes drained to DRAM.
+    pub writes_drained: u64,
+    /// Sum of read latencies (arrival → last data beat), cycles.
+    pub total_read_latency: u64,
+    /// Worst single read latency, cycles.
+    pub max_read_latency: u64,
+    /// Best single read latency, cycles (`None` before the first read).
+    pub min_read_latency: Option<u64>,
+    /// Read-latency histogram.
+    pub read_latency_hist: LatencyHistogram,
+    /// Activations issued for read requests.
+    pub acts_for_reads: u64,
+    /// Activations issued for write requests.
+    pub acts_for_writes: u64,
+    /// Column reads issued.
+    pub cols_read: u64,
+    /// Column writes issued.
+    pub cols_write: u64,
+    /// Explicit precharges issued.
+    pub precharges: u64,
+    /// Refresh batches issued.
+    pub refreshes: u64,
+    /// Cycles on which a command was issued.
+    pub busy_cycles: u64,
+    /// Cycles simulated.
+    pub total_cycles: u64,
+    /// ACT count per PB# (the §9.1 access-distribution analysis).
+    pub pb_act_histogram: Vec<u64>,
+    /// Completed reads whose row was in each PB at column issue.
+    pub per_pb_reads: Vec<u64>,
+    /// Summed read latency per PB (pair of `per_pb_reads`).
+    pub per_pb_read_latency: Vec<u64>,
+    /// ACT count per (rank, bank), flattened `rank * banks + bank`.
+    pub per_bank_acts: Vec<u64>,
+    /// Explicit precharges per (rank, bank) — row-buffer conflicts.
+    pub per_bank_conflicts: Vec<u64>,
+    /// Reads completed per core.
+    pub per_core_reads: Vec<u64>,
+    /// Summed read latency per core.
+    pub per_core_read_latency: Vec<u64>,
+}
+
+impl ControllerStats {
+    /// Creates stats sized for `cores` cores, `n_pb` partitions and
+    /// `banks` total (rank × bank) positions.
+    pub fn new(cores: usize, n_pb: usize, banks: usize) -> Self {
+        ControllerStats {
+            pb_act_histogram: vec![0; n_pb],
+            per_pb_reads: vec![0; n_pb],
+            per_pb_read_latency: vec![0; n_pb],
+            per_bank_acts: vec![0; banks.max(1)],
+            per_bank_conflicts: vec![0; banks.max(1)],
+            per_core_reads: vec![0; cores.max(1)],
+            per_core_read_latency: vec![0; cores.max(1)],
+            ..ControllerStats::default()
+        }
+    }
+
+    /// Mean read latency per PB (`None` where no reads landed) — the
+    /// per-partition latency gradient NUAT creates.
+    pub fn per_pb_avg_latency(&self) -> Vec<Option<f64>> {
+        self.per_pb_reads
+            .iter()
+            .zip(&self.per_pb_read_latency)
+            .map(|(&n, &sum)| if n == 0 { None } else { Some(sum as f64 / n as f64) })
+            .collect()
+    }
+
+    /// Bank-load imbalance: max over mean ACTs per bank (1.0 = even;
+    /// 0.0 before any activation).
+    pub fn bank_imbalance(&self) -> f64 {
+        let total: u64 = self.per_bank_acts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_bank_acts.len() as f64;
+        let max = *self.per_bank_acts.iter().max().expect("nonempty") as f64;
+        max / mean
+    }
+
+    /// Records a completed read.
+    pub fn record_read(&mut self, core: usize, latency: u64) {
+        self.reads_completed += 1;
+        self.total_read_latency += latency;
+        self.max_read_latency = self.max_read_latency.max(latency);
+        self.min_read_latency =
+            Some(self.min_read_latency.map_or(latency, |m| m.min(latency)));
+        self.read_latency_hist.record(latency);
+        if let Some(c) = self.per_core_reads.get_mut(core) {
+            *c += 1;
+            self.per_core_read_latency[core] += latency;
+        }
+    }
+
+    /// Mean read latency in cycles (0 with no reads).
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Row-buffer hit rate over reads (the paper's read hit-rate,
+    /// equation (3) restricted to reads).
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.cols_read == 0 {
+            0.0
+        } else {
+            (self.cols_read.saturating_sub(self.acts_for_reads)) as f64 / self.cols_read as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all column accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let cols = self.cols_read + self.cols_write;
+        let acts = self.acts_for_reads + self.acts_for_writes;
+        if cols == 0 {
+            0.0
+        } else {
+            cols.saturating_sub(acts) as f64 / cols as f64
+        }
+    }
+
+    /// Fraction of ACTs that landed in each PB.
+    pub fn pb_distribution(&self) -> Vec<f64> {
+        let total: u64 = self.pb_act_histogram.iter().sum();
+        if total == 0 {
+            vec![0.0; self.pb_act_histogram.len()]
+        } else {
+            self.pb_act_histogram.iter().map(|&c| c as f64 / total as f64).collect()
+        }
+    }
+
+    /// Accumulates another controller's statistics (multi-channel
+    /// aggregation). Cycle counts take the maximum (channels tick in
+    /// lockstep); everything else sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-core or per-PB vector lengths differ.
+    pub fn merge(&mut self, other: &ControllerStats) {
+        self.reads_completed += other.reads_completed;
+        self.writes_drained += other.writes_drained;
+        self.total_read_latency += other.total_read_latency;
+        self.max_read_latency = self.max_read_latency.max(other.max_read_latency);
+        self.min_read_latency = match (self.min_read_latency, other.min_read_latency) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.read_latency_hist.merge(&other.read_latency_hist);
+        self.acts_for_reads += other.acts_for_reads;
+        self.acts_for_writes += other.acts_for_writes;
+        self.cols_read += other.cols_read;
+        self.cols_write += other.cols_write;
+        self.precharges += other.precharges;
+        self.refreshes += other.refreshes;
+        self.busy_cycles += other.busy_cycles;
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+        assert_eq!(self.pb_act_histogram.len(), other.pb_act_histogram.len());
+        for (a, b) in self.pb_act_histogram.iter_mut().zip(&other.pb_act_histogram) {
+            *a += b;
+        }
+        for (a, b) in self.per_pb_reads.iter_mut().zip(&other.per_pb_reads) {
+            *a += b;
+        }
+        for (a, b) in self.per_pb_read_latency.iter_mut().zip(&other.per_pb_read_latency) {
+            *a += b;
+        }
+        assert_eq!(self.per_bank_acts.len(), other.per_bank_acts.len());
+        for (a, b) in self.per_bank_acts.iter_mut().zip(&other.per_bank_acts) {
+            *a += b;
+        }
+        for (a, b) in self.per_bank_conflicts.iter_mut().zip(&other.per_bank_conflicts) {
+            *a += b;
+        }
+        assert_eq!(self.per_core_reads.len(), other.per_core_reads.len());
+        for (a, b) in self.per_core_reads.iter_mut().zip(&other.per_core_reads) {
+            *a += b;
+        }
+        for (a, b) in self.per_core_read_latency.iter_mut().zip(&other.per_core_read_latency) {
+            *a += b;
+        }
+    }
+
+    /// Command-bus utilization.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for ControllerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "reads {} (avg latency {:.1} cyc, max {}), writes {}",
+            self.reads_completed,
+            self.avg_read_latency(),
+            self.max_read_latency,
+            self.writes_drained
+        )?;
+        writeln!(
+            f,
+            "read hit-rate {:.3}, overall hit-rate {:.3}, bus util {:.3}",
+            self.read_hit_rate(),
+            self.hit_rate(),
+            self.bus_utilization()
+        )?;
+        write!(f, "PB distribution:")?;
+        for (k, frac) in self.pb_distribution().iter().enumerate() {
+            write!(f, " PB{k} {:.2}", frac)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let mut h = LatencyHistogram::default();
+        for l in [1, 16, 17, 100_000] {
+            h.record(l);
+        }
+        assert_eq!(h.total(), 4);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets[0], (16, 2)); // 1 and 16
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn histogram_rejects_unsorted_bounds() {
+        LatencyHistogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn read_recording_updates_all_aggregates() {
+        let mut s = ControllerStats::new(2, 5, 8);
+        s.record_read(0, 40);
+        s.record_read(1, 60);
+        assert_eq!(s.reads_completed, 2);
+        assert_eq!(s.avg_read_latency(), 50.0);
+        assert_eq!(s.max_read_latency, 60);
+        assert_eq!(s.per_core_reads, vec![1, 1]);
+        assert_eq!(s.per_core_read_latency, vec![40, 60]);
+    }
+
+    #[test]
+    fn hit_rates_follow_equation_three() {
+        let mut s = ControllerStats::new(1, 5, 8);
+        s.cols_read = 10;
+        s.acts_for_reads = 3;
+        s.cols_write = 10;
+        s.acts_for_writes = 7;
+        assert!((s.read_hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_imbalance_ratio() {
+        let mut s = ControllerStats::new(1, 5, 4);
+        assert_eq!(s.bank_imbalance(), 0.0);
+        s.per_bank_acts = vec![4, 4, 4, 4];
+        assert_eq!(s.bank_imbalance(), 1.0);
+        s.per_bank_acts = vec![8, 0, 0, 0];
+        assert_eq!(s.bank_imbalance(), 4.0);
+    }
+
+    #[test]
+    fn merge_accumulates_bank_vectors() {
+        let mut a = ControllerStats::new(1, 5, 2);
+        let mut b = ControllerStats::new(1, 5, 2);
+        a.per_bank_acts = vec![1, 2];
+        b.per_bank_acts = vec![10, 20];
+        b.per_bank_conflicts = vec![3, 4];
+        a.merge(&b);
+        assert_eq!(a.per_bank_acts, vec![11, 22]);
+        assert_eq!(a.per_bank_conflicts, vec![3, 4]);
+    }
+
+    #[test]
+    fn pb_distribution_normalizes() {
+        let mut s = ControllerStats::new(1, 5, 8);
+        s.pb_act_histogram = vec![1, 1, 0, 0, 2];
+        let d = s.pb_distribution();
+        assert_eq!(d, vec![0.25, 0.25, 0.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn display_is_nonempty_even_when_idle() {
+        let s = ControllerStats::new(1, 5, 8);
+        assert!(s.to_string().contains("reads 0"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The NUAT Table (paper §7, Table 1): the scoring system that ranks
+//! every issuable command each cycle.
+//!
+//! The score of a candidate is `Σ w(k)·x(k)` over five elements:
+//!
+//! | element | condition | variable x |
+//! |---------|-----------|------------|
+//! | 1 OPERATION-TYPE | request kind vs drain-mode hysteresis | 1 / 0 |
+//! | 2 WAIT | ACT/COL | wait cycles (capped so ES2 ≤ 4) |
+//! | 3 HIT | COL read / COL write | 2 / 1 |
+//! | 4 PB | ACT | `#D − PB#` |
+//! | 5 BOUNDARY | ACT in transition region | +1 warning / −1 promising |
+//!
+//! Weights follow Table 4: `w1 = 60, w2 = 10⁻⁴, w3 = 60, w4 = 10,
+//! w5 = 5`, chosen (paper §7.3) so the priority order
+//! OPERATION-TYPE ≥ HIT > PB > BOUNDARY > WAIT can never be upset by a
+//! lower element's variable range.
+//!
+//! Scores are computed in ×10⁴ fixed point so the whole scheduler is
+//! integer-only and deterministic.
+
+use crate::candidate::{Candidate, CandidateKind};
+use crate::pbr::BoundaryZone;
+use crate::queues::DrainMode;
+use crate::request::RequestKind;
+use nuat_types::McCycle;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-point scale: 1.0 of score = 10 000 units.
+pub const SCORE_FP: i64 = 10_000;
+
+/// The five element weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NuatWeights {
+    /// OPERATION-TYPE weight.
+    pub w1: f64,
+    /// WAIT weight.
+    pub w2: f64,
+    /// HIT weight.
+    pub w3: f64,
+    /// PB weight.
+    pub w4: f64,
+    /// BOUNDARY weight.
+    pub w5: f64,
+}
+
+impl Default for NuatWeights {
+    /// Table 4 of the paper.
+    fn default() -> Self {
+        NuatWeights { w1: 60.0, w2: 1.0e-4, w3: 60.0, w4: 10.0, w5: 5.0 }
+    }
+}
+
+impl NuatWeights {
+    /// Weights that reduce the table to FR-FCFS (paper §7.2: only
+    /// Elements 1–3 active).
+    pub fn frfcfs() -> Self {
+        NuatWeights { w4: 0.0, w5: 0.0, ..NuatWeights::default() }
+    }
+
+    /// Weights that reduce the table to FCFS (only Elements 1–2 active).
+    pub fn fcfs() -> Self {
+        NuatWeights { w3: 0.0, w4: 0.0, w5: 0.0, ..NuatWeights::default() }
+    }
+}
+
+/// The scoring table. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_core::{NuatTable, NuatWeights};
+///
+/// let table = NuatTable::paper_default();           // Table 4 weights, 5 PBs
+/// let frfcfs = NuatTable::new(NuatWeights::frfcfs(), 5); // w4 = w5 = 0
+/// assert_ne!(table, frfcfs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NuatTable {
+    w1_fp: i64,
+    w2_fp_num: i64,
+    /// ES2 cap in fixed point (the "scope 0..4" of Fig. 15).
+    es2_cap_fp: i64,
+    w3_fp: i64,
+    w4_fp: i64,
+    w5_fp: i64,
+    /// `#D` of Table 1: the number of PBs.
+    n_pb: i64,
+}
+
+impl NuatTable {
+    /// Builds the table for a `n_pb`-partition configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pb` is zero.
+    pub fn new(weights: NuatWeights, n_pb: usize) -> Self {
+        assert!(n_pb >= 1, "need at least one PB");
+        NuatTable {
+            w1_fp: (weights.w1 * SCORE_FP as f64).round() as i64,
+            // w2 is applied per wait cycle: w2 * FP per cycle.
+            w2_fp_num: (weights.w2 * SCORE_FP as f64).round() as i64,
+            es2_cap_fp: (4.0 * SCORE_FP as f64).round() as i64,
+            w3_fp: (weights.w3 * SCORE_FP as f64).round() as i64,
+            w4_fp: (weights.w4 * SCORE_FP as f64).round() as i64,
+            w5_fp: (weights.w5 * SCORE_FP as f64).round() as i64,
+            n_pb: n_pb as i64,
+        }
+    }
+
+    /// The paper's table: Table 4 weights, 5 PBs.
+    pub fn paper_default() -> Self {
+        Self::new(NuatWeights::default(), 5)
+    }
+
+    /// Scores one candidate. Higher wins; ties are broken by the
+    /// scheduler (oldest request first).
+    pub fn score(&self, c: &Candidate, mode: DrainMode, now: McCycle) -> i64 {
+        self.es1(c, mode)
+            + self.es2(c, now)
+            + self.es3(c)
+            + self.es4(c)
+            + self.es5(c)
+    }
+
+    /// Per-element breakdown of a candidate's score, for debugging and
+    /// scheduler introspection.
+    pub fn explain(&self, c: &Candidate, mode: DrainMode, now: McCycle) -> ScoreBreakdown {
+        ScoreBreakdown {
+            es1: self.es1(c, mode),
+            es2: self.es2(c, now),
+            es3: self.es3(c),
+            es4: self.es4(c),
+            es5: self.es5(c),
+        }
+    }
+
+    /// Element 1: OPERATION-TYPE (hysteresis read/write priority).
+    pub fn es1(&self, c: &Candidate, mode: DrainMode) -> i64 {
+        let favored = match mode {
+            DrainMode::ServeReads => c.request.kind == RequestKind::Read,
+            DrainMode::DrainWrites => c.request.kind == RequestKind::Write,
+        };
+        if favored {
+            self.w1_fp
+        } else {
+            0
+        }
+    }
+
+    /// Element 2: WAIT (entering order; ACT and COL age, PRE does not).
+    pub fn es2(&self, c: &Candidate, now: McCycle) -> i64 {
+        match c.kind {
+            CandidateKind::Activate | CandidateKind::Column => {
+                let wc = c.request.wait_cycles(now) as i64;
+                (wc * self.w2_fp_num).min(self.es2_cap_fp)
+            }
+            CandidateKind::Precharge => 0,
+        }
+    }
+
+    /// Element 3: HIT (column read 2·w3, column write 1·w3).
+    pub fn es3(&self, c: &Candidate) -> i64 {
+        if c.kind != CandidateKind::Column {
+            return 0;
+        }
+        match c.request.kind {
+            RequestKind::Read => 2 * self.w3_fp,
+            RequestKind::Write => self.w3_fp,
+        }
+    }
+
+    /// Element 4: PB (`#D − PB#` for activations).
+    pub fn es4(&self, c: &Candidate) -> i64 {
+        if c.kind != CandidateKind::Activate {
+            return 0;
+        }
+        (self.n_pb - c.pb.index() as i64) * self.w4_fp
+    }
+
+    /// Element 5: BOUNDARY (±1 for activations in a transition region).
+    pub fn es5(&self, c: &Candidate) -> i64 {
+        if c.kind != CandidateKind::Activate {
+            return 0;
+        }
+        match c.zone {
+            BoundaryZone::Warning => self.w5_fp,
+            BoundaryZone::Promising => -self.w5_fp,
+            BoundaryZone::Stable => 0,
+        }
+    }
+}
+
+/// The five element scores of one candidate, in ×10⁴ fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoreBreakdown {
+    /// OPERATION-TYPE contribution.
+    pub es1: i64,
+    /// WAIT contribution.
+    pub es2: i64,
+    /// HIT contribution.
+    pub es3: i64,
+    /// PB contribution.
+    pub es4: i64,
+    /// BOUNDARY contribution.
+    pub es5: i64,
+}
+
+impl ScoreBreakdown {
+    /// The total score (equation (8)).
+    pub fn total(&self) -> i64 {
+        self.es1 + self.es2 + self.es3 + self.es4 + self.es5
+    }
+}
+
+impl std::fmt::Display for ScoreBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fp = SCORE_FP as f64;
+        write!(
+            f,
+            "ES1 {:.1} + ES2 {:.4} + ES3 {:.1} + ES4 {:.1} + ES5 {:.1} = {:.4}",
+            self.es1 as f64 / fp,
+            self.es2 as f64 / fp,
+            self.es3 as f64 / fp,
+            self.es4 as f64 / fp,
+            self.es5 as f64 / fp,
+            self.total() as f64 / fp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{MemoryRequest, RequestId};
+    use nuat_circuit::PbId;
+    use nuat_dram::DramCommand;
+    use nuat_types::{Bank, Channel, Col, DecodedAddr, DramTimings, Rank, Row};
+
+    fn cand(kind: CandidateKind, req_kind: RequestKind, pb: u8, zone: BoundaryZone) -> Candidate {
+        let addr = DecodedAddr {
+            channel: Channel::new(0),
+            rank: Rank::new(0),
+            bank: Bank::new(0),
+            row: Row::new(100),
+            col: Col::new(0),
+        };
+        let request = MemoryRequest {
+            id: RequestId(0),
+            core: 0,
+            kind: req_kind,
+            addr,
+            arrival: McCycle::ZERO,
+        };
+        let command = match kind {
+            CandidateKind::Activate => DramCommand::activate_worst_case(
+                addr.rank,
+                addr.bank,
+                addr.row,
+                &DramTimings::default(),
+            ),
+            CandidateKind::Column => DramCommand::Read {
+                rank: addr.rank,
+                bank: addr.bank,
+                col: addr.col,
+                auto_precharge: false,
+            },
+            CandidateKind::Precharge => DramCommand::Precharge { rank: addr.rank, bank: addr.bank },
+        };
+        Candidate { request, command, kind, pb: PbId(pb), zone }
+    }
+
+    const T: McCycle = McCycle::new(1000);
+
+    #[test]
+    fn es1_follows_hysteresis_mode() {
+        let t = NuatTable::paper_default();
+        let rd = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let wr = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
+        assert_eq!(t.es1(&rd, DrainMode::ServeReads), 60 * SCORE_FP);
+        assert_eq!(t.es1(&wr, DrainMode::ServeReads), 0);
+        assert_eq!(t.es1(&rd, DrainMode::DrainWrites), 0);
+        assert_eq!(t.es1(&wr, DrainMode::DrainWrites), 60 * SCORE_FP);
+    }
+
+    #[test]
+    fn es2_ages_and_saturates() {
+        let t = NuatTable::paper_default();
+        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
+        // 1000 cycles of wait at w2 = 1e-4 -> 0.1 -> 1000 fp units.
+        assert_eq!(t.es2(&act, T), 1000);
+        // The cap is 4.0 (40 000 fp): beyond 40 000 wait cycles it stops.
+        assert_eq!(t.es2(&act, McCycle::new(100_000)), 4 * SCORE_FP);
+        let pre = cand(CandidateKind::Precharge, RequestKind::Read, 0, BoundaryZone::Stable);
+        assert_eq!(t.es2(&pre, T), 0);
+    }
+
+    #[test]
+    fn es3_read_hits_score_double_write_hits() {
+        let t = NuatTable::paper_default();
+        let rd = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let wr = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
+        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
+        assert_eq!(t.es3(&rd), 120 * SCORE_FP);
+        assert_eq!(t.es3(&wr), 60 * SCORE_FP);
+        assert_eq!(t.es3(&act), 0);
+    }
+
+    #[test]
+    fn es4_prefers_fast_pbs_and_maxes_at_50() {
+        let t = NuatTable::paper_default();
+        let pb0 = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
+        let pb4 = cand(CandidateKind::Activate, RequestKind::Read, 4, BoundaryZone::Stable);
+        // Paper §7.3: the maximum of ES4 is 50 (< w3 = 60).
+        assert_eq!(t.es4(&pb0), 50 * SCORE_FP);
+        assert_eq!(t.es4(&pb4), 10 * SCORE_FP);
+        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        assert_eq!(t.es4(&col), 0);
+    }
+
+    #[test]
+    fn es5_is_plus_minus_five() {
+        let t = NuatTable::paper_default();
+        let warn = cand(CandidateKind::Activate, RequestKind::Read, 1, BoundaryZone::Warning);
+        let prom = cand(CandidateKind::Activate, RequestKind::Read, 4, BoundaryZone::Promising);
+        assert_eq!(t.es5(&warn), 5 * SCORE_FP);
+        assert_eq!(t.es5(&prom), -5 * SCORE_FP);
+    }
+
+    #[test]
+    fn priority_order_is_preserved_by_variable_ranges() {
+        // §7.3: ES4 (max 50) can never beat an ES3 hit (>= 60); ES5
+        // (|5|) can never reorder ES4 levels (10 apart); ES2 (max 4) can
+        // never reorder ES5 (5 apart).
+        let t = NuatTable::paper_default();
+        let mode = DrainMode::ServeReads;
+        let hit = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let best_act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Warning);
+        let aged = McCycle::new(1_000_000);
+        assert!(t.score(&hit, mode, T) > t.score(&best_act, mode, aged));
+
+        let slow_warn = cand(CandidateKind::Activate, RequestKind::Read, 3, BoundaryZone::Warning);
+        let fast_stable = cand(CandidateKind::Activate, RequestKind::Read, 2, BoundaryZone::Stable);
+        assert!(t.score(&fast_stable, mode, T) > t.score(&slow_warn, mode, aged));
+    }
+
+    #[test]
+    fn fig16_write_hit_equals_read_hit_during_drain() {
+        // §7.3 w1 == w3 rationale: in drain mode a read column hit
+        // (ES3 = 2·w3) ties a write column hit (ES1 = w1, ES3 = w3).
+        let t = NuatTable::paper_default();
+        let rd_hit = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let wr_hit = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
+        let s_rd = t.es1(&rd_hit, DrainMode::DrainWrites) + t.es3(&rd_hit);
+        let s_wr = t.es1(&wr_hit, DrainMode::DrainWrites) + t.es3(&wr_hit);
+        assert_eq!(s_rd, s_wr);
+    }
+
+    #[test]
+    fn frfcfs_weights_zero_the_pb_elements() {
+        let t = NuatTable::new(NuatWeights::frfcfs(), 5);
+        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Warning);
+        assert_eq!(t.es4(&act), 0);
+        assert_eq!(t.es5(&act), 0);
+        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        assert!(t.es3(&col) > 0);
+    }
+
+    #[test]
+    fn fcfs_weights_also_zero_hit() {
+        let t = NuatTable::new(NuatWeights::fcfs(), 5);
+        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        assert_eq!(t.es3(&col), 0);
+        assert!(t.es2(&col, T) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PB")]
+    fn zero_pb_rejected() {
+        NuatTable::new(NuatWeights::default(), 0);
+    }
+
+    #[test]
+    fn explain_matches_score_and_renders() {
+        let t = NuatTable::paper_default();
+        let c = cand(CandidateKind::Activate, RequestKind::Read, 1, BoundaryZone::Warning);
+        let b = t.explain(&c, DrainMode::ServeReads, T);
+        assert_eq!(b.total(), t.score(&c, DrainMode::ServeReads, T));
+        assert_eq!(b.es1, 60 * SCORE_FP);
+        assert_eq!(b.es4, 40 * SCORE_FP);
+        assert_eq!(b.es5, 5 * SCORE_FP);
+        let text = b.to_string();
+        assert!(text.contains("ES1 60.0"));
+        assert!(text.contains("ES5 5.0"));
+    }
+}

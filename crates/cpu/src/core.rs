@@ -1,0 +1,320 @@
+//! USIMM-style trace-driven out-of-order core model.
+//!
+//! The model follows USIMM's processor abstraction (Table 3 of the
+//! paper): a fixed-size reorder buffer, fixed fetch and retire widths,
+//! and a fixed pipeline depth.
+//!
+//! * Non-memory instructions complete `pipeline_depth` CPU cycles after
+//!   fetch.
+//! * Writes are posted: they complete like non-memory instructions once
+//!   the controller's write queue accepts them (fetch stalls while it is
+//!   full — the back-pressure path that makes write-drain policy matter).
+//! * Reads occupy their ROB slot until the controller returns data;
+//!   because retirement is in-order, a pending read at the ROB head
+//!   stalls the core — this is how DRAM latency becomes execution time.
+
+use crate::trace::{MemOp, Trace};
+use nuat_types::{CpuCycle, PhysAddr, ProcessorConfig};
+use std::collections::VecDeque;
+
+/// The memory system as seen by a core. Implemented by the simulator
+/// around `nuat_core::MemoryController`.
+pub trait MemoryPort {
+    /// True if a request of this kind to this address can be accepted
+    /// this CPU cycle (the address picks the channel in multi-channel
+    /// systems).
+    fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool;
+
+    /// Submits a request, returning an opaque token that will be handed
+    /// back via [`Core::complete_read`] when a read finishes.
+    fn submit(&mut self, core: usize, op: MemOp, addr: PhysAddr) -> u64;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RobEntry {
+    /// Completes at the given CPU cycle.
+    Done(CpuCycle),
+    /// Waiting for read data (token from the memory port).
+    WaitingRead(u64),
+}
+
+/// One trace-driven core.
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    cfg: ProcessorConfig,
+    trace: Trace,
+    next_record: usize,
+    /// Non-memory instructions still to fetch before the next record's
+    /// memory operation (or before the end, for the tail gap).
+    gap_remaining: u32,
+    fetched: u64,
+    retired: u64,
+    total: u64,
+    rob: VecDeque<RobEntry>,
+    /// CPU cycle at which the final instruction retired.
+    finished_at: Option<CpuCycle>,
+    /// Cycles in which retirement made no progress while work remained.
+    stall_cycles: u64,
+}
+
+impl Core {
+    /// Creates a core that will execute `trace` under `cfg`.
+    pub fn new(id: usize, cfg: ProcessorConfig, trace: Trace) -> Self {
+        let gap_remaining =
+            trace.records().first().map(|r| r.gap).unwrap_or_else(|| trace.tail_gap());
+        let total = trace.total_instructions();
+        Core {
+            id,
+            cfg,
+            trace,
+            next_record: 0,
+            gap_remaining,
+            fetched: 0,
+            retired: 0,
+            total,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            finished_at: None,
+            stall_cycles: 0,
+        }
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total instructions in the trace.
+    pub fn total_instructions(&self) -> u64 {
+        self.total
+    }
+
+    /// True once every instruction has retired.
+    pub fn is_done(&self) -> bool {
+        self.retired == self.total
+    }
+
+    /// CPU cycle the last instruction retired, if finished.
+    pub fn finished_at(&self) -> Option<CpuCycle> {
+        self.finished_at
+    }
+
+    /// Cycles in which no instruction retired while the core was not
+    /// done (a coarse memory-stall indicator).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Delivers read data for `token` (from [`MemoryPort::submit`]).
+    pub fn complete_read(&mut self, token: u64, now: CpuCycle) {
+        for e in self.rob.iter_mut() {
+            if *e == RobEntry::WaitingRead(token) {
+                *e = RobEntry::Done(now);
+                return;
+            }
+        }
+        // A completion for an unknown token indicates a wiring bug.
+        panic!("core {}: read completion for unknown token {token}", self.id);
+    }
+
+    /// Advances one CPU cycle: retire, then fetch.
+    pub fn tick(&mut self, now: CpuCycle, port: &mut dyn MemoryPort) {
+        if self.is_done() {
+            return;
+        }
+        self.retire(now);
+        self.fetch(now, port);
+        if self.is_done() && self.finished_at.is_none() {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn retire(&mut self, now: CpuCycle) {
+        let mut n = 0;
+        while n < self.cfg.retire_width {
+            match self.rob.front() {
+                Some(RobEntry::Done(t)) if *t <= now => {
+                    self.rob.pop_front();
+                    self.retired += 1;
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        if n == 0 && !self.is_done() {
+            self.stall_cycles += 1;
+        }
+    }
+
+    fn fetch(&mut self, now: CpuCycle, port: &mut dyn MemoryPort) {
+        let done_at = now + self.cfg.pipeline_depth;
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetched == self.total || self.rob.len() == self.cfg.rob_size {
+                return;
+            }
+            if self.gap_remaining > 0 {
+                self.gap_remaining -= 1;
+                self.rob.push_back(RobEntry::Done(done_at));
+                self.fetched += 1;
+                continue;
+            }
+            let Some(rec) = self.trace.records().get(self.next_record).copied() else {
+                // Only the tail gap remains and it is exhausted.
+                return;
+            };
+            if !port.can_accept(rec.op, rec.addr) {
+                return; // structural stall: queue full
+            }
+            let token = port.submit(self.id, rec.op, rec.addr);
+            match rec.op {
+                MemOp::Read => self.rob.push_back(RobEntry::WaitingRead(token)),
+                MemOp::Write => self.rob.push_back(RobEntry::Done(done_at)),
+            }
+            self.fetched += 1;
+            self.next_record += 1;
+            self.gap_remaining = self
+                .trace
+                .records()
+                .get(self.next_record)
+                .map(|r| r.gap)
+                .unwrap_or_else(|| self.trace.tail_gap());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+
+    /// A memory port that completes reads after a fixed delay.
+    #[derive(Debug, Default)]
+    struct FakePort {
+        submitted: Vec<(usize, MemOp, PhysAddr, u64)>,
+        next_token: u64,
+        accept_writes: bool,
+    }
+
+    impl MemoryPort for FakePort {
+        fn can_accept(&self, op: MemOp, _addr: PhysAddr) -> bool {
+            op == MemOp::Read || self.accept_writes
+        }
+        fn submit(&mut self, core: usize, op: MemOp, addr: PhysAddr) -> u64 {
+            let t = self.next_token;
+            self.next_token += 1;
+            self.submitted.push((core, op, addr, t));
+            t
+        }
+    }
+
+    fn cfg() -> ProcessorConfig {
+        ProcessorConfig::default()
+    }
+
+    #[test]
+    fn pure_compute_trace_finishes_at_retire_bandwidth() {
+        // 100 non-mem instructions, retire width 2 -> >= 50 cycles.
+        let mut core = Core::new(0, cfg(), Trace::new(vec![], 100));
+        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut now = CpuCycle::ZERO;
+        while !core.is_done() {
+            core.tick(now, &mut port);
+            now += 1;
+            assert!(now.raw() < 10_000, "must terminate");
+        }
+        let t = core.finished_at().unwrap().raw();
+        assert!((50..=80).contains(&t), "took {t} cycles");
+        assert!(port.submitted.is_empty());
+    }
+
+    #[test]
+    fn read_at_rob_head_stalls_until_completion() {
+        let trace = Trace::new(
+            vec![TraceRecord { gap: 0, op: MemOp::Read, addr: PhysAddr::new(0x40) }],
+            10,
+        );
+        let mut core = Core::new(0, cfg(), trace);
+        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        for i in 0..50 {
+            core.tick(CpuCycle::new(i), &mut port);
+        }
+        // Everything fetched, nothing retired past the read.
+        assert_eq!(core.retired(), 0);
+        assert!(core.stall_cycles() > 10);
+        core.complete_read(0, CpuCycle::new(50));
+        let mut now = CpuCycle::new(50);
+        while !core.is_done() {
+            core.tick(now, &mut port);
+            now += 1;
+        }
+        assert_eq!(core.retired(), 11);
+    }
+
+    #[test]
+    fn writes_are_posted_but_stall_when_queue_full() {
+        let trace = Trace::new(
+            vec![TraceRecord { gap: 0, op: MemOp::Write, addr: PhysAddr::new(0x40) }],
+            2,
+        );
+        let mut core = Core::new(0, cfg(), trace);
+        let mut port = FakePort::default(); // rejects writes
+        for i in 0..20 {
+            core.tick(CpuCycle::new(i), &mut port);
+        }
+        assert_eq!(core.retired(), 0, "fetch is blocked on the write");
+        port.accept_writes = true;
+        let mut now = CpuCycle::new(20);
+        while !core.is_done() {
+            core.tick(now, &mut port);
+            now += 1;
+        }
+        assert!(core.is_done());
+        assert_eq!(port.submitted.len(), 1);
+    }
+
+    #[test]
+    fn rob_capacity_limits_outstanding_work() {
+        // 500 compute instructions: the ROB (128) cannot hold them all
+        // at once; fetch must throttle but everything still retires.
+        let mut core = Core::new(0, cfg(), Trace::new(vec![], 500));
+        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut now = CpuCycle::ZERO;
+        while !core.is_done() {
+            assert!(core.rob.len() <= 128);
+            core.tick(now, &mut port);
+            now += 1;
+            assert!(now.raw() < 100_000);
+        }
+    }
+
+    #[test]
+    fn interleaves_gaps_and_mem_ops_in_order() {
+        let trace = Trace::new(
+            vec![
+                TraceRecord { gap: 3, op: MemOp::Read, addr: PhysAddr::new(0x40) },
+                TraceRecord { gap: 2, op: MemOp::Write, addr: PhysAddr::new(0x80) },
+            ],
+            0,
+        );
+        let mut core = Core::new(0, cfg(), trace);
+        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        for i in 0..10 {
+            core.tick(CpuCycle::new(i), &mut port);
+        }
+        assert_eq!(port.submitted.len(), 2);
+        assert_eq!(port.submitted[0].1, MemOp::Read);
+        assert_eq!(port.submitted[1].1, MemOp::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn unknown_completion_panics() {
+        let mut core = Core::new(0, cfg(), Trace::new(vec![], 10));
+        core.complete_read(42, CpuCycle::ZERO);
+    }
+}

@@ -1,0 +1,117 @@
+//! Instruction traces in the USIMM style: a stream of memory operations,
+//! each preceded by a count of non-memory instructions.
+
+use nuat_types::PhysAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory operation kind, as seen by the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A demand load; blocks retirement until data returns.
+    Read,
+    /// A writeback; posted to the controller's write queue.
+    Write,
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemOp::Read => write!(f, "R"),
+            MemOp::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// One trace record: `gap` non-memory instructions followed by one
+/// memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Non-memory instructions fetched before this memory operation.
+    pub gap: u32,
+    /// The memory operation.
+    pub op: MemOp,
+    /// Its physical address.
+    pub addr: PhysAddr,
+}
+
+/// A complete per-core instruction trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    /// Non-memory instructions after the last memory operation.
+    tail_gap: u32,
+}
+
+impl Trace {
+    /// Builds a trace from records plus a trailing non-memory gap.
+    pub fn new(records: Vec<TraceRecord>, tail_gap: u32) -> Self {
+        Trace { records, tail_gap }
+    }
+
+    /// The records in program order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Non-memory instructions after the last memory operation.
+    pub fn tail_gap(&self) -> u32 {
+        self.tail_gap
+    }
+
+    /// Total instructions (memory + non-memory).
+    pub fn total_instructions(&self) -> u64 {
+        self.records.iter().map(|r| r.gap as u64 + 1).sum::<u64>() + self.tail_gap as u64
+    }
+
+    /// Number of memory operations.
+    pub fn mem_ops(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Number of reads.
+    pub fn reads(&self) -> u64 {
+        self.records.iter().filter(|r| r.op == MemOp::Read).count() as u64
+    }
+
+    /// Memory operations per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        let total = self.total_instructions();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_ops() as f64 * 1000.0 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            vec![
+                TraceRecord { gap: 9, op: MemOp::Read, addr: PhysAddr::new(0x40) },
+                TraceRecord { gap: 0, op: MemOp::Write, addr: PhysAddr::new(0x80) },
+                TraceRecord { gap: 4, op: MemOp::Read, addr: PhysAddr::new(0xc0) },
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let t = trace();
+        assert_eq!(t.total_instructions(), 9 + 1 + 0 + 1 + 4 + 1 + 5);
+        assert_eq!(t.mem_ops(), 3);
+        assert_eq!(t.reads(), 2);
+    }
+
+    #[test]
+    fn mpki() {
+        let t = trace();
+        assert!((t.mpki() - 3.0 * 1000.0 / 21.0).abs() < 1e-9);
+        assert_eq!(Trace::new(vec![], 0).mpki(), 0.0);
+    }
+}

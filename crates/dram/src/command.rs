@@ -1,0 +1,174 @@
+//! DDR3 command set as issued by the memory controller.
+
+use nuat_types::{Bank, Col, DramTimings, Rank, Row, RowTimings};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One DDR3 command.
+///
+/// `Activate` carries the activation timing set the controller intends to
+/// honour for this row cycle (the NUAT mechanism: per-PB tRCD/tRAS/tRC).
+/// The device validates the set against the row's physical charge state
+/// and then *enforces* it on the following column/precharge commands, so
+/// a scheduler bug cannot silently under-run its own assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open `row` in `bank`, promising to respect `timings`.
+    Activate {
+        /// Target rank.
+        rank: Rank,
+        /// Target bank.
+        bank: Bank,
+        /// Row to open.
+        row: Row,
+        /// Activation timings the controller will honour (tRCD/tRAS/tRC).
+        timings: RowTimings,
+    },
+    /// Column read of one cache line.
+    Read {
+        /// Target rank.
+        rank: Rank,
+        /// Target bank.
+        bank: Bank,
+        /// Column (cache-line granular).
+        col: Col,
+        /// Close the row automatically at the earliest legal point.
+        auto_precharge: bool,
+    },
+    /// Column write of one cache line.
+    Write {
+        /// Target rank.
+        rank: Rank,
+        /// Target bank.
+        bank: Bank,
+        /// Column (cache-line granular).
+        col: Col,
+        /// Close the row automatically at the earliest legal point.
+        auto_precharge: bool,
+    },
+    /// Close the open row in `bank`.
+    Precharge {
+        /// Target rank.
+        rank: Rank,
+        /// Target bank.
+        bank: Bank,
+    },
+    /// Refresh the next batch of rows in every bank of `rank`.
+    Refresh {
+        /// Target rank.
+        rank: Rank,
+    },
+}
+
+impl DramCommand {
+    /// Convenience constructor for an `Activate` with the data-sheet
+    /// worst-case timings (what FR-FCFS always issues).
+    pub fn activate_worst_case(rank: Rank, bank: Bank, row: Row, t: &DramTimings) -> Self {
+        DramCommand::Activate { rank, bank, row, timings: t.worst_case_row() }
+    }
+
+    /// The rank this command addresses.
+    pub fn rank(&self) -> Rank {
+        match *self {
+            DramCommand::Activate { rank, .. }
+            | DramCommand::Read { rank, .. }
+            | DramCommand::Write { rank, .. }
+            | DramCommand::Precharge { rank, .. }
+            | DramCommand::Refresh { rank } => rank,
+        }
+    }
+
+    /// The bank this command addresses, if it is bank-scoped.
+    pub fn bank(&self) -> Option<Bank> {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Precharge { bank, .. } => Some(bank),
+            DramCommand::Refresh { .. } => None,
+        }
+    }
+
+    /// True for `Read`/`Write`.
+    pub fn is_column(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+
+    /// Short mnemonic (`ACT`, `RD`, `WR`, `PRE`, `REF`).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate { .. } => "ACT",
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Precharge { .. } => "PRE",
+            DramCommand::Refresh { .. } => "REF",
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramCommand::Activate { rank, bank, row, timings } => {
+                write!(f, "ACT rk{rank} bk{bank} row{row} ({timings})")
+            }
+            DramCommand::Read { rank, bank, col, auto_precharge } => {
+                write!(f, "RD{} rk{rank} bk{bank} col{col}", if auto_precharge { "A" } else { "" })
+            }
+            DramCommand::Write { rank, bank, col, auto_precharge } => {
+                write!(f, "WR{} rk{rank} bk{bank} col{col}", if auto_precharge { "A" } else { "" })
+            }
+            DramCommand::Precharge { rank, bank } => write!(f, "PRE rk{rank} bk{bank}"),
+            DramCommand::Refresh { rank } => write!(f, "REF rk{rank}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmds() -> Vec<DramCommand> {
+        let (rank, bank, col) = (Rank::new(0), Bank::new(2), Col::new(5));
+        vec![
+            DramCommand::activate_worst_case(rank, bank, Row::new(7), &DramTimings::default()),
+            DramCommand::Read { rank, bank, col, auto_precharge: false },
+            DramCommand::Write { rank, bank, col, auto_precharge: true },
+            DramCommand::Precharge { rank, bank },
+            DramCommand::Refresh { rank },
+        ]
+    }
+
+    #[test]
+    fn worst_case_activate_uses_datasheet_timings() {
+        let t = DramTimings::default();
+        match DramCommand::activate_worst_case(Rank::new(0), Bank::new(0), Row::new(0), &t) {
+            DramCommand::Activate { timings, .. } => {
+                assert_eq!(timings, RowTimings { trcd: 12, tras: 30, trc: 42 });
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let all = cmds();
+        for c in &all {
+            assert_eq!(c.rank(), Rank::new(0));
+        }
+        assert_eq!(all[0].bank(), Some(Bank::new(2)));
+        assert_eq!(all[4].bank(), None);
+        assert!(all[1].is_column());
+        assert!(all[2].is_column());
+        assert!(!all[0].is_column());
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        let all = cmds();
+        let m: Vec<_> = all.iter().map(|c| c.mnemonic()).collect();
+        assert_eq!(m, ["ACT", "RD", "WR", "PRE", "REF"]);
+        assert!(all[2].to_string().starts_with("WRA"), "auto-precharge suffix");
+        assert!(all[0].to_string().contains("tRCD 12"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Bounded command logging with replay validation.
+//!
+//! When enabled on a [`crate::DramDevice`], every accepted command is
+//! recorded into a ring buffer. The log can be dumped for debugging or
+//! *replayed* through the naive [`crate::ReferenceChecker`] to confirm
+//! after the fact that a window of traffic obeyed the protocol — the
+//! offline counterpart of the differential property tests.
+
+use crate::command::DramCommand;
+use crate::reference::ReferenceChecker;
+use nuat_types::{DramTimings, McCycle};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One logged command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogEntry {
+    /// Issue cycle.
+    pub at: McCycle,
+    /// The command.
+    pub cmd: DramCommand,
+}
+
+/// Ring buffer of accepted commands.
+#[derive(Debug, Clone)]
+pub struct CommandLog {
+    capacity: usize,
+    entries: VecDeque<LogEntry>,
+    /// Total commands ever recorded (including evicted ones).
+    recorded: u64,
+}
+
+impl CommandLog {
+    /// Creates a log keeping the most recent `capacity` commands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be nonzero");
+        CommandLog { capacity, entries: VecDeque::with_capacity(capacity), recorded: 0 }
+    }
+
+    /// Records a command, evicting the oldest if full.
+    pub fn record(&mut self, cmd: DramCommand, at: McCycle) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(LogEntry { at, cmd });
+        self.recorded += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Total commands recorded over the log's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// True if older entries have been evicted.
+    pub fn truncated(&self) -> bool {
+        self.recorded > self.entries.len() as u64
+    }
+
+    /// Replays the retained window through the reference protocol
+    /// checker.
+    ///
+    /// A truncated log starts mid-stream, so state-dependent rules
+    /// cannot be re-derived exactly; replay is therefore only available
+    /// for complete logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first illegal command, or of the
+    /// truncation.
+    pub fn replay_validate(
+        &self,
+        timings: &DramTimings,
+        banks_per_rank: u32,
+    ) -> Result<(), String> {
+        if self.truncated() {
+            return Err(format!(
+                "log truncated ({} of {} commands retained); replay needs the full stream",
+                self.entries.len(),
+                self.recorded
+            ));
+        }
+        let mut reference = ReferenceChecker::new(*timings, banks_per_rank);
+        for e in &self.entries {
+            if !reference.is_legal(&e.cmd, e.at) {
+                return Err(format!("illegal command in log: {} at cycle {}", e.cmd, e.at));
+            }
+            reference.record(e.cmd, e.at);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CommandLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "command log: {} retained / {} recorded{}",
+            self.entries.len(),
+            self.recorded,
+            if self.truncated() { " (truncated)" } else { "" }
+        )?;
+        for e in &self.entries {
+            writeln!(f, "  @{:>10} {}", e.at, e.cmd)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::{Bank, Col, Rank, Row};
+
+    fn act(row: u32) -> DramCommand {
+        DramCommand::activate_worst_case(
+            Rank::new(0),
+            Bank::new(0),
+            Row::new(row),
+            &DramTimings::default(),
+        )
+    }
+
+    fn read() -> DramCommand {
+        DramCommand::Read {
+            rank: Rank::new(0),
+            bank: Bank::new(0),
+            col: Col::new(0),
+            auto_precharge: false,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = CommandLog::new(2);
+        log.record(act(1), McCycle::new(0));
+        log.record(read(), McCycle::new(12));
+        log.record(act(2), McCycle::new(100));
+        assert_eq!(log.recorded(), 3);
+        assert!(log.truncated());
+        let first = log.entries().next().unwrap();
+        assert_eq!(first.at, McCycle::new(12));
+    }
+
+    #[test]
+    fn replay_accepts_a_legal_stream() {
+        let mut log = CommandLog::new(16);
+        log.record(act(5), McCycle::new(100));
+        log.record(read(), McCycle::new(112));
+        assert_eq!(log.replay_validate(&DramTimings::default(), 8), Ok(()));
+    }
+
+    #[test]
+    fn replay_rejects_a_trcd_violation() {
+        let mut log = CommandLog::new(16);
+        log.record(act(5), McCycle::new(100));
+        log.record(read(), McCycle::new(105)); // tRCD is 12
+        let err = log.replay_validate(&DramTimings::default(), 8).unwrap_err();
+        assert!(err.contains("illegal command"), "{err}");
+        assert!(err.contains("105"));
+    }
+
+    #[test]
+    fn replay_refuses_truncated_logs() {
+        let mut log = CommandLog::new(1);
+        log.record(act(5), McCycle::new(100));
+        log.record(read(), McCycle::new(112));
+        let err = log.replay_validate(&DramTimings::default(), 8).unwrap_err();
+        assert!(err.contains("truncated"));
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut log = CommandLog::new(4);
+        log.record(act(5), McCycle::new(100));
+        let text = log.to_string();
+        assert!(text.contains("1 retained"));
+        assert!(text.contains("ACT"));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        CommandLog::new(0);
+    }
+}

@@ -1,0 +1,876 @@
+//! The DDR3 device model: command legality checking, state update,
+//! charge tracking, and physical-timing validation.
+//!
+//! One [`DramDevice`] models one channel (all of its ranks and banks).
+//! The controller calls [`DramDevice::can_issue`] while enumerating
+//! scheduling candidates and [`DramDevice::issue`] for the winner; both
+//! enforce the complete DDR3 rule set:
+//!
+//! | constraint | scope | commands |
+//! |------------|-------|----------|
+//! | tRCD (per-ACT, possibly reduced) | bank | ACT→RD/WR |
+//! | tRAS (per-ACT, possibly reduced) | bank | ACT→PRE |
+//! | tRC (per-ACT) / tRP | bank | ACT/PRE→ACT |
+//! | tRTP, write recovery | bank | RD/WR→PRE |
+//! | tCCD, bus turnarounds (RD→WR, WR→RD) | rank | RD/WR→RD/WR |
+//! | tRRD, tFAW | rank | ACT→ACT |
+//! | tRFC, all-banks-idle | rank | REF |
+//! | charge physics (`nuat-circuit`) | row | ACT timing set |
+//!
+//! The last row is the one this paper adds: the device knows when each
+//! row was last restored and rejects an `Activate` whose promised
+//! timings under-run the physical minimum for the row's current charge.
+
+use crate::bank::{BankState, BankView};
+use crate::command::DramCommand;
+use crate::energy::{EnergyCounters, EnergyModel};
+use crate::error::IssueError;
+use crate::refresh::RefreshEngine;
+use nuat_circuit::PhysicalTimingModel;
+use nuat_types::{Bank, DramConfig, McCycle, Rank, Row, MC_CYCLE_NS};
+use std::collections::VecDeque;
+
+/// Aggregate command statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Commands accepted, by class.
+    pub energy: EnergyCounters,
+    /// ACTs that used timings tighter than the data-sheet worst case
+    /// (i.e. NUAT exploited charge slack).
+    pub reduced_activates: u64,
+    /// Total tRCD cycles saved vs the worst case across all ACTs.
+    pub trcd_cycles_saved: u64,
+    /// Total tRAS cycles saved vs the worst case across all ACTs.
+    pub tras_cycles_saved: u64,
+}
+
+/// Per-rank timing and charge state.
+#[derive(Debug, Clone)]
+struct RankState {
+    banks: Vec<BankView>,
+    /// Issue times of the most recent ACTs (for tFAW, keeps up to 4).
+    act_window: VecDeque<McCycle>,
+    /// Most recent ACT in this rank (for tRRD).
+    last_act: Option<McCycle>,
+    earliest_col_read: McCycle,
+    earliest_col_write: McCycle,
+    refresh: RefreshEngine,
+    /// CKE-low entry cycle, if the rank is powered down.
+    powered_down_since: Option<McCycle>,
+    /// Accumulated power-down cycles (for the energy model).
+    powerdown_cycles: u64,
+    /// Last restore cycle of every row, indexed `bank * rows + row`.
+    /// Signed: steady-state refresh history extends before cycle 0.
+    restore: Vec<i64>,
+}
+
+/// One channel's worth of DDR3 devices. See the module docs.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    physical: PhysicalTimingModel,
+    ranks: Vec<RankState>,
+    stats: DeviceStats,
+    energy_model: EnergyModel,
+    /// Grace subtracted from the elapsed time in physical checks,
+    /// absorbing bounded refresh-issue jitter (data-sheet guard band).
+    physical_grace_ns: f64,
+    /// Optional command logging (see [`crate::CommandLog`]).
+    log: Option<crate::CommandLog>,
+}
+
+impl DramDevice {
+    /// Builds the device for one channel of `cfg`, with the
+    /// paper-calibrated physical timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails validation.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self::with_physical(cfg, PhysicalTimingModel::paper_default(cfg.timings))
+    }
+
+    /// Builds the device with an explicit physical-timing oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails validation.
+    pub fn with_physical(cfg: DramConfig, physical: PhysicalTimingModel) -> Self {
+        cfg.geometry.validate().expect("invalid DRAM geometry");
+        let rows = cfg.geometry.rows_per_bank;
+        let banks = cfg.geometry.banks_per_rank as usize;
+        let ranks = (0..cfg.geometry.ranks_per_channel)
+            .map(|_| {
+                let refresh = RefreshEngine::new(rows, &cfg.timings);
+                let mut restore = vec![0i64; banks * rows as usize];
+                for b in 0..banks {
+                    for r in 0..rows {
+                        restore[b * rows as usize + r as usize] =
+                            refresh.initial_restore_cycle(Row::new(r as u32));
+                    }
+                }
+                RankState {
+                    banks: vec![BankView::default(); banks],
+                    act_window: VecDeque::with_capacity(4),
+                    last_act: None,
+                    earliest_col_read: McCycle::ZERO,
+                    earliest_col_write: McCycle::ZERO,
+                    refresh,
+                    powered_down_since: None,
+                    powerdown_cycles: 0,
+                    restore,
+                }
+            })
+            .collect();
+        DramDevice {
+            cfg,
+            physical,
+            ranks,
+            stats: DeviceStats::default(),
+            energy_model: EnergyModel::default(),
+            // One refresh batch interval of guard band (~62 us).
+            physical_grace_ns: cfg.timings.refresh_batch_interval() as f64 * MC_CYCLE_NS,
+            log: None,
+        }
+    }
+
+    /// Starts recording accepted commands into a ring buffer of
+    /// `capacity` entries (see [`crate::CommandLog`] for dumping and
+    /// replay validation).
+    pub fn enable_logging(&mut self, capacity: usize) {
+        self.log = Some(crate::CommandLog::new(capacity));
+    }
+
+    /// The command log, if logging is enabled.
+    pub fn command_log(&self) -> Option<&crate::CommandLog> {
+        self.log.as_ref()
+    }
+
+    /// The data-sheet timing set.
+    pub fn timings(&self) -> &nuat_types::DramTimings {
+        &self.cfg.timings
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> &nuat_types::DramGeometry {
+        &self.cfg.geometry
+    }
+
+    /// The physical-timing oracle in use.
+    pub fn physical(&self) -> &PhysicalTimingModel {
+        &self.physical
+    }
+
+    /// Read-only view of one bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank`/`bank` are out of range.
+    pub fn bank(&self, rank: Rank, bank: Bank) -> &BankView {
+        &self.ranks[rank.index()].banks[bank.index()]
+    }
+
+    /// The refresh engine of one rank (the controller reads LRRA and the
+    /// schedule from here — exactly the information the paper's PBR
+    /// acquisition block derives from refresh timing and position).
+    pub fn refresh_engine(&self, rank: Rank) -> &RefreshEngine {
+        &self.ranks[rank.index()].refresh
+    }
+
+    /// Enables refresh postponement on every rank (DDR3 allows deferring
+    /// up to 8 REF commands). The physical validator's grace window is
+    /// deliberately *not* widened: safety under postponement must come
+    /// from derating the controller's PBR block by the same budget — a
+    /// controller that postpones without derating gets caught.
+    pub fn set_refresh_postpone_budget(&mut self, batches: u64) {
+        for rs in &mut self.ranks {
+            rs.refresh.set_postpone_budget(batches);
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Total DRAM energy in picojoules after `elapsed` cycles,
+    /// accounting for time spent in power-down.
+    pub fn energy_pj(&self, elapsed: McCycle) -> f64 {
+        let pd: u64 = self
+            .ranks
+            .iter()
+            .map(|r| {
+                r.powerdown_cycles
+                    + r.powered_down_since.map_or(0, |t| elapsed.saturating_sub(t))
+            })
+            .sum();
+        self.stats.energy.total_pj_with_powerdown(&self.energy_model, elapsed.raw(), pd)
+    }
+
+    /// Lowers CKE on `rank` (precharge or active power-down, depending
+    /// on bank state). No commands may issue to the rank until
+    /// [`power_up`](Self::power_up); idempotent.
+    pub fn power_down(&mut self, rank: Rank, now: McCycle) {
+        let rs = &mut self.ranks[rank.index()];
+        if rs.powered_down_since.is_none() {
+            rs.powered_down_since = Some(now);
+        }
+    }
+
+    /// Raises CKE on `rank`: commands become legal `tXP` later.
+    /// Idempotent; returns the first cycle a command may issue.
+    pub fn power_up(&mut self, rank: Rank, now: McCycle) -> McCycle {
+        let txp = self.cfg.timings.txp;
+        let rs = &mut self.ranks[rank.index()];
+        let Some(since) = rs.powered_down_since.take() else {
+            return now;
+        };
+        rs.powerdown_cycles += now.saturating_sub(since);
+        let ready = now + txp;
+        for bv in &mut rs.banks {
+            BankView::push_earliest(&mut bv.earliest_act, ready);
+            BankView::push_earliest(&mut bv.earliest_read, ready);
+            BankView::push_earliest(&mut bv.earliest_write, ready);
+            BankView::push_earliest(&mut bv.earliest_pre, ready);
+        }
+        BankView::push_earliest(&mut rs.earliest_col_read, ready);
+        BankView::push_earliest(&mut rs.earliest_col_write, ready);
+        ready
+    }
+
+    /// True while `rank` has CKE low.
+    pub fn is_powered_down(&self, rank: Rank) -> bool {
+        self.ranks[rank.index()].powered_down_since.is_some()
+    }
+
+    /// Cycles `rank` has spent powered down (completed episodes only).
+    pub fn powerdown_cycles(&self, rank: Rank) -> u64 {
+        self.ranks[rank.index()].powerdown_cycles
+    }
+
+    /// Total completed power-down cycles across all ranks.
+    pub fn total_powerdown_cycles(&self) -> u64 {
+        self.ranks.iter().map(|r| r.powerdown_cycles).sum()
+    }
+
+    /// Nanoseconds since `row` in `bank` was last refreshed or restored,
+    /// as of cycle `now`.
+    pub fn elapsed_since_restore_ns(&self, rank: Rank, bank: Bank, row: Row, now: McCycle) -> f64 {
+        let rs = &self.ranks[rank.index()];
+        let idx = bank.index() * self.cfg.geometry.rows_per_bank as usize + row.index();
+        (now.raw() as i64 - rs.restore[idx]) as f64 * MC_CYCLE_NS
+    }
+
+    /// True if every bank of `rank` is idle (precondition for `REF`).
+    pub fn all_banks_idle(&self, rank: Rank) -> bool {
+        self.ranks[rank.index()].banks.iter().all(|b| b.state == BankState::Idle)
+    }
+
+    /// Checks whether `cmd` may issue at cycle `now` without applying it.
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::TooEarly`] if a timing constraint is pending (the
+    /// normal scheduling outcome); other variants for protocol misuse.
+    pub fn can_issue(&self, cmd: &DramCommand, now: McCycle) -> Result<(), IssueError> {
+        self.check(cmd, now).map(|_| ())
+    }
+
+    /// Issues `cmd` at cycle `now`, updating all device state.
+    ///
+    /// Returns the cycle at which the command's data phase completes:
+    /// for a `Read`, when the last data beat arrives at the controller;
+    /// for a `Write`, when the last beat has been driven; [`McCycle`]
+    /// `now` for non-data commands.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`can_issue`](Self::can_issue); on error no
+    /// state changes.
+    pub fn issue(&mut self, cmd: DramCommand, now: McCycle) -> Result<McCycle, IssueError> {
+        let plan = self.check(&cmd, now)?;
+        Ok(self.apply(cmd, now, plan))
+    }
+
+    // ------------------------------------------------------------------
+    // legality checking
+    // ------------------------------------------------------------------
+
+    fn check(&self, cmd: &DramCommand, now: McCycle) -> Result<IssuePlan, IssueError> {
+        let t = &self.cfg.timings;
+        let g = &self.cfg.geometry;
+        let rank = cmd.rank();
+        if rank.as_u64() >= g.ranks_per_channel {
+            return Err(IssueError::OutOfRange { field: "rank", value: rank.as_u64() });
+        }
+        let rs = &self.ranks[rank.index()];
+        if rs.powered_down_since.is_some() {
+            return Err(IssueError::PoweredDown { rank });
+        }
+        if let Some(bank) = cmd.bank() {
+            if bank.as_u64() >= g.banks_per_rank {
+                return Err(IssueError::OutOfRange { field: "bank", value: bank.as_u64() });
+            }
+        }
+
+        match *cmd {
+            DramCommand::Activate { bank, row, timings, .. } => {
+                if row.as_u64() >= g.rows_per_bank {
+                    return Err(IssueError::OutOfRange { field: "row", value: row.as_u64() });
+                }
+                let bv = &rs.banks[bank.index()];
+                if bv.state != BankState::Idle {
+                    return Err(IssueError::WrongBankState { rank, bank, expected: "idle" });
+                }
+                too_early("tRP/tRC/tRFC", bv.earliest_act, now)?;
+                if let Some(last) = rs.last_act {
+                    too_early("tRRD", last + t.trrd, now)?;
+                }
+                if rs.act_window.len() == 4 {
+                    too_early("tFAW", rs.act_window[0] + t.tfaw, now)?;
+                }
+                // Promised timings must be internally consistent ...
+                if timings.trc != timings.tras + t.trp {
+                    return Err(IssueError::PhysicalViolation {
+                        parameter: "tRC",
+                        proposed_cycles: timings.trc,
+                        minimum_ns: (timings.tras + t.trp) as f64 * MC_CYCLE_NS,
+                        elapsed_ns: 0.0,
+                    });
+                }
+                // ... and must respect the row's charge state.
+                let elapsed = self
+                    .elapsed_since_restore_ns(rank, bank, row, now)
+                    .max(0.0);
+                let graced = (elapsed - self.physical_grace_ns).max(0.0);
+                if !self.physical.trcd_ok(graced, timings.trcd) {
+                    return Err(IssueError::PhysicalViolation {
+                        parameter: "tRCD",
+                        proposed_cycles: timings.trcd,
+                        minimum_ns: self.physical.min_trcd_ns(graced),
+                        elapsed_ns: elapsed,
+                    });
+                }
+                if !self.physical.tras_ok(graced, timings.tras) {
+                    return Err(IssueError::PhysicalViolation {
+                        parameter: "tRAS",
+                        proposed_cycles: timings.tras,
+                        minimum_ns: self.physical.min_tras_ns(graced),
+                        elapsed_ns: elapsed,
+                    });
+                }
+                Ok(IssuePlan::default())
+            }
+
+            DramCommand::Read { bank, col, .. } | DramCommand::Write { bank, col, .. } => {
+                if col.as_u64() >= g.cols_per_row {
+                    return Err(IssueError::OutOfRange { field: "col", value: col.as_u64() });
+                }
+                let bv = &rs.banks[bank.index()];
+                let BankState::Active { act_at, timings, .. } = bv.state else {
+                    return Err(IssueError::WrongBankState { rank, bank, expected: "active" });
+                };
+                let is_read = matches!(cmd, DramCommand::Read { .. });
+                if is_read {
+                    too_early("tRCD", bv.earliest_read, now)?;
+                    too_early("tCCD/tWTR", rs.earliest_col_read, now)?;
+                } else {
+                    too_early("tRCD", bv.earliest_write, now)?;
+                    too_early("tCCD/RTW", rs.earliest_col_write, now)?;
+                }
+                // Auto-precharge timing resolved at apply time.
+                let _ = (act_at, timings);
+                Ok(IssuePlan::default())
+            }
+
+            DramCommand::Precharge { bank, .. } => {
+                let bv = &rs.banks[bank.index()];
+                if !matches!(bv.state, BankState::Active { .. }) {
+                    return Err(IssueError::WrongBankState { rank, bank, expected: "active" });
+                }
+                too_early("tRAS/tRTP/tWR", bv.earliest_pre, now)?;
+                Ok(IssuePlan::default())
+            }
+
+            DramCommand::Refresh { .. } => {
+                for (i, bv) in rs.banks.iter().enumerate() {
+                    if bv.state != BankState::Idle {
+                        return Err(IssueError::RefreshWithOpenBank { bank: Bank::new(i as u32) });
+                    }
+                }
+                // REF obeys the same row-command spacing as ACT.
+                let earliest =
+                    rs.banks.iter().map(|b| b.earliest_act).fold(McCycle::ZERO, McCycle::max);
+                too_early("tRP/tRFC", earliest, now)?;
+                Ok(IssuePlan::default())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // state update
+    // ------------------------------------------------------------------
+
+    fn apply(&mut self, cmd: DramCommand, now: McCycle, _plan: IssuePlan) -> McCycle {
+        if let Some(log) = &mut self.log {
+            log.record(cmd, now);
+        }
+        let t = self.cfg.timings;
+        let rows = self.cfg.geometry.rows_per_bank as usize;
+        let rank = cmd.rank();
+        let rs = &mut self.ranks[rank.index()];
+        match cmd {
+            DramCommand::Activate { bank, row, timings, .. } => {
+                let bv = &mut rs.banks[bank.index()];
+                bv.state = BankState::Active { row, act_at: now, timings };
+                bv.earliest_read = now + timings.trcd;
+                bv.earliest_write = now + timings.trcd;
+                bv.earliest_pre = now + timings.tras;
+                BankView::push_earliest(&mut bv.earliest_act, now + timings.trc);
+                rs.last_act = Some(now);
+                if rs.act_window.len() == 4 {
+                    rs.act_window.pop_front();
+                }
+                rs.act_window.push_back(now);
+                // Activation restores the row's charge.
+                rs.restore[bank.index() * rows + row.index()] = now.raw() as i64;
+                self.stats.energy.activates += 1;
+                let worst = t.worst_case_row();
+                if timings.trcd < worst.trcd || timings.tras < worst.tras {
+                    self.stats.reduced_activates += 1;
+                    self.stats.trcd_cycles_saved += worst.trcd - timings.trcd;
+                    self.stats.tras_cycles_saved += worst.tras - timings.tras;
+                }
+                now
+            }
+
+            DramCommand::Read { bank, auto_precharge, .. } => {
+                let bv = &mut rs.banks[bank.index()];
+                let BankState::Active { act_at, timings, .. } = bv.state else {
+                    unreachable!("checked in can_issue")
+                };
+                BankView::push_earliest(&mut bv.earliest_pre, now + t.trtp);
+                rs.earliest_col_read = now + t.tccd;
+                BankView::push_earliest(&mut rs.earliest_col_write, now + t.read_to_write());
+                self.stats.energy.reads += 1;
+                let done = now + t.read_data_done();
+                if auto_precharge {
+                    let pre_at = (act_at + timings.tras).max(now + t.trtp);
+                    Self::close_bank(&mut rs.banks[bank.index()], pre_at, t.trp);
+                    self.stats.energy.precharges += 1;
+                }
+                done
+            }
+
+            DramCommand::Write { bank, auto_precharge, .. } => {
+                let bv = &mut rs.banks[bank.index()];
+                let BankState::Active { act_at, timings, .. } = bv.state else {
+                    unreachable!("checked in can_issue")
+                };
+                BankView::push_earliest(&mut bv.earliest_pre, now + t.write_to_precharge());
+                rs.earliest_col_write = now + t.tccd;
+                BankView::push_earliest(&mut rs.earliest_col_read, now + t.write_to_read());
+                self.stats.energy.writes += 1;
+                let done = now + t.write_data_done();
+                if auto_precharge {
+                    let pre_at = (act_at + timings.tras).max(now + t.write_to_precharge());
+                    Self::close_bank(&mut rs.banks[bank.index()], pre_at, t.trp);
+                    self.stats.energy.precharges += 1;
+                }
+                done
+            }
+
+            DramCommand::Precharge { bank, .. } => {
+                Self::close_bank(&mut rs.banks[bank.index()], now, t.trp);
+                self.stats.energy.precharges += 1;
+                now
+            }
+
+            DramCommand::Refresh { .. } => {
+                let refreshed = rs.refresh.complete_batch(now);
+                for b in 0..self.cfg.geometry.banks_per_rank as usize {
+                    for row in &refreshed {
+                        rs.restore[b * rows + row.index()] = now.raw() as i64;
+                    }
+                    let bv = &mut rs.banks[b];
+                    BankView::push_earliest(&mut bv.earliest_act, now + t.trfc);
+                }
+                self.stats.energy.refreshes += 1;
+                now + t.trfc
+            }
+        }
+    }
+
+    /// Transitions a bank to idle at `pre_at`, making the next ACT legal
+    /// `trp` after that (and never earlier than already scheduled).
+    fn close_bank(bv: &mut BankView, pre_at: McCycle, trp: u64) {
+        bv.state = BankState::Idle;
+        BankView::push_earliest(&mut bv.earliest_act, pre_at + trp);
+        // Column commands to an idle bank are state errors; reset their
+        // gates so a future ACT fully determines them.
+        bv.earliest_read = McCycle::ZERO;
+        bv.earliest_write = McCycle::ZERO;
+        bv.earliest_pre = McCycle::ZERO;
+    }
+}
+
+/// Placeholder for pre-computed apply data (kept for future extension;
+/// the check/apply split is what matters).
+#[derive(Debug, Default, Clone, Copy)]
+struct IssuePlan;
+
+fn too_early(constraint: &'static str, earliest: McCycle, now: McCycle) -> Result<(), IssueError> {
+    if now < earliest {
+        Err(IssueError::TooEarly { constraint, earliest })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::{Col, DramTimings, RowTimings};
+
+    fn dev() -> DramDevice {
+        DramDevice::new(DramConfig::default())
+    }
+
+    fn rk() -> Rank {
+        Rank::new(0)
+    }
+    fn bk(i: u32) -> Bank {
+        Bank::new(i)
+    }
+
+    fn act(bank: u32, row: u32) -> DramCommand {
+        DramCommand::activate_worst_case(rk(), bk(bank), Row::new(row), &DramTimings::default())
+    }
+
+    fn read(bank: u32, col: u32) -> DramCommand {
+        DramCommand::Read { rank: rk(), bank: bk(bank), col: Col::new(col), auto_precharge: false }
+    }
+
+    fn write(bank: u32, col: u32) -> DramCommand {
+        DramCommand::Write { rank: rk(), bank: bk(bank), col: Col::new(col), auto_precharge: false }
+    }
+
+    #[test]
+    fn activate_then_read_respects_trcd() {
+        let mut d = dev();
+        let t0 = McCycle::new(1000);
+        d.issue(act(0, 5), t0).unwrap();
+        let err = d.can_issue(&read(0, 0), t0 + 11).unwrap_err();
+        assert_eq!(err, IssueError::TooEarly { constraint: "tRCD", earliest: t0 + 12 });
+        let done = d.issue(read(0, 0), t0 + 12).unwrap();
+        assert_eq!(done, t0 + 12 + 11 + 4); // CL + BL/2
+    }
+
+    #[test]
+    fn reduced_timings_pass_for_fresh_rows_only() {
+        let mut d = dev();
+        // Row 8191 was just refreshed (distance 0); PB0 timings are legal.
+        let fresh = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(0),
+            row: Row::new(8191),
+            timings: RowTimings::new(8, 22, 12),
+        };
+        d.issue(fresh, McCycle::new(10)).unwrap();
+        assert_eq!(d.stats().reduced_activates, 1);
+        assert_eq!(d.stats().trcd_cycles_saved, 4);
+        assert_eq!(d.stats().tras_cycles_saved, 8);
+
+        // Row 100 is ~64 ms stale; PB0 timings violate physics.
+        // (Issued tRRD later so only the physical check can fail.)
+        let stale = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(1),
+            row: Row::new(100),
+            timings: RowTimings::new(8, 22, 12),
+        };
+        let err = d.issue(stale, McCycle::new(20)).unwrap_err();
+        assert!(matches!(err, IssueError::PhysicalViolation { parameter: "tRCD", .. }), "{err}");
+    }
+
+    #[test]
+    fn worst_case_timings_pass_for_any_row() {
+        let mut d = dev();
+        for (i, (b, row)) in [(0, 0u32), (1, 4096), (2, 8191)].into_iter().enumerate() {
+            // Staggered by tRRD so every ACT is legal.
+            d.issue(act(b, row), McCycle::new(50 + 5 * i as u64)).unwrap();
+        }
+        assert_eq!(d.stats().reduced_activates, 0);
+    }
+
+    #[test]
+    fn inconsistent_trc_is_rejected() {
+        let mut d = dev();
+        let bad = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(0),
+            row: Row::new(8191),
+            timings: RowTimings { trcd: 8, tras: 22, trc: 42 }, // should be 34
+        };
+        let err = d.issue(bad, McCycle::new(10)).unwrap_err();
+        assert!(matches!(err, IssueError::PhysicalViolation { parameter: "tRC", .. }));
+    }
+
+    #[test]
+    fn column_to_idle_bank_is_a_state_error() {
+        let d = dev();
+        let err = d.can_issue(&read(0, 0), McCycle::new(100)).unwrap_err();
+        assert!(matches!(err, IssueError::WrongBankState { .. }));
+    }
+
+    #[test]
+    fn activate_to_open_bank_is_a_state_error() {
+        let mut d = dev();
+        d.issue(act(0, 1), McCycle::new(0)).unwrap();
+        let err = d.can_issue(&act(0, 2), McCycle::new(100)).unwrap_err();
+        assert!(matches!(err, IssueError::WrongBankState { .. }));
+    }
+
+    #[test]
+    fn precharge_respects_tras_and_trp() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        let err = d.can_issue(&DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 29);
+        assert!(err.unwrap_err().is_too_early());
+        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        // Next ACT needs tRP after PRE.
+        let err = d.can_issue(&act(0, 2), t0 + 41).unwrap_err();
+        assert_eq!(err, IssueError::TooEarly { constraint: "tRP/tRC/tRFC", earliest: t0 + 42 });
+        d.issue(act(0, 2), t0 + 42).unwrap();
+    }
+
+    #[test]
+    fn trc_binds_back_to_back_activates_same_bank() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        // PRE at 30 allows ACT at 42, which equals tRC anyway.
+        d.issue(act(0, 2), t0 + 42).unwrap();
+    }
+
+    #[test]
+    fn trrd_spaces_activates_across_banks() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        let err = d.can_issue(&act(1, 1), t0 + 4).unwrap_err();
+        assert_eq!(err, IssueError::TooEarly { constraint: "tRRD", earliest: t0 + 5 });
+        d.issue(act(1, 1), t0 + 5).unwrap();
+    }
+
+    #[test]
+    fn tfaw_limits_to_four_activates_per_window() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        for i in 0..4u32 {
+            d.issue(act(i, 1), t0 + (i as u64) * 5).unwrap();
+        }
+        // Fifth ACT must wait for the first + tFAW (24).
+        let err = d.can_issue(&act(4, 1), t0 + 20).unwrap_err();
+        assert_eq!(err, IssueError::TooEarly { constraint: "tFAW", earliest: t0 + 24 });
+        d.issue(act(4, 1), t0 + 24).unwrap();
+    }
+
+    #[test]
+    fn tccd_spaces_column_commands() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(read(0, 0), t0 + 12).unwrap();
+        // Back-to-back reads to the open row are spaced by tCCD = 4.
+        let err = d.can_issue(&read(0, 1), t0 + 15).unwrap_err();
+        assert_eq!(err, IssueError::TooEarly { constraint: "tCCD/tWTR", earliest: t0 + 16 });
+        d.issue(read(0, 1), t0 + 16).unwrap();
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(write(0, 0), t0 + 12).unwrap();
+        // WR->RD: CWL + BL/2 + tWTR = 8 + 4 + 6 = 18 after the write.
+        let err = d.can_issue(&read(0, 1), t0 + 12 + 17).unwrap_err();
+        assert!(err.is_too_early());
+        d.issue(read(0, 1), t0 + 12 + 18).unwrap();
+    }
+
+    #[test]
+    fn read_to_write_turnaround() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(read(0, 0), t0 + 12).unwrap();
+        // RD->WR: CL + BL/2 + 2 - CWL = 11 + 4 + 2 - 8 = 9 after the read.
+        let err = d.can_issue(&write(0, 1), t0 + 12 + 8).unwrap_err();
+        assert!(err.is_too_early());
+        d.issue(write(0, 1), t0 + 12 + 9).unwrap();
+    }
+
+    #[test]
+    fn write_delays_precharge_for_recovery() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(write(0, 0), t0 + 12).unwrap();
+        // PRE after WR: CWL + BL/2 + tWR = 24 after the write.
+        let pre = DramCommand::Precharge { rank: rk(), bank: bk(0) };
+        let err = d.can_issue(&pre, t0 + 12 + 23).unwrap_err();
+        assert!(err.is_too_early());
+        d.issue(pre, t0 + 12 + 24).unwrap();
+    }
+
+    #[test]
+    fn auto_precharge_closes_bank_and_respects_tras() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        let rd = DramCommand::Read { rank: rk(), bank: bk(0), col: Col::new(0), auto_precharge: true };
+        d.issue(rd, t0 + 12).unwrap();
+        assert_eq!(d.bank(rk(), bk(0)).state, BankState::Idle);
+        // Auto-PRE waits for tRAS (30), then tRP: ACT legal at 30+12=42.
+        let err = d.can_issue(&act(0, 2), t0 + 41).unwrap_err();
+        assert!(err.is_too_early());
+        d.issue(act(0, 2), t0 + 42).unwrap();
+        assert_eq!(d.stats().energy.precharges, 1);
+    }
+
+    #[test]
+    fn refresh_requires_idle_banks_and_locks_rank() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        let err = d.can_issue(&DramCommand::Refresh { rank: rk() }, t0 + 100).unwrap_err();
+        assert_eq!(err, IssueError::RefreshWithOpenBank { bank: bk(0) });
+        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        d.issue(DramCommand::Refresh { rank: rk() }, t0 + 42).unwrap();
+        // tRFC lockout on every bank.
+        let err = d.can_issue(&act(3, 1), t0 + 42 + 127).unwrap_err();
+        assert!(err.is_too_early());
+        d.issue(act(3, 1), t0 + 42 + 128).unwrap();
+    }
+
+    #[test]
+    fn refresh_advances_lrra_and_restores_rows() {
+        let mut d = dev();
+        let t0 = McCycle::new(500);
+        d.issue(DramCommand::Refresh { rank: rk() }, t0).unwrap();
+        assert_eq!(d.refresh_engine(rk()).lrra(), Row::new(7));
+        // Rows 0..8 are now fresh in every bank.
+        for b in 0..8u32 {
+            let e = d.elapsed_since_restore_ns(rk(), bk(b), Row::new(3), t0 + 4);
+            assert_eq!(e, 4.0 * MC_CYCLE_NS);
+        }
+        // Row 8 is still ~64 ms stale.
+        assert!(d.elapsed_since_restore_ns(rk(), bk(0), Row::new(8), t0 + 4) > 6.0e7);
+    }
+
+    #[test]
+    fn activation_restores_charge_for_the_next_cycle() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        // Row 100 is stale; activate with worst-case timings, close it.
+        d.issue(act(0, 100), t0).unwrap();
+        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        // Now the row is restored: PB0 timings are physically fine.
+        let fast = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(0),
+            row: Row::new(100),
+            timings: RowTimings::new(8, 22, 12),
+        };
+        d.issue(fast, t0 + 42).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_rejected() {
+        let d = dev();
+        let bad = DramCommand::Activate {
+            rank: Rank::new(1),
+            bank: bk(0),
+            row: Row::new(0),
+            timings: DramTimings::default().worst_case_row(),
+        };
+        assert!(matches!(
+            d.can_issue(&bad, McCycle::ZERO),
+            Err(IssueError::OutOfRange { field: "rank", .. })
+        ));
+        let bad = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(0),
+            row: Row::new(9000),
+            timings: DramTimings::default().worst_case_row(),
+        };
+        assert!(matches!(
+            d.can_issue(&bad, McCycle::ZERO),
+            Err(IssueError::OutOfRange { field: "row", .. })
+        ));
+    }
+
+    #[test]
+    fn power_down_blocks_commands_until_txp_after_wake() {
+        let mut d = dev();
+        let t0 = McCycle::new(100);
+        d.power_down(rk(), t0);
+        assert!(d.is_powered_down(rk()));
+        let err = d.can_issue(&act(0, 1), t0 + 50).unwrap_err();
+        assert!(matches!(err, IssueError::PoweredDown { .. }), "{err}");
+        // Wake at 200: commands legal tXP = 5 later.
+        let ready = d.power_up(rk(), McCycle::new(200));
+        assert_eq!(ready, McCycle::new(205));
+        assert!(!d.is_powered_down(rk()));
+        assert!(d.can_issue(&act(0, 1), McCycle::new(204)).unwrap_err().is_too_early());
+        d.issue(act(0, 1), McCycle::new(205)).unwrap();
+        assert_eq!(d.powerdown_cycles(rk()), 100);
+    }
+
+    #[test]
+    fn power_down_cuts_background_energy() {
+        let mut active = dev();
+        let mut idle = dev();
+        idle.power_down(rk(), McCycle::new(0));
+        idle.power_up(rk(), McCycle::new(10_000));
+        let t = McCycle::new(10_000);
+        assert!(idle.energy_pj(t) < active.energy_pj(t));
+        // Entry/exit are idempotent.
+        active.power_down(rk(), McCycle::new(1));
+        active.power_down(rk(), McCycle::new(5));
+        active.power_up(rk(), McCycle::new(9));
+        assert_eq!(active.power_up(rk(), McCycle::new(12)), McCycle::new(12));
+        assert_eq!(active.powerdown_cycles(rk()), 8);
+    }
+
+    #[test]
+    fn command_log_records_and_replays_device_traffic() {
+        let mut d = dev();
+        d.enable_logging(64);
+        let t0 = McCycle::new(100);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(read(0, 0), t0 + 12).unwrap();
+        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        let log = d.command_log().expect("enabled");
+        assert_eq!(log.recorded(), 3);
+        // Everything the device accepted must replay cleanly through
+        // the reference checker.
+        log.replay_validate(&DramTimings::default(), 8).unwrap();
+    }
+
+    #[test]
+    fn energy_accounting_tracks_commands() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        d.issue(act(0, 1), t0).unwrap();
+        d.issue(read(0, 0), t0 + 12).unwrap();
+        d.issue(write(0, 1), t0 + 12 + 9).unwrap();
+        let e = d.stats().energy;
+        assert_eq!((e.activates, e.reads, e.writes), (1, 1, 1));
+        assert!(d.energy_pj(McCycle::new(100)) > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Coarse DRAM energy accounting.
+//!
+//! USIMM ships a power model; we keep a deliberately simple per-operation
+//! energy tally (rank-level operation energies derived from DDR3-1600
+//! 2 Gb IDD figures, in the spirit of the Rambus power model the paper
+//! cites for its circuit parameters). The numbers matter only
+//! *relatively*: NUAT does not change the command mix much, and the
+//! counters let experiments confirm that.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Energy cost constants, picojoules per rank-level operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One ACTIVATE + eventual PRECHARGE pair.
+    pub act_pre_pj: f64,
+    /// One column read burst.
+    pub read_pj: f64,
+    /// One column write burst.
+    pub write_pj: f64,
+    /// One refresh batch.
+    pub refresh_pj: f64,
+    /// Background (standby) energy per controller cycle.
+    pub background_pj_per_cycle: f64,
+    /// Background energy per cycle while in power-down (CKE low) —
+    /// roughly a third of active standby for DDR3 precharge power-down.
+    pub powerdown_pj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            act_pre_pj: 15_000.0,
+            read_pj: 10_000.0,
+            write_pj: 11_000.0,
+            refresh_pj: 35_000.0,
+            background_pj_per_cycle: 150.0,
+            powerdown_pj_per_cycle: 50.0,
+        }
+    }
+}
+
+/// Tallied operation counts and derived energy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyCounters {
+    /// ACTIVATE commands issued.
+    pub activates: u64,
+    /// PRECHARGE operations (explicit and auto).
+    pub precharges: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// Refresh batches.
+    pub refreshes: u64,
+}
+
+impl EnergyCounters {
+    /// Total energy in picojoules over `elapsed_cycles` under `model`,
+    /// of which `powerdown_cycles` were spent with CKE low.
+    pub fn total_pj_with_powerdown(
+        &self,
+        model: &EnergyModel,
+        elapsed_cycles: u64,
+        powerdown_cycles: u64,
+    ) -> f64 {
+        let active_cycles = elapsed_cycles.saturating_sub(powerdown_cycles);
+        self.activates as f64 * model.act_pre_pj
+            + self.reads as f64 * model.read_pj
+            + self.writes as f64 * model.write_pj
+            + self.refreshes as f64 * model.refresh_pj
+            + active_cycles as f64 * model.background_pj_per_cycle
+            + powerdown_cycles as f64 * model.powerdown_pj_per_cycle
+    }
+
+    /// Total energy in picojoules over `elapsed_cycles` under `model`
+    /// (no power-down time).
+    pub fn total_pj(&self, model: &EnergyModel, elapsed_cycles: u64) -> f64 {
+        self.total_pj_with_powerdown(model, elapsed_cycles, 0)
+    }
+}
+
+impl AddAssign for EnergyCounters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.activates += rhs.activates;
+        self.precharges += rhs.precharges;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.refreshes += rhs.refreshes;
+    }
+}
+
+impl fmt::Display for EnergyCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ACT {} / PRE {} / RD {} / WR {} / REF {}",
+            self.activates, self.precharges, self.reads, self.writes, self.refreshes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_sums_operations_and_background() {
+        let c = EnergyCounters { activates: 2, precharges: 2, reads: 3, writes: 1, refreshes: 1 };
+        let m = EnergyModel::default();
+        let expect = 2.0 * 15_000.0 + 3.0 * 10_000.0 + 11_000.0 + 35_000.0 + 100.0 * 150.0;
+        assert_eq!(c.total_pj(&m, 100), expect);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = EnergyCounters { activates: 1, ..EnergyCounters::default() };
+        let b = EnergyCounters { activates: 2, reads: 5, ..EnergyCounters::default() };
+        a += b;
+        assert_eq!(a.activates, 3);
+        assert_eq!(a.reads, 5);
+    }
+
+    #[test]
+    fn display_mentions_every_class() {
+        let s = EnergyCounters::default().to_string();
+        for k in ["ACT", "PRE", "RD", "WR", "REF"] {
+            assert!(s.contains(k));
+        }
+    }
+}

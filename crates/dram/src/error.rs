@@ -1,0 +1,141 @@
+//! Command-rejection errors raised by the device model.
+
+use nuat_types::{Bank, McCycle, Rank, Row};
+use std::error::Error;
+use std::fmt;
+
+/// Why a command cannot be issued at the proposed cycle.
+///
+/// `TooEarly` is the common, *expected* outcome during scheduling (the
+/// controller polls candidates each cycle); the other variants indicate
+/// protocol misuse and normally mean a scheduler bug.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IssueError {
+    /// A timing constraint has not elapsed yet.
+    TooEarly {
+        /// Name of the violated constraint (e.g. `"tRCD"`).
+        constraint: &'static str,
+        /// Earliest cycle at which the command becomes legal.
+        earliest: McCycle,
+    },
+    /// The bank is not in the state the command requires (e.g. a column
+    /// access to an idle bank, or an activate to an already-open bank).
+    WrongBankState {
+        /// Target rank.
+        rank: Rank,
+        /// Target bank.
+        bank: Bank,
+        /// Human-readable description of the requirement.
+        expected: &'static str,
+    },
+    /// A column command addressed a row other than the open one.
+    RowMismatch {
+        /// The row currently latched in the bank's row buffer.
+        open: Row,
+    },
+    /// The activation timing set under-runs the charge-dependent
+    /// physical minimum — the NUAT safety property.
+    PhysicalViolation {
+        /// Which parameter was under-run (`"tRCD"` or `"tRAS"`).
+        parameter: &'static str,
+        /// The controller's proposed value in cycles.
+        proposed_cycles: u64,
+        /// The physical minimum in nanoseconds.
+        minimum_ns: f64,
+        /// Elapsed time since the row's last restore, nanoseconds.
+        elapsed_ns: f64,
+    },
+    /// A refresh was attempted while some bank still has an open row.
+    RefreshWithOpenBank {
+        /// The first offending bank.
+        bank: Bank,
+    },
+    /// The rank has CKE low (power-down); no commands may issue until
+    /// `power_up`.
+    PoweredDown {
+        /// The powered-down rank.
+        rank: Rank,
+    },
+    /// A command addressed a rank/bank/row outside the configured
+    /// geometry.
+    OutOfRange {
+        /// The offending coordinate name.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+}
+
+impl IssueError {
+    /// True if the command is merely early and will become legal with
+    /// time (as opposed to a protocol violation).
+    pub fn is_too_early(&self) -> bool {
+        matches!(self, IssueError::TooEarly { .. })
+    }
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::TooEarly { constraint, earliest } => {
+                write!(f, "{constraint} not satisfied until cycle {earliest}")
+            }
+            IssueError::WrongBankState { rank, bank, expected } => {
+                write!(f, "rank {rank} bank {bank} must be {expected}")
+            }
+            IssueError::RowMismatch { open } => {
+                write!(f, "column access to a row other than open row {open}")
+            }
+            IssueError::PhysicalViolation { parameter, proposed_cycles, minimum_ns, elapsed_ns } => {
+                write!(
+                    f,
+                    "{parameter} of {proposed_cycles} cycles under-runs physical minimum \
+                     {minimum_ns:.2} ns at {elapsed_ns:.0} ns since refresh"
+                )
+            }
+            IssueError::RefreshWithOpenBank { bank } => {
+                write!(f, "refresh requires all banks precharged, bank {bank} is open")
+            }
+            IssueError::PoweredDown { rank } => {
+                write!(f, "rank {rank} is in power-down; raise CKE first")
+            }
+            IssueError::OutOfRange { field, value } => {
+                write!(f, "{field} {value} outside configured geometry")
+            }
+        }
+    }
+}
+
+impl Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_early_classification() {
+        let e = IssueError::TooEarly { constraint: "tRCD", earliest: McCycle::new(10) };
+        assert!(e.is_too_early());
+        let e = IssueError::RowMismatch { open: Row::new(1) };
+        assert!(!e.is_too_early());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = IssueError::PhysicalViolation {
+            parameter: "tRCD",
+            proposed_cycles: 8,
+            minimum_ns: 14.2,
+            elapsed_ns: 6.3e7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRCD"));
+        assert!(s.contains("14.20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<IssueError>();
+    }
+}

@@ -1,0 +1,351 @@
+//! Reference timing checker: a deliberately naive, history-based
+//! re-implementation of the DDR3 rule set, used as a differential-test
+//! oracle for the fast incremental checker in [`crate::device`].
+//!
+//! Where the device keeps monotone "earliest legal cycle" registers,
+//! this checker keeps the *full command history* and re-derives every
+//! constraint from first principles on each query. It is O(history) per
+//! check and unsuitable for simulation, but its rules are written
+//! directly from the JEDEC-style constraint table, so agreement between
+//! the two implementations is strong evidence both are right.
+//!
+//! The reference checker covers the protocol rules only (state and
+//! timing); the charge-physics validation has its own oracle in
+//! `nuat-circuit` and is tested separately.
+
+use crate::command::DramCommand;
+use nuat_types::{Bank, DramTimings, McCycle, Rank, Row};
+
+/// One accepted command with its issue time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    at: McCycle,
+    cmd: DramCommand,
+    /// For auto-precharging columns: when the implied PRE happens.
+    implied_pre: Option<McCycle>,
+}
+
+/// History-based DDR3 protocol checker. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use nuat_dram::{DramCommand, ReferenceChecker};
+/// use nuat_types::{Bank, DramTimings, McCycle, Rank, Row};
+///
+/// let t = DramTimings::default();
+/// let mut checker = ReferenceChecker::new(t, 8);
+/// let act = DramCommand::activate_worst_case(Rank::new(0), Bank::new(0), Row::new(5), &t);
+/// assert!(checker.is_legal(&act, McCycle::new(0)));
+/// checker.record(act, McCycle::new(0));
+/// assert!(!checker.is_legal(&act, McCycle::new(10))); // bank already open
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceChecker {
+    t: DramTimings,
+    banks_per_rank: u32,
+    history: Vec<Event>,
+}
+
+impl ReferenceChecker {
+    /// Creates a checker for one rank-set with the given timing set.
+    pub fn new(t: DramTimings, banks_per_rank: u32) -> Self {
+        ReferenceChecker { t, banks_per_rank, history: Vec::new() }
+    }
+
+    /// The open row of `bank`, if any, at time `now`.
+    pub fn open_row(&self, rank: Rank, bank: Bank, now: McCycle) -> Option<Row> {
+        let mut open: Option<Row> = None;
+        for e in &self.history {
+            if e.at > now {
+                break;
+            }
+            if e.cmd.rank() != rank {
+                continue;
+            }
+            match e.cmd {
+                DramCommand::Activate { bank: b, row, .. } if b == bank => open = Some(row),
+                DramCommand::Precharge { bank: b, .. } if b == bank => open = None,
+                DramCommand::Read { bank: b, .. } | DramCommand::Write { bank: b, .. }
+                    if b == bank =>
+                {
+                    // An auto-precharging column commits the bank to
+                    // close: no further column/PRE commands are legal
+                    // from the moment it issues (JEDEC semantics), even
+                    // though the precharge itself happens later.
+                    if e.implied_pre.is_some() {
+                        open = None;
+                    }
+                }
+                DramCommand::Refresh { .. } => open = None,
+                _ => {}
+            }
+        }
+        open
+    }
+
+    /// Whether `cmd` is legal at `now` under the recorded history.
+    pub fn is_legal(&self, cmd: &DramCommand, now: McCycle) -> bool {
+        let t = &self.t;
+        let rank = cmd.rank();
+        // Helper: iterate history events for this rank.
+        let events =
+            || self.history.iter().filter(move |e| e.cmd.rank() == rank && e.at <= now);
+
+        // Implied/explicit precharge time of a bank's most recent close,
+        // and the most recent events per class.
+        match *cmd {
+            DramCommand::Activate { bank, timings, .. } => {
+                if timings.trc != timings.tras + t.trp {
+                    return false;
+                }
+                if self.open_row(rank, bank, now).is_some() {
+                    return false;
+                }
+                // tRP after the bank's last (explicit or implied) PRE.
+                for e in events() {
+                    match e.cmd {
+                        DramCommand::Precharge { bank: b, .. } if b == bank => {
+                            if now.raw() < e.at.raw() + t.trp {
+                                return false;
+                            }
+                        }
+                        DramCommand::Read { bank: b, .. } | DramCommand::Write { bank: b, .. }
+                            if b == bank =>
+                        {
+                            if let Some(pre) = e.implied_pre {
+                                if now.raw() < pre.raw() + t.trp {
+                                    return false;
+                                }
+                            }
+                        }
+                        // tRC after the bank's last ACT (its promised tRC).
+                        DramCommand::Activate { bank: b, timings: prev, .. } if b == bank => {
+                            if now.raw() < e.at.raw() + prev.trc {
+                                return false;
+                            }
+                        }
+                        // tRFC after a refresh.
+                        DramCommand::Refresh { .. } => {
+                            if now.raw() < e.at.raw() + t.trfc {
+                                return false;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // tRRD after any ACT in the rank.
+                if events().any(|e| {
+                    matches!(e.cmd, DramCommand::Activate { .. })
+                        && now.raw() < e.at.raw() + t.trrd
+                }) {
+                    return false;
+                }
+                // tFAW: at most 4 ACTs in any tFAW window.
+                let recent_acts = events()
+                    .filter(|e| {
+                        matches!(e.cmd, DramCommand::Activate { .. })
+                            && e.at.raw() + t.tfaw > now.raw()
+                    })
+                    .count();
+                recent_acts < 4
+            }
+
+            DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
+                let is_read = matches!(cmd, DramCommand::Read { .. });
+                if self.open_row(rank, bank, now).is_none() {
+                    return false;
+                }
+                for e in events() {
+                    match e.cmd {
+                        DramCommand::Activate { bank: b, timings, .. } if b == bank => {
+                            // tRCD (the ACT's promised value).
+                            if now.raw() < e.at.raw() + timings.trcd {
+                                return false;
+                            }
+                        }
+                        DramCommand::Read { .. } => {
+                            if is_read {
+                                if now.raw() < e.at.raw() + t.tccd {
+                                    return false;
+                                }
+                            } else if now.raw() < e.at.raw() + t.read_to_write() {
+                                return false;
+                            }
+                        }
+                        DramCommand::Write { .. } => {
+                            if is_read {
+                                if now.raw() < e.at.raw() + t.write_to_read() {
+                                    return false;
+                                }
+                            } else if now.raw() < e.at.raw() + t.tccd {
+                                return false;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                true
+            }
+
+            DramCommand::Precharge { bank, .. } => {
+                if self.open_row(rank, bank, now).is_none() {
+                    return false;
+                }
+                for e in events() {
+                    match e.cmd {
+                        DramCommand::Activate { bank: b, timings, .. } if b == bank => {
+                            if now.raw() < e.at.raw() + timings.tras {
+                                return false;
+                            }
+                        }
+                        DramCommand::Read { bank: b, .. } if b == bank => {
+                            if now.raw() < e.at.raw() + t.trtp {
+                                return false;
+                            }
+                        }
+                        DramCommand::Write { bank: b, .. } if b == bank => {
+                            if now.raw() < e.at.raw() + t.write_to_precharge() {
+                                return false;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                true
+            }
+
+            DramCommand::Refresh { .. } => {
+                for b in 0..self.banks_per_rank {
+                    if self.open_row(rank, Bank::new(b), now).is_some() {
+                        return false;
+                    }
+                }
+                for e in events() {
+                    let gate = match e.cmd {
+                        DramCommand::Precharge { .. } => e.at.raw() + t.trp,
+                        DramCommand::Activate { timings, .. } => e.at.raw() + timings.trc,
+                        DramCommand::Refresh { .. } => e.at.raw() + t.trfc,
+                        DramCommand::Read { .. } | DramCommand::Write { .. } => {
+                            match e.implied_pre {
+                                Some(pre) => pre.raw() + t.trp,
+                                None => 0,
+                            }
+                        }
+                    };
+                    if now.raw() < gate {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Records `cmd` as issued at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are recorded out of order.
+    pub fn record(&mut self, cmd: DramCommand, now: McCycle) {
+        if let Some(last) = self.history.last() {
+            assert!(last.at <= now, "history must be recorded in order");
+        }
+        let implied_pre = match cmd {
+            DramCommand::Read { rank, bank, auto_precharge: true, .. } => {
+                let act = self.last_act(rank, bank).expect("column to open bank");
+                Some((act.0 + act.1).max(now + self.t.trtp))
+            }
+            DramCommand::Write { rank, bank, auto_precharge: true, .. } => {
+                let act = self.last_act(rank, bank).expect("column to open bank");
+                Some((act.0 + act.1).max(now + self.t.write_to_precharge()))
+            }
+            _ => None,
+        };
+        self.history.push(Event { at: now, cmd, implied_pre });
+    }
+
+    /// `(issue_time, promised tRAS)` of the bank's most recent ACT.
+    fn last_act(&self, rank: Rank, bank: Bank) -> Option<(McCycle, u64)> {
+        self.history.iter().rev().find_map(|e| match e.cmd {
+            DramCommand::Activate { bank: b, timings, .. }
+                if e.cmd.rank() == rank && b == bank =>
+            {
+                Some((e.at, timings.tras))
+            }
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::Col;
+
+    fn checker() -> ReferenceChecker {
+        ReferenceChecker::new(DramTimings::default(), 8)
+    }
+
+    fn act(bank: u32, row: u32) -> DramCommand {
+        DramCommand::activate_worst_case(
+            Rank::new(0),
+            Bank::new(bank),
+            Row::new(row),
+            &DramTimings::default(),
+        )
+    }
+
+    fn read(bank: u32, auto: bool) -> DramCommand {
+        DramCommand::Read {
+            rank: Rank::new(0),
+            bank: Bank::new(bank),
+            col: Col::new(0),
+            auto_precharge: auto,
+        }
+    }
+
+    #[test]
+    fn basic_act_read_pre_cycle() {
+        let mut c = checker();
+        let t0 = McCycle::new(100);
+        assert!(c.is_legal(&act(0, 5), t0));
+        c.record(act(0, 5), t0);
+        assert!(!c.is_legal(&read(0, false), t0 + 11), "tRCD");
+        assert!(c.is_legal(&read(0, false), t0 + 12));
+        c.record(read(0, false), t0 + 12);
+        let pre = DramCommand::Precharge { rank: Rank::new(0), bank: Bank::new(0) };
+        assert!(!c.is_legal(&pre, t0 + 29), "tRAS");
+        assert!(c.is_legal(&pre, t0 + 30));
+    }
+
+    #[test]
+    fn open_row_tracking_with_auto_precharge() {
+        let mut c = checker();
+        let t0 = McCycle::new(0);
+        c.record(act(0, 5), t0);
+        assert_eq!(c.open_row(Rank::new(0), Bank::new(0), t0 + 5), Some(Row::new(5)));
+        c.record(read(0, true), t0 + 12);
+        // The auto-precharge commits the bank to close immediately for
+        // command purposes; the physical precharge happens at
+        // max(tRAS, rd + tRTP) = cycle 30 and gates the next ACT.
+        assert_eq!(c.open_row(Rank::new(0), Bank::new(0), t0 + 13), None);
+        // Next ACT legal at 30 + tRP = 42.
+        assert!(!c.is_legal(&act(0, 7), t0 + 41));
+        assert!(c.is_legal(&act(0, 7), t0 + 42));
+    }
+
+    #[test]
+    fn refresh_needs_all_banks_idle() {
+        let mut c = checker();
+        c.record(act(3, 1), McCycle::new(0));
+        let refresh = DramCommand::Refresh { rank: Rank::new(0) };
+        assert!(!c.is_legal(&refresh, McCycle::new(100)));
+        c.record(
+            DramCommand::Precharge { rank: Rank::new(0), bank: Bank::new(3) },
+            McCycle::new(100),
+        );
+        assert!(!c.is_legal(&refresh, McCycle::new(111)), "tRP");
+        assert!(c.is_legal(&refresh, McCycle::new(112)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Differential testing: the fast incremental checker in
+//! [`nuat_dram::DramDevice`] must agree with the naive history-based
+//! [`nuat_dram::ReferenceChecker`] on every protocol decision.
+//!
+//! Random command attempts are fired at random times; each attempt is
+//! judged by both implementations. Commands the device accepts are
+//! recorded into the reference so the two views evolve together.
+//! Physical (charge) rejections are excluded from the comparison — the
+//! reference covers the protocol only — by issuing worst-case ACT
+//! timings, which the physics always accepts.
+
+use nuat_dram::{DramCommand, DramDevice, IssueError, ReferenceChecker};
+use nuat_types::{Bank, Col, DramConfig, McCycle, Rank, Row};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Attempt {
+    Act { bank: u32, row: u32 },
+    Read { bank: u32, col: u32, auto: bool },
+    Write { bank: u32, col: u32, auto: bool },
+    Pre { bank: u32 },
+    Wait { cycles: u16 },
+}
+
+fn arb_attempt() -> impl Strategy<Value = Attempt> {
+    prop_oneof![
+        (0u32..8, 0u32..64).prop_map(|(bank, row)| Attempt::Act { bank, row }),
+        (0u32..8, 0u32..16, proptest::bool::ANY)
+            .prop_map(|(bank, col, auto)| Attempt::Read { bank, col, auto }),
+        (0u32..8, 0u32..16, proptest::bool::ANY)
+            .prop_map(|(bank, col, auto)| Attempt::Write { bank, col, auto }),
+        (0u32..8).prop_map(|bank| Attempt::Pre { bank }),
+        (1u16..48).prop_map(|cycles| Attempt::Wait { cycles }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_checker_agrees_with_reference(
+        attempts in proptest::collection::vec(arb_attempt(), 1..250)
+    ) {
+        let cfg = DramConfig::default();
+        let mut dev = DramDevice::new(cfg);
+        let timings = *dev.timings();
+        let mut reference = ReferenceChecker::new(timings, 8);
+        // Start late enough that initial charge states allow worst-case
+        // ACTs everywhere (they always do) and REF is not yet due.
+        let mut now = McCycle::new(100);
+        let rank = Rank::new(0);
+
+        for a in attempts {
+            let cmd = match a {
+                Attempt::Wait { cycles } => {
+                    now += cycles as u64;
+                    continue;
+                }
+                Attempt::Act { bank, row } => DramCommand::activate_worst_case(
+                    rank,
+                    Bank::new(bank),
+                    Row::new(row),
+                    &timings,
+                ),
+                Attempt::Read { bank, col, auto } => DramCommand::Read {
+                    rank,
+                    bank: Bank::new(bank),
+                    col: Col::new(col),
+                    auto_precharge: auto,
+                },
+                Attempt::Write { bank, col, auto } => DramCommand::Write {
+                    rank,
+                    bank: Bank::new(bank),
+                    col: Col::new(col),
+                    auto_precharge: auto,
+                },
+                Attempt::Pre { bank } => DramCommand::Precharge { rank, bank: Bank::new(bank) },
+            };
+
+            // Column commands to a row other than the open one cannot be
+            // produced by the real controller; the device reports
+            // RowMismatch only via column address checks we do not model
+            // here, so both implementations treat "bank open" as the
+            // state gate. Compare verdicts directly.
+            let dev_verdict = dev.can_issue(&cmd, now);
+            let ref_verdict = reference.is_legal(&cmd, now);
+            let dev_ok = dev_verdict.is_ok();
+            prop_assert_eq!(
+                dev_ok,
+                ref_verdict,
+                "disagreement on {} at {}: device {:?}",
+                cmd,
+                now,
+                dev_verdict.err()
+            );
+
+            if dev_ok {
+                dev.issue(cmd, now).expect("can_issue passed");
+                reference.record(cmd, now);
+                now += 1;
+            }
+        }
+    }
+
+    /// The device's `TooEarly { earliest }` hints are *accurate* for
+    /// single-constraint situations: the command is illegal one cycle
+    /// before `earliest` per the reference too.
+    #[test]
+    fn too_early_hints_are_sound(
+        attempts in proptest::collection::vec(arb_attempt(), 1..120)
+    ) {
+        let cfg = DramConfig::default();
+        let mut dev = DramDevice::new(cfg);
+        let timings = *dev.timings();
+        let mut reference = ReferenceChecker::new(timings, 8);
+        let mut now = McCycle::new(100);
+        let rank = Rank::new(0);
+        for a in attempts {
+            let cmd = match a {
+                Attempt::Wait { cycles } => { now += cycles as u64; continue; }
+                Attempt::Act { bank, row } => DramCommand::activate_worst_case(
+                    rank, Bank::new(bank), Row::new(row), &timings),
+                Attempt::Read { bank, col, auto } => DramCommand::Read {
+                    rank, bank: Bank::new(bank), col: Col::new(col), auto_precharge: auto },
+                Attempt::Write { bank, col, auto } => DramCommand::Write {
+                    rank, bank: Bank::new(bank), col: Col::new(col), auto_precharge: auto },
+                Attempt::Pre { bank } => DramCommand::Precharge { rank, bank: Bank::new(bank) },
+            };
+            match dev.can_issue(&cmd, now) {
+                Ok(()) => {
+                    dev.issue(cmd, now).expect("checked");
+                    reference.record(cmd, now);
+                    now += 1;
+                }
+                Err(IssueError::TooEarly { earliest, .. }) => {
+                    // The hint must not be in the past ...
+                    prop_assert!(earliest > now);
+                    // ... and the reference must also consider the
+                    // moment just before the hint illegal.
+                    prop_assert!(
+                        !reference.is_legal(&cmd, McCycle::new(earliest.raw() - 1)),
+                        "reference would allow {} before the device's hint {}",
+                        cmd, earliest
+                    );
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 21: sensitivity to the number of PBs.
+//!
+//! The paper plots, per core count (1/2/4), the read-latency cycles
+//! saved by 3/4/5-PB NUAT relative to the 2PB configuration. The saved
+//! cycles grow with #PB but with diminishing returns (the sense-amp
+//! nonlinearity), and the sensitivity steepens with more cores.
+
+use crate::runner::{run_mix, RunConfig};
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_workloads::{random_mixes, table2, WorkloadSpec};
+use std::fmt;
+
+/// Result grid of the #PB sweep.
+#[derive(Debug, Clone)]
+pub struct PbSensitivity {
+    /// Core counts evaluated (paper: 1, 2, 4).
+    pub core_counts: Vec<usize>,
+    /// PB counts evaluated (paper: 2, 3, 4, 5).
+    pub n_pbs: Vec<usize>,
+    /// `avg_latency[ci][pi]`: mean read latency (cycles) for
+    /// `core_counts[ci]` cores under `n_pbs[pi]` partitions.
+    pub avg_latency: Vec<Vec<f64>>,
+}
+
+impl PbSensitivity {
+    /// Runs the sweep. `mixes_per_count` bounds the number of
+    /// multi-programmed combinations per core count (the paper uses 32;
+    /// tests use fewer). Single-core uses `single_core_workloads`
+    /// workloads from Table 2.
+    pub fn run(
+        core_counts: &[usize],
+        n_pbs: &[usize],
+        single_core_workloads: usize,
+        mixes_per_count: usize,
+        rc: &RunConfig,
+    ) -> Self {
+        let singles = table2();
+        let mut avg_latency = Vec::new();
+        for &cores in core_counts {
+            let combos: Vec<Vec<WorkloadSpec>> = if cores == 1 {
+                singles.iter().take(single_core_workloads).map(|w| vec![*w]).collect()
+            } else {
+                random_mixes(cores, mixes_per_count, 0x21c0de + cores as u64)
+                    .into_iter()
+                    .map(|m| m.workloads)
+                    .collect()
+            };
+            let mut per_pb = Vec::new();
+            for &n_pb in n_pbs {
+                let grouping = PbGrouping::paper(n_pb);
+                let mut acc = 0.0;
+                for specs in &combos {
+                    let r = run_mix(specs, SchedulerKind::Nuat, grouping.clone(), rc);
+                    acc += r.avg_read_latency();
+                }
+                per_pb.push(acc / combos.len() as f64);
+            }
+            avg_latency.push(per_pb);
+        }
+        PbSensitivity {
+            core_counts: core_counts.to_vec(),
+            n_pbs: n_pbs.to_vec(),
+            avg_latency,
+        }
+    }
+
+    /// The paper's default sweep shape.
+    pub fn run_paper(rc: &RunConfig, mixes_per_count: usize) -> Self {
+        Self::run(&[1, 2, 4], &[2, 3, 4, 5], 18, mixes_per_count, rc)
+    }
+
+    /// Cycles saved vs the 2PB baseline, per core count and #PB (the
+    /// quantity Fig. 21 plots). Assumes `n_pbs[0]` is the baseline.
+    pub fn saved_cycles(&self) -> Vec<Vec<f64>> {
+        self.avg_latency
+            .iter()
+            .map(|row| row.iter().map(|&l| row[0] - l).collect())
+            .collect()
+    }
+}
+
+impl fmt::Display for PbSensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 21 — Sensitivity to the number of PBs")?;
+        writeln!(f, "(average read-latency cycles saved vs the {}PB baseline)", self.n_pbs[0])?;
+        write!(f, "{:<8}", "cores")?;
+        for n in &self.n_pbs {
+            write!(f, " {:>8}", format!("{n}PB"))?;
+        }
+        writeln!(f)?;
+        for (ci, &cores) in self.core_counts.iter().enumerate() {
+            write!(f, "{:<8}", cores)?;
+            for saved in &self.saved_cycles()[ci] {
+                write!(f, " {:>8.2}", saved)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_pbs_do_not_hurt_latency() {
+        let rc = RunConfig { mem_ops_per_core: 800, ..RunConfig::quick() };
+        let s = PbSensitivity::run(&[1], &[2, 5], 3, 1, &rc);
+        let saved = s.saved_cycles();
+        assert_eq!(saved[0][0], 0.0, "baseline saves nothing vs itself");
+        assert!(
+            saved[0][1] > -0.5,
+            "5PB must not be materially slower than 2PB: {:?}",
+            saved
+        );
+    }
+
+    #[test]
+    fn display_renders_the_grid() {
+        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let s = PbSensitivity::run(&[1], &[2, 3], 2, 1, &rc);
+        let txt = s.to_string();
+        assert!(txt.contains("2PB"));
+        assert!(txt.contains("3PB"));
+        assert!(txt.contains("Fig. 21"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment runners regenerating every figure of the paper's
+//! evaluation (see DESIGN.md §2 for the experiment index).
+
+pub mod fig18;
+pub mod fig21;
+pub mod fig22;
+
+pub use fig18::{LatencyExecReport, WorkloadComparison};
+pub use fig21::PbSensitivity;
+pub use fig22::{MulticoreEffects, MulticoreRow};

@@ -1,0 +1,200 @@
+//! Machine-readable exports of experiment results (CSV) and text
+//! rendering helpers, so the figure data can be re-plotted outside the
+//! simulator.
+
+use crate::experiments::{LatencyExecReport, MulticoreEffects, PbSensitivity};
+use nuat_core::LatencyHistogram;
+use std::fmt::Write as _;
+
+/// Minimal CSV writer: RFC-4180 quoting, no dependencies.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    out: String,
+}
+
+impl Csv {
+    /// Starts an empty document.
+    pub fn new() -> Self {
+        Csv::default()
+    }
+
+    /// Appends one row; fields are quoted when they contain commas,
+    /// quotes or newlines.
+    pub fn row<I, S>(&mut self, fields: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            let f = f.as_ref();
+            if f.contains([',', '"', '\n']) {
+                self.out.push('"');
+                self.out.push_str(&f.replace('"', "\"\""));
+                self.out.push('"');
+            } else {
+                self.out.push_str(f);
+            }
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the builder, returning the document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+/// Fig. 18/20 data as CSV (one row per workload).
+pub fn latency_exec_csv(report: &LatencyExecReport) -> String {
+    let mut csv = Csv::new();
+    csv.row([
+        "workload",
+        "nuat_latency",
+        "open_latency",
+        "close_latency",
+        "latency_vs_open_pct",
+        "latency_vs_close_pct",
+        "exec_vs_open_pct",
+        "exec_vs_close_pct",
+        "hit_open",
+        "hit_close",
+        "slow_pb_share",
+    ]);
+    for r in &report.rows {
+        csv.row([
+            r.workload.to_string(),
+            format!("{:.3}", r.mean_latency[0]),
+            format!("{:.3}", r.mean_latency[1]),
+            format!("{:.3}", r.mean_latency[2]),
+            format!("{:.3}", r.latency_reduction_vs_open()),
+            format!("{:.3}", r.latency_reduction_vs_close()),
+            format!("{:.3}", r.exec_improvement_vs_open()),
+            format!("{:.3}", r.exec_improvement_vs_close()),
+            format!("{:.3}", r.open.stats.read_hit_rate()),
+            format!("{:.3}", r.close.stats.read_hit_rate()),
+            format!("{:.3}", r.slow_pb_share()),
+        ]);
+    }
+    csv.into_string()
+}
+
+/// Fig. 21 data as CSV (one row per core count, one column per #PB).
+pub fn pb_sensitivity_csv(s: &PbSensitivity) -> String {
+    let mut csv = Csv::new();
+    let mut header = vec!["cores".to_string()];
+    header.extend(s.n_pbs.iter().map(|n| format!("saved_cycles_{n}pb")));
+    csv.row(header);
+    let saved = s.saved_cycles();
+    for (ci, &cores) in s.core_counts.iter().enumerate() {
+        let mut row = vec![cores.to_string()];
+        row.extend(saved[ci].iter().map(|v| format!("{v:.3}")));
+        csv.row(row);
+    }
+    csv.into_string()
+}
+
+/// Fig. 22 data as CSV (one row per core count).
+pub fn multicore_csv(m: &MulticoreEffects) -> String {
+    let mut csv = Csv::new();
+    csv.row(["cores", "exec_vs_open_pct", "exec_vs_close_pct", "latency_vs_open_pct", "combos"]);
+    for r in &m.rows {
+        csv.row([
+            r.cores.to_string(),
+            format!("{:.3}", r.vs_open_pct),
+            format!("{:.3}", r.vs_close_pct),
+            format!("{:.3}", r.latency_vs_open_pct),
+            r.combos.to_string(),
+        ]);
+    }
+    csv.into_string()
+}
+
+/// Text bar rendering of a latency histogram.
+pub fn render_histogram(hist: &LatencyHistogram, width: usize) -> String {
+    let total = hist.total().max(1);
+    let max_count = hist.buckets().map(|(_, c)| c).max().unwrap_or(1).max(1);
+    let mut s = String::new();
+    for (bound, count) in hist.buckets() {
+        let bars = (count as usize * width).div_ceil(max_count as usize);
+        let label = if bound == u64::MAX {
+            "   inf".to_string()
+        } else {
+            format!("{bound:>6}")
+        };
+        let _ = writeln!(
+            s,
+            "  <= {label} | {:<width$} {:>5.1} %",
+            "#".repeat(if count > 0 { bars.max(1) } else { 0 }),
+            count as f64 / total as f64 * 100.0,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use nuat_workloads::by_name;
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut c = Csv::new();
+        c.row(["plain", "with,comma", "with\"quote"]);
+        assert_eq!(c.as_str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+    }
+
+    #[test]
+    fn latency_csv_has_header_and_rows() {
+        let rc = RunConfig { mem_ops_per_core: 400, ..RunConfig::quick() };
+        let rep = LatencyExecReport::run_subset(&[by_name("black").unwrap()], &rc);
+        let csv = latency_exec_csv(&rep);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("workload,nuat_latency"));
+        assert!(lines[1].starts_with("black,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+    }
+
+    #[test]
+    fn sensitivity_csv_shape() {
+        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let s = PbSensitivity::run(&[1], &[2, 5], 1, 1, &rc);
+        let csv = pb_sensitivity_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "cores,saved_cycles_2pb,saved_cycles_5pb");
+        assert!(lines[1].starts_with("1,0.000,"));
+    }
+
+    #[test]
+    fn multicore_csv_shape() {
+        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let m = MulticoreEffects::run(&[1], 1, 1, &rc);
+        let csv = multicore_csv(&m);
+        assert!(csv.starts_with("cores,exec_vs_open_pct"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn histogram_rendering_covers_all_buckets() {
+        let mut h = LatencyHistogram::default();
+        for v in [10, 20, 20, 300, 10_000] {
+            h.record(v);
+        }
+        let text = render_histogram(&h, 30);
+        assert!(text.contains("inf"));
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), h.buckets().count());
+    }
+}

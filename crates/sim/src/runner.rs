@@ -1,0 +1,108 @@
+//! Convenience runners shared by the experiments, examples and benches.
+
+use crate::system::{SimResult, System};
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_cpu::Trace;
+use nuat_types::SystemConfig;
+use nuat_workloads::{TraceGenerator, WorkloadSpec};
+
+/// Knobs common to every experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Memory operations per core.
+    pub mem_ops_per_core: usize,
+    /// Base RNG seed (workload name is mixed in per core).
+    pub seed: u64,
+    /// Hard cap on simulated memory cycles.
+    pub max_mc_cycles: u64,
+    /// Reads to complete before statistics start counting (standard
+    /// warmup methodology; simulation state — queues, open rows, charge,
+    /// refresh position — is preserved across the reset).
+    pub warmup_reads: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            mem_ops_per_core: 12_000,
+            seed: 42,
+            max_mc_cycles: 80_000_000,
+            warmup_reads: 0,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        RunConfig { mem_ops_per_core: 1_500, max_mc_cycles: 20_000_000, ..RunConfig::default() }
+    }
+}
+
+/// Generates one trace per core from the given specs.
+pub fn traces_for(specs: &[WorkloadSpec], cfg: &SystemConfig, rc: &RunConfig) -> Vec<Trace> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(core, spec)| {
+            TraceGenerator::new(*spec, cfg.dram.geometry, rc.seed.wrapping_add(core as u64 * 7919))
+                .generate(rc.mem_ops_per_core)
+        })
+        .collect()
+}
+
+/// Runs one multi-programmed combination under one scheduler.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn run_mix(
+    specs: &[WorkloadSpec],
+    scheduler: SchedulerKind,
+    grouping: PbGrouping,
+    rc: &RunConfig,
+) -> SimResult {
+    assert!(!specs.is_empty(), "need at least one workload");
+    let cfg = SystemConfig::with_cores(specs.len());
+    let traces = traces_for(specs, &cfg, rc);
+    System::new(cfg, scheduler, grouping, traces)
+        .run_with_warmup(rc.max_mc_cycles, rc.warmup_reads)
+}
+
+/// Runs a single-core workload under one scheduler with the paper's
+/// 5PB grouping.
+pub fn run_single(spec: WorkloadSpec, scheduler: SchedulerKind, rc: &RunConfig) -> SimResult {
+    run_mix(&[spec], scheduler, PbGrouping::paper(5), rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_workloads::by_name;
+
+    #[test]
+    fn run_single_is_deterministic() {
+        let rc = RunConfig { mem_ops_per_core: 400, ..RunConfig::quick() };
+        let spec = by_name("swapt").unwrap();
+        let a = run_single(spec, SchedulerKind::Nuat, &rc);
+        let b = run_single(spec, SchedulerKind::Nuat, &rc);
+        assert_eq!(a.mc_cycles, b.mc_cycles);
+        assert_eq!(a.stats.total_read_latency, b.stats.total_read_latency);
+    }
+
+    #[test]
+    fn per_core_seeds_differ_in_a_mix() {
+        let rc = RunConfig { mem_ops_per_core: 200, ..RunConfig::quick() };
+        let spec = by_name("black").unwrap();
+        let cfg = SystemConfig::with_cores(2);
+        let traces = traces_for(&[spec, spec], &cfg, &rc);
+        assert_ne!(traces[0], traces[1], "same workload on two cores must not be identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_mix_rejected() {
+        run_mix(&[], SchedulerKind::Nuat, PbGrouping::paper(5), &RunConfig::quick());
+    }
+}

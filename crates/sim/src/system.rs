@@ -1,0 +1,311 @@
+//! Full-system wiring: N trace-driven cores sharing one memory
+//! controller, clocked at the paper's 4:1 CPU-to-memory ratio.
+
+use nuat_core::{MemoryController, RequestKind, SchedulerKind};
+use nuat_circuit::PbGrouping;
+use nuat_cpu::{Core, MemOp, MemoryPort, Trace};
+use nuat_types::{CpuCycle, McCycle, PhysAddr, SystemConfig, CPU_CYCLES_PER_MC_CYCLE};
+
+/// Adapter exposing the channel controllers as the cores'
+/// [`MemoryPort`]. Requests route by the decoded channel; completion
+/// tokens encode `(request id, channel)` so the system can match them
+/// back even though each controller numbers requests independently.
+struct Port<'a> {
+    mcs: &'a mut [MemoryController],
+    cfg: &'a SystemConfig,
+}
+
+impl Port<'_> {
+    fn channel_of(&self, addr: PhysAddr) -> usize {
+        self.cfg
+            .dram
+            .geometry
+            .decode(addr, self.cfg.controller.mapping)
+            .channel
+            .index()
+    }
+}
+
+impl MemoryPort for Port<'_> {
+    fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool {
+        self.mcs[self.channel_of(addr)].can_accept(kind_of(op))
+    }
+
+    fn submit(&mut self, core: usize, op: MemOp, addr: PhysAddr) -> u64 {
+        let decoded = self.cfg.dram.geometry.decode(addr, self.cfg.controller.mapping);
+        let ch = decoded.channel.index();
+        let id = self.mcs[ch].enqueue_decoded(core, kind_of(op), decoded);
+        token(id.0, ch, self.mcs.len())
+    }
+}
+
+/// Packs `(request id, channel)` into the opaque core-facing token.
+fn token(id: u64, channel: usize, channels: usize) -> u64 {
+    id * channels as u64 + channel as u64
+}
+
+fn kind_of(op: MemOp) -> RequestKind {
+    match op {
+        MemOp::Read => RequestKind::Read,
+        MemOp::Write => RequestKind::Write,
+    }
+}
+
+/// Outcome of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Memory cycles until the last core finished (or the cap).
+    pub mc_cycles: u64,
+    /// CPU cycles until the last core finished (the paper's total
+    /// execution time).
+    pub execution_cpu_cycles: u64,
+    /// Whether every core retired its whole trace within the cap.
+    pub completed: bool,
+    /// Per-core finish times (CPU cycles); cap value if unfinished.
+    pub core_finish_cpu_cycles: Vec<u64>,
+    /// Controller statistics (latency, hit rates, PB distribution).
+    pub stats: nuat_core::ControllerStats,
+    /// Device statistics (reduced activations, command energy).
+    pub device: nuat_dram::DeviceStats,
+    /// Total DRAM energy in picojoules.
+    pub energy_pj: f64,
+    /// Cycles spent in power-down across all ranks and channels.
+    pub powerdown_cycles: u64,
+}
+
+impl SimResult {
+    /// Mean read latency in memory-controller cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        self.stats.avg_read_latency()
+    }
+}
+
+/// N cores + one memory controller per channel. See the module docs.
+#[derive(Debug)]
+pub struct System {
+    cores: Vec<Core>,
+    mcs: Vec<MemoryController>,
+    cfg: SystemConfig,
+    cpu_now: CpuCycle,
+}
+
+impl System {
+    /// Builds a system running one trace per core. One controller is
+    /// instantiated per configured channel (Table 3 uses one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count differs from `cfg.processor.cores` or
+    /// the configuration is invalid.
+    pub fn new(
+        cfg: SystemConfig,
+        scheduler: SchedulerKind,
+        grouping: PbGrouping,
+        traces: Vec<Trace>,
+    ) -> Self {
+        assert_eq!(
+            traces.len(),
+            cfg.processor.cores,
+            "need exactly one trace per configured core"
+        );
+        let mcs = (0..cfg.dram.geometry.channels)
+            .map(|_| MemoryController::with_grouping(cfg, scheduler, grouping.clone()))
+            .collect();
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::new(i, cfg.processor, t))
+            .collect();
+        System { cores, mcs, cfg, cpu_now: CpuCycle::ZERO }
+    }
+
+    /// The channel-0 controller (for inspection mid-run).
+    pub fn controller(&self) -> &MemoryController {
+        &self.mcs[0]
+    }
+
+    /// All channel controllers.
+    pub fn controllers(&self) -> &[MemoryController] {
+        &self.mcs
+    }
+
+    /// True once every core has retired its trace.
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+    }
+
+    /// Advances one memory-controller cycle (four CPU cycles).
+    pub fn step(&mut self) {
+        for _ in 0..CPU_CYCLES_PER_MC_CYCLE {
+            for core in &mut self.cores {
+                let mut port = Port { mcs: &mut self.mcs, cfg: &self.cfg };
+                core.tick(self.cpu_now, &mut port);
+            }
+            self.cpu_now += 1;
+        }
+        let channels = self.mcs.len();
+        for (ch, mc) in self.mcs.iter_mut().enumerate() {
+            mc.tick();
+            for done in mc.take_completions() {
+                self.cores[done.request.core]
+                    .complete_read(token(done.request.id.0, ch, channels), self.cpu_now);
+            }
+        }
+    }
+
+    fn all_idle(&self) -> bool {
+        self.mcs.iter().all(MemoryController::is_idle)
+    }
+
+    fn mc_now(&self) -> u64 {
+        self.mcs[0].now().raw()
+    }
+
+    /// Runs to completion or `max_mc_cycles`, returning the result.
+    ///
+    /// After the last core retires, the controllers keep ticking until
+    /// their queues drain (posted writes), so command accounting is
+    /// total. Multi-channel statistics are aggregated (sums; cycle
+    /// counts take the lockstep maximum).
+    pub fn run(self, max_mc_cycles: u64) -> SimResult {
+        self.run_with_warmup(max_mc_cycles, 0)
+    }
+
+    /// Like [`run`](Self::run), but resets all statistics once
+    /// `warmup_reads` reads have completed, so steady-state numbers are
+    /// not polluted by the cold start (empty row buffers, fully-aligned
+    /// refresh phase).
+    pub fn run_with_warmup(mut self, max_mc_cycles: u64, warmup_reads: u64) -> SimResult {
+        let mut warm = warmup_reads == 0;
+        while !self.is_done() && self.mc_now() < max_mc_cycles {
+            self.step();
+            if !warm {
+                let reads: u64 = self.mcs.iter().map(|m| m.stats().reads_completed).sum();
+                if reads >= warmup_reads {
+                    for mc in &mut self.mcs {
+                        mc.reset_stats();
+                    }
+                    warm = true;
+                }
+            }
+        }
+        while !self.all_idle() && self.mc_now() < max_mc_cycles {
+            for mc in &mut self.mcs {
+                mc.tick();
+            }
+        }
+        let completed = self.is_done();
+        let core_finish_cpu_cycles: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at().map(|t| t.raw()).unwrap_or(self.cpu_now.raw()))
+            .collect();
+        let execution_cpu_cycles =
+            core_finish_cpu_cycles.iter().copied().max().unwrap_or(0);
+        let elapsed = self.mc_now();
+        let mut stats = self.mcs[0].stats().clone();
+        let mut device = *self.mcs[0].device().stats();
+        let mut energy_pj = self.mcs[0].device().energy_pj(McCycle::new(elapsed));
+        let mut powerdown_cycles = self.mcs[0].device().total_powerdown_cycles();
+        for mc in &self.mcs[1..] {
+            stats.merge(mc.stats());
+            device.energy += mc.device().stats().energy;
+            device.reduced_activates += mc.device().stats().reduced_activates;
+            device.trcd_cycles_saved += mc.device().stats().trcd_cycles_saved;
+            device.tras_cycles_saved += mc.device().stats().tras_cycles_saved;
+            energy_pj += mc.device().energy_pj(McCycle::new(elapsed));
+            powerdown_cycles += mc.device().total_powerdown_cycles();
+        }
+        SimResult {
+            scheduler: self.mcs[0].policy_name(),
+            mc_cycles: elapsed,
+            execution_cpu_cycles,
+            completed,
+            core_finish_cpu_cycles,
+            stats,
+            device,
+            energy_pj,
+            powerdown_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuat_types::DramGeometry;
+    use nuat_workloads::{by_name, TraceGenerator};
+
+    fn run_one(name: &str, scheduler: SchedulerKind, mem_ops: usize) -> SimResult {
+        let cfg = SystemConfig::with_cores(1);
+        let trace = TraceGenerator::new(by_name(name).unwrap(), DramGeometry::default(), 1)
+            .generate(mem_ops);
+        System::new(cfg, scheduler, PbGrouping::paper(5), vec![trace]).run(20_000_000)
+    }
+
+    #[test]
+    fn small_run_completes_under_every_scheduler() {
+        for s in [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfsOpen,
+            SchedulerKind::FrFcfsClose,
+            SchedulerKind::Nuat,
+        ] {
+            let r = run_one("black", s, 300);
+            assert!(r.completed, "{} did not finish", r.scheduler);
+            assert_eq!(r.stats.reads_completed + r.stats.writes_drained, 300);
+            assert!(r.execution_cpu_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn nuat_reduces_latency_on_a_low_locality_workload() {
+        let open = run_one("ferret", SchedulerKind::FrFcfsOpen, 2000);
+        let nuat = run_one("ferret", SchedulerKind::Nuat, 2000);
+        assert!(open.completed && nuat.completed);
+        assert!(
+            nuat.avg_read_latency() < open.avg_read_latency(),
+            "NUAT {} vs FR-FCFS(open) {}",
+            nuat.avg_read_latency(),
+            open.avg_read_latency()
+        );
+        assert!(nuat.device.reduced_activates > 0, "NUAT must exploit charge slack");
+    }
+
+    #[test]
+    fn open_page_beats_close_page_on_high_locality() {
+        let open = run_one("libq", SchedulerKind::FrFcfsOpen, 1500);
+        let close = run_one("libq", SchedulerKind::FrFcfsClose, 1500);
+        assert!(open.avg_read_latency() <= close.avg_read_latency());
+        assert!(open.stats.read_hit_rate() > 0.5);
+        // Close page still catches queued hits (USIMM semantics), but
+        // fewer than open page.
+        assert!(close.stats.read_hit_rate() < open.stats.read_hit_rate());
+    }
+
+    #[test]
+    fn multicore_system_finishes_and_tracks_per_core() {
+        let cfg = SystemConfig::with_cores(2);
+        let g = DramGeometry::default();
+        let t0 = TraceGenerator::new(by_name("black").unwrap(), g, 1).generate(300);
+        let t1 = TraceGenerator::new(by_name("face").unwrap(), g, 2).generate(300);
+        let r = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), vec![t0, t1])
+            .run(20_000_000);
+        assert!(r.completed);
+        assert_eq!(r.core_finish_cpu_cycles.len(), 2);
+        assert!(r.stats.per_core_reads.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per configured core")]
+    fn trace_count_must_match_cores() {
+        System::new(
+            SystemConfig::with_cores(2),
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            vec![],
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Physical addresses, DRAM coordinates, and address-mapping schemes.
+//!
+//! The paper uses USIMM's "open-page baseline" mapping (Table 3), which
+//! keeps consecutive cache lines in the same DRAM row to maximize
+//! row-buffer hits. A close-page-oriented interleaving is also provided
+//! for the FR-FCFS(close) baseline experiments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! coord_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw coordinate.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw coordinate.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the coordinate widened to `u64` (for address math).
+            pub const fn as_u64(self) -> u64 {
+                self.0 as u64
+            }
+
+            /// Returns the coordinate as `usize` (for indexing).
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+coord_newtype!(
+    /// A channel index.
+    Channel
+);
+coord_newtype!(
+    /// A rank index within a channel.
+    Rank
+);
+coord_newtype!(
+    /// A bank index within a rank.
+    Bank
+);
+coord_newtype!(
+    /// A row index within a bank. The paper's banks have 8K rows.
+    Row
+);
+coord_newtype!(
+    /// A cache-line-granular column index within a row (1K per row in
+    /// Table 3; each column access moves one 64-byte line).
+    Col
+);
+
+/// A byte-granular physical address as produced by the processor model.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Wraps a raw physical address.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address of the containing 64-byte cache line.
+    pub const fn cache_line(self) -> u64 {
+        self.0 >> 6
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A physical address decomposed into DRAM coordinates.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DecodedAddr {
+    /// Channel index.
+    pub channel: Channel,
+    /// Rank index within the channel.
+    pub rank: Rank,
+    /// Bank index within the rank.
+    pub bank: Bank,
+    /// Row index within the bank.
+    pub row: Row,
+    /// Cache-line column index within the row.
+    pub col: Col,
+}
+
+impl fmt::Display for DecodedAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{} rk{} bk{} row{} col{}",
+            self.channel, self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// Physical-to-DRAM address mapping scheme.
+///
+/// Bit order below is least-significant first; the 6-bit cache-line
+/// offset is always the lowest field and is ignored by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// USIMM's open-page baseline (Table 3): `offset : column : channel :
+    /// bank : rank : row`. Consecutive cache lines share a row, maximizing
+    /// row-buffer hits.
+    OpenPageBaseline,
+    /// Close-page-oriented interleaving: `offset : channel : bank : rank :
+    /// column : row`. Consecutive cache lines spread across banks,
+    /// maximizing bank-level parallelism.
+    ClosePageInterleaved,
+    /// Open-page layout with permutation-based bank hashing (Zhang et
+    /// al.): the bank index is XORed with the low row bits, spreading
+    /// row-conflicting streams across banks while preserving row
+    /// locality.
+    OpenPageXorBank,
+}
+
+impl Default for AddressMapping {
+    fn default() -> Self {
+        AddressMapping::OpenPageBaseline
+    }
+}
+
+impl fmt::Display for AddressMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressMapping::OpenPageBaseline => write!(f, "open-page baseline"),
+            AddressMapping::ClosePageInterleaved => write!(f, "close-page interleaved"),
+            AddressMapping::OpenPageXorBank => write!(f, "open-page XOR bank hash"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_cache_line() {
+        assert_eq!(PhysAddr::new(0).cache_line(), 0);
+        assert_eq!(PhysAddr::new(63).cache_line(), 0);
+        assert_eq!(PhysAddr::new(64).cache_line(), 1);
+    }
+
+    #[test]
+    fn coord_conversions() {
+        let r = Row::new(8191);
+        assert_eq!(r.raw(), 8191);
+        assert_eq!(r.as_u64(), 8191);
+        assert_eq!(r.index(), 8191);
+        assert_eq!(Row::from(5u32), Row::new(5));
+    }
+
+    #[test]
+    fn decoded_addr_display() {
+        let d = DecodedAddr {
+            channel: Channel::new(0),
+            rank: Rank::new(0),
+            bank: Bank::new(3),
+            row: Row::new(100),
+            col: Col::new(7),
+        };
+        assert_eq!(d.to_string(), "ch0 rk0 bk3 row100 col7");
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", PhysAddr::new(0xdead)), "dead");
+        assert_eq!(PhysAddr::new(0xdead).to_string(), "0xdead");
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// A physical address or coordinate was inconsistent with the configured
+/// DRAM geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A geometry dimension was zero or not a power of two.
+    NonPowerOfTwo {
+        /// The offending dimension name (e.g. `"rows_per_bank"`).
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// A decoded coordinate exceeded its dimension.
+    CoordinateOutOfRange {
+        /// The offending coordinate name (e.g. `"row"`).
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// The exclusive upper bound.
+        bound: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NonPowerOfTwo { field, value } => {
+                write!(f, "geometry field {field} must be a nonzero power of two, got {value}")
+            }
+            GeometryError::CoordinateOutOfRange { field, value, bound } => {
+                write!(f, "{field} coordinate {value} out of range (must be < {bound})")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// A system configuration failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The underlying geometry was invalid.
+    Geometry(GeometryError),
+    /// A queue watermark pair was inconsistent (e.g. low >= high).
+    InvalidWatermarks {
+        /// Configured low watermark.
+        low: usize,
+        /// Configured high watermark.
+        high: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// A field that must be nonzero was zero.
+    ZeroField {
+        /// The offending field name.
+        field: &'static str,
+    },
+    /// A field exceeded its allowed maximum.
+    FieldTooLarge {
+        /// The offending field name.
+        field: &'static str,
+        /// The rejected value.
+        value: u64,
+        /// The inclusive maximum.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+            ConfigError::InvalidWatermarks { low, high, capacity } => write!(
+                f,
+                "write-queue watermarks invalid: low {low}, high {high}, capacity {capacity}"
+            ),
+            ConfigError::ZeroField { field } => write!(f, "config field {field} must be nonzero"),
+            ConfigError::FieldTooLarge { field, value, max } => {
+                write!(f, "config field {field} is {value}, maximum is {max}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeometryError> for ConfigError {
+    fn from(e: GeometryError) -> Self {
+        ConfigError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GeometryError::NonPowerOfTwo { field: "rows_per_bank", value: 3 };
+        assert!(e.to_string().contains("rows_per_bank"));
+        assert!(e.to_string().contains('3'));
+
+        let e = ConfigError::InvalidWatermarks { low: 50, high: 40, capacity: 64 };
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn config_error_exposes_source() {
+        let inner = GeometryError::NonPowerOfTwo { field: "banks", value: 7 };
+        let outer: ConfigError = inner.clone().into();
+        assert!(outer.source().is_some());
+        assert_eq!(outer, ConfigError::Geometry(inner));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<GeometryError>();
+        assert_bounds::<ConfigError>();
+    }
+}

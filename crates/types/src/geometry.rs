@@ -1,0 +1,320 @@
+//! DRAM organization (channels, ranks, banks, rows, columns) and
+//! address encode/decode against a chosen [`AddressMapping`].
+
+use crate::address::{AddressMapping, Bank, Channel, Col, DecodedAddr, PhysAddr, Rank, Row};
+use crate::error::GeometryError;
+use serde::{Deserialize, Serialize};
+
+/// The organization of the modeled memory system.
+///
+/// The paper's configuration (Table 3) is one channel, one rank, eight
+/// banks, 8K rows per bank, 1K columns per row, and 64-byte cache lines,
+/// which is the [`Default`].
+///
+/// All dimensions must be nonzero powers of two so that address fields
+/// decompose into disjoint bit ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of independent channels.
+    pub channels: u64,
+    /// Ranks per channel.
+    pub ranks_per_channel: u64,
+    /// Banks per rank.
+    pub banks_per_rank: u64,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Cache-line-granular columns per row.
+    pub cols_per_row: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 8192,
+            cols_per_row: 1024,
+            line_bytes: 64,
+        }
+    }
+}
+
+impl DramGeometry {
+    /// Validates that every dimension is a nonzero power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NonPowerOfTwo`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        let fields = [
+            ("channels", self.channels),
+            ("ranks_per_channel", self.ranks_per_channel),
+            ("banks_per_rank", self.banks_per_rank),
+            ("rows_per_bank", self.rows_per_bank),
+            ("cols_per_row", self.cols_per_row),
+            ("line_bytes", self.line_bytes),
+        ];
+        for (field, value) in fields {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(GeometryError::NonPowerOfTwo { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total addressable bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels
+            * self.ranks_per_channel
+            * self.banks_per_rank
+            * self.rows_per_bank
+            * self.cols_per_row
+            * self.line_bytes
+    }
+
+    /// Total banks across the whole system.
+    pub fn total_banks(&self) -> u64 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// log2 of rows per bank (the `#R` bit width used by PBR, eq. (1)).
+    pub fn row_bits(&self) -> u32 {
+        self.rows_per_bank.trailing_zeros()
+    }
+
+    /// Decomposes a physical address into DRAM coordinates.
+    ///
+    /// Addresses beyond the configured capacity wrap (the generators
+    /// produce in-range addresses; wrapping keeps decode total).
+    pub fn decode(&self, addr: PhysAddr, mapping: AddressMapping) -> DecodedAddr {
+        let line = addr.raw() / self.line_bytes;
+        let (ch_b, rk_b, bk_b, row_b, col_b) = (
+            self.channels.trailing_zeros(),
+            self.ranks_per_channel.trailing_zeros(),
+            self.banks_per_rank.trailing_zeros(),
+            self.rows_per_bank.trailing_zeros(),
+            self.cols_per_row.trailing_zeros(),
+        );
+        let take = |v: &mut u64, bits: u32| -> u64 {
+            let field = *v & ((1u64 << bits) - 1);
+            *v >>= bits;
+            field
+        };
+        let mut v = line;
+        let (channel, rank, bank, row, col);
+        match mapping {
+            AddressMapping::OpenPageBaseline => {
+                // low -> high: column : channel : bank : rank : row
+                col = take(&mut v, col_b);
+                channel = take(&mut v, ch_b);
+                bank = take(&mut v, bk_b);
+                rank = take(&mut v, rk_b);
+                row = take(&mut v, row_b) % self.rows_per_bank;
+            }
+            AddressMapping::ClosePageInterleaved => {
+                // low -> high: channel : bank : rank : column : row
+                channel = take(&mut v, ch_b);
+                bank = take(&mut v, bk_b);
+                rank = take(&mut v, rk_b);
+                col = take(&mut v, col_b);
+                row = take(&mut v, row_b) % self.rows_per_bank;
+            }
+            AddressMapping::OpenPageXorBank => {
+                // Open-page layout, bank field XORed with low row bits.
+                col = take(&mut v, col_b);
+                channel = take(&mut v, ch_b);
+                let stored_bank = take(&mut v, bk_b);
+                rank = take(&mut v, rk_b);
+                row = take(&mut v, row_b) % self.rows_per_bank;
+                bank = stored_bank ^ (row & ((1u64 << bk_b) - 1));
+            }
+        }
+        DecodedAddr {
+            channel: Channel::new(channel as u32),
+            rank: Rank::new(rank as u32),
+            bank: Bank::new(bank as u32),
+            row: Row::new(row as u32),
+            col: Col::new(col as u32),
+        }
+    }
+
+    /// Recomposes DRAM coordinates into the physical address of the first
+    /// byte of the cache line (inverse of [`decode`](Self::decode)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::CoordinateOutOfRange`] if any coordinate
+    /// exceeds its dimension.
+    pub fn encode(
+        &self,
+        decoded: DecodedAddr,
+        mapping: AddressMapping,
+    ) -> Result<PhysAddr, GeometryError> {
+        let check = |field: &'static str, value: u64, bound: u64| {
+            if value >= bound {
+                Err(GeometryError::CoordinateOutOfRange { field, value, bound })
+            } else {
+                Ok(())
+            }
+        };
+        check("channel", decoded.channel.as_u64(), self.channels)?;
+        check("rank", decoded.rank.as_u64(), self.ranks_per_channel)?;
+        check("bank", decoded.bank.as_u64(), self.banks_per_rank)?;
+        check("row", decoded.row.as_u64(), self.rows_per_bank)?;
+        check("col", decoded.col.as_u64(), self.cols_per_row)?;
+
+        let (ch_b, rk_b, bk_b, col_b) = (
+            self.channels.trailing_zeros(),
+            self.ranks_per_channel.trailing_zeros(),
+            self.banks_per_rank.trailing_zeros(),
+            self.cols_per_row.trailing_zeros(),
+        );
+        let mut line: u64;
+        match mapping {
+            AddressMapping::OpenPageBaseline => {
+                line = decoded.row.as_u64();
+                line = (line << rk_b) | decoded.rank.as_u64();
+                line = (line << bk_b) | decoded.bank.as_u64();
+                line = (line << ch_b) | decoded.channel.as_u64();
+                line = (line << col_b) | decoded.col.as_u64();
+            }
+            AddressMapping::ClosePageInterleaved => {
+                line = decoded.row.as_u64();
+                line = (line << col_b) | decoded.col.as_u64();
+                line = (line << rk_b) | decoded.rank.as_u64();
+                line = (line << bk_b) | decoded.bank.as_u64();
+                line = (line << ch_b) | decoded.channel.as_u64();
+            }
+            AddressMapping::OpenPageXorBank => {
+                let row = decoded.row.as_u64();
+                let stored_bank = decoded.bank.as_u64() ^ (row & ((1u64 << bk_b) - 1));
+                line = row;
+                line = (line << rk_b) | decoded.rank.as_u64();
+                line = (line << bk_b) | stored_bank;
+                line = (line << ch_b) | decoded.channel.as_u64();
+                line = (line << col_b) | decoded.col.as_u64();
+            }
+        }
+        Ok(PhysAddr::new(line * self.line_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let g = DramGeometry::default();
+        g.validate().unwrap();
+        assert_eq!(g.channels, 1);
+        assert_eq!(g.ranks_per_channel, 1);
+        assert_eq!(g.banks_per_rank, 8);
+        assert_eq!(g.rows_per_bank, 8192);
+        assert_eq!(g.cols_per_row, 1024);
+        assert_eq!(g.line_bytes, 64);
+        // 1 * 1 * 8 * 8192 * 1024 * 64 B = 4 GiB
+        assert_eq!(g.capacity_bytes(), 4 << 30);
+        assert_eq!(g.total_banks(), 8);
+        assert_eq!(g.row_bits(), 13);
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two() {
+        let g = DramGeometry { banks_per_rank: 6, ..DramGeometry::default() };
+        assert_eq!(
+            g.validate(),
+            Err(GeometryError::NonPowerOfTwo { field: "banks_per_rank", value: 6 })
+        );
+        let g = DramGeometry { rows_per_bank: 0, ..DramGeometry::default() };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn open_page_keeps_consecutive_lines_in_one_row() {
+        let g = DramGeometry::default();
+        let a = g.decode(PhysAddr::new(0x1000_0000), AddressMapping::OpenPageBaseline);
+        let b = g.decode(PhysAddr::new(0x1000_0000 + 64), AddressMapping::OpenPageBaseline);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.col.raw(), a.col.raw() + 1);
+    }
+
+    #[test]
+    fn close_page_spreads_consecutive_lines_across_banks() {
+        let g = DramGeometry::default();
+        let a = g.decode(PhysAddr::new(0x2000_0000), AddressMapping::ClosePageInterleaved);
+        let b = g.decode(PhysAddr::new(0x2000_0000 + 64), AddressMapping::ClosePageInterleaved);
+        assert_ne!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let g = DramGeometry::default();
+        let bad = DecodedAddr { row: Row::new(8192), ..DecodedAddr::default() };
+        assert_eq!(
+            g.encode(bad, AddressMapping::OpenPageBaseline),
+            Err(GeometryError::CoordinateOutOfRange { field: "row", value: 8192, bound: 8192 })
+        );
+    }
+
+    #[test]
+    fn xor_bank_hash_spreads_same_bank_conflicting_rows() {
+        // Two addresses that conflict (same bank, different rows) under
+        // the baseline map to different banks under the XOR hash when
+        // their low row bits differ.
+        let g = DramGeometry::default();
+        let mk = |row| DecodedAddr {
+            channel: Channel::new(0),
+            rank: Rank::new(0),
+            bank: Bank::new(3),
+            row: Row::new(row),
+            col: Col::new(0),
+        };
+        let a = g.encode(mk(100), AddressMapping::OpenPageBaseline).unwrap();
+        let b = g.encode(mk(101), AddressMapping::OpenPageBaseline).unwrap();
+        let da = g.decode(a, AddressMapping::OpenPageXorBank);
+        let db = g.decode(b, AddressMapping::OpenPageXorBank);
+        assert_ne!(da.bank, db.bank, "adjacent rows must hash to different banks");
+        // Row locality within a row is preserved: consecutive lines
+        // share bank and row.
+        let c = g.decode(PhysAddr::new(a.raw() + 64), AddressMapping::OpenPageXorBank);
+        assert_eq!(da.bank, c.bank);
+        assert_eq!(da.row, c.row);
+    }
+
+    const MAPPINGS: [AddressMapping; 3] = [
+        AddressMapping::OpenPageBaseline,
+        AddressMapping::ClosePageInterleaved,
+        AddressMapping::OpenPageXorBank,
+    ];
+
+    proptest! {
+        #[test]
+        fn decode_encode_roundtrip(raw in 0u64..(4u64 << 30), which in 0usize..3) {
+            let g = DramGeometry::default();
+            let mapping = MAPPINGS[which];
+            let line_start = raw & !63;
+            let decoded = g.decode(PhysAddr::new(raw), mapping);
+            let encoded = g.encode(decoded, mapping).unwrap();
+            prop_assert_eq!(encoded.raw(), line_start);
+        }
+
+        #[test]
+        fn decode_is_in_range(raw in proptest::num::u64::ANY, which in 0usize..3) {
+            let g = DramGeometry::default();
+            let mapping = MAPPINGS[which];
+            let d = g.decode(PhysAddr::new(raw), mapping);
+            prop_assert!(d.channel.as_u64() < g.channels);
+            prop_assert!(d.rank.as_u64() < g.ranks_per_channel);
+            prop_assert!(d.bank.as_u64() < g.banks_per_rank);
+            prop_assert!(d.row.as_u64() < g.rows_per_bank);
+            prop_assert!(d.col.as_u64() < g.cols_per_row);
+        }
+    }
+}

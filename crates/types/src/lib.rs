@@ -1,0 +1,38 @@
+//! # nuat-types
+//!
+//! Shared vocabulary for the NUAT (Non-Uniform Access Time memory
+//! controller, HPCA 2014) reproduction: clock-domain-safe time newtypes,
+//! DRAM geometry and address decomposition, DDR3 timing parameter sets,
+//! and whole-system configuration (Table 3 of the paper).
+//!
+//! Every other crate in the workspace builds on these types, so they are
+//! deliberately small, `Copy` where cheap, and free of behaviour beyond
+//! conversions and validation.
+//!
+//! ## Example
+//!
+//! ```
+//! use nuat_types::{SystemConfig, AddressMapping, PhysAddr};
+//!
+//! let cfg = SystemConfig::default(); // Table 3 of the paper
+//! let addr = PhysAddr::new(0x1234_5678);
+//! let decoded = cfg.dram.geometry.decode(addr, AddressMapping::OpenPageBaseline);
+//! assert!(decoded.row.as_u64() < cfg.dram.geometry.rows_per_bank);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod address;
+pub mod config;
+pub mod error;
+pub mod geometry;
+pub mod time;
+pub mod timing;
+
+pub use address::{AddressMapping, Bank, Channel, Col, DecodedAddr, PhysAddr, Rank, Row};
+pub use config::{ControllerConfig, DramConfig, ProcessorConfig, SystemConfig};
+pub use error::{ConfigError, GeometryError};
+pub use geometry::DramGeometry;
+pub use time::{CpuCycle, McCycle, Nanos, CPU_CYCLES_PER_MC_CYCLE, MC_CYCLE_NS};
+pub use timing::{DramTimings, RowTimings};

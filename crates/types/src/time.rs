@@ -1,0 +1,237 @@
+//! Clock-domain-safe time newtypes.
+//!
+//! The paper's system (Table 3) runs the processor at 3.2 GHz and the
+//! memory bus at 800 MHz, so one memory-controller cycle is exactly four
+//! CPU cycles and lasts 1.25 ns. Mixing the two domains is the classic
+//! off-by-4 bug in memory-system simulators; the [`McCycle`] / [`CpuCycle`]
+//! newtypes make such mixing a type error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Duration of one memory-controller cycle in nanoseconds (800 MHz bus).
+pub const MC_CYCLE_NS: f64 = 1.25;
+
+/// CPU cycles per memory-controller cycle (3.2 GHz / 800 MHz).
+pub const CPU_CYCLES_PER_MC_CYCLE: u64 = 4;
+
+macro_rules! cycle_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// The zero point of this clock domain.
+            pub const ZERO: $name = $name(0);
+
+            /// Wraps a raw cycle count.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw cycle count.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Saturating subtraction; clamps at the clock's zero point.
+            pub const fn saturating_sub(self, rhs: Self) -> u64 {
+                self.0.saturating_sub(rhs.0)
+            }
+
+            /// Returns the later of two instants.
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the earlier of two instants.
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            /// Elapsed cycles between two instants.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `rhs` is later than `self`.
+            fn sub(self, rhs: $name) -> u64 {
+                debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+cycle_newtype!(
+    /// An instant on the memory-controller / DRAM-bus clock (800 MHz).
+    ///
+    /// All DRAM timing parameters in this workspace are expressed in this
+    /// domain; one cycle is [`MC_CYCLE_NS`] nanoseconds.
+    McCycle
+);
+
+cycle_newtype!(
+    /// An instant on the processor clock (3.2 GHz in the paper's Table 3).
+    CpuCycle
+);
+
+impl McCycle {
+    /// Converts this instant to nanoseconds since time zero.
+    pub fn to_nanos(self) -> Nanos {
+        Nanos::new(self.0 as f64 * MC_CYCLE_NS)
+    }
+
+    /// The CPU-clock instant that coincides with the *start* of this
+    /// memory cycle.
+    pub fn to_cpu(self) -> CpuCycle {
+        CpuCycle::new(self.0 * CPU_CYCLES_PER_MC_CYCLE)
+    }
+}
+
+impl CpuCycle {
+    /// The memory-controller cycle containing this CPU-clock instant
+    /// (truncating: the MC cycle that has already started).
+    pub fn to_mc_floor(self) -> McCycle {
+        McCycle::new(self.0 / CPU_CYCLES_PER_MC_CYCLE)
+    }
+}
+
+/// A physical duration or instant in nanoseconds.
+///
+/// Used at the boundary with the analog circuit model (`nuat-circuit`),
+/// where sub-cycle resolution matters. Cycle-domain code should prefer
+/// [`McCycle`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Nanos(f64);
+
+impl Nanos {
+    /// Wraps a raw nanosecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `raw` is NaN.
+    pub fn new(raw: f64) -> Self {
+        debug_assert!(!raw.is_nan(), "Nanos must not be NaN");
+        Nanos(raw)
+    }
+
+    /// Returns the raw nanosecond value.
+    pub const fn raw(self) -> f64 {
+        self.0
+    }
+
+    /// Rounds up to whole memory-controller cycles (the conservative
+    /// direction for a timing constraint).
+    pub fn to_mc_cycles_ceil(self) -> u64 {
+        (self.0 / MC_CYCLE_NS).ceil() as u64
+    }
+
+    /// Rounds down to whole memory-controller cycles (the conservative
+    /// direction for a timing *reduction*, as used when deriving the
+    /// per-PB tables from the circuit model).
+    pub fn to_mc_cycles_floor(self) -> u64 {
+        // Guard against values like 4.999999999 that are intended to be 5.
+        const EPS: f64 = 1e-9;
+        ((self.0 / MC_CYCLE_NS) + EPS).floor() as u64
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mc_cycle_is_four_cpu_cycles() {
+        assert_eq!(McCycle::new(10).to_cpu(), CpuCycle::new(40));
+        assert_eq!(CpuCycle::new(43).to_mc_floor(), McCycle::new(10));
+        assert_eq!(CpuCycle::new(44).to_mc_floor(), McCycle::new(11));
+    }
+
+    #[test]
+    fn mc_cycle_nanos() {
+        // Table 3: tRCD 15 ns == 12 cycles at 800 MHz.
+        assert_eq!(Nanos::new(15.0).to_mc_cycles_ceil(), 12);
+        assert_eq!(McCycle::new(12).to_nanos().raw(), 15.0);
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = McCycle::new(100);
+        let b = a + 42;
+        assert_eq!(b.raw(), 142);
+        assert_eq!(b - a, 42);
+        assert_eq!(a.saturating_sub(b), 0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn floor_rounding_is_epsilon_tolerant() {
+        // 5 cycles' worth of slack computed with float error must still
+        // floor to 5, not 4.
+        let almost_five = Nanos::new(5.0 * MC_CYCLE_NS - 1e-12);
+        assert_eq!(almost_five.to_mc_cycles_floor(), 5);
+        let clearly_less = Nanos::new(5.0 * MC_CYCLE_NS - 0.01);
+        assert_eq!(clearly_less.to_mc_cycles_floor(), 4);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(McCycle::new(7).to_string(), "7");
+        assert_eq!(Nanos::new(1.5).to_string(), "1.500ns");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn cycle_subtraction_underflow_panics() {
+        let _ = McCycle::new(1) - McCycle::new(2);
+    }
+}

@@ -1,0 +1,210 @@
+//! DDR3 timing parameter sets.
+//!
+//! All values are in memory-controller cycles at 800 MHz (1.25 ns). The
+//! defaults model the DDR3-1600 part of the paper's Table 3: tRCD 15 ns,
+//! tRAS 37.5 ns, tRC 52.5 ns, i.e. 12 / 30 / 42 cycles. The remaining
+//! parameters follow the SK Hynix DDR3-1600 data sheet the paper cites
+//! (CL 11, CWL 8, BL 8) and USIMM's 2 Gb-device refresh numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The row-activation timing triplet that NUAT modulates per PB
+/// (Table 4): `tRCD`, `tRAS` and `tRC`, in controller cycles.
+///
+/// `tRC` is maintained as `tRAS + tRP` throughout the workspace; the
+/// constructor enforces it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RowTimings {
+    /// Row-to-column command delay (ACT -> READ/WRITE), cycles.
+    pub trcd: u64,
+    /// Row access strobe (ACT -> PRE), cycles.
+    pub tras: u64,
+    /// Row cycle (ACT -> next ACT to the same bank), cycles.
+    pub trc: u64,
+}
+
+impl RowTimings {
+    /// Builds a consistent triplet from `tRCD`, `tRAS` and the bank's
+    /// `tRP`, setting `tRC = tRAS + tRP`.
+    pub const fn new(trcd: u64, tras: u64, trp: u64) -> Self {
+        RowTimings { trcd, tras, trc: tras + trp }
+    }
+}
+
+impl fmt::Display for RowTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tRCD {} / tRAS {} / tRC {}", self.trcd, self.tras, self.trc)
+    }
+}
+
+/// Full DDR3 device timing set, in controller cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramTimings {
+    /// Row-to-column command delay (worst case; PB4 in Table 4).
+    pub trcd: u64,
+    /// Row precharge time.
+    pub trp: u64,
+    /// Row access strobe (worst case; PB4 in Table 4).
+    pub tras: u64,
+    /// CAS (read) latency.
+    pub cl: u64,
+    /// CAS write latency.
+    pub cwl: u64,
+    /// Burst length in beats; data occupies `bl / 2` controller cycles.
+    pub bl: u64,
+    /// Column-to-column command delay.
+    pub tccd: u64,
+    /// ACT-to-ACT delay, different banks, same rank.
+    pub trrd: u64,
+    /// Four-activate window, same rank.
+    pub tfaw: u64,
+    /// Write recovery time (end of write data -> PRE).
+    pub twr: u64,
+    /// Internal write-to-read turnaround (end of write data -> READ, same rank).
+    pub twtr: u64,
+    /// Read-to-precharge delay.
+    pub trtp: u64,
+    /// Refresh cycle time (REF -> any command).
+    pub trfc: u64,
+    /// Power-down exit latency (CKE high -> first command).
+    pub txp: u64,
+    /// Average refresh interval (one per-row refresh slot).
+    pub trefi: u64,
+    /// Retention time budget in which every row must be refreshed, cycles.
+    /// 64 ms at 800 MHz.
+    pub retention: u64,
+}
+
+impl Default for DramTimings {
+    fn default() -> Self {
+        DramTimings {
+            trcd: 12,     // 15 ns (Table 3)
+            trp: 12,      // 15 ns (tRC - tRAS)
+            tras: 30,     // 37.5 ns (Table 3)
+            cl: 11,       // DDR3-1600 CL11
+            cwl: 8,       // DDR3-1600
+            bl: 8,        // BL8: 4 controller cycles of data
+            tccd: 4,      // 5 ns
+            trrd: 5,      // 6.25 ns
+            tfaw: 24,     // 30 ns
+            twr: 12,      // 15 ns
+            twtr: 6,      // 7.5 ns
+            trtp: 6,      // 7.5 ns
+            trfc: 128,    // 160 ns (2 Gb device)
+            txp: 5,       // 6 ns (max(3 nCK, 6 ns))
+            // 7.8125 us — exactly retention / 8192 rows, which PBR's
+            // window quantization relies on (a coarser tREFI would let
+            // rows drift past their PB window's physical budget).
+            trefi: 6250,
+            retention: 51_200_000, // 64 ms at 800 MHz
+        }
+    }
+}
+
+impl DramTimings {
+    /// Row cycle time `tRC = tRAS + tRP` (worst case).
+    pub const fn trc(&self) -> u64 {
+        self.tras + self.trp
+    }
+
+    /// Controller cycles the data bus is busy per column access.
+    pub const fn data_cycles(&self) -> u64 {
+        self.bl / 2
+    }
+
+    /// The worst-case [`RowTimings`] (a just-about-to-be-refreshed row;
+    /// the PB4 line of Table 4).
+    pub const fn worst_case_row(&self) -> RowTimings {
+        RowTimings { trcd: self.trcd, tras: self.tras, trc: self.tras + self.trp }
+    }
+
+    /// Read command to data-valid latency (CL + burst).
+    pub const fn read_data_done(&self) -> u64 {
+        self.cl + self.bl / 2
+    }
+
+    /// Write command to end-of-data latency (CWL + burst).
+    pub const fn write_data_done(&self) -> u64 {
+        self.cwl + self.bl / 2
+    }
+
+    /// Minimum delay from a WRITE command to a READ command on the same
+    /// rank (internal turnaround): `CWL + BL/2 + tWTR`.
+    pub const fn write_to_read(&self) -> u64 {
+        self.cwl + self.bl / 2 + self.twtr
+    }
+
+    /// Minimum delay from a READ command to a WRITE command on the shared
+    /// data bus: `CL + BL/2 + 2 - CWL`.
+    pub const fn read_to_write(&self) -> u64 {
+        self.cl + self.bl / 2 + 2 - self.cwl
+    }
+
+    /// Minimum delay from a WRITE command to a PRE on the same bank:
+    /// `CWL + BL/2 + tWR`.
+    pub const fn write_to_precharge(&self) -> u64 {
+        self.cwl + self.bl / 2 + self.twr
+    }
+
+    /// Rows refreshed per refresh command batch. The paper (§4, citing
+    /// Nair et al.) assumes 8 rows every `8 x tREFI`.
+    pub const fn rows_per_refresh_batch(&self) -> u64 {
+        8
+    }
+
+    /// Interval between refresh command batches, cycles.
+    pub const fn refresh_batch_interval(&self) -> u64 {
+        self.trefi * self.rows_per_refresh_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Nanos, MC_CYCLE_NS};
+
+    #[test]
+    fn defaults_match_table3() {
+        let t = DramTimings::default();
+        assert_eq!(t.trcd as f64 * MC_CYCLE_NS, 15.0);
+        assert_eq!(t.tras as f64 * MC_CYCLE_NS, 37.5);
+        assert_eq!(t.trc() as f64 * MC_CYCLE_NS, 52.5);
+    }
+
+    #[test]
+    fn worst_case_row_is_pb4_of_table4() {
+        let t = DramTimings::default();
+        let w = t.worst_case_row();
+        assert_eq!(w, RowTimings { trcd: 12, tras: 30, trc: 42 });
+    }
+
+    #[test]
+    fn retention_covers_all_refresh_slots() {
+        let t = DramTimings::default();
+        // PBR's window math requires the refresh period to equal the
+        // retention budget exactly.
+        assert_eq!(t.trefi * 8192, t.retention);
+        // 64 ms at 1.25 ns/cycle.
+        assert_eq!(Nanos::new(64_000_000.0).to_mc_cycles_ceil(), t.retention);
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let t = DramTimings::default();
+        assert_eq!(t.data_cycles(), 4);
+        assert_eq!(t.read_data_done(), 15);
+        assert_eq!(t.write_data_done(), 12);
+        assert_eq!(t.write_to_read(), 18);
+        assert_eq!(t.read_to_write(), 9);
+        assert_eq!(t.write_to_precharge(), 24);
+        assert_eq!(t.refresh_batch_interval(), 8 * 6250);
+    }
+
+    #[test]
+    fn row_timings_constructor_enforces_trc() {
+        let r = RowTimings::new(8, 22, 12);
+        assert_eq!(r.trc, 34); // PB0 of Table 4
+        assert_eq!(r.to_string(), "tRCD 8 / tRAS 22 / tRC 34");
+    }
+}

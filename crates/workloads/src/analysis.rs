@@ -1,0 +1,193 @@
+//! Trace analysis: measure the behavioural statistics of any
+//! [`Trace`] — synthetic or imported from a USIMM file — so generator
+//! calibration can be validated and foreign traces characterized before
+//! simulation.
+
+use nuat_cpu::{MemOp, Trace};
+use nuat_types::{AddressMapping, DramGeometry};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Measured characteristics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceProfile {
+    /// Memory operations.
+    pub mem_ops: u64,
+    /// Total instructions (memory + gaps).
+    pub instructions: u64,
+    /// Memory ops per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of memory ops that are reads.
+    pub read_fraction: f64,
+    /// Row-buffer locality an ideal open-page policy would see: the
+    /// fraction of accesses whose row matches the previous access to
+    /// the same bank.
+    pub row_locality: f64,
+    /// Distinct banks touched.
+    pub banks_touched: usize,
+    /// Distinct rows touched.
+    pub rows_touched: usize,
+    /// Bank imbalance: max over min accesses per touched bank
+    /// (1.0 = perfectly even).
+    pub bank_imbalance: f64,
+    /// Mean non-memory gap between accesses.
+    pub mean_gap: f64,
+    /// Coefficient of variation of the gap — > 1 indicates bursty
+    /// arrivals, ~0 indicates a uniform stream.
+    pub gap_cv: f64,
+}
+
+impl TraceProfile {
+    /// Measures `trace` against `geometry` (addresses are decoded with
+    /// the open-page baseline mapping, matching the generators).
+    pub fn measure(trace: &Trace, geometry: &DramGeometry) -> Self {
+        let records = trace.records();
+        let mem_ops = records.len() as u64;
+        let instructions = trace.total_instructions();
+
+        let mut reads = 0u64;
+        let mut last_row: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut hits = 0u64;
+        let mut bank_counts: HashMap<u32, u64> = HashMap::new();
+        let mut rows: HashMap<(u32, u32), ()> = HashMap::new();
+        let mut gap_sum = 0.0f64;
+        let mut gap_sq = 0.0f64;
+
+        for r in records {
+            if r.op == MemOp::Read {
+                reads += 1;
+            }
+            let d = geometry.decode(r.addr, AddressMapping::OpenPageBaseline);
+            let bank_key = d.rank.raw() * geometry.banks_per_rank as u32 + d.bank.raw();
+            if last_row.insert((bank_key, 0), d.row.raw()) == Some(d.row.raw()) {
+                hits += 1;
+            }
+            *bank_counts.entry(bank_key).or_insert(0) += 1;
+            rows.entry((bank_key, d.row.raw())).or_insert(());
+            gap_sum += r.gap as f64;
+            gap_sq += (r.gap as f64) * (r.gap as f64);
+        }
+
+        let n = mem_ops.max(1) as f64;
+        let mean_gap = gap_sum / n;
+        let var = (gap_sq / n - mean_gap * mean_gap).max(0.0);
+        let gap_cv = if mean_gap > 0.0 { var.sqrt() / mean_gap } else { 0.0 };
+        let (min_b, max_b) = bank_counts
+            .values()
+            .fold((u64::MAX, 0u64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+
+        TraceProfile {
+            mem_ops,
+            instructions,
+            mpki: if instructions == 0 { 0.0 } else { mem_ops as f64 * 1000.0 / instructions as f64 },
+            read_fraction: if mem_ops == 0 { 0.0 } else { reads as f64 / mem_ops as f64 },
+            row_locality: if mem_ops == 0 { 0.0 } else { hits as f64 / mem_ops as f64 },
+            banks_touched: bank_counts.len(),
+            rows_touched: rows.len(),
+            bank_imbalance: if min_b == 0 || min_b == u64::MAX {
+                f64::INFINITY
+            } else {
+                max_b as f64 / min_b as f64
+            },
+            mean_gap,
+            gap_cv,
+        }
+    }
+}
+
+impl fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} memory ops / {} instructions (MPKI {:.1})",
+            self.mem_ops, self.instructions, self.mpki
+        )?;
+        writeln!(
+            f,
+            "reads {:.0} %, row locality {:.2}, banks {}, rows {}, imbalance {:.2}",
+            self.read_fraction * 100.0,
+            self.row_locality,
+            self.banks_touched,
+            self.rows_touched,
+            self.bank_imbalance
+        )?;
+        write!(f, "mean gap {:.1} instr, gap CV {:.2}", self.mean_gap, self.gap_cv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::spec::by_name;
+
+    fn profile(name: &str) -> TraceProfile {
+        let g = DramGeometry::default();
+        let spec = by_name(name).unwrap();
+        let trace = TraceGenerator::new(spec, g, 17).generate(4000);
+        TraceProfile::measure(&trace, &g)
+    }
+
+    #[test]
+    fn measured_locality_tracks_the_spec() {
+        let libq = profile("libq");
+        let ferret = profile("ferret");
+        assert!(libq.row_locality > 0.75, "libq measured {}", libq.row_locality);
+        assert!(ferret.row_locality < 0.30, "ferret measured {}", ferret.row_locality);
+    }
+
+    #[test]
+    fn measured_read_fraction_tracks_the_spec() {
+        let p = profile("mummer");
+        let spec = by_name("mummer").unwrap();
+        assert!((p.read_fraction - spec.read_fraction).abs() < 0.05);
+    }
+
+    #[test]
+    fn measured_mpki_tracks_the_spec() {
+        for name in ["comm1", "black"] {
+            let p = profile(name);
+            let spec = by_name(name).unwrap();
+            let rel = (p.mpki - spec.mpki).abs() / spec.mpki;
+            assert!(rel < 0.30, "{name}: measured {} vs spec {}", p.mpki, spec.mpki);
+        }
+    }
+
+    #[test]
+    fn bank_spread_matches_stream_count() {
+        let p = profile("MT-canneal"); // 16 streams over 8 banks
+        assert_eq!(p.banks_touched, 8);
+        assert!(p.bank_imbalance < 3.0);
+        let p = profile("libq"); // 2 streams
+        assert_eq!(p.banks_touched, 2);
+    }
+
+    #[test]
+    fn bursty_workloads_have_high_gap_cv() {
+        let bursty = profile("comm1"); // burst 24, tight gaps
+        let uniform = profile("leslie"); // burst 2 (Fig. 19(b))
+        assert!(
+            bursty.gap_cv > uniform.gap_cv,
+            "comm1 CV {} must exceed leslie CV {}",
+            bursty.gap_cv,
+            uniform.gap_cv
+        );
+    }
+
+    #[test]
+    fn empty_trace_profile_is_all_zeros() {
+        let g = DramGeometry::default();
+        let p = TraceProfile::measure(&nuat_cpu::Trace::new(vec![], 0), &g);
+        assert_eq!(p.mem_ops, 0);
+        assert_eq!(p.mpki, 0.0);
+        assert_eq!(p.row_locality, 0.0);
+    }
+
+    #[test]
+    fn display_summarizes_the_profile() {
+        let text = profile("comm3").to_string();
+        assert!(text.contains("MPKI"));
+        assert!(text.contains("row locality"));
+    }
+}

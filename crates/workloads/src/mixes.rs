@@ -1,0 +1,84 @@
+//! Multi-core workload combinations (paper §8): 32 randomly selected
+//! mixes for the 2-core evaluation and 32 for the 4-core evaluation.
+
+use crate::spec::{table2, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One multi-programmed combination: a workload per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    /// Mix label (`mix2-07` etc.).
+    pub name: String,
+    /// One spec per core.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+/// Generates `count` random `cores`-way mixes, reproducibly from `seed`.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn random_mixes(cores: usize, count: usize, seed: u64) -> Vec<WorkloadMix> {
+    assert!(cores >= 1, "need at least one core");
+    let pool = table2();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let workloads =
+                (0..cores).map(|_| pool[rng.gen_range(0..pool.len())]).collect::<Vec<_>>();
+            WorkloadMix { name: format!("mix{cores}-{i:02}"), workloads }
+        })
+        .collect()
+}
+
+/// The paper's 32 two-core mixes (fixed seed).
+pub fn paper_two_core_mixes() -> Vec<WorkloadMix> {
+    random_mixes(2, 32, 0x2c0de)
+}
+
+/// The paper's 32 four-core mixes (fixed seed).
+pub fn paper_four_core_mixes() -> Vec<WorkloadMix> {
+    random_mixes(4, 32, 0x4c0de)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_have_requested_shape() {
+        let m = random_mixes(4, 32, 1);
+        assert_eq!(m.len(), 32);
+        assert!(m.iter().all(|x| x.workloads.len() == 4));
+        assert_eq!(m[5].name, "mix4-05");
+    }
+
+    #[test]
+    fn mixes_are_reproducible() {
+        assert_eq!(random_mixes(2, 8, 9), random_mixes(2, 8, 9));
+        assert_ne!(random_mixes(2, 8, 9), random_mixes(2, 8, 10));
+    }
+
+    #[test]
+    fn paper_mixes_match_the_evaluation_setup() {
+        assert_eq!(paper_two_core_mixes().len(), 32);
+        assert_eq!(paper_four_core_mixes().len(), 32);
+        assert!(paper_four_core_mixes().iter().all(|m| m.workloads.len() == 4));
+    }
+
+    #[test]
+    fn mixes_draw_from_the_full_table() {
+        // 32 4-way draws should cover a good share of the 18 workloads.
+        let m = paper_four_core_mixes();
+        let names: std::collections::HashSet<_> =
+            m.iter().flat_map(|x| x.workloads.iter().map(|w| w.name)).collect();
+        assert!(names.len() >= 12, "only {} distinct workloads drawn", names.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        random_mixes(0, 1, 1);
+    }
+}

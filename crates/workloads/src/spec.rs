@@ -1,0 +1,184 @@
+//! Workload specifications: the behavioural parameters that stand in
+//! for the MSC traces of the paper's Table 2.
+//!
+//! The real comm*/SPEC/PARSEC/BIOBENCH traces are not redistributable,
+//! so each workload is described by the statistics the paper's
+//! mechanisms actually react to: memory intensity (MPKI), row-buffer
+//! locality, read fraction, stream count (bank-level parallelism),
+//! burstiness, and — for the Leslie pathology of Fig. 19 — phase
+//! alternation that defeats PHRC's tracking. See DESIGN.md §3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Benchmark suite of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// comm1..comm5 (server workloads).
+    Commercial,
+    /// leslie3d / libquantum.
+    Spec,
+    /// PARSEC applications.
+    Parsec,
+    /// mummer / tigr.
+    Biobench,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Commercial => write!(f, "COMMERCIAL"),
+            Suite::Spec => write!(f, "SPEC"),
+            Suite::Parsec => write!(f, "PARSEC"),
+            Suite::Biobench => write!(f, "BIOBENCH"),
+        }
+    }
+}
+
+/// Parameters of one synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (Table 2).
+    pub name: &'static str,
+    /// Benchmark suite.
+    pub suite: Suite,
+    /// Memory operations per kilo-instruction.
+    pub mpki: f64,
+    /// Probability that a stream's next access stays in its current row.
+    pub row_locality: f64,
+    /// Fraction of memory operations that are reads.
+    pub read_fraction: f64,
+    /// Concurrent access streams (bank-level parallelism).
+    pub streams: usize,
+    /// Rows touched per stream.
+    pub footprint_rows: u32,
+    /// Mean accesses per burst.
+    pub burst_len: u32,
+    /// Mean non-memory gap between accesses inside a burst.
+    pub gap_in_burst: u32,
+    /// Alternate between high- and low-locality phases (the Fig. 19
+    /// access pattern that lags PHRC).
+    pub phased: bool,
+}
+
+impl WorkloadSpec {
+    /// Target mean non-memory instructions per memory operation.
+    pub fn mean_gap(&self) -> f64 {
+        (1000.0 / self.mpki - 1.0).max(0.0)
+    }
+}
+
+/// The 18 workloads of Table 2.
+pub fn table2() -> Vec<WorkloadSpec> {
+    use Suite::*;
+    let w = |name, suite, mpki, row_locality, read_fraction, streams, footprint_rows, burst_len,
+             gap_in_burst, phased| WorkloadSpec {
+        name,
+        suite,
+        mpki,
+        row_locality,
+        read_fraction,
+        streams,
+        footprint_rows,
+        burst_len,
+        gap_in_burst,
+        phased,
+    };
+    vec![
+        // Server/commercial: intense, bursty, modest locality. comm1 is
+        // the least local (its accesses concentrate in the slow PBs in
+        // the paper's §9.1 analysis). The MSC traces were selected to
+        // stress the controller, so bursts are long and tight — this is
+        // what builds the queue depth NUAT's scoring reorders.
+        // MPKI here is relative to the *filtered* instruction stream of
+        // an MSC-style trace (post-cache misses only), hence much higher
+        // than raw-execution MPKI.
+        w("comm1", Commercial, 80.0, 0.25, 0.62, 12, 512, 24, 1, false),
+        w("comm2", Commercial, 60.0, 0.35, 0.60, 10, 384, 20, 2, false),
+        w("comm3", Commercial, 45.0, 0.42, 0.65, 8, 320, 16, 2, false),
+        w("comm4", Commercial, 40.0, 0.38, 0.58, 8, 384, 16, 3, false),
+        w("comm5", Commercial, 55.0, 0.30, 0.60, 10, 448, 20, 2, false),
+        // SPEC: leslie3d alternates stride phases (open/close hit-rate
+        // gap 0.65 vs 0.28 in the paper); libquantum streams linearly.
+        // leslie arrives frequently but *not* in bursts (Fig. 19(b)),
+        // so a close-page policy cannot preserve its row reuse — the
+        // source of the paper's large open-vs-close hit-rate gap.
+        w("leslie", Spec, 12.0, 0.72, 0.90, 4, 256, 2, 8, true),
+        w("libq", Spec, 90.0, 0.90, 0.85, 2, 128, 32, 0, false),
+        // PARSEC.
+        w("black", Parsec, 15.0, 0.72, 0.70, 4, 192, 8, 12, false),
+        w("face", Parsec, 20.0, 0.68, 0.68, 6, 256, 10, 8, false),
+        w("ferret", Parsec, 85.0, 0.15, 0.64, 12, 640, 24, 1, false),
+        w("fluid", Parsec, 25.0, 0.66, 0.66, 6, 256, 8, 8, false),
+        w("freq", Parsec, 18.0, 0.70, 0.70, 4, 224, 8, 10, false),
+        w("stream", Parsec, 85.0, 0.82, 0.55, 4, 256, 32, 0, false),
+        w("swapt", Parsec, 20.0, 0.62, 0.65, 6, 256, 8, 8, false),
+        w("MT-canneal", Parsec, 110.0, 0.12, 0.70, 16, 1024, 32, 0, false),
+        w("MT-fluid", Parsec, 120.0, 0.20, 0.62, 16, 768, 32, 0, false),
+        // BIOBENCH: genome tools, scattered accesses.
+        w("mummer", Biobench, 65.0, 0.25, 0.75, 10, 512, 16, 2, false),
+        w("tigr", Biobench, 55.0, 0.30, 0.74, 8, 448, 14, 3, false),
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    table2().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_eighteen_workloads() {
+        let all = table2();
+        assert_eq!(all.len(), 18);
+        let commercial = all.iter().filter(|w| w.suite == Suite::Commercial).count();
+        let spec = all.iter().filter(|w| w.suite == Suite::Spec).count();
+        let parsec = all.iter().filter(|w| w.suite == Suite::Parsec).count();
+        let bio = all.iter().filter(|w| w.suite == Suite::Biobench).count();
+        assert_eq!((commercial, spec, parsec, bio), (5, 2, 9, 2));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = table2();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for w in table2() {
+            assert!(w.mpki > 0.0 && w.mpki < 600.0, "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.row_locality), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.read_fraction), "{}", w.name);
+            assert!(w.streams >= 1, "{}", w.name);
+            assert!(w.footprint_rows >= 1, "{}", w.name);
+            assert!(w.burst_len >= 1, "{}", w.name);
+            assert!(w.mean_gap() >= 0.0, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("leslie").unwrap().suite, Suite::Spec);
+        assert!(by_name("leslie").unwrap().phased, "leslie models the Fig. 19 pathology");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn comm1_skews_low_locality() {
+        // §9.1: comm1 sees 80% of accesses in the slow PBs; in our
+        // substitution that corresponds to the most scattered commercial
+        // workload.
+        let c1 = by_name("comm1").unwrap();
+        for other in ["comm2", "comm3", "comm4", "comm5"] {
+            assert!(c1.row_locality <= by_name(other).unwrap().row_locality);
+        }
+    }
+}

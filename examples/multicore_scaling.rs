@@ -1,0 +1,44 @@
+//! Multi-core scaling: how NUAT's advantage grows with core count
+//! (the paper's Fig. 22 effect, in miniature).
+//!
+//! ```sh
+//! cargo run --release -p nuat-sim --example multicore_scaling
+//! ```
+
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_sim::{run_mix, RunConfig};
+use nuat_workloads::random_mixes;
+
+fn main() {
+    let rc = RunConfig { mem_ops_per_core: 4_000, ..RunConfig::default() };
+    println!("NUAT vs FR-FCFS(open), mean over 4 random mixes per core count\n");
+    println!("{:<7} {:>12} {:>12} {:>10}", "cores", "open lat", "NUAT lat", "exec +%");
+
+    for cores in [1usize, 2, 4] {
+        let mixes = random_mixes(cores, 4, 0xC0FFEE + cores as u64);
+        let mut lat_open = 0.0;
+        let mut lat_nuat = 0.0;
+        let mut exec_gain = 0.0;
+        for mix in &mixes {
+            let open =
+                run_mix(&mix.workloads, SchedulerKind::FrFcfsOpen, PbGrouping::paper(5), &rc);
+            let nuat = run_mix(&mix.workloads, SchedulerKind::Nuat, PbGrouping::paper(5), &rc);
+            lat_open += open.avg_read_latency();
+            lat_nuat += nuat.avg_read_latency();
+            exec_gain += (open.execution_cpu_cycles as f64 - nuat.execution_cpu_cycles as f64)
+                / open.execution_cpu_cycles as f64
+                * 100.0;
+        }
+        let n = mixes.len() as f64;
+        println!(
+            "{:<7} {:>12.1} {:>12.1} {:>10.1}",
+            cores,
+            lat_open / n,
+            lat_nuat / n,
+            exec_gain / n
+        );
+    }
+    println!("\n(the paper's Fig. 22: improvement grows with core count as");
+    println!(" multiprogramming destroys row-buffer locality)");
+}

@@ -1,0 +1,59 @@
+//! Page-policy explorer: visualize PPM's per-PB thresholds (paper
+//! Fig. 12) and how the PHRC estimate steers each partition between
+//! open- and close-page mode across workloads with different locality.
+//!
+//! ```sh
+//! cargo run --release -p nuat-sim --example page_policy_explorer
+//! ```
+
+use nuat_circuit::PbId;
+use nuat_core::{PageMode, PbrAcquisition, PpmDecisionMaker, SchedulerKind};
+use nuat_sim::{run_single, RunConfig};
+use nuat_workloads::by_name;
+
+fn main() {
+    let pbr = PbrAcquisition::paper_default();
+    let ppm = PpmDecisionMaker::new(&pbr, 12);
+
+    println!("PPM thresholds (equation (7), tRP = 12 cycles):");
+    for k in 0..pbr.n_pb() {
+        let pb = PbId(k as u8);
+        let t = pbr.grouping().timings(pb);
+        println!("  PB{k}: tRCD {:>2} -> threshold {:.3}", t.trcd, ppm.threshold(pb));
+    }
+
+    println!("\npage mode per PB at sample hit-rates (Fig. 12):");
+    print!("{:>10}", "hit-rate");
+    for k in 0..pbr.n_pb() {
+        print!(" {:>6}", format!("PB{k}"));
+    }
+    println!();
+    for hr in [0.30, 0.45, 0.52, 0.55, 0.58, 0.65, 0.80] {
+        print!("{:>10.2}", hr);
+        for k in 0..pbr.n_pb() {
+            let m = match ppm.mode(PbId(k as u8), hr) {
+                PageMode::Open => "open",
+                PageMode::Close => "close",
+            };
+            print!(" {m:>6}");
+        }
+        println!();
+    }
+
+    println!("\nmeasured hit rates and latencies across locality extremes:");
+    let rc = RunConfig { mem_ops_per_core: 5_000, ..RunConfig::default() };
+    for name in ["libq", "leslie", "comm3", "ferret"] {
+        let spec = by_name(name).expect("workload");
+        let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
+        let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
+        let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
+        println!(
+            "  {:<8} hit(open) {:.2} | latency open {:>6.1}  close {:>6.1}  NUAT {:>6.1}",
+            name,
+            open.stats.read_hit_rate(),
+            open.avg_read_latency(),
+            close.avg_read_latency(),
+            nuat.avg_read_latency()
+        );
+    }
+}

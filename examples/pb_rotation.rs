@@ -1,0 +1,38 @@
+//! Partitioned Bank Rotation, visualized (the paper's Fig. 1): as the
+//! refresh pointer sweeps the bank, every row's PB# — and therefore its
+//! activation timings — rotates through fast and slow phases.
+//!
+//! ```sh
+//! cargo run --release -p nuat-sim --example pb_rotation
+//! ```
+
+use nuat_core::PbrAcquisition;
+use nuat_types::Row;
+
+fn main() {
+    let pbr = PbrAcquisition::paper_default();
+    let rows: [u32; 4] = [0, 2048, 4096, 6144];
+
+    println!("PB# of four rows as refresh sweeps the 8192-row bank");
+    println!("(one line per 1/8 of the 64 ms retention window)\n");
+    print!("{:>10}", "LRRA");
+    for r in rows {
+        print!("   row {r:>5}");
+    }
+    println!();
+
+    for step in 0..=8u32 {
+        let lrra = Row::new((8191 + (step * 1024)) % 8192);
+        print!("{:>10}", lrra.raw());
+        for r in rows {
+            let pb = pbr.pb(lrra, Row::new(r));
+            let t = pbr.timings(lrra, Row::new(r));
+            print!("  PB{} tRCD{:>3}", pb.raw(), t.trcd);
+        }
+        println!();
+    }
+
+    println!("\nEvery row cycles PB0 -> PB4 once per retention window (Fig. 1);");
+    println!("a controller that tracks the rotation may activate PB0 rows with");
+    println!("tRCD 8 instead of the data-sheet 12.");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run one workload under NUAT and FR-FCFS(open) and
+//! compare read latency.
+//!
+//! ```sh
+//! cargo run --release -p nuat-sim --example quickstart
+//! ```
+
+use nuat_core::SchedulerKind;
+use nuat_sim::{run_single, RunConfig};
+use nuat_workloads::by_name;
+
+fn main() {
+    let spec = by_name("ferret").expect("Table 2 workload");
+    let rc = RunConfig { mem_ops_per_core: 8_000, ..RunConfig::default() };
+
+    println!("workload: {} ({} memory ops)\n", spec.name, rc.mem_ops_per_core);
+
+    let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
+    let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
+
+    for r in [&open, &nuat] {
+        println!(
+            "{:<14}  avg read latency {:>6.1} cycles   hit-rate {:.2}   exec {:>9} CPU cycles",
+            r.scheduler,
+            r.avg_read_latency(),
+            r.stats.read_hit_rate(),
+            r.execution_cpu_cycles
+        );
+    }
+
+    let dl = (open.avg_read_latency() - nuat.avg_read_latency()) / open.avg_read_latency() * 100.0;
+    let de = (open.execution_cpu_cycles as f64 - nuat.execution_cpu_cycles as f64)
+        / open.execution_cpu_cycles as f64
+        * 100.0;
+    println!("\nNUAT vs FR-FCFS(open): latency -{dl:.1} %, execution time -{de:.1} %");
+    println!(
+        "charge slack exploited on {} of {} activations ({} tRCD cycles saved in total)",
+        nuat.device.reduced_activates,
+        nuat.stats.acts_for_reads + nuat.stats.acts_for_writes,
+        nuat.device.trcd_cycles_saved
+    );
+}

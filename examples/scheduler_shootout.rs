@@ -1,0 +1,43 @@
+//! Scheduler shootout: FCFS vs FR-FCFS (both page modes) vs NUAT and
+//! two NUAT ablations, across workloads with very different locality.
+//!
+//! ```sh
+//! cargo run --release -p nuat-sim --example scheduler_shootout
+//! ```
+
+use nuat_core::{NuatWeights, PageMode, SchedulerKind};
+use nuat_sim::{run_single, RunConfig};
+use nuat_workloads::by_name;
+
+fn main() {
+    let schedulers = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfsOpen,
+        SchedulerKind::FrFcfsClose,
+        SchedulerKind::Nuat,
+        // Ablations: PB scoring without the boundary element, and NUAT
+        // pinned to open-page (PPM disabled).
+        SchedulerKind::NuatWithWeights(NuatWeights { w5: 0.0, ..NuatWeights::default() }),
+        SchedulerKind::NuatFixedPage(PageMode::Open),
+    ];
+    let labels =
+        ["FCFS", "FR-FCFS(open)", "FR-FCFS(close)", "NUAT", "NUAT(w5=0)", "NUAT(open)"];
+
+    let rc = RunConfig { mem_ops_per_core: 5_000, ..RunConfig::default() };
+    let workloads = ["libq", "comm1", "ferret", "MT-fluid"];
+
+    print!("{:<16}", "avg latency");
+    for w in workloads {
+        print!(" {w:>10}");
+    }
+    println!();
+    for (kind, label) in schedulers.into_iter().zip(labels) {
+        print!("{label:<16}");
+        for name in workloads {
+            let r = run_single(by_name(name).unwrap(), kind, &rc);
+            print!(" {:>10.1}", r.avg_read_latency());
+        }
+        println!();
+    }
+    println!("\n(latencies in 800 MHz controller cycles; lower is better)");
+}

@@ -1,0 +1,83 @@
+//! Smoke tests of the figure-regeneration experiments at reduced scale.
+
+use nuat_sim::{LatencyExecReport, MulticoreEffects, PbSensitivity, RunConfig};
+use nuat_workloads::by_name;
+
+fn rc(ops: usize) -> RunConfig {
+    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+}
+
+#[test]
+fn fig18_fig20_report_renders_all_sections() {
+    let specs = [by_name("libq").unwrap(), by_name("ferret").unwrap()];
+    let rep = LatencyExecReport::run_subset(&specs, &rc(800));
+    let text = rep.to_string();
+    assert!(text.contains("Fig. 18"));
+    assert!(text.contains("Fig. 20"));
+    assert!(text.contains("PB3+4"));
+    assert!(text.contains("libq"));
+    assert!(text.contains("ferret"));
+}
+
+#[test]
+fn fig18_averages_are_finite_and_sane() {
+    let specs = [by_name("comm1").unwrap(), by_name("MT-fluid").unwrap()];
+    let rep = LatencyExecReport::run_subset(&specs, &rc(1000));
+    for v in [
+        rep.avg_latency_reduction_vs_open(),
+        rep.avg_latency_reduction_vs_close(),
+        rep.avg_exec_improvement_vs_open(),
+        rep.avg_exec_improvement_vs_close(),
+    ] {
+        assert!(v.is_finite());
+        assert!((-30.0..60.0).contains(&v), "average {v}% out of plausible range");
+    }
+}
+
+#[test]
+fn fig21_sensitivity_grid_has_monotone_trend_for_single_core() {
+    let s = PbSensitivity::run(&[1], &[2, 3, 5], 4, 1, &rc(800));
+    let saved = s.saved_cycles();
+    assert_eq!(saved.len(), 1);
+    assert_eq!(saved[0].len(), 3);
+    assert_eq!(saved[0][0], 0.0);
+    // More PBs must not lose cycles relative to fewer (small tolerance
+    // for scheduling noise).
+    assert!(saved[0][2] >= saved[0][1] - 0.5, "{:?}", saved);
+}
+
+#[test]
+fn fig22_improvement_row_per_core_count() {
+    let m = MulticoreEffects::run(&[1, 2], 2, 2, &rc(600));
+    assert_eq!(m.rows.len(), 2);
+    for row in &m.rows {
+        assert!(row.vs_open_pct.is_finite());
+        assert!(row.vs_close_pct.is_finite());
+        assert!(row.combos > 0);
+    }
+    assert!(m.to_string().contains("Fig. 22"));
+}
+
+#[test]
+fn leslie_shows_the_largest_hit_rate_gap() {
+    // Fig. 19 diagnostic: leslie's open-vs-close hit-rate gap should be
+    // the largest among a representative sample, as in the paper.
+    // Needs enough accesses for several of leslie's locality phases
+    // (600 accesses each) to develop.
+    let sample = ["leslie", "comm3", "ferret"];
+    let rep = LatencyExecReport::run_subset(
+        &sample.map(|n| by_name(n).unwrap()),
+        &rc(4800),
+    );
+    let gaps: Vec<(&str, f64)> =
+        rep.rows.iter().map(|r| (r.workload, r.hit_rate_gap())).collect();
+    let leslie_gap = gaps.iter().find(|(n, _)| *n == "leslie").unwrap().1;
+    for (name, gap) in &gaps {
+        if *name != "leslie" {
+            assert!(
+                leslie_gap >= *gap - 0.05,
+                "leslie gap {leslie_gap:.2} should dominate {name}'s {gap:.2}"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Scheduler-level integration tests: the paper's structural claims
+//! about how NUAT relates to its baselines.
+
+use nuat_core::{NuatWeights, SchedulerKind};
+use nuat_sim::{run_single, RunConfig};
+use nuat_workloads::{by_name, table2};
+
+fn rc(ops: usize) -> RunConfig {
+    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+}
+
+#[test]
+fn nuat_with_frfcfs_weights_matches_frfcfs_closely() {
+    // Paper §8: "if only Element 1 and Element 2 [and 3] are considered,
+    // it will be the same as FR-FCFS". With w4 = w5 = 0 and PPM pinned
+    // open, NUAT's scoring reproduces FR-FCFS(open)'s choices up to
+    // tie-breaks; measured latency must agree within a few percent.
+    for name in ["comm3", "ferret", "libq"] {
+        let spec = by_name(name).unwrap();
+        let frf = run_single(spec, SchedulerKind::FrFcfsOpen, &rc(1200));
+        let nuat_frf = run_single(
+            spec,
+            SchedulerKind::NuatWithWeights(NuatWeights::frfcfs()),
+            &rc(1200),
+        );
+        let a = frf.avg_read_latency();
+        // The reduced-timing ACTs still differ (scoring identical, but
+        // NUAT promises per-PB timings), so allow the NUAT variant to be
+        // faster — never slower by more than a whisker.
+        let b = nuat_frf.avg_read_latency();
+        assert!(
+            b <= a * 1.08,
+            "{name}: NUAT(frfcfs weights) {b:.1} must not lose to FR-FCFS {a:.1}"
+        );
+    }
+}
+
+#[test]
+fn frfcfs_beats_fcfs_in_aggregate() {
+    // Our FCFS is work-conserving (it picks the oldest *issuable*
+    // command), so on low-locality workloads it ties FR-FCFS; the
+    // hit-first advantage shows in aggregate across localities.
+    let mut fcfs_total = 0.0;
+    let mut frf_total = 0.0;
+    for name in ["comm1", "libq", "comm3"] {
+        let spec = by_name(name).unwrap();
+        fcfs_total += run_single(spec, SchedulerKind::Fcfs, &rc(1200)).avg_read_latency();
+        frf_total += run_single(spec, SchedulerKind::FrFcfsOpen, &rc(1200)).avg_read_latency();
+    }
+    assert!(
+        frf_total <= fcfs_total * 1.02,
+        "FR-FCFS {frf_total:.1} must not lose to FCFS {fcfs_total:.1} in aggregate"
+    );
+}
+
+#[test]
+fn page_mode_tradeoff_depends_on_locality() {
+    // High locality with spread-out arrivals (leslie): open wins big —
+    // close cannot preserve reuse that is not yet queued. Low locality:
+    // close is competitive (activations hide behind the auto-precharge).
+    let leslie = by_name("leslie").unwrap();
+    let open = run_single(leslie, SchedulerKind::FrFcfsOpen, &rc(2400));
+    let close = run_single(leslie, SchedulerKind::FrFcfsClose, &rc(2400));
+    assert!(open.avg_read_latency() < close.avg_read_latency());
+    assert!(open.stats.read_hit_rate() > close.stats.read_hit_rate() + 0.2);
+
+    let ferret = by_name("ferret").unwrap();
+    let open = run_single(ferret, SchedulerKind::FrFcfsOpen, &rc(1200));
+    let close = run_single(ferret, SchedulerKind::FrFcfsClose, &rc(1200));
+    let ratio = close.avg_read_latency() / open.avg_read_latency();
+    assert!(ratio < 1.15, "close page must be competitive on ferret, ratio {ratio:.2}");
+}
+
+#[test]
+fn nuat_never_loses_badly_anywhere() {
+    // The paper's worst regressions are ~4 % (Leslie). Allow a modest
+    // guard band, but NUAT must never blow up on any workload.
+    for spec in table2() {
+        let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc(700));
+        let nuat = run_single(spec, SchedulerKind::Nuat, &rc(700));
+        let ratio = nuat.avg_read_latency() / open.avg_read_latency();
+        assert!(
+            ratio < 1.12,
+            "{}: NUAT {:.1} vs open {:.1} (ratio {ratio:.2})",
+            spec.name,
+            nuat.avg_read_latency(),
+            open.avg_read_latency()
+        );
+    }
+}
+
+#[test]
+fn boundary_element_does_not_hurt() {
+    // Ablation: zeroing w5 should not make NUAT dramatically better —
+    // i.e. the boundary element is at worst neutral on average.
+    let mut with_total = 0.0;
+    let mut without_total = 0.0;
+    for name in ["comm1", "ferret", "mummer"] {
+        let spec = by_name(name).unwrap();
+        let with_w5 = run_single(spec, SchedulerKind::Nuat, &rc(1000));
+        let without_w5 = run_single(
+            spec,
+            SchedulerKind::NuatWithWeights(NuatWeights { w5: 0.0, ..NuatWeights::default() }),
+            &rc(1000),
+        );
+        with_total += with_w5.avg_read_latency();
+        without_total += without_w5.avg_read_latency();
+    }
+    assert!(
+        with_total <= without_total * 1.05,
+        "boundary element must not cost more than 5% in aggregate: {with_total:.1} vs {without_total:.1}"
+    );
+}
+
+#[test]
+fn write_floods_engage_drain_mode_without_starving_reads() {
+    // stream has 45 % writes — heavy write pressure.
+    let spec = by_name("stream").unwrap();
+    let r = run_single(spec, SchedulerKind::Nuat, &rc(1500));
+    assert!(r.completed, "write-heavy workload must finish");
+    assert!(r.stats.writes_drained > 0);
+    assert!(r.stats.reads_completed > 0);
+}

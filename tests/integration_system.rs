@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: trace generation -> CPU model ->
+//! controller -> DRAM device, end to end.
+
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_sim::{run_single, RunConfig, System};
+use nuat_types::{DramGeometry, SystemConfig};
+use nuat_workloads::{by_name, TraceGenerator};
+
+fn rc(ops: usize) -> RunConfig {
+    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+}
+
+#[test]
+fn request_accounting_is_conserved() {
+    let spec = by_name("comm2").unwrap();
+    let trace =
+        TraceGenerator::new(spec, DramGeometry::default(), 3).generate(1000);
+    let expected_reads = trace.reads();
+    let expected_writes = trace.mem_ops() - expected_reads;
+    let sys = System::new(
+        SystemConfig::with_cores(1),
+        SchedulerKind::Nuat,
+        PbGrouping::paper(5),
+        vec![trace],
+    );
+    let r = sys.run(30_000_000);
+    assert!(r.completed);
+    assert_eq!(r.stats.reads_completed, expected_reads);
+    assert_eq!(r.stats.writes_drained, expected_writes);
+    // Every column access maps to exactly one request.
+    assert_eq!(r.stats.cols_read, expected_reads);
+    assert_eq!(r.stats.cols_write, expected_writes);
+}
+
+#[test]
+fn refresh_rate_matches_the_schedule() {
+    let r = run_single(by_name("black").unwrap(), SchedulerKind::FrFcfsOpen, &rc(2000));
+    // One batch per 8 * tREFI = 50,000 cycles.
+    let expected = r.mc_cycles / 50_000;
+    assert!(
+        r.stats.refreshes >= expected.saturating_sub(1) && r.stats.refreshes <= expected + 1,
+        "refreshes {} vs expected ~{expected}",
+        r.stats.refreshes
+    );
+}
+
+#[test]
+fn read_latency_never_beats_the_physical_floor() {
+    // No read can finish faster than a same-cycle row hit:
+    // CL + BL/2 = 15 cycles.
+    let r = run_single(by_name("libq").unwrap(), SchedulerKind::Nuat, &rc(1500));
+    let min = r.stats.min_read_latency.expect("reads completed");
+    assert!(min >= 15, "min read latency {min} beats CL + BL/2");
+    assert!(r.stats.max_read_latency >= min);
+}
+
+#[test]
+fn nuat_saves_trcd_cycles_proportionally_to_fast_pb_hits() {
+    let r = run_single(by_name("ferret").unwrap(), SchedulerKind::Nuat, &rc(2000));
+    let acts = r.stats.acts_for_reads + r.stats.acts_for_writes;
+    assert!(acts > 0);
+    // PB0..PB3 activations all save at least one tRCD cycle.
+    let dist = r.stats.pb_distribution();
+    let fast_share: f64 = dist[..4].iter().sum();
+    if fast_share > 0.0 {
+        assert!(r.device.reduced_activates > 0);
+        assert!(r.device.trcd_cycles_saved >= r.device.reduced_activates);
+    }
+    // PB distribution sums to 1.
+    let total: f64 = dist.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn energy_accounting_is_positive_and_scales_with_work() {
+    let small = run_single(by_name("swapt").unwrap(), SchedulerKind::FrFcfsOpen, &rc(300));
+    let large = run_single(by_name("swapt").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1500));
+    assert!(small.energy_pj > 0.0);
+    assert!(large.energy_pj > small.energy_pj);
+}
+
+#[test]
+fn multicore_shares_bandwidth_fairly_enough() {
+    use nuat_sim::run_mix;
+    let spec = by_name("comm3").unwrap();
+    let r = run_mix(
+        &[spec, spec, spec, spec],
+        SchedulerKind::Nuat,
+        PbGrouping::paper(5),
+        &rc(600),
+    );
+    assert!(r.completed);
+    let max = *r.stats.per_core_reads.iter().max().unwrap() as f64;
+    let min = *r.stats.per_core_reads.iter().min().unwrap() as f64;
+    assert!(min > 0.0);
+    assert!(max / min < 1.5, "same workload on all cores must finish comparably");
+}
+
+#[test]
+fn higher_load_increases_latency() {
+    let light = run_single(by_name("black").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1000));
+    let heavy = run_single(by_name("MT-canneal").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1000));
+    assert!(
+        heavy.avg_read_latency() > light.avg_read_latency(),
+        "a 24-MPKI scattered workload must see higher latency than a 4-MPKI one"
+    );
+}
