@@ -2,7 +2,7 @@
 //! per second under each scheduling policy, and the PBR/scoring
 //! primitives the NUAT policy runs per candidate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use nuat_circuit::PbGrouping;
 use nuat_core::{PbrAcquisition, SchedulerKind};
 use nuat_sim::{RunConfig, System};
@@ -103,4 +103,63 @@ fn bench_simulation_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pbr_primitives, bench_device_issue_path, bench_simulation_throughput);
-criterion_main!(benches);
+
+/// One end-to-end run of `mem_ops` operations of comm3 under `kind`,
+/// with construction outside the timed region; returns the simulated
+/// cycle count and the best-of-5 wall-clock seconds.
+fn measure_end_to_end(kind: SchedulerKind, mem_ops: usize) -> (u64, f64) {
+    let mut best = f64::MAX;
+    let mut cycles = 0u64;
+    for _ in 0..5 {
+        let trace = TraceGenerator::new(by_name("comm3").unwrap(), DramGeometry::default(), 7)
+            .generate(mem_ops);
+        let sys = System::new(SystemConfig::with_cores(1), kind, PbGrouping::paper(5), vec![trace]);
+        let t0 = std::time::Instant::now();
+        let r = sys.run(20_000_000);
+        let dt = t0.elapsed().as_secs_f64();
+        cycles = r.mc_cycles;
+        best = best.min(dt);
+    }
+    (cycles, best)
+}
+
+/// Emits `BENCH_scheduler.json` at the workspace root: simulated
+/// cycles/sec for every scheduling policy, machine-readable so CI can
+/// track hot-path regressions across commits.
+fn emit_machine_readable() {
+    const MEM_OPS: usize = 2_000;
+    let mut entries = Vec::new();
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfsOpen,
+        SchedulerKind::FrFcfsClose,
+        SchedulerKind::Nuat,
+    ] {
+        let (cycles, secs) = measure_end_to_end(kind, MEM_OPS);
+        let rate = cycles as f64 / secs;
+        println!("{:<16} {:>10} simulated cycles in {:.4}s = {:>12.0} cycles/sec", kind.name(), cycles, secs, rate);
+        entries.push(format!(
+            "    {{\"scheduler\": \"{}\", \"mc_cycles\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles_per_sec\": {:.0}}}",
+            kind.name(),
+            cycles,
+            secs,
+            rate
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"scheduler_throughput\",\n  \"workload\": \"comm3\",\n  \"mem_ops\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        MEM_OPS,
+        entries.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scheduler.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    emit_machine_readable();
+    benches();
+}

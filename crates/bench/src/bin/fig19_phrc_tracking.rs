@@ -59,7 +59,7 @@ fn main() {
             mc.tick();
             mc.take_completions();
 
-            if mc.now().raw() % SAMPLE_EVERY == 0 {
+            if mc.now().raw().is_multiple_of(SAMPLE_EVERY) {
                 let s = mc.stats();
                 let cols = s.cols_read + s.cols_write;
                 let acts = s.acts_for_reads + s.acts_for_writes;

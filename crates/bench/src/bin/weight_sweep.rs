@@ -9,37 +9,43 @@
 
 use nuat_bench::run_config_from_args;
 use nuat_core::{NuatWeights, SchedulerKind};
-use nuat_sim::run_single;
+use nuat_sim::{parallel_map, run_single};
 use nuat_workloads::by_name;
 
 fn main() {
     let rc = run_config_from_args();
     let workloads = ["ferret", "comm1", "mummer"];
 
-    // Baseline for normalization.
-    let mut open_lat = 0.0;
-    for name in workloads {
-        open_lat +=
-            run_single(by_name(name).unwrap(), SchedulerKind::FrFcfsOpen, &rc).avg_read_latency();
+    // Baseline for normalization (summed in workload order).
+    let open_lat: f64 = parallel_map(&workloads, |name| {
+        run_single(by_name(name).unwrap(), SchedulerKind::FrFcfsOpen, &rc).avg_read_latency()
+    })
+    .iter()
+    .sum();
+
+    // Every (w4, w5) grid point is independent: fan the whole grid out
+    // and print in grid order afterwards.
+    let mut grid = Vec::new();
+    for w4 in [0.0, 5.0, 10.0, 20.0, 40.0] {
+        for w5 in [0.0, 5.0, 10.0] {
+            grid.push((w4, w5));
+        }
     }
+    let latencies = parallel_map(&grid, |&(w4, w5)| {
+        let weights = NuatWeights { w4, w5, ..NuatWeights::default() };
+        let mut lat = 0.0;
+        for name in workloads {
+            lat += run_single(by_name(name).unwrap(), SchedulerKind::NuatWithWeights(weights), &rc)
+                .avg_read_latency();
+        }
+        lat
+    });
 
     println!("mean read latency over {workloads:?}, normalized to FR-FCFS(open) = 1.000\n");
     println!("{:>6} {:>6} {:>10}", "w4", "w5", "latency");
-    for w4 in [0.0, 5.0, 10.0, 20.0, 40.0] {
-        for w5 in [0.0, 5.0, 10.0] {
-            let weights = NuatWeights { w4, w5, ..NuatWeights::default() };
-            let mut lat = 0.0;
-            for name in workloads {
-                lat += run_single(
-                    by_name(name).unwrap(),
-                    SchedulerKind::NuatWithWeights(weights),
-                    &rc,
-                )
-                .avg_read_latency();
-            }
-            let marker = if (w4, w5) == (10.0, 5.0) { "  <- Table 4" } else { "" };
-            println!("{:>6.0} {:>6.0} {:>10.4}{marker}", w4, w5, lat / open_lat);
-        }
+    for (&(w4, w5), &lat) in grid.iter().zip(&latencies) {
+        let marker = if (w4, w5) == (10.0, 5.0) { "  <- Table 4" } else { "" };
+        println!("{:>6.0} {:>6.0} {:>10.4}{marker}", w4, w5, lat / open_lat);
     }
     println!("\n[§7.3's ordering constraints keep w4 below w3 = 60 (so ES4 cannot");
     println!(" override a row hit) and w5 below the w4 step; the sweep shows the");

@@ -38,6 +38,34 @@ pub struct Completion {
     pub done: McCycle,
 }
 
+/// Reusable per-tick working memory. Every buffer here used to be a
+/// fresh allocation inside `tick`/`enumerate_candidates`; hoisting them
+/// into the controller makes the steady-state cycle loop allocation-free
+/// (buffers reach their high-water size within a few cycles and are then
+/// only cleared and refilled).
+///
+/// Invariants: contents are meaningless between ticks — every user must
+/// clear/refill before reading; the buffers are moved out of the
+/// controller (`std::mem::take`) for the duration of a tick so the
+/// borrow checker sees them as disjoint from the controller's state.
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// Per-rank "refresh wants this rank drained" flags.
+    pending: Vec<bool>,
+    /// Per-rank last-refreshed-row snapshot.
+    lrras: Vec<Row>,
+    /// This cycle's issuable candidates.
+    candidates: Vec<Candidate>,
+    /// Per-bank "already produced an ACT candidate" de-dup flags.
+    act_seen: Vec<bool>,
+    /// Per-bank "already produced a PRE candidate" de-dup flags.
+    pre_seen: Vec<bool>,
+    /// Per-bank count of queued requests hitting the bank's open row,
+    /// precomputed once per tick so pending-hit checks are O(1) instead
+    /// of an O(queue) scan per candidate.
+    open_row_hits: Vec<u32>,
+}
+
 /// One channel's memory controller. See the module docs.
 #[derive(Debug)]
 pub struct MemoryController {
@@ -49,6 +77,7 @@ pub struct MemoryController {
     stats: ControllerStats,
     completions: Vec<Completion>,
     now: McCycle,
+    scratch: TickScratch,
     /// Opt-in stall diagnostics (set `NUAT_STALL_DEBUG=<cycles>`): dump
     /// queue/bank state when a request has waited this long.
     stall_debug: Option<u64>,
@@ -71,9 +100,9 @@ impl MemoryController {
     /// Panics if `cfg` fails validation.
     pub fn with_grouping(cfg: SystemConfig, kind: SchedulerKind, grouping: PbGrouping) -> Self {
         let pbr =
-            PbrAcquisition::new(grouping.clone(), cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         let policy = kind.build(&pbr, &cfg.dram.timings);
-        Self::with_policy(cfg, policy, grouping)
+        Self::from_parts(cfg, policy, pbr)
     }
 
     /// Builds a controller around a caller-supplied scheduling policy.
@@ -90,16 +119,29 @@ impl MemoryController {
         policy: Box<dyn SchedulerPolicy>,
         grouping: PbGrouping,
     ) -> Self {
+        let pbr =
+            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        Self::from_parts(cfg, policy, pbr)
+    }
+
+    /// Shared constructor tail: both public builders used to construct
+    /// the PBR block twice (once to seed the policy, once discarded and
+    /// rebuilt); now each builds it exactly once and hands it here.
+    fn from_parts(
+        cfg: SystemConfig,
+        mut policy: Box<dyn SchedulerPolicy>,
+        mut pbr: PbrAcquisition,
+    ) -> Self {
         cfg.validate().expect("invalid system config");
         let mut device = DramDevice::new(cfg.dram);
-        let mut pbr =
-            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         // Postponement and its PBR derate must travel together (the
         // device's charge validator enforces this pairing at run time).
         device.set_refresh_postpone_budget(cfg.controller.refresh_postpone_batches);
         pbr.set_postpone_derate(cfg.controller.refresh_postpone_batches);
-        let banks =
-            (cfg.dram.geometry.ranks_per_channel * cfg.dram.geometry.banks_per_rank) as usize;
+        let ranks = cfg.dram.geometry.ranks_per_channel as usize;
+        let banks_per_rank = cfg.dram.geometry.banks_per_rank as usize;
+        let banks = ranks * banks_per_rank;
+        policy.bind_topology(ranks, banks_per_rank);
         let stats = ControllerStats::new(cfg.processor.cores, pbr.n_pb(), banks);
         MemoryController {
             queues: RequestQueues::new(cfg.controller),
@@ -109,9 +151,10 @@ impl MemoryController {
             stats,
             completions: Vec::new(),
             now: McCycle::ZERO,
+            scratch: TickScratch::default(),
             stall_debug: std::env::var("NUAT_STALL_DEBUG").ok().and_then(|v| v.parse().ok()),
             stall_reported: false,
-            rank_idle_cycles: vec![0; cfg.dram.geometry.ranks_per_channel as usize],
+            rank_idle_cycles: vec![0; ranks],
             cfg,
         }
     }
@@ -213,6 +256,15 @@ impl MemoryController {
         std::mem::take(&mut self.completions)
     }
 
+    /// Appends the completed reads recorded since the last drain to
+    /// `out`, leaving the internal buffer (and its capacity) in place.
+    /// Callers polling every cycle should prefer this over
+    /// [`take_completions`](Self::take_completions): one caller-owned
+    /// buffer is reused instead of a fresh `Vec` per poll.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
+    }
+
     /// True when no request is queued (used by run loops to terminate).
     pub fn is_idle(&self) -> bool {
         self.queues.is_empty()
@@ -220,6 +272,16 @@ impl MemoryController {
 
     /// Advances one controller cycle, issuing at most one command.
     pub fn tick(&mut self) {
+        // Move the scratch buffers out for the duration of the tick so
+        // they can be filled while the controller's own fields are
+        // borrowed. `tick_inner`'s early returns all funnel back here,
+        // so the buffers (and their capacity) always come home.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.tick_inner(&mut scratch);
+        self.scratch = scratch;
+    }
+
+    fn tick_inner(&mut self, scratch: &mut TickScratch) {
         self.policy.on_cycle();
         self.stats.total_cycles += 1;
 
@@ -253,23 +315,22 @@ impl MemoryController {
         }
 
         let postponing = self.cfg.controller.refresh_postpone_batches > 0;
-        let pending: Vec<bool> = (0..ranks)
-            .map(|r| {
-                use nuat_dram::refresh::RefreshUrgency::*;
-                match self.device.refresh_engine(Rank::new(r as u32)).urgency(self.now) {
-                    NotDue => false,
-                    Overdue => true,
-                    // With a postpone budget, due-but-not-overdue
-                    // refreshes yield to queued demand requests; without
-                    // one, the lead window drains promptly (the paper's
-                    // assumption).
-                    Pending | Postponable => !postponing || self.queues.is_empty(),
-                }
-            })
-            .collect();
+        scratch.pending.clear();
+        scratch.pending.extend((0..ranks).map(|r| {
+            use nuat_dram::refresh::RefreshUrgency::*;
+            match self.device.refresh_engine(Rank::new(r as u32)).urgency(self.now) {
+                NotDue => false,
+                Overdue => true,
+                // With a postpone budget, due-but-not-overdue
+                // refreshes yield to queued demand requests; without
+                // one, the lead window drains promptly (the paper's
+                // assumption).
+                Pending | Postponable => !postponing || self.queues.is_empty(),
+            }
+        }));
 
         // (2) Issue a due refresh the moment it is legal.
-        for (r, &p) in pending.iter().enumerate() {
+        for (r, &p) in scratch.pending.iter().enumerate() {
             if !p {
                 continue;
             }
@@ -285,25 +346,31 @@ impl MemoryController {
         }
 
         // (3) Candidate enumeration.
-        let lrras: Vec<Row> =
-            (0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()).collect();
-        let candidates = self.enumerate_candidates(&lrras, &pending);
+        scratch.lrras.clear();
+        scratch
+            .lrras
+            .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+        self.enumerate_candidates(scratch);
 
         // (4) Policy decision.
         let choice = {
-            let view =
-                PolicyView { now: self.now, mode: self.queues.mode(), lrras: &lrras, pbr: &self.pbr };
-            self.policy.choose(&view, &candidates)
+            let view = PolicyView {
+                now: self.now,
+                mode: self.queues.mode(),
+                lrras: &scratch.lrras,
+                pbr: &self.pbr,
+            };
+            self.policy.choose(&view, &scratch.candidates)
         };
         if let Some(i) = choice {
-            let cand = candidates[i];
+            let cand = scratch.candidates[i];
             self.issue_candidate(cand);
             self.now += 1;
             return;
         }
 
         // (5) Refresh-pending fallback: force-close an open bank.
-        for (r, &p) in pending.iter().enumerate() {
+        for (r, &p) in scratch.pending.iter().enumerate() {
             if !p {
                 continue;
             }
@@ -326,22 +393,108 @@ impl MemoryController {
         self.now += 1;
     }
 
-    /// Runs `cycles` ticks.
+    /// Runs `cycles` ticks, fast-forwarding through guaranteed-idle
+    /// stretches (see [`fast_forward_idle`](Self::fast_forward_idle)).
     pub fn run_for(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.tick();
+        let end = self.now.raw() + cycles;
+        while self.now.raw() < end {
+            if self.fast_forward_idle(end) == 0 {
+                self.tick();
+            }
         }
     }
 
-    fn enumerate_candidates(&mut self, lrras: &[Row], pending: &[bool]) -> Vec<Candidate> {
-        let mut out = Vec::with_capacity(16);
-        let view = PolicyView { now: self.now, mode: self.queues.mode(), lrras, pbr: &self.pbr };
+    /// Earliest future cycle at which an idle controller must run a real
+    /// tick again: the first cycle some rank's refresh leaves `NotDue`
+    /// (the lead-window start), or — under power management — the tick
+    /// on which some awake rank's idle counter reaches the power-down
+    /// threshold. Returns `None` when the *current* cycle already needs
+    /// a real tick (queued work, or a refresh already outside `NotDue`).
+    fn next_event_cycle(&self) -> Option<u64> {
+        if !self.queues.is_empty() {
+            return None;
+        }
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let mut horizon = u64::MAX;
+        for r in 0..ranks {
+            let engine = self.device.refresh_engine(Rank::new(r as u32));
+            if engine.urgency(self.now) != nuat_dram::refresh::RefreshUrgency::NotDue {
+                return None;
+            }
+            horizon = horizon.min(engine.pending_from().raw());
+        }
+        let threshold = self.cfg.controller.powerdown_after_idle;
+        if threshold > 0 {
+            for (r, &idle) in self.rank_idle_cycles.iter().enumerate() {
+                if self.device.is_powered_down(Rank::new(r as u32)) {
+                    continue;
+                }
+                // The tick that takes the counter from `threshold - 1`
+                // to `threshold` performs the power-down (possibly
+                // closing parked rows first) and must run for real.
+                horizon = horizon.min(self.now.raw() + (threshold - 1).saturating_sub(idle));
+            }
+        }
+        Some(horizon)
+    }
+
+    /// Skips ahead over cycles that are provably no-ops — empty queues,
+    /// every rank's refresh strictly inside `NotDue`, and no rank on the
+    /// brink of a power-down decision — without running them one by one.
+    /// Cycle accounting stays exact: `total_cycles`, the policy's
+    /// windowed state (via `on_idle_cycles`) and the per-rank idle
+    /// counters all advance by the skipped amount, so the observable
+    /// state is identical to ticking through the gap. Returns the number
+    /// of cycles skipped (0 when the current cycle needs a real tick).
+    pub fn fast_forward_idle(&mut self, limit: u64) -> u64 {
+        let Some(horizon) = self.next_event_cycle() else { return 0 };
+        let n = horizon.min(limit).saturating_sub(self.now.raw());
+        if n == 0 {
+            return 0;
+        }
+        self.stats.total_cycles += n;
+        self.policy.on_idle_cycles(n);
+        if self.cfg.controller.powerdown_after_idle > 0 {
+            for (r, idle) in self.rank_idle_cycles.iter_mut().enumerate() {
+                if !self.device.is_powered_down(Rank::new(r as u32)) {
+                    *idle += n;
+                }
+            }
+        }
+        self.now += n;
+        n
+    }
+
+    fn enumerate_candidates(&mut self, scratch: &mut TickScratch) {
+        let TickScratch { pending, lrras, candidates: out, act_seen, pre_seen, open_row_hits } =
+            scratch;
+        out.clear();
+        let view =
+            PolicyView { now: self.now, mode: self.queues.mode(), lrras, pbr: &self.pbr };
         // Track which (rank, bank) already produced an ACT or PRE this
         // cycle so duplicates do not inflate the candidate list.
         let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
         let total_banks = self.cfg.dram.geometry.ranks_per_channel as usize * banks_per_rank;
-        let mut act_seen = vec![false; total_banks];
-        let mut pre_seen = vec![false; total_banks];
+        act_seen.clear();
+        act_seen.resize(total_banks, false);
+        pre_seen.clear();
+        pre_seen.resize(total_banks, false);
+
+        // One queue pass counting, per bank, the queued requests that
+        // hit its open row. Replaces the per-candidate O(queue) scans of
+        // `any_request_hits` / `any_other_request_hits` with O(1) reads.
+        open_row_hits.clear();
+        open_row_hits.resize(total_banks, 0);
+        for req in self.queues.iter() {
+            let key = req.addr.rank.index() * banks_per_rank + req.addr.bank.index();
+            if let BankState::Active { row, .. } =
+                self.device.bank(req.addr.rank, req.addr.bank).state
+            {
+                if row == req.addr.row {
+                    open_row_hits[key] += 1;
+                }
+            }
+        }
 
         for req in self.queues.iter() {
             let rank = req.addr.rank;
@@ -349,8 +502,11 @@ impl MemoryController {
             let bv = self.device.bank(rank, bank);
             let key = rank.index() * banks_per_rank + bank.index();
             let lrra = lrras[rank.index()];
-            let pb = self.pbr.pb(lrra, req.addr.row);
-            let zone = self.pbr.boundary_zone(lrra, req.addr.row);
+            // PB# and boundary zone are looked up lazily — only when a
+            // candidate is actually pushed — because most queued
+            // requests are gated out by bank state or timing.
+            let pbr = &self.pbr;
+            let pb_zone = || pbr.pb_and_zone(lrra, req.addr.row);
 
             match bv.state {
                 BankState::Active { row, .. } if row == req.addr.row => {
@@ -364,16 +520,13 @@ impl MemoryController {
                     }
                     // NUAT's close-page decisions preserve imminent hits:
                     // a row some other queued request still needs stays
-                    // open. The FR-FCFS(close) baseline stays pure.
+                    // open (this request itself accounts for one entry in
+                    // the hit count). The FR-FCFS(close) baseline stays
+                    // pure.
                     let auto = pending[rank.index()]
                         || (self.policy.auto_precharge(&view, req)
                             && !(self.policy.preserve_pending_hits()
-                                && self.queues.any_other_request_hits(
-                                    rank,
-                                    bank,
-                                    req.addr.row,
-                                    req.id,
-                                )));
+                                && open_row_hits[key] > 1));
                     let command = match req.kind {
                         RequestKind::Read => DramCommand::Read {
                             rank,
@@ -389,6 +542,7 @@ impl MemoryController {
                         },
                     };
                     if self.device.can_issue(&command, self.now).is_ok() {
+                        let (pb, zone) = pb_zone();
                         out.push(Candidate {
                             request: *req,
                             command,
@@ -398,15 +552,16 @@ impl MemoryController {
                         });
                     }
                 }
-                BankState::Active { row, .. } => {
+                BankState::Active { .. } => {
                     // Conflict: consider precharging, but never close a
                     // row some queued request still hits.
-                    if pre_seen[key] || self.queues.any_request_hits(rank, bank, row) {
+                    if pre_seen[key] || open_row_hits[key] > 0 {
                         continue;
                     }
                     let command = DramCommand::Precharge { rank, bank };
                     if self.device.can_issue(&command, self.now).is_ok() {
                         pre_seen[key] = true;
+                        let (pb, zone) = pb_zone();
                         out.push(Candidate {
                             request: *req,
                             command,
@@ -427,6 +582,7 @@ impl MemoryController {
                     match self.device.can_issue(&command, self.now) {
                         Ok(()) => {
                             act_seen[key] = true;
+                            let (pb, zone) = pb_zone();
                             out.push(Candidate {
                                 request: *req,
                                 command,
@@ -444,7 +600,6 @@ impl MemoryController {
                 }
             }
         }
-        out
     }
 
     fn issue_candidate(&mut self, cand: Candidate) {
@@ -632,7 +787,7 @@ mod tests {
         let mut mc = controller(SchedulerKind::FrFcfsOpen);
         // One read to keep read mode busy, then flood writes past HW.
         for i in 0..41 {
-            mc.enqueue(0, RequestKind::Write, addr_for(i, (i % 8), 0));
+            mc.enqueue(0, RequestKind::Write, addr_for(i, i % 8, 0));
         }
         assert_eq!(mc.queues().occupancy().1, 41);
         mc.run_for(4000);

@@ -114,24 +114,35 @@ impl PbrAcquisition {
     /// Element-5 classification: does the next refresh batch move this
     /// row into a different PB, and in which direction?
     pub fn boundary_zone(&self, lrra: Row, row: Row) -> BoundaryZone {
-        let now_pb = self.pb(lrra, row);
+        self.pb_and_zone(lrra, row).1
+    }
+
+    /// The PB# and boundary classification together, computing the row
+    /// distance once. The scheduler's candidate enumeration needs both
+    /// for every candidate every cycle; the fused form does one distance
+    /// computation instead of the three that separate
+    /// [`pb`](Self::pb) + [`boundary_zone`](Self::boundary_zone) calls
+    /// would.
+    pub fn pb_and_zone(&self, lrra: Row, row: Row) -> (PbId, BoundaryZone) {
+        let d = self.distance(lrra, row);
+        let now_pb = self.grouping.pb_of_pre((d >> self.shift) as u32);
         // After the next batch, LRRA advances by `batch_rows`, so the
         // row's distance grows by the same amount (unless the batch
         // refreshes this very row, wrapping it to distance ~0).
-        let d = self.distance(lrra, row);
         let next_d = d + self.batch_rows;
         let next_pb = if next_d >= self.rows_per_bank {
             PbId(0) // the row itself gets refreshed
         } else {
             self.grouping.pb_of_pre((next_d >> self.shift) as u32)
         };
-        if next_pb == now_pb {
+        let zone = if next_pb == now_pb {
             BoundaryZone::Stable
         } else if now_pb == self.grouping.last_pb() {
             BoundaryZone::Promising
         } else {
             BoundaryZone::Warning
-        }
+        };
+        (now_pb, zone)
     }
 
     /// Number of partitions (`#P`, the `#D` of Table 1).

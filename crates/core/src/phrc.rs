@@ -104,6 +104,32 @@ impl PseudoHitRate {
         }
     }
 
+    /// Advances `n` cycles during which no commands are observed, rolling
+    /// whole sub-windows at once. Produces bit-identical state to calling
+    /// [`tick`](Self::tick) `n` times with no interleaved observations:
+    /// the per-boundary float expressions are the same ones `tick` uses,
+    /// applied once per crossed boundary (the decay is geometric, so each
+    /// boundary must still be evaluated individually), and partial
+    /// sub-window progress is carried in `cycle_in_sub`. Cost is
+    /// O(`n / sub_window_cycles`) instead of O(`n`).
+    pub fn advance_idle(&mut self, mut n: u64) {
+        while n > 0 {
+            let to_boundary = self.sub_window_cycles - self.cycle_in_sub;
+            if n < to_boundary {
+                self.cycle_in_sub += n;
+                return;
+            }
+            n -= to_boundary;
+            self.cycle_in_sub = 0;
+            let a_cols = self.window_cols / self.window_ratio;
+            let a_acts = self.window_acts / self.window_ratio;
+            self.window_cols = (self.window_cols + self.sub_cols as f64 - a_cols).max(0.0);
+            self.window_acts = (self.window_acts + self.sub_acts as f64 - a_acts).max(0.0);
+            self.sub_cols = 0;
+            self.sub_acts = 0;
+        }
+    }
+
     /// The current pseudo hit-rate (equation (3)); 0 when no columns
     /// have been observed yet.
     pub fn hit_rate(&self) -> f64 {
@@ -185,6 +211,30 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn advance_idle_matches_ticks_bit_for_bit(
+            warm_subs in 0usize..6,
+            cols in 0u64..20,
+            acts in 0u64..20,
+            offset in 0u64..1024,
+            idle in 0u64..10_000,
+        ) {
+            // Arbitrary warm state, partial sub-window progress, pending
+            // sub-counters — then the same idle gap both ways.
+            let mut a = PseudoHitRate::default();
+            run(&mut a, warm_subs, cols, acts);
+            for _ in 0..offset {
+                a.tick();
+            }
+            a.observe_column();
+            let mut b = a.clone();
+            for _ in 0..idle {
+                a.tick();
+            }
+            b.advance_idle(idle);
+            prop_assert_eq!(a, b);
+        }
+
         #[test]
         fn hit_rate_is_always_a_probability(
             pattern in proptest::collection::vec((0u64..20, 0u64..20), 1..50)

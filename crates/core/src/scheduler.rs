@@ -65,6 +65,23 @@ pub trait SchedulerPolicy: fmt::Debug {
     /// Called once per controller cycle (before `choose`).
     fn on_cycle(&mut self) {}
 
+    /// Tells the policy the channel topology it will run under, so it
+    /// can size flat per-bank state up front. Called once by the
+    /// controller before the first cycle; the default keeps policies
+    /// without per-bank state oblivious.
+    fn bind_topology(&mut self, _ranks: usize, _banks_per_rank: usize) {}
+
+    /// Advances the policy over `n` guaranteed-idle cycles at once (no
+    /// queued requests, no candidates, no issues). Must be equivalent to
+    /// calling [`on_cycle`](Self::on_cycle) `n` times; policies with
+    /// cheap window arithmetic (NUAT's PHRC) override this to roll whole
+    /// sub-windows in O(windows) instead of O(cycles).
+    fn on_idle_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.on_cycle();
+        }
+    }
+
     /// Called when a candidate has been issued.
     fn observe_issue(&mut self, _cand: &Candidate) {}
 
@@ -176,14 +193,26 @@ impl SchedulerPolicy for FcfsPolicy {
 
     fn choose(&mut self, view: &PolicyView<'_>, cands: &[Candidate]) -> Option<usize> {
         // Oldest favored request wins regardless of readiness class.
-        cands
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| {
-                (!favored(&c.request, view.mode), c.request.arrival, c.request.id)
-            })
-            .map(|(i, _)| i)
+        // Single pass, one key evaluation per candidate.
+        argmin_by_key(cands, |c| {
+            (!favored(&c.request, view.mode), c.request.arrival, c.request.id)
+        })
     }
+}
+
+/// Index of the candidate with the smallest key; ties keep the first
+/// occurrence (the same element `Iterator::min_by_key` returns). One key
+/// evaluation per candidate, no intermediate collection.
+fn argmin_by_key<K: Ord>(cands: &[Candidate], mut key: impl FnMut(&Candidate) -> K) -> Option<usize> {
+    let mut best: Option<(usize, K)> = None;
+    for (i, c) in cands.iter().enumerate() {
+        let k = key(c);
+        match &best {
+            Some((_, bk)) if *bk <= k => {}
+            _ => best = Some((i, k)),
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 // ----------------------------------------------------------------------
@@ -220,13 +249,9 @@ impl SchedulerPolicy for FrFcfsPolicy {
             CandidateKind::Activate => 1,
             CandidateKind::Precharge => 2,
         };
-        cands
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| {
-                (!favored(&c.request, view.mode), class(c), c.request.arrival, c.request.id)
-            })
-            .map(|(i, _)| i)
+        argmin_by_key(cands, |c| {
+            (!favored(&c.request, view.mode), class(c), c.request.arrival, c.request.id)
+        })
     }
 }
 
@@ -258,8 +283,15 @@ pub struct NuatPolicy {
     phrc: PseudoHitRate,
     page_source: PageModeSource,
     use_pb_timings: bool,
-    /// Last row accessed per (rank, bank), for potential-hit tracking.
-    last_rows: std::collections::HashMap<(u32, u32), Row>,
+    /// Last row accessed per bank, flat-indexed as
+    /// `rank * banks_per_rank + bank`, for potential-hit tracking.
+    /// Sized by [`bind_topology`](SchedulerPolicy::bind_topology); grows
+    /// on demand for callers that drive the policy directly.
+    last_rows: Vec<Option<Row>>,
+    banks_per_rank: usize,
+    /// Per-`choose` score scratch, reused across cycles so the hot path
+    /// never allocates.
+    scores: Vec<i64>,
 }
 
 impl NuatPolicy {
@@ -275,13 +307,29 @@ impl NuatPolicy {
             phrc: PseudoHitRate::default(),
             page_source,
             use_pb_timings: true,
-            last_rows: std::collections::HashMap::new(),
+            last_rows: Vec::new(),
+            banks_per_rank: 0,
+            scores: Vec::new(),
         }
     }
 
     /// The current pseudo hit-rate estimate (exposed for stats).
     pub fn pseudo_hit_rate(&self) -> f64 {
         self.phrc.hit_rate()
+    }
+
+    fn bank_slot(&mut self, rank: u32, bank: u32) -> &mut Option<Row> {
+        // Fall back to a per-rank stride wide enough for this bank when
+        // the controller never bound a topology (direct policy use).
+        if self.banks_per_rank <= bank as usize {
+            self.banks_per_rank = bank as usize + 1;
+            self.last_rows.clear();
+        }
+        let idx = rank as usize * self.banks_per_rank + bank as usize;
+        if self.last_rows.len() <= idx {
+            self.last_rows.resize(idx + 1, None);
+        }
+        &mut self.last_rows[idx]
     }
 }
 
@@ -310,20 +358,33 @@ impl SchedulerPolicy for NuatPolicy {
     }
 
     fn choose(&mut self, view: &PolicyView<'_>, cands: &[Candidate]) -> Option<usize> {
-        cands
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                let sa = self.table.score(a, view.mode, view.now);
-                let sb = self.table.score(b, view.mode, view.now);
-                sa.cmp(&sb)
-                    // Ties: oldest request, then lowest id (note the
-                    // reversal: max_by picks the *greater*, so older must
-                    // compare greater).
-                    .then(b.request.arrival.cmp(&a.request.arrival))
-                    .then(b.request.id.cmp(&a.request.id))
-            })
-            .map(|(i, _)| i)
+        // Score every candidate exactly once into the reusable scratch
+        // slice, then take a single-pass maximum. The old `max_by`
+        // version re-scored both sides of every comparison (2(n−1)
+        // table evaluations per cycle instead of n).
+        let (table, scores) = (&self.table, &mut self.scores);
+        scores.clear();
+        scores.extend(cands.iter().map(|c| table.score(c, view.mode, view.now)));
+        let mut best: Option<usize> = None;
+        for (i, c) in cands.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let bc = &cands[b];
+                    scores[i]
+                        .cmp(&scores[b])
+                        // Ties: oldest request, then lowest id (older /
+                        // lower must compare greater to win the max).
+                        .then(bc.request.arrival.cmp(&c.request.arrival))
+                        .then(bc.request.id.cmp(&c.request.id))
+                        .is_gt()
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
     }
 
     fn pseudo_hit_rate(&self) -> Option<f64> {
@@ -334,14 +395,24 @@ impl SchedulerPolicy for NuatPolicy {
         self.phrc.tick();
     }
 
+    fn on_idle_cycles(&mut self, n: u64) {
+        self.phrc.advance_idle(n);
+    }
+
+    fn bind_topology(&mut self, ranks: usize, banks_per_rank: usize) {
+        self.banks_per_rank = banks_per_rank;
+        self.last_rows.clear();
+        self.last_rows.resize(ranks * banks_per_rank, None);
+    }
+
     fn observe_issue(&mut self, cand: &Candidate) {
         if cand.kind != CandidateKind::Column {
             return;
         }
         // Potential-hit accounting (see the struct docs).
-        let key = (cand.request.addr.rank.raw(), cand.request.addr.bank.raw());
         let row = cand.request.addr.row;
-        let was_hit = self.last_rows.insert(key, row) == Some(row);
+        let slot = self.bank_slot(cand.request.addr.rank.raw(), cand.request.addr.bank.raw());
+        let was_hit = slot.replace(row) == Some(row);
         self.phrc.observe_column();
         if !was_hit {
             self.phrc.observe_activation();

@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn counts() {
         let t = trace();
-        assert_eq!(t.total_instructions(), 9 + 1 + 0 + 1 + 4 + 1 + 5);
+        assert_eq!(t.total_instructions(), (9 + 1) + 1 + 4 + 1 + 5);
         assert_eq!(t.mem_ops(), 3);
         assert_eq!(t.reads(), 2);
     }

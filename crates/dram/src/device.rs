@@ -359,7 +359,7 @@ impl DramDevice {
                         elapsed_ns: elapsed,
                     });
                 }
-                Ok(IssuePlan::default())
+                Ok(IssuePlan)
             }
 
             DramCommand::Read { bank, col, .. } | DramCommand::Write { bank, col, .. } => {
@@ -380,7 +380,7 @@ impl DramDevice {
                 }
                 // Auto-precharge timing resolved at apply time.
                 let _ = (act_at, timings);
-                Ok(IssuePlan::default())
+                Ok(IssuePlan)
             }
 
             DramCommand::Precharge { bank, .. } => {
@@ -389,7 +389,7 @@ impl DramDevice {
                     return Err(IssueError::WrongBankState { rank, bank, expected: "active" });
                 }
                 too_early("tRAS/tRTP/tWR", bv.earliest_pre, now)?;
-                Ok(IssuePlan::default())
+                Ok(IssuePlan)
             }
 
             DramCommand::Refresh { .. } => {
@@ -402,7 +402,7 @@ impl DramDevice {
                 let earliest =
                     rs.banks.iter().map(|b| b.earliest_act).fold(McCycle::ZERO, McCycle::max);
                 too_early("tRP/tRFC", earliest, now)?;
-                Ok(IssuePlan::default())
+                Ok(IssuePlan)
             }
         }
     }

@@ -67,16 +67,14 @@ impl ReferenceChecker {
                 DramCommand::Activate { bank: b, row, .. } if b == bank => open = Some(row),
                 DramCommand::Precharge { bank: b, .. } if b == bank => open = None,
                 DramCommand::Read { bank: b, .. } | DramCommand::Write { bank: b, .. }
-                    if b == bank =>
-                {
+                    if b == bank
                     // An auto-precharging column commits the bank to
                     // close: no further column/PRE commands are legal
                     // from the moment it issues (JEDEC semantics), even
                     // though the precharge itself happens later.
-                    if e.implied_pre.is_some() {
+                    && e.implied_pre.is_some() => {
                         open = None;
                     }
-                }
                 DramCommand::Refresh { .. } => open = None,
                 _ => {}
             }
@@ -105,11 +103,10 @@ impl ReferenceChecker {
                 // tRP after the bank's last (explicit or implied) PRE.
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Precharge { bank: b, .. } if b == bank => {
-                            if now.raw() < e.at.raw() + t.trp {
+                        DramCommand::Precharge { bank: b, .. } if b == bank
+                            && now.raw() < e.at.raw() + t.trp => {
                                 return false;
                             }
-                        }
                         DramCommand::Read { bank: b, .. } | DramCommand::Write { bank: b, .. }
                             if b == bank =>
                         {
@@ -120,17 +117,15 @@ impl ReferenceChecker {
                             }
                         }
                         // tRC after the bank's last ACT (its promised tRC).
-                        DramCommand::Activate { bank: b, timings: prev, .. } if b == bank => {
-                            if now.raw() < e.at.raw() + prev.trc {
+                        DramCommand::Activate { bank: b, timings: prev, .. } if b == bank
+                            && now.raw() < e.at.raw() + prev.trc => {
                                 return false;
                             }
-                        }
                         // tRFC after a refresh.
-                        DramCommand::Refresh { .. } => {
-                            if now.raw() < e.at.raw() + t.trfc {
+                        DramCommand::Refresh { .. }
+                            if now.raw() < e.at.raw() + t.trfc => {
                                 return false;
                             }
-                        }
                         _ => {}
                     }
                 }
@@ -158,12 +153,11 @@ impl ReferenceChecker {
                 }
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Activate { bank: b, timings, .. } if b == bank => {
+                        DramCommand::Activate { bank: b, timings, .. } if b == bank
                             // tRCD (the ACT's promised value).
-                            if now.raw() < e.at.raw() + timings.trcd {
+                            && now.raw() < e.at.raw() + timings.trcd => {
                                 return false;
                             }
-                        }
                         DramCommand::Read { .. } => {
                             if is_read {
                                 if now.raw() < e.at.raw() + t.tccd {
@@ -194,21 +188,18 @@ impl ReferenceChecker {
                 }
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Activate { bank: b, timings, .. } if b == bank => {
-                            if now.raw() < e.at.raw() + timings.tras {
+                        DramCommand::Activate { bank: b, timings, .. } if b == bank
+                            && now.raw() < e.at.raw() + timings.tras => {
                                 return false;
                             }
-                        }
-                        DramCommand::Read { bank: b, .. } if b == bank => {
-                            if now.raw() < e.at.raw() + t.trtp {
+                        DramCommand::Read { bank: b, .. } if b == bank
+                            && now.raw() < e.at.raw() + t.trtp => {
                                 return false;
                             }
-                        }
-                        DramCommand::Write { bank: b, .. } if b == bank => {
-                            if now.raw() < e.at.raw() + t.write_to_precharge() {
+                        DramCommand::Write { bank: b, .. } if b == bank
+                            && now.raw() < e.at.raw() + t.write_to_precharge() => {
                                 return false;
                             }
-                        }
                         _ => {}
                     }
                 }

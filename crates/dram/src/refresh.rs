@@ -75,7 +75,7 @@ impl RefreshEngine {
     pub fn new(rows_per_bank: u64, timings: &DramTimings) -> Self {
         let batch_rows = timings.rows_per_refresh_batch();
         assert!(
-            rows_per_bank % batch_rows == 0,
+            rows_per_bank.is_multiple_of(batch_rows),
             "rows per bank must be a multiple of the refresh batch size"
         );
         RefreshEngine {
@@ -121,6 +121,14 @@ impl RefreshEngine {
     /// Cycle at which the next batch is due.
     pub fn next_due(&self) -> McCycle {
         McCycle::new((self.batches_done + 1) * self.batch_interval)
+    }
+
+    /// First cycle at which [`urgency`](Self::urgency) stops reporting
+    /// [`RefreshUrgency::NotDue`] (the start of the lead window). Idle
+    /// fast-forwarding uses this as its refresh event horizon: every
+    /// cycle strictly before it is guaranteed refresh-inert.
+    pub fn pending_from(&self) -> McCycle {
+        McCycle::new(self.next_due().raw().saturating_sub(self.lead))
     }
 
     /// Urgency of the next batch at cycle `now`.
@@ -207,6 +215,19 @@ mod tests {
         assert_eq!(e.urgency(McCycle::new(due.raw() - 200)), RefreshUrgency::NotDue);
         assert_eq!(e.urgency(McCycle::new(due.raw() - 128)), RefreshUrgency::Pending);
         assert_eq!(e.urgency(due), RefreshUrgency::Overdue);
+    }
+
+    #[test]
+    fn pending_from_is_the_exact_not_due_boundary() {
+        let mut e = engine();
+        let p = e.pending_from();
+        assert_eq!(e.urgency(McCycle::new(p.raw() - 1)), RefreshUrgency::NotDue);
+        assert_ne!(e.urgency(p), RefreshUrgency::NotDue);
+        // Holds after batches complete, too.
+        e.complete_batch(e.next_due());
+        let p = e.pending_from();
+        assert_eq!(e.urgency(McCycle::new(p.raw() - 1)), RefreshUrgency::NotDue);
+        assert_ne!(e.urgency(p), RefreshUrgency::NotDue);
     }
 
     #[test]

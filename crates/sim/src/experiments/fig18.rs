@@ -6,6 +6,7 @@
 //! also prints the §9.1 analysis quantities (per-scheduler hit rates
 //! and the PB3+PB4 access share).
 
+use crate::parallel::parallel_map;
 use crate::runner::{run_single, RunConfig};
 use crate::system::SimResult;
 use nuat_core::SchedulerKind;
@@ -91,26 +92,42 @@ impl LatencyExecReport {
     /// Panics if `seeds == 0`.
     pub fn run_subset_seeds(specs: &[WorkloadSpec], rc: &RunConfig, seeds: u64) -> Self {
         assert!(seeds >= 1, "need at least one seed");
+        let kinds = [
+            SchedulerKind::Nuat,
+            SchedulerKind::FrFcfsOpen,
+            SchedulerKind::FrFcfsClose,
+        ];
+        // One cell per (workload, seed, scheduler) — the independent
+        // unit the parallel executor fans across worker threads.
+        let mut cells: Vec<(WorkloadSpec, u64, SchedulerKind)> =
+            Vec::with_capacity(specs.len() * seeds as usize * kinds.len());
+        for spec in specs {
+            for s in 0..seeds {
+                for kind in kinds {
+                    cells.push((*spec, s, kind));
+                }
+            }
+        }
+        let results = parallel_map(&cells, |&(spec, s, kind)| {
+            let rc_s = RunConfig { seed: rc.seed.wrapping_add(s * 104_729), ..*rc };
+            run_single(spec, kind, &rc_s)
+        });
+        // Fold in cell order (seed-major, scheduler-minor per workload)
+        // so float accumulation is bit-identical to the sequential loop.
+        let per_spec = seeds as usize * kinds.len();
         let rows = specs
             .iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(wi, spec)| {
                 let mut lat = [0.0f64; 3];
                 let mut exec = [0.0f64; 3];
                 let mut firsts: Vec<Option<SimResult>> = vec![None, None, None];
-                for s in 0..seeds {
-                    let rc_s = RunConfig { seed: rc.seed.wrapping_add(s * 104_729), ..*rc };
-                    let kinds = [
-                        SchedulerKind::Nuat,
-                        SchedulerKind::FrFcfsOpen,
-                        SchedulerKind::FrFcfsClose,
-                    ];
-                    for (i, kind) in kinds.into_iter().enumerate() {
-                        let r = run_single(*spec, kind, &rc_s);
-                        lat[i] += r.avg_read_latency();
-                        exec[i] += r.execution_cpu_cycles as f64;
-                        if firsts[i].is_none() {
-                            firsts[i] = Some(r);
-                        }
+                for (j, r) in results[wi * per_spec..(wi + 1) * per_spec].iter().enumerate() {
+                    let i = j % kinds.len();
+                    lat[i] += r.avg_read_latency();
+                    exec[i] += r.execution_cpu_cycles as f64;
+                    if firsts[i].is_none() {
+                        firsts[i] = Some(r.clone());
                     }
                 }
                 for v in lat.iter_mut().chain(exec.iter_mut()) {

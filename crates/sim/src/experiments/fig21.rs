@@ -5,6 +5,7 @@
 //! cycles grow with #PB but with diminishing returns (the sense-amp
 //! nonlinearity), and the sensitivity steepens with more cores.
 
+use crate::parallel::parallel_map;
 use crate::runner::{run_mix, RunConfig};
 use nuat_circuit::PbGrouping;
 use nuat_core::SchedulerKind;
@@ -46,16 +47,27 @@ impl PbSensitivity {
                     .map(|m| m.workloads)
                     .collect()
             };
-            let mut per_pb = Vec::new();
-            for &n_pb in n_pbs {
-                let grouping = PbGrouping::paper(n_pb);
-                let mut acc = 0.0;
-                for specs in &combos {
-                    let r = run_mix(specs, SchedulerKind::Nuat, grouping.clone(), rc);
-                    acc += r.avg_read_latency();
-                }
-                per_pb.push(acc / combos.len() as f64);
-            }
+            // Flatten the (#PB, combo) grid into independent cells and
+            // fan them out; fold per #PB in combo order so the float
+            // accumulation matches the sequential nesting exactly.
+            let cells: Vec<(usize, usize)> = n_pbs
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, _)| (0..combos.len()).map(move |ci| (pi, ci)))
+                .collect();
+            let latencies = parallel_map(&cells, |&(pi, ci)| {
+                let grouping = PbGrouping::paper(n_pbs[pi]);
+                run_mix(&combos[ci], SchedulerKind::Nuat, grouping, rc).avg_read_latency()
+            });
+            let per_pb: Vec<f64> = n_pbs
+                .iter()
+                .enumerate()
+                .map(|(pi, _)| {
+                    let acc: f64 =
+                        latencies[pi * combos.len()..(pi + 1) * combos.len()].iter().sum();
+                    acc / combos.len() as f64
+                })
+                .collect();
             avg_latency.push(per_pb);
         }
         PbSensitivity {

@@ -7,6 +7,7 @@
 //! work from row-buffer hits to activations — exactly where NUAT's
 //! charge slack applies.
 
+use crate::parallel::parallel_map;
 use crate::runner::{run_mix, RunConfig};
 use nuat_circuit::PbGrouping;
 use nuat_core::SchedulerKind;
@@ -57,17 +58,26 @@ impl MulticoreEffects {
                         .map(|m| m.workloads)
                         .collect()
                 };
-                let mut vs_open = 0.0;
-                let mut vs_close = 0.0;
-                let mut lat_open = 0.0;
-                for specs in &combos {
+                // Each combo's scheduler triple is one independent cell;
+                // folding the returned triples in combo order keeps the
+                // float accumulation identical to the sequential loop.
+                let triples = parallel_map(&combos, |specs| {
                     let nuat = run_mix(specs, SchedulerKind::Nuat, grouping.clone(), rc);
                     let open = run_mix(specs, SchedulerKind::FrFcfsOpen, grouping.clone(), rc);
                     let close = run_mix(specs, SchedulerKind::FrFcfsClose, grouping.clone(), rc);
-                    vs_open += pct(open.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64);
-                    vs_close +=
-                        pct(close.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64);
-                    lat_open += pct(open.avg_read_latency(), nuat.avg_read_latency());
+                    (
+                        pct(open.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64),
+                        pct(close.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64),
+                        pct(open.avg_read_latency(), nuat.avg_read_latency()),
+                    )
+                });
+                let mut vs_open = 0.0;
+                let mut vs_close = 0.0;
+                let mut lat_open = 0.0;
+                for (o, c, l) in &triples {
+                    vs_open += o;
+                    vs_close += c;
+                    lat_open += l;
                 }
                 let n = combos.len() as f64;
                 MulticoreRow {

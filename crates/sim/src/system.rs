@@ -89,6 +89,9 @@ pub struct System {
     mcs: Vec<MemoryController>,
     cfg: SystemConfig,
     cpu_now: CpuCycle,
+    /// Reused each step to drain controller completions without
+    /// allocating a fresh `Vec` per controller per cycle.
+    completions_buf: Vec<nuat_core::Completion>,
 }
 
 impl System {
@@ -118,7 +121,7 @@ impl System {
             .enumerate()
             .map(|(i, t)| Core::new(i, cfg.processor, t))
             .collect();
-        System { cores, mcs, cfg, cpu_now: CpuCycle::ZERO }
+        System { cores, mcs, cfg, cpu_now: CpuCycle::ZERO, completions_buf: Vec::new() }
     }
 
     /// The channel-0 controller (for inspection mid-run).
@@ -146,13 +149,17 @@ impl System {
             self.cpu_now += 1;
         }
         let channels = self.mcs.len();
+        let mut buf = std::mem::take(&mut self.completions_buf);
         for (ch, mc) in self.mcs.iter_mut().enumerate() {
             mc.tick();
-            for done in mc.take_completions() {
+            buf.clear();
+            mc.drain_completions_into(&mut buf);
+            for done in &buf {
                 self.cores[done.request.core]
                     .complete_read(token(done.request.id.0, ch, channels), self.cpu_now);
             }
         }
+        self.completions_buf = buf;
     }
 
     fn all_idle(&self) -> bool {

@@ -148,10 +148,12 @@ impl fmt::Display for DecodedAddr {
 /// Bit order below is least-significant first; the 6-bit cache-line
 /// offset is always the lowest field and is ignored by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum AddressMapping {
     /// USIMM's open-page baseline (Table 3): `offset : column : channel :
     /// bank : rank : row`. Consecutive cache lines share a row, maximizing
     /// row-buffer hits.
+    #[default]
     OpenPageBaseline,
     /// Close-page-oriented interleaving: `offset : channel : bank : rank :
     /// column : row`. Consecutive cache lines spread across banks,
@@ -164,11 +166,6 @@ pub enum AddressMapping {
     OpenPageXorBank,
 }
 
-impl Default for AddressMapping {
-    fn default() -> Self {
-        AddressMapping::OpenPageBaseline
-    }
-}
 
 impl fmt::Display for AddressMapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -127,7 +127,7 @@ impl TraceGenerator {
         // and a scattered phase (Fig. 19(b)'s non-bursting pattern).
         // The swing is what produces the paper's large open-vs-close
         // hit-rate gap for leslie (0.65 vs 0.28) and the PHRC lag.
-        if (self.generated / PHASE_LEN) % 2 == 0 {
+        if (self.generated / PHASE_LEN).is_multiple_of(2) {
             (self.spec.row_locality + 0.26).min(0.98)
         } else {
             (self.spec.row_locality - 0.60).max(0.02)

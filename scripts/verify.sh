@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, and lint-clean
+# clippy across every target. CI and pre-commit both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "verify: OK"

@@ -1,0 +1,136 @@
+//! Determinism guards: lock the simulator's exact outputs so hot-path
+//! optimizations (scratch buffers, single-pass scoring, idle
+//! fast-forward, parallel execution) cannot silently change scheduling
+//! decisions. Every value here was recorded from the straightforward
+//! reference implementation; a mismatch means an "optimization" altered
+//! simulated behaviour, not just speed.
+
+use nuat_core::{MemoryController, RequestKind, SchedulerKind};
+use nuat_sim::{parallel_map, run_single, RunConfig};
+use nuat_types::{Rank, SystemConfig};
+use nuat_workloads::by_name;
+
+/// Golden single-core results on `comm3` at `RunConfig::quick()`,
+/// recorded before the zero-allocation/fast-forward rework. The
+/// optimized controller must reproduce them exactly — decision
+/// identity, not statistical similarity.
+#[test]
+fn golden_single_core_results_are_locked() {
+    let goldens = [
+        (SchedulerKind::Fcfs, 12713u64, 67650u64, 50821u64),
+        (SchedulerKind::FrFcfsOpen, 12732, 67172, 50897),
+        (SchedulerKind::FrFcfsClose, 13064, 68455, 52253),
+        (SchedulerKind::Nuat, 12990, 67075, 51957),
+    ];
+    let rc = RunConfig::quick();
+    let spec = by_name("comm3").unwrap();
+    for (kind, mc_cycles, total_read_latency, exec_cpu) in goldens {
+        let r = run_single(spec, kind, &rc);
+        assert!(r.completed, "{}: run must complete", r.scheduler);
+        assert_eq!(r.mc_cycles, mc_cycles, "{}: mc_cycles drifted", r.scheduler);
+        assert_eq!(
+            r.stats.total_read_latency, total_read_latency,
+            "{}: total_read_latency drifted",
+            r.scheduler
+        );
+        assert_eq!(
+            r.execution_cpu_cycles, exec_cpu,
+            "{}: execution_cpu_cycles drifted",
+            r.scheduler
+        );
+        assert_eq!(r.stats.reads_completed, 985, "{}: reads drifted", r.scheduler);
+        assert_eq!(r.stats.writes_drained, 515, "{}: writes drifted", r.scheduler);
+    }
+}
+
+/// The parallel campaign executor must be a pure reordering of work:
+/// results come back in input order and are bit-identical to a
+/// sequential loop, even when forced onto multiple workers.
+#[test]
+fn parallel_runs_match_sequential_runs_exactly() {
+    // Force real threading even on single-CPU machines; the variable is
+    // only read by this binary's parallel_map calls.
+    std::env::set_var("NUAT_JOBS", "3");
+    let rc = RunConfig { mem_ops_per_core: 600, ..RunConfig::quick() };
+    let cells: Vec<(&str, SchedulerKind)> = ["comm3", "ferret", "libq"]
+        .into_iter()
+        .flat_map(|w| {
+            [SchedulerKind::Nuat, SchedulerKind::FrFcfsOpen]
+                .into_iter()
+                .map(move |k| (w, k))
+        })
+        .collect();
+    let fingerprint = |name: &str, kind: SchedulerKind| {
+        let r = run_single(by_name(name).unwrap(), kind, &rc);
+        (r.mc_cycles, r.stats.total_read_latency, r.execution_cpu_cycles)
+    };
+    let par = parallel_map(&cells, |&(w, k)| fingerprint(w, k));
+    let seq: Vec<_> = cells.iter().map(|&(w, k)| fingerprint(w, k)).collect();
+    std::env::remove_var("NUAT_JOBS");
+    assert_eq!(par, seq);
+}
+
+fn loaded_controller(powerdown_after_idle: u64) -> MemoryController {
+    let mut cfg = SystemConfig::default();
+    cfg.controller.powerdown_after_idle = powerdown_after_idle;
+    let mut mc = MemoryController::new(cfg, SchedulerKind::Nuat);
+    let g = nuat_types::DramGeometry::default();
+    for i in 0..16u32 {
+        let addr = g
+            .encode(
+                nuat_types::DecodedAddr {
+                    channel: nuat_types::Channel::new(0),
+                    rank: Rank::new(0),
+                    bank: nuat_types::Bank::new(i % 8),
+                    row: nuat_types::Row::new(100 + i / 4),
+                    col: nuat_types::Col::new(i % 64),
+                },
+                nuat_types::AddressMapping::OpenPageBaseline,
+            )
+            .unwrap();
+        mc.enqueue(0, if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read }, addr);
+    }
+    mc
+}
+
+/// `run_for`'s idle fast-forward must be invisible: a burst of work,
+/// then a long idle stretch crossing several refresh intervals and the
+/// power-down threshold, must leave the controller in exactly the state
+/// a cycle-by-cycle loop produces.
+#[test]
+fn fast_forward_is_cycle_accurate() {
+    // Refresh batches are due every 50k cycles (tREFI 6250 x 8 rows);
+    // cover two of them plus the initial burst and power-down entry.
+    const CYCLES: u64 = 120_000;
+    for powerdown in [0u64, 64] {
+        let mut fast = loaded_controller(powerdown);
+        let mut slow = loaded_controller(powerdown);
+        fast.run_for(CYCLES);
+        for _ in 0..CYCLES {
+            slow.tick();
+        }
+        assert_eq!(fast.now(), slow.now(), "powerdown={powerdown}: clock diverged");
+        assert_eq!(fast.stats(), slow.stats(), "powerdown={powerdown}: stats diverged");
+        assert_eq!(
+            fast.device().stats(),
+            slow.device().stats(),
+            "powerdown={powerdown}: device stats diverged"
+        );
+        assert_eq!(
+            fast.device().total_powerdown_cycles(),
+            slow.device().total_powerdown_cycles(),
+            "powerdown={powerdown}: power-down accounting diverged"
+        );
+        assert_eq!(
+            fast.refresh_engine(Rank::new(0)).batches_done(),
+            slow.refresh_engine(Rank::new(0)).batches_done(),
+            "powerdown={powerdown}: refresh accounting diverged"
+        );
+        // The idle stretch is long enough that the guards above actually
+        // exercised refresh and power-down, not just an empty loop.
+        assert!(fast.refresh_engine(Rank::new(0)).batches_done() > 0);
+        if powerdown > 0 {
+            assert!(fast.device().total_powerdown_cycles() > 0);
+        }
+    }
+}

@@ -36,7 +36,9 @@ fn fig18_averages_are_finite_and_sane() {
 
 #[test]
 fn fig21_sensitivity_grid_has_monotone_trend_for_single_core() {
-    let s = PbSensitivity::run(&[1], &[2, 3, 5], 4, 1, &rc(800));
+    // 4000 ops per workload: at shorter runs the 3PB-vs-5PB ordering is
+    // inside the scheduling-noise band and flips with the RNG stream.
+    let s = PbSensitivity::run(&[1], &[2, 3, 5], 4, 1, &rc(4000));
     let saved = s.saved_cycles();
     assert_eq!(saved.len(), 1);
     assert_eq!(saved[0].len(), 3);

@@ -21,7 +21,7 @@ fn postponement_defers_refreshes_under_load_and_stays_safe() {
 
     // Sustained demand across banks, spanning two refresh due times.
     let g = nuat_types::DramGeometry::default();
-    let mut enq = |row: u32, bank: u32, col: u32, mc: &mut MemoryController| {
+    let enq = |row: u32, bank: u32, col: u32, mc: &mut MemoryController| {
         let addr = g
             .encode(
                 nuat_types::DecodedAddr {
@@ -38,7 +38,7 @@ fn postponement_defers_refreshes_under_load_and_stays_safe() {
     };
     let mut i = 0u32;
     while mc.now().raw() < 120_000 {
-        if mc.can_accept(RequestKind::Read) && i % 12 == 0 {
+        if mc.can_accept(RequestKind::Read) && i.is_multiple_of(12) {
             enq(8191 - (i % 512), i % 8, i % 64, &mut mc);
         }
         mc.tick();
@@ -60,8 +60,6 @@ fn postponement_defers_refreshes_under_load_and_stays_safe() {
 #[test]
 fn postponement_does_not_regress_throughput() {
     let spec = by_name("ferret").unwrap();
-    let mut base_cfg = SystemConfig::with_cores(1);
-    base_cfg.controller.refresh_postpone_batches = 0;
 
     let prompt = run_mix(&[spec], SchedulerKind::Nuat, PbGrouping::paper(5), &rc(1500));
 

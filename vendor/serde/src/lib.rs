@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment is fully offline (no registry cache), so the real
+//! serde cannot be fetched. This repo uses serde purely as a marker — types
+//! derive `Serialize`/`Deserialize` but nothing ever serializes through a
+//! serde `Serializer` (all report output is hand-formatted). The stub keeps
+//! the same trait names and derive spelling compiling:
+//!
+//! * `Serialize` / `Deserialize<'de>` are empty marker traits with blanket
+//!   impls, so every type satisfies bounds like
+//!   `T: Serialize + for<'de> Deserialize<'de>`.
+//! * The derive macros (re-exported from the stub `serde_derive`) accept
+//!   the usual syntax and expand to nothing.
+//!
+//! If a future PR needs real serialization, swap these stubs for the real
+//! crates by restoring the registry versions in `[workspace.dependencies]`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real serde cannot be fetched. This repo only relies on
+//! `#[derive(Serialize, Deserialize)]` as a marker (the companion `serde`
+//! stub blanket-implements both traits), so the derives here accept the
+//! syntax — including `#[serde(...)]` helper attributes — and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code; the `serde` stub's
+/// blanket impl already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code; the `serde` stub's
+/// blanket impl already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
