@@ -2,9 +2,7 @@
 //! PB derivation, and the Fig. 9 sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nuat_circuit::{
-    CalibratedSlack, ExponentialChargeModel, Fig9Report, PbGrouping, SlackModel,
-};
+use nuat_circuit::{CalibratedSlack, ExponentialChargeModel, Fig9Report, PbGrouping, SlackModel};
 use nuat_types::DramTimings;
 use std::hint::black_box;
 
@@ -42,8 +40,15 @@ fn bench_grouping_derivation(c: &mut Criterion) {
 }
 
 fn bench_fig9_sweep(c: &mut Criterion) {
-    c.bench_function("fig9_sweep_33_points", |b| b.iter(Fig9Report::paper_default));
+    c.bench_function("fig9_sweep_33_points", |b| {
+        b.iter(Fig9Report::paper_default)
+    });
 }
 
-criterion_group!(benches, bench_slack_models, bench_grouping_derivation, bench_fig9_sweep);
+criterion_group!(
+    benches,
+    bench_slack_models,
+    bench_grouping_derivation,
+    bench_fig9_sweep
+);
 criterion_main!(benches);

@@ -6,7 +6,10 @@ use nuat_sim::{LatencyExecReport, MulticoreEffects, PbSensitivity, RunConfig};
 use nuat_workloads::by_name;
 
 fn rc() -> RunConfig {
-    RunConfig { mem_ops_per_core: 600, ..RunConfig::quick() }
+    RunConfig {
+        mem_ops_per_core: 600,
+        ..RunConfig::quick()
+    }
 }
 
 fn bench_fig18_mini(c: &mut Criterion) {
@@ -37,5 +40,10 @@ fn bench_fig22_mini(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig18_mini, bench_fig21_mini, bench_fig22_mini);
+criterion_group!(
+    benches,
+    bench_fig18_mini,
+    bench_fig21_mini,
+    bench_fig22_mini
+);
 criterion_main!(benches);

@@ -37,7 +37,10 @@ fn main() -> std::io::Result<()> {
     };
 
     eprintln!("[1/6] circuit artifacts (Fig. 9, Fig. 17/Table 4)");
-    write("fig09_sense_amp.txt", Fig9Report::paper_default().to_string())?;
+    write(
+        "fig09_sense_amp.txt",
+        Fig9Report::paper_default().to_string(),
+    )?;
     let mut fig17 = String::new();
     for n in 2..=5 {
         fig17.push_str(&PbGrouping::paper(n).to_string());
@@ -78,7 +81,11 @@ fn main() -> std::io::Result<()> {
             let m: f64 = (0..4).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 4.0;
             DeviceSample {
                 margin: (0.35 + 0.75 * m).min(1.0),
-                single_bit_weak_words: if rng.gen_bool(0.18) { rng.gen_range(1..4) } else { 0 },
+                single_bit_weak_words: if rng.gen_bool(0.18) {
+                    rng.gen_range(1..4)
+                } else {
+                    0
+                },
                 multi_bit_weak_words: u64::from(rng.gen_bool(0.01)),
             }
         })

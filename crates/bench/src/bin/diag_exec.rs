@@ -17,9 +17,7 @@ fn main() {
     for spec in table2() {
         let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
         let base = open.execution_cpu_cycles as f64;
-        let pct = |r: &nuat_sim::SimResult| {
-            (base - r.execution_cpu_cycles as f64) / base * 100.0
-        };
+        let pct = |r: &nuat_sim::SimResult| (base - r.execution_cpu_cycles as f64) / base * 100.0;
         let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
         let nuat_open = run_single(spec, SchedulerKind::NuatFixedPage(PageMode::Open), &rc);
         let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
@@ -36,5 +34,12 @@ fn main() {
         s[2] += pct(&close);
     }
     let n = table2().len() as f64;
-    println!("{:<12} {:>10} {:>10.1} {:>10.1} {:>10.1}", "average", "", s[0] / n, s[1] / n, s[2] / n);
+    println!(
+        "{:<12} {:>10} {:>10.1} {:>10.1} {:>10.1}",
+        "average",
+        "",
+        s[0] / n,
+        s[1] / n,
+        s[2] / n
+    );
 }

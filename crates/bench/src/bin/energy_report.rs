@@ -24,8 +24,7 @@ fn main() {
         let nuat = run_single(spec, SchedulerKind::Nuat, &rc);
         let close = run_single(spec, SchedulerKind::FrFcfsClose, &rc);
         let uj = |r: &nuat_sim::SimResult| r.energy_pj / 1.0e6;
-        let acts =
-            |r: &nuat_sim::SimResult| r.stats.acts_for_reads + r.stats.acts_for_writes;
+        let acts = |r: &nuat_sim::SimResult| r.stats.acts_for_reads + r.stats.acts_for_writes;
         println!(
             "{:<12} {:>12.1} {:>10.1} {:>10.1} {:>12} {:>12}",
             spec.name,

@@ -36,9 +36,9 @@ fn main() {
             let mut max_slowdown = 0.0f64;
             for (core, spec) in mix.workloads.iter().enumerate() {
                 let key = (spec.name, kind.name());
-                let base = *solo.entry(key).or_insert_with(|| {
-                    run_single(*spec, kind, &rc).execution_cpu_cycles as f64
-                });
+                let base = *solo
+                    .entry(key)
+                    .or_insert_with(|| run_single(*spec, kind, &rc).execution_cpu_cycles as f64);
                 let slowdown = r.core_finish_cpu_cycles[core] as f64 / base;
                 max_slowdown = max_slowdown.max(slowdown);
             }
@@ -53,7 +53,12 @@ fn main() {
     let n = mixes.len() as f64;
     println!(
         "{:<10} {:>16.2} {:>16.2}   (mean)\n{:<10} {:>16.2} {:>16.2}   (worst)",
-        "", sums[0] / n, sums[1] / n, "", worst[0], worst[1]
+        "",
+        sums[0] / n,
+        sums[1] / n,
+        "",
+        worst[0],
+        worst[1]
     );
     println!("\n[NUAT's reordering keys on row charge state, not on the issuing");
     println!(" core, so its max slowdown should track FR-FCFS's closely]");

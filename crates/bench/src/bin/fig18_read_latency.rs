@@ -5,13 +5,16 @@
 //! cargo run --release -p nuat-bench --bin fig18_read_latency [--quick]
 //! ```
 
-use nuat_sim::latency_exec_csv;
 use nuat_bench::run_config_from_args;
+use nuat_sim::latency_exec_csv;
 use nuat_sim::LatencyExecReport;
 
 fn main() {
     let rc = run_config_from_args();
-    eprintln!("running 18 workloads x 3 schedulers ({} mem ops each)...", rc.mem_ops_per_core);
+    eprintln!(
+        "running 18 workloads x 3 schedulers ({} mem ops each)...",
+        rc.mem_ops_per_core
+    );
     let report = LatencyExecReport::run(&rc);
     if std::env::args().any(|a| a == "--csv") {
         print!("{}", latency_exec_csv(&report));

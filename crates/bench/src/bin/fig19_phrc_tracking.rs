@@ -22,7 +22,10 @@ const SAMPLE_EVERY: u64 = 4096;
 fn main() {
     for name in ["leslie", "comm1"] {
         println!("== {name} ==");
-        println!("{:>10} {:>8} {:>8} {:>8}", "cycle", "PHRC", "actual", "error");
+        println!(
+            "{:>10} {:>8} {:>8} {:>8}",
+            "cycle", "PHRC", "actual", "error"
+        );
         let spec = by_name(name).expect("Table 2 workload");
         let cfg = SystemConfig::default();
         let mut gen = TraceGenerator::new(spec, cfg.dram.geometry, 7);
@@ -39,9 +42,7 @@ fn main() {
         while next_record < trace.records().len() || !mc.is_idle() {
             // Feed the trace open-loop (arrival times from gaps at the
             // fetch rate of 16 instructions per controller cycle).
-            while next_record < trace.records().len()
-                && next_arrival <= mc.now().raw()
-            {
+            while next_record < trace.records().len() && next_arrival <= mc.now().raw() {
                 let r = trace.records()[next_record];
                 let kind = match r.op {
                     MemOp::Read => RequestKind::Read,
@@ -91,7 +92,11 @@ fn main() {
         println!(
             "mean |PHRC - actual| over {} samples: {:.3}\n",
             err_n,
-            if err_n == 0 { 0.0 } else { err_sum / err_n as f64 }
+            if err_n == 0 {
+                0.0
+            } else {
+                err_sum / err_n as f64
+            }
         );
     }
     println!("[paper Fig. 19: phase-alternating accesses (leslie) outpace PHRC's");

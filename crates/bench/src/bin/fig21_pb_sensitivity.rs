@@ -4,8 +4,8 @@
 //! cargo run --release -p nuat-bench --bin fig21_pb_sensitivity [--quick]
 //! ```
 
-use nuat_sim::pb_sensitivity_csv;
 use nuat_bench::{quick_requested, run_config_from_args};
+use nuat_sim::pb_sensitivity_csv;
 use nuat_sim::PbSensitivity;
 
 fn main() {

@@ -5,8 +5,8 @@
 //! cargo run --release -p nuat-bench --bin fig22_multicore [--quick]
 //! ```
 
-use nuat_sim::multicore_csv;
 use nuat_bench::{quick_requested, run_config_from_args};
+use nuat_sim::multicore_csv;
 use nuat_sim::MulticoreEffects;
 
 fn main() {

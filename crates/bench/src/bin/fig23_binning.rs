@@ -24,7 +24,11 @@ fn sample_population(n: usize, seed: u64) -> Vec<DeviceSample> {
             let m: f64 = (0..4).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / 4.0;
             let margin = (0.35 + 0.75 * m).min(1.0);
             // Weak words are rare; almost all are single-bit (ArchShield).
-            let single = if rng.gen_bool(0.18) { rng.gen_range(1..4) } else { 0 };
+            let single = if rng.gen_bool(0.18) {
+                rng.gen_range(1..4)
+            } else {
+                0
+            };
             let multi = if rng.gen_bool(0.01) { 1 } else { 0 };
             DeviceSample {
                 margin,

@@ -17,7 +17,10 @@ fn main() {
     for name in ["ferret", "comm1", "mummer"] {
         let spec = by_name(name).expect("workload");
         println!("== {name} ==");
-        println!("{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}", "", "PB0", "PB1", "PB2", "PB3", "PB4");
+        println!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "", "PB0", "PB1", "PB2", "PB3", "PB4"
+        );
         for kind in [SchedulerKind::FrFcfsOpen, SchedulerKind::Nuat] {
             let r = run_single(spec, kind, &rc);
             print!("{:<16}", r.scheduler);

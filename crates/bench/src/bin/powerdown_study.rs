@@ -36,7 +36,11 @@ fn main() {
         "{:<10} {:>14} {:>12} {:>12} {:>14}",
         "workload", "powerdown", "latency", "energy (uJ)", "PD cycles (%)"
     );
-    for spec in [sparse(), by_name("black").unwrap(), by_name("comm1").unwrap()] {
+    for spec in [
+        sparse(),
+        by_name("black").unwrap(),
+        by_name("comm1").unwrap(),
+    ] {
         for idle in [0u64, 64] {
             let mut cfg = SystemConfig::with_cores(1);
             cfg.controller.powerdown_after_idle = idle;

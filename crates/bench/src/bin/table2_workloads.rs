@@ -15,8 +15,7 @@ fn main() {
         "name", "suite", "MPKI", "locality", "reads", "streams", "phased", "trace MPKI"
     );
     for spec in table2() {
-        let trace =
-            TraceGenerator::new(spec, DramGeometry::default(), 42).generate(2_000);
+        let trace = TraceGenerator::new(spec, DramGeometry::default(), 42).generate(2_000);
         println!(
             "{:<12} {:<11} {:>6.1} {:>9.2} {:>7.2} {:>8} {:>7} {:>12.1}",
             spec.name,

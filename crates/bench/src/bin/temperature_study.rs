@@ -19,7 +19,10 @@ fn main() {
     let base = DramTimings::default();
     let spec = by_name("ferret").expect("workload");
 
-    println!("{:>8} {:>9} {:>8} {:>14}", "temp/C", "leakage", "safe#PB", "NUAT latency");
+    println!(
+        "{:>8} {:>9} {:>8} {:>14}",
+        "temp/C", "leakage", "safe#PB", "NUAT latency"
+    );
     for celsius in [60.0, 85.0, 95.0, 105.0, 115.0, 125.0] {
         let n_pb = t.max_pb_at(celsius, &base, 5);
         let r = run_mix(

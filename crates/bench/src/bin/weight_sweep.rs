@@ -32,11 +32,19 @@ fn main() {
         }
     }
     let latencies = parallel_map(&grid, |&(w4, w5)| {
-        let weights = NuatWeights { w4, w5, ..NuatWeights::default() };
+        let weights = NuatWeights {
+            w4,
+            w5,
+            ..NuatWeights::default()
+        };
         let mut lat = 0.0;
         for name in workloads {
-            lat += run_single(by_name(name).unwrap(), SchedulerKind::NuatWithWeights(weights), &rc)
-                .avg_read_latency();
+            lat += run_single(
+                by_name(name).unwrap(),
+                SchedulerKind::NuatWithWeights(weights),
+                &rc,
+            )
+            .avg_read_latency();
         }
         lat
     });
@@ -44,7 +52,11 @@ fn main() {
     println!("mean read latency over {workloads:?}, normalized to FR-FCFS(open) = 1.000\n");
     println!("{:>6} {:>6} {:>10}", "w4", "w5", "latency");
     for (&(w4, w5), &lat) in grid.iter().zip(&latencies) {
-        let marker = if (w4, w5) == (10.0, 5.0) { "  <- Table 4" } else { "" };
+        let marker = if (w4, w5) == (10.0, 5.0) {
+            "  <- Table 4"
+        } else {
+            ""
+        };
         println!("{:>6.0} {:>6.0} {:>10.4}{marker}", w4, w5, lat / open_lat);
     }
     println!("\n[§7.3's ordering constraints keep w4 below w3 = 60 (so ES4 cannot");

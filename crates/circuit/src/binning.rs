@@ -179,8 +179,12 @@ impl BinningReport {
         if self.total() == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.counts.iter().enumerate().map(|(k, &c)| (k as u64 + 1) * c).sum();
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as u64 + 1) * c)
+            .sum();
         weighted as f64 / self.total() as f64
     }
 }
@@ -189,7 +193,11 @@ impl fmt::Display for BinningReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "binning with ECC = {:?}:", self.ecc)?;
         for (k, &c) in self.counts.iter().enumerate() {
-            let share = if self.total() == 0 { 0.0 } else { c as f64 / self.total() as f64 };
+            let share = if self.total() == 0 {
+                0.0
+            } else {
+                c as f64 / self.total() as f64
+            };
             writeln!(f, "  {}PB-DRAM: {:>6} ({:>5.1} %)", k + 1, c, share * 100.0)?;
         }
         write!(f, "  mean sellable bin: {:.2} PB", self.mean_bin())
@@ -215,16 +223,27 @@ mod tests {
         let mut last = usize::MAX;
         for m in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
             let b = s.margin_bin(m);
-            assert!(b <= last, "margin {m} bin {b} must not exceed previous {last}");
+            assert!(
+                b <= last,
+                "margin {m} bin {b} must not exceed previous {last}"
+            );
             last = b;
         }
-        assert_eq!(s.margin_bin(0.05), 1, "a near-worst-case device is a 1PB part");
+        assert_eq!(
+            s.margin_bin(0.05),
+            1,
+            "a near-worst-case device is a 1PB part"
+        );
     }
 
     #[test]
     fn weak_words_cap_the_bin_without_ecc() {
         let s = station();
-        let d = DeviceSample { margin: 1.0, single_bit_weak_words: 2, multi_bit_weak_words: 0 };
+        let d = DeviceSample {
+            margin: 1.0,
+            single_bit_weak_words: 2,
+            multi_bit_weak_words: 0,
+        };
         assert_eq!(s.bin(&d, EccSupport::None), 1);
         // SECDED recovers the margin bin (the §10.2 example).
         assert_eq!(s.bin(&d, EccSupport::Secded), 5);
@@ -233,7 +252,11 @@ mod tests {
     #[test]
     fn multi_bit_words_need_stronger_ecc() {
         let s = station();
-        let d = DeviceSample { margin: 0.9, single_bit_weak_words: 1, multi_bit_weak_words: 1 };
+        let d = DeviceSample {
+            margin: 0.9,
+            single_bit_weak_words: 1,
+            multi_bit_weak_words: 1,
+        };
         assert_eq!(s.bin(&d, EccSupport::Secded), 1);
         let b = s.bin(&d, EccSupport::MultiBit);
         assert!(b >= 2, "strong ECC must recover the margin bin, got {b}");
@@ -243,14 +266,29 @@ mod tests {
     fn population_report_counts_and_mean() {
         let s = station();
         let pop = vec![
-            DeviceSample { margin: 1.0, single_bit_weak_words: 0, multi_bit_weak_words: 0 },
-            DeviceSample { margin: 1.0, single_bit_weak_words: 1, multi_bit_weak_words: 0 },
-            DeviceSample { margin: 0.05, single_bit_weak_words: 0, multi_bit_weak_words: 0 },
+            DeviceSample {
+                margin: 1.0,
+                single_bit_weak_words: 0,
+                multi_bit_weak_words: 0,
+            },
+            DeviceSample {
+                margin: 1.0,
+                single_bit_weak_words: 1,
+                multi_bit_weak_words: 0,
+            },
+            DeviceSample {
+                margin: 0.05,
+                single_bit_weak_words: 0,
+                multi_bit_weak_words: 0,
+            },
         ];
         let none = s.bin_population(&pop, EccSupport::None);
         let secded = s.bin_population(&pop, EccSupport::Secded);
         assert_eq!(none.total(), 3);
-        assert!(secded.mean_bin() > none.mean_bin(), "ECC raises the sellable mix");
+        assert!(
+            secded.mean_bin() > none.mean_bin(),
+            "ECC raises the sellable mix"
+        );
         let text = secded.to_string();
         assert!(text.contains("5PB-DRAM"));
         assert!(text.contains("mean sellable bin"));

@@ -111,13 +111,19 @@ mod tests {
         assert!((m.delta_v_full() - m.transfer_ratio() * 0.75).abs() < 1e-12);
         assert!((m.delta_v_min() - m.transfer_ratio() * 0.10).abs() < 1e-9);
         assert!(m.delta_v_full() > m.delta_v_min());
-        assert!(m.delta_v_min() > 0.0, "cell must remain readable at the deadline");
+        assert!(
+            m.delta_v_min() > 0.0,
+            "cell must remain readable at the deadline"
+        );
     }
 
     #[test]
     fn voltage_clamps_beyond_retention() {
         let m = CellModel::default();
-        assert_eq!(m.cell_voltage(m.retention_ns * 2.0), m.cell_voltage(m.retention_ns));
+        assert_eq!(
+            m.cell_voltage(m.retention_ns * 2.0),
+            m.cell_voltage(m.retention_ns)
+        );
         assert_eq!(m.cell_voltage(-5.0), m.cell_voltage(0.0));
     }
 

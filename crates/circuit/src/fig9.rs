@@ -86,7 +86,10 @@ impl Fig9Report {
 
 impl fmt::Display for Fig9Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 9 — Sensitivity of Sense Amplifiers (analytic circuit model)")?;
+        writeln!(
+            f,
+            "Fig. 9 — Sensitivity of Sense Amplifiers (analytic circuit model)"
+        )?;
         writeln!(
             f,
             "  max tRCD reduction: {:.2} ns ({} cycles @ 800 MHz)   [paper: 5.6 ns / 4 cycles]",
@@ -97,14 +100,21 @@ impl fmt::Display for Fig9Report {
             "  max tRAS reduction: {:.2} ns ({} cycles @ 800 MHz)   [paper: 10.4 ns / 8 cycles]",
             self.max_tras_slack_ns, self.max_tras_cycles
         )?;
-        writeln!(f, "  {:>10} {:>8} {:>8} {:>10} {:>10} {:>10}",
-            "elapsed/ms", "Vcell/V", "dV/mV", "sense/ns", "dtRCD/ns", "dtRAS/ns")?;
+        writeln!(
+            f,
+            "  {:>10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "elapsed/ms", "Vcell/V", "dV/mV", "sense/ns", "dtRCD/ns", "dtRAS/ns"
+        )?;
         for p in &self.points {
             writeln!(
                 f,
                 "  {:>10.2} {:>8.3} {:>8.1} {:>10.3} {:>10.3} {:>10.3}",
-                p.elapsed_ms, p.cell_voltage, p.delta_v_mv, p.sense_time_ns,
-                p.trcd_slack_ns, p.tras_slack_ns
+                p.elapsed_ms,
+                p.cell_voltage,
+                p.delta_v_mv,
+                p.sense_time_ns,
+                p.trcd_slack_ns,
+                p.tras_slack_ns
             )?;
         }
         Ok(())

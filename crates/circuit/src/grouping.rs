@@ -82,7 +82,12 @@ impl PbGrouping {
     ///
     /// Panics if `max_pb == 0`, `n_lp` is not a power of two, or the
     /// model yields a non-monotone reduction sequence.
-    pub fn derive<M: SlackModel + ?Sized>(model: &M, base: &DramTimings, max_pb: usize, n_lp: u32) -> Self {
+    pub fn derive<M: SlackModel + ?Sized>(
+        model: &M,
+        base: &DramTimings,
+        max_pb: usize,
+        n_lp: u32,
+    ) -> Self {
         assert!(max_pb >= 1, "need at least one PB");
         assert!(n_lp.is_power_of_two(), "#LP must be a power of two");
         let retention_ns = model.retention_ns();
@@ -150,7 +155,13 @@ impl PbGrouping {
             next_start = group_end;
         }
 
-        PbGrouping { n_lp, starts, timings, trcd_reductions, tras_reductions }
+        PbGrouping {
+            n_lp,
+            starts,
+            timings,
+            trcd_reductions,
+            tras_reductions,
+        }
     }
 
     /// The paper's configuration for `n_pb` partitions (2..=5), derived
@@ -263,7 +274,13 @@ mod tests {
     #[test]
     fn paper_5pb_reproduces_table4_timings() {
         let g = PbGrouping::paper(5);
-        let expect = [(8, 22, 34), (9, 24, 36), (10, 26, 38), (11, 28, 40), (12, 30, 42)];
+        let expect = [
+            (8, 22, 34),
+            (9, 24, 36),
+            (10, 26, 38),
+            (11, 28, 40),
+            (12, 30, 42),
+        ];
         for (k, (trcd, tras, trc)) in expect.into_iter().enumerate() {
             let t = g.timings(PbId(k as u8));
             assert_eq!((t.trcd, t.tras, t.trc), (trcd, tras, trc), "PB{k}");
@@ -291,7 +308,16 @@ mod tests {
     fn pb_of_pre_covers_all_windows() {
         let g = PbGrouping::paper(5);
         let expect = [
-            (0, 0), (2, 0), (3, 1), (7, 1), (8, 2), (13, 2), (14, 3), (21, 3), (22, 4), (31, 4),
+            (0, 0),
+            (2, 0),
+            (3, 1),
+            (7, 1),
+            (8, 2),
+            (13, 2),
+            (14, 3),
+            (21, 3),
+            (22, 4),
+            (31, 4),
         ];
         for (pre, pb) in expect {
             assert_eq!(g.pb_of_pre(pre), PbId(pb), "PRE_PB{pre}");
@@ -339,7 +365,10 @@ mod tests {
             let t = g.timings(PbId(k as u8));
             let trcd_ns = t.trcd as f64 * 1.25;
             let min_ns = base.trcd as f64 * 1.25 - model.trcd_slack_ns(end_ns);
-            assert!(trcd_ns + 1e-9 >= min_ns, "PB{k} tRCD {trcd_ns} < physical {min_ns}");
+            assert!(
+                trcd_ns + 1e-9 >= min_ns,
+                "PB{k} tRCD {trcd_ns} < physical {min_ns}"
+            );
         }
     }
 

@@ -41,7 +41,10 @@ impl PhysicalTimingModel {
 
     /// The paper-calibrated oracle for the given data-sheet timings.
     pub fn paper_default(base: DramTimings) -> Self {
-        PhysicalTimingModel { slack: CalibratedSlack::paper_default(), base }
+        PhysicalTimingModel {
+            slack: CalibratedSlack::paper_default(),
+            base,
+        }
     }
 
     /// Builds the oracle by sampling an arbitrary [`SlackModel`] into a
@@ -63,7 +66,10 @@ impl PhysicalTimingModel {
         };
         let trcd = sample(&|t| model.trcd_slack_ns(t));
         let tras = sample(&|t| model.tras_slack_ns(t));
-        PhysicalTimingModel { slack: CalibratedSlack::new(trcd, tras), base }
+        PhysicalTimingModel {
+            slack: CalibratedSlack::new(trcd, tras),
+            base,
+        }
     }
 
     /// The data-sheet timing set this oracle is relative to.

@@ -72,7 +72,10 @@ mod tests {
     fn calibration_reproduces_fig9a_total_slack() {
         let (cell, sa) = calibrated_pair();
         let slack = sa.slack_ns(cell.delta_v_full(), cell.delta_v_min());
-        assert!((slack - 5.6).abs() < 1e-9, "fresh-cell slack must be 5.6 ns, got {slack}");
+        assert!(
+            (slack - 5.6).abs() < 1e-9,
+            "fresh-cell slack must be 5.6 ns, got {slack}"
+        );
     }
 
     #[test]

@@ -44,13 +44,18 @@ impl Default for ExponentialChargeModel {
     fn default() -> Self {
         let cell = CellModel::default();
         let sense_amp = SenseAmp::calibrated(&cell, 5.6);
-        ExponentialChargeModel { cell, sense_amp, ras_scale: 10.4 / 5.6 }
+        ExponentialChargeModel {
+            cell,
+            sense_amp,
+            ras_scale: 10.4 / 5.6,
+        }
     }
 }
 
 impl SlackModel for ExponentialChargeModel {
     fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
-        self.sense_amp.slack_ns(self.cell.delta_v(elapsed_ns), self.cell.delta_v_min())
+        self.sense_amp
+            .slack_ns(self.cell.delta_v(elapsed_ns), self.cell.delta_v_min())
     }
 
     fn tras_slack_ns(&self, elapsed_ns: f64) -> f64 {
@@ -95,8 +100,16 @@ impl CalibratedSlack {
                 assert!(w[0].1 >= w[1].1, "slack must be non-increasing");
             }
         }
-        let retention_ns = trcd_points.last().unwrap().0.max(tras_points.last().unwrap().0);
-        CalibratedSlack { trcd_points, tras_points, retention_ns }
+        let retention_ns = trcd_points
+            .last()
+            .unwrap()
+            .0
+            .max(tras_points.last().unwrap().0);
+        CalibratedSlack {
+            trcd_points,
+            tras_points,
+            retention_ns,
+        }
     }
 
     /// The paper's calibration. Anchors (elapsed ms → slack ns):
@@ -204,19 +217,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn constructor_rejects_unsorted_points() {
-        CalibratedSlack::new(
-            vec![(0.0, 5.0), (0.0, 4.0)],
-            vec![(0.0, 10.0), (1.0, 9.0)],
-        );
+        CalibratedSlack::new(vec![(0.0, 5.0), (0.0, 4.0)], vec![(0.0, 10.0), (1.0, 9.0)]);
     }
 
     #[test]
     #[should_panic(expected = "non-increasing")]
     fn constructor_rejects_increasing_slack() {
-        CalibratedSlack::new(
-            vec![(0.0, 1.0), (1.0, 2.0)],
-            vec![(0.0, 10.0), (1.0, 9.0)],
-        );
+        CalibratedSlack::new(vec![(0.0, 1.0), (1.0, 2.0)], vec![(0.0, 10.0), (1.0, 9.0)]);
     }
 
     proptest! {

@@ -29,7 +29,10 @@ pub struct TemperatureModel {
 
 impl Default for TemperatureModel {
     fn default() -> Self {
-        TemperatureModel { reference_celsius: 85.0, doubling_celsius: 12.0 }
+        TemperatureModel {
+            reference_celsius: 85.0,
+            doubling_celsius: 12.0,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ pub struct TemperatureScaledSlack {
 
 impl crate::slack::SlackModel for TemperatureScaledSlack {
     fn trcd_slack_ns(&self, elapsed_ns: f64) -> f64 {
-        let dv = self.cell.delta_v(elapsed_ns).max(self.reference_min_dv * 1e-3);
+        let dv = self
+            .cell
+            .delta_v(elapsed_ns)
+            .max(self.reference_min_dv * 1e-3);
         self.sense_amp.slack_ns(dv, self.reference_min_dv)
     }
 
@@ -159,7 +165,10 @@ mod tests {
         let t = TemperatureModel::default();
         let base = DramTimings::default();
         let reference = t.max_pb_at(85.0, &base, 5);
-        assert!(reference >= 4, "reference corner supports >= 4 PBs, got {reference}");
+        assert!(
+            reference >= 4,
+            "reference corner supports >= 4 PBs, got {reference}"
+        );
         let cold = t.max_pb_at(60.0, &base, 5);
         assert!(cold >= reference, "cold silicon only gains margin");
         assert_eq!(cold, 5);

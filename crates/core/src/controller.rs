@@ -60,10 +60,26 @@ struct TickScratch {
     act_seen: Vec<bool>,
     /// Per-bank "already produced a PRE candidate" de-dup flags.
     pre_seen: Vec<bool>,
+    /// Per-bank × kind "already produced a column candidate" de-dup
+    /// flags (reads at `2k`, writes at `2k+1`). Only used for policies
+    /// that never prefer a younger duplicate (see
+    /// [`SchedulerPolicy::prefers_oldest_equal_command`]).
+    col_seen: Vec<bool>,
     /// Per-bank count of queued requests hitting the bank's open row,
     /// precomputed once per tick so pending-hit checks are O(1) instead
     /// of an O(queue) scan per candidate.
     open_row_hits: Vec<u32>,
+    /// Per-rank "idle counter advances during a quiet span" mask,
+    /// filled by `next_busy_event_cycle` and read by `advance_quiet`.
+    /// Valid exactly while `busy_horizon` is `Some`.
+    counting: Vec<bool>,
+    /// Earliest cycle any gated-out queued request clears its timing
+    /// gates, accumulated as a by-product of candidate enumeration so
+    /// `next_busy_event_cycle` needs no second queue scan. Valid for
+    /// the tick that last ran `enumerate_candidates` (a non-acting
+    /// tick leaves queues and device state untouched, so the absolute
+    /// gate times stay exact when the horizon is taken right after).
+    cand_horizon: u64,
 }
 
 /// One channel's memory controller. See the module docs.
@@ -84,6 +100,20 @@ pub struct MemoryController {
     stall_reported: bool,
     /// Per-rank cycles with no queued work (drives power-down entry).
     rank_idle_cycles: Vec<u64>,
+    /// Event-driven busy skipping (set `NUAT_NO_SKIP=1` to disable):
+    /// when a tick issues nothing, the earliest cycle at which *any*
+    /// command could become legal is computed once and the dead span up
+    /// to it is bulk-advanced instead of re-enumerated cycle by cycle.
+    skip_enabled: bool,
+    /// Cached event horizon: every cycle in `[now, h)` is provably
+    /// quiet (no command legal, no refresh-urgency change, no
+    /// power-state decision). `None` = unknown, recompute after the
+    /// next real tick. Invalidated by `enqueue_decoded`.
+    busy_horizon: Option<u64>,
+    /// Cycles advanced through `advance_quiet` instead of full ticks
+    /// (diagnostic; deliberately not part of `ControllerStats`, which
+    /// must stay bit-identical between skipping and per-tick modes).
+    cycles_skipped: u64,
 }
 
 impl MemoryController {
@@ -99,8 +129,7 @@ impl MemoryController {
     ///
     /// Panics if `cfg` fails validation.
     pub fn with_grouping(cfg: SystemConfig, kind: SchedulerKind, grouping: PbGrouping) -> Self {
-        let pbr =
-            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         let policy = kind.build(&pbr, &cfg.dram.timings);
         Self::from_parts(cfg, policy, pbr)
     }
@@ -119,8 +148,7 @@ impl MemoryController {
         policy: Box<dyn SchedulerPolicy>,
         grouping: PbGrouping,
     ) -> Self {
-        let pbr =
-            PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         Self::from_parts(cfg, policy, pbr)
     }
 
@@ -143,6 +171,13 @@ impl MemoryController {
         let banks = ranks * banks_per_rank;
         policy.bind_topology(ranks, banks_per_rank);
         let stats = ControllerStats::new(cfg.processor.cores, pbr.n_pb(), banks);
+        let stall_debug: Option<u64> = std::env::var("NUAT_STALL_DEBUG")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        // Stall diagnostics want to observe every real cycle, so they
+        // force the per-tick loop too.
+        let skip_enabled = std::env::var("NUAT_NO_SKIP").map_or(true, |v| v.is_empty() || v == "0")
+            && stall_debug.is_none();
         MemoryController {
             queues: RequestQueues::new(cfg.controller),
             device,
@@ -152,9 +187,12 @@ impl MemoryController {
             completions: Vec::new(),
             now: McCycle::ZERO,
             scratch: TickScratch::default(),
-            stall_debug: std::env::var("NUAT_STALL_DEBUG").ok().and_then(|v| v.parse().ok()),
+            stall_debug,
             stall_reported: false,
             rank_idle_cycles: vec![0; ranks],
+            skip_enabled,
+            busy_horizon: None,
+            cycles_skipped: 0,
             cfg,
         }
     }
@@ -195,6 +233,31 @@ impl MemoryController {
         self.policy.pseudo_hit_rate()
     }
 
+    /// Enables or disables event-driven busy skipping at run time
+    /// (tests use this for A/B comparisons without racing on the
+    /// `NUAT_NO_SKIP` environment variable). Skipping never changes
+    /// simulated behaviour — only how many cycles are executed one by
+    /// one — so this is purely a speed/diagnostics knob.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+        self.busy_horizon = None;
+    }
+
+    /// Cycles advanced in bulk by busy skipping instead of full ticks
+    /// (diagnostic; not part of [`ControllerStats`]).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// How many cycles from `now` are provably quiet and could be
+    /// skipped in one step (0 when unknown or when the current cycle
+    /// needs a real tick). Lockstep multi-channel drivers take the min
+    /// across channels and `run_for` that span on each.
+    pub fn skippable_cycles(&self) -> u64 {
+        self.busy_horizon
+            .map_or(0, |h| h.saturating_sub(self.now.raw()))
+    }
+
     /// Starts recording every accepted DRAM command into a ring buffer
     /// (see `nuat_dram::CommandLog` for dumping and replay validation).
     pub fn enable_command_logging(&mut self, capacity: usize) {
@@ -205,9 +268,8 @@ impl MemoryController {
     /// histograms restart from zero while all simulation state — queues,
     /// bank states, charge, refresh position — is preserved.
     pub fn reset_stats(&mut self) {
-        let banks =
-            (self.cfg.dram.geometry.ranks_per_channel * self.cfg.dram.geometry.banks_per_rank)
-                as usize;
+        let banks = (self.cfg.dram.geometry.ranks_per_channel
+            * self.cfg.dram.geometry.banks_per_rank) as usize;
         self.stats = ControllerStats::new(self.cfg.processor.cores, self.pbr.n_pb(), banks);
     }
 
@@ -225,7 +287,11 @@ impl MemoryController {
     /// Panics if the target queue is full (check
     /// [`can_accept`](Self::can_accept)).
     pub fn enqueue(&mut self, core: usize, kind: RequestKind, addr: PhysAddr) -> RequestId {
-        let decoded = self.cfg.dram.geometry.decode(addr, self.cfg.controller.mapping);
+        let decoded = self
+            .cfg
+            .dram
+            .geometry
+            .decode(addr, self.cfg.controller.mapping);
         self.enqueue_decoded(core, kind, decoded)
     }
 
@@ -242,6 +308,10 @@ impl MemoryController {
         kind: RequestKind,
         addr: nuat_types::DecodedAddr,
     ) -> RequestId {
+        // A new request adds candidates (and can flip a rank's
+        // postponable-refresh decision), so any cached quiet span ends
+        // here.
+        self.busy_horizon = None;
         self.queues.push(MemoryRequest {
             id: RequestId(0), // assigned by the queue
             core,
@@ -271,24 +341,50 @@ impl MemoryController {
     }
 
     /// Advances one controller cycle, issuing at most one command.
+    ///
+    /// When the cached event horizon proves this cycle quiet — no
+    /// command can be legal, no refresh-urgency change, no power-state
+    /// decision — the full pipeline (power management, refresh scan,
+    /// candidate enumeration, policy) is skipped and only the per-cycle
+    /// bookkeeping runs; the observable state is identical either way.
     pub fn tick(&mut self) {
+        if let Some(h) = self.busy_horizon {
+            if self.now.raw() < h {
+                self.advance_quiet(1);
+                return;
+            }
+        }
         // Move the scratch buffers out for the duration of the tick so
         // they can be filled while the controller's own fields are
         // borrowed. `tick_inner`'s early returns all funnel back here,
         // so the buffers (and their capacity) always come home.
         let mut scratch = std::mem::take(&mut self.scratch);
-        self.tick_inner(&mut scratch);
+        let acted = self.tick_inner(&mut scratch);
+        // A tick that issued nothing is the start of a dead span: pay
+        // for one horizon computation now so the span's remaining
+        // cycles cost O(1) each (or one bulk advance under `run_for`).
+        // After an issuing tick the horizon is left unknown — dense
+        // phases then never pay for horizons they would not use.
+        self.busy_horizon = if self.skip_enabled && !acted {
+            Some(self.next_busy_event_cycle(&mut scratch))
+        } else {
+            None
+        };
         self.scratch = scratch;
     }
 
-    fn tick_inner(&mut self, scratch: &mut TickScratch) {
+    /// One full pipeline pass. Returns true if a command was issued
+    /// (equivalently: if `busy_cycles` advanced).
+    fn tick_inner(&mut self, scratch: &mut TickScratch) -> bool {
         self.policy.on_cycle();
         self.stats.total_cycles += 1;
 
         if let Some(threshold) = self.stall_debug {
             if !self.stall_reported {
-                if let Some(stuck) =
-                    self.queues.iter().find(|r| r.wait_cycles(self.now) > threshold)
+                if let Some(stuck) = self
+                    .queues
+                    .iter()
+                    .find(|r| r.wait_cycles(self.now) > threshold)
                 {
                     self.stall_reported = true;
                     eprintln!("[stall @{}] stuck: {}", self.now, stuck);
@@ -299,7 +395,10 @@ impl MemoryController {
                     );
                     for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
                         let bv = self.device.bank(stuck.addr.rank, Bank::new(b));
-                        eprintln!("  bank {b}: {:?} earliest_pre {}", bv.state, bv.earliest_pre);
+                        eprintln!(
+                            "  bank {b}: {:?} earliest_pre {}",
+                            bv.state, bv.earliest_pre
+                        );
                     }
                 }
             }
@@ -311,38 +410,15 @@ impl MemoryController {
         // long-idle ranks to power-down (closing parked rows first).
         if self.cfg.controller.powerdown_after_idle > 0 && self.manage_power(ranks) {
             self.now += 1;
-            return;
+            return true;
         }
 
-        let postponing = self.cfg.controller.refresh_postpone_batches > 0;
-        scratch.pending.clear();
-        scratch.pending.extend((0..ranks).map(|r| {
-            use nuat_dram::refresh::RefreshUrgency::*;
-            match self.device.refresh_engine(Rank::new(r as u32)).urgency(self.now) {
-                NotDue => false,
-                Overdue => true,
-                // With a postpone budget, due-but-not-overdue
-                // refreshes yield to queued demand requests; without
-                // one, the lead window drains promptly (the paper's
-                // assumption).
-                Pending | Postponable => !postponing || self.queues.is_empty(),
-            }
-        }));
+        self.compute_refresh_pending(&mut scratch.pending);
 
         // (2) Issue a due refresh the moment it is legal.
-        for (r, &p) in scratch.pending.iter().enumerate() {
-            if !p {
-                continue;
-            }
-            let rank = Rank::new(r as u32);
-            let cmd = DramCommand::Refresh { rank };
-            if self.device.can_issue(&cmd, self.now).is_ok() {
-                self.device.issue(cmd, self.now).expect("checked");
-                self.stats.refreshes += 1;
-                self.stats.busy_cycles += 1;
-                self.now += 1;
-                return;
-            }
+        if self.service_pending_refresh(&scratch.pending, false) {
+            self.now += 1;
+            return true;
         }
 
         // (3) Candidate enumeration.
@@ -366,41 +442,213 @@ impl MemoryController {
             let cand = scratch.candidates[i];
             self.issue_candidate(cand);
             self.now += 1;
-            return;
+            return true;
         }
 
         // (5) Refresh-pending fallback: force-close an open bank.
-        for (r, &p) in scratch.pending.iter().enumerate() {
+        if self.service_pending_refresh(&scratch.pending, true) {
+            self.now += 1;
+            return true;
+        }
+
+        self.now += 1;
+        false
+    }
+
+    /// Fills the per-rank "refresh wants this rank drained" flags at the
+    /// current cycle. Shared by the tick pipeline and the event-horizon
+    /// computation — the two must agree on what "pending" means.
+    fn compute_refresh_pending(&self, pending: &mut Vec<bool>) {
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let postponing = self.cfg.controller.refresh_postpone_batches > 0;
+        pending.clear();
+        pending.extend((0..ranks).map(|r| {
+            use nuat_dram::refresh::RefreshUrgency::*;
+            match self
+                .device
+                .refresh_engine(Rank::new(r as u32))
+                .urgency(self.now)
+            {
+                NotDue => false,
+                Overdue => true,
+                // With a postpone budget, due-but-not-overdue
+                // refreshes yield to queued demand requests; without
+                // one, the lead window drains promptly (the paper's
+                // assumption).
+                Pending | Postponable => !postponing || self.queues.is_empty(),
+            }
+        }));
+    }
+
+    /// Scans the ranks whose refresh is pending and issues the first
+    /// legal service command: the `REF` itself, or — in `force_close`
+    /// mode, once nothing else issued this cycle — a precharge to an
+    /// open bank standing in the refresh's way. Returns true if a
+    /// command was issued (it consumed this cycle's command slot).
+    fn service_pending_refresh(&mut self, pending: &[bool], force_close: bool) -> bool {
+        for (r, &p) in pending.iter().enumerate() {
             if !p {
                 continue;
             }
             let rank = Rank::new(r as u32);
-            for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
-                let bank = Bank::new(b);
-                let cmd = DramCommand::Precharge { rank, bank };
-                if matches!(self.device.bank(rank, bank).state, BankState::Active { .. })
-                    && self.device.can_issue(&cmd, self.now).is_ok()
-                {
+            if force_close {
+                for b in 0..self.cfg.dram.geometry.banks_per_rank as u32 {
+                    let bank = Bank::new(b);
+                    let cmd = DramCommand::Precharge { rank, bank };
+                    if matches!(self.device.bank(rank, bank).state, BankState::Active { .. })
+                        && self.device.can_issue(&cmd, self.now).is_ok()
+                    {
+                        self.device.issue(cmd, self.now).expect("checked");
+                        self.stats.precharges += 1;
+                        self.stats.busy_cycles += 1;
+                        return true;
+                    }
+                }
+            } else {
+                let cmd = DramCommand::Refresh { rank };
+                if self.device.can_issue(&cmd, self.now).is_ok() {
                     self.device.issue(cmd, self.now).expect("checked");
-                    self.stats.precharges += 1;
+                    self.stats.refreshes += 1;
                     self.stats.busy_cycles += 1;
-                    self.now += 1;
-                    return;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Bulk-advances `n` provably-quiet cycles: exactly the state a
+    /// quiet `tick` touches — the clock, `total_cycles`, the policy's
+    /// windowed per-cycle state, and the idle counters of ranks that
+    /// were counting toward power-down — advances by `n`; everything
+    /// else (queues, bank/charge state, refresh position, power states)
+    /// is untouched, which is precisely what makes the span skippable.
+    fn advance_quiet(&mut self, n: u64) {
+        self.stats.total_cycles += n;
+        self.policy.on_idle_cycles(n);
+        if self.cfg.controller.powerdown_after_idle > 0 {
+            for (r, &counting) in self.scratch.counting.iter().enumerate() {
+                if counting {
+                    self.rank_idle_cycles[r] += n;
+                }
+            }
+        }
+        self.now += n;
+        self.cycles_skipped += n;
+    }
+
+    /// Earliest cycle `h >= now` at which a full tick could do anything
+    /// a quiet cycle does not: issue a command, change a rank's refresh
+    /// urgency, or take a power-down decision. Every cycle in `[now, h)`
+    /// is provably a no-op, because every input to those decisions —
+    /// queue contents, bank states, the monotone per-bank/per-rank
+    /// timing gates, refresh urgency, CKE state — is constant across the
+    /// span. Conservative by construction: when in doubt (a queued
+    /// request to a powered-down rank, a candidate already legal but
+    /// declined by the policy) it returns `now`, degrading to the
+    /// per-tick loop rather than guessing.
+    ///
+    /// Also fills `scratch.counting`, the idle-counter mask
+    /// `advance_quiet` applies across the span.
+    fn next_busy_event_cycle(&mut self, scratch: &mut TickScratch) -> u64 {
+        let now = self.now;
+        let g = &self.cfg.dram.geometry;
+        let ranks = g.ranks_per_channel as usize;
+        let banks_per_rank = g.banks_per_rank as usize;
+        let mut h = u64::MAX;
+
+        self.compute_refresh_pending(&mut scratch.pending);
+
+        // (a) Refresh: the next urgency transition of any rank (the
+        // pending flags and the power manager's wake decisions change
+        // there), and — for already-pending ranks — the cycle the REF
+        // itself (banks idle) or a way-clearing force-close precharge
+        // becomes legal.
+        for r in 0..ranks {
+            let rank = Rank::new(r as u32);
+            if let Some(t) = self.device.refresh_engine(rank).next_transition_after(now) {
+                h = h.min(t.raw());
+            }
+            if scratch.pending[r] {
+                if self.device.all_banks_idle(rank) {
+                    h = h.min(self.device.rank_timing(rank).refresh_ready.raw());
+                } else {
+                    for b in 0..banks_per_rank {
+                        let bv = self.device.bank(rank, Bank::new(b as u32));
+                        if matches!(bv.state, BankState::Active { .. }) {
+                            h = h.min(bv.earliest_pre.raw());
+                        }
+                    }
                 }
             }
         }
 
-        self.now += 1;
+        // (b) Candidates. A non-acting tick leaves queues and device
+        // state untouched, so this cycle's enumeration pass already
+        // holds the answer: any candidate it produced is legal *now*
+        // and pins the horizon here, and `scratch.cand_horizon` is the
+        // min over the gates of every request it filtered out (the
+        // absolute gate times are unchanged since no command issued).
+        if !scratch.candidates.is_empty() {
+            return now.raw();
+        }
+        if self.cfg.controller.powerdown_after_idle > 0
+            && self
+                .queues
+                .iter()
+                .any(|req| self.device.is_powered_down(req.addr.rank))
+        {
+            // Demand wake-up happens on a real tick.
+            return now.raw();
+        }
+        h = h.min(scratch.cand_horizon);
+
+        // (c) Power management: the tick on which an idle-counting rank
+        // reaches the power-down threshold acts (sleep or row close) and
+        // must run for real. Ranks holding at zero (queued work or a
+        // refresh outside NotDue) and already-sleeping ranks stay inert
+        // for the whole span.
+        let threshold = self.cfg.controller.powerdown_after_idle;
+        scratch.counting.clear();
+        scratch.counting.resize(ranks, false);
+        if threshold > 0 {
+            for r in 0..ranks {
+                let rank = Rank::new(r as u32);
+                use nuat_dram::refresh::RefreshUrgency;
+                scratch.counting[r] = !self.device.is_powered_down(rank)
+                    && self.device.refresh_engine(rank).urgency(now) == RefreshUrgency::NotDue;
+            }
+            for req in self.queues.iter() {
+                scratch.counting[req.addr.rank.index()] = false;
+            }
+            for (r, &counting) in scratch.counting.iter().enumerate() {
+                if counting {
+                    h = h.min(now.raw() + (threshold - 1).saturating_sub(self.rank_idle_cycles[r]));
+                }
+            }
+        }
+
+        h
     }
 
     /// Runs `cycles` ticks, fast-forwarding through guaranteed-idle
-    /// stretches (see [`fast_forward_idle`](Self::fast_forward_idle)).
+    /// stretches (see [`fast_forward_idle`](Self::fast_forward_idle))
+    /// and bulk-advancing provably-dead busy spans in one step instead
+    /// of `tick`'s one-at-a-time fast path.
     pub fn run_for(&mut self, cycles: u64) {
         let end = self.now.raw() + cycles;
         while self.now.raw() < end {
-            if self.fast_forward_idle(end) == 0 {
-                self.tick();
+            if self.fast_forward_idle(end) > 0 {
+                continue;
             }
+            if let Some(h) = self.busy_horizon {
+                let n = h.min(end).saturating_sub(self.now.raw());
+                if n > 0 {
+                    self.advance_quiet(n);
+                    continue;
+                }
+            }
+            self.tick();
         }
     }
 
@@ -447,7 +695,9 @@ impl MemoryController {
     /// state is identical to ticking through the gap. Returns the number
     /// of cycles skipped (0 when the current cycle needs a real tick).
     pub fn fast_forward_idle(&mut self, limit: u64) -> u64 {
-        let Some(horizon) = self.next_event_cycle() else { return 0 };
+        let Some(horizon) = self.next_event_cycle() else {
+            return 0;
+        };
         let n = horizon.min(limit).saturating_sub(self.now.raw());
         if n == 0 {
             return 0;
@@ -466,11 +716,30 @@ impl MemoryController {
     }
 
     fn enumerate_candidates(&mut self, scratch: &mut TickScratch) {
-        let TickScratch { pending, lrras, candidates: out, act_seen, pre_seen, open_row_hits } =
-            scratch;
+        let TickScratch {
+            pending,
+            lrras,
+            candidates: out,
+            act_seen,
+            pre_seen,
+            col_seen,
+            open_row_hits,
+            counting: _,
+            cand_horizon,
+        } = scratch;
         out.clear();
-        let view =
-            PolicyView { now: self.now, mode: self.queues.mode(), lrras, pbr: &self.pbr };
+        // Earliest future gate among requests that produce no candidate
+        // this cycle; `next_busy_event_cycle` reads it back instead of
+        // rescanning the queues. Requests that do produce a candidate
+        // need no entry: an un-issued candidate pins the horizon to
+        // `now` anyway (see `next_busy_event_cycle`).
+        let mut gate_h = u64::MAX;
+        let view = PolicyView {
+            now: self.now,
+            mode: self.queues.mode(),
+            lrras,
+            pbr: &self.pbr,
+        };
         // Track which (rank, bank) already produced an ACT or PRE this
         // cycle so duplicates do not inflate the candidate list.
         let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
@@ -479,22 +748,21 @@ impl MemoryController {
         act_seen.resize(total_banks, false);
         pre_seen.clear();
         pre_seen.resize(total_banks, false);
+        // Column duplicates (same bank + open row + kind) carry the
+        // identical command and score no higher than the oldest one, so
+        // for order-respecting policies only the first per group is
+        // offered (queue iteration is age order within a kind).
+        let dedup_cols = self.policy.prefers_oldest_equal_command();
+        col_seen.clear();
+        col_seen.resize(2 * total_banks, false);
 
-        // One queue pass counting, per bank, the queued requests that
-        // hit its open row. Replaces the per-candidate O(queue) scans of
-        // `any_request_hits` / `any_other_request_hits` with O(1) reads.
-        open_row_hits.clear();
-        open_row_hits.resize(total_banks, 0);
-        for req in self.queues.iter() {
-            let key = req.addr.rank.index() * banks_per_rank + req.addr.bank.index();
-            if let BankState::Active { row, .. } =
-                self.device.bank(req.addr.rank, req.addr.bank).state
-            {
-                if row == req.addr.row {
-                    open_row_hits[key] += 1;
-                }
-            }
-        }
+        Self::fill_open_row_hits(
+            &self.queues,
+            &self.device,
+            banks_per_rank,
+            total_banks,
+            open_row_hits,
+        );
 
         for req in self.queues.iter() {
             let rank = req.addr.rank;
@@ -511,11 +779,17 @@ impl MemoryController {
             match bv.state {
                 BankState::Active { row, .. } if row == req.addr.row => {
                     // Column candidate.
+                    let ck = 2 * key + (req.kind == RequestKind::Write) as usize;
+                    if dedup_cols && col_seen[ck] {
+                        continue;
+                    }
+                    let rt = self.device.rank_timing(rank);
                     let gate = match req.kind {
-                        RequestKind::Read => bv.earliest_read,
-                        RequestKind::Write => bv.earliest_write,
+                        RequestKind::Read => bv.earliest_read.max(rt.earliest_col_read),
+                        RequestKind::Write => bv.earliest_write.max(rt.earliest_col_write),
                     };
                     if self.now < gate {
+                        gate_h = gate_h.min(gate.raw());
                         continue;
                     }
                     // NUAT's close-page decisions preserve imminent hits:
@@ -525,8 +799,7 @@ impl MemoryController {
                     // pure.
                     let auto = pending[rank.index()]
                         || (self.policy.auto_precharge(&view, req)
-                            && !(self.policy.preserve_pending_hits()
-                                && open_row_hits[key] > 1));
+                            && !(self.policy.preserve_pending_hits() && open_row_hits[key] > 1));
                     let command = match req.kind {
                         RequestKind::Read => DramCommand::Read {
                             rank,
@@ -542,6 +815,7 @@ impl MemoryController {
                         },
                     };
                     if self.device.can_issue(&command, self.now).is_ok() {
+                        col_seen[ck] = true;
                         let (pb, zone) = pb_zone();
                         out.push(Candidate {
                             request: *req,
@@ -550,12 +824,22 @@ impl MemoryController {
                             pb,
                             zone,
                         });
+                    } else {
+                        // Legal by the mirrored gates but refused by the
+                        // device: stay conservative and keep the horizon
+                        // at `now` (a gate value `<= now` does exactly
+                        // that after the saturating clamp).
+                        gate_h = gate_h.min(gate.raw());
                     }
                 }
                 BankState::Active { .. } => {
                     // Conflict: consider precharging, but never close a
                     // row some queued request still hits.
                     if pre_seen[key] || open_row_hits[key] > 0 {
+                        continue;
+                    }
+                    if self.now < bv.earliest_pre {
+                        gate_h = gate_h.min(bv.earliest_pre.raw());
                         continue;
                     }
                     let command = DramCommand::Precharge { rank, bank };
@@ -569,6 +853,8 @@ impl MemoryController {
                             pb,
                             zone,
                         });
+                    } else {
+                        gate_h = gate_h.min(bv.earliest_pre.raw());
                     }
                 }
                 BankState::Idle => {
@@ -576,9 +862,19 @@ impl MemoryController {
                     if pending[rank.index()] || act_seen[key] {
                         continue;
                     }
+                    let rt = self.device.rank_timing(rank);
+                    let act_gate = bv.earliest_act.max(rt.next_act_rank_ok);
+                    if self.now < act_gate {
+                        gate_h = gate_h.min(act_gate.raw());
+                        continue;
+                    }
                     let timings = self.policy.act_timings(&view, req);
-                    let command =
-                        DramCommand::Activate { rank, bank, row: req.addr.row, timings };
+                    let command = DramCommand::Activate {
+                        rank,
+                        bank,
+                        row: req.addr.row,
+                        timings,
+                    };
                     match self.device.can_issue(&command, self.now) {
                         Ok(()) => {
                             act_seen[key] = true;
@@ -591,12 +887,38 @@ impl MemoryController {
                                 zone,
                             });
                         }
-                        Err(e) if e.is_too_early() => {}
+                        Err(e) if e.is_too_early() => {
+                            gate_h = gate_h.min(act_gate.raw());
+                        }
                         // A non-timing rejection (physical violation,
                         // protocol misuse) would silently starve the
                         // request forever — that is always a bug.
                         Err(e) => panic!("illegal ACT candidate {command}: {e}"),
                     }
+                }
+            }
+        }
+        *cand_horizon = gate_h;
+    }
+
+    /// One queue pass counting, per bank, the queued requests that hit
+    /// the bank's open row. Replaces per-candidate O(queue) scans with
+    /// O(1) reads. Associated (not a method) so callers can hand in a
+    /// scratch buffer while other fields stay borrowed.
+    fn fill_open_row_hits(
+        queues: &RequestQueues,
+        device: &DramDevice,
+        banks_per_rank: usize,
+        total_banks: usize,
+        open_row_hits: &mut Vec<u32>,
+    ) {
+        open_row_hits.clear();
+        open_row_hits.resize(total_banks, 0);
+        for req in queues.iter() {
+            let key = req.addr.rank.index() * banks_per_rank + req.addr.bank.index();
+            if let BankState::Active { row, .. } = device.bank(req.addr.rank, req.addr.bank).state {
+                if row == req.addr.row {
+                    open_row_hits[key] += 1;
                 }
             }
         }
@@ -628,7 +950,10 @@ impl MemoryController {
                         self.stats.record_read(cand.request.core, latency);
                         self.stats.per_pb_reads[cand.pb.index()] += 1;
                         self.stats.per_pb_read_latency[cand.pb.index()] += latency;
-                        self.completions.push(Completion { request: cand.request, done });
+                        self.completions.push(Completion {
+                            request: cand.request,
+                            done,
+                        });
                     }
                     RequestKind::Write => {
                         self.stats.cols_write += 1;
@@ -763,7 +1088,11 @@ mod tests {
         mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 1));
         mc.run_for(300);
         assert_eq!(mc.stats().reads_completed, 2);
-        assert_eq!(mc.stats().acts_for_reads, 1, "second read rides the open row");
+        assert_eq!(
+            mc.stats().acts_for_reads,
+            1,
+            "second read rides the open row"
+        );
         // A later read to the same row re-activates: the row closed
         // after the queue drained.
         mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 2));
@@ -809,7 +1138,10 @@ mod tests {
     fn nuat_never_violates_physics_across_many_rows() {
         let mut mc = controller(SchedulerKind::Nuat);
         // Rows spanning every PB; issue_candidate panics on violation.
-        for (i, row) in [8191u32, 8000, 7000, 5000, 2000, 0, 42, 4242].into_iter().enumerate() {
+        for (i, row) in [8191u32, 8000, 7000, 5000, 2000, 0, 42, 4242]
+            .into_iter()
+            .enumerate()
+        {
             mc.enqueue(0, RequestKind::Read, addr_for(row, (i % 8) as u32, 0));
         }
         mc.run_for(2000);
@@ -822,7 +1154,10 @@ mod tests {
         // Run past several refresh due times with no traffic.
         mc.run_for(8 * 6250 * 3 + 1000);
         assert!(mc.stats().refreshes >= 3);
-        assert_eq!(mc.refresh_engine(Rank::new(0)).batches_done(), mc.stats().refreshes);
+        assert_eq!(
+            mc.refresh_engine(Rank::new(0)).batches_done(),
+            mc.stats().refreshes
+        );
     }
 
     #[test]
@@ -851,7 +1186,10 @@ mod tests {
         assert_eq!(dones.len(), 2);
         let l0 = dones[0].done - dones[0].request.arrival;
         let l1 = dones[1].done - dones[1].request.arrival;
-        assert!(l1 > l0 + 20, "conflict latency {l1} must exceed hit path {l0}");
+        assert!(
+            l1 > l0 + 20,
+            "conflict latency {l1} must exceed hit path {l0}"
+        );
     }
 
     #[test]
@@ -860,7 +1198,10 @@ mod tests {
         cfg.controller.powerdown_after_idle = 100;
         let mut mc = MemoryController::new(cfg, SchedulerKind::FrFcfsOpen);
         mc.run_for(500);
-        assert!(mc.device().is_powered_down(Rank::new(0)), "idle rank must sleep");
+        assert!(
+            mc.device().is_powered_down(Rank::new(0)),
+            "idle rank must sleep"
+        );
         // Work arrives: rank wakes, pays tXP, read completes.
         mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
         mc.run_for(200);
@@ -878,7 +1219,10 @@ mod tests {
         // Run through two refresh deadlines with no traffic at all.
         mc.run_for(2 * 50_000 + 1_000);
         assert_eq!(mc.refresh_engine(Rank::new(0)).batches_done(), 2);
-        assert!(mc.device().is_powered_down(Rank::new(0)), "back to sleep after REF");
+        assert!(
+            mc.device().is_powered_down(Rank::new(0)),
+            "back to sleep after REF"
+        );
     }
 
     #[test]

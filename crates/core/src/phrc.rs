@@ -189,7 +189,10 @@ mod tests {
         run(&mut p, 64, 10, 10);
         let mid = p.hit_rate();
         assert!(mid < high, "estimate must move down");
-        assert!(mid > 0.0, "but with tracking lag (Fig. 19's PHRC side-effect)");
+        assert!(
+            mid > 0.0,
+            "but with tracking lag (Fig. 19's PHRC side-effect)"
+        );
         run(&mut p, 4000, 10, 10);
         assert!(p.hit_rate() < 0.05);
     }

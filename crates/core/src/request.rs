@@ -65,7 +65,11 @@ impl MemoryRequest {
 
 impl fmt::Display for MemoryRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} core{} @{} ({})", self.id, self.kind, self.core, self.addr, self.arrival)
+        write!(
+            f,
+            "{} {} core{} @{} ({})",
+            self.id, self.kind, self.core, self.addr, self.arrival
+        )
     }
 }
 

@@ -71,8 +71,10 @@ pub trait SchedulerPolicy: fmt::Debug {
     /// without per-bank state oblivious.
     fn bind_topology(&mut self, _ranks: usize, _banks_per_rank: usize) {}
 
-    /// Advances the policy over `n` guaranteed-idle cycles at once (no
-    /// queued requests, no candidates, no issues). Must be equivalent to
+    /// Advances the policy over `n` dead cycles at once — cycles in
+    /// which `choose` would never have been called: either truly idle
+    /// (no queued requests) or a busy-period span in which no command
+    /// can become legal (event-driven skipping). Must be equivalent to
     /// calling [`on_cycle`](Self::on_cycle) `n` times; policies with
     /// cheap window arithmetic (NUAT's PHRC) override this to roll whole
     /// sub-windows in O(windows) instead of O(cycles).
@@ -80,6 +82,18 @@ pub trait SchedulerPolicy: fmt::Debug {
         for _ in 0..n {
             self.on_cycle();
         }
+    }
+
+    /// True (the default) if, among candidates carrying the *identical*
+    /// command (same bank, row, column kind and auto-precharge flag),
+    /// this policy never picks one whose request arrived later. All
+    /// built-in policies qualify: their scores are monotone in request
+    /// age and break ties oldest-first. The controller then offers only
+    /// the oldest of each duplicate group, sparing a legality probe and
+    /// a score evaluation per duplicate per cycle. Override to `false`
+    /// for experimental policies that prioritize younger requests.
+    fn prefers_oldest_equal_command(&self) -> bool {
+        true
     }
 
     /// Called when a candidate has been issued.
@@ -123,8 +137,14 @@ impl SchedulerKind {
         let worst = timings.worst_case_row();
         match self {
             SchedulerKind::Fcfs => Box::new(FcfsPolicy { worst }),
-            SchedulerKind::FrFcfsOpen => Box::new(FrFcfsPolicy { worst, close_page: false }),
-            SchedulerKind::FrFcfsClose => Box::new(FrFcfsPolicy { worst, close_page: true }),
+            SchedulerKind::FrFcfsOpen => Box::new(FrFcfsPolicy {
+                worst,
+                close_page: false,
+            }),
+            SchedulerKind::FrFcfsClose => Box::new(FrFcfsPolicy {
+                worst,
+                close_page: true,
+            }),
             SchedulerKind::Nuat => Box::new(NuatPolicy::new(
                 NuatWeights::default(),
                 pbr,
@@ -140,9 +160,12 @@ impl SchedulerKind {
                 timings,
                 PageModeSource::Fixed(mode),
             )),
-            SchedulerKind::NuatAblation { weights, page } => {
-                Box::new(NuatPolicy::new(weights, pbr, timings, PageModeSource::Fixed(page)))
-            }
+            SchedulerKind::NuatAblation { weights, page } => Box::new(NuatPolicy::new(
+                weights,
+                pbr,
+                timings,
+                PageModeSource::Fixed(page),
+            )),
         }
     }
 
@@ -195,7 +218,11 @@ impl SchedulerPolicy for FcfsPolicy {
         // Oldest favored request wins regardless of readiness class.
         // Single pass, one key evaluation per candidate.
         argmin_by_key(cands, |c| {
-            (!favored(&c.request, view.mode), c.request.arrival, c.request.id)
+            (
+                !favored(&c.request, view.mode),
+                c.request.arrival,
+                c.request.id,
+            )
         })
     }
 }
@@ -203,7 +230,10 @@ impl SchedulerPolicy for FcfsPolicy {
 /// Index of the candidate with the smallest key; ties keep the first
 /// occurrence (the same element `Iterator::min_by_key` returns). One key
 /// evaluation per candidate, no intermediate collection.
-fn argmin_by_key<K: Ord>(cands: &[Candidate], mut key: impl FnMut(&Candidate) -> K) -> Option<usize> {
+fn argmin_by_key<K: Ord>(
+    cands: &[Candidate],
+    mut key: impl FnMut(&Candidate) -> K,
+) -> Option<usize> {
     let mut best: Option<(usize, K)> = None;
     for (i, c) in cands.iter().enumerate() {
         let k = key(c);
@@ -250,7 +280,12 @@ impl SchedulerPolicy for FrFcfsPolicy {
             CandidateKind::Precharge => 2,
         };
         argmin_by_key(cands, |c| {
-            (!favored(&c.request, view.mode), class(c), c.request.arrival, c.request.id)
+            (
+                !favored(&c.request, view.mode),
+                class(c),
+                c.request.arrival,
+                c.request.id,
+            )
         })
     }
 }
@@ -340,7 +375,8 @@ impl SchedulerPolicy for NuatPolicy {
 
     fn act_timings(&self, view: &PolicyView<'_>, req: &MemoryRequest) -> RowTimings {
         if self.use_pb_timings {
-            view.pbr.timings(view.lrras[req.addr.rank.index()], req.addr.row)
+            view.pbr
+                .timings(view.lrras[req.addr.rank.index()], req.addr.row)
         } else {
             view.pbr.grouping().timings(view.pbr.grouping().last_pb())
         }
@@ -463,15 +499,27 @@ mod tests {
                 col: r.addr.col,
                 auto_precharge: false,
             },
-            CandidateKind::Precharge => {
-                DramCommand::Precharge { rank: r.addr.rank, bank: r.addr.bank }
-            }
+            CandidateKind::Precharge => DramCommand::Precharge {
+                rank: r.addr.rank,
+                bank: r.addr.bank,
+            },
         };
-        Candidate { request: r, command, kind, pb: PbId(pb), zone }
+        Candidate {
+            request: r,
+            command,
+            kind,
+            pb: PbId(pb),
+            zone,
+        }
     }
 
     fn view<'a>(lrras: &'a [Row], pbr: &'a PbrAcquisition) -> PolicyView<'a> {
-        PolicyView { now: McCycle::new(100), mode: DrainMode::ServeReads, lrras, pbr }
+        PolicyView {
+            now: McCycle::new(100),
+            mode: DrainMode::ServeReads,
+            lrras,
+            pbr,
+        }
     }
 
     #[test]
@@ -479,11 +527,29 @@ mod tests {
         let p = pbr();
         let lrras = [Row::new(0)];
         let v = view(&lrras, &p);
-        let mut pol = FrFcfsPolicy { worst: RowTimings::new(12, 30, 12), close_page: false };
+        let mut pol = FrFcfsPolicy {
+            worst: RowTimings::new(12, 30, 12),
+            close_page: false,
+        };
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 0), CandidateKind::Activate, 0, BoundaryZone::Stable),
-            cand(req(1, RequestKind::Read, 2, 5), CandidateKind::Column, 0, BoundaryZone::Stable),
-            cand(req(2, RequestKind::Read, 3, 1), CandidateKind::Column, 0, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Read, 1, 0),
+                CandidateKind::Activate,
+                0,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 5),
+                CandidateKind::Column,
+                0,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(2, RequestKind::Read, 3, 1),
+                CandidateKind::Column,
+                0,
+                BoundaryZone::Stable,
+            ),
         ];
         // Column beats older activate; oldest column wins.
         assert_eq!(pol.choose(&v, &cands), Some(2));
@@ -494,10 +560,23 @@ mod tests {
         let p = pbr();
         let lrras = [Row::new(0)];
         let v = view(&lrras, &p);
-        let mut pol = FrFcfsPolicy { worst: RowTimings::new(12, 30, 12), close_page: false };
+        let mut pol = FrFcfsPolicy {
+            worst: RowTimings::new(12, 30, 12),
+            close_page: false,
+        };
         let cands = vec![
-            cand(req(0, RequestKind::Write, 1, 0), CandidateKind::Column, 0, BoundaryZone::Stable),
-            cand(req(1, RequestKind::Read, 2, 50), CandidateKind::Activate, 0, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Write, 1, 0),
+                CandidateKind::Column,
+                0,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 50),
+                CandidateKind::Activate,
+                0,
+                BoundaryZone::Stable,
+            ),
         ];
         // A mere activate for a read beats a write column hit in read mode.
         assert_eq!(pol.choose(&v, &cands), Some(1));
@@ -508,12 +587,28 @@ mod tests {
         let p = pbr();
         let lrras = [Row::new(0)];
         let v = view(&lrras, &p);
-        let mut pol = FcfsPolicy { worst: RowTimings::new(12, 30, 12) };
+        let mut pol = FcfsPolicy {
+            worst: RowTimings::new(12, 30, 12),
+        };
         let cands = vec![
-            cand(req(5, RequestKind::Read, 1, 9), CandidateKind::Column, 0, BoundaryZone::Stable),
-            cand(req(3, RequestKind::Read, 2, 2), CandidateKind::Activate, 0, BoundaryZone::Stable),
+            cand(
+                req(5, RequestKind::Read, 1, 9),
+                CandidateKind::Column,
+                0,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(3, RequestKind::Read, 2, 2),
+                CandidateKind::Activate,
+                0,
+                BoundaryZone::Stable,
+            ),
         ];
-        assert_eq!(pol.choose(&v, &cands), Some(1), "older activate beats newer hit");
+        assert_eq!(
+            pol.choose(&v, &cands),
+            Some(1),
+            "older activate beats newer hit"
+        );
     }
 
     #[test]
@@ -542,8 +637,18 @@ mod tests {
             PageModeSource::Ppm,
         );
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 0), CandidateKind::Activate, 4, BoundaryZone::Stable),
-            cand(req(1, RequestKind::Read, 2, 5), CandidateKind::Activate, 0, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Read, 1, 0),
+                CandidateKind::Activate,
+                4,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 5),
+                CandidateKind::Activate,
+                0,
+                BoundaryZone::Stable,
+            ),
         ];
         // The newer request wins because its row is in PB0 (Element 4).
         assert_eq!(pol.choose(&v, &cands), Some(1));
@@ -561,8 +666,18 @@ mod tests {
             PageModeSource::Ppm,
         );
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 0), CandidateKind::Activate, 0, BoundaryZone::Warning),
-            cand(req(1, RequestKind::Read, 2, 90), CandidateKind::Column, 4, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Read, 1, 0),
+                CandidateKind::Activate,
+                0,
+                BoundaryZone::Warning,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 90),
+                CandidateKind::Column,
+                4,
+                BoundaryZone::Stable,
+            ),
         ];
         assert_eq!(pol.choose(&v, &cands), Some(1));
     }
@@ -579,13 +694,33 @@ mod tests {
             PageModeSource::Ppm,
         );
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 0), CandidateKind::Activate, 2, BoundaryZone::Stable),
-            cand(req(1, RequestKind::Read, 2, 5), CandidateKind::Activate, 2, BoundaryZone::Warning),
+            cand(
+                req(0, RequestKind::Read, 1, 0),
+                CandidateKind::Activate,
+                2,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 5),
+                CandidateKind::Activate,
+                2,
+                BoundaryZone::Warning,
+            ),
         ];
         assert_eq!(pol.choose(&v, &cands), Some(1), "warning zone gets +w5");
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 0), CandidateKind::Activate, 4, BoundaryZone::Promising),
-            cand(req(1, RequestKind::Read, 2, 5), CandidateKind::Activate, 4, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Read, 1, 0),
+                CandidateKind::Activate,
+                4,
+                BoundaryZone::Promising,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 5),
+                CandidateKind::Activate,
+                4,
+                BoundaryZone::Stable,
+            ),
         ];
         assert_eq!(pol.choose(&v, &cands), Some(1), "promising zone gets -w5");
     }
@@ -606,8 +741,18 @@ mod tests {
         // arrivals ... instead test distinct arrivals where ES2 already
         // differs: older also scores higher, consistent.)
         let cands = vec![
-            cand(req(0, RequestKind::Read, 1, 10), CandidateKind::Activate, 2, BoundaryZone::Stable),
-            cand(req(1, RequestKind::Read, 2, 10), CandidateKind::Activate, 2, BoundaryZone::Stable),
+            cand(
+                req(0, RequestKind::Read, 1, 10),
+                CandidateKind::Activate,
+                2,
+                BoundaryZone::Stable,
+            ),
+            cand(
+                req(1, RequestKind::Read, 2, 10),
+                CandidateKind::Activate,
+                2,
+                BoundaryZone::Stable,
+            ),
         ];
         assert_eq!(pol.choose(&v, &cands), Some(0), "equal score -> lowest id");
     }

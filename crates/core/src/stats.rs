@@ -31,12 +31,19 @@ impl LatencyHistogram {
         assert!(!bounds.is_empty(), "need at least one bucket bound");
         assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
         let n = bounds.len() + 1;
-        LatencyHistogram { bounds, counts: vec![0; n] }
+        LatencyHistogram {
+            bounds,
+            counts: vec![0; n],
+        }
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: u64) {
-        let i = self.bounds.iter().position(|&b| latency <= b).unwrap_or(self.bounds.len());
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| latency <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[i] += 1;
     }
 
@@ -136,7 +143,13 @@ impl ControllerStats {
         self.per_pb_reads
             .iter()
             .zip(&self.per_pb_read_latency)
-            .map(|(&n, &sum)| if n == 0 { None } else { Some(sum as f64 / n as f64) })
+            .map(|(&n, &sum)| {
+                if n == 0 {
+                    None
+                } else {
+                    Some(sum as f64 / n as f64)
+                }
+            })
             .collect()
     }
 
@@ -157,8 +170,7 @@ impl ControllerStats {
         self.reads_completed += 1;
         self.total_read_latency += latency;
         self.max_read_latency = self.max_read_latency.max(latency);
-        self.min_read_latency =
-            Some(self.min_read_latency.map_or(latency, |m| m.min(latency)));
+        self.min_read_latency = Some(self.min_read_latency.map_or(latency, |m| m.min(latency)));
         self.read_latency_hist.record(latency);
         if let Some(c) = self.per_core_reads.get_mut(core) {
             *c += 1;
@@ -202,7 +214,10 @@ impl ControllerStats {
         if total == 0 {
             vec![0.0; self.pb_act_histogram.len()]
         } else {
-            self.pb_act_histogram.iter().map(|&c| c as f64 / total as f64).collect()
+            self.pb_act_histogram
+                .iter()
+                .map(|&c| c as f64 / total as f64)
+                .collect()
         }
     }
 
@@ -232,27 +247,43 @@ impl ControllerStats {
         self.busy_cycles += other.busy_cycles;
         self.total_cycles = self.total_cycles.max(other.total_cycles);
         assert_eq!(self.pb_act_histogram.len(), other.pb_act_histogram.len());
-        for (a, b) in self.pb_act_histogram.iter_mut().zip(&other.pb_act_histogram) {
+        for (a, b) in self
+            .pb_act_histogram
+            .iter_mut()
+            .zip(&other.pb_act_histogram)
+        {
             *a += b;
         }
         for (a, b) in self.per_pb_reads.iter_mut().zip(&other.per_pb_reads) {
             *a += b;
         }
-        for (a, b) in self.per_pb_read_latency.iter_mut().zip(&other.per_pb_read_latency) {
+        for (a, b) in self
+            .per_pb_read_latency
+            .iter_mut()
+            .zip(&other.per_pb_read_latency)
+        {
             *a += b;
         }
         assert_eq!(self.per_bank_acts.len(), other.per_bank_acts.len());
         for (a, b) in self.per_bank_acts.iter_mut().zip(&other.per_bank_acts) {
             *a += b;
         }
-        for (a, b) in self.per_bank_conflicts.iter_mut().zip(&other.per_bank_conflicts) {
+        for (a, b) in self
+            .per_bank_conflicts
+            .iter_mut()
+            .zip(&other.per_bank_conflicts)
+        {
             *a += b;
         }
         assert_eq!(self.per_core_reads.len(), other.per_core_reads.len());
         for (a, b) in self.per_core_reads.iter_mut().zip(&other.per_core_reads) {
             *a += b;
         }
-        for (a, b) in self.per_core_read_latency.iter_mut().zip(&other.per_core_read_latency) {
+        for (a, b) in self
+            .per_core_read_latency
+            .iter_mut()
+            .zip(&other.per_core_read_latency)
+        {
             *a += b;
         }
     }

@@ -47,7 +47,13 @@ pub struct NuatWeights {
 impl Default for NuatWeights {
     /// Table 4 of the paper.
     fn default() -> Self {
-        NuatWeights { w1: 60.0, w2: 1.0e-4, w3: 60.0, w4: 10.0, w5: 5.0 }
+        NuatWeights {
+            w1: 60.0,
+            w2: 1.0e-4,
+            w3: 60.0,
+            w4: 10.0,
+            w5: 5.0,
+        }
     }
 }
 
@@ -55,12 +61,21 @@ impl NuatWeights {
     /// Weights that reduce the table to FR-FCFS (paper §7.2: only
     /// Elements 1–3 active).
     pub fn frfcfs() -> Self {
-        NuatWeights { w4: 0.0, w5: 0.0, ..NuatWeights::default() }
+        NuatWeights {
+            w4: 0.0,
+            w5: 0.0,
+            ..NuatWeights::default()
+        }
     }
 
     /// Weights that reduce the table to FCFS (only Elements 1–2 active).
     pub fn fcfs() -> Self {
-        NuatWeights { w3: 0.0, w4: 0.0, w5: 0.0, ..NuatWeights::default() }
+        NuatWeights {
+            w3: 0.0,
+            w4: 0.0,
+            w5: 0.0,
+            ..NuatWeights::default()
+        }
     }
 }
 
@@ -116,11 +131,7 @@ impl NuatTable {
     /// Scores one candidate. Higher wins; ties are broken by the
     /// scheduler (oldest request first).
     pub fn score(&self, c: &Candidate, mode: DrainMode, now: McCycle) -> i64 {
-        self.es1(c, mode)
-            + self.es2(c, now)
-            + self.es3(c)
-            + self.es4(c)
-            + self.es5(c)
+        self.es1(c, mode) + self.es2(c, now) + self.es3(c) + self.es4(c) + self.es5(c)
     }
 
     /// Per-element breakdown of a candidate's score, for debugging and
@@ -265,9 +276,18 @@ mod tests {
                 col: addr.col,
                 auto_precharge: false,
             },
-            CandidateKind::Precharge => DramCommand::Precharge { rank: addr.rank, bank: addr.bank },
+            CandidateKind::Precharge => DramCommand::Precharge {
+                rank: addr.rank,
+                bank: addr.bank,
+            },
         };
-        Candidate { request, command, kind, pb: PbId(pb), zone }
+        Candidate {
+            request,
+            command,
+            kind,
+            pb: PbId(pb),
+            zone,
+        }
     }
 
     const T: McCycle = McCycle::new(1000);
@@ -275,8 +295,18 @@ mod tests {
     #[test]
     fn es1_follows_hysteresis_mode() {
         let t = NuatTable::paper_default();
-        let rd = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
-        let wr = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
+        let rd = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
+        let wr = cand(
+            CandidateKind::Column,
+            RequestKind::Write,
+            0,
+            BoundaryZone::Stable,
+        );
         assert_eq!(t.es1(&rd, DrainMode::ServeReads), 60 * SCORE_FP);
         assert_eq!(t.es1(&wr, DrainMode::ServeReads), 0);
         assert_eq!(t.es1(&rd, DrainMode::DrainWrites), 0);
@@ -286,21 +316,46 @@ mod tests {
     #[test]
     fn es2_ages_and_saturates() {
         let t = NuatTable::paper_default();
-        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
+        let act = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         // 1000 cycles of wait at w2 = 1e-4 -> 0.1 -> 1000 fp units.
         assert_eq!(t.es2(&act, T), 1000);
         // The cap is 4.0 (40 000 fp): beyond 40 000 wait cycles it stops.
         assert_eq!(t.es2(&act, McCycle::new(100_000)), 4 * SCORE_FP);
-        let pre = cand(CandidateKind::Precharge, RequestKind::Read, 0, BoundaryZone::Stable);
+        let pre = cand(
+            CandidateKind::Precharge,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         assert_eq!(t.es2(&pre, T), 0);
     }
 
     #[test]
     fn es3_read_hits_score_double_write_hits() {
         let t = NuatTable::paper_default();
-        let rd = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
-        let wr = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
-        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
+        let rd = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
+        let wr = cand(
+            CandidateKind::Column,
+            RequestKind::Write,
+            0,
+            BoundaryZone::Stable,
+        );
+        let act = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         assert_eq!(t.es3(&rd), 120 * SCORE_FP);
         assert_eq!(t.es3(&wr), 60 * SCORE_FP);
         assert_eq!(t.es3(&act), 0);
@@ -309,20 +364,45 @@ mod tests {
     #[test]
     fn es4_prefers_fast_pbs_and_maxes_at_50() {
         let t = NuatTable::paper_default();
-        let pb0 = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Stable);
-        let pb4 = cand(CandidateKind::Activate, RequestKind::Read, 4, BoundaryZone::Stable);
+        let pb0 = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
+        let pb4 = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            4,
+            BoundaryZone::Stable,
+        );
         // Paper §7.3: the maximum of ES4 is 50 (< w3 = 60).
         assert_eq!(t.es4(&pb0), 50 * SCORE_FP);
         assert_eq!(t.es4(&pb4), 10 * SCORE_FP);
-        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let col = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         assert_eq!(t.es4(&col), 0);
     }
 
     #[test]
     fn es5_is_plus_minus_five() {
         let t = NuatTable::paper_default();
-        let warn = cand(CandidateKind::Activate, RequestKind::Read, 1, BoundaryZone::Warning);
-        let prom = cand(CandidateKind::Activate, RequestKind::Read, 4, BoundaryZone::Promising);
+        let warn = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            1,
+            BoundaryZone::Warning,
+        );
+        let prom = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            4,
+            BoundaryZone::Promising,
+        );
         assert_eq!(t.es5(&warn), 5 * SCORE_FP);
         assert_eq!(t.es5(&prom), -5 * SCORE_FP);
     }
@@ -334,13 +414,33 @@ mod tests {
         // never reorder ES5 (5 apart).
         let t = NuatTable::paper_default();
         let mode = DrainMode::ServeReads;
-        let hit = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
-        let best_act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Warning);
+        let hit = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
+        let best_act = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Warning,
+        );
         let aged = McCycle::new(1_000_000);
         assert!(t.score(&hit, mode, T) > t.score(&best_act, mode, aged));
 
-        let slow_warn = cand(CandidateKind::Activate, RequestKind::Read, 3, BoundaryZone::Warning);
-        let fast_stable = cand(CandidateKind::Activate, RequestKind::Read, 2, BoundaryZone::Stable);
+        let slow_warn = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            3,
+            BoundaryZone::Warning,
+        );
+        let fast_stable = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            2,
+            BoundaryZone::Stable,
+        );
         assert!(t.score(&fast_stable, mode, T) > t.score(&slow_warn, mode, aged));
     }
 
@@ -349,8 +449,18 @@ mod tests {
         // §7.3 w1 == w3 rationale: in drain mode a read column hit
         // (ES3 = 2·w3) ties a write column hit (ES1 = w1, ES3 = w3).
         let t = NuatTable::paper_default();
-        let rd_hit = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
-        let wr_hit = cand(CandidateKind::Column, RequestKind::Write, 0, BoundaryZone::Stable);
+        let rd_hit = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
+        let wr_hit = cand(
+            CandidateKind::Column,
+            RequestKind::Write,
+            0,
+            BoundaryZone::Stable,
+        );
         let s_rd = t.es1(&rd_hit, DrainMode::DrainWrites) + t.es3(&rd_hit);
         let s_wr = t.es1(&wr_hit, DrainMode::DrainWrites) + t.es3(&wr_hit);
         assert_eq!(s_rd, s_wr);
@@ -359,17 +469,32 @@ mod tests {
     #[test]
     fn frfcfs_weights_zero_the_pb_elements() {
         let t = NuatTable::new(NuatWeights::frfcfs(), 5);
-        let act = cand(CandidateKind::Activate, RequestKind::Read, 0, BoundaryZone::Warning);
+        let act = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Warning,
+        );
         assert_eq!(t.es4(&act), 0);
         assert_eq!(t.es5(&act), 0);
-        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let col = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         assert!(t.es3(&col) > 0);
     }
 
     #[test]
     fn fcfs_weights_also_zero_hit() {
         let t = NuatTable::new(NuatWeights::fcfs(), 5);
-        let col = cand(CandidateKind::Column, RequestKind::Read, 0, BoundaryZone::Stable);
+        let col = cand(
+            CandidateKind::Column,
+            RequestKind::Read,
+            0,
+            BoundaryZone::Stable,
+        );
         assert_eq!(t.es3(&col), 0);
         assert!(t.es2(&col, T) > 0);
     }
@@ -383,7 +508,12 @@ mod tests {
     #[test]
     fn explain_matches_score_and_renders() {
         let t = NuatTable::paper_default();
-        let c = cand(CandidateKind::Activate, RequestKind::Read, 1, BoundaryZone::Warning);
+        let c = cand(
+            CandidateKind::Activate,
+            RequestKind::Read,
+            1,
+            BoundaryZone::Warning,
+        );
         let b = t.explain(&c, DrainMode::ServeReads, T);
         assert_eq!(b.total(), t.score(&c, DrainMode::ServeReads, T));
         assert_eq!(b.es1, 60 * SCORE_FP);

@@ -61,8 +61,11 @@ pub struct Core {
 impl Core {
     /// Creates a core that will execute `trace` under `cfg`.
     pub fn new(id: usize, cfg: ProcessorConfig, trace: Trace) -> Self {
-        let gap_remaining =
-            trace.records().first().map(|r| r.gap).unwrap_or_else(|| trace.tail_gap());
+        let gap_remaining = trace
+            .records()
+            .first()
+            .map(|r| r.gap)
+            .unwrap_or_else(|| trace.tail_gap());
         let total = trace.total_instructions();
         Core {
             id,
@@ -110,6 +113,65 @@ impl Core {
         self.stall_cycles
     }
 
+    /// How many CPU cycles from `now` this core is provably inert —
+    /// neither retiring nor fetching — assuming the memory system stays
+    /// frozen (no completions delivered, no queue slot freed). Returns
+    /// `u64::MAX` when only a memory event can wake the core: finished,
+    /// head-of-ROB read outstanding, or fetch blocked on a full queue.
+    /// Returns 0 when the very next [`tick`](Self::tick) makes progress.
+    ///
+    /// Used by the system loop to bulk-skip cycles in which both the
+    /// controller and every core are dead; across such a span the only
+    /// state `tick` would change is the stall counter (see
+    /// [`advance_stalled`](Self::advance_stalled)).
+    pub fn quiescent_cycles(
+        &self,
+        now: CpuCycle,
+        can_accept: impl Fn(MemOp, PhysAddr) -> bool,
+    ) -> u64 {
+        if self.is_done() {
+            return u64::MAX;
+        }
+        // Retire side: only the ROB head can unblock by itself, at its
+        // recorded completion time.
+        let retire = match self.rob.front() {
+            Some(RobEntry::Done(t)) => {
+                if *t <= now {
+                    return 0;
+                }
+                t.raw() - now.raw()
+            }
+            Some(RobEntry::WaitingRead(_)) | None => u64::MAX,
+        };
+        // Fetch side: progresses immediately unless structurally
+        // blocked. A full ROB reopens only after a retirement, which
+        // the retire bound already caps.
+        let fetch = if self.fetched == self.total || self.rob.len() == self.cfg.rob_size {
+            u64::MAX
+        } else if self.gap_remaining > 0 {
+            0
+        } else if let Some(rec) = self.trace.records().get(self.next_record) {
+            if can_accept(rec.op, rec.addr) {
+                0
+            } else {
+                u64::MAX
+            }
+        } else {
+            u64::MAX
+        };
+        retire.min(fetch)
+    }
+
+    /// Bulk-advances an inert span in one step. The caller guarantees
+    /// `cycles <= quiescent_cycles(now, ..)`; under that contract each
+    /// skipped `tick` would have done nothing except count one
+    /// retirement stall, so that is the only state updated here.
+    pub fn advance_stalled(&mut self, cycles: u64) {
+        if !self.is_done() {
+            self.stall_cycles += cycles;
+        }
+    }
+
     /// Delivers read data for `token` (from [`MemoryPort::submit`]).
     pub fn complete_read(&mut self, token: u64, now: CpuCycle) {
         for e in self.rob.iter_mut() {
@@ -119,7 +181,10 @@ impl Core {
             }
         }
         // A completion for an unknown token indicates a wiring bug.
-        panic!("core {}: read completion for unknown token {token}", self.id);
+        panic!(
+            "core {}: read completion for unknown token {token}",
+            self.id
+        );
     }
 
     /// Advances one CPU cycle: retire, then fetch.
@@ -220,7 +285,10 @@ mod tests {
     fn pure_compute_trace_finishes_at_retire_bandwidth() {
         // 100 non-mem instructions, retire width 2 -> >= 50 cycles.
         let mut core = Core::new(0, cfg(), Trace::new(vec![], 100));
-        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut port = FakePort {
+            accept_writes: true,
+            ..FakePort::default()
+        };
         let mut now = CpuCycle::ZERO;
         while !core.is_done() {
             core.tick(now, &mut port);
@@ -235,11 +303,18 @@ mod tests {
     #[test]
     fn read_at_rob_head_stalls_until_completion() {
         let trace = Trace::new(
-            vec![TraceRecord { gap: 0, op: MemOp::Read, addr: PhysAddr::new(0x40) }],
+            vec![TraceRecord {
+                gap: 0,
+                op: MemOp::Read,
+                addr: PhysAddr::new(0x40),
+            }],
             10,
         );
         let mut core = Core::new(0, cfg(), trace);
-        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut port = FakePort {
+            accept_writes: true,
+            ..FakePort::default()
+        };
         for i in 0..50 {
             core.tick(CpuCycle::new(i), &mut port);
         }
@@ -258,7 +333,11 @@ mod tests {
     #[test]
     fn writes_are_posted_but_stall_when_queue_full() {
         let trace = Trace::new(
-            vec![TraceRecord { gap: 0, op: MemOp::Write, addr: PhysAddr::new(0x40) }],
+            vec![TraceRecord {
+                gap: 0,
+                op: MemOp::Write,
+                addr: PhysAddr::new(0x40),
+            }],
             2,
         );
         let mut core = Core::new(0, cfg(), trace);
@@ -282,7 +361,10 @@ mod tests {
         // 500 compute instructions: the ROB (128) cannot hold them all
         // at once; fetch must throttle but everything still retires.
         let mut core = Core::new(0, cfg(), Trace::new(vec![], 500));
-        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut port = FakePort {
+            accept_writes: true,
+            ..FakePort::default()
+        };
         let mut now = CpuCycle::ZERO;
         while !core.is_done() {
             assert!(core.rob.len() <= 128);
@@ -296,13 +378,24 @@ mod tests {
     fn interleaves_gaps_and_mem_ops_in_order() {
         let trace = Trace::new(
             vec![
-                TraceRecord { gap: 3, op: MemOp::Read, addr: PhysAddr::new(0x40) },
-                TraceRecord { gap: 2, op: MemOp::Write, addr: PhysAddr::new(0x80) },
+                TraceRecord {
+                    gap: 3,
+                    op: MemOp::Read,
+                    addr: PhysAddr::new(0x40),
+                },
+                TraceRecord {
+                    gap: 2,
+                    op: MemOp::Write,
+                    addr: PhysAddr::new(0x80),
+                },
             ],
             0,
         );
         let mut core = Core::new(0, cfg(), trace);
-        let mut port = FakePort { accept_writes: true, ..FakePort::default() };
+        let mut port = FakePort {
+            accept_writes: true,
+            ..FakePort::default()
+        };
         for i in 0..10 {
             core.tick(CpuCycle::new(i), &mut port);
         }

@@ -92,9 +92,21 @@ mod tests {
     fn trace() -> Trace {
         Trace::new(
             vec![
-                TraceRecord { gap: 9, op: MemOp::Read, addr: PhysAddr::new(0x40) },
-                TraceRecord { gap: 0, op: MemOp::Write, addr: PhysAddr::new(0x80) },
-                TraceRecord { gap: 4, op: MemOp::Read, addr: PhysAddr::new(0xc0) },
+                TraceRecord {
+                    gap: 9,
+                    op: MemOp::Read,
+                    addr: PhysAddr::new(0x40),
+                },
+                TraceRecord {
+                    gap: 0,
+                    op: MemOp::Write,
+                    addr: PhysAddr::new(0x80),
+                },
+                TraceRecord {
+                    gap: 4,
+                    op: MemOp::Read,
+                    addr: PhysAddr::new(0xc0),
+                },
             ],
             5,
         )

@@ -71,17 +71,26 @@ pub fn read_usimm<R: Read>(reader: R) -> Result<Trace, ParseTraceError> {
             .ok_or_else(|| err(lineno, "missing gap field"))?
             .parse()
             .map_err(|_| err(lineno, "gap must be a non-negative integer"))?;
-        let op = match parts.next().ok_or_else(|| err(lineno, "missing op field"))? {
+        let op = match parts
+            .next()
+            .ok_or_else(|| err(lineno, "missing op field"))?
+        {
             "R" | "r" => MemOp::Read,
             "W" | "w" => MemOp::Write,
             other => return Err(err(lineno, &format!("op must be R or W, got {other}"))),
         };
-        let addr_str = parts.next().ok_or_else(|| err(lineno, "missing address field"))?;
+        let addr_str = parts
+            .next()
+            .ok_or_else(|| err(lineno, "missing address field"))?;
         let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
         let addr = u64::from_str_radix(addr_str, 16)
             .map_err(|_| err(lineno, "address must be hexadecimal"))?;
         // Optional pc field: accepted and ignored.
-        records.push(TraceRecord { gap, op, addr: PhysAddr::new(addr) });
+        records.push(TraceRecord {
+            gap,
+            op,
+            addr: PhysAddr::new(addr),
+        });
     }
     Ok(Trace::new(records, 0))
 }
@@ -104,7 +113,10 @@ pub fn write_usimm<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()
 }
 
 fn err(line: usize, reason: &str) -> ParseTraceError {
-    ParseTraceError { line, reason: reason.to_string() }
+    ParseTraceError {
+        line,
+        reason: reason.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +135,14 @@ mod tests {
         let t = read_usimm(text.as_bytes()).unwrap();
         assert_eq!(t.mem_ops(), 3);
         let r = t.records();
-        assert_eq!(r[0], TraceRecord { gap: 4, op: MemOp::Read, addr: PhysAddr::new(0x7f001040) });
+        assert_eq!(
+            r[0],
+            TraceRecord {
+                gap: 4,
+                op: MemOp::Read,
+                addr: PhysAddr::new(0x7f001040)
+            }
+        );
         assert_eq!(r[1].op, MemOp::Write);
         assert_eq!(r[2].gap, 12);
     }
@@ -164,7 +183,11 @@ mod tests {
             for i in 0..100u64 {
                 records.push(TraceRecord {
                     gap: (i % 7) as u32,
-                    op: if i % 3 == 0 { MemOp::Write } else { MemOp::Read },
+                    op: if i % 3 == 0 {
+                        MemOp::Write
+                    } else {
+                        MemOp::Read
+                    },
                     addr: PhysAddr::new(i * 64),
                 });
             }

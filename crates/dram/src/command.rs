@@ -64,7 +64,12 @@ impl DramCommand {
     /// Convenience constructor for an `Activate` with the data-sheet
     /// worst-case timings (what FR-FCFS always issues).
     pub fn activate_worst_case(rank: Rank, bank: Bank, row: Row, t: &DramTimings) -> Self {
-        DramCommand::Activate { rank, bank, row, timings: t.worst_case_row() }
+        DramCommand::Activate {
+            rank,
+            bank,
+            row,
+            timings: t.worst_case_row(),
+        }
     }
 
     /// The rank this command addresses.
@@ -109,14 +114,37 @@ impl DramCommand {
 impl fmt::Display for DramCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            DramCommand::Activate { rank, bank, row, timings } => {
+            DramCommand::Activate {
+                rank,
+                bank,
+                row,
+                timings,
+            } => {
                 write!(f, "ACT rk{rank} bk{bank} row{row} ({timings})")
             }
-            DramCommand::Read { rank, bank, col, auto_precharge } => {
-                write!(f, "RD{} rk{rank} bk{bank} col{col}", if auto_precharge { "A" } else { "" })
+            DramCommand::Read {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                write!(
+                    f,
+                    "RD{} rk{rank} bk{bank} col{col}",
+                    if auto_precharge { "A" } else { "" }
+                )
             }
-            DramCommand::Write { rank, bank, col, auto_precharge } => {
-                write!(f, "WR{} rk{rank} bk{bank} col{col}", if auto_precharge { "A" } else { "" })
+            DramCommand::Write {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                write!(
+                    f,
+                    "WR{} rk{rank} bk{bank} col{col}",
+                    if auto_precharge { "A" } else { "" }
+                )
             }
             DramCommand::Precharge { rank, bank } => write!(f, "PRE rk{rank} bk{bank}"),
             DramCommand::Refresh { rank } => write!(f, "REF rk{rank}"),
@@ -132,8 +160,18 @@ mod tests {
         let (rank, bank, col) = (Rank::new(0), Bank::new(2), Col::new(5));
         vec![
             DramCommand::activate_worst_case(rank, bank, Row::new(7), &DramTimings::default()),
-            DramCommand::Read { rank, bank, col, auto_precharge: false },
-            DramCommand::Write { rank, bank, col, auto_precharge: true },
+            DramCommand::Read {
+                rank,
+                bank,
+                col,
+                auto_precharge: false,
+            },
+            DramCommand::Write {
+                rank,
+                bank,
+                col,
+                auto_precharge: true,
+            },
             DramCommand::Precharge { rank, bank },
             DramCommand::Refresh { rank },
         ]
@@ -144,7 +182,14 @@ mod tests {
         let t = DramTimings::default();
         match DramCommand::activate_worst_case(Rank::new(0), Bank::new(0), Row::new(0), &t) {
             DramCommand::Activate { timings, .. } => {
-                assert_eq!(timings, RowTimings { trcd: 12, tras: 30, trc: 42 });
+                assert_eq!(
+                    timings,
+                    RowTimings {
+                        trcd: 12,
+                        tras: 30,
+                        trc: 42
+                    }
+                );
             }
             _ => unreachable!(),
         }
@@ -168,7 +213,10 @@ mod tests {
         let all = cmds();
         let m: Vec<_> = all.iter().map(|c| c.mnemonic()).collect();
         assert_eq!(m, ["ACT", "RD", "WR", "PRE", "REF"]);
-        assert!(all[2].to_string().starts_with("WRA"), "auto-precharge suffix");
+        assert!(
+            all[2].to_string().starts_with("WRA"),
+            "auto-precharge suffix"
+        );
         assert!(all[0].to_string().contains("tRCD 12"));
     }
 }

@@ -38,7 +38,11 @@ impl CommandLog {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "log capacity must be nonzero");
-        CommandLog { capacity, entries: VecDeque::with_capacity(capacity), recorded: 0 }
+        CommandLog {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            recorded: 0,
+        }
     }
 
     /// Records a command, evicting the oldest if full.
@@ -91,7 +95,10 @@ impl CommandLog {
         let mut reference = ReferenceChecker::new(*timings, banks_per_rank);
         for e in &self.entries {
             if !reference.is_legal(&e.cmd, e.at) {
-                return Err(format!("illegal command in log: {} at cycle {}", e.cmd, e.at));
+                return Err(format!(
+                    "illegal command in log: {} at cycle {}",
+                    e.cmd, e.at
+                ));
             }
             reference.record(e.cmd, e.at);
         }

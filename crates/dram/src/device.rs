@@ -44,6 +44,25 @@ pub struct DeviceStats {
     pub tras_cycles_saved: u64,
 }
 
+/// Rank-scoped timing horizons, read by the controller's event-driven
+/// scheduler to compute the earliest cycle any command could become
+/// legal. All fields are monotone (they only move forward on issue), so
+/// a horizon computed from them stays valid until the next command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankTimingView {
+    /// Earliest cycle the rank-level ACT spacing rules (tRRD and tFAW)
+    /// admit another `Activate`. Per-bank tRP/tRC gates still apply on
+    /// top (see [`BankView::earliest_act`]).
+    pub next_act_rank_ok: McCycle,
+    /// Earliest cycle a `Read` clears the rank's tCCD/tWTR bus gate.
+    pub earliest_col_read: McCycle,
+    /// Earliest cycle a `Write` clears the rank's tCCD/RTW bus gate.
+    pub earliest_col_write: McCycle,
+    /// Earliest cycle a `Refresh` clears tRP/tRFC (the cached maximum of
+    /// every bank's `earliest_act`); banks must additionally be idle.
+    pub refresh_ready: McCycle,
+}
+
 /// Per-rank timing and charge state.
 #[derive(Debug, Clone)]
 struct RankState {
@@ -54,6 +73,10 @@ struct RankState {
     last_act: Option<McCycle>,
     earliest_col_read: McCycle,
     earliest_col_write: McCycle,
+    /// Cached `max` of every bank's `earliest_act`, maintained
+    /// incrementally at each update site so the REF legality check (and
+    /// the controller's refresh horizon) need not fold over all banks.
+    ref_ready: McCycle,
     refresh: RefreshEngine,
     /// CKE-low entry cycle, if the rank is powered down.
     powered_down_since: Option<McCycle>,
@@ -115,6 +138,7 @@ impl DramDevice {
                     last_act: None,
                     earliest_col_read: McCycle::ZERO,
                     earliest_col_write: McCycle::ZERO,
+                    ref_ready: McCycle::ZERO,
                     refresh,
                     powered_down_since: None,
                     powerdown_cycles: 0,
@@ -201,10 +225,13 @@ impl DramDevice {
             .iter()
             .map(|r| {
                 r.powerdown_cycles
-                    + r.powered_down_since.map_or(0, |t| elapsed.saturating_sub(t))
+                    + r.powered_down_since
+                        .map_or(0, |t| elapsed.saturating_sub(t))
             })
             .sum();
-        self.stats.energy.total_pj_with_powerdown(&self.energy_model, elapsed.raw(), pd)
+        self.stats
+            .energy
+            .total_pj_with_powerdown(&self.energy_model, elapsed.raw(), pd)
     }
 
     /// Lowers CKE on `rank` (precharge or active power-down, depending
@@ -235,7 +262,33 @@ impl DramDevice {
         }
         BankView::push_earliest(&mut rs.earliest_col_read, ready);
         BankView::push_earliest(&mut rs.earliest_col_write, ready);
+        BankView::push_earliest(&mut rs.ref_ready, ready);
         ready
+    }
+
+    /// Rank-scoped timing horizons for the event-driven scheduler. See
+    /// [`RankTimingView`]; combine with the per-bank gates from
+    /// [`bank`](Self::bank) and [`is_powered_down`](Self::is_powered_down)
+    /// to bound when the next command to this rank could become legal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn rank_timing(&self, rank: Rank) -> RankTimingView {
+        let t = &self.cfg.timings;
+        let rs = &self.ranks[rank.index()];
+        let trrd_ok = rs.last_act.map_or(McCycle::ZERO, |last| last + t.trrd);
+        let tfaw_ok = if rs.act_window.len() == 4 {
+            rs.act_window[0] + t.tfaw
+        } else {
+            McCycle::ZERO
+        };
+        RankTimingView {
+            next_act_rank_ok: trrd_ok.max(tfaw_ok),
+            earliest_col_read: rs.earliest_col_read,
+            earliest_col_write: rs.earliest_col_write,
+            refresh_ready: rs.ref_ready,
+        }
     }
 
     /// True while `rank` has CKE low.
@@ -263,7 +316,10 @@ impl DramDevice {
 
     /// True if every bank of `rank` is idle (precondition for `REF`).
     pub fn all_banks_idle(&self, rank: Rank) -> bool {
-        self.ranks[rank.index()].banks.iter().all(|b| b.state == BankState::Idle)
+        self.ranks[rank.index()]
+            .banks
+            .iter()
+            .all(|b| b.state == BankState::Idle)
     }
 
     /// Checks whether `cmd` may issue at cycle `now` without applying it.
@@ -301,7 +357,10 @@ impl DramDevice {
         let g = &self.cfg.geometry;
         let rank = cmd.rank();
         if rank.as_u64() >= g.ranks_per_channel {
-            return Err(IssueError::OutOfRange { field: "rank", value: rank.as_u64() });
+            return Err(IssueError::OutOfRange {
+                field: "rank",
+                value: rank.as_u64(),
+            });
         }
         let rs = &self.ranks[rank.index()];
         if rs.powered_down_since.is_some() {
@@ -309,18 +368,30 @@ impl DramDevice {
         }
         if let Some(bank) = cmd.bank() {
             if bank.as_u64() >= g.banks_per_rank {
-                return Err(IssueError::OutOfRange { field: "bank", value: bank.as_u64() });
+                return Err(IssueError::OutOfRange {
+                    field: "bank",
+                    value: bank.as_u64(),
+                });
             }
         }
 
         match *cmd {
-            DramCommand::Activate { bank, row, timings, .. } => {
+            DramCommand::Activate {
+                bank, row, timings, ..
+            } => {
                 if row.as_u64() >= g.rows_per_bank {
-                    return Err(IssueError::OutOfRange { field: "row", value: row.as_u64() });
+                    return Err(IssueError::OutOfRange {
+                        field: "row",
+                        value: row.as_u64(),
+                    });
                 }
                 let bv = &rs.banks[bank.index()];
                 if bv.state != BankState::Idle {
-                    return Err(IssueError::WrongBankState { rank, bank, expected: "idle" });
+                    return Err(IssueError::WrongBankState {
+                        rank,
+                        bank,
+                        expected: "idle",
+                    });
                 }
                 too_early("tRP/tRC/tRFC", bv.earliest_act, now)?;
                 if let Some(last) = rs.last_act {
@@ -339,9 +410,7 @@ impl DramDevice {
                     });
                 }
                 // ... and must respect the row's charge state.
-                let elapsed = self
-                    .elapsed_since_restore_ns(rank, bank, row, now)
-                    .max(0.0);
+                let elapsed = self.elapsed_since_restore_ns(rank, bank, row, now).max(0.0);
                 let graced = (elapsed - self.physical_grace_ns).max(0.0);
                 if !self.physical.trcd_ok(graced, timings.trcd) {
                     return Err(IssueError::PhysicalViolation {
@@ -364,11 +433,21 @@ impl DramDevice {
 
             DramCommand::Read { bank, col, .. } | DramCommand::Write { bank, col, .. } => {
                 if col.as_u64() >= g.cols_per_row {
-                    return Err(IssueError::OutOfRange { field: "col", value: col.as_u64() });
+                    return Err(IssueError::OutOfRange {
+                        field: "col",
+                        value: col.as_u64(),
+                    });
                 }
                 let bv = &rs.banks[bank.index()];
-                let BankState::Active { act_at, timings, .. } = bv.state else {
-                    return Err(IssueError::WrongBankState { rank, bank, expected: "active" });
+                let BankState::Active {
+                    act_at, timings, ..
+                } = bv.state
+                else {
+                    return Err(IssueError::WrongBankState {
+                        rank,
+                        bank,
+                        expected: "active",
+                    });
                 };
                 let is_read = matches!(cmd, DramCommand::Read { .. });
                 if is_read {
@@ -386,7 +465,11 @@ impl DramDevice {
             DramCommand::Precharge { bank, .. } => {
                 let bv = &rs.banks[bank.index()];
                 if !matches!(bv.state, BankState::Active { .. }) {
-                    return Err(IssueError::WrongBankState { rank, bank, expected: "active" });
+                    return Err(IssueError::WrongBankState {
+                        rank,
+                        bank,
+                        expected: "active",
+                    });
                 }
                 too_early("tRAS/tRTP/tWR", bv.earliest_pre, now)?;
                 Ok(IssuePlan)
@@ -395,13 +478,22 @@ impl DramDevice {
             DramCommand::Refresh { .. } => {
                 for (i, bv) in rs.banks.iter().enumerate() {
                     if bv.state != BankState::Idle {
-                        return Err(IssueError::RefreshWithOpenBank { bank: Bank::new(i as u32) });
+                        return Err(IssueError::RefreshWithOpenBank {
+                            bank: Bank::new(i as u32),
+                        });
                     }
                 }
-                // REF obeys the same row-command spacing as ACT.
-                let earliest =
-                    rs.banks.iter().map(|b| b.earliest_act).fold(McCycle::ZERO, McCycle::max);
-                too_early("tRP/tRFC", earliest, now)?;
+                // REF obeys the same row-command spacing as ACT; the
+                // max over banks is maintained incrementally on issue.
+                debug_assert_eq!(
+                    rs.ref_ready,
+                    rs.banks
+                        .iter()
+                        .map(|b| b.earliest_act)
+                        .fold(McCycle::ZERO, McCycle::max),
+                    "ref_ready cache out of sync with per-bank earliest_act"
+                );
+                too_early("tRP/tRFC", rs.ref_ready, now)?;
                 Ok(IssuePlan)
             }
         }
@@ -420,13 +512,20 @@ impl DramDevice {
         let rank = cmd.rank();
         let rs = &mut self.ranks[rank.index()];
         match cmd {
-            DramCommand::Activate { bank, row, timings, .. } => {
+            DramCommand::Activate {
+                bank, row, timings, ..
+            } => {
                 let bv = &mut rs.banks[bank.index()];
-                bv.state = BankState::Active { row, act_at: now, timings };
+                bv.state = BankState::Active {
+                    row,
+                    act_at: now,
+                    timings,
+                };
                 bv.earliest_read = now + timings.trcd;
                 bv.earliest_write = now + timings.trcd;
                 bv.earliest_pre = now + timings.tras;
                 BankView::push_earliest(&mut bv.earliest_act, now + timings.trc);
+                BankView::push_earliest(&mut rs.ref_ready, now + timings.trc);
                 rs.last_act = Some(now);
                 if rs.act_window.len() == 4 {
                     rs.act_window.pop_front();
@@ -444,9 +543,16 @@ impl DramDevice {
                 now
             }
 
-            DramCommand::Read { bank, auto_precharge, .. } => {
+            DramCommand::Read {
+                bank,
+                auto_precharge,
+                ..
+            } => {
                 let bv = &mut rs.banks[bank.index()];
-                let BankState::Active { act_at, timings, .. } = bv.state else {
+                let BankState::Active {
+                    act_at, timings, ..
+                } = bv.state
+                else {
                     unreachable!("checked in can_issue")
                 };
                 BankView::push_earliest(&mut bv.earliest_pre, now + t.trtp);
@@ -456,15 +562,27 @@ impl DramDevice {
                 let done = now + t.read_data_done();
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.trtp);
-                    Self::close_bank(&mut rs.banks[bank.index()], pre_at, t.trp);
+                    Self::close_bank(
+                        &mut rs.banks[bank.index()],
+                        &mut rs.ref_ready,
+                        pre_at,
+                        t.trp,
+                    );
                     self.stats.energy.precharges += 1;
                 }
                 done
             }
 
-            DramCommand::Write { bank, auto_precharge, .. } => {
+            DramCommand::Write {
+                bank,
+                auto_precharge,
+                ..
+            } => {
                 let bv = &mut rs.banks[bank.index()];
-                let BankState::Active { act_at, timings, .. } = bv.state else {
+                let BankState::Active {
+                    act_at, timings, ..
+                } = bv.state
+                else {
                     unreachable!("checked in can_issue")
                 };
                 BankView::push_earliest(&mut bv.earliest_pre, now + t.write_to_precharge());
@@ -474,14 +592,19 @@ impl DramDevice {
                 let done = now + t.write_data_done();
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.write_to_precharge());
-                    Self::close_bank(&mut rs.banks[bank.index()], pre_at, t.trp);
+                    Self::close_bank(
+                        &mut rs.banks[bank.index()],
+                        &mut rs.ref_ready,
+                        pre_at,
+                        t.trp,
+                    );
                     self.stats.energy.precharges += 1;
                 }
                 done
             }
 
             DramCommand::Precharge { bank, .. } => {
-                Self::close_bank(&mut rs.banks[bank.index()], now, t.trp);
+                Self::close_bank(&mut rs.banks[bank.index()], &mut rs.ref_ready, now, t.trp);
                 self.stats.energy.precharges += 1;
                 now
             }
@@ -495,6 +618,7 @@ impl DramDevice {
                     let bv = &mut rs.banks[b];
                     BankView::push_earliest(&mut bv.earliest_act, now + t.trfc);
                 }
+                BankView::push_earliest(&mut rs.ref_ready, now + t.trfc);
                 self.stats.energy.refreshes += 1;
                 now + t.trfc
             }
@@ -503,9 +627,11 @@ impl DramDevice {
 
     /// Transitions a bank to idle at `pre_at`, making the next ACT legal
     /// `trp` after that (and never earlier than already scheduled).
-    fn close_bank(bv: &mut BankView, pre_at: McCycle, trp: u64) {
+    /// `ref_ready` is the rank's cached max-`earliest_act`, kept in sync.
+    fn close_bank(bv: &mut BankView, ref_ready: &mut McCycle, pre_at: McCycle, trp: u64) {
         bv.state = BankState::Idle;
         BankView::push_earliest(&mut bv.earliest_act, pre_at + trp);
+        BankView::push_earliest(ref_ready, pre_at + trp);
         // Column commands to an idle bank are state errors; reset their
         // gates so a future ACT fully determines them.
         bv.earliest_read = McCycle::ZERO;
@@ -521,7 +647,10 @@ struct IssuePlan;
 
 fn too_early(constraint: &'static str, earliest: McCycle, now: McCycle) -> Result<(), IssueError> {
     if now < earliest {
-        Err(IssueError::TooEarly { constraint, earliest })
+        Err(IssueError::TooEarly {
+            constraint,
+            earliest,
+        })
     } else {
         Ok(())
     }
@@ -548,11 +677,21 @@ mod tests {
     }
 
     fn read(bank: u32, col: u32) -> DramCommand {
-        DramCommand::Read { rank: rk(), bank: bk(bank), col: Col::new(col), auto_precharge: false }
+        DramCommand::Read {
+            rank: rk(),
+            bank: bk(bank),
+            col: Col::new(col),
+            auto_precharge: false,
+        }
     }
 
     fn write(bank: u32, col: u32) -> DramCommand {
-        DramCommand::Write { rank: rk(), bank: bk(bank), col: Col::new(col), auto_precharge: false }
+        DramCommand::Write {
+            rank: rk(),
+            bank: bk(bank),
+            col: Col::new(col),
+            auto_precharge: false,
+        }
     }
 
     #[test]
@@ -561,7 +700,13 @@ mod tests {
         let t0 = McCycle::new(1000);
         d.issue(act(0, 5), t0).unwrap();
         let err = d.can_issue(&read(0, 0), t0 + 11).unwrap_err();
-        assert_eq!(err, IssueError::TooEarly { constraint: "tRCD", earliest: t0 + 12 });
+        assert_eq!(
+            err,
+            IssueError::TooEarly {
+                constraint: "tRCD",
+                earliest: t0 + 12
+            }
+        );
         let done = d.issue(read(0, 0), t0 + 12).unwrap();
         assert_eq!(done, t0 + 12 + 11 + 4); // CL + BL/2
     }
@@ -590,7 +735,16 @@ mod tests {
             timings: RowTimings::new(8, 22, 12),
         };
         let err = d.issue(stale, McCycle::new(20)).unwrap_err();
-        assert!(matches!(err, IssueError::PhysicalViolation { parameter: "tRCD", .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                IssueError::PhysicalViolation {
+                    parameter: "tRCD",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -598,7 +752,8 @@ mod tests {
         let mut d = dev();
         for (i, (b, row)) in [(0, 0u32), (1, 4096), (2, 8191)].into_iter().enumerate() {
             // Staggered by tRRD so every ACT is legal.
-            d.issue(act(b, row), McCycle::new(50 + 5 * i as u64)).unwrap();
+            d.issue(act(b, row), McCycle::new(50 + 5 * i as u64))
+                .unwrap();
         }
         assert_eq!(d.stats().reduced_activates, 0);
     }
@@ -610,10 +765,20 @@ mod tests {
             rank: rk(),
             bank: bk(0),
             row: Row::new(8191),
-            timings: RowTimings { trcd: 8, tras: 22, trc: 42 }, // should be 34
+            timings: RowTimings {
+                trcd: 8,
+                tras: 22,
+                trc: 42,
+            }, // should be 34
         };
         let err = d.issue(bad, McCycle::new(10)).unwrap_err();
-        assert!(matches!(err, IssueError::PhysicalViolation { parameter: "tRC", .. }));
+        assert!(matches!(
+            err,
+            IssueError::PhysicalViolation {
+                parameter: "tRC",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -636,12 +801,31 @@ mod tests {
         let mut d = dev();
         let t0 = McCycle::new(0);
         d.issue(act(0, 1), t0).unwrap();
-        let err = d.can_issue(&DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 29);
+        let err = d.can_issue(
+            &DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 29,
+        );
         assert!(err.unwrap_err().is_too_early());
-        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
         // Next ACT needs tRP after PRE.
         let err = d.can_issue(&act(0, 2), t0 + 41).unwrap_err();
-        assert_eq!(err, IssueError::TooEarly { constraint: "tRP/tRC/tRFC", earliest: t0 + 42 });
+        assert_eq!(
+            err,
+            IssueError::TooEarly {
+                constraint: "tRP/tRC/tRFC",
+                earliest: t0 + 42
+            }
+        );
         d.issue(act(0, 2), t0 + 42).unwrap();
     }
 
@@ -650,7 +834,14 @@ mod tests {
         let mut d = dev();
         let t0 = McCycle::new(0);
         d.issue(act(0, 1), t0).unwrap();
-        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
         // PRE at 30 allows ACT at 42, which equals tRC anyway.
         d.issue(act(0, 2), t0 + 42).unwrap();
     }
@@ -661,7 +852,13 @@ mod tests {
         let t0 = McCycle::new(0);
         d.issue(act(0, 1), t0).unwrap();
         let err = d.can_issue(&act(1, 1), t0 + 4).unwrap_err();
-        assert_eq!(err, IssueError::TooEarly { constraint: "tRRD", earliest: t0 + 5 });
+        assert_eq!(
+            err,
+            IssueError::TooEarly {
+                constraint: "tRRD",
+                earliest: t0 + 5
+            }
+        );
         d.issue(act(1, 1), t0 + 5).unwrap();
     }
 
@@ -674,7 +871,13 @@ mod tests {
         }
         // Fifth ACT must wait for the first + tFAW (24).
         let err = d.can_issue(&act(4, 1), t0 + 20).unwrap_err();
-        assert_eq!(err, IssueError::TooEarly { constraint: "tFAW", earliest: t0 + 24 });
+        assert_eq!(
+            err,
+            IssueError::TooEarly {
+                constraint: "tFAW",
+                earliest: t0 + 24
+            }
+        );
         d.issue(act(4, 1), t0 + 24).unwrap();
     }
 
@@ -686,7 +889,13 @@ mod tests {
         d.issue(read(0, 0), t0 + 12).unwrap();
         // Back-to-back reads to the open row are spaced by tCCD = 4.
         let err = d.can_issue(&read(0, 1), t0 + 15).unwrap_err();
-        assert_eq!(err, IssueError::TooEarly { constraint: "tCCD/tWTR", earliest: t0 + 16 });
+        assert_eq!(
+            err,
+            IssueError::TooEarly {
+                constraint: "tCCD/tWTR",
+                earliest: t0 + 16
+            }
+        );
         d.issue(read(0, 1), t0 + 16).unwrap();
     }
 
@@ -721,7 +930,10 @@ mod tests {
         d.issue(act(0, 1), t0).unwrap();
         d.issue(write(0, 0), t0 + 12).unwrap();
         // PRE after WR: CWL + BL/2 + tWR = 24 after the write.
-        let pre = DramCommand::Precharge { rank: rk(), bank: bk(0) };
+        let pre = DramCommand::Precharge {
+            rank: rk(),
+            bank: bk(0),
+        };
         let err = d.can_issue(&pre, t0 + 12 + 23).unwrap_err();
         assert!(err.is_too_early());
         d.issue(pre, t0 + 12 + 24).unwrap();
@@ -732,7 +944,12 @@ mod tests {
         let mut d = dev();
         let t0 = McCycle::new(0);
         d.issue(act(0, 1), t0).unwrap();
-        let rd = DramCommand::Read { rank: rk(), bank: bk(0), col: Col::new(0), auto_precharge: true };
+        let rd = DramCommand::Read {
+            rank: rk(),
+            bank: bk(0),
+            col: Col::new(0),
+            auto_precharge: true,
+        };
         d.issue(rd, t0 + 12).unwrap();
         assert_eq!(d.bank(rk(), bk(0)).state, BankState::Idle);
         // Auto-PRE waits for tRAS (30), then tRP: ACT legal at 30+12=42.
@@ -747,10 +964,20 @@ mod tests {
         let mut d = dev();
         let t0 = McCycle::new(0);
         d.issue(act(0, 1), t0).unwrap();
-        let err = d.can_issue(&DramCommand::Refresh { rank: rk() }, t0 + 100).unwrap_err();
+        let err = d
+            .can_issue(&DramCommand::Refresh { rank: rk() }, t0 + 100)
+            .unwrap_err();
         assert_eq!(err, IssueError::RefreshWithOpenBank { bank: bk(0) });
-        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
-        d.issue(DramCommand::Refresh { rank: rk() }, t0 + 42).unwrap();
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
+        d.issue(DramCommand::Refresh { rank: rk() }, t0 + 42)
+            .unwrap();
         // tRFC lockout on every bank.
         let err = d.can_issue(&act(3, 1), t0 + 42 + 127).unwrap_err();
         assert!(err.is_too_early());
@@ -778,7 +1005,14 @@ mod tests {
         let t0 = McCycle::new(0);
         // Row 100 is stale; activate with worst-case timings, close it.
         d.issue(act(0, 100), t0).unwrap();
-        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
         // Now the row is restored: PB0 timings are physically fine.
         let fast = DramCommand::Activate {
             rank: rk(),
@@ -826,7 +1060,10 @@ mod tests {
         let ready = d.power_up(rk(), McCycle::new(200));
         assert_eq!(ready, McCycle::new(205));
         assert!(!d.is_powered_down(rk()));
-        assert!(d.can_issue(&act(0, 1), McCycle::new(204)).unwrap_err().is_too_early());
+        assert!(d
+            .can_issue(&act(0, 1), McCycle::new(204))
+            .unwrap_err()
+            .is_too_early());
         d.issue(act(0, 1), McCycle::new(205)).unwrap();
         assert_eq!(d.powerdown_cycles(rk()), 100);
     }
@@ -848,13 +1085,89 @@ mod tests {
     }
 
     #[test]
+    fn refresh_ready_cache_matches_bank_fold() {
+        // Exercise every earliest_act update site — ACT, explicit PRE,
+        // auto-PRE, REF, power-down/up — and assert the incrementally
+        // maintained cache always equals the fold it replaced.
+        let check = |d: &DramDevice, step: &str| {
+            let fold = (0..8u32)
+                .map(|b| d.bank(rk(), bk(b)).earliest_act)
+                .fold(McCycle::ZERO, McCycle::max);
+            assert_eq!(d.rank_timing(rk()).refresh_ready, fold, "step={step}");
+        };
+        let mut d = dev();
+        check(&d, "init");
+        d.issue(act(0, 1), McCycle::new(10)).unwrap();
+        check(&d, "act0");
+        d.issue(act(1, 2), McCycle::new(15)).unwrap();
+        check(&d, "act1");
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            McCycle::new(40),
+        )
+        .unwrap();
+        check(&d, "pre0");
+        let rd = DramCommand::Read {
+            rank: rk(),
+            bank: bk(1),
+            col: Col::new(0),
+            auto_precharge: true,
+        };
+        d.issue(rd, McCycle::new(41)).unwrap();
+        check(&d, "auto_pre");
+        d.issue(DramCommand::Refresh { rank: rk() }, McCycle::new(100))
+            .unwrap();
+        check(&d, "ref");
+        d.power_down(rk(), McCycle::new(300));
+        d.power_up(rk(), McCycle::new(400));
+        check(&d, "power");
+        // And the REF legality check itself agrees with the cache.
+        let rt = d.rank_timing(rk());
+        assert!(d
+            .can_issue(
+                &DramCommand::Refresh { rank: rk() },
+                McCycle::new(rt.refresh_ready.raw() - 1)
+            )
+            .unwrap_err()
+            .is_too_early());
+        assert!(d
+            .can_issue(&DramCommand::Refresh { rank: rk() }, rt.refresh_ready)
+            .is_ok());
+    }
+
+    #[test]
+    fn rank_timing_tracks_act_spacing_gates() {
+        let mut d = dev();
+        assert_eq!(d.rank_timing(rk()).next_act_rank_ok, McCycle::ZERO);
+        let t0 = McCycle::new(0);
+        for i in 0..4u32 {
+            d.issue(act(i, 1), t0 + (i as u64) * 5).unwrap();
+        }
+        // Window full: tFAW (first ACT + 24) dominates tRRD (last + 5).
+        assert_eq!(d.rank_timing(rk()).next_act_rank_ok, t0 + 24);
+        d.issue(act(4, 1), t0 + 24).unwrap();
+        // Window slides: now ACT@5 + tFAW = 29 vs tRRD 24 + 5 = 29.
+        assert_eq!(d.rank_timing(rk()).next_act_rank_ok, t0 + 29);
+    }
+
+    #[test]
     fn command_log_records_and_replays_device_traffic() {
         let mut d = dev();
         d.enable_logging(64);
         let t0 = McCycle::new(100);
         d.issue(act(0, 1), t0).unwrap();
         d.issue(read(0, 0), t0 + 12).unwrap();
-        d.issue(DramCommand::Precharge { rank: rk(), bank: bk(0) }, t0 + 30).unwrap();
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
         let log = d.command_log().expect("enabled");
         assert_eq!(log.recorded(), 3);
         // Everything the device accepted must replay cleanly through

@@ -108,7 +108,13 @@ mod tests {
 
     #[test]
     fn energy_sums_operations_and_background() {
-        let c = EnergyCounters { activates: 2, precharges: 2, reads: 3, writes: 1, refreshes: 1 };
+        let c = EnergyCounters {
+            activates: 2,
+            precharges: 2,
+            reads: 3,
+            writes: 1,
+            refreshes: 1,
+        };
         let m = EnergyModel::default();
         let expect = 2.0 * 15_000.0 + 3.0 * 10_000.0 + 11_000.0 + 35_000.0 + 100.0 * 150.0;
         assert_eq!(c.total_pj(&m, 100), expect);
@@ -116,8 +122,15 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let mut a = EnergyCounters { activates: 1, ..EnergyCounters::default() };
-        let b = EnergyCounters { activates: 2, reads: 5, ..EnergyCounters::default() };
+        let mut a = EnergyCounters {
+            activates: 1,
+            ..EnergyCounters::default()
+        };
+        let b = EnergyCounters {
+            activates: 2,
+            reads: 5,
+            ..EnergyCounters::default()
+        };
         a += b;
         assert_eq!(a.activates, 3);
         assert_eq!(a.reads, 5);

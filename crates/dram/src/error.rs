@@ -77,16 +77,28 @@ impl IssueError {
 impl fmt::Display for IssueError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IssueError::TooEarly { constraint, earliest } => {
+            IssueError::TooEarly {
+                constraint,
+                earliest,
+            } => {
                 write!(f, "{constraint} not satisfied until cycle {earliest}")
             }
-            IssueError::WrongBankState { rank, bank, expected } => {
+            IssueError::WrongBankState {
+                rank,
+                bank,
+                expected,
+            } => {
                 write!(f, "rank {rank} bank {bank} must be {expected}")
             }
             IssueError::RowMismatch { open } => {
                 write!(f, "column access to a row other than open row {open}")
             }
-            IssueError::PhysicalViolation { parameter, proposed_cycles, minimum_ns, elapsed_ns } => {
+            IssueError::PhysicalViolation {
+                parameter,
+                proposed_cycles,
+                minimum_ns,
+                elapsed_ns,
+            } => {
                 write!(
                     f,
                     "{parameter} of {proposed_cycles} cycles under-runs physical minimum \
@@ -94,7 +106,10 @@ impl fmt::Display for IssueError {
                 )
             }
             IssueError::RefreshWithOpenBank { bank } => {
-                write!(f, "refresh requires all banks precharged, bank {bank} is open")
+                write!(
+                    f,
+                    "refresh requires all banks precharged, bank {bank} is open"
+                )
             }
             IssueError::PoweredDown { rank } => {
                 write!(f, "rank {rank} is in power-down; raise CKE first")
@@ -114,7 +129,10 @@ mod tests {
 
     #[test]
     fn too_early_classification() {
-        let e = IssueError::TooEarly { constraint: "tRCD", earliest: McCycle::new(10) };
+        let e = IssueError::TooEarly {
+            constraint: "tRCD",
+            earliest: McCycle::new(10),
+        };
         assert!(e.is_too_early());
         let e = IssueError::RowMismatch { open: Row::new(1) };
         assert!(!e.is_too_early());

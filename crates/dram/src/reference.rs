@@ -50,7 +50,11 @@ pub struct ReferenceChecker {
 impl ReferenceChecker {
     /// Creates a checker for one rank-set with the given timing set.
     pub fn new(t: DramTimings, banks_per_rank: u32) -> Self {
-        ReferenceChecker { t, banks_per_rank, history: Vec::new() }
+        ReferenceChecker {
+            t,
+            banks_per_rank,
+            history: Vec::new(),
+        }
     }
 
     /// The open row of `bank`, if any, at time `now`.
@@ -72,9 +76,10 @@ impl ReferenceChecker {
                     // close: no further column/PRE commands are legal
                     // from the moment it issues (JEDEC semantics), even
                     // though the precharge itself happens later.
-                    && e.implied_pre.is_some() => {
-                        open = None;
-                    }
+                    && e.implied_pre.is_some() =>
+                {
+                    open = None;
+                }
                 DramCommand::Refresh { .. } => open = None,
                 _ => {}
             }
@@ -87,8 +92,11 @@ impl ReferenceChecker {
         let t = &self.t;
         let rank = cmd.rank();
         // Helper: iterate history events for this rank.
-        let events =
-            || self.history.iter().filter(move |e| e.cmd.rank() == rank && e.at <= now);
+        let events = || {
+            self.history
+                .iter()
+                .filter(move |e| e.cmd.rank() == rank && e.at <= now)
+        };
 
         // Implied/explicit precharge time of a bank's most recent close,
         // and the most recent events per class.
@@ -103,10 +111,11 @@ impl ReferenceChecker {
                 // tRP after the bank's last (explicit or implied) PRE.
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Precharge { bank: b, .. } if b == bank
-                            && now.raw() < e.at.raw() + t.trp => {
-                                return false;
-                            }
+                        DramCommand::Precharge { bank: b, .. }
+                            if b == bank && now.raw() < e.at.raw() + t.trp =>
+                        {
+                            return false;
+                        }
                         DramCommand::Read { bank: b, .. } | DramCommand::Write { bank: b, .. }
                             if b == bank =>
                         {
@@ -117,22 +126,23 @@ impl ReferenceChecker {
                             }
                         }
                         // tRC after the bank's last ACT (its promised tRC).
-                        DramCommand::Activate { bank: b, timings: prev, .. } if b == bank
-                            && now.raw() < e.at.raw() + prev.trc => {
-                                return false;
-                            }
+                        DramCommand::Activate {
+                            bank: b,
+                            timings: prev,
+                            ..
+                        } if b == bank && now.raw() < e.at.raw() + prev.trc => {
+                            return false;
+                        }
                         // tRFC after a refresh.
-                        DramCommand::Refresh { .. }
-                            if now.raw() < e.at.raw() + t.trfc => {
-                                return false;
-                            }
+                        DramCommand::Refresh { .. } if now.raw() < e.at.raw() + t.trfc => {
+                            return false;
+                        }
                         _ => {}
                     }
                 }
                 // tRRD after any ACT in the rank.
                 if events().any(|e| {
-                    matches!(e.cmd, DramCommand::Activate { .. })
-                        && now.raw() < e.at.raw() + t.trrd
+                    matches!(e.cmd, DramCommand::Activate { .. }) && now.raw() < e.at.raw() + t.trrd
                 }) {
                     return false;
                 }
@@ -153,11 +163,14 @@ impl ReferenceChecker {
                 }
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Activate { bank: b, timings, .. } if b == bank
+                        DramCommand::Activate {
+                            bank: b, timings, ..
+                        } if b == bank
                             // tRCD (the ACT's promised value).
-                            && now.raw() < e.at.raw() + timings.trcd => {
-                                return false;
-                            }
+                            && now.raw() < e.at.raw() + timings.trcd =>
+                        {
+                            return false;
+                        }
                         DramCommand::Read { .. } => {
                             if is_read {
                                 if now.raw() < e.at.raw() + t.tccd {
@@ -188,18 +201,21 @@ impl ReferenceChecker {
                 }
                 for e in events() {
                     match e.cmd {
-                        DramCommand::Activate { bank: b, timings, .. } if b == bank
-                            && now.raw() < e.at.raw() + timings.tras => {
-                                return false;
-                            }
-                        DramCommand::Read { bank: b, .. } if b == bank
-                            && now.raw() < e.at.raw() + t.trtp => {
-                                return false;
-                            }
-                        DramCommand::Write { bank: b, .. } if b == bank
-                            && now.raw() < e.at.raw() + t.write_to_precharge() => {
-                                return false;
-                            }
+                        DramCommand::Activate {
+                            bank: b, timings, ..
+                        } if b == bank && now.raw() < e.at.raw() + timings.tras => {
+                            return false;
+                        }
+                        DramCommand::Read { bank: b, .. }
+                            if b == bank && now.raw() < e.at.raw() + t.trtp =>
+                        {
+                            return false;
+                        }
+                        DramCommand::Write { bank: b, .. }
+                            if b == bank && now.raw() < e.at.raw() + t.write_to_precharge() =>
+                        {
+                            return false;
+                        }
                         _ => {}
                     }
                 }
@@ -243,27 +259,39 @@ impl ReferenceChecker {
             assert!(last.at <= now, "history must be recorded in order");
         }
         let implied_pre = match cmd {
-            DramCommand::Read { rank, bank, auto_precharge: true, .. } => {
+            DramCommand::Read {
+                rank,
+                bank,
+                auto_precharge: true,
+                ..
+            } => {
                 let act = self.last_act(rank, bank).expect("column to open bank");
                 Some((act.0 + act.1).max(now + self.t.trtp))
             }
-            DramCommand::Write { rank, bank, auto_precharge: true, .. } => {
+            DramCommand::Write {
+                rank,
+                bank,
+                auto_precharge: true,
+                ..
+            } => {
                 let act = self.last_act(rank, bank).expect("column to open bank");
                 Some((act.0 + act.1).max(now + self.t.write_to_precharge()))
             }
             _ => None,
         };
-        self.history.push(Event { at: now, cmd, implied_pre });
+        self.history.push(Event {
+            at: now,
+            cmd,
+            implied_pre,
+        });
     }
 
     /// `(issue_time, promised tRAS)` of the bank's most recent ACT.
     fn last_act(&self, rank: Rank, bank: Bank) -> Option<(McCycle, u64)> {
         self.history.iter().rev().find_map(|e| match e.cmd {
-            DramCommand::Activate { bank: b, timings, .. }
-                if e.cmd.rank() == rank && b == bank =>
-            {
-                Some((e.at, timings.tras))
-            }
+            DramCommand::Activate {
+                bank: b, timings, ..
+            } if e.cmd.rank() == rank && b == bank => Some((e.at, timings.tras)),
             _ => None,
         })
     }
@@ -305,7 +333,10 @@ mod tests {
         assert!(!c.is_legal(&read(0, false), t0 + 11), "tRCD");
         assert!(c.is_legal(&read(0, false), t0 + 12));
         c.record(read(0, false), t0 + 12);
-        let pre = DramCommand::Precharge { rank: Rank::new(0), bank: Bank::new(0) };
+        let pre = DramCommand::Precharge {
+            rank: Rank::new(0),
+            bank: Bank::new(0),
+        };
         assert!(!c.is_legal(&pre, t0 + 29), "tRAS");
         assert!(c.is_legal(&pre, t0 + 30));
     }
@@ -315,7 +346,10 @@ mod tests {
         let mut c = checker();
         let t0 = McCycle::new(0);
         c.record(act(0, 5), t0);
-        assert_eq!(c.open_row(Rank::new(0), Bank::new(0), t0 + 5), Some(Row::new(5)));
+        assert_eq!(
+            c.open_row(Rank::new(0), Bank::new(0), t0 + 5),
+            Some(Row::new(5))
+        );
         c.record(read(0, true), t0 + 12);
         // The auto-precharge commits the bank to close immediately for
         // command purposes; the physical precharge happens at
@@ -333,7 +367,10 @@ mod tests {
         let refresh = DramCommand::Refresh { rank: Rank::new(0) };
         assert!(!c.is_legal(&refresh, McCycle::new(100)));
         c.record(
-            DramCommand::Precharge { rank: Rank::new(0), bank: Bank::new(3) },
+            DramCommand::Precharge {
+                rank: Rank::new(0),
+                bank: Bank::new(3),
+            },
             McCycle::new(100),
         );
         assert!(!c.is_legal(&refresh, McCycle::new(111)), "tRP");

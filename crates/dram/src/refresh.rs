@@ -146,6 +146,23 @@ impl RefreshEngine {
         }
     }
 
+    /// First cycle strictly after `now` at which [`urgency`](Self::urgency)
+    /// changes value, or `None` if `now` is already at or past the final
+    /// transition (Overdue never de-escalates until a batch completes).
+    /// Busy-period skipping uses this as the refresh component of the
+    /// controller's event horizon: between `now` and the returned cycle
+    /// the urgency — and therefore every refresh-driven scheduling
+    /// decision — is constant.
+    pub fn next_transition_after(&self, now: McCycle) -> Option<McCycle> {
+        let due = self.next_due().raw();
+        let deadline = due + self.postpone_budget * self.batch_interval;
+        [self.pending_from().raw(), due, deadline]
+            .into_iter()
+            .filter(|&t| t > now.raw())
+            .min()
+            .map(McCycle::new)
+    }
+
     /// The rows the next batch will refresh (in every bank of the rank).
     pub fn next_batch_rows(&self) -> Vec<Row> {
         (1..=self.batch_rows)
@@ -204,7 +221,10 @@ mod tests {
         let e = engine();
         assert_eq!(e.lrra(), Row::new(8191));
         assert_eq!(e.next_due(), McCycle::new(8 * 6250));
-        assert_eq!(e.next_batch_rows(), (0..8).map(Row::new).collect::<Vec<_>>());
+        assert_eq!(
+            e.next_batch_rows(),
+            (0..8).map(Row::new).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -212,8 +232,14 @@ mod tests {
         let e = engine();
         let due = e.next_due();
         assert_eq!(e.urgency(McCycle::new(0)), RefreshUrgency::NotDue);
-        assert_eq!(e.urgency(McCycle::new(due.raw() - 200)), RefreshUrgency::NotDue);
-        assert_eq!(e.urgency(McCycle::new(due.raw() - 128)), RefreshUrgency::Pending);
+        assert_eq!(
+            e.urgency(McCycle::new(due.raw() - 200)),
+            RefreshUrgency::NotDue
+        );
+        assert_eq!(
+            e.urgency(McCycle::new(due.raw() - 128)),
+            RefreshUrgency::Pending
+        );
         assert_eq!(e.urgency(due), RefreshUrgency::Overdue);
     }
 
@@ -240,13 +266,43 @@ mod tests {
             e.urgency(McCycle::new(due + 2 * 50_000 - 1)),
             RefreshUrgency::Postponable
         );
-        assert_eq!(e.urgency(McCycle::new(due + 2 * 50_000)), RefreshUrgency::Overdue);
+        assert_eq!(
+            e.urgency(McCycle::new(due + 2 * 50_000)),
+            RefreshUrgency::Overdue
+        );
         // Late completion is counted.
         assert_eq!(e.postponed_batches(), 0);
         e.complete_batch(McCycle::new(due + 60_000));
         assert_eq!(e.postponed_batches(), 1);
         e.complete_batch(McCycle::new(e.next_due().raw()));
         assert_eq!(e.postponed_batches(), 1, "on-time batches are not late");
+    }
+
+    #[test]
+    fn next_transition_brackets_every_urgency_change() {
+        let mut e = engine();
+        e.set_postpone_budget(2);
+        // Walk the whole first schedule period: urgency must be constant
+        // between consecutive reported transitions.
+        let mut now = McCycle::new(0);
+        let mut seen = vec![e.urgency(now)];
+        while let Some(next) = e.next_transition_after(now) {
+            assert_eq!(
+                e.urgency(McCycle::new(next.raw() - 1)),
+                *seen.last().unwrap(),
+                "urgency changed before the reported transition"
+            );
+            let u = e.urgency(next);
+            assert_ne!(
+                u,
+                *seen.last().unwrap(),
+                "transition at {next:?} was a no-op"
+            );
+            seen.push(u);
+            now = next;
+        }
+        use RefreshUrgency::*;
+        assert_eq!(seen, vec![NotDue, Pending, Postponable, Overdue]);
     }
 
     #[test]

@@ -25,10 +25,16 @@ enum Attempt {
 fn arb_attempt() -> impl Strategy<Value = Attempt> {
     prop_oneof![
         (0u32..8, 0u32..64).prop_map(|(bank, row)| Attempt::Act { bank, row }),
-        (0u32..8, 0u32..16, proptest::bool::ANY)
-            .prop_map(|(bank, col, auto)| Attempt::Read { bank, col, auto }),
-        (0u32..8, 0u32..16, proptest::bool::ANY)
-            .prop_map(|(bank, col, auto)| Attempt::Write { bank, col, auto }),
+        (0u32..8, 0u32..16, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Read {
+            bank,
+            col,
+            auto
+        }),
+        (0u32..8, 0u32..16, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Write {
+            bank,
+            col,
+            auto
+        }),
         (0u32..8).prop_map(|bank| Attempt::Pre { bank }),
         (1u16..48).prop_map(|cycles| Attempt::Wait { cycles }),
     ]

@@ -18,12 +18,21 @@ enum Attempt {
 
 fn arb_attempt() -> impl Strategy<Value = Attempt> {
     prop_oneof![
-        (0u32..8, 0u32..8192, proptest::bool::ANY)
-            .prop_map(|(bank, row, fast)| Attempt::Act { bank, row, fast }),
-        (0u32..8, 0u32..1024, proptest::bool::ANY)
-            .prop_map(|(bank, col, auto)| Attempt::Read { bank, col, auto }),
-        (0u32..8, 0u32..1024, proptest::bool::ANY)
-            .prop_map(|(bank, col, auto)| Attempt::Write { bank, col, auto }),
+        (0u32..8, 0u32..8192, proptest::bool::ANY).prop_map(|(bank, row, fast)| Attempt::Act {
+            bank,
+            row,
+            fast
+        }),
+        (0u32..8, 0u32..1024, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Read {
+            bank,
+            col,
+            auto
+        }),
+        (0u32..8, 0u32..1024, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Write {
+            bank,
+            col,
+            auto
+        }),
         (0u32..8).prop_map(|bank| Attempt::Pre { bank }),
         Just(Attempt::Refresh),
         (1u16..64).prop_map(|cycles| Attempt::Wait { cycles }),
@@ -57,7 +66,10 @@ fn to_command(a: Attempt, timings: &DramTimings) -> Option<DramCommand> {
             col: Col::new(col),
             auto_precharge: auto,
         },
-        Attempt::Pre { bank } => DramCommand::Precharge { rank, bank: Bank::new(bank) },
+        Attempt::Pre { bank } => DramCommand::Precharge {
+            rank,
+            bank: Bank::new(bank),
+        },
         Attempt::Refresh => DramCommand::Refresh { rank },
         Attempt::Wait { .. } => return None,
     })

@@ -109,7 +109,10 @@ impl LatencyExecReport {
             }
         }
         let results = parallel_map(&cells, |&(spec, s, kind)| {
-            let rc_s = RunConfig { seed: rc.seed.wrapping_add(s * 104_729), ..*rc };
+            let rc_s = RunConfig {
+                seed: rc.seed.wrapping_add(s * 104_729),
+                ..*rc
+            };
             run_single(spec, kind, &rc_s)
         });
         // Fold in cell order (seed-major, scheduler-minor per workload)
@@ -122,7 +125,10 @@ impl LatencyExecReport {
                 let mut lat = [0.0f64; 3];
                 let mut exec = [0.0f64; 3];
                 let mut firsts: Vec<Option<SimResult>> = vec![None, None, None];
-                for (j, r) in results[wi * per_spec..(wi + 1) * per_spec].iter().enumerate() {
+                for (j, r) in results[wi * per_spec..(wi + 1) * per_spec]
+                    .iter()
+                    .enumerate()
+                {
                     let i = j % kinds.len();
                     lat[i] += r.avg_read_latency();
                     exec[i] += r.execution_cpu_cycles as f64;
@@ -159,22 +165,38 @@ impl LatencyExecReport {
 
     /// Mean latency reduction vs FR-FCFS(open), percent (paper: 16.1 %).
     pub fn avg_latency_reduction_vs_open(&self) -> f64 {
-        mean(self.rows.iter().map(WorkloadComparison::latency_reduction_vs_open))
+        mean(
+            self.rows
+                .iter()
+                .map(WorkloadComparison::latency_reduction_vs_open),
+        )
     }
 
     /// Mean latency reduction vs FR-FCFS(close), percent (paper: 13.8 %).
     pub fn avg_latency_reduction_vs_close(&self) -> f64 {
-        mean(self.rows.iter().map(WorkloadComparison::latency_reduction_vs_close))
+        mean(
+            self.rows
+                .iter()
+                .map(WorkloadComparison::latency_reduction_vs_close),
+        )
     }
 
     /// Mean execution-time improvement vs open, percent (paper: 8.1 %).
     pub fn avg_exec_improvement_vs_open(&self) -> f64 {
-        mean(self.rows.iter().map(WorkloadComparison::exec_improvement_vs_open))
+        mean(
+            self.rows
+                .iter()
+                .map(WorkloadComparison::exec_improvement_vs_open),
+        )
     }
 
     /// Mean execution-time improvement vs close, percent (paper: 7.3 %).
     pub fn avg_exec_improvement_vs_close(&self) -> f64 {
-        mean(self.rows.iter().map(WorkloadComparison::exec_improvement_vs_close))
+        mean(
+            self.rows
+                .iter()
+                .map(WorkloadComparison::exec_improvement_vs_close),
+        )
     }
 
     /// Fig. 18 view: read access latency.
@@ -198,7 +220,10 @@ impl LatencyExecReport {
         }
         s.push_str(&format!(
             "{:<12} {:>10} {:>12} {:>13} {:>10.1} {:>10.1}   [paper: 16.1 / 13.8]\n",
-            "average", "", "", "",
+            "average",
+            "",
+            "",
+            "",
             self.avg_latency_reduction_vs_open(),
             self.avg_latency_reduction_vs_close(),
         ));
@@ -254,7 +279,13 @@ impl LatencyExecReport {
 
 impl fmt::Display for LatencyExecReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}\n{}\n{}", self.render_fig18(), self.render_fig20(), self.render_analysis())
+        write!(
+            f,
+            "{}\n{}\n{}",
+            self.render_fig18(),
+            self.render_fig20(),
+            self.render_analysis()
+        )
     }
 }
 
@@ -274,7 +305,10 @@ mod tests {
 
     #[test]
     fn subset_report_has_expected_shape() {
-        let rc = RunConfig { mem_ops_per_core: 600, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 600,
+            ..RunConfig::quick()
+        };
         let specs = [by_name("ferret").unwrap(), by_name("libq").unwrap()];
         let rep = LatencyExecReport::run_subset(&specs, &rc);
         assert_eq!(rep.rows.len(), 2);
@@ -290,7 +324,10 @@ mod tests {
 
     #[test]
     fn nuat_wins_on_average_over_a_low_locality_subset() {
-        let rc = RunConfig { mem_ops_per_core: 2000, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 2000,
+            ..RunConfig::quick()
+        };
         let specs = [
             by_name("ferret").unwrap(),
             by_name("MT-canneal").unwrap(),

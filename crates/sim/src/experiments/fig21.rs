@@ -40,7 +40,11 @@ impl PbSensitivity {
         let mut avg_latency = Vec::new();
         for &cores in core_counts {
             let combos: Vec<Vec<WorkloadSpec>> = if cores == 1 {
-                singles.iter().take(single_core_workloads).map(|w| vec![*w]).collect()
+                singles
+                    .iter()
+                    .take(single_core_workloads)
+                    .map(|w| vec![*w])
+                    .collect()
             } else {
                 random_mixes(cores, mixes_per_count, 0x21c0de + cores as u64)
                     .into_iter()
@@ -63,8 +67,9 @@ impl PbSensitivity {
                 .iter()
                 .enumerate()
                 .map(|(pi, _)| {
-                    let acc: f64 =
-                        latencies[pi * combos.len()..(pi + 1) * combos.len()].iter().sum();
+                    let acc: f64 = latencies[pi * combos.len()..(pi + 1) * combos.len()]
+                        .iter()
+                        .sum();
                     acc / combos.len() as f64
                 })
                 .collect();
@@ -95,7 +100,11 @@ impl PbSensitivity {
 impl fmt::Display for PbSensitivity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Fig. 21 — Sensitivity to the number of PBs")?;
-        writeln!(f, "(average read-latency cycles saved vs the {}PB baseline)", self.n_pbs[0])?;
+        writeln!(
+            f,
+            "(average read-latency cycles saved vs the {}PB baseline)",
+            self.n_pbs[0]
+        )?;
         write!(f, "{:<8}", "cores")?;
         for n in &self.n_pbs {
             write!(f, " {:>8}", format!("{n}PB"))?;
@@ -118,7 +127,10 @@ mod tests {
 
     #[test]
     fn more_pbs_do_not_hurt_latency() {
-        let rc = RunConfig { mem_ops_per_core: 800, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 800,
+            ..RunConfig::quick()
+        };
         let s = PbSensitivity::run(&[1], &[2, 5], 3, 1, &rc);
         let saved = s.saved_cycles();
         assert_eq!(saved[0][0], 0.0, "baseline saves nothing vs itself");
@@ -131,7 +143,10 @@ mod tests {
 
     #[test]
     fn display_renders_the_grid() {
-        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 300,
+            ..RunConfig::quick()
+        };
         let s = PbSensitivity::run(&[1], &[2, 3], 2, 1, &rc);
         let txt = s.to_string();
         assert!(txt.contains("2PB"));

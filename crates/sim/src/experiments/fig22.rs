@@ -51,7 +51,11 @@ impl MulticoreEffects {
             .iter()
             .map(|&cores| {
                 let combos: Vec<Vec<WorkloadSpec>> = if cores == 1 {
-                    table2().iter().take(single_core_workloads).map(|w| vec![*w]).collect()
+                    table2()
+                        .iter()
+                        .take(single_core_workloads)
+                        .map(|w| vec![*w])
+                        .collect()
                 } else {
                     random_mixes(cores, mixes_per_count, 0x22c0de + cores as u64)
                         .into_iter()
@@ -66,8 +70,14 @@ impl MulticoreEffects {
                     let open = run_mix(specs, SchedulerKind::FrFcfsOpen, grouping.clone(), rc);
                     let close = run_mix(specs, SchedulerKind::FrFcfsClose, grouping.clone(), rc);
                     (
-                        pct(open.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64),
-                        pct(close.execution_cpu_cycles as f64, nuat.execution_cpu_cycles as f64),
+                        pct(
+                            open.execution_cpu_cycles as f64,
+                            nuat.execution_cpu_cycles as f64,
+                        ),
+                        pct(
+                            close.execution_cpu_cycles as f64,
+                            nuat.execution_cpu_cycles as f64,
+                        ),
                         pct(open.avg_read_latency(), nuat.avg_read_latency()),
                     )
                 });
@@ -109,7 +119,10 @@ fn pct(base: f64, new: f64) -> f64 {
 
 impl fmt::Display for MulticoreEffects {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Fig. 22 — Multi-Core Effects (total execution time improvement, %)")?;
+        writeln!(
+            f,
+            "Fig. 22 — Multi-Core Effects (total execution time improvement, %)"
+        )?;
         writeln!(
             f,
             "{:<7} {:>9} {:>10} {:>12} {:>7}",
@@ -122,7 +135,10 @@ impl fmt::Display for MulticoreEffects {
                 r.cores, r.vs_open_pct, r.vs_close_pct, r.latency_vs_open_pct, r.combos
             )?;
         }
-        writeln!(f, "[paper: 1/2/4 cores -> 4.8/6.2/21.9 vs open, 3.0/7.2/20.9 vs close]")?;
+        writeln!(
+            f,
+            "[paper: 1/2/4 cores -> 4.8/6.2/21.9 vs open, 3.0/7.2/20.9 vs close]"
+        )?;
         Ok(())
     }
 }
@@ -133,7 +149,10 @@ mod tests {
 
     #[test]
     fn runs_and_renders_for_small_configs() {
-        let rc = RunConfig { mem_ops_per_core: 500, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 500,
+            ..RunConfig::quick()
+        };
         let m = MulticoreEffects::run(&[1, 2], 2, 2, &rc);
         assert_eq!(m.rows.len(), 2);
         assert_eq!(m.rows[0].cores, 1);

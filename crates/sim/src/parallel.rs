@@ -29,7 +29,9 @@ pub fn worker_count(job_count: usize) -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
     requested.clamp(1, job_count.max(1))
 }
@@ -68,7 +70,9 @@ where
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(input) = inputs.get(i) else { break };
                 let out = f(input);
-                *slots[i].lock().expect("no prior panic holding the slot lock") = Some(out);
+                *slots[i]
+                    .lock()
+                    .expect("no prior panic holding the slot lock") = Some(out);
             });
         }
     });

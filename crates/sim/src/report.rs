@@ -107,7 +107,13 @@ pub fn pb_sensitivity_csv(s: &PbSensitivity) -> String {
 /// Fig. 22 data as CSV (one row per core count).
 pub fn multicore_csv(m: &MulticoreEffects) -> String {
     let mut csv = Csv::new();
-    csv.row(["cores", "exec_vs_open_pct", "exec_vs_close_pct", "latency_vs_open_pct", "combos"]);
+    csv.row([
+        "cores",
+        "exec_vs_open_pct",
+        "exec_vs_close_pct",
+        "latency_vs_open_pct",
+        "combos",
+    ]);
     for r in &m.rows {
         csv.row([
             r.cores.to_string(),
@@ -157,7 +163,10 @@ mod tests {
 
     #[test]
     fn latency_csv_has_header_and_rows() {
-        let rc = RunConfig { mem_ops_per_core: 400, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 400,
+            ..RunConfig::quick()
+        };
         let rep = LatencyExecReport::run_subset(&[by_name("black").unwrap()], &rc);
         let csv = latency_exec_csv(&rep);
         let lines: Vec<&str> = csv.lines().collect();
@@ -169,7 +178,10 @@ mod tests {
 
     #[test]
     fn sensitivity_csv_shape() {
-        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 300,
+            ..RunConfig::quick()
+        };
         let s = PbSensitivity::run(&[1], &[2, 5], 1, 1, &rc);
         let csv = pb_sensitivity_csv(&s);
         let lines: Vec<&str> = csv.lines().collect();
@@ -179,7 +191,10 @@ mod tests {
 
     #[test]
     fn multicore_csv_shape() {
-        let rc = RunConfig { mem_ops_per_core: 300, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 300,
+            ..RunConfig::quick()
+        };
         let m = MulticoreEffects::run(&[1], 1, 1, &rc);
         let csv = multicore_csv(&m);
         assert!(csv.starts_with("cores,exec_vs_open_pct"));

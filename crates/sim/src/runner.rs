@@ -36,7 +36,11 @@ impl Default for RunConfig {
 impl RunConfig {
     /// A fast configuration for tests and smoke runs.
     pub fn quick() -> Self {
-        RunConfig { mem_ops_per_core: 1_500, max_mc_cycles: 20_000_000, ..RunConfig::default() }
+        RunConfig {
+            mem_ops_per_core: 1_500,
+            max_mc_cycles: 20_000_000,
+            ..RunConfig::default()
+        }
     }
 }
 
@@ -46,8 +50,12 @@ pub fn traces_for(specs: &[WorkloadSpec], cfg: &SystemConfig, rc: &RunConfig) ->
         .iter()
         .enumerate()
         .map(|(core, spec)| {
-            TraceGenerator::new(*spec, cfg.dram.geometry, rc.seed.wrapping_add(core as u64 * 7919))
-                .generate(rc.mem_ops_per_core)
+            TraceGenerator::new(
+                *spec,
+                cfg.dram.geometry,
+                rc.seed.wrapping_add(core as u64 * 7919),
+            )
+            .generate(rc.mem_ops_per_core)
         })
         .collect()
 }
@@ -66,8 +74,7 @@ pub fn run_mix(
     assert!(!specs.is_empty(), "need at least one workload");
     let cfg = SystemConfig::with_cores(specs.len());
     let traces = traces_for(specs, &cfg, rc);
-    System::new(cfg, scheduler, grouping, traces)
-        .run_with_warmup(rc.max_mc_cycles, rc.warmup_reads)
+    System::new(cfg, scheduler, grouping, traces).run_with_warmup(rc.max_mc_cycles, rc.warmup_reads)
 }
 
 /// Runs a single-core workload under one scheduler with the paper's
@@ -83,7 +90,10 @@ mod tests {
 
     #[test]
     fn run_single_is_deterministic() {
-        let rc = RunConfig { mem_ops_per_core: 400, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 400,
+            ..RunConfig::quick()
+        };
         let spec = by_name("swapt").unwrap();
         let a = run_single(spec, SchedulerKind::Nuat, &rc);
         let b = run_single(spec, SchedulerKind::Nuat, &rc);
@@ -93,16 +103,27 @@ mod tests {
 
     #[test]
     fn per_core_seeds_differ_in_a_mix() {
-        let rc = RunConfig { mem_ops_per_core: 200, ..RunConfig::quick() };
+        let rc = RunConfig {
+            mem_ops_per_core: 200,
+            ..RunConfig::quick()
+        };
         let spec = by_name("black").unwrap();
         let cfg = SystemConfig::with_cores(2);
         let traces = traces_for(&[spec, spec], &cfg, &rc);
-        assert_ne!(traces[0], traces[1], "same workload on two cores must not be identical");
+        assert_ne!(
+            traces[0], traces[1],
+            "same workload on two cores must not be identical"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one workload")]
     fn empty_mix_rejected() {
-        run_mix(&[], SchedulerKind::Nuat, PbGrouping::paper(5), &RunConfig::quick());
+        run_mix(
+            &[],
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            &RunConfig::quick(),
+        );
     }
 }

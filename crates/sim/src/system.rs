@@ -1,8 +1,8 @@
 //! Full-system wiring: N trace-driven cores sharing one memory
 //! controller, clocked at the paper's 4:1 CPU-to-memory ratio.
 
-use nuat_core::{MemoryController, RequestKind, SchedulerKind};
 use nuat_circuit::PbGrouping;
+use nuat_core::{MemoryController, RequestKind, SchedulerKind};
 use nuat_cpu::{Core, MemOp, MemoryPort, Trace};
 use nuat_types::{CpuCycle, McCycle, PhysAddr, SystemConfig, CPU_CYCLES_PER_MC_CYCLE};
 
@@ -32,7 +32,11 @@ impl MemoryPort for Port<'_> {
     }
 
     fn submit(&mut self, core: usize, op: MemOp, addr: PhysAddr) -> u64 {
-        let decoded = self.cfg.dram.geometry.decode(addr, self.cfg.controller.mapping);
+        let decoded = self
+            .cfg
+            .dram
+            .geometry
+            .decode(addr, self.cfg.controller.mapping);
         let ch = decoded.channel.index();
         let id = self.mcs[ch].enqueue_decoded(core, kind_of(op), decoded);
         token(id.0, ch, self.mcs.len())
@@ -73,6 +77,9 @@ pub struct SimResult {
     pub energy_pj: f64,
     /// Cycles spent in power-down across all ranks and channels.
     pub powerdown_cycles: u64,
+    /// Controller cycles advanced in bulk by event-driven busy skipping,
+    /// summed over channels (diagnostic: how often the skip engaged).
+    pub cycles_skipped: u64,
 }
 
 impl SimResult {
@@ -121,7 +128,13 @@ impl System {
             .enumerate()
             .map(|(i, t)| Core::new(i, cfg.processor, t))
             .collect();
-        System { cores, mcs, cfg, cpu_now: CpuCycle::ZERO, completions_buf: Vec::new() }
+        System {
+            cores,
+            mcs,
+            cfg,
+            cpu_now: CpuCycle::ZERO,
+            completions_buf: Vec::new(),
+        }
     }
 
     /// The channel-0 controller (for inspection mid-run).
@@ -134,6 +147,14 @@ impl System {
         &self.mcs
     }
 
+    /// Mutable access to the channel controllers, for pre-run
+    /// configuration (e.g. [`MemoryController::set_cycle_skip`] in
+    /// A/B correctness tests that compare the event-driven and
+    /// strictly per-tick execution modes).
+    pub fn controllers_mut(&mut self) -> &mut [MemoryController] {
+        &mut self.mcs
+    }
+
     /// True once every core has retired its trace.
     pub fn is_done(&self) -> bool {
         self.cores.iter().all(Core::is_done)
@@ -143,7 +164,10 @@ impl System {
     pub fn step(&mut self) {
         for _ in 0..CPU_CYCLES_PER_MC_CYCLE {
             for core in &mut self.cores {
-                let mut port = Port { mcs: &mut self.mcs, cfg: &self.cfg };
+                let mut port = Port {
+                    mcs: &mut self.mcs,
+                    cfg: &self.cfg,
+                };
                 core.tick(self.cpu_now, &mut port);
             }
             self.cpu_now += 1;
@@ -164,6 +188,54 @@ impl System {
 
     fn all_idle(&self) -> bool {
         self.mcs.iter().all(MemoryController::is_idle)
+    }
+
+    /// Memory-controller cycles (= steps) the whole system can provably
+    /// skip: every controller is inside a dead busy span AND every core
+    /// is inert for the corresponding CPU cycles (stalled on a read,
+    /// blocked on a full queue, or finished). 0 when the next step must
+    /// run for real.
+    fn quiescent_steps(&self) -> u64 {
+        let mc_span = self
+            .mcs
+            .iter()
+            .map(MemoryController::skippable_cycles)
+            .min()
+            .unwrap_or(0);
+        if mc_span == 0 {
+            return 0;
+        }
+        let mut cpu_span = u64::MAX;
+        for core in &self.cores {
+            cpu_span = cpu_span.min(core.quiescent_cycles(self.cpu_now, |op, addr| {
+                let ch = self
+                    .cfg
+                    .dram
+                    .geometry
+                    .decode(addr, self.cfg.controller.mapping)
+                    .channel
+                    .index();
+                self.mcs[ch].can_accept(kind_of(op))
+            }));
+            if cpu_span < CPU_CYCLES_PER_MC_CYCLE {
+                return 0;
+            }
+        }
+        mc_span.min(cpu_span / CPU_CYCLES_PER_MC_CYCLE)
+    }
+
+    /// Bulk-advances `n` whole steps of a quiescent span (see
+    /// [`quiescent_steps`](Self::quiescent_steps)): cores accumulate
+    /// stall cycles, controllers bulk-advance their dead span, and no
+    /// requests, commands or completions can occur by construction.
+    fn skip_steps(&mut self, n: u64) {
+        for core in &mut self.cores {
+            core.advance_stalled(CPU_CYCLES_PER_MC_CYCLE * n);
+        }
+        self.cpu_now += CPU_CYCLES_PER_MC_CYCLE * n;
+        for mc in &mut self.mcs {
+            mc.run_for(n);
+        }
     }
 
     fn mc_now(&self) -> u64 {
@@ -187,6 +259,14 @@ impl System {
     pub fn run_with_warmup(mut self, max_mc_cycles: u64, warmup_reads: u64) -> SimResult {
         let mut warm = warmup_reads == 0;
         while !self.is_done() && self.mc_now() < max_mc_cycles {
+            // Joint dead-span skip: when every controller is timing-
+            // blocked and every core is memory-stalled, the next span of
+            // steps is a provable no-op — cross it in one bulk advance.
+            let span = self.quiescent_steps().min(max_mc_cycles - self.mc_now());
+            if span > 0 {
+                self.skip_steps(span);
+                continue;
+            }
             self.step();
             if !warm {
                 let reads: u64 = self.mcs.iter().map(|m| m.stats().reads_completed).sum();
@@ -198,19 +278,40 @@ impl System {
                 }
             }
         }
+        // Post-retirement drain: no new requests arrive, so the only
+        // events left are queued writes, refreshes and power-down
+        // decisions. The channels stay in lockstep (idle channels keep
+        // refreshing while others drain), so bulk-skip exactly the span
+        // every channel agrees is quiet and tick the rest one by one.
         while !self.all_idle() && self.mc_now() < max_mc_cycles {
-            for mc in &mut self.mcs {
-                mc.tick();
+            let span = self
+                .mcs
+                .iter()
+                .map(MemoryController::skippable_cycles)
+                .min()
+                .unwrap_or(0)
+                .min(max_mc_cycles - self.mc_now());
+            if span > 0 {
+                for mc in &mut self.mcs {
+                    mc.run_for(span);
+                }
+            } else {
+                for mc in &mut self.mcs {
+                    mc.tick();
+                }
             }
         }
         let completed = self.is_done();
         let core_finish_cpu_cycles: Vec<u64> = self
             .cores
             .iter()
-            .map(|c| c.finished_at().map(|t| t.raw()).unwrap_or(self.cpu_now.raw()))
+            .map(|c| {
+                c.finished_at()
+                    .map(|t| t.raw())
+                    .unwrap_or(self.cpu_now.raw())
+            })
             .collect();
-        let execution_cpu_cycles =
-            core_finish_cpu_cycles.iter().copied().max().unwrap_or(0);
+        let execution_cpu_cycles = core_finish_cpu_cycles.iter().copied().max().unwrap_or(0);
         let elapsed = self.mc_now();
         let mut stats = self.mcs[0].stats().clone();
         let mut device = *self.mcs[0].device().stats();
@@ -225,8 +326,10 @@ impl System {
             energy_pj += mc.device().energy_pj(McCycle::new(elapsed));
             powerdown_cycles += mc.device().total_powerdown_cycles();
         }
+        let cycles_skipped = self.mcs.iter().map(MemoryController::cycles_skipped).sum();
         SimResult {
             scheduler: self.mcs[0].policy_name(),
+            cycles_skipped,
             mc_cycles: elapsed,
             execution_cpu_cycles,
             completed,
@@ -278,7 +381,10 @@ mod tests {
             nuat.avg_read_latency(),
             open.avg_read_latency()
         );
-        assert!(nuat.device.reduced_activates > 0, "NUAT must exploit charge slack");
+        assert!(
+            nuat.device.reduced_activates > 0,
+            "NUAT must exploit charge slack"
+        );
     }
 
     #[test]

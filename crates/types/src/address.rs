@@ -147,8 +147,7 @@ impl fmt::Display for DecodedAddr {
 ///
 /// Bit order below is least-significant first; the 6-bit cache-line
 /// offset is always the lowest field and is ignored by the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum AddressMapping {
     /// USIMM's open-page baseline (Table 3): `offset : column : channel :
     /// bank : rank : row`. Consecutive cache lines share a row, maximizing
@@ -165,7 +164,6 @@ pub enum AddressMapping {
     /// locality.
     OpenPageXorBank,
 }
-
 
 impl fmt::Display for AddressMapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -94,7 +94,10 @@ impl SystemConfig {
     /// A Table 3 configuration with the given core count.
     pub fn with_cores(cores: usize) -> Self {
         SystemConfig {
-            processor: ProcessorConfig { cores, ..ProcessorConfig::default() },
+            processor: ProcessorConfig {
+                cores,
+                ..ProcessorConfig::default()
+            },
             ..SystemConfig::default()
         }
     }
@@ -170,7 +173,10 @@ mod tests {
     fn validate_rejects_bad_watermarks() {
         let mut cfg = SystemConfig::default();
         cfg.controller.write_low_watermark = 50;
-        assert!(matches!(cfg.validate(), Err(ConfigError::InvalidWatermarks { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidWatermarks { .. })
+        ));
 
         let mut cfg = SystemConfig::default();
         cfg.controller.write_high_watermark = 100;
@@ -181,7 +187,10 @@ mod tests {
     fn validate_rejects_zero_fields() {
         let mut cfg = SystemConfig::default();
         cfg.processor.cores = 0;
-        assert_eq!(cfg.validate(), Err(ConfigError::ZeroField { field: "cores" }));
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroField { field: "cores" })
+        );
     }
 
     #[test]

@@ -29,10 +29,20 @@ impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GeometryError::NonPowerOfTwo { field, value } => {
-                write!(f, "geometry field {field} must be a nonzero power of two, got {value}")
+                write!(
+                    f,
+                    "geometry field {field} must be a nonzero power of two, got {value}"
+                )
             }
-            GeometryError::CoordinateOutOfRange { field, value, bound } => {
-                write!(f, "{field} coordinate {value} out of range (must be < {bound})")
+            GeometryError::CoordinateOutOfRange {
+                field,
+                value,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "{field} coordinate {value} out of range (must be < {bound})"
+                )
             }
         }
     }
@@ -74,7 +84,11 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Geometry(e) => write!(f, "invalid geometry: {e}"),
-            ConfigError::InvalidWatermarks { low, high, capacity } => write!(
+            ConfigError::InvalidWatermarks {
+                low,
+                high,
+                capacity,
+            } => write!(
                 f,
                 "write-queue watermarks invalid: low {low}, high {high}, capacity {capacity}"
             ),
@@ -107,17 +121,27 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GeometryError::NonPowerOfTwo { field: "rows_per_bank", value: 3 };
+        let e = GeometryError::NonPowerOfTwo {
+            field: "rows_per_bank",
+            value: 3,
+        };
         assert!(e.to_string().contains("rows_per_bank"));
         assert!(e.to_string().contains('3'));
 
-        let e = ConfigError::InvalidWatermarks { low: 50, high: 40, capacity: 64 };
+        let e = ConfigError::InvalidWatermarks {
+            low: 50,
+            high: 40,
+            capacity: 64,
+        };
         assert!(e.to_string().contains("50"));
     }
 
     #[test]
     fn config_error_exposes_source() {
-        let inner = GeometryError::NonPowerOfTwo { field: "banks", value: 7 };
+        let inner = GeometryError::NonPowerOfTwo {
+            field: "banks",
+            value: 7,
+        };
         let outer: ConfigError = inner.clone().into();
         assert!(outer.source().is_some());
         assert_eq!(outer, ConfigError::Geometry(inner));

@@ -156,7 +156,11 @@ impl DramGeometry {
     ) -> Result<PhysAddr, GeometryError> {
         let check = |field: &'static str, value: u64, bound: u64| {
             if value >= bound {
-                Err(GeometryError::CoordinateOutOfRange { field, value, bound })
+                Err(GeometryError::CoordinateOutOfRange {
+                    field,
+                    value,
+                    bound,
+                })
             } else {
                 Ok(())
             }
@@ -226,12 +230,21 @@ mod tests {
 
     #[test]
     fn validate_rejects_non_power_of_two() {
-        let g = DramGeometry { banks_per_rank: 6, ..DramGeometry::default() };
+        let g = DramGeometry {
+            banks_per_rank: 6,
+            ..DramGeometry::default()
+        };
         assert_eq!(
             g.validate(),
-            Err(GeometryError::NonPowerOfTwo { field: "banks_per_rank", value: 6 })
+            Err(GeometryError::NonPowerOfTwo {
+                field: "banks_per_rank",
+                value: 6
+            })
         );
-        let g = DramGeometry { rows_per_bank: 0, ..DramGeometry::default() };
+        let g = DramGeometry {
+            rows_per_bank: 0,
+            ..DramGeometry::default()
+        };
         assert!(g.validate().is_err());
     }
 
@@ -239,7 +252,10 @@ mod tests {
     fn open_page_keeps_consecutive_lines_in_one_row() {
         let g = DramGeometry::default();
         let a = g.decode(PhysAddr::new(0x1000_0000), AddressMapping::OpenPageBaseline);
-        let b = g.decode(PhysAddr::new(0x1000_0000 + 64), AddressMapping::OpenPageBaseline);
+        let b = g.decode(
+            PhysAddr::new(0x1000_0000 + 64),
+            AddressMapping::OpenPageBaseline,
+        );
         assert_eq!(a.row, b.row);
         assert_eq!(a.bank, b.bank);
         assert_eq!(b.col.raw(), a.col.raw() + 1);
@@ -248,18 +264,31 @@ mod tests {
     #[test]
     fn close_page_spreads_consecutive_lines_across_banks() {
         let g = DramGeometry::default();
-        let a = g.decode(PhysAddr::new(0x2000_0000), AddressMapping::ClosePageInterleaved);
-        let b = g.decode(PhysAddr::new(0x2000_0000 + 64), AddressMapping::ClosePageInterleaved);
+        let a = g.decode(
+            PhysAddr::new(0x2000_0000),
+            AddressMapping::ClosePageInterleaved,
+        );
+        let b = g.decode(
+            PhysAddr::new(0x2000_0000 + 64),
+            AddressMapping::ClosePageInterleaved,
+        );
         assert_ne!(a.bank, b.bank);
     }
 
     #[test]
     fn encode_rejects_out_of_range() {
         let g = DramGeometry::default();
-        let bad = DecodedAddr { row: Row::new(8192), ..DecodedAddr::default() };
+        let bad = DecodedAddr {
+            row: Row::new(8192),
+            ..DecodedAddr::default()
+        };
         assert_eq!(
             g.encode(bad, AddressMapping::OpenPageBaseline),
-            Err(GeometryError::CoordinateOutOfRange { field: "row", value: 8192, bound: 8192 })
+            Err(GeometryError::CoordinateOutOfRange {
+                field: "row",
+                value: 8192,
+                bound: 8192
+            })
         );
     }
 
@@ -280,7 +309,10 @@ mod tests {
         let b = g.encode(mk(101), AddressMapping::OpenPageBaseline).unwrap();
         let da = g.decode(a, AddressMapping::OpenPageXorBank);
         let db = g.decode(b, AddressMapping::OpenPageXorBank);
-        assert_ne!(da.bank, db.bank, "adjacent rows must hash to different banks");
+        assert_ne!(
+            da.bank, db.bank,
+            "adjacent rows must hash to different banks"
+        );
         // Row locality within a row is preserved: consecutive lines
         // share bank and row.
         let c = g.decode(PhysAddr::new(a.raw() + 64), AddressMapping::OpenPageXorBank);

@@ -28,13 +28,21 @@ impl RowTimings {
     /// Builds a consistent triplet from `tRCD`, `tRAS` and the bank's
     /// `tRP`, setting `tRC = tRAS + tRP`.
     pub const fn new(trcd: u64, tras: u64, trp: u64) -> Self {
-        RowTimings { trcd, tras, trc: tras + trp }
+        RowTimings {
+            trcd,
+            tras,
+            trc: tras + trp,
+        }
     }
 }
 
 impl fmt::Display for RowTimings {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tRCD {} / tRAS {} / tRC {}", self.trcd, self.tras, self.trc)
+        write!(
+            f,
+            "tRCD {} / tRAS {} / tRC {}",
+            self.trcd, self.tras, self.trc
+        )
     }
 }
 
@@ -79,20 +87,20 @@ pub struct DramTimings {
 impl Default for DramTimings {
     fn default() -> Self {
         DramTimings {
-            trcd: 12,     // 15 ns (Table 3)
-            trp: 12,      // 15 ns (tRC - tRAS)
-            tras: 30,     // 37.5 ns (Table 3)
-            cl: 11,       // DDR3-1600 CL11
-            cwl: 8,       // DDR3-1600
-            bl: 8,        // BL8: 4 controller cycles of data
-            tccd: 4,      // 5 ns
-            trrd: 5,      // 6.25 ns
-            tfaw: 24,     // 30 ns
-            twr: 12,      // 15 ns
-            twtr: 6,      // 7.5 ns
-            trtp: 6,      // 7.5 ns
-            trfc: 128,    // 160 ns (2 Gb device)
-            txp: 5,       // 6 ns (max(3 nCK, 6 ns))
+            trcd: 12,  // 15 ns (Table 3)
+            trp: 12,   // 15 ns (tRC - tRAS)
+            tras: 30,  // 37.5 ns (Table 3)
+            cl: 11,    // DDR3-1600 CL11
+            cwl: 8,    // DDR3-1600
+            bl: 8,     // BL8: 4 controller cycles of data
+            tccd: 4,   // 5 ns
+            trrd: 5,   // 6.25 ns
+            tfaw: 24,  // 30 ns
+            twr: 12,   // 15 ns
+            twtr: 6,   // 7.5 ns
+            trtp: 6,   // 7.5 ns
+            trfc: 128, // 160 ns (2 Gb device)
+            txp: 5,    // 6 ns (max(3 nCK, 6 ns))
             // 7.8125 us — exactly retention / 8192 rows, which PBR's
             // window quantization relies on (a coarser tREFI would let
             // rows drift past their PB window's physical budget).
@@ -116,7 +124,11 @@ impl DramTimings {
     /// The worst-case [`RowTimings`] (a just-about-to-be-refreshed row;
     /// the PB4 line of Table 4).
     pub const fn worst_case_row(&self) -> RowTimings {
-        RowTimings { trcd: self.trcd, tras: self.tras, trc: self.tras + self.trp }
+        RowTimings {
+            trcd: self.trcd,
+            tras: self.tras,
+            trc: self.tras + self.trp,
+        }
     }
 
     /// Read command to data-valid latency (CL + burst).
@@ -176,7 +188,14 @@ mod tests {
     fn worst_case_row_is_pb4_of_table4() {
         let t = DramTimings::default();
         let w = t.worst_case_row();
-        assert_eq!(w, RowTimings { trcd: 12, tras: 30, trc: 42 });
+        assert_eq!(
+            w,
+            RowTimings {
+                trcd: 12,
+                tras: 30,
+                trc: 42
+            }
+        );
     }
 
     #[test]

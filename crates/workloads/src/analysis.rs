@@ -72,7 +72,11 @@ impl TraceProfile {
         let n = mem_ops.max(1) as f64;
         let mean_gap = gap_sum / n;
         let var = (gap_sq / n - mean_gap * mean_gap).max(0.0);
-        let gap_cv = if mean_gap > 0.0 { var.sqrt() / mean_gap } else { 0.0 };
+        let gap_cv = if mean_gap > 0.0 {
+            var.sqrt() / mean_gap
+        } else {
+            0.0
+        };
         let (min_b, max_b) = bank_counts
             .values()
             .fold((u64::MAX, 0u64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
@@ -80,9 +84,21 @@ impl TraceProfile {
         TraceProfile {
             mem_ops,
             instructions,
-            mpki: if instructions == 0 { 0.0 } else { mem_ops as f64 * 1000.0 / instructions as f64 },
-            read_fraction: if mem_ops == 0 { 0.0 } else { reads as f64 / mem_ops as f64 },
-            row_locality: if mem_ops == 0 { 0.0 } else { hits as f64 / mem_ops as f64 },
+            mpki: if instructions == 0 {
+                0.0
+            } else {
+                mem_ops as f64 * 1000.0 / instructions as f64
+            },
+            read_fraction: if mem_ops == 0 {
+                0.0
+            } else {
+                reads as f64 / mem_ops as f64
+            },
+            row_locality: if mem_ops == 0 {
+                0.0
+            } else {
+                hits as f64 / mem_ops as f64
+            },
             banks_touched: bank_counts.len(),
             rows_touched: rows.len(),
             bank_imbalance: if min_b == 0 || min_b == u64::MAX {
@@ -112,7 +128,11 @@ impl fmt::Display for TraceProfile {
             self.rows_touched,
             self.bank_imbalance
         )?;
-        write!(f, "mean gap {:.1} instr, gap CV {:.2}", self.mean_gap, self.gap_cv)
+        write!(
+            f,
+            "mean gap {:.1} instr, gap CV {:.2}",
+            self.mean_gap, self.gap_cv
+        )
     }
 }
 
@@ -133,8 +153,16 @@ mod tests {
     fn measured_locality_tracks_the_spec() {
         let libq = profile("libq");
         let ferret = profile("ferret");
-        assert!(libq.row_locality > 0.75, "libq measured {}", libq.row_locality);
-        assert!(ferret.row_locality < 0.30, "ferret measured {}", ferret.row_locality);
+        assert!(
+            libq.row_locality > 0.75,
+            "libq measured {}",
+            libq.row_locality
+        );
+        assert!(
+            ferret.row_locality < 0.30,
+            "ferret measured {}",
+            ferret.row_locality
+        );
     }
 
     #[test]
@@ -150,7 +178,12 @@ mod tests {
             let p = profile(name);
             let spec = by_name(name).unwrap();
             let rel = (p.mpki - spec.mpki).abs() / spec.mpki;
-            assert!(rel < 0.30, "{name}: measured {} vs spec {}", p.mpki, spec.mpki);
+            assert!(
+                rel < 0.30,
+                "{name}: measured {} vs spec {}",
+                p.mpki,
+                spec.mpki
+            );
         }
     }
 

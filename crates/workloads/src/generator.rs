@@ -73,14 +73,26 @@ impl TraceGenerator {
                 let channel = (i as u32) % geometry.channels as u32;
                 let j = (i as u32) / geometry.channels as u32;
                 let bank = j % (geometry.banks_per_rank as u32);
-                let rank =
-                    (j / geometry.banks_per_rank as u32) % geometry.ranks_per_channel as u32;
+                let rank = (j / geometry.banks_per_rank as u32) % geometry.ranks_per_channel as u32;
                 let base_row = rng.gen_range(0..rows.saturating_sub(spec.footprint_rows).max(1));
-                Stream { channel, bank, rank, base_row, row: base_row, col: 0 }
+                Stream {
+                    channel,
+                    bank,
+                    rank,
+                    base_row,
+                    row: base_row,
+                    col: 0,
+                }
             })
             .collect();
         let _ = banks;
-        TraceGenerator { spec, geometry, rng, streams, generated: 0 }
+        TraceGenerator {
+            spec,
+            geometry,
+            rng,
+            streams,
+            generated: 0,
+        }
     }
 
     /// Generates a trace containing `mem_ops` memory operations.
@@ -91,8 +103,7 @@ impl TraceGenerator {
         // The long gap between bursts restores the target mean:
         // burst_len accesses at gap_in_burst + one long gap.
         let in_burst = self.spec.gap_in_burst as f64;
-        let long_gap =
-            ((mean_gap - in_burst) * burst_len as f64).max(0.0).round() as u32;
+        let long_gap = ((mean_gap - in_burst) * burst_len as f64).max(0.0).round() as u32;
 
         let mut in_burst_left = burst_len;
         for _ in 0..mem_ops {
@@ -201,7 +212,12 @@ mod tests {
             let spec = by_name(name).unwrap();
             let t = gen(name, 7, 4000);
             let rel = (t.mpki() - spec.mpki).abs() / spec.mpki;
-            assert!(rel < 0.25, "{name}: trace mpki {} vs spec {}", t.mpki(), spec.mpki);
+            assert!(
+                rel < 0.25,
+                "{name}: trace mpki {} vs spec {}",
+                t.mpki(),
+                spec.mpki
+            );
         }
     }
 
@@ -233,7 +249,11 @@ mod tests {
         let banks: HashSet<u32> = t
             .records()
             .iter()
-            .map(|r| g.decode(r.addr, AddressMapping::OpenPageBaseline).bank.raw())
+            .map(|r| {
+                g.decode(r.addr, AddressMapping::OpenPageBaseline)
+                    .bank
+                    .raw()
+            })
             .collect();
         assert!(banks.len() >= 6, "16 streams must cover most of 8 banks");
     }

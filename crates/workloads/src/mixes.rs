@@ -25,9 +25,13 @@ pub fn random_mixes(cores: usize, count: usize, seed: u64) -> Vec<WorkloadMix> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
-            let workloads =
-                (0..cores).map(|_| pool[rng.gen_range(0..pool.len())]).collect::<Vec<_>>();
-            WorkloadMix { name: format!("mix{cores}-{i:02}"), workloads }
+            let workloads = (0..cores)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect::<Vec<_>>();
+            WorkloadMix {
+                name: format!("mix{cores}-{i:02}"),
+                workloads,
+            }
         })
         .collect()
 }
@@ -64,16 +68,24 @@ mod tests {
     fn paper_mixes_match_the_evaluation_setup() {
         assert_eq!(paper_two_core_mixes().len(), 32);
         assert_eq!(paper_four_core_mixes().len(), 32);
-        assert!(paper_four_core_mixes().iter().all(|m| m.workloads.len() == 4));
+        assert!(paper_four_core_mixes()
+            .iter()
+            .all(|m| m.workloads.len() == 4));
     }
 
     #[test]
     fn mixes_draw_from_the_full_table() {
         // 32 4-way draws should cover a good share of the 18 workloads.
         let m = paper_four_core_mixes();
-        let names: std::collections::HashSet<_> =
-            m.iter().flat_map(|x| x.workloads.iter().map(|w| w.name)).collect();
-        assert!(names.len() >= 12, "only {} distinct workloads drawn", names.len());
+        let names: std::collections::HashSet<_> = m
+            .iter()
+            .flat_map(|x| x.workloads.iter().map(|w| w.name))
+            .collect();
+        assert!(
+            names.len() >= 12,
+            "only {} distinct workloads drawn",
+            names.len()
+        );
     }
 
     #[test]

@@ -71,8 +71,16 @@ impl WorkloadSpec {
 /// The 18 workloads of Table 2.
 pub fn table2() -> Vec<WorkloadSpec> {
     use Suite::*;
-    let w = |name, suite, mpki, row_locality, read_fraction, streams, footprint_rows, burst_len,
-             gap_in_burst, phased| WorkloadSpec {
+    let w = |name,
+             suite,
+             mpki,
+             row_locality,
+             read_fraction,
+             streams,
+             footprint_rows,
+             burst_len,
+             gap_in_burst,
+             phased| WorkloadSpec {
         name,
         suite,
         mpki,
@@ -113,7 +121,18 @@ pub fn table2() -> Vec<WorkloadSpec> {
         w("freq", Parsec, 18.0, 0.70, 0.70, 4, 224, 8, 10, false),
         w("stream", Parsec, 85.0, 0.82, 0.55, 4, 256, 32, 0, false),
         w("swapt", Parsec, 20.0, 0.62, 0.65, 6, 256, 8, 8, false),
-        w("MT-canneal", Parsec, 110.0, 0.12, 0.70, 16, 1024, 32, 0, false),
+        w(
+            "MT-canneal",
+            Parsec,
+            110.0,
+            0.12,
+            0.70,
+            16,
+            1024,
+            32,
+            0,
+            false,
+        ),
         w("MT-fluid", Parsec, 120.0, 0.20, 0.62, 16, 768, 32, 0, false),
         // BIOBENCH: genome tools, scattered accesses.
         w("mummer", Biobench, 65.0, 0.25, 0.75, 10, 512, 16, 2, false),
@@ -167,7 +186,10 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(by_name("leslie").unwrap().suite, Suite::Spec);
-        assert!(by_name("leslie").unwrap().phased, "leslie models the Fig. 19 pathology");
+        assert!(
+            by_name("leslie").unwrap().phased,
+            "leslie models the Fig. 19 pathology"
+        );
         assert!(by_name("nope").is_none());
     }
 

@@ -34,7 +34,8 @@ impl SchedulerPolicy for BankRoundRobin {
     fn act_timings(&self, view: &PolicyView<'_>, req: &MemoryRequest) -> RowTimings {
         // Custom policies may still exploit the charge slack through
         // the PBR block the controller shares with them:
-        view.pbr.timings(view.lrras[req.addr.rank.index()], req.addr.row)
+        view.pbr
+            .timings(view.lrras[req.addr.rank.index()], req.addr.row)
     }
 
     fn auto_precharge(&self, _: &PolicyView<'_>, _: &MemoryRequest) -> bool {

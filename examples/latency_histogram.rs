@@ -12,7 +12,10 @@ use nuat_workloads::by_name;
 
 fn main() {
     let spec = by_name("mummer").expect("Table 2 workload");
-    let rc = RunConfig { mem_ops_per_core: 8_000, ..RunConfig::default() };
+    let rc = RunConfig {
+        mem_ops_per_core: 8_000,
+        ..RunConfig::default()
+    };
 
     for kind in [SchedulerKind::FrFcfsOpen, SchedulerKind::Nuat] {
         let r = run_single(spec, kind, &rc);

@@ -11,9 +11,15 @@ use nuat_sim::{run_mix, RunConfig};
 use nuat_workloads::random_mixes;
 
 fn main() {
-    let rc = RunConfig { mem_ops_per_core: 4_000, ..RunConfig::default() };
+    let rc = RunConfig {
+        mem_ops_per_core: 4_000,
+        ..RunConfig::default()
+    };
     println!("NUAT vs FR-FCFS(open), mean over 4 random mixes per core count\n");
-    println!("{:<7} {:>12} {:>12} {:>10}", "cores", "open lat", "NUAT lat", "exec +%");
+    println!(
+        "{:<7} {:>12} {:>12} {:>10}",
+        "cores", "open lat", "NUAT lat", "exec +%"
+    );
 
     for cores in [1usize, 2, 4] {
         let mixes = random_mixes(cores, 4, 0xC0FFEE + cores as u64);
@@ -21,9 +27,18 @@ fn main() {
         let mut lat_nuat = 0.0;
         let mut exec_gain = 0.0;
         for mix in &mixes {
-            let open =
-                run_mix(&mix.workloads, SchedulerKind::FrFcfsOpen, PbGrouping::paper(5), &rc);
-            let nuat = run_mix(&mix.workloads, SchedulerKind::Nuat, PbGrouping::paper(5), &rc);
+            let open = run_mix(
+                &mix.workloads,
+                SchedulerKind::FrFcfsOpen,
+                PbGrouping::paper(5),
+                &rc,
+            );
+            let nuat = run_mix(
+                &mix.workloads,
+                SchedulerKind::Nuat,
+                PbGrouping::paper(5),
+                &rc,
+            );
             lat_open += open.avg_read_latency();
             lat_nuat += nuat.avg_read_latency();
             exec_gain += (open.execution_cpu_cycles as f64 - nuat.execution_cpu_cycles as f64)

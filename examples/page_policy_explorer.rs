@@ -19,7 +19,11 @@ fn main() {
     for k in 0..pbr.n_pb() {
         let pb = PbId(k as u8);
         let t = pbr.grouping().timings(pb);
-        println!("  PB{k}: tRCD {:>2} -> threshold {:.3}", t.trcd, ppm.threshold(pb));
+        println!(
+            "  PB{k}: tRCD {:>2} -> threshold {:.3}",
+            t.trcd,
+            ppm.threshold(pb)
+        );
     }
 
     println!("\npage mode per PB at sample hit-rates (Fig. 12):");
@@ -41,7 +45,10 @@ fn main() {
     }
 
     println!("\nmeasured hit rates and latencies across locality extremes:");
-    let rc = RunConfig { mem_ops_per_core: 5_000, ..RunConfig::default() };
+    let rc = RunConfig {
+        mem_ops_per_core: 5_000,
+        ..RunConfig::default()
+    };
     for name in ["libq", "leslie", "comm3", "ferret"] {
         let spec = by_name(name).expect("workload");
         let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);

@@ -11,9 +11,15 @@ use nuat_workloads::by_name;
 
 fn main() {
     let spec = by_name("ferret").expect("Table 2 workload");
-    let rc = RunConfig { mem_ops_per_core: 8_000, ..RunConfig::default() };
+    let rc = RunConfig {
+        mem_ops_per_core: 8_000,
+        ..RunConfig::default()
+    };
 
-    println!("workload: {} ({} memory ops)\n", spec.name, rc.mem_ops_per_core);
+    println!(
+        "workload: {} ({} memory ops)\n",
+        spec.name, rc.mem_ops_per_core
+    );
 
     let open = run_single(spec, SchedulerKind::FrFcfsOpen, &rc);
     let nuat = run_single(spec, SchedulerKind::Nuat, &rc);

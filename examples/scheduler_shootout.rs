@@ -17,13 +17,25 @@ fn main() {
         SchedulerKind::Nuat,
         // Ablations: PB scoring without the boundary element, and NUAT
         // pinned to open-page (PPM disabled).
-        SchedulerKind::NuatWithWeights(NuatWeights { w5: 0.0, ..NuatWeights::default() }),
+        SchedulerKind::NuatWithWeights(NuatWeights {
+            w5: 0.0,
+            ..NuatWeights::default()
+        }),
         SchedulerKind::NuatFixedPage(PageMode::Open),
     ];
-    let labels =
-        ["FCFS", "FR-FCFS(open)", "FR-FCFS(close)", "NUAT", "NUAT(w5=0)", "NUAT(open)"];
+    let labels = [
+        "FCFS",
+        "FR-FCFS(open)",
+        "FR-FCFS(close)",
+        "NUAT",
+        "NUAT(w5=0)",
+        "NUAT(open)",
+    ];
 
-    let rc = RunConfig { mem_ops_per_core: 5_000, ..RunConfig::default() };
+    let rc = RunConfig {
+        mem_ops_per_core: 5_000,
+        ..RunConfig::default()
+    };
     let workloads = ["libq", "comm1", "ferret", "MT-fluid"];
 
     print!("{:<16}", "avg latency");

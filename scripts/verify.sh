@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Full verification gate: release build, test suite, and lint-clean
-# clippy across every target. CI and pre-commit both run exactly this.
+# Full verification gate: formatting, release build, test suite,
+# lint-clean clippy across every target, and a compile check of the
+# bench code (which `cargo test` does not build, so it could otherwise
+# rot silently). CI and pre-commit both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo bench --no-run
 echo "verify: OK"

@@ -5,10 +5,11 @@
 //! reference implementation; a mismatch means an "optimization" altered
 //! simulated behaviour, not just speed.
 
+use nuat_circuit::PbGrouping;
 use nuat_core::{MemoryController, RequestKind, SchedulerKind};
-use nuat_sim::{parallel_map, run_single, RunConfig};
+use nuat_sim::{parallel_map, run_single, traces_for, RunConfig, SimResult, System};
 use nuat_types::{Rank, SystemConfig};
-use nuat_workloads::by_name;
+use nuat_workloads::{by_name, Suite, WorkloadSpec};
 
 /// Golden single-core results on `comm3` at `RunConfig::quick()`,
 /// recorded before the zero-allocation/fast-forward rework. The
@@ -38,8 +39,16 @@ fn golden_single_core_results_are_locked() {
             "{}: execution_cpu_cycles drifted",
             r.scheduler
         );
-        assert_eq!(r.stats.reads_completed, 985, "{}: reads drifted", r.scheduler);
-        assert_eq!(r.stats.writes_drained, 515, "{}: writes drifted", r.scheduler);
+        assert_eq!(
+            r.stats.reads_completed, 985,
+            "{}: reads drifted",
+            r.scheduler
+        );
+        assert_eq!(
+            r.stats.writes_drained, 515,
+            "{}: writes drifted",
+            r.scheduler
+        );
     }
 }
 
@@ -51,7 +60,10 @@ fn parallel_runs_match_sequential_runs_exactly() {
     // Force real threading even on single-CPU machines; the variable is
     // only read by this binary's parallel_map calls.
     std::env::set_var("NUAT_JOBS", "3");
-    let rc = RunConfig { mem_ops_per_core: 600, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 600,
+        ..RunConfig::quick()
+    };
     let cells: Vec<(&str, SchedulerKind)> = ["comm3", "ferret", "libq"]
         .into_iter()
         .flat_map(|w| {
@@ -62,12 +74,141 @@ fn parallel_runs_match_sequential_runs_exactly() {
         .collect();
     let fingerprint = |name: &str, kind: SchedulerKind| {
         let r = run_single(by_name(name).unwrap(), kind, &rc);
-        (r.mc_cycles, r.stats.total_read_latency, r.execution_cpu_cycles)
+        (
+            r.mc_cycles,
+            r.stats.total_read_latency,
+            r.execution_cpu_cycles,
+        )
     };
     let par = parallel_map(&cells, |&(w, k)| fingerprint(w, k));
     let seq: Vec<_> = cells.iter().map(|&(w, k)| fingerprint(w, k)).collect();
     std::env::remove_var("NUAT_JOBS");
     assert_eq!(par, seq);
+}
+
+/// Full-result fingerprint used by the skip-mode A/B tests: every field
+/// that could betray a scheduling or accounting divergence.
+fn full_fingerprint(r: &SimResult) -> (u64, u64, u64, u64, u64, nuat_dram::DeviceStats, u64, u64) {
+    (
+        r.mc_cycles,
+        r.execution_cpu_cycles,
+        r.stats.total_read_latency,
+        r.stats.reads_completed,
+        r.stats.writes_drained,
+        r.device,
+        r.powerdown_cycles,
+        // Bit-exact: energy must not drift even in the last ulp.
+        r.energy_pj.to_bits(),
+    )
+}
+
+/// Recorded goldens for [`powerdown_study_golden_fingerprint`]:
+/// `(mc_cycles, total_read_latency, powerdown_cycles)` on the sparse
+/// workload at `RunConfig::quick()`, NUAT scheduler.
+const GOLDEN_PD0: (u64, u64, u64) = (242_662, 38_639, 0);
+const GOLDEN_PD64: (u64, u64, u64) = (242_244, 40_306, 196_608);
+
+fn run_comm3(kind: SchedulerKind, skip: bool) -> SimResult {
+    let rc = RunConfig::quick();
+    let cfg = SystemConfig::with_cores(1);
+    let traces = traces_for(&[by_name("comm3").unwrap()], &cfg, &rc);
+    let mut sys = System::new(cfg, kind, PbGrouping::paper(5), traces);
+    if !skip {
+        for mc in sys.controllers_mut() {
+            mc.set_cycle_skip(false);
+        }
+    }
+    sys.run(rc.max_mc_cycles)
+}
+
+/// The event-driven busy-period skip must be invisible: for every
+/// scheduler, a run with skipping enabled (the default) and a run
+/// forced onto the legacy strictly-per-tick loop must produce
+/// byte-identical results — including device command counts, energy
+/// and power-down accounting, not just the headline latency numbers.
+#[test]
+fn busy_skip_modes_are_byte_identical_for_every_scheduler() {
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfsOpen,
+        SchedulerKind::FrFcfsClose,
+        SchedulerKind::Nuat,
+    ] {
+        let fast = run_comm3(kind, true);
+        let slow = run_comm3(kind, false);
+        assert!(fast.completed && slow.completed);
+        assert_eq!(
+            full_fingerprint(&fast),
+            full_fingerprint(&slow),
+            "{}: skip vs no-skip fingerprints diverged",
+            fast.scheduler
+        );
+    }
+}
+
+/// The sparse workload from `powerdown_study`: long idle stretches, the
+/// regime where busy-period skipping and CKE power management interact
+/// hardest (urgency transitions, idle counting, wake-ups).
+fn sparse() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "sparse",
+        suite: Suite::Spec,
+        mpki: 0.8,
+        row_locality: 0.5,
+        read_fraction: 0.7,
+        streams: 2,
+        footprint_rows: 64,
+        burst_len: 4,
+        gap_in_burst: 10,
+        phased: false,
+    }
+}
+
+/// Golden fingerprint for the `powerdown_study` configuration, plus
+/// skip-mode identity on the same runs. Values recorded from the
+/// strictly-per-tick loop.
+#[test]
+fn powerdown_study_golden_fingerprint() {
+    // (powerdown_after_idle, mc_cycles, total_read_latency, powerdown_cycles)
+    let goldens = [(0u64, GOLDEN_PD0), (64, GOLDEN_PD64)];
+    for (idle, golden) in goldens {
+        let run = |skip: bool| {
+            let rc = RunConfig::quick();
+            let mut cfg = SystemConfig::with_cores(1);
+            cfg.controller.powerdown_after_idle = idle;
+            let traces = traces_for(&[sparse()], &cfg, &rc);
+            let mut sys = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces);
+            if !skip {
+                for mc in sys.controllers_mut() {
+                    mc.set_cycle_skip(false);
+                }
+            }
+            sys.run(rc.max_mc_cycles)
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert!(fast.completed && slow.completed);
+        assert_eq!(
+            full_fingerprint(&fast),
+            full_fingerprint(&slow),
+            "powerdown={idle}: skip vs no-skip fingerprints diverged"
+        );
+        assert_eq!(
+            (
+                fast.mc_cycles,
+                fast.stats.total_read_latency,
+                fast.powerdown_cycles
+            ),
+            golden,
+            "powerdown={idle}: golden fingerprint drifted"
+        );
+        if idle > 0 {
+            assert!(
+                fast.powerdown_cycles > 0,
+                "sparse run must enter power-down"
+            );
+        }
+    }
 }
 
 fn loaded_controller(powerdown_after_idle: u64) -> MemoryController {
@@ -88,7 +229,15 @@ fn loaded_controller(powerdown_after_idle: u64) -> MemoryController {
                 nuat_types::AddressMapping::OpenPageBaseline,
             )
             .unwrap();
-        mc.enqueue(0, if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read }, addr);
+        mc.enqueue(
+            0,
+            if i % 3 == 0 {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            },
+            addr,
+        );
     }
     mc
 }
@@ -105,12 +254,32 @@ fn fast_forward_is_cycle_accurate() {
     for powerdown in [0u64, 64] {
         let mut fast = loaded_controller(powerdown);
         let mut slow = loaded_controller(powerdown);
+        // Force the reference controller onto the legacy per-tick loop
+        // so this really is event-driven-vs-reference, not fast-vs-fast.
+        slow.set_cycle_skip(false);
         fast.run_for(CYCLES);
         for _ in 0..CYCLES {
             slow.tick();
         }
-        assert_eq!(fast.now(), slow.now(), "powerdown={powerdown}: clock diverged");
-        assert_eq!(fast.stats(), slow.stats(), "powerdown={powerdown}: stats diverged");
+        assert!(
+            fast.cycles_skipped() > 0,
+            "powerdown={powerdown}: busy-period skip never engaged"
+        );
+        assert_eq!(
+            slow.cycles_skipped(),
+            0,
+            "powerdown={powerdown}: disabled controller must not skip"
+        );
+        assert_eq!(
+            fast.now(),
+            slow.now(),
+            "powerdown={powerdown}: clock diverged"
+        );
+        assert_eq!(
+            fast.stats(),
+            slow.stats(),
+            "powerdown={powerdown}: stats diverged"
+        );
         assert_eq!(
             fast.device().stats(),
             slow.device().stats(),

@@ -4,7 +4,10 @@ use nuat_sim::{LatencyExecReport, MulticoreEffects, PbSensitivity, RunConfig};
 use nuat_workloads::by_name;
 
 fn rc(ops: usize) -> RunConfig {
-    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+    RunConfig {
+        mem_ops_per_core: ops,
+        ..RunConfig::quick()
+    }
 }
 
 #[test]
@@ -30,7 +33,10 @@ fn fig18_averages_are_finite_and_sane() {
         rep.avg_exec_improvement_vs_close(),
     ] {
         assert!(v.is_finite());
-        assert!((-30.0..60.0).contains(&v), "average {v}% out of plausible range");
+        assert!(
+            (-30.0..60.0).contains(&v),
+            "average {v}% out of plausible range"
+        );
     }
 }
 
@@ -67,12 +73,12 @@ fn leslie_shows_the_largest_hit_rate_gap() {
     // Needs enough accesses for several of leslie's locality phases
     // (600 accesses each) to develop.
     let sample = ["leslie", "comm3", "ferret"];
-    let rep = LatencyExecReport::run_subset(
-        &sample.map(|n| by_name(n).unwrap()),
-        &rc(4800),
-    );
-    let gaps: Vec<(&str, f64)> =
-        rep.rows.iter().map(|r| (r.workload, r.hit_rate_gap())).collect();
+    let rep = LatencyExecReport::run_subset(&sample.map(|n| by_name(n).unwrap()), &rc(4800));
+    let gaps: Vec<(&str, f64)> = rep
+        .rows
+        .iter()
+        .map(|r| (r.workload, r.hit_rate_gap()))
+        .collect();
     let leslie_gap = gaps.iter().find(|(n, _)| *n == "leslie").unwrap().1;
     for (name, gap) in &gaps {
         if *name != "leslie" {

@@ -10,8 +10,14 @@ use nuat_workloads::by_name;
 #[test]
 fn warmup_discards_cold_start_reads() {
     let spec = by_name("comm3").unwrap();
-    let cold = RunConfig { mem_ops_per_core: 2000, ..RunConfig::quick() };
-    let warm = RunConfig { warmup_reads: 300, ..cold };
+    let cold = RunConfig {
+        mem_ops_per_core: 2000,
+        ..RunConfig::quick()
+    };
+    let warm = RunConfig {
+        warmup_reads: 300,
+        ..cold
+    };
     let r_cold = run_single(spec, SchedulerKind::Nuat, &cold);
     let r_warm = run_single(spec, SchedulerKind::Nuat, &warm);
     assert!(r_cold.completed && r_warm.completed);
@@ -45,7 +51,11 @@ fn command_bus_issues_at_most_one_command_per_cycle() {
             .unwrap();
         mc.enqueue(
             0,
-            if i % 3 == 0 { RequestKind::Write } else { RequestKind::Read },
+            if i % 3 == 0 {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            },
             addr,
         );
     }
@@ -61,13 +71,17 @@ fn command_bus_issues_at_most_one_command_per_cycle() {
     }
     // And the whole accepted stream replays cleanly through the
     // reference protocol checker.
-    log.replay_validate(&nuat_types::DramTimings::default(), 8).unwrap();
+    log.replay_validate(&nuat_types::DramTimings::default(), 8)
+        .unwrap();
 }
 
 #[test]
 fn logged_nuat_traffic_replays_through_the_reference_checker() {
     let spec = by_name("ferret").unwrap();
-    let rc = RunConfig { mem_ops_per_core: 400, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 400,
+        ..RunConfig::quick()
+    };
     // Use the low-level controller so we can enable logging.
     let cfg = SystemConfig::with_cores(1);
     let mut mc = MemoryController::with_grouping(cfg, SchedulerKind::Nuat, PbGrouping::paper(5));
@@ -94,5 +108,6 @@ fn logged_nuat_traffic_replays_through_the_reference_checker() {
     }
     let log = mc.device().command_log().unwrap();
     assert!(!log.truncated());
-    log.replay_validate(&nuat_types::DramTimings::default(), 8).unwrap();
+    log.replay_validate(&nuat_types::DramTimings::default(), 8)
+        .unwrap();
 }

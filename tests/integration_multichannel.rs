@@ -9,26 +9,35 @@ use nuat_workloads::by_name;
 
 fn two_channel_config(cores: usize) -> SystemConfig {
     let mut cfg = SystemConfig::with_cores(cores);
-    cfg.dram.geometry = DramGeometry { channels: 2, ..DramGeometry::default() };
+    cfg.dram.geometry = DramGeometry {
+        channels: 2,
+        ..DramGeometry::default()
+    };
     cfg
 }
 
 #[test]
 fn two_channel_system_completes_and_conserves_requests() {
     let cfg = two_channel_config(1);
-    let rc = RunConfig { mem_ops_per_core: 1500, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 1500,
+        ..RunConfig::quick()
+    };
     let spec = by_name("comm1").unwrap();
     let traces = traces_for(&[spec], &cfg, &rc);
     let expected_reads = traces[0].reads();
-    let r = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces)
-        .run(rc.max_mc_cycles);
+    let r =
+        System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces).run(rc.max_mc_cycles);
     assert!(r.completed);
     assert_eq!(r.stats.reads_completed, expected_reads);
 }
 
 #[test]
 fn second_channel_relieves_pressure() {
-    let rc = RunConfig { mem_ops_per_core: 2500, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 2500,
+        ..RunConfig::quick()
+    };
     let spec = by_name("MT-fluid").unwrap(); // the most intense workload
 
     let one = {
@@ -58,11 +67,14 @@ fn nuat_works_identically_per_channel() {
     // NUAT on a 2-channel system must still satisfy the physics (run
     // completing is the assertion) and exploit slack on both channels.
     let cfg = two_channel_config(2);
-    let rc = RunConfig { mem_ops_per_core: 1500, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 1500,
+        ..RunConfig::quick()
+    };
     let specs = [by_name("ferret").unwrap(), by_name("mummer").unwrap()];
     let traces = traces_for(&specs, &cfg, &rc);
-    let r = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces)
-        .run(rc.max_mc_cycles);
+    let r =
+        System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces).run(rc.max_mc_cycles);
     assert!(r.completed);
     assert!(r.device.reduced_activates > 0);
     // Aggregated PB histogram covers all activations.

@@ -9,20 +9,26 @@ use nuat_workloads::by_name;
 
 fn two_rank_config(cores: usize) -> SystemConfig {
     let mut cfg = SystemConfig::with_cores(cores);
-    cfg.dram.geometry = DramGeometry { ranks_per_channel: 2, ..DramGeometry::default() };
+    cfg.dram.geometry = DramGeometry {
+        ranks_per_channel: 2,
+        ..DramGeometry::default()
+    };
     cfg
 }
 
 #[test]
 fn two_rank_system_completes_under_nuat() {
     let cfg = two_rank_config(1);
-    let rc = RunConfig { mem_ops_per_core: 1500, ..RunConfig::quick() };
+    let rc = RunConfig {
+        mem_ops_per_core: 1500,
+        ..RunConfig::quick()
+    };
     // MT-canneal's 16 streams spread across both ranks' 8 banks each.
     let spec = by_name("MT-canneal").unwrap();
     let traces = traces_for(&[spec], &cfg, &rc);
     let expected_reads = traces[0].reads();
-    let r = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces)
-        .run(rc.max_mc_cycles);
+    let r =
+        System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces).run(rc.max_mc_cycles);
     assert!(r.completed, "two-rank NUAT run must finish");
     assert_eq!(r.stats.reads_completed, expected_reads);
     assert!(r.device.reduced_activates > 0);
@@ -42,7 +48,10 @@ fn per_rank_refresh_engines_are_independent() {
     assert_eq!(r0, 2, "rank 0 must have refreshed twice");
     assert_eq!(r1, 2, "rank 1 must have refreshed twice");
     // Keep one rank busy and confirm both still make their deadlines.
-    let g = nuat_types::DramGeometry { ranks_per_channel: 2, ..Default::default() };
+    let g = nuat_types::DramGeometry {
+        ranks_per_channel: 2,
+        ..Default::default()
+    };
     for i in 0..32u32 {
         let addr = g
             .encode(

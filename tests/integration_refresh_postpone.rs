@@ -9,7 +9,10 @@ use nuat_types::{Rank, SystemConfig};
 use nuat_workloads::by_name;
 
 fn rc(ops: usize) -> RunConfig {
-    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+    RunConfig {
+        mem_ops_per_core: ops,
+        ..RunConfig::quick()
+    }
 }
 
 #[test]
@@ -61,7 +64,12 @@ fn postponement_defers_refreshes_under_load_and_stays_safe() {
 fn postponement_does_not_regress_throughput() {
     let spec = by_name("ferret").unwrap();
 
-    let prompt = run_mix(&[spec], SchedulerKind::Nuat, PbGrouping::paper(5), &rc(1500));
+    let prompt = run_mix(
+        &[spec],
+        SchedulerKind::Nuat,
+        PbGrouping::paper(5),
+        &rc(1500),
+    );
 
     // Postponing run: same workload through the runner with a patched
     // config is not directly expressible, so compare via the controller
@@ -88,5 +96,8 @@ fn postponement_does_not_regress_throughput() {
 fn config_rejects_excessive_postpone_budget() {
     let mut cfg = SystemConfig::default();
     cfg.controller.refresh_postpone_batches = 9;
-    assert!(cfg.validate().is_err(), "DDR3 permits at most 8 postponed REFs");
+    assert!(
+        cfg.validate().is_err(),
+        "DDR3 permits at most 8 postponed REFs"
+    );
 }

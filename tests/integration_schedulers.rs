@@ -6,7 +6,10 @@ use nuat_sim::{run_single, RunConfig};
 use nuat_workloads::{by_name, table2};
 
 fn rc(ops: usize) -> RunConfig {
-    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+    RunConfig {
+        mem_ops_per_core: ops,
+        ..RunConfig::quick()
+    }
 }
 
 #[test]
@@ -68,7 +71,10 @@ fn page_mode_tradeoff_depends_on_locality() {
     let open = run_single(ferret, SchedulerKind::FrFcfsOpen, &rc(1200));
     let close = run_single(ferret, SchedulerKind::FrFcfsClose, &rc(1200));
     let ratio = close.avg_read_latency() / open.avg_read_latency();
-    assert!(ratio < 1.15, "close page must be competitive on ferret, ratio {ratio:.2}");
+    assert!(
+        ratio < 1.15,
+        "close page must be competitive on ferret, ratio {ratio:.2}"
+    );
 }
 
 #[test]
@@ -100,7 +106,10 @@ fn boundary_element_does_not_hurt() {
         let with_w5 = run_single(spec, SchedulerKind::Nuat, &rc(1000));
         let without_w5 = run_single(
             spec,
-            SchedulerKind::NuatWithWeights(NuatWeights { w5: 0.0, ..NuatWeights::default() }),
+            SchedulerKind::NuatWithWeights(NuatWeights {
+                w5: 0.0,
+                ..NuatWeights::default()
+            }),
             &rc(1000),
         );
         with_total += with_w5.avg_read_latency();

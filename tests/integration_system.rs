@@ -8,14 +8,16 @@ use nuat_types::{DramGeometry, SystemConfig};
 use nuat_workloads::{by_name, TraceGenerator};
 
 fn rc(ops: usize) -> RunConfig {
-    RunConfig { mem_ops_per_core: ops, ..RunConfig::quick() }
+    RunConfig {
+        mem_ops_per_core: ops,
+        ..RunConfig::quick()
+    }
 }
 
 #[test]
 fn request_accounting_is_conserved() {
     let spec = by_name("comm2").unwrap();
-    let trace =
-        TraceGenerator::new(spec, DramGeometry::default(), 3).generate(1000);
+    let trace = TraceGenerator::new(spec, DramGeometry::default(), 3).generate(1000);
     let expected_reads = trace.reads();
     let expected_writes = trace.mem_ops() - expected_reads;
     let sys = System::new(
@@ -35,7 +37,11 @@ fn request_accounting_is_conserved() {
 
 #[test]
 fn refresh_rate_matches_the_schedule() {
-    let r = run_single(by_name("black").unwrap(), SchedulerKind::FrFcfsOpen, &rc(2000));
+    let r = run_single(
+        by_name("black").unwrap(),
+        SchedulerKind::FrFcfsOpen,
+        &rc(2000),
+    );
     // One batch per 8 * tREFI = 50,000 cycles.
     let expected = r.mc_cycles / 50_000;
     assert!(
@@ -74,8 +80,16 @@ fn nuat_saves_trcd_cycles_proportionally_to_fast_pb_hits() {
 
 #[test]
 fn energy_accounting_is_positive_and_scales_with_work() {
-    let small = run_single(by_name("swapt").unwrap(), SchedulerKind::FrFcfsOpen, &rc(300));
-    let large = run_single(by_name("swapt").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1500));
+    let small = run_single(
+        by_name("swapt").unwrap(),
+        SchedulerKind::FrFcfsOpen,
+        &rc(300),
+    );
+    let large = run_single(
+        by_name("swapt").unwrap(),
+        SchedulerKind::FrFcfsOpen,
+        &rc(1500),
+    );
     assert!(small.energy_pj > 0.0);
     assert!(large.energy_pj > small.energy_pj);
 }
@@ -94,13 +108,24 @@ fn multicore_shares_bandwidth_fairly_enough() {
     let max = *r.stats.per_core_reads.iter().max().unwrap() as f64;
     let min = *r.stats.per_core_reads.iter().min().unwrap() as f64;
     assert!(min > 0.0);
-    assert!(max / min < 1.5, "same workload on all cores must finish comparably");
+    assert!(
+        max / min < 1.5,
+        "same workload on all cores must finish comparably"
+    );
 }
 
 #[test]
 fn higher_load_increases_latency() {
-    let light = run_single(by_name("black").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1000));
-    let heavy = run_single(by_name("MT-canneal").unwrap(), SchedulerKind::FrFcfsOpen, &rc(1000));
+    let light = run_single(
+        by_name("black").unwrap(),
+        SchedulerKind::FrFcfsOpen,
+        &rc(1000),
+    );
+    let heavy = run_single(
+        by_name("MT-canneal").unwrap(),
+        SchedulerKind::FrFcfsOpen,
+        &rc(1000),
+    );
     assert!(
         heavy.avg_read_latency() > light.avg_read_latency(),
         "a 24-MPKI scattered workload must see higher latency than a 4-MPKI one"

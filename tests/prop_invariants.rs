@@ -8,25 +8,35 @@
 //! and latency floors across randomized workload parameters.
 
 use nuat_circuit::PbGrouping;
-use nuat_core::SchedulerKind;
+use nuat_core::{MemoryController, RequestKind, SchedulerKind};
+use nuat_cpu::MemOp;
 use nuat_sim::System;
-use nuat_types::{DramGeometry, SystemConfig};
+use nuat_types::{DramGeometry, Rank, SystemConfig};
 use nuat_workloads::{Suite, TraceGenerator, WorkloadSpec};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        1.0f64..40.0,      // mpki
-        0.0f64..1.0,       // locality
-        0.3f64..1.0,       // read fraction
-        1usize..16,        // streams
-        1u32..2048,        // footprint rows
-        1u32..24,          // burst len
-        0u32..16,          // gap in burst
+        1.0f64..40.0, // mpki
+        0.0f64..1.0,  // locality
+        0.3f64..1.0,  // read fraction
+        1usize..16,   // streams
+        1u32..2048,   // footprint rows
+        1u32..24,     // burst len
+        0u32..16,     // gap in burst
         proptest::bool::ANY,
     )
         .prop_map(
-            |(mpki, row_locality, read_fraction, streams, footprint_rows, burst_len, gap_in_burst, phased)| {
+            |(
+                mpki,
+                row_locality,
+                read_fraction,
+                streams,
+                footprint_rows,
+                burst_len,
+                gap_in_burst,
+                phased,
+            )| {
                 WorkloadSpec {
                     name: "prop",
                     suite: Suite::Parsec,
@@ -115,5 +125,74 @@ proptest! {
         prop_assert_eq!(r.device.energy.reads, r.stats.cols_read);
         prop_assert_eq!(r.device.energy.writes, r.stats.cols_write);
         prop_assert_eq!(r.device.energy.activates, acts);
+    }
+
+    /// Event-driven busy skipping must be a pure execution-speed
+    /// transform: a controller advanced with `run_for` (bulk skips)
+    /// must end bit-identical to one driven strictly tick-by-tick,
+    /// for arbitrary workloads with power management and refresh
+    /// postponing enabled — the two features whose state machines the
+    /// horizon computation must bracket exactly.
+    #[test]
+    fn busy_skip_equals_tick_by_tick(
+        spec in arb_spec(),
+        seed in 0u64..1000,
+        powerdown in prop_oneof![Just(0u64), 16u64..128],
+        postpone in 0u64..=2,
+    ) {
+        let mut cfg = SystemConfig::with_cores(1);
+        cfg.controller.powerdown_after_idle = powerdown;
+        cfg.controller.refresh_postpone_batches = postpone;
+        let trace = TraceGenerator::new(spec, cfg.dram.geometry, seed).generate(150);
+
+        let mut fast = MemoryController::new(cfg, SchedulerKind::Nuat);
+        let mut slow = MemoryController::new(cfg, SchedulerKind::Nuat);
+        // The reference runs the legacy per-tick loop: with skipping
+        // disabled no busy horizon is ever computed, so every cycle
+        // executes the full decision pipeline.
+        slow.set_cycle_skip(false);
+
+        // Replay the trace into both controllers at identical cycles,
+        // bulk-advancing the fast one and single-stepping the slow one
+        // between arrivals.
+        let advance = |fast: &mut MemoryController, slow: &mut MemoryController, dt: u64| {
+            fast.run_for(dt);
+            for _ in 0..dt {
+                slow.tick();
+            }
+        };
+        for rec in trace.records() {
+            advance(&mut fast, &mut slow, rec.gap as u64 / 4 + 1);
+            let kind = match rec.op {
+                MemOp::Read => RequestKind::Read,
+                MemOp::Write => RequestKind::Write,
+            };
+            // Acceptance must agree (identical state); skip the record
+            // in both when a queue is full so they stay in lockstep.
+            prop_assert_eq!(fast.can_accept(kind), slow.can_accept(kind));
+            if fast.can_accept(kind) {
+                fast.enqueue(0, kind, rec.addr);
+                slow.enqueue(0, kind, rec.addr);
+            }
+        }
+        // Drain, then idle across two refresh-batch intervals and the
+        // power-down threshold so every horizon source is exercised.
+        advance(&mut fast, &mut slow, 120_000);
+
+        prop_assert_eq!(fast.now(), slow.now());
+        prop_assert_eq!(fast.stats(), slow.stats());
+        prop_assert_eq!(fast.device().stats(), slow.device().stats());
+        prop_assert_eq!(
+            fast.device().total_powerdown_cycles(),
+            slow.device().total_powerdown_cycles()
+        );
+        prop_assert_eq!(
+            fast.refresh_engine(Rank::new(0)).batches_done(),
+            slow.refresh_engine(Rank::new(0)).batches_done()
+        );
+        // The transform actually engaged — this is a skip test, not a
+        // vacuous equality of two per-tick runs.
+        prop_assert!(fast.cycles_skipped() > 0);
+        prop_assert_eq!(slow.cycles_skipped(), 0);
     }
 }

@@ -104,7 +104,11 @@ fn phys_addr_roundtrip_sanity() {
         row: nuat_types::Row::new(4096),
         col: nuat_types::Col::new(17),
     };
-    let addr: PhysAddr =
-        g.encode(decoded, nuat_types::AddressMapping::OpenPageBaseline).unwrap();
-    assert_eq!(g.decode(addr, nuat_types::AddressMapping::OpenPageBaseline), decoded);
+    let addr: PhysAddr = g
+        .encode(decoded, nuat_types::AddressMapping::OpenPageBaseline)
+        .unwrap();
+    assert_eq!(
+        g.decode(addr, nuat_types::AddressMapping::OpenPageBaseline),
+        decoded
+    );
 }

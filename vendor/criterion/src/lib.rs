@@ -149,7 +149,10 @@ where
     F: FnMut(&mut Bencher),
 {
     // Warm-up: estimate the per-iteration cost with a single call.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let budget_per_sample = MEASURE_BUDGET / sample_size as u32;
@@ -157,7 +160,10 @@ where
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }

@@ -33,7 +33,10 @@ pub mod test_runner {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(256);
-            ProptestConfig { cases, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 0,
+            }
         }
     }
 
