@@ -115,8 +115,9 @@ criterion_group!(
 /// with trace generation and system construction outside the timed
 /// region. `skip` selects between the event-driven busy-period loop
 /// (the default execution mode) and the legacy strictly-per-tick loop.
-/// Returns the simulated cycle count and wall-clock seconds.
-fn one_run(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, f64) {
+/// Returns the simulated cycle count, the cycles crossed in bulk by the
+/// skip machinery, and wall-clock seconds.
+fn one_run(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, u64, f64) {
     let trace = TraceGenerator::new(by_name("comm3").unwrap(), DramGeometry::default(), 7)
         .generate(mem_ops);
     let mut sys = System::new(
@@ -132,24 +133,26 @@ fn one_run(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, f64) {
     }
     let t0 = std::time::Instant::now();
     let r = sys.run(200_000_000);
-    (r.mc_cycles, t0.elapsed().as_secs_f64())
+    (r.mc_cycles, r.cycles_skipped, t0.elapsed().as_secs_f64())
 }
 
 /// Measures `kind`: one untimed warm-up run (page cache, branch
 /// predictors, allocator pools), then the median wall time of three
 /// timed runs. Median rather than best: robust to a stray descheduling
 /// without rewarding a lucky outlier.
-fn measure_end_to_end(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, f64) {
+fn measure_end_to_end(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, u64, f64) {
     let _ = one_run(kind, mem_ops, skip);
     let mut runs = [0.0f64; 3];
     let mut cycles = 0u64;
+    let mut skipped = 0u64;
     for slot in &mut runs {
-        let (c, dt) = one_run(kind, mem_ops, skip);
+        let (c, s, dt) = one_run(kind, mem_ops, skip);
         cycles = c;
+        skipped = s;
         *slot = dt;
     }
     runs.sort_by(|a, b| a.total_cmp(b));
-    (cycles, runs[1])
+    (cycles, skipped, runs[1])
 }
 
 /// Emits `BENCH_scheduler.json` at the workspace root: simulated
@@ -168,21 +171,23 @@ fn emit_machine_readable() {
     ] {
         for skip in [true, false] {
             let mode = if skip { "skip" } else { "no_skip" };
-            let (cycles, secs) = measure_end_to_end(kind, MEM_OPS, skip);
+            let (cycles, skipped, secs) = measure_end_to_end(kind, MEM_OPS, skip);
             let rate = cycles as f64 / secs;
             println!(
-                "{:<16} {:<8} {:>10} simulated cycles in {:.4}s = {:>12.0} cycles/sec",
+                "{:<16} {:<8} {:>10} simulated cycles ({:>10} skipped) in {:.4}s = {:>12.0} cycles/sec",
                 kind.name(),
                 mode,
                 cycles,
+                skipped,
                 secs,
                 rate
             );
             entries.push(format!(
-                "    {{\"scheduler\": \"{}\", \"mode\": \"{}\", \"mc_cycles\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles_per_sec\": {:.0}}}",
+                "    {{\"scheduler\": \"{}\", \"mode\": \"{}\", \"mc_cycles\": {}, \"skipped_cycles\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles_per_sec\": {:.0}}}",
                 kind.name(),
                 mode,
                 cycles,
+                skipped,
                 secs,
                 rate
             ));

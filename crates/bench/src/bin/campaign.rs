@@ -2,8 +2,14 @@
 //! (plus the extension studies) into `results/`, text and CSV.
 //!
 //! ```sh
-//! cargo run --release -p nuat-bench --bin campaign [--quick] [--out DIR]
+//! cargo run --release -p nuat-bench --bin campaign [--quick] [--out DIR] \
+//!     [--sample-interval N]
 //! ```
+//!
+//! With `--sample-interval N`, an instrumented NUAT run on comm3 is
+//! added, writing its epoch time-series (one sample every N memory
+//! cycles) to `nuat_comm3_timeseries.csv` — see the `trace_study` bin
+//! for the full trace-artifact stack.
 
 use nuat_bench::{quick_requested, run_config_from_args};
 use nuat_circuit::{BinningProcess, DeviceSample, EccSupport, Fig9Report, PbGrouping};
@@ -24,6 +30,14 @@ fn out_dir() -> PathBuf {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results".to_string());
     PathBuf::from(dir)
+}
+
+fn sample_interval() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--sample-interval")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
 }
 
 fn main() -> std::io::Result<()> {
@@ -96,6 +110,25 @@ fn main() -> std::io::Result<()> {
         fig23.push_str("\n\n");
     }
     write("fig23_binning.txt", fig23)?;
+
+    if let Some(interval) = sample_interval() {
+        eprintln!("[extra] instrumented NUAT run on comm3 (epoch every {interval} cycles)");
+        let (result, mut sinks) = nuat_sim::run_mix_traced(
+            &[nuat_workloads::by_name("comm3").expect("comm3 exists")],
+            nuat_core::SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            &rc,
+            vec![nuat_obs::CsvTimeSeries::new(Vec::new())],
+            Some(interval),
+        );
+        let csv = sinks.remove(0);
+        let last = csv.last().expect("final sample always written");
+        assert_eq!(last.reads_completed, result.stats.reads_completed);
+        write(
+            "nuat_comm3_timeseries.csv",
+            String::from_utf8(csv.into_inner()).expect("CSV is ASCII"),
+        )?;
+    }
 
     eprintln!("[6/6] done — see {}", dir.display());
     Ok(())

@@ -1,0 +1,145 @@
+//! Observability study: runs one workload under one scheduler with the
+//! full instrumentation stack attached and writes three artifacts:
+//!
+//! * `trace.json` — Chrome `trace_event` JSON; open in Perfetto
+//!   (<https://ui.perfetto.dev>) or `about:tracing` to see banks as
+//!   tracks, commands as slices, and queue pressure as counters.
+//! * `events.jsonl` — the raw structured event stream, one JSON object
+//!   per line (enqueues, commands, completions, power, quiet spans).
+//! * `timeseries.csv` — the epoch-sampled time series (cumulative
+//!   counters plus per-window hit rate / skip fraction).
+//!
+//! Before exiting the study cross-checks the final epoch sample against
+//! the end-of-run controller and device statistics — the exported time
+//! series and the simulator's own accounting must agree exactly.
+//!
+//! ```sh
+//! cargo run --release -p nuat-bench --bin trace_study -- \
+//!     [--quick] [--workload comm3] [--scheduler nuat] \
+//!     [--sample-interval 10000] [--out results/trace]
+//! ```
+
+use nuat_bench::run_config_from_args;
+use nuat_core::SchedulerKind;
+use nuat_obs::{ChromeTraceConfig, ChromeTraceSink, CsvTimeSeries, JsonlSink, Tee};
+use nuat_sim::run_mix_traced;
+use nuat_types::SystemConfig;
+use nuat_workloads::by_name;
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn scheduler_from_args() -> SchedulerKind {
+    match arg_value("--scheduler").as_deref() {
+        None | Some("nuat") => SchedulerKind::Nuat,
+        Some("fcfs") => SchedulerKind::Fcfs,
+        Some("frfcfs-open") => SchedulerKind::FrFcfsOpen,
+        Some("frfcfs-close") => SchedulerKind::FrFcfsClose,
+        Some(other) => {
+            eprintln!("unknown scheduler {other:?} (nuat|fcfs|frfcfs-open|frfcfs-close)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let rc = run_config_from_args();
+    let workload = arg_value("--workload").unwrap_or_else(|| "comm3".to_string());
+    let spec = by_name(&workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload:?}");
+        std::process::exit(2);
+    });
+    let scheduler = scheduler_from_args();
+    let interval: u64 = arg_value("--sample-interval")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let dir = PathBuf::from(arg_value("--out").unwrap_or_else(|| "results/trace".to_string()));
+    fs::create_dir_all(&dir)?;
+
+    let cfg = SystemConfig::with_cores(1);
+    let chrome_cfg = ChromeTraceConfig {
+        ranks: cfg.dram.geometry.ranks_per_channel as u32,
+        banks_per_rank: cfg.dram.geometry.banks_per_rank as u32,
+        trp: cfg.dram.timings.trp,
+        trfc: cfg.dram.timings.trfc,
+        burst: cfg.dram.timings.bl / 2,
+    };
+    let chrome_path = dir.join("trace.json");
+    let jsonl_path = dir.join("events.jsonl");
+    let csv_path = dir.join("timeseries.csv");
+    let sink = Tee(
+        JsonlSink::new(BufWriter::new(File::create(&jsonl_path)?)),
+        Tee(
+            ChromeTraceSink::new(BufWriter::new(File::create(&chrome_path)?), chrome_cfg),
+            CsvTimeSeries::new(BufWriter::new(File::create(&csv_path)?)),
+        ),
+    );
+
+    eprintln!(
+        "tracing {workload} under {scheduler:?}: {} mem ops, epoch every {interval} cycles",
+        rc.mem_ops_per_core
+    );
+    let (result, mut sinks) = run_mix_traced(
+        &[spec],
+        scheduler,
+        nuat_circuit::PbGrouping::paper(5),
+        &rc,
+        vec![sink],
+        Some(interval),
+    );
+    let Tee(_jsonl, Tee(_chrome, csv)) = sinks.remove(0);
+
+    // The exported time series must agree exactly with the simulator's
+    // own end-of-run accounting.
+    let last = csv
+        .last()
+        .expect("at least the final epoch sample is always written");
+    assert_eq!(last.cycle, result.mc_cycles, "final sample cycle");
+    assert_eq!(last.reads_completed, result.stats.reads_completed);
+    assert_eq!(last.writes_drained, result.stats.writes_drained);
+    assert_eq!(last.precharges, result.stats.precharges);
+    assert_eq!(last.refreshes, result.stats.refreshes);
+    assert_eq!(last.busy_cycles, result.stats.busy_cycles);
+    assert_eq!(last.cycles_skipped, result.cycles_skipped);
+    assert_eq!(last.reduced_activates, result.device.reduced_activates);
+    assert_eq!(last.trcd_cycles_saved, result.device.trcd_cycles_saved);
+    assert_eq!(last.bank_active_cycles, result.device.bank_active_cycles);
+    assert_eq!(
+        last.pb_acts.iter().sum::<u64>(),
+        result.stats.pb_act_histogram.iter().sum::<u64>()
+    );
+
+    // Cheap well-formedness check on the Chrome JSON.
+    let chrome_text = fs::read_to_string(&chrome_path)?;
+    assert!(chrome_text.starts_with("{\"traceEvents\":["));
+    assert!(chrome_text.trim_end().ends_with("]}"));
+    assert_eq!(
+        chrome_text.matches('{').count(),
+        chrome_text.matches('}').count(),
+        "unbalanced braces in Chrome trace"
+    );
+
+    println!(
+        "completed: {} reads, {} writes in {} mc cycles ({} skipped)",
+        result.stats.reads_completed,
+        result.stats.writes_drained,
+        result.mc_cycles,
+        result.cycles_skipped
+    );
+    println!("final-epoch counters verified against end-of-run statistics");
+    for p in [&chrome_path, &jsonl_path, &csv_path] {
+        println!("  -> {} ({} bytes)", p.display(), fs::metadata(p)?.len());
+    }
+    println!(
+        "open {} at https://ui.perfetto.dev to explore the trace",
+        chrome_path.display()
+    );
+    Ok(())
+}

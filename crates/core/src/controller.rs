@@ -27,6 +27,7 @@ use crate::scheduler::{PolicyView, SchedulerKind, SchedulerPolicy};
 use crate::stats::ControllerStats;
 use nuat_circuit::PbGrouping;
 use nuat_dram::{BankState, DramCommand, DramDevice, RefreshEngine};
+use nuat_obs::{EpochCadence, EpochSample, NullSink, TraceEvent, TraceSink};
 use nuat_types::{Bank, McCycle, PhysAddr, Rank, Row, SystemConfig};
 
 /// A read request whose data has returned.
@@ -83,8 +84,16 @@ struct TickScratch {
 }
 
 /// One channel's memory controller. See the module docs.
+///
+/// The controller is generic over a [`TraceSink`] receiving structured
+/// instrumentation events; the default [`NullSink`] compiles every
+/// emission site out (static dispatch on a zero-sized type whose
+/// `ENABLED` flag is `false`), so an uninstrumented controller is
+/// bit-identical — in behaviour *and* speed — to one with no
+/// instrumentation at all. Sinks observe and never influence the
+/// simulation.
 #[derive(Debug)]
-pub struct MemoryController {
+pub struct MemoryController<S: TraceSink = NullSink> {
     cfg: SystemConfig,
     device: DramDevice,
     queues: RequestQueues,
@@ -114,6 +123,17 @@ pub struct MemoryController {
     /// (diagnostic; deliberately not part of `ControllerStats`, which
     /// must stay bit-identical between skipping and per-tick modes).
     cycles_skipped: u64,
+    /// The instrumentation sink. [`NullSink`] by default; see the type
+    /// docs.
+    sink: S,
+    /// Quiet-span coalescer `(from, cycles, busy)`: consecutive skipped
+    /// cycles of the same kind merge into one [`TraceEvent::QuietSpan`],
+    /// flushed when a real tick (or any stamped event) interrupts the
+    /// span. Always `None` under [`NullSink`].
+    quiet_acc: Option<(u64, u64, bool)>,
+    /// Epoch time-series cadence, when sampling is enabled (see
+    /// [`set_sample_interval`](Self::set_sample_interval)).
+    sampler: Option<EpochCadence>,
 }
 
 impl MemoryController {
@@ -131,7 +151,7 @@ impl MemoryController {
     pub fn with_grouping(cfg: SystemConfig, kind: SchedulerKind, grouping: PbGrouping) -> Self {
         let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         let policy = kind.build(&pbr, &cfg.dram.timings);
-        Self::from_parts(cfg, policy, pbr)
+        Self::from_parts(cfg, policy, pbr, NullSink)
     }
 
     /// Builds a controller around a caller-supplied scheduling policy.
@@ -149,7 +169,29 @@ impl MemoryController {
         grouping: PbGrouping,
     ) -> Self {
         let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
-        Self::from_parts(cfg, policy, pbr)
+        Self::from_parts(cfg, policy, pbr, NullSink)
+    }
+}
+
+impl<S: TraceSink> MemoryController<S> {
+    /// Builds an instrumented controller: like
+    /// [`with_grouping`](MemoryController::with_grouping), but every
+    /// structured event (and epoch sample, once
+    /// [`set_sample_interval`](Self::set_sample_interval) is called)
+    /// flows into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_sink(
+        cfg: SystemConfig,
+        kind: SchedulerKind,
+        grouping: PbGrouping,
+        sink: S,
+    ) -> Self {
+        let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
+        let policy = kind.build(&pbr, &cfg.dram.timings);
+        Self::from_parts(cfg, policy, pbr, sink)
     }
 
     /// Shared constructor tail: both public builders used to construct
@@ -159,6 +201,7 @@ impl MemoryController {
         cfg: SystemConfig,
         mut policy: Box<dyn SchedulerPolicy>,
         mut pbr: PbrAcquisition,
+        sink: S,
     ) -> Self {
         cfg.validate().expect("invalid system config");
         let mut device = DramDevice::new(cfg.dram);
@@ -193,7 +236,128 @@ impl MemoryController {
             skip_enabled,
             busy_horizon: None,
             cycles_skipped: 0,
+            sink,
+            quiet_acc: None,
+            sampler: None,
             cfg,
+        }
+    }
+
+    /// Enables epoch time-series sampling: every `interval` memory
+    /// cycles a cumulative-counter snapshot ([`EpochSample`]) is pushed
+    /// to the sink, including boundaries crossed inside bulk-skipped
+    /// spans (whose state is constant, so the samples are exact).
+    ///
+    /// Sampling is tied to the sink: under [`NullSink`] (or any sink
+    /// with `ENABLED == false`) the cadence is never polled, so the
+    /// default controller pays nothing for this machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn set_sample_interval(&mut self, interval: u64) {
+        self.sampler = Some(EpochCadence::new(interval));
+    }
+
+    /// The instrumentation sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Flushes pending instrumentation (the open quiet span and, when
+    /// sampling is on, one final off-boundary epoch sample at the
+    /// current cycle) and calls the sink's `finish`. Idempotent in
+    /// effect only if no further cycles run afterwards.
+    pub fn finish_trace(&mut self) {
+        self.flush_quiet();
+        if let Some(c) = self.sampler {
+            let (epoch, cycle) = c.final_point(self.now.raw());
+            // Skip the extra sample when the run ended exactly on the
+            // last sampled boundary.
+            if epoch == 0 || cycle + c.interval() != c.next_boundary() {
+                let s = self.build_sample(epoch, cycle);
+                self.sink.on_epoch(&s);
+            }
+        }
+        self.sink.finish();
+    }
+
+    /// Finishes the trace (see [`finish_trace`](Self::finish_trace)) and
+    /// returns the sink, consuming the controller.
+    pub fn into_sink(mut self) -> S {
+        self.finish_trace();
+        self.sink
+    }
+
+    /// Emits the quiet span accumulated so far, if any.
+    fn flush_quiet(&mut self) {
+        if S::ENABLED {
+            if let Some((from, cycles, busy)) = self.quiet_acc.take() {
+                self.sink
+                    .on_event(&TraceEvent::QuietSpan { from, cycles, busy });
+            }
+        }
+    }
+
+    /// Extends the current quiet span by `n` cycles starting at `from`,
+    /// flushing first when the kind changes or the span is not
+    /// contiguous.
+    fn note_quiet(&mut self, from: u64, n: u64, busy: bool) {
+        if S::ENABLED {
+            match &mut self.quiet_acc {
+                Some((f, c, b)) if *b == busy && *f + *c == from => *c += n,
+                _ => {
+                    self.flush_quiet();
+                    self.quiet_acc = Some((from, n, busy));
+                }
+            }
+        }
+    }
+
+    /// Pushes a sample for every epoch boundary at or before `now`.
+    /// Called after every clock advance; a bulk advance crossing several
+    /// boundaries yields one (exact) sample per boundary, because a
+    /// provably-quiet span's state is constant.
+    fn sample_epochs(&mut self) {
+        if self.sampler.is_none() {
+            return;
+        }
+        let now = self.now.raw();
+        while let Some((epoch, cycle)) = self.sampler.as_mut().expect("checked above").pop_due(now)
+        {
+            let s = self.build_sample(epoch, cycle);
+            self.sink.on_epoch(&s);
+        }
+    }
+
+    /// Snapshots the epoch sample for boundary `cycle`. Counter fields
+    /// are cumulative (the final sample equals end-of-run statistics);
+    /// queue and bank fields are instantaneous.
+    fn build_sample(&self, epoch: u64, cycle: u64) -> EpochSample {
+        let (read_queue, write_queue) = self.queues.occupancy();
+        let d = self.device.stats();
+        EpochSample {
+            epoch,
+            cycle,
+            read_queue: read_queue as u32,
+            write_queue: write_queue as u32,
+            active_banks: self.device.open_bank_count(),
+            bank_active_cycles: d.bank_active_cycles,
+            reads_completed: self.stats.reads_completed,
+            writes_drained: self.stats.writes_drained,
+            total_read_latency: self.stats.total_read_latency,
+            acts_for_reads: self.stats.acts_for_reads,
+            acts_for_writes: self.stats.acts_for_writes,
+            cols_read: self.stats.cols_read,
+            cols_write: self.stats.cols_write,
+            precharges: self.stats.precharges,
+            refreshes: self.stats.refreshes,
+            busy_cycles: self.stats.busy_cycles,
+            cycles_skipped: self.cycles_skipped,
+            reduced_activates: d.reduced_activates,
+            trcd_cycles_saved: d.trcd_cycles_saved,
+            tras_cycles_saved: d.tras_cycles_saved,
+            pb_acts: self.stats.pb_act_histogram.clone(),
         }
     }
 
@@ -312,6 +476,17 @@ impl MemoryController {
         // postponable-refresh decision), so any cached quiet span ends
         // here.
         self.busy_horizon = None;
+        if S::ENABLED {
+            self.flush_quiet();
+            self.sink.on_event(&TraceEvent::Enqueue {
+                at: self.now.raw(),
+                core: core as u32,
+                is_write: kind == RequestKind::Write,
+                rank: addr.rank.raw(),
+                bank: addr.bank.raw(),
+                row: addr.row.raw(),
+            });
+        }
         self.queues.push(MemoryRequest {
             id: RequestId(0), // assigned by the queue
             core,
@@ -358,8 +533,16 @@ impl MemoryController {
         // they can be filled while the controller's own fields are
         // borrowed. `tick_inner`'s early returns all funnel back here,
         // so the buffers (and their capacity) always come home.
+        if S::ENABLED {
+            // A real tick ends any coalesced quiet span, keeping the
+            // event stream in near-chronological order.
+            self.flush_quiet();
+        }
         let mut scratch = std::mem::take(&mut self.scratch);
         let acted = self.tick_inner(&mut scratch);
+        if S::ENABLED {
+            self.sample_epochs();
+        }
         // A tick that issued nothing is the start of a dead span: pay
         // for one horizon computation now so the span's remaining
         // cycles cost O(1) each (or one bulk advance under `run_for`).
@@ -501,6 +684,10 @@ impl MemoryController {
                         self.device.issue(cmd, self.now).expect("checked");
                         self.stats.precharges += 1;
                         self.stats.busy_cycles += 1;
+                        if S::ENABLED {
+                            self.sink
+                                .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
+                        }
                         return true;
                     }
                 }
@@ -510,6 +697,10 @@ impl MemoryController {
                     self.device.issue(cmd, self.now).expect("checked");
                     self.stats.refreshes += 1;
                     self.stats.busy_cycles += 1;
+                    if S::ENABLED {
+                        self.sink
+                            .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
+                    }
                     return true;
                 }
             }
@@ -533,8 +724,13 @@ impl MemoryController {
                 }
             }
         }
+        let from = self.now.raw();
         self.now += n;
         self.cycles_skipped += n;
+        if S::ENABLED {
+            self.note_quiet(from, n, true);
+            self.sample_epochs();
+        }
     }
 
     /// Earliest cycle `h >= now` at which a full tick could do anything
@@ -711,7 +907,12 @@ impl MemoryController {
                 }
             }
         }
+        let from = self.now.raw();
         self.now += n;
+        if S::ENABLED {
+            self.note_quiet(from, n, false);
+            self.sample_epochs();
+        }
         n
     }
 
@@ -931,6 +1132,11 @@ impl MemoryController {
             .unwrap_or_else(|e| panic!("scheduler issued illegal command {}: {e}", cand.command));
         self.stats.busy_cycles += 1;
         self.policy.observe_issue(&cand);
+        if S::ENABLED {
+            self.sink.on_event(&TraceEvent::Command(
+                cand.command.to_event(self.now, Some(cand.pb.raw())),
+            ));
+        }
         match cand.kind {
             CandidateKind::Activate => {
                 match cand.request.kind {
@@ -950,6 +1156,13 @@ impl MemoryController {
                         self.stats.record_read(cand.request.core, latency);
                         self.stats.per_pb_reads[cand.pb.index()] += 1;
                         self.stats.per_pb_read_latency[cand.pb.index()] += latency;
+                        if S::ENABLED {
+                            self.sink.on_event(&TraceEvent::ReadComplete {
+                                at: done.raw(),
+                                core: cand.request.core as u32,
+                                latency,
+                            });
+                        }
                         self.completions.push(Completion {
                             request: cand.request,
                             done,
@@ -986,6 +1199,13 @@ impl MemoryController {
                 if has_work || refresh_soon {
                     self.device.power_up(rank, self.now);
                     self.rank_idle_cycles[r] = 0;
+                    if S::ENABLED {
+                        self.sink.on_event(&TraceEvent::PowerState {
+                            at: self.now.raw(),
+                            rank: rank.raw(),
+                            powered_down: false,
+                        });
+                    }
                 }
                 continue;
             }
@@ -999,6 +1219,13 @@ impl MemoryController {
             }
             if self.device.all_banks_idle(rank) {
                 self.device.power_down(rank, self.now);
+                if S::ENABLED {
+                    self.sink.on_event(&TraceEvent::PowerState {
+                        at: self.now.raw(),
+                        rank: rank.raw(),
+                        powered_down: true,
+                    });
+                }
                 continue;
             }
             // Close one parked row per cycle until the rank can sleep.
@@ -1011,6 +1238,10 @@ impl MemoryController {
                     self.device.issue(cmd, self.now).expect("checked");
                     self.stats.precharges += 1;
                     self.stats.busy_cycles += 1;
+                    if S::ENABLED {
+                        self.sink
+                            .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
+                    }
                     return true;
                 }
             }
@@ -1233,5 +1464,135 @@ mod tests {
         assert!(!mc.is_idle());
         mc.run_for(100);
         assert!(mc.is_idle());
+    }
+
+    #[test]
+    fn sink_receives_the_full_event_stream() {
+        use nuat_obs::MemorySink;
+        let mut mc = MemoryController::with_sink(
+            SystemConfig::default(),
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            MemorySink::default(),
+        );
+        mc.enqueue(0, RequestKind::Read, addr_for(100, 0, 0));
+        mc.enqueue(1, RequestKind::Read, addr_for(200, 0, 0));
+        mc.run_for(400);
+        mc.finish_trace();
+        let sink = mc.sink();
+        assert!(sink.finished);
+        let count = |pred: &dyn Fn(&TraceEvent) -> bool| {
+            sink.events.iter().filter(|e| pred(e)).count() as u64
+        };
+        assert_eq!(count(&|e| matches!(e, TraceEvent::Enqueue { .. })), 2);
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::ReadComplete { .. })),
+            mc.stats().reads_completed
+        );
+        // Commands: one event per issued command, classes matching the
+        // controller's counters.
+        use nuat_obs::{CommandClass, CommandEvent};
+        let class = |c: CommandClass| {
+            count(&|e| matches!(e, TraceEvent::Command(CommandEvent { class, .. }) if *class == c))
+        };
+        assert_eq!(
+            class(CommandClass::Activate),
+            mc.stats().acts_for_reads + mc.stats().acts_for_writes
+        );
+        assert_eq!(class(CommandClass::Read), mc.stats().cols_read);
+        assert_eq!(class(CommandClass::Precharge), mc.stats().precharges);
+        // Scheduler-issued ACTs carry their PB group and charge-derived
+        // timing promise.
+        let act = sink
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Command(c) if c.class == CommandClass::Activate => Some(c),
+                _ => None,
+            })
+            .expect("an ACT was issued");
+        assert!(act.pb.is_some());
+        assert!(act.trcd.is_some() && act.tras.is_some());
+        // Quiet spans are coalesced and cover exactly the skipped cycles.
+        let quiet: u64 = sink
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::QuietSpan {
+                    cycles, busy: true, ..
+                } => *cycles,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(quiet, mc.cycles_skipped());
+    }
+
+    #[test]
+    fn epoch_sampling_is_exact_across_skipped_spans() {
+        use nuat_obs::MemorySink;
+        let mut mc = MemoryController::with_sink(
+            SystemConfig::default(),
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            MemorySink::default(),
+        );
+        mc.set_sample_interval(1000);
+        for i in 0..16 {
+            mc.enqueue(0, RequestKind::Read, addr_for(100 + i, i % 8, 0));
+        }
+        // Spans both busy scheduling and long skipped idle stretches.
+        mc.run_for(10_500);
+        mc.finish_trace();
+        let epochs = &mc.sink().epochs;
+        // Boundaries at 1000..=10000, plus the final off-boundary sample
+        // at 10500.
+        assert_eq!(epochs.len(), 11);
+        for (i, e) in epochs.iter().take(10).enumerate() {
+            assert_eq!(e.epoch, i as u64);
+            assert_eq!(e.cycle, (i as u64 + 1) * 1000);
+        }
+        let last = epochs.last().unwrap();
+        assert_eq!(last.cycle, 10_500);
+        // Cumulative counters in the final sample equal end-of-run stats.
+        assert_eq!(last.reads_completed, mc.stats().reads_completed);
+        assert_eq!(last.busy_cycles, mc.stats().busy_cycles);
+        assert_eq!(last.cycles_skipped, mc.cycles_skipped());
+        assert_eq!(last.refreshes, mc.stats().refreshes);
+        assert_eq!(
+            last.pb_acts.iter().sum::<u64>(),
+            mc.stats().pb_act_histogram.iter().sum::<u64>()
+        );
+        // Samples are monotone in cycle and counters.
+        for w in epochs.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].reads_completed >= w[0].reads_completed);
+            assert!(w[1].cycles_skipped >= w[0].cycles_skipped);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_matches_null_sink_run_exactly() {
+        use nuat_obs::MemorySink;
+        let mut plain = controller(SchedulerKind::Nuat);
+        let mut traced = MemoryController::with_sink(
+            SystemConfig::default(),
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            MemorySink::default(),
+        );
+        traced.set_sample_interval(500);
+        for _ in 0..2 {
+            for i in 0..12 {
+                let a = addr_for(50 + i, i % 8, 0);
+                plain.enqueue(0, RequestKind::Read, a);
+                traced.enqueue(0, RequestKind::Read, a);
+            }
+            plain.run_for(3000);
+            traced.run_for(3000);
+        }
+        assert_eq!(plain.stats(), traced.stats());
+        assert_eq!(plain.device().stats(), traced.device().stats());
+        assert_eq!(plain.now(), traced.now());
+        assert_eq!(plain.cycles_skipped(), traced.cycles_skipped());
     }
 }

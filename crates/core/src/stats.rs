@@ -59,6 +59,40 @@ impl LatencyHistogram {
         }
     }
 
+    /// Approximate `p`-quantile (`0.0 <= p <= 1.0`) of the recorded
+    /// samples, by linear interpolation between the owning bucket's
+    /// lower and upper bounds (the resolution limit of a bucketed
+    /// histogram). Samples landing in the unbounded final bucket report
+    /// its lower edge. Returns `None` while the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = p * total as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 || ((below + c) as f64) < target {
+                below += c;
+                continue;
+            }
+            let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+            let Some(&upper) = self.bounds.get(i) else {
+                // Open-ended tail bucket: no upper bound to interpolate
+                // toward.
+                return Some(lower as f64);
+            };
+            let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+            return Some(lower as f64 + frac * (upper - lower) as f64);
+        }
+        Some(*self.bounds.last().expect("validated nonempty") as f64)
+    }
+
     /// `(upper_bound, count)` pairs; the final pair has `u64::MAX`.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.bounds
@@ -343,6 +377,38 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn histogram_rejects_unsorted_bounds() {
         LatencyHistogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = LatencyHistogram::new(vec![10, 20, 30]);
+        assert_eq!(h.percentile(0.5), None);
+        // 4 samples in (10, 20], none elsewhere: quantiles interpolate
+        // across that bucket's [10, 20] span.
+        for _ in 0..4 {
+            h.record(15);
+        }
+        assert_eq!(h.percentile(0.0), Some(10.0));
+        assert_eq!(h.percentile(0.5), Some(15.0));
+        assert_eq!(h.percentile(1.0), Some(20.0));
+        // A tail sample reports the open bucket's lower edge.
+        h.record(1_000_000);
+        assert_eq!(h.percentile(1.0), Some(30.0));
+        // Merged histograms answer like the union of their samples.
+        let mut other = LatencyHistogram::new(vec![10, 20, 30]);
+        for _ in 0..5 {
+            other.record(5);
+        }
+        other.merge(&h);
+        assert_eq!(other.total(), 10);
+        assert_eq!(other.percentile(0.25), Some(5.0));
+        assert!(other.percentile(0.7).unwrap() > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn percentile_rejects_out_of_range_p() {
+        LatencyHistogram::default().percentile(1.5);
     }
 
     #[test]

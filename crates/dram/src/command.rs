@@ -1,6 +1,7 @@
 //! DDR3 command set as issued by the memory controller.
 
-use nuat_types::{Bank, Col, DramTimings, Rank, Row, RowTimings};
+use nuat_obs::{CommandClass, CommandEvent};
+use nuat_types::{Bank, Col, DramTimings, McCycle, Rank, Row, RowTimings};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -109,6 +110,62 @@ impl DramCommand {
             DramCommand::Refresh { .. } => "REF",
         }
     }
+
+    /// Translates this command into the crate-agnostic trace record
+    /// consumed by `nuat-obs` sinks. `pb` is the PB group of the target
+    /// row at issue time, when the issuing site knows it.
+    pub fn to_event(&self, at: McCycle, pb: Option<u8>) -> CommandEvent {
+        let at = at.raw();
+        let mut ev = match *self {
+            DramCommand::Activate {
+                rank,
+                bank,
+                row,
+                timings,
+            } => {
+                let mut e = CommandEvent::bare(at, CommandClass::Activate, rank.raw());
+                e.bank = Some(bank.raw());
+                e.row = Some(row.raw());
+                e.trcd = Some(timings.trcd);
+                e.tras = Some(timings.tras);
+                e
+            }
+            DramCommand::Read {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                let mut e = CommandEvent::bare(at, CommandClass::Read, rank.raw());
+                e.bank = Some(bank.raw());
+                e.col = Some(col.raw());
+                e.auto_precharge = auto_precharge;
+                e
+            }
+            DramCommand::Write {
+                rank,
+                bank,
+                col,
+                auto_precharge,
+            } => {
+                let mut e = CommandEvent::bare(at, CommandClass::Write, rank.raw());
+                e.bank = Some(bank.raw());
+                e.col = Some(col.raw());
+                e.auto_precharge = auto_precharge;
+                e
+            }
+            DramCommand::Precharge { rank, bank } => {
+                let mut e = CommandEvent::bare(at, CommandClass::Precharge, rank.raw());
+                e.bank = Some(bank.raw());
+                e
+            }
+            DramCommand::Refresh { rank } => {
+                CommandEvent::bare(at, CommandClass::Refresh, rank.raw())
+            }
+        };
+        ev.pb = pb;
+        ev
+    }
 }
 
 impl fmt::Display for DramCommand {
@@ -206,6 +263,23 @@ mod tests {
         assert!(all[1].is_column());
         assert!(all[2].is_column());
         assert!(!all[0].is_column());
+    }
+
+    #[test]
+    fn trace_events_mirror_commands() {
+        let all = cmds();
+        for c in &all {
+            let e = c.to_event(McCycle::new(9), Some(2));
+            assert_eq!(e.at, 9);
+            assert_eq!(e.class.mnemonic(), c.mnemonic());
+            assert_eq!(e.rank, 0);
+            assert_eq!(e.bank, c.bank().map(|b| b.raw()));
+            assert_eq!(e.pb, Some(2));
+        }
+        // ACT carries its promised timings; WRA its auto-precharge flag.
+        let e = all[0].to_event(McCycle::ZERO, None);
+        assert_eq!((e.trcd, e.tras), (Some(12), Some(30)));
+        assert!(all[2].to_event(McCycle::ZERO, None).auto_precharge);
     }
 
     #[test]

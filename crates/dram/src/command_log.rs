@@ -8,17 +8,28 @@
 
 use crate::command::DramCommand;
 use crate::reference::ReferenceChecker;
+use nuat_obs::{TraceEvent, TraceSink};
 use nuat_types::{DramTimings, McCycle};
+use serde::Serialize;
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
 
 /// One logged command.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct LogEntry {
     /// Issue cycle.
     pub at: McCycle,
     /// The command.
     pub cmd: DramCommand,
+}
+
+impl LogEntry {
+    /// The entry as a structured trace event (see
+    /// [`DramCommand::to_event`]; the log does not retain PB groups).
+    pub fn to_event(&self) -> TraceEvent {
+        TraceEvent::Command(self.cmd.to_event(self.at, None))
+    }
 }
 
 /// Ring buffer of accepted commands.
@@ -67,6 +78,28 @@ impl CommandLog {
     /// True if older entries have been evicted.
     pub fn truncated(&self) -> bool {
         self.recorded > self.entries.len() as u64
+    }
+
+    /// Replays the retained window into a trace sink, oldest first —
+    /// the same path live instrumentation uses, so one switch captures
+    /// both live events and post-hoc log dumps.
+    pub fn emit_into<S: TraceSink>(&self, sink: &mut S) {
+        for e in &self.entries {
+            sink.on_event(&e.to_event());
+        }
+    }
+
+    /// Dumps the retained window as JSONL (one command object per
+    /// line), the same line shape the live `JsonlSink` writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_jsonl<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        for e in &self.entries {
+            writeln!(writer, "{}", nuat_obs::jsonl::event_line(&e.to_event()))?;
+        }
+        Ok(())
     }
 
     /// Replays the retained window through the reference protocol
@@ -182,6 +215,24 @@ mod tests {
         log.record(read(), McCycle::new(112));
         let err = log.replay_validate(&DramTimings::default(), 8).unwrap_err();
         assert!(err.contains("truncated"));
+    }
+
+    #[test]
+    fn emit_into_routes_entries_through_the_sink_path() {
+        use nuat_obs::MemorySink;
+        let mut log = CommandLog::new(16);
+        log.record(act(5), McCycle::new(100));
+        log.record(read(), McCycle::new(112));
+        let mut sink = MemorySink::default();
+        log.emit_into(&mut sink);
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.events[0].at(), 100);
+        let mut jsonl = Vec::new();
+        log.write_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"cmd\":\"ACT\""));
+        assert!(text.contains("\"at\":112"));
     }
 
     #[test]

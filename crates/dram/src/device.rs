@@ -42,6 +42,22 @@ pub struct DeviceStats {
     pub trcd_cycles_saved: u64,
     /// Total tRAS cycles saved vs the worst case across all ACTs.
     pub tras_cycles_saved: u64,
+    /// Cycles banks have spent with a row open, summed over all banks
+    /// (state residency; accumulated when each row cycle closes).
+    pub bank_active_cycles: u64,
+}
+
+impl DeviceStats {
+    /// Accumulates `other` into `self` — the multi-channel aggregation
+    /// primitive (each channel's device counts independent commands, so
+    /// every field sums).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.energy += other.energy;
+        self.reduced_activates += other.reduced_activates;
+        self.trcd_cycles_saved += other.trcd_cycles_saved;
+        self.tras_cycles_saved += other.tras_cycles_saved;
+        self.bank_active_cycles += other.bank_active_cycles;
+    }
 }
 
 /// Rank-scoped timing horizons, read by the controller's event-driven
@@ -314,6 +330,16 @@ impl DramDevice {
         (now.raw() as i64 - rs.restore[idx]) as f64 * MC_CYCLE_NS
     }
 
+    /// Banks currently holding an open row, across all ranks (an
+    /// instantaneous occupancy snapshot for the epoch sampler).
+    pub fn open_bank_count(&self) -> u32 {
+        self.ranks
+            .iter()
+            .flat_map(|r| &r.banks)
+            .filter(|b| matches!(b.state, BankState::Active { .. }))
+            .count() as u32
+    }
+
     /// True if every bank of `rank` is idle (precondition for `REF`).
     pub fn all_banks_idle(&self, rank: Rank) -> bool {
         self.ranks[rank.index()]
@@ -562,6 +588,7 @@ impl DramDevice {
                 let done = now + t.read_data_done();
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.trtp);
+                    self.stats.bank_active_cycles += pre_at.saturating_sub(act_at);
                     Self::close_bank(
                         &mut rs.banks[bank.index()],
                         &mut rs.ref_ready,
@@ -592,6 +619,7 @@ impl DramDevice {
                 let done = now + t.write_data_done();
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.write_to_precharge());
+                    self.stats.bank_active_cycles += pre_at.saturating_sub(act_at);
                     Self::close_bank(
                         &mut rs.banks[bank.index()],
                         &mut rs.ref_ready,
@@ -604,6 +632,9 @@ impl DramDevice {
             }
 
             DramCommand::Precharge { bank, .. } => {
+                if let BankState::Active { act_at, .. } = rs.banks[bank.index()].state {
+                    self.stats.bank_active_cycles += now.saturating_sub(act_at);
+                }
                 Self::close_bank(&mut rs.banks[bank.index()], &mut rs.ref_ready, now, t.trp);
                 self.stats.energy.precharges += 1;
                 now
@@ -1173,6 +1204,71 @@ mod tests {
         // Everything the device accepted must replay cleanly through
         // the reference checker.
         log.replay_validate(&DramTimings::default(), 8).unwrap();
+    }
+
+    #[test]
+    fn bank_residency_accumulates_on_every_close_path() {
+        let mut d = dev();
+        let t0 = McCycle::new(0);
+        assert_eq!(d.open_bank_count(), 0);
+        // Explicit PRE: open 0..30 → 30 cycles of residency.
+        d.issue(act(0, 1), t0).unwrap();
+        assert_eq!(d.open_bank_count(), 1);
+        d.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            t0 + 30,
+        )
+        .unwrap();
+        assert_eq!(d.open_bank_count(), 0);
+        assert_eq!(d.stats().bank_active_cycles, 30);
+        // Auto-precharge: row cycle lasts exactly tRAS (30).
+        d.issue(act(1, 1), t0 + 35).unwrap();
+        let rda = DramCommand::Read {
+            rank: rk(),
+            bank: bk(1),
+            col: Col::new(0),
+            auto_precharge: true,
+        };
+        d.issue(rda, t0 + 35 + 12).unwrap();
+        assert_eq!(d.stats().bank_active_cycles, 60);
+    }
+
+    #[test]
+    fn device_stats_merge_sums_every_field() {
+        let mut d1 = dev();
+        let mut d2 = dev();
+        d1.issue(act(0, 1), McCycle::new(0)).unwrap();
+        d1.issue(read(0, 0), McCycle::new(12)).unwrap();
+        let fast = DramCommand::Activate {
+            rank: rk(),
+            bank: bk(0),
+            row: Row::new(8191),
+            timings: RowTimings::new(8, 22, 12),
+        };
+        d2.issue(fast, McCycle::new(10)).unwrap();
+        d2.issue(
+            DramCommand::Precharge {
+                rank: rk(),
+                bank: bk(0),
+            },
+            McCycle::new(32),
+        )
+        .unwrap();
+        let mut merged = *d1.stats();
+        merged.merge(d2.stats());
+        assert_eq!(merged.energy.activates, 2);
+        assert_eq!(merged.energy.reads, 1);
+        assert_eq!(merged.energy.precharges, 1);
+        assert_eq!(merged.reduced_activates, 1);
+        assert_eq!(merged.trcd_cycles_saved, 4);
+        assert_eq!(merged.tras_cycles_saved, 8);
+        assert_eq!(
+            merged.bank_active_cycles,
+            d1.stats().bank_active_cycles + d2.stats().bank_active_cycles
+        );
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! CSV exporter for the epoch-sampled time series.
+
+use std::io::Write;
+
+use crate::epoch::EpochSample;
+use crate::sink::TraceSink;
+
+/// Writes one CSV row per epoch sample.
+///
+/// Counter columns are cumulative (so the final row matches end-of-run
+/// statistics); three derived per-window columns are appended for
+/// direct plotting: `window_reads` (reads completed this window),
+/// `window_hit_rate` (row-hit rate of reads serviced this window, from
+/// the acts/cols deltas), and `window_skip_frac` (fraction of the
+/// window's cycles crossed by busy skipping).
+///
+/// The header is written on the first sample, when the PB-group column
+/// count is known (`pb_acts_0..pb_acts_{G-1}`).
+#[derive(Debug)]
+pub struct CsvTimeSeries<W: Write> {
+    writer: W,
+    prev: Option<EpochSample>,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvTimeSeries<W> {
+    /// Wraps `writer`.
+    pub fn new(writer: W) -> Self {
+        CsvTimeSeries {
+            writer,
+            prev: None,
+            wrote_header: false,
+        }
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    /// The most recently written sample, if any — lets callers check
+    /// the final row against end-of-run statistics.
+    pub fn last(&self) -> Option<&EpochSample> {
+        self.prev.as_ref()
+    }
+
+    fn header(&mut self, pb_groups: usize) {
+        let mut cols: Vec<String> = [
+            "epoch",
+            "cycle",
+            "read_queue",
+            "write_queue",
+            "active_banks",
+            "bank_active_cycles",
+            "reads_completed",
+            "writes_drained",
+            "total_read_latency",
+            "acts_for_reads",
+            "acts_for_writes",
+            "cols_read",
+            "cols_write",
+            "precharges",
+            "refreshes",
+            "busy_cycles",
+            "cycles_skipped",
+            "reduced_activates",
+            "trcd_cycles_saved",
+            "tras_cycles_saved",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for g in 0..pb_groups {
+            cols.push(format!("pb_acts_{}", g));
+        }
+        cols.push("window_reads".to_string());
+        cols.push("window_hit_rate".to_string());
+        cols.push("window_skip_frac".to_string());
+        let _ = writeln!(self.writer, "{}", cols.join(","));
+    }
+}
+
+impl<W: Write> TraceSink for CsvTimeSeries<W> {
+    fn on_epoch(&mut self, s: &EpochSample) {
+        if !self.wrote_header {
+            self.header(s.pb_acts.len());
+            self.wrote_header = true;
+        }
+        // Window deltas vs the previous sample (first window: vs zero).
+        let zero = EpochSample::default();
+        let prev = self.prev.as_ref().unwrap_or(&zero);
+        let window_cycles = s.cycle.saturating_sub(prev.cycle);
+        let window_reads = s.reads_completed.saturating_sub(prev.reads_completed);
+        let d_cols = (s.cols_read + s.cols_write).saturating_sub(prev.cols_read + prev.cols_write);
+        let d_acts = (s.acts_for_reads + s.acts_for_writes)
+            .saturating_sub(prev.acts_for_reads + prev.acts_for_writes);
+        let window_hit_rate = if d_cols > 0 {
+            1.0 - (d_acts.min(d_cols) as f64) / (d_cols as f64)
+        } else {
+            0.0
+        };
+        let d_skipped = s.cycles_skipped.saturating_sub(prev.cycles_skipped);
+        let window_skip_frac = if window_cycles > 0 {
+            (d_skipped as f64) / (window_cycles as f64)
+        } else {
+            0.0
+        };
+
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.epoch,
+            s.cycle,
+            s.read_queue,
+            s.write_queue,
+            s.active_banks,
+            s.bank_active_cycles,
+            s.reads_completed,
+            s.writes_drained,
+            s.total_read_latency,
+            s.acts_for_reads,
+            s.acts_for_writes,
+            s.cols_read,
+            s.cols_write,
+            s.precharges,
+            s.refreshes,
+            s.busy_cycles,
+            s.cycles_skipped,
+            s.reduced_activates,
+            s.trcd_cycles_saved,
+            s.tras_cycles_saved,
+        );
+        for v in &s.pb_acts {
+            row.push_str(&format!(",{}", v));
+        }
+        row.push_str(&format!(
+            ",{},{:.4},{:.4}",
+            window_reads, window_hit_rate, window_skip_frac
+        ));
+        let _ = writeln!(self.writer, "{}", row);
+        self.prev = Some(s.clone());
+    }
+
+    fn finish(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_then_rows_with_deltas() {
+        let mut ts = CsvTimeSeries::new(Vec::new());
+        ts.on_epoch(&EpochSample {
+            epoch: 0,
+            cycle: 100,
+            reads_completed: 10,
+            cols_read: 10,
+            acts_for_reads: 4,
+            cycles_skipped: 50,
+            pb_acts: vec![3, 1],
+            ..EpochSample::default()
+        });
+        ts.on_epoch(&EpochSample {
+            epoch: 1,
+            cycle: 200,
+            reads_completed: 30,
+            cols_read: 30,
+            acts_for_reads: 6,
+            cycles_skipped: 120,
+            pb_acts: vec![5, 1],
+            ..EpochSample::default()
+        });
+        ts.finish();
+        assert_eq!(ts.last().unwrap().epoch, 1);
+        let text = String::from_utf8(ts.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("epoch,cycle,"));
+        assert!(lines[0].contains("pb_acts_0,pb_acts_1,window_reads"));
+        // Second window: 20 reads, 20 cols vs 2 new acts → 0.9 hit rate,
+        // 70 skipped over 100 cycles → 0.7 skip fraction.
+        assert!(lines[2].ends_with(",20,0.9000,0.7000"), "{}", lines[2]);
+        // Every row has the same number of columns as the header.
+        let n = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == n));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic epoch-sampled time series.
+//!
+//! An [`EpochCadence`] tracks fixed sample boundaries (every `interval`
+//! memory cycles). The instrumented controller asks it which boundaries
+//! a clock advance crossed — whether the advance was a single real tick
+//! or a bulk-skipped span — and snapshots an [`EpochSample`] for each.
+//! Because the sampled state is constant across a provably-quiet span,
+//! sampling "at" a boundary that was crossed mid-skip is exact, and the
+//! resulting series is byte-identical between the event-driven and the
+//! strictly per-tick execution modes.
+
+/// One sampled point of the time series. Counter fields are cumulative
+/// since the start of statistics collection (so the final sample equals
+/// the end-of-run aggregates); queue/bank fields are instantaneous.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EpochSample {
+    /// Sample index (0-based).
+    pub epoch: u64,
+    /// The boundary cycle this sample represents.
+    pub cycle: u64,
+    /// Read-queue occupancy at the boundary.
+    pub read_queue: u32,
+    /// Write-queue occupancy at the boundary.
+    pub write_queue: u32,
+    /// Banks with an open row at the boundary.
+    pub active_banks: u32,
+    /// Cumulative cycles banks have spent with a row open, summed over
+    /// all banks (per-bank state residency).
+    pub bank_active_cycles: u64,
+    /// Reads returned to the cores.
+    pub reads_completed: u64,
+    /// Writes drained to DRAM.
+    pub writes_drained: u64,
+    /// Summed read latency, cycles.
+    pub total_read_latency: u64,
+    /// Activations issued for reads.
+    pub acts_for_reads: u64,
+    /// Activations issued for writes.
+    pub acts_for_writes: u64,
+    /// Column reads issued.
+    pub cols_read: u64,
+    /// Column writes issued.
+    pub cols_write: u64,
+    /// Explicit precharges issued.
+    pub precharges: u64,
+    /// Refresh batches issued.
+    pub refreshes: u64,
+    /// Cycles on which a command issued.
+    pub busy_cycles: u64,
+    /// Cycles advanced in bulk by busy skipping (skip efficiency
+    /// numerator; the denominator is the cycle delta between samples).
+    pub cycles_skipped: u64,
+    /// ACTs that used charge-derived timings tighter than worst case.
+    pub reduced_activates: u64,
+    /// tRCD cycles saved vs worst case.
+    pub trcd_cycles_saved: u64,
+    /// tRAS cycles saved vs worst case.
+    pub tras_cycles_saved: u64,
+    /// Cumulative ACT count per PB group (the PB-group distribution;
+    /// deltas between samples show quality degradation inside a refresh
+    /// window).
+    pub pb_acts: Vec<u64>,
+}
+
+/// Fixed-interval sample scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochCadence {
+    interval: u64,
+    next: u64,
+    epoch: u64,
+}
+
+impl EpochCadence {
+    /// A cadence sampling every `interval` cycles (first boundary at
+    /// `interval`, i.e. cycle 0 is not sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be nonzero");
+        EpochCadence {
+            interval,
+            next: interval,
+            epoch: 0,
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The next boundary that will be due.
+    pub fn next_boundary(&self) -> u64 {
+        self.next
+    }
+
+    /// Pops the next `(epoch, boundary_cycle)` due at or before `now`,
+    /// advancing the cadence; `None` once no boundary is due. Call in a
+    /// loop after every clock advance — a bulk advance crossing several
+    /// boundaries yields one sample per boundary.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, u64)> {
+        if self.next > now {
+            return None;
+        }
+        let due = (self.epoch, self.next);
+        self.epoch += 1;
+        self.next += self.interval;
+        Some(due)
+    }
+
+    /// A one-off final sample point at `now` (end of run), regardless of
+    /// boundary alignment; does not advance the cadence.
+    pub fn final_point(&self, now: u64) -> (u64, u64) {
+        (self.epoch, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_pop_in_order() {
+        let mut c = EpochCadence::new(100);
+        assert_eq!(c.pop_due(99), None);
+        assert_eq!(c.pop_due(100), Some((0, 100)));
+        assert_eq!(c.pop_due(100), None);
+        // A bulk advance crossing three boundaries yields all three.
+        assert_eq!(c.pop_due(420), Some((1, 200)));
+        assert_eq!(c.pop_due(420), Some((2, 300)));
+        assert_eq!(c.pop_due(420), Some((3, 400)));
+        assert_eq!(c.pop_due(420), None);
+        assert_eq!(c.final_point(420), (4, 420));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_rejected() {
+        EpochCadence::new(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal hand-rolled JSON formatting helpers.
+//!
+//! The vendored `serde` is a no-op marker stub, so exporters format
+//! JSON by hand. Everything the simulator emits is integers, booleans,
+//! and short known strings, so the helpers here are tiny: a string
+//! escaper and an object builder that tracks comma placement.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one flat JSON object, handling comma placement.
+#[derive(Debug)]
+pub struct ObjBuilder {
+    buf: String,
+    first: bool,
+}
+
+impl ObjBuilder {
+    /// Starts a fresh `{`.
+    pub fn new() -> Self {
+        ObjBuilder {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", k);
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{}", v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds an already-valid JSON fragment verbatim (e.g. a nested
+    /// array the caller formatted).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Adds `"k":v` when `v` is `Some`, nothing otherwise.
+    pub fn opt_u64(&mut self, k: &str, v: Option<u64>) -> &mut Self {
+        if let Some(v) = v {
+            self.u64(k, v);
+        }
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for ObjBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats `values` as a JSON array of integers.
+pub fn u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", v);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder_commas() {
+        let mut b = ObjBuilder::new();
+        b.str("type", "cmd").u64("at", 7).bool("ap", true);
+        b.opt_u64("row", None).opt_u64("col", Some(3));
+        b.raw("pb", &u64_array(&[1, 2, 3]));
+        assert_eq!(
+            b.finish(),
+            "{\"type\":\"cmd\",\"at\":7,\"ap\":true,\"col\":3,\"pb\":[1,2,3]}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(ObjBuilder::new().finish(), "{}");
+        assert_eq!(u64_array(&[]), "[]");
+    }
+}

@@ -1,0 +1,221 @@
+//! JSONL (one JSON object per line) event-stream exporter.
+
+use std::io::Write;
+
+use crate::epoch::EpochSample;
+use crate::event::{CommandEvent, TraceEvent};
+use crate::json::{u64_array, ObjBuilder};
+use crate::sink::TraceSink;
+
+/// Streams every event and epoch sample as one JSON object per line.
+///
+/// Line shapes (`type` discriminates):
+///
+/// * `{"type":"enqueue","at":..,"core":..,"write":..,"rank":..,"bank":..,"row":..}`
+/// * `{"type":"cmd","at":..,"cmd":"ACT","rank":..,"bank":..,"row":..,"trcd":..,"tras":..,"pb":..}`
+///   (optional fields present only when known; `ap` marks auto-precharge)
+/// * `{"type":"read_complete","at":..,"core":..,"latency":..}`
+/// * `{"type":"power","at":..,"rank":..,"state":"down"|"up"}`
+/// * `{"type":"quiet","at":..,"cycles":..,"kind":"busy_skip"|"idle_ff"}`
+/// * `{"type":"epoch","epoch":..,"cycle":..,...,"pb_acts":[..]}`
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`; every line is written as it arrives.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Unwraps the underlying writer (call [`TraceSink::finish`] first).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn line(&mut self, text: &str) {
+        // Trace output is best-effort: a full disk must not alter the
+        // simulation, so write errors are swallowed rather than raised.
+        let _ = writeln!(self.writer, "{}", text);
+    }
+}
+
+fn command_line(e: &CommandEvent) -> String {
+    let mut b = ObjBuilder::new();
+    b.str("type", "cmd")
+        .u64("at", e.at)
+        .str("cmd", e.class.mnemonic())
+        .u64("rank", u64::from(e.rank))
+        .opt_u64("bank", e.bank.map(u64::from))
+        .opt_u64("row", e.row.map(u64::from))
+        .opt_u64("col", e.col.map(u64::from));
+    if e.auto_precharge {
+        b.bool("ap", true);
+    }
+    b.opt_u64("trcd", e.trcd)
+        .opt_u64("tras", e.tras)
+        .opt_u64("pb", e.pb.map(u64::from));
+    b.finish()
+}
+
+/// Formats one event as its JSONL line (no trailing newline).
+pub fn event_line(event: &TraceEvent) -> String {
+    match *event {
+        TraceEvent::Enqueue {
+            at,
+            core,
+            is_write,
+            rank,
+            bank,
+            row,
+        } => {
+            let mut b = ObjBuilder::new();
+            b.str("type", "enqueue")
+                .u64("at", at)
+                .u64("core", u64::from(core))
+                .bool("write", is_write)
+                .u64("rank", u64::from(rank))
+                .u64("bank", u64::from(bank))
+                .u64("row", u64::from(row));
+            b.finish()
+        }
+        TraceEvent::Command(ref e) => command_line(e),
+        TraceEvent::ReadComplete { at, core, latency } => {
+            let mut b = ObjBuilder::new();
+            b.str("type", "read_complete")
+                .u64("at", at)
+                .u64("core", u64::from(core))
+                .u64("latency", latency);
+            b.finish()
+        }
+        TraceEvent::PowerState {
+            at,
+            rank,
+            powered_down,
+        } => {
+            let mut b = ObjBuilder::new();
+            b.str("type", "power")
+                .u64("at", at)
+                .u64("rank", u64::from(rank))
+                .str("state", if powered_down { "down" } else { "up" });
+            b.finish()
+        }
+        TraceEvent::QuietSpan { from, cycles, busy } => {
+            let mut b = ObjBuilder::new();
+            b.str("type", "quiet")
+                .u64("at", from)
+                .u64("cycles", cycles)
+                .str("kind", if busy { "busy_skip" } else { "idle_ff" });
+            b.finish()
+        }
+    }
+}
+
+/// Formats one epoch sample as its JSONL line (no trailing newline).
+pub fn epoch_line(s: &EpochSample) -> String {
+    let mut b = ObjBuilder::new();
+    b.str("type", "epoch")
+        .u64("epoch", s.epoch)
+        .u64("cycle", s.cycle)
+        .u64("read_queue", u64::from(s.read_queue))
+        .u64("write_queue", u64::from(s.write_queue))
+        .u64("active_banks", u64::from(s.active_banks))
+        .u64("bank_active_cycles", s.bank_active_cycles)
+        .u64("reads_completed", s.reads_completed)
+        .u64("writes_drained", s.writes_drained)
+        .u64("total_read_latency", s.total_read_latency)
+        .u64("acts_for_reads", s.acts_for_reads)
+        .u64("acts_for_writes", s.acts_for_writes)
+        .u64("cols_read", s.cols_read)
+        .u64("cols_write", s.cols_write)
+        .u64("precharges", s.precharges)
+        .u64("refreshes", s.refreshes)
+        .u64("busy_cycles", s.busy_cycles)
+        .u64("cycles_skipped", s.cycles_skipped)
+        .u64("reduced_activates", s.reduced_activates)
+        .u64("trcd_cycles_saved", s.trcd_cycles_saved)
+        .u64("tras_cycles_saved", s.tras_cycles_saved)
+        .raw("pb_acts", &u64_array(&s.pb_acts));
+    b.finish()
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &TraceEvent) {
+        let line = event_line(event);
+        self.line(&line);
+    }
+
+    fn on_epoch(&mut self, sample: &EpochSample) {
+        let line = epoch_line(sample);
+        self.line(&line);
+    }
+
+    fn finish(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CommandClass;
+
+    fn text(sink: JsonlSink<Vec<u8>>) -> String {
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn command_line_shapes() {
+        let mut e = CommandEvent::bare(12, CommandClass::Activate, 1);
+        e.bank = Some(3);
+        e.row = Some(42);
+        e.trcd = Some(7);
+        e.tras = Some(20);
+        e.pb = Some(2);
+        assert_eq!(
+            event_line(&TraceEvent::Command(e)),
+            "{\"type\":\"cmd\",\"at\":12,\"cmd\":\"ACT\",\"rank\":1,\"bank\":3,\
+             \"row\":42,\"trcd\":7,\"tras\":20,\"pb\":2}"
+        );
+        let r = CommandEvent::bare(99, CommandClass::Refresh, 0);
+        assert_eq!(
+            event_line(&TraceEvent::Command(r)),
+            "{\"type\":\"cmd\",\"at\":99,\"cmd\":\"REF\",\"rank\":0}"
+        );
+    }
+
+    #[test]
+    fn stream_is_one_object_per_line() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(&TraceEvent::Enqueue {
+            at: 1,
+            core: 2,
+            is_write: false,
+            rank: 0,
+            bank: 5,
+            row: 17,
+        });
+        sink.on_event(&TraceEvent::QuietSpan {
+            from: 2,
+            cycles: 40,
+            busy: false,
+        });
+        sink.on_epoch(&EpochSample {
+            epoch: 0,
+            cycle: 100,
+            pb_acts: vec![4, 0, 1],
+            ..EpochSample::default()
+        });
+        sink.finish();
+        let t = text(sink);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"enqueue\""));
+        assert!(lines[1].contains("\"kind\":\"idle_ff\""));
+        assert!(lines[2].contains("\"pb_acts\":[4,0,1]"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

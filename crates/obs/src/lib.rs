@@ -1,0 +1,49 @@
+//! # nuat-obs
+//!
+//! Zero-overhead instrumentation for the NUAT simulator: a structured
+//! event taxonomy ([`TraceEvent`]), a statically-dispatched sink trait
+//! ([`TraceSink`]) whose default implementation ([`NullSink`]) compiles
+//! to nothing, an epoch cadence for deterministic time-series sampling
+//! ([`EpochCadence`] / [`EpochSample`]), and three exporters:
+//!
+//! * [`JsonlSink`] — one JSON object per line, the full event stream,
+//! * [`CsvTimeSeries`] — epoch samples as a CSV time-series,
+//! * [`ChromeTraceSink`] — Chrome `trace_event` JSON (open in Perfetto
+//!   or `about:tracing`) with banks as tracks and commands as slices.
+//!
+//! The crate is dependency-free and knows nothing about the simulator:
+//! events carry plain integers. `nuat-dram` / `nuat-core` / `nuat-sim`
+//! translate their internal types into these events at the emission
+//! sites; with [`NullSink`] every emission is a no-op call on a
+//! zero-sized type that the optimizer deletes, so an uninstrumented
+//! simulation pays nothing.
+//!
+//! ## Example
+//!
+//! ```
+//! use nuat_obs::{JsonlSink, TraceEvent, TraceSink};
+//!
+//! let mut sink = JsonlSink::new(Vec::new());
+//! sink.on_event(&TraceEvent::ReadComplete { at: 40, core: 0, latency: 27 });
+//! sink.finish();
+//! let text = String::from_utf8(sink.into_inner()).unwrap();
+//! assert!(text.contains("\"type\":\"read_complete\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod csv;
+pub mod epoch;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod sink;
+
+pub use chrome::{ChromeTraceConfig, ChromeTraceSink};
+pub use csv::CsvTimeSeries;
+pub use epoch::{EpochCadence, EpochSample};
+pub use event::{CommandClass, CommandEvent, TraceEvent};
+pub use jsonl::JsonlSink;
+pub use sink::{MemorySink, NullSink, Tee, TraceSink};

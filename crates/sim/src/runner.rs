@@ -83,6 +83,30 @@ pub fn run_single(spec: WorkloadSpec, scheduler: SchedulerKind, rc: &RunConfig) 
     run_mix(&[spec], scheduler, PbGrouping::paper(5), rc)
 }
 
+/// Like [`run_mix`], but instrumented: each channel controller feeds the
+/// matching entry of `sinks` (one per configured channel), with optional
+/// epoch sampling every `sample_interval` cycles. Returns the finalized
+/// sinks alongside the result.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `sinks` does not match the channel
+/// count.
+pub fn run_mix_traced<S: nuat_obs::TraceSink>(
+    specs: &[WorkloadSpec],
+    scheduler: SchedulerKind,
+    grouping: PbGrouping,
+    rc: &RunConfig,
+    sinks: Vec<S>,
+    sample_interval: Option<u64>,
+) -> (SimResult, Vec<S>) {
+    assert!(!specs.is_empty(), "need at least one workload");
+    let cfg = SystemConfig::with_cores(specs.len());
+    let traces = traces_for(specs, &cfg, rc);
+    System::with_sinks(cfg, scheduler, grouping, traces, sinks, sample_interval)
+        .run_traced(rc.max_mc_cycles, rc.warmup_reads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +138,41 @@ mod tests {
             traces[0], traces[1],
             "same workload on two cores must not be identical"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_final_epoch_equals_stats() {
+        use nuat_obs::MemorySink;
+        let rc = RunConfig {
+            mem_ops_per_core: 400,
+            ..RunConfig::quick()
+        };
+        let spec = by_name("comm3").unwrap();
+        let plain = run_single(spec, SchedulerKind::Nuat, &rc);
+        let (traced, sinks) = run_mix_traced(
+            &[spec],
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            &rc,
+            vec![MemorySink::default()],
+            Some(5_000),
+        );
+        // Attaching a sink must not perturb the simulation at all.
+        assert_eq!(plain.mc_cycles, traced.mc_cycles);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.device, traced.device);
+        // The final epoch sample's cumulative counters equal the
+        // end-of-run statistics.
+        let sink = &sinks[0];
+        assert!(sink.finished);
+        let last = sink.epochs.last().expect("sampling was on");
+        assert_eq!(last.reads_completed, traced.stats.reads_completed);
+        assert_eq!(last.writes_drained, traced.stats.writes_drained);
+        assert_eq!(last.precharges, traced.stats.precharges);
+        assert_eq!(last.refreshes, traced.stats.refreshes);
+        assert_eq!(last.cycles_skipped, traced.cycles_skipped);
+        assert_eq!(last.reduced_activates, traced.device.reduced_activates);
+        assert_eq!(last.cycle, traced.mc_cycles);
     }
 
     #[test]

@@ -4,18 +4,19 @@
 use nuat_circuit::PbGrouping;
 use nuat_core::{MemoryController, RequestKind, SchedulerKind};
 use nuat_cpu::{Core, MemOp, MemoryPort, Trace};
+use nuat_obs::{NullSink, TraceSink};
 use nuat_types::{CpuCycle, McCycle, PhysAddr, SystemConfig, CPU_CYCLES_PER_MC_CYCLE};
 
 /// Adapter exposing the channel controllers as the cores'
 /// [`MemoryPort`]. Requests route by the decoded channel; completion
 /// tokens encode `(request id, channel)` so the system can match them
 /// back even though each controller numbers requests independently.
-struct Port<'a> {
-    mcs: &'a mut [MemoryController],
+struct Port<'a, S: TraceSink = NullSink> {
+    mcs: &'a mut [MemoryController<S>],
     cfg: &'a SystemConfig,
 }
 
-impl Port<'_> {
+impl<S: TraceSink> Port<'_, S> {
     fn channel_of(&self, addr: PhysAddr) -> usize {
         self.cfg
             .dram
@@ -26,7 +27,7 @@ impl Port<'_> {
     }
 }
 
-impl MemoryPort for Port<'_> {
+impl<S: TraceSink> MemoryPort for Port<'_, S> {
     fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool {
         self.mcs[self.channel_of(addr)].can_accept(kind_of(op))
     }
@@ -90,10 +91,14 @@ impl SimResult {
 }
 
 /// N cores + one memory controller per channel. See the module docs.
+///
+/// Generic over the trace sink like the controller itself: the default
+/// [`NullSink`] compiles every instrumentation site out, so an
+/// uninstrumented `System` is identical to one predating observability.
 #[derive(Debug)]
-pub struct System {
+pub struct System<S: TraceSink = NullSink> {
     cores: Vec<Core>,
-    mcs: Vec<MemoryController>,
+    mcs: Vec<MemoryController<S>>,
     cfg: SystemConfig,
     cpu_now: CpuCycle,
     /// Reused each step to drain controller completions without
@@ -115,13 +120,56 @@ impl System {
         grouping: PbGrouping,
         traces: Vec<Trace>,
     ) -> Self {
+        let channels = cfg.dram.geometry.channels as usize;
+        Self::with_sinks(
+            cfg,
+            scheduler,
+            grouping,
+            traces,
+            vec![NullSink; channels],
+            None,
+        )
+    }
+}
+
+impl<S: TraceSink> System<S> {
+    /// Builds an instrumented system: one sink per channel controller
+    /// (`sinks.len()` must equal the configured channel count), each
+    /// receiving that channel's full event stream, plus an optional
+    /// epoch-sampling interval applied to every controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count differs from `cfg.processor.cores`, the
+    /// sink count differs from the channel count, or the configuration
+    /// is invalid.
+    pub fn with_sinks(
+        cfg: SystemConfig,
+        scheduler: SchedulerKind,
+        grouping: PbGrouping,
+        traces: Vec<Trace>,
+        sinks: Vec<S>,
+        sample_interval: Option<u64>,
+    ) -> Self {
         assert_eq!(
             traces.len(),
             cfg.processor.cores,
             "need exactly one trace per configured core"
         );
-        let mcs = (0..cfg.dram.geometry.channels)
-            .map(|_| MemoryController::with_grouping(cfg, scheduler, grouping.clone()))
+        assert_eq!(
+            sinks.len(),
+            cfg.dram.geometry.channels as usize,
+            "need exactly one sink per configured channel"
+        );
+        let mcs: Vec<MemoryController<S>> = sinks
+            .into_iter()
+            .map(|sink| {
+                let mut mc = MemoryController::with_sink(cfg, scheduler, grouping.clone(), sink);
+                if let Some(interval) = sample_interval {
+                    mc.set_sample_interval(interval);
+                }
+                mc
+            })
             .collect();
         let cores = traces
             .into_iter()
@@ -138,12 +186,12 @@ impl System {
     }
 
     /// The channel-0 controller (for inspection mid-run).
-    pub fn controller(&self) -> &MemoryController {
+    pub fn controller(&self) -> &MemoryController<S> {
         &self.mcs[0]
     }
 
     /// All channel controllers.
-    pub fn controllers(&self) -> &[MemoryController] {
+    pub fn controllers(&self) -> &[MemoryController<S>] {
         &self.mcs
     }
 
@@ -151,7 +199,7 @@ impl System {
     /// configuration (e.g. [`MemoryController::set_cycle_skip`] in
     /// A/B correctness tests that compare the event-driven and
     /// strictly per-tick execution modes).
-    pub fn controllers_mut(&mut self) -> &mut [MemoryController] {
+    pub fn controllers_mut(&mut self) -> &mut [MemoryController<S>] {
         &mut self.mcs
     }
 
@@ -257,6 +305,28 @@ impl System {
     /// not polluted by the cold start (empty row buffers, fully-aligned
     /// refresh phase).
     pub fn run_with_warmup(mut self, max_mc_cycles: u64, warmup_reads: u64) -> SimResult {
+        self.run_core(max_mc_cycles, warmup_reads);
+        self.result()
+    }
+
+    /// Like [`run_with_warmup`](Self::run_with_warmup), but additionally
+    /// finalizes each channel's trace (flushing coalesced quiet spans,
+    /// emitting the final epoch sample, closing exporters) and returns
+    /// the per-channel sinks alongside the result.
+    pub fn run_traced(mut self, max_mc_cycles: u64, warmup_reads: u64) -> (SimResult, Vec<S>) {
+        self.run_core(max_mc_cycles, warmup_reads);
+        let result = self.result();
+        let sinks = self
+            .mcs
+            .into_iter()
+            .map(MemoryController::into_sink)
+            .collect();
+        (result, sinks)
+    }
+
+    /// The shared simulation loop: runs to completion or the cap, then
+    /// drains the controllers (posted writes).
+    fn run_core(&mut self, max_mc_cycles: u64, warmup_reads: u64) {
         let mut warm = warmup_reads == 0;
         while !self.is_done() && self.mc_now() < max_mc_cycles {
             // Joint dead-span skip: when every controller is timing-
@@ -301,6 +371,14 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Aggregates the finished run into a [`SimResult`]. Multi-channel
+    /// statistics are summed field-by-field (controller stats via
+    /// `ControllerStats::merge`, device stats via
+    /// [`nuat_dram::DeviceStats::merge`]); cycle counts take the
+    /// lockstep channel-0 value.
+    fn result(&self) -> SimResult {
         let completed = self.is_done();
         let core_finish_cpu_cycles: Vec<u64> = self
             .cores
@@ -319,10 +397,7 @@ impl System {
         let mut powerdown_cycles = self.mcs[0].device().total_powerdown_cycles();
         for mc in &self.mcs[1..] {
             stats.merge(mc.stats());
-            device.energy += mc.device().stats().energy;
-            device.reduced_activates += mc.device().stats().reduced_activates;
-            device.trcd_cycles_saved += mc.device().stats().trcd_cycles_saved;
-            device.tras_cycles_saved += mc.device().stats().tras_cycles_saved;
+            device.merge(mc.device().stats());
             energy_pj += mc.device().energy_pj(McCycle::new(elapsed));
             powerdown_cycles += mc.device().total_powerdown_cycles();
         }

@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, release build, test suite,
-# lint-clean clippy across every target, and a compile check of the
+# lint-clean clippy across every target, a compile check of the
 # bench code (which `cargo test` does not build, so it could otherwise
-# rot silently). CI and pre-commit both run exactly this.
+# rot silently), and a smoke run of the instrumentation stack
+# (trace_study self-checks its artifacts against end-of-run stats).
+# CI and pre-commit both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo build --release
 cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p nuat-bench --bin trace_study -- \
+    --quick --out "$smoke_dir" >/dev/null
+for f in trace.json events.jsonl timeseries.csv; do
+    test -s "$smoke_dir/$f" || { echo "verify: missing $f" >&2; exit 1; }
+done
 echo "verify: OK"

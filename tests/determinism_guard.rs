@@ -211,6 +211,44 @@ fn powerdown_study_golden_fingerprint() {
     }
 }
 
+/// Attaching a trace sink must be pure observation: a run with the
+/// default [`nuat_obs::NullSink`] and a run streaming full JSONL events
+/// plus epoch samples must produce byte-identical results (the golden
+/// fingerprints above stay valid with any sink attached).
+#[test]
+fn attached_sink_runs_are_byte_identical_to_null_sink_runs() {
+    let rc = RunConfig::quick();
+    let spec = by_name("comm3").unwrap();
+    for kind in [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfsOpen,
+        SchedulerKind::FrFcfsClose,
+        SchedulerKind::Nuat,
+    ] {
+        let plain = run_single(spec, kind, &rc);
+        let (traced, mut sinks) = nuat_sim::run_mix_traced(
+            &[spec],
+            kind,
+            PbGrouping::paper(5),
+            &rc,
+            vec![nuat_obs::JsonlSink::new(Vec::new())],
+            Some(1_000),
+        );
+        assert_eq!(
+            full_fingerprint(&plain),
+            full_fingerprint(&traced),
+            "{}: attaching a JSONL sink changed the simulation",
+            plain.scheduler
+        );
+        // And the sink actually observed the run — this test must not
+        // pass vacuously because instrumentation was compiled out.
+        let text = String::from_utf8(sinks.remove(0).into_inner()).unwrap();
+        assert!(text.lines().count() > 1_000, "{kind:?}: trace looks empty");
+        assert!(text.contains("\"type\":\"cmd\""));
+        assert!(text.contains("\"type\":\"epoch\""));
+    }
+}
+
 fn loaded_controller(powerdown_after_idle: u64) -> MemoryController {
     let mut cfg = SystemConfig::default();
     cfg.controller.powerdown_after_idle = powerdown_after_idle;

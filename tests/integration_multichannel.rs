@@ -63,6 +63,78 @@ fn second_channel_relieves_pressure() {
 }
 
 #[test]
+fn multichannel_aggregation_equals_per_channel_sums() {
+    // Run a 2-channel system keeping the per-channel controllers alive,
+    // and check the aggregate the runner would report (built with
+    // `ControllerStats::merge` / `DeviceStats::merge`) equals the
+    // field-by-field sums over channels.
+    let cfg = two_channel_config(1);
+    let rc = RunConfig {
+        mem_ops_per_core: 1500,
+        ..RunConfig::quick()
+    };
+    let spec = by_name("comm1").unwrap();
+    let traces = traces_for(&[spec], &cfg, &rc);
+    let expected: Vec<_> = {
+        let traces = traces.clone();
+        let mut sys = System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces);
+        // Drive to completion manually so the controllers stay
+        // accessible afterwards.
+        let mut guard = 0u64;
+        while !sys.is_done() {
+            sys.step();
+            guard += 1;
+            assert!(guard < rc.max_mc_cycles, "run did not complete");
+        }
+        while !sys.controllers().iter().all(|m| m.is_idle()) {
+            sys.controllers_mut().iter_mut().for_each(|m| m.tick());
+        }
+        sys.controllers()
+            .iter()
+            .map(|m| (m.stats().clone(), *m.device().stats()))
+            .collect()
+    };
+    let r =
+        System::new(cfg, SchedulerKind::Nuat, PbGrouping::paper(5), traces).run(rc.max_mc_cycles);
+    assert!(r.completed);
+    // Both channels saw traffic, so the merge is not vacuous.
+    assert!(expected.iter().all(|(s, _)| s.reads_completed > 0));
+    let sum = |f: &dyn Fn(&nuat_core::ControllerStats) -> u64| -> u64 {
+        expected.iter().map(|(s, _)| f(s)).sum()
+    };
+    assert_eq!(r.stats.reads_completed, sum(&|s| s.reads_completed));
+    assert_eq!(r.stats.writes_drained, sum(&|s| s.writes_drained));
+    assert_eq!(r.stats.total_read_latency, sum(&|s| s.total_read_latency));
+    assert_eq!(r.stats.precharges, sum(&|s| s.precharges));
+    assert_eq!(r.stats.refreshes, sum(&|s| s.refreshes));
+    assert_eq!(
+        r.stats.read_latency_hist.total(),
+        sum(&|s| s.read_latency_hist.total())
+    );
+    let dsum = |f: &dyn Fn(&nuat_dram::DeviceStats) -> u64| -> u64 {
+        expected.iter().map(|(_, d)| f(d)).sum()
+    };
+    assert_eq!(r.device.reduced_activates, dsum(&|d| d.reduced_activates));
+    assert_eq!(r.device.trcd_cycles_saved, dsum(&|d| d.trcd_cycles_saved));
+    assert_eq!(r.device.tras_cycles_saved, dsum(&|d| d.tras_cycles_saved));
+    assert_eq!(r.device.bank_active_cycles, dsum(&|d| d.bank_active_cycles));
+    assert_eq!(
+        r.device.energy.activates,
+        expected
+            .iter()
+            .map(|(_, d)| d.energy.activates)
+            .sum::<u64>()
+    );
+    assert_eq!(
+        r.device.energy.refreshes,
+        expected
+            .iter()
+            .map(|(_, d)| d.energy.refreshes)
+            .sum::<u64>()
+    );
+}
+
+#[test]
 fn nuat_works_identically_per_channel() {
     // NUAT on a 2-channel system must still satisfy the physics (run
     // completing is the assertion) and exploit slack on both channels.
