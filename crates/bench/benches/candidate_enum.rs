@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark of candidate enumeration in isolation:
+//! one controller with a deep, saturated queue, measuring a single
+//! cold enumeration pass (`bench_enumerate_candidates` bumps the gate
+//! generation each call, so the per-bank gate cache never short-
+//! circuits the walk — this is the post-issue recompute cost). The
+//! end-to-end numbers live in `scheduler_throughput`; this bench
+//! pins down the enumeration term alone so a regression there is
+//! attributable without a bisection through the full simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nuat_core::{MemoryController, RequestKind, SchedulerKind};
+use nuat_types::{Bank, Channel, Col, DecodedAddr, Rank, Row, SystemConfig};
+use std::hint::black_box;
+
+/// A controller whose queues hold `depth` reads + `depth` writes spread
+/// over every bank with a mixed row pattern, advanced far enough that a
+/// realistic blend of open rows, conflicts and timing gates is in
+/// place.
+fn saturated_controller(kind: SchedulerKind, depth: usize) -> MemoryController {
+    let mut cfg = SystemConfig::default();
+    cfg.controller.read_queue_capacity = depth;
+    cfg.controller.write_queue_capacity = depth;
+    cfg.controller.write_high_watermark = depth * 40 / 64;
+    cfg.controller.write_low_watermark = depth * 20 / 64;
+    let mut mc = MemoryController::new(cfg, kind);
+    let mut state = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for rk in [RequestKind::Read, RequestKind::Write] {
+        while mc.can_accept(rk) {
+            let v = next();
+            mc.enqueue_decoded(
+                0,
+                rk,
+                DecodedAddr {
+                    channel: Channel::new(0),
+                    rank: Rank::new(0),
+                    bank: Bank::new((v >> 1) as u32 % 8),
+                    row: Row::new((v >> 4) as u32 % 512),
+                    col: Col::new((v >> 13) as u32 % 1024),
+                },
+            );
+        }
+    }
+    // A short warm-up opens rows and arms timing gates so the measured
+    // pass sees all three candidate classes, not a cold all-idle array.
+    mc.run_for(50);
+    mc
+}
+
+fn bench_candidate_enum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("candidate_enum");
+    for depth in [64usize, 256] {
+        for kind in [SchedulerKind::FrFcfsOpen, SchedulerKind::Nuat] {
+            let mut mc = saturated_controller(kind, depth);
+            g.throughput(Throughput::Elements(1));
+            let label = format!("{}/depth{}", kind.name(), depth);
+            g.bench_function(&label, |b| {
+                b.iter(|| black_box(mc.bench_enumerate_candidates()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_candidate_enum);
+criterion_main!(benches);

@@ -20,6 +20,14 @@ pub enum CandidateKind {
 }
 
 /// One issuable-this-cycle scheduling option.
+///
+/// Candidates reach [`SchedulerPolicy::choose`] grouped by (rank, bank)
+/// — the order the indexed per-bank enumeration emits them — not by
+/// global age; `request.id` is the unique monotone age stamp policies
+/// tie-break on, which is what makes the emission order irrelevant to
+/// the decision (see the order contract on `choose`).
+///
+/// [`SchedulerPolicy::choose`]: crate::scheduler::SchedulerPolicy::choose
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Candidate {
     /// The request this command advances.

@@ -21,7 +21,7 @@
 
 use crate::candidate::{Candidate, CandidateKind};
 use crate::pbr::PbrAcquisition;
-use crate::queues::RequestQueues;
+use crate::queues::{RequestQueues, NO_SLOT};
 use crate::request::{MemoryRequest, RequestId, RequestKind};
 use crate::scheduler::{PolicyView, SchedulerKind, SchedulerPolicy};
 use crate::stats::ControllerStats;
@@ -45,10 +45,12 @@ pub struct Completion {
 /// (buffers reach their high-water size within a few cycles and are then
 /// only cleared and refilled).
 ///
-/// Invariants: contents are meaningless between ticks — every user must
-/// clear/refill before reading; the buffers are moved out of the
-/// controller (`std::mem::take`) for the duration of a tick so the
-/// borrow checker sees them as disjoint from the controller's state.
+/// Invariants: contents are meaningless between ticks (except the
+/// per-bank gate cache, whose validity is tracked explicitly by
+/// generation) — every other user must clear/refill before reading; the
+/// buffers are moved out of the controller (`std::mem::take`) for the
+/// duration of a tick so the borrow checker sees them as disjoint from
+/// the controller's state.
 #[derive(Debug, Default)]
 struct TickScratch {
     /// Per-rank "refresh wants this rank drained" flags.
@@ -57,19 +59,28 @@ struct TickScratch {
     lrras: Vec<Row>,
     /// This cycle's issuable candidates.
     candidates: Vec<Candidate>,
-    /// Per-bank "already produced an ACT candidate" de-dup flags.
-    act_seen: Vec<bool>,
-    /// Per-bank "already produced a PRE candidate" de-dup flags.
-    pre_seen: Vec<bool>,
-    /// Per-bank × kind "already produced a column candidate" de-dup
-    /// flags (reads at `2k`, writes at `2k+1`). Only used for policies
-    /// that never prefer a younger duplicate (see
-    /// [`SchedulerPolicy::prefers_oldest_equal_command`]).
-    col_seen: Vec<bool>,
-    /// Per-bank count of queued requests hitting the bank's open row,
-    /// precomputed once per tick so pending-hit checks are O(1) instead
-    /// of an O(queue) scan per candidate.
-    open_row_hits: Vec<u32>,
+    /// The slab slot of each candidate's request, parallel to
+    /// `candidates` (`NO_SLOT` for activates/precharges, which leave
+    /// their request queued). Lets the issue path remove the chosen
+    /// column's request in O(1) instead of re-walking its bank list.
+    candidate_slots: Vec<u32>,
+    /// Per-bank earliest-legal-cycle cache: the bank's contribution to
+    /// the gate horizon the last time it was enumerated and produced no
+    /// candidate. While valid (see `bank_gate_gen`) and still in the
+    /// future, the bank's whole enumeration — request walk, legality
+    /// probes — is skipped and this value reused; the timing gates are
+    /// monotone and every other input is generation-tracked, so the
+    /// reused value is exactly what a re-enumeration would produce.
+    bank_gate: Vec<u64>,
+    /// Generation stamp per `bank_gate` entry: valid iff equal to the
+    /// controller's `gate_gen`, which bumps on every device mutation
+    /// (command issue, power transition); an enqueue invalidates just
+    /// its target bank. 0 is never a live generation.
+    bank_gate_gen: Vec<u64>,
+    /// Refresh-pending flag the cached entry was computed under; a
+    /// pending flip changes a bank's candidate shape without any device
+    /// mutation, so it is checked alongside the generation.
+    bank_gate_pending: Vec<bool>,
     /// Per-rank "idle counter advances during a quiet span" mask,
     /// filled by `next_busy_event_cycle` and read by `advance_quiet`.
     /// Valid exactly while `busy_horizon` is `Some`.
@@ -103,6 +114,12 @@ pub struct MemoryController<S: TraceSink = NullSink> {
     completions: Vec<Completion>,
     now: McCycle,
     scratch: TickScratch,
+    /// Device-mutation generation for the per-bank gate cache in
+    /// `scratch`: bumped on every command issue and power transition,
+    /// so a cached bank gate is trusted only while the device (and the
+    /// bank's request set, which only shrinks via issue) is provably
+    /// unchanged. Starts at 1 so zeroed cache entries are never valid.
+    gate_gen: u64,
     /// Opt-in stall diagnostics (set `NUAT_STALL_DEBUG=<cycles>`): dump
     /// queue/bank state when a request has waited this long.
     stall_debug: Option<u64>,
@@ -222,7 +239,7 @@ impl<S: TraceSink> MemoryController<S> {
         let skip_enabled = std::env::var("NUAT_NO_SKIP").map_or(true, |v| v.is_empty() || v == "0")
             && stall_debug.is_none();
         MemoryController {
-            queues: RequestQueues::new(cfg.controller),
+            queues: RequestQueues::new(cfg.controller, ranks, banks_per_rank),
             device,
             policy,
             pbr,
@@ -230,6 +247,7 @@ impl<S: TraceSink> MemoryController<S> {
             completions: Vec::new(),
             now: McCycle::ZERO,
             scratch: TickScratch::default(),
+            gate_gen: 1,
             stall_debug,
             stall_reported: false,
             rank_idle_cycles: vec![0; ranks],
@@ -476,6 +494,14 @@ impl<S: TraceSink> MemoryController<S> {
         // postponable-refresh decision), so any cached quiet span ends
         // here.
         self.busy_horizon = None;
+        // It also changes exactly one bank's candidate shape: drop that
+        // bank's cached gate. (Pending-flag effects on *other* banks are
+        // covered by the cache's pending check, not the generation.)
+        let key =
+            addr.rank.index() * self.cfg.dram.geometry.banks_per_rank as usize + addr.bank.index();
+        if let Some(g) = self.scratch.bank_gate_gen.get_mut(key) {
+            *g = 0;
+        }
         if S::ENABLED {
             self.flush_quiet();
             self.sink.on_event(&TraceEvent::Enqueue {
@@ -623,7 +649,7 @@ impl<S: TraceSink> MemoryController<S> {
         };
         if let Some(i) = choice {
             let cand = scratch.candidates[i];
-            self.issue_candidate(cand);
+            self.issue_candidate(cand, scratch.candidate_slots[i]);
             self.now += 1;
             return true;
         }
@@ -682,6 +708,8 @@ impl<S: TraceSink> MemoryController<S> {
                         && self.device.can_issue(&cmd, self.now).is_ok()
                     {
                         self.device.issue(cmd, self.now).expect("checked");
+                        self.gate_gen += 1;
+                        self.queues.note_row_close(rank, bank);
                         self.stats.precharges += 1;
                         self.stats.busy_cycles += 1;
                         if S::ENABLED {
@@ -695,6 +723,7 @@ impl<S: TraceSink> MemoryController<S> {
                 let cmd = DramCommand::Refresh { rank };
                 if self.device.can_issue(&cmd, self.now).is_ok() {
                     self.device.issue(cmd, self.now).expect("checked");
+                    self.gate_gen += 1;
                     self.stats.refreshes += 1;
                     self.stats.busy_cycles += 1;
                     if S::ENABLED {
@@ -789,10 +818,9 @@ impl<S: TraceSink> MemoryController<S> {
             return now.raw();
         }
         if self.cfg.controller.powerdown_after_idle > 0
-            && self
-                .queues
-                .iter()
-                .any(|req| self.device.is_powered_down(req.addr.rank))
+            && (0..ranks).any(|r| {
+                self.queues.rank_len(r) > 0 && self.device.is_powered_down(Rank::new(r as u32))
+            })
         {
             // Demand wake-up happens on a real tick.
             return now.raw();
@@ -811,11 +839,9 @@ impl<S: TraceSink> MemoryController<S> {
             for r in 0..ranks {
                 let rank = Rank::new(r as u32);
                 use nuat_dram::refresh::RefreshUrgency;
-                scratch.counting[r] = !self.device.is_powered_down(rank)
+                scratch.counting[r] = self.queues.rank_len(r) == 0
+                    && !self.device.is_powered_down(rank)
                     && self.device.refresh_engine(rank).urgency(now) == RefreshUrgency::NotDue;
-            }
-            for req in self.queues.iter() {
-                scratch.counting[req.addr.rank.index()] = false;
             }
             for (r, &counting) in scratch.counting.iter().enumerate() {
                 if counting {
@@ -916,24 +942,38 @@ impl<S: TraceSink> MemoryController<S> {
         n
     }
 
-    fn enumerate_candidates(&mut self, scratch: &mut TickScratch) {
+    /// Candidate enumeration, indexed: iterates the channel's banks
+    /// (≤ ranks × banks_per_rank) instead of queued requests. Per bank,
+    /// the state machine is identical to the legacy flat scan — column
+    /// candidates come from the bank's incremental open-row match list,
+    /// the precharge/activate representative is the bank's oldest
+    /// request (reads before writes, matching the flat scan's visit
+    /// order), and gated-out banks contribute the same per-class gate
+    /// values to `cand_horizon` — so the produced candidate *set*, the
+    /// horizon, and (because every policy tie-breaks by age id, see
+    /// [`SchedulerPolicy::choose`]) the chosen command are bit-identical
+    /// to the flat scan. The `#[cfg(test)]` oracle
+    /// `enumerate_candidates_linear` plus the
+    /// `indexed_enum_equals_linear_scan` proptest enforce exactly this.
+    fn enumerate_candidates(&self, scratch: &mut TickScratch) {
         let TickScratch {
             pending,
             lrras,
             candidates: out,
-            act_seen,
-            pre_seen,
-            col_seen,
-            open_row_hits,
+            candidate_slots: out_slots,
+            bank_gate,
+            bank_gate_gen,
+            bank_gate_pending,
             counting: _,
             cand_horizon,
         } = scratch;
         out.clear();
-        // Earliest future gate among requests that produce no candidate
+        out_slots.clear();
+        // Earliest future gate among banks that produce no candidate
         // this cycle; `next_busy_event_cycle` reads it back instead of
-        // rescanning the queues. Requests that do produce a candidate
-        // need no entry: an un-issued candidate pins the horizon to
-        // `now` anyway (see `next_busy_event_cycle`).
+        // rescanning anything. Banks that do produce a candidate need
+        // no entry: an un-issued candidate pins the horizon to `now`
+        // anyway (see `next_busy_event_cycle`).
         let mut gate_h = u64::MAX;
         let view = PolicyView {
             now: self.now,
@@ -941,195 +981,245 @@ impl<S: TraceSink> MemoryController<S> {
             lrras,
             pbr: &self.pbr,
         };
-        // Track which (rank, bank) already produced an ACT or PRE this
-        // cycle so duplicates do not inflate the candidate list.
         let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
-        let total_banks = self.cfg.dram.geometry.ranks_per_channel as usize * banks_per_rank;
-        act_seen.clear();
-        act_seen.resize(total_banks, false);
-        pre_seen.clear();
-        pre_seen.resize(total_banks, false);
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let total_banks = self.queues.total_banks();
+        debug_assert_eq!(total_banks, ranks * banks_per_rank);
+        if bank_gate.len() != total_banks {
+            bank_gate.clear();
+            bank_gate.resize(total_banks, 0);
+            bank_gate_gen.clear();
+            bank_gate_gen.resize(total_banks, 0);
+            bank_gate_pending.clear();
+            bank_gate_pending.resize(total_banks, false);
+        }
         // Column duplicates (same bank + open row + kind) carry the
         // identical command and score no higher than the oldest one, so
         // for order-respecting policies only the first per group is
-        // offered (queue iteration is age order within a kind).
+        // offered (the match lists are age order within a kind).
         let dedup_cols = self.policy.prefers_oldest_equal_command();
-        col_seen.clear();
-        col_seen.resize(2 * total_banks, false);
+        let now = self.now;
 
-        Self::fill_open_row_hits(
-            &self.queues,
-            &self.device,
-            banks_per_rank,
-            total_banks,
-            open_row_hits,
-        );
-
-        for req in self.queues.iter() {
-            let rank = req.addr.rank;
-            let bank = req.addr.bank;
-            let bv = self.device.bank(rank, bank);
-            let key = rank.index() * banks_per_rank + bank.index();
-            let lrra = lrras[rank.index()];
-            // PB# and boundary zone are looked up lazily — only when a
-            // candidate is actually pushed — because most queued
-            // requests are gated out by bank state or timing.
-            let pbr = &self.pbr;
-            let pb_zone = || pbr.pb_and_zone(lrra, req.addr.row);
-
-            match bv.state {
-                BankState::Active { row, .. } if row == req.addr.row => {
-                    // Column candidate.
-                    let ck = 2 * key + (req.kind == RequestKind::Write) as usize;
-                    if dedup_cols && col_seen[ck] {
-                        continue;
-                    }
-                    let rt = self.device.rank_timing(rank);
-                    let gate = match req.kind {
-                        RequestKind::Read => bv.earliest_read.max(rt.earliest_col_read),
-                        RequestKind::Write => bv.earliest_write.max(rt.earliest_col_write),
-                    };
-                    if self.now < gate {
-                        gate_h = gate_h.min(gate.raw());
-                        continue;
-                    }
-                    // NUAT's close-page decisions preserve imminent hits:
-                    // a row some other queued request still needs stays
-                    // open (this request itself accounts for one entry in
-                    // the hit count). The FR-FCFS(close) baseline stays
-                    // pure.
-                    let auto = pending[rank.index()]
-                        || (self.policy.auto_precharge(&view, req)
-                            && !(self.policy.preserve_pending_hits() && open_row_hits[key] > 1));
-                    let command = match req.kind {
-                        RequestKind::Read => DramCommand::Read {
-                            rank,
-                            bank,
-                            col: req.addr.col,
-                            auto_precharge: auto,
-                        },
-                        RequestKind::Write => DramCommand::Write {
-                            rank,
-                            bank,
-                            col: req.addr.col,
-                            auto_precharge: auto,
-                        },
-                    };
-                    if self.device.can_issue(&command, self.now).is_ok() {
-                        col_seen[ck] = true;
-                        let (pb, zone) = pb_zone();
-                        out.push(Candidate {
-                            request: *req,
-                            command,
-                            kind: CandidateKind::Column,
-                            pb,
-                            zone,
-                        });
-                    } else {
-                        // Legal by the mirrored gates but refused by the
-                        // device: stay conservative and keep the horizon
-                        // at `now` (a gate value `<= now` does exactly
-                        // that after the saturating clamp).
-                        gate_h = gate_h.min(gate.raw());
-                    }
+        for r in 0..ranks {
+            if self.queues.rank_len(r) == 0 {
+                continue;
+            }
+            let rank = Rank::new(r as u32);
+            let p = pending[r];
+            let lrra = lrras[r];
+            let rt = self.device.rank_timing(rank);
+            for bi in 0..banks_per_rank {
+                let key = r * banks_per_rank + bi;
+                if self.queues.bank_len(key) == 0 {
+                    continue;
                 }
-                BankState::Active { .. } => {
-                    // Conflict: consider precharging, but never close a
-                    // row some queued request still hits.
-                    if pre_seen[key] || open_row_hits[key] > 0 {
-                        continue;
-                    }
-                    if self.now < bv.earliest_pre {
-                        gate_h = gate_h.min(bv.earliest_pre.raw());
-                        continue;
-                    }
-                    let command = DramCommand::Precharge { rank, bank };
-                    if self.device.can_issue(&command, self.now).is_ok() {
-                        pre_seen[key] = true;
-                        let (pb, zone) = pb_zone();
-                        out.push(Candidate {
-                            request: *req,
-                            command,
-                            kind: CandidateKind::Precharge,
-                            pb,
-                            zone,
-                        });
-                    } else {
-                        gate_h = gate_h.min(bv.earliest_pre.raw());
-                    }
+                // Timing-blocked bank, already proven: reuse its cached
+                // gate and skip the walk entirely. Exactness argument:
+                // while the generation matches, no command issued and no
+                // request joined or left the bank, so its state, match
+                // counts, and (monotone) gates are unchanged; with the
+                // pending flag also unchanged and the cached gate still
+                // in the future, a re-enumeration would walk the same
+                // requests, find them all gated by the same absolute
+                // cycle values, and emit the same minimum.
+                if bank_gate_gen[key] == self.gate_gen
+                    && bank_gate_pending[key] == p
+                    && now.raw() < bank_gate[key]
+                {
+                    gate_h = gate_h.min(bank_gate[key]);
+                    continue;
                 }
-                BankState::Idle => {
-                    // Activation candidate (blocked while refresh pends).
-                    if pending[rank.index()] || act_seen[key] {
-                        continue;
-                    }
-                    let rt = self.device.rank_timing(rank);
-                    let act_gate = bv.earliest_act.max(rt.next_act_rank_ok);
-                    if self.now < act_gate {
-                        gate_h = gate_h.min(act_gate.raw());
-                        continue;
-                    }
-                    let timings = self.policy.act_timings(&view, req);
-                    let command = DramCommand::Activate {
-                        rank,
-                        bank,
-                        row: req.addr.row,
-                        timings,
-                    };
-                    match self.device.can_issue(&command, self.now) {
-                        Ok(()) => {
-                            act_seen[key] = true;
-                            let (pb, zone) = pb_zone();
-                            out.push(Candidate {
-                                request: *req,
-                                command,
-                                kind: CandidateKind::Activate,
-                                pb,
-                                zone,
-                            });
+                let bank = Bank::new(bi as u32);
+                let bv = self.device.bank(rank, bank);
+                let gates = rt.bank_gates(bv);
+                let mut bank_h = u64::MAX;
+                let n_before = out.len();
+
+                match bv.state {
+                    BankState::Active { row, .. } => {
+                        debug_assert_eq!(
+                            self.queues.open_row_mirror(key),
+                            Some(row),
+                            "queue open-row mirror out of sync with device"
+                        );
+                        let (hit_r, hit_w) = self.queues.hit_counts(key);
+                        let hits = hit_r + hit_w;
+                        if hits > 0 {
+                            // Column candidates, per kind, from the
+                            // incremental match index.
+                            for (kind, count) in
+                                [(RequestKind::Read, hit_r), (RequestKind::Write, hit_w)]
+                            {
+                                if count == 0 {
+                                    continue;
+                                }
+                                let gate = match kind {
+                                    RequestKind::Read => gates.read,
+                                    RequestKind::Write => gates.write,
+                                };
+                                if now < gate {
+                                    bank_h = bank_h.min(gate.raw());
+                                    continue;
+                                }
+                                for (slot, req) in self.queues.bank_hits_slots(key, kind) {
+                                    // NUAT's close-page decisions preserve
+                                    // imminent hits: a row some other queued
+                                    // request still needs stays open (this
+                                    // request itself accounts for one entry
+                                    // in the hit count). The FR-FCFS(close)
+                                    // baseline stays pure.
+                                    let auto = p
+                                        || (self.policy.auto_precharge(&view, req)
+                                            && !(self.policy.preserve_pending_hits() && hits > 1));
+                                    let command = match kind {
+                                        RequestKind::Read => DramCommand::Read {
+                                            rank,
+                                            bank,
+                                            col: req.addr.col,
+                                            auto_precharge: auto,
+                                        },
+                                        RequestKind::Write => DramCommand::Write {
+                                            rank,
+                                            bank,
+                                            col: req.addr.col,
+                                            auto_precharge: auto,
+                                        },
+                                    };
+                                    if self.device.can_issue(&command, now).is_ok() {
+                                        let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                                        out.push(Candidate {
+                                            request: *req,
+                                            command,
+                                            kind: CandidateKind::Column,
+                                            pb,
+                                            zone,
+                                        });
+                                        out_slots.push(slot);
+                                        if dedup_cols {
+                                            break;
+                                        }
+                                    } else {
+                                        // Legal by the mirrored gates but
+                                        // refused by the device: stay
+                                        // conservative and keep the horizon
+                                        // at `now` (a gate value `<= now`
+                                        // does exactly that after the
+                                        // saturating clamp).
+                                        bank_h = bank_h.min(gate.raw());
+                                    }
+                                }
+                            }
+                        } else if now < gates.pre {
+                            // Conflict: consider precharging, but never
+                            // close a row some queued request still hits.
+                            bank_h = bank_h.min(gates.pre.raw());
+                        } else {
+                            let req = *self.queues.bank_head(key).expect("bank_len > 0");
+                            let command = DramCommand::Precharge { rank, bank };
+                            if self.device.can_issue(&command, now).is_ok() {
+                                let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                                out.push(Candidate {
+                                    request: req,
+                                    command,
+                                    kind: CandidateKind::Precharge,
+                                    pb,
+                                    zone,
+                                });
+                                out_slots.push(NO_SLOT);
+                            } else {
+                                bank_h = bank_h.min(gates.pre.raw());
+                            }
                         }
-                        Err(e) if e.is_too_early() => {
-                            gate_h = gate_h.min(act_gate.raw());
+                    }
+                    BankState::Idle => {
+                        // Activation (blocked while refresh pends; a
+                        // pending bank contributes no gate either — the
+                        // refresh horizon covers it).
+                        if !p {
+                            if now < gates.act {
+                                bank_h = bank_h.min(gates.act.raw());
+                            } else {
+                                // Walk until the device accepts one: a
+                                // charge-state refusal of the oldest row
+                                // must not silence a younger sibling the
+                                // flat scan would have offered.
+                                for req in self.queues.bank_requests(key) {
+                                    let timings = self.policy.act_timings(&view, req);
+                                    let command = DramCommand::Activate {
+                                        rank,
+                                        bank,
+                                        row: req.addr.row,
+                                        timings,
+                                    };
+                                    match self.device.can_issue(&command, now) {
+                                        Ok(()) => {
+                                            let (pb, zone) =
+                                                self.pbr.pb_and_zone(lrra, req.addr.row);
+                                            out.push(Candidate {
+                                                request: *req,
+                                                command,
+                                                kind: CandidateKind::Activate,
+                                                pb,
+                                                zone,
+                                            });
+                                            out_slots.push(NO_SLOT);
+                                            break;
+                                        }
+                                        Err(e) if e.is_too_early() => {
+                                            bank_h = bank_h.min(gates.act.raw());
+                                        }
+                                        // A non-timing rejection (physical
+                                        // violation, protocol misuse) would
+                                        // silently starve the request forever
+                                        // — that is always a bug.
+                                        Err(e) => panic!("illegal ACT candidate {command}: {e}"),
+                                    }
+                                }
+                            }
                         }
-                        // A non-timing rejection (physical violation,
-                        // protocol misuse) would silently starve the
-                        // request forever — that is always a bug.
-                        Err(e) => panic!("illegal ACT candidate {command}: {e}"),
                     }
                 }
+
+                if out.len() == n_before {
+                    // No candidate: memoize the bank's gate until the
+                    // next device mutation or enqueue to this bank.
+                    bank_gate_gen[key] = self.gate_gen;
+                    bank_gate[key] = bank_h;
+                    bank_gate_pending[key] = p;
+                } else {
+                    // The bank offered work; whatever happens next tick
+                    // must be recomputed.
+                    bank_gate_gen[key] = 0;
+                }
+                gate_h = gate_h.min(bank_h);
             }
         }
         *cand_horizon = gate_h;
     }
 
-    /// One queue pass counting, per bank, the queued requests that hit
-    /// the bank's open row. Replaces per-candidate O(queue) scans with
-    /// O(1) reads. Associated (not a method) so callers can hand in a
-    /// scratch buffer while other fields stay borrowed.
-    fn fill_open_row_hits(
-        queues: &RequestQueues,
-        device: &DramDevice,
-        banks_per_rank: usize,
-        total_banks: usize,
-        open_row_hits: &mut Vec<u32>,
-    ) {
-        open_row_hits.clear();
-        open_row_hits.resize(total_banks, 0);
-        for req in queues.iter() {
-            let key = req.addr.rank.index() * banks_per_rank + req.addr.bank.index();
-            if let BankState::Active { row, .. } = device.bank(req.addr.rank, req.addr.bank).state {
-                if row == req.addr.row {
-                    open_row_hits[key] += 1;
-                }
-            }
-        }
-    }
-
-    fn issue_candidate(&mut self, cand: Candidate) {
+    /// Issues `cand` on the device and retires its request (columns
+    /// only). `slot` is the request's slab slot from enumeration — the
+    /// candidate and the removal address the same storage, so no lookup
+    /// is needed at issue time.
+    fn issue_candidate(&mut self, cand: Candidate, slot: u32) {
         let done = self
             .device
             .issue(cand.command, self.now)
             .unwrap_or_else(|e| panic!("scheduler issued illegal command {}: {e}", cand.command));
+        self.gate_gen += 1;
+        // Keep the queues' open-row mirror (and thus the per-bank match
+        // lists) in lockstep with the device's row-buffer state.
+        match cand.command {
+            DramCommand::Activate {
+                rank, bank, row, ..
+            } => {
+                self.queues.note_row_open(rank, bank, row);
+            }
+            DramCommand::Precharge { rank, bank } => {
+                self.queues.note_row_close(rank, bank);
+            }
+            _ => {}
+        }
         self.stats.busy_cycles += 1;
         self.policy.observe_issue(&cand);
         if S::ENABLED {
@@ -1148,7 +1238,25 @@ impl<S: TraceSink> MemoryController<S> {
                 self.stats.per_bank_acts[bi] += 1;
             }
             CandidateKind::Column => {
-                self.queues.remove(cand.request.id);
+                debug_assert_ne!(slot, NO_SLOT, "column candidate without a slot");
+                self.queues.remove_at(slot, cand.request.id);
+                if let DramCommand::Read {
+                    rank,
+                    bank,
+                    auto_precharge: true,
+                    ..
+                }
+                | DramCommand::Write {
+                    rank,
+                    bank,
+                    auto_precharge: true,
+                    ..
+                } = cand.command
+                {
+                    // Auto-precharge closes the row at the device; the
+                    // mirror must drop the bank's match list with it.
+                    self.queues.note_row_close(rank, bank);
+                }
                 match cand.request.kind {
                     RequestKind::Read => {
                         self.stats.cols_read += 1;
@@ -1190,7 +1298,7 @@ impl<S: TraceSink> MemoryController<S> {
     fn manage_power(&mut self, ranks: usize) -> bool {
         for r in 0..ranks {
             let rank = Rank::new(r as u32);
-            let has_work = self.queues.iter().any(|q| q.addr.rank == rank);
+            let has_work = self.queues.rank_len(r) > 0;
             let refresh_soon = {
                 use nuat_dram::refresh::RefreshUrgency;
                 self.device.refresh_engine(rank).urgency(self.now) != RefreshUrgency::NotDue
@@ -1198,6 +1306,7 @@ impl<S: TraceSink> MemoryController<S> {
             if self.device.is_powered_down(rank) {
                 if has_work || refresh_soon {
                     self.device.power_up(rank, self.now);
+                    self.gate_gen += 1;
                     self.rank_idle_cycles[r] = 0;
                     if S::ENABLED {
                         self.sink.on_event(&TraceEvent::PowerState {
@@ -1219,6 +1328,7 @@ impl<S: TraceSink> MemoryController<S> {
             }
             if self.device.all_banks_idle(rank) {
                 self.device.power_down(rank, self.now);
+                self.gate_gen += 1;
                 if S::ENABLED {
                     self.sink.on_event(&TraceEvent::PowerState {
                         at: self.now.raw(),
@@ -1236,6 +1346,8 @@ impl<S: TraceSink> MemoryController<S> {
                     && self.device.can_issue(&cmd, self.now).is_ok()
                 {
                     self.device.issue(cmd, self.now).expect("checked");
+                    self.gate_gen += 1;
+                    self.queues.note_row_close(rank, bank);
                     self.stats.precharges += 1;
                     self.stats.busy_cycles += 1;
                     if S::ENABLED {
@@ -1257,6 +1369,238 @@ impl<S: TraceSink> MemoryController<S> {
     /// The refresh engine of one rank (stats/tests).
     pub fn refresh_engine(&self, rank: Rank) -> &RefreshEngine {
         self.device.refresh_engine(rank)
+    }
+
+    /// Enumeration-only entry point for the `candidate_enum` micro-bench:
+    /// refreshes the per-tick inputs (refresh-pending flags, LRRA
+    /// snapshot), bumps the gate generation so every bank is enumerated
+    /// cold (as after a command issue), and runs one candidate
+    /// enumeration pass. Returns the candidate count so the bench has a
+    /// value to sink. Not a stable API.
+    #[doc(hidden)]
+    pub fn bench_enumerate_candidates(&mut self) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.compute_refresh_pending(&mut scratch.pending);
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        scratch.lrras.clear();
+        scratch
+            .lrras
+            .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+        self.gate_gen += 1;
+        self.enumerate_candidates(&mut scratch);
+        let n = scratch.candidates.len();
+        self.scratch = scratch;
+        n
+    }
+
+    /// Reference enumeration: the pre-index O(occupancy) flat queue
+    /// scan, kept verbatim (modulo scratch buffers becoming locals) as
+    /// the oracle for `indexed_enum_equals_linear_scan`. Returns the
+    /// candidates in queue order plus the gate horizon.
+    #[cfg(test)]
+    fn enumerate_candidates_linear(
+        &self,
+        pending: &[bool],
+        lrras: &[Row],
+    ) -> (Vec<Candidate>, u64) {
+        let mut out = Vec::new();
+        let mut gate_h = u64::MAX;
+        let view = PolicyView {
+            now: self.now,
+            mode: self.queues.mode(),
+            lrras,
+            pbr: &self.pbr,
+        };
+        let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
+        let total_banks = self.queues.total_banks();
+        let mut act_seen = vec![false; total_banks];
+        let mut pre_seen = vec![false; total_banks];
+        let dedup_cols = self.policy.prefers_oldest_equal_command();
+        let mut col_seen = vec![false; 2 * total_banks];
+
+        let mut open_row_hits = vec![0u32; total_banks];
+        for req in self.queues.iter() {
+            let key = req.addr.rank.index() * banks_per_rank + req.addr.bank.index();
+            if let BankState::Active { row, .. } =
+                self.device.bank(req.addr.rank, req.addr.bank).state
+            {
+                if row == req.addr.row {
+                    open_row_hits[key] += 1;
+                }
+            }
+        }
+
+        for req in self.queues.iter() {
+            let rank = req.addr.rank;
+            let bank = req.addr.bank;
+            let bv = self.device.bank(rank, bank);
+            let key = rank.index() * banks_per_rank + bank.index();
+            let lrra = lrras[rank.index()];
+            let pbr = &self.pbr;
+            let pb_zone = || pbr.pb_and_zone(lrra, req.addr.row);
+
+            match bv.state {
+                BankState::Active { row, .. } if row == req.addr.row => {
+                    let ck = 2 * key + (req.kind == RequestKind::Write) as usize;
+                    if dedup_cols && col_seen[ck] {
+                        continue;
+                    }
+                    let rt = self.device.rank_timing(rank);
+                    let gate = match req.kind {
+                        RequestKind::Read => bv.earliest_read.max(rt.earliest_col_read),
+                        RequestKind::Write => bv.earliest_write.max(rt.earliest_col_write),
+                    };
+                    if self.now < gate {
+                        gate_h = gate_h.min(gate.raw());
+                        continue;
+                    }
+                    let auto = pending[rank.index()]
+                        || (self.policy.auto_precharge(&view, req)
+                            && !(self.policy.preserve_pending_hits() && open_row_hits[key] > 1));
+                    let command = match req.kind {
+                        RequestKind::Read => DramCommand::Read {
+                            rank,
+                            bank,
+                            col: req.addr.col,
+                            auto_precharge: auto,
+                        },
+                        RequestKind::Write => DramCommand::Write {
+                            rank,
+                            bank,
+                            col: req.addr.col,
+                            auto_precharge: auto,
+                        },
+                    };
+                    if self.device.can_issue(&command, self.now).is_ok() {
+                        col_seen[ck] = true;
+                        let (pb, zone) = pb_zone();
+                        out.push(Candidate {
+                            request: *req,
+                            command,
+                            kind: CandidateKind::Column,
+                            pb,
+                            zone,
+                        });
+                    } else {
+                        gate_h = gate_h.min(gate.raw());
+                    }
+                }
+                BankState::Active { .. } => {
+                    if pre_seen[key] || open_row_hits[key] > 0 {
+                        continue;
+                    }
+                    if self.now < bv.earliest_pre {
+                        gate_h = gate_h.min(bv.earliest_pre.raw());
+                        continue;
+                    }
+                    let command = DramCommand::Precharge { rank, bank };
+                    if self.device.can_issue(&command, self.now).is_ok() {
+                        pre_seen[key] = true;
+                        let (pb, zone) = pb_zone();
+                        out.push(Candidate {
+                            request: *req,
+                            command,
+                            kind: CandidateKind::Precharge,
+                            pb,
+                            zone,
+                        });
+                    } else {
+                        gate_h = gate_h.min(bv.earliest_pre.raw());
+                    }
+                }
+                BankState::Idle => {
+                    if pending[rank.index()] || act_seen[key] {
+                        continue;
+                    }
+                    let rt = self.device.rank_timing(rank);
+                    let act_gate = bv.earliest_act.max(rt.next_act_rank_ok);
+                    if self.now < act_gate {
+                        gate_h = gate_h.min(act_gate.raw());
+                        continue;
+                    }
+                    let timings = self.policy.act_timings(&view, req);
+                    let command = DramCommand::Activate {
+                        rank,
+                        bank,
+                        row: req.addr.row,
+                        timings,
+                    };
+                    match self.device.can_issue(&command, self.now) {
+                        Ok(()) => {
+                            act_seen[key] = true;
+                            let (pb, zone) = pb_zone();
+                            out.push(Candidate {
+                                request: *req,
+                                command,
+                                kind: CandidateKind::Activate,
+                                pb,
+                                zone,
+                            });
+                        }
+                        Err(e) if e.is_too_early() => {
+                            gate_h = gate_h.min(act_gate.raw());
+                        }
+                        Err(e) => panic!("illegal ACT candidate {command}: {e}"),
+                    }
+                }
+            }
+        }
+        (out, gate_h)
+    }
+
+    /// Cross-checks the indexed enumeration against the linear oracle at
+    /// the controller's current state: identical candidate *set*,
+    /// identical `cand_horizon`, and an identical policy choice from
+    /// either ordering. Also exercises the per-bank gate cache by
+    /// running the indexed pass twice (cold, then warm on the
+    /// now-populated cache) and demanding bit-identical results.
+    #[cfg(test)]
+    pub(crate) fn check_enumeration_equivalence(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.compute_refresh_pending(&mut scratch.pending);
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        scratch.lrras.clear();
+        scratch
+            .lrras
+            .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+
+        self.gate_gen += 1; // force a cold pass
+        self.enumerate_candidates(&mut scratch);
+        let cold = scratch.candidates.clone();
+        let cold_h = scratch.cand_horizon;
+        self.enumerate_candidates(&mut scratch); // warm: hits the gate cache
+        assert_eq!(scratch.candidates, cold, "warm gate-cache pass diverged");
+        assert_eq!(scratch.cand_horizon, cold_h, "warm horizon diverged");
+
+        let (linear, linear_h) = self.enumerate_candidates_linear(&scratch.pending, &scratch.lrras);
+        let mut a = cold.clone();
+        let mut b = linear.clone();
+        // Both emit at most one candidate per (bank, row-state, kind)
+        // group and tag each with a distinct request, so sorting by the
+        // unique age id makes the set comparison order-insensitive.
+        a.sort_by_key(|c| c.request.id);
+        b.sort_by_key(|c| c.request.id);
+        assert_eq!(a, b, "indexed and linear candidate sets differ");
+        assert_eq!(cold_h, linear_h, "cand_horizon differs from linear scan");
+
+        // The policy must pick the same command from either ordering.
+        let view = PolicyView {
+            now: self.now,
+            mode: self.queues.mode(),
+            lrras: &scratch.lrras,
+            pbr: &self.pbr,
+        };
+        let ci = self.policy.choose(&view, &cold);
+        let li = self.policy.choose(&view, &linear);
+        match (ci, li) {
+            (None, None) => {}
+            (Some(i), Some(j)) => assert_eq!(
+                cold[i], linear[j],
+                "policy chose different commands from indexed vs linear orderings"
+            ),
+            (i, j) => panic!("policy choice presence differs: {i:?} vs {j:?}"),
+        }
+        self.scratch = scratch;
     }
 }
 
@@ -1594,5 +1938,74 @@ mod tests {
         assert_eq!(plain.device().stats(), traced.device().stats());
         assert_eq!(plain.now(), traced.now());
         assert_eq!(plain.cycles_skipped(), traced.cycles_skipped());
+    }
+
+    mod indexed_vs_linear {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Drives a full random workload through the controller,
+        // cross-checking the indexed per-bank enumeration against the
+        // flat-scan oracle (same candidate set, same horizon, same
+        // policy choice, warm gate cache identical to cold) at every
+        // simulated cycle — enqueue bursts, timing-gated stretches,
+        // refresh windows and the final drain included.
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+            #[test]
+            fn indexed_enum_equals_linear_scan(
+                sched in 0usize..4,
+                two_ranks in proptest::bool::ANY,
+                ops in proptest::collection::vec(
+                    (proptest::bool::ANY, 0u32..8, 0u32..24, proptest::bool::ANY, 0u64..24),
+                    1..48,
+                ),
+            ) {
+                let kind = [
+                    SchedulerKind::Fcfs,
+                    SchedulerKind::FrFcfsOpen,
+                    SchedulerKind::FrFcfsClose,
+                    SchedulerKind::Nuat,
+                ][sched];
+                let mut cfg = SystemConfig::default();
+                if two_ranks {
+                    cfg.dram.geometry.ranks_per_channel = 2;
+                }
+                let ranks = cfg.dram.geometry.ranks_per_channel as u32;
+                let mut mc = MemoryController::new(cfg, kind);
+                for (hi_rank, bank, row, is_write, gap) in ops {
+                    let rk = if is_write {
+                        RequestKind::Write
+                    } else {
+                        RequestKind::Read
+                    };
+                    if mc.can_accept(rk) {
+                        mc.enqueue_decoded(
+                            0,
+                            rk,
+                            nuat_types::DecodedAddr {
+                                channel: nuat_types::Channel::new(0),
+                                rank: Rank::new(if hi_rank { ranks - 1 } else { 0 }),
+                                bank: Bank::new(bank),
+                                row: Row::new(row),
+                                col: nuat_types::Col::new(0),
+                            },
+                        );
+                    }
+                    for _ in 0..gap {
+                        mc.check_enumeration_equivalence();
+                        mc.tick();
+                    }
+                }
+                let mut guard = 0u32;
+                while !mc.is_idle() && guard < 50_000 {
+                    mc.check_enumeration_equivalence();
+                    mc.tick();
+                    guard += 1;
+                }
+                prop_assert!(mc.is_idle(), "workload failed to drain");
+            }
+        }
     }
 }

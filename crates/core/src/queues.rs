@@ -1,14 +1,38 @@
 //! Read and write queues with the paper's watermark-driven write-drain
-//! hysteresis (Table 1, Element 1; Fig. 13).
+//! hysteresis (Table 1, Element 1; Fig. 13) — stored *indexed by
+//! (rank, bank)* so the controller's per-cycle work scales with the
+//! channel's bank count, not with queue occupancy.
 //!
 //! The controller services reads by default. When the write queue fills
 //! to its high watermark it switches to *drain* mode (path ① in Fig. 13)
 //! and prefers writes until occupancy falls to the low watermark (path
 //! ②). Between the watermarks the previous mode persists — the
 //! "Previous Variable" entry of Table 1.
+//!
+//! ## Storage layout
+//!
+//! Requests live in a slab of slots threaded by three families of
+//! intrusive doubly-linked lists, all kept in **age order** (a global
+//! monotone id is assigned at `push` and never reused):
+//!
+//! * one *global* list per kind (reads, writes) — preserves the legacy
+//!   flat-FIFO iteration order for diagnostics and oracles,
+//! * one *per-(rank, bank)* list per kind — what candidate enumeration
+//!   walks, so a bank's oldest read/write is O(1) away,
+//! * one *per-(rank, bank) open-row match* list per kind — the requests
+//!   hitting the bank's currently open row, maintained incrementally on
+//!   enqueue / remove / row open / row close (the controller notifies
+//!   row transitions via [`note_row_open`](RequestQueues::note_row_open)
+//!   / [`note_row_close`](RequestQueues::note_row_close)).
+//!
+//! Per-rank occupancy counters ride along so power management and the
+//! event-horizon computation need no queue scans either. Because every
+//! list is age-ordered and ids are unique, any scheduler that breaks
+//! ties by age id sees *bit-identical* choices whether candidates are
+//! produced by a flat scan or bank by bank (see DESIGN.md §7).
 
 use crate::request::{MemoryRequest, RequestId, RequestKind};
-use nuat_types::ControllerConfig;
+use nuat_types::{Bank, ControllerConfig, Rank, Row};
 use serde::{Deserialize, Serialize};
 
 /// The two Element-1 hysteresis states.
@@ -20,50 +44,321 @@ pub enum DrainMode {
     DrainWrites,
 }
 
-/// The controller's request queues.
+/// Null link: the slab never grows near `u32::MAX` slots (capacities are
+/// bounded by the queue configuration).
+const NIL: u32 = u32::MAX;
+
+/// Which intrusive list family a link operation addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Link {
+    /// Global per-kind age list.
+    Global,
+    /// Per-(rank, bank) per-kind age list.
+    Bank,
+    /// Per-(rank, bank) per-kind open-row match list.
+    Hit,
+}
+
+/// One slab entry: the request plus its three pairs of intrusive links.
+#[derive(Debug, Clone)]
+struct Slot {
+    req: MemoryRequest,
+    live: bool,
+    gprev: u32,
+    gnext: u32,
+    bprev: u32,
+    bnext: u32,
+    hprev: u32,
+    hnext: u32,
+    /// True while the slot is threaded on its bank's open-row match
+    /// list (so removal knows whether to unlink from it).
+    in_hit: bool,
+}
+
+impl Slot {
+    fn new(req: MemoryRequest) -> Self {
+        Slot {
+            req,
+            live: true,
+            gprev: NIL,
+            gnext: NIL,
+            bprev: NIL,
+            bnext: NIL,
+            hprev: NIL,
+            hnext: NIL,
+            in_hit: false,
+        }
+    }
+
+    fn prev(&self, l: Link) -> u32 {
+        match l {
+            Link::Global => self.gprev,
+            Link::Bank => self.bprev,
+            Link::Hit => self.hprev,
+        }
+    }
+
+    fn next(&self, l: Link) -> u32 {
+        match l {
+            Link::Global => self.gnext,
+            Link::Bank => self.bnext,
+            Link::Hit => self.hnext,
+        }
+    }
+
+    fn set_prev(&mut self, l: Link, v: u32) {
+        match l {
+            Link::Global => self.gprev = v,
+            Link::Bank => self.bprev = v,
+            Link::Hit => self.hprev = v,
+        }
+    }
+
+    fn set_next(&mut self, l: Link, v: u32) {
+        match l {
+            Link::Global => self.gnext = v,
+            Link::Bank => self.bnext = v,
+            Link::Hit => self.hnext = v,
+        }
+    }
+}
+
+/// Head/tail of one intrusive list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ListHeads {
+    head: u32,
+    tail: u32,
+}
+
+impl ListHeads {
+    const EMPTY: ListHeads = ListHeads {
+        head: NIL,
+        tail: NIL,
+    };
+}
+
+/// Appends slot `i` at the tail of `list` (age order: newest last).
+fn push_back(slots: &mut [Slot], list: &mut ListHeads, i: u32, l: Link) {
+    slots[i as usize].set_prev(l, list.tail);
+    slots[i as usize].set_next(l, NIL);
+    if list.tail == NIL {
+        list.head = i;
+    } else {
+        slots[list.tail as usize].set_next(l, i);
+    }
+    list.tail = i;
+}
+
+/// Unlinks slot `i` from `list`.
+fn unlink(slots: &mut [Slot], list: &mut ListHeads, i: u32, l: Link) {
+    let (p, n) = {
+        let s = &slots[i as usize];
+        (s.prev(l), s.next(l))
+    };
+    if p == NIL {
+        list.head = n;
+    } else {
+        slots[p as usize].set_next(l, n);
+    }
+    if n == NIL {
+        list.tail = p;
+    } else {
+        slots[n as usize].set_prev(l, p);
+    }
+}
+
+/// Per-(rank, bank) index: age lists, the open-row match lists, and the
+/// controller-maintained mirror of the bank's open row.
+#[derive(Debug, Clone)]
+struct BankIndex {
+    reads: ListHeads,
+    writes: ListHeads,
+    hit_reads: ListHeads,
+    hit_writes: ListHeads,
+    hit_read_count: u32,
+    hit_write_count: u32,
+    /// Mirror of the device's row-buffer state, driven by
+    /// `note_row_open` / `note_row_close`. `None` for direct users that
+    /// never report row transitions (the match index then stays empty,
+    /// which is exactly right: no row is open).
+    open_row: Option<Row>,
+    len: u32,
+}
+
+impl BankIndex {
+    const EMPTY: BankIndex = BankIndex {
+        reads: ListHeads::EMPTY,
+        writes: ListHeads::EMPTY,
+        hit_reads: ListHeads::EMPTY,
+        hit_writes: ListHeads::EMPTY,
+        hit_read_count: 0,
+        hit_write_count: 0,
+        open_row: None,
+        len: 0,
+    };
+}
+
+/// Age-order cursor over one intrusive list.
+#[derive(Debug)]
+pub struct ListIter<'a> {
+    slots: &'a [Slot],
+    cur: u32,
+    link: Link,
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = &'a MemoryRequest;
+
+    fn next(&mut self) -> Option<&'a MemoryRequest> {
+        if self.cur == NIL {
+            return None;
+        }
+        let s = &self.slots[self.cur as usize];
+        self.cur = s.next(self.link);
+        Some(&s.req)
+    }
+}
+
+/// Age-order cursor over one intrusive list that also yields each
+/// request's slab slot, so the issue path can remove the chosen request
+/// in O(1) via [`RequestQueues::remove_at`] instead of re-walking its
+/// bank list to find it.
+#[derive(Debug)]
+pub struct SlotIter<'a> {
+    slots: &'a [Slot],
+    cur: u32,
+    link: Link,
+}
+
+impl<'a> Iterator for SlotIter<'a> {
+    type Item = (u32, &'a MemoryRequest);
+
+    fn next(&mut self) -> Option<(u32, &'a MemoryRequest)> {
+        if self.cur == NIL {
+            return None;
+        }
+        let i = self.cur;
+        let s = &self.slots[i as usize];
+        self.cur = s.next(self.link);
+        Some((i, &s.req))
+    }
+}
+
+/// Sentinel slot value for candidates that never need slot-addressed
+/// removal (activates and precharges leave their request queued).
+pub(crate) const NO_SLOT: u32 = NIL;
+
+/// The controller's request queues, indexed per (rank, bank).
 #[derive(Debug, Clone)]
 pub struct RequestQueues {
-    reads: Vec<MemoryRequest>,
-    writes: Vec<MemoryRequest>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    reads: ListHeads,
+    writes: ListHeads,
+    banks: Vec<BankIndex>,
+    rank_len: Vec<u32>,
+    banks_per_rank: usize,
+    read_len: usize,
+    write_len: usize,
     cfg: ControllerConfig,
     mode: DrainMode,
     next_id: u64,
 }
 
 impl RequestQueues {
-    /// Creates empty queues with the given capacities/watermarks.
-    pub fn new(cfg: ControllerConfig) -> Self {
+    /// Creates empty queues with the given capacities/watermarks, sized
+    /// for `ranks × banks_per_rank` bank sub-queues.
+    pub fn new(cfg: ControllerConfig, ranks: usize, banks_per_rank: usize) -> Self {
+        let cap = cfg.read_queue_capacity + cfg.write_queue_capacity;
         RequestQueues {
-            reads: Vec::with_capacity(cfg.read_queue_capacity),
-            writes: Vec::with_capacity(cfg.write_queue_capacity),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            reads: ListHeads::EMPTY,
+            writes: ListHeads::EMPTY,
+            banks: vec![BankIndex::EMPTY; ranks * banks_per_rank],
+            rank_len: vec![0; ranks],
+            banks_per_rank,
+            read_len: 0,
+            write_len: 0,
             cfg,
             mode: DrainMode::ServeReads,
             next_id: 0,
         }
     }
 
+    fn key_of(&self, req: &MemoryRequest) -> usize {
+        req.addr.rank.index() * self.banks_per_rank + req.addr.bank.index()
+    }
+
     /// True if a request of `kind` can be accepted this cycle.
     pub fn has_room(&self, kind: RequestKind) -> bool {
         match kind {
-            RequestKind::Read => self.reads.len() < self.cfg.read_queue_capacity,
-            RequestKind::Write => self.writes.len() < self.cfg.write_queue_capacity,
+            RequestKind::Read => self.read_len < self.cfg.read_queue_capacity,
+            RequestKind::Write => self.write_len < self.cfg.write_queue_capacity,
         }
     }
 
-    /// Enqueues a request, assigning its id, and updates the drain mode.
+    /// Enqueues a request, assigning its id (the global age counter that
+    /// every scheduler's tie-break keys on), threading it onto its
+    /// bank's lists — and onto the bank's open-row match list when it
+    /// hits — and updates the drain mode.
     ///
     /// # Panics
     ///
-    /// Panics if the target queue is full; callers must check
-    /// [`has_room`](Self::has_room) (the CPU model stalls on full queues).
+    /// Panics if the target queue is full (callers must check
+    /// [`has_room`](Self::has_room); the CPU model stalls on full
+    /// queues) or if the address lies outside the configured topology.
     pub fn push(&mut self, mut req: MemoryRequest) -> RequestId {
         assert!(self.has_room(req.kind), "queue full: {}", req.kind);
         let id = RequestId(self.next_id);
         self.next_id += 1;
         req.id = id;
-        match req.kind {
-            RequestKind::Read => self.reads.push(req),
-            RequestKind::Write => self.writes.push(req),
+        let rank = req.addr.rank.index();
+        assert!(
+            req.addr.bank.index() < self.banks_per_rank && rank < self.rank_len.len(),
+            "request outside topology: {}",
+            req
+        );
+        let key = self.key_of(&req);
+        let kind = req.kind;
+        let row = req.addr.row;
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot::new(req);
+                i
+            }
+            None => {
+                self.slots.push(Slot::new(req));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        match kind {
+            RequestKind::Read => push_back(&mut self.slots, &mut self.reads, i, Link::Global),
+            RequestKind::Write => push_back(&mut self.slots, &mut self.writes, i, Link::Global),
+        }
+        let b = &mut self.banks[key];
+        b.len += 1;
+        match kind {
+            RequestKind::Read => push_back(&mut self.slots, &mut b.reads, i, Link::Bank),
+            RequestKind::Write => push_back(&mut self.slots, &mut b.writes, i, Link::Bank),
+        }
+        if b.open_row == Some(row) {
+            match kind {
+                RequestKind::Read => {
+                    push_back(&mut self.slots, &mut b.hit_reads, i, Link::Hit);
+                    b.hit_read_count += 1;
+                }
+                RequestKind::Write => {
+                    push_back(&mut self.slots, &mut b.hit_writes, i, Link::Hit);
+                    b.hit_write_count += 1;
+                }
+            }
+            self.slots[i as usize].in_hit = true;
+        }
+        self.rank_len[rank] += 1;
+        match kind {
+            RequestKind::Read => self.read_len += 1,
+            RequestKind::Write => self.write_len += 1,
         }
         self.update_mode();
         id
@@ -71,21 +366,138 @@ impl RequestQueues {
 
     /// Removes a completed/issued request.
     pub fn remove(&mut self, id: RequestId) -> Option<MemoryRequest> {
-        if let Some(i) = self.reads.iter().position(|r| r.id == id) {
-            let r = self.reads.remove(i);
-            self.update_mode();
-            return Some(r);
+        // Search reads then writes — the legacy flat-queue order.
+        let mut i = self.reads.head;
+        while i != NIL {
+            let s = &self.slots[i as usize];
+            if s.req.id == id {
+                return Some(self.remove_slot(i));
+            }
+            i = s.gnext;
         }
-        if let Some(i) = self.writes.iter().position(|r| r.id == id) {
-            let r = self.writes.remove(i);
-            self.update_mode();
-            return Some(r);
+        let mut i = self.writes.head;
+        while i != NIL {
+            let s = &self.slots[i as usize];
+            if s.req.id == id {
+                return Some(self.remove_slot(i));
+            }
+            i = s.gnext;
         }
         None
     }
 
+    /// Removes the request in `slot` — O(1), no list walk. The caller
+    /// supplies the id it believes the slot holds (candidates carry
+    /// their request by value); a mismatch means the slot reference
+    /// went stale between enumeration and issue, which is a controller
+    /// bug, never a recoverable condition.
+    pub(crate) fn remove_at(&mut self, slot: u32, id: RequestId) -> MemoryRequest {
+        assert_eq!(
+            self.slots[slot as usize].req.id, id,
+            "stale slot reference in remove_at"
+        );
+        self.remove_slot(slot)
+    }
+
+    fn remove_slot(&mut self, i: u32) -> MemoryRequest {
+        debug_assert!(self.slots[i as usize].live, "double remove of slot {i}");
+        let req = self.slots[i as usize].req;
+        let kind = req.kind;
+        let rank = req.addr.rank.index();
+        let key = self.key_of(&req);
+        match kind {
+            RequestKind::Read => unlink(&mut self.slots, &mut self.reads, i, Link::Global),
+            RequestKind::Write => unlink(&mut self.slots, &mut self.writes, i, Link::Global),
+        }
+        let b = &mut self.banks[key];
+        b.len -= 1;
+        match kind {
+            RequestKind::Read => unlink(&mut self.slots, &mut b.reads, i, Link::Bank),
+            RequestKind::Write => unlink(&mut self.slots, &mut b.writes, i, Link::Bank),
+        }
+        if self.slots[i as usize].in_hit {
+            match kind {
+                RequestKind::Read => {
+                    unlink(&mut self.slots, &mut b.hit_reads, i, Link::Hit);
+                    b.hit_read_count -= 1;
+                }
+                RequestKind::Write => {
+                    unlink(&mut self.slots, &mut b.hit_writes, i, Link::Hit);
+                    b.hit_write_count -= 1;
+                }
+            }
+        }
+        self.rank_len[rank] -= 1;
+        match kind {
+            RequestKind::Read => self.read_len -= 1,
+            RequestKind::Write => self.write_len -= 1,
+        }
+        self.slots[i as usize].live = false;
+        self.free.push(i);
+        self.update_mode();
+        req
+    }
+
+    /// Controller notification: an `ACT` opened `row` in (rank, bank).
+    /// Rebuilds the bank's open-row match lists in one O(bank
+    /// occupancy) pass (age order is inherited from the bank lists).
+    pub fn note_row_open(&mut self, rank: Rank, bank: Bank, row: Row) {
+        let key = rank.index() * self.banks_per_rank + bank.index();
+        let b = &mut self.banks[key];
+        debug_assert!(
+            b.open_row.is_none(),
+            "row opened over an already-open mirror"
+        );
+        b.open_row = Some(row);
+        for kind in [RequestKind::Read, RequestKind::Write] {
+            let src = match kind {
+                RequestKind::Read => b.reads,
+                RequestKind::Write => b.writes,
+            };
+            let mut cur = src.head;
+            while cur != NIL {
+                let next = self.slots[cur as usize].bnext;
+                if self.slots[cur as usize].req.addr.row == row {
+                    debug_assert!(!self.slots[cur as usize].in_hit);
+                    match kind {
+                        RequestKind::Read => {
+                            push_back(&mut self.slots, &mut b.hit_reads, cur, Link::Hit);
+                            b.hit_read_count += 1;
+                        }
+                        RequestKind::Write => {
+                            push_back(&mut self.slots, &mut b.hit_writes, cur, Link::Hit);
+                            b.hit_write_count += 1;
+                        }
+                    }
+                    self.slots[cur as usize].in_hit = true;
+                }
+                cur = next;
+            }
+        }
+    }
+
+    /// Controller notification: (rank, bank)'s row buffer closed (PRE,
+    /// auto-precharge, or a refresh-path close). Clears the match index.
+    pub fn note_row_close(&mut self, rank: Rank, bank: Bank) {
+        let key = rank.index() * self.banks_per_rank + bank.index();
+        let b = &mut self.banks[key];
+        b.open_row = None;
+        for head in [b.hit_reads.head, b.hit_writes.head] {
+            let mut cur = head;
+            while cur != NIL {
+                let s = &mut self.slots[cur as usize];
+                s.in_hit = false;
+                cur = s.hnext;
+            }
+        }
+        b.hit_reads = ListHeads::EMPTY;
+        b.hit_writes = ListHeads::EMPTY;
+        b.hit_read_count = 0;
+        b.hit_write_count = 0;
+    }
+
     fn update_mode(&mut self) {
-        let wq = self.writes.len();
+        let wq = self.write_len;
         if wq > self.cfg.write_high_watermark {
             self.mode = DrainMode::DrainWrites;
         } else if wq < self.cfg.write_low_watermark {
@@ -99,41 +511,93 @@ impl RequestQueues {
         self.mode
     }
 
-    /// Queued reads, arrival order.
-    pub fn reads(&self) -> &[MemoryRequest] {
-        &self.reads
+    fn list_iter(&self, head: u32, link: Link) -> ListIter<'_> {
+        ListIter {
+            slots: &self.slots,
+            cur: head,
+            link,
+        }
     }
 
-    /// Queued writes, arrival order.
-    pub fn writes(&self) -> &[MemoryRequest] {
-        &self.writes
-    }
-
-    /// All queued requests (reads then writes).
+    /// All queued requests (reads then writes, each in arrival order) —
+    /// the legacy flat-scan order, kept for diagnostics and test
+    /// oracles.
     pub fn iter(&self) -> impl Iterator<Item = &MemoryRequest> {
-        self.reads.iter().chain(self.writes.iter())
+        self.list_iter(self.reads.head, Link::Global)
+            .chain(self.list_iter(self.writes.head, Link::Global))
+    }
+
+    /// Number of bank sub-queues (`ranks × banks_per_rank`).
+    pub(crate) fn total_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Queued requests in bank `key` (counting both kinds).
+    pub(crate) fn bank_len(&self, key: usize) -> u32 {
+        self.banks[key].len
+    }
+
+    /// Queued requests targeting rank `r`.
+    pub(crate) fn rank_len(&self, r: usize) -> u32 {
+        self.rank_len[r]
+    }
+
+    /// Bank `key`'s requests: reads then writes, each in age order —
+    /// the same relative order the flat scan visited them in.
+    pub(crate) fn bank_requests(&self, key: usize) -> impl Iterator<Item = &MemoryRequest> {
+        let b = &self.banks[key];
+        self.list_iter(b.reads.head, Link::Bank)
+            .chain(self.list_iter(b.writes.head, Link::Bank))
+    }
+
+    /// Bank `key`'s oldest request, preferring reads over writes (the
+    /// flat scan's first visit to the bank).
+    pub(crate) fn bank_head(&self, key: usize) -> Option<&MemoryRequest> {
+        self.bank_requests(key).next()
+    }
+
+    /// Bank `key`'s open-row matches of one kind, age order, each with
+    /// its slab slot (for O(1) removal of the issued request via
+    /// [`remove_at`](Self::remove_at)).
+    pub(crate) fn bank_hits_slots(&self, key: usize, kind: RequestKind) -> SlotIter<'_> {
+        let b = &self.banks[key];
+        let head = match kind {
+            RequestKind::Read => b.hit_reads.head,
+            RequestKind::Write => b.hit_writes.head,
+        };
+        SlotIter {
+            slots: &self.slots,
+            cur: head,
+            link: Link::Hit,
+        }
+    }
+
+    /// Bank `key`'s open-row match counts `(reads, writes)`.
+    pub(crate) fn hit_counts(&self, key: usize) -> (u32, u32) {
+        let b = &self.banks[key];
+        (b.hit_read_count, b.hit_write_count)
+    }
+
+    /// The mirrored open row of bank `key` (diagnostics/assertions).
+    pub(crate) fn open_row_mirror(&self, key: usize) -> Option<Row> {
+        self.banks[key].open_row
     }
 
     /// Occupancy `(reads, writes)`.
     pub fn occupancy(&self) -> (usize, usize) {
-        (self.reads.len(), self.writes.len())
+        (self.read_len, self.write_len)
     }
 
     /// True when both queues are empty.
     pub fn is_empty(&self) -> bool {
-        self.reads.is_empty() && self.writes.is_empty()
+        self.read_len + self.write_len == 0
     }
 
     /// True if any queued request (of either kind) targets `row` in the
     /// given bank — used to guard precharges of useful rows.
-    pub fn any_request_hits(
-        &self,
-        rank: nuat_types::Rank,
-        bank: nuat_types::Bank,
-        row: nuat_types::Row,
-    ) -> bool {
-        self.iter()
-            .any(|r| r.addr.rank == rank && r.addr.bank == bank && r.addr.row == row)
+    pub fn any_request_hits(&self, rank: Rank, bank: Bank, row: Row) -> bool {
+        let key = rank.index() * self.banks_per_rank + bank.index();
+        self.bank_requests(key).any(|r| r.addr.row == row)
     }
 
     /// Like [`any_request_hits`](Self::any_request_hits) but ignoring
@@ -142,14 +606,14 @@ impl RequestQueues {
     /// pending hit.
     pub fn any_other_request_hits(
         &self,
-        rank: nuat_types::Rank,
-        bank: nuat_types::Bank,
-        row: nuat_types::Row,
+        rank: Rank,
+        bank: Bank,
+        row: Row,
         except: RequestId,
     ) -> bool {
-        self.iter().any(|r| {
-            r.id != except && r.addr.rank == rank && r.addr.bank == bank && r.addr.row == row
-        })
+        let key = rank.index() * self.banks_per_rank + bank.index();
+        self.bank_requests(key)
+            .any(|r| r.id != except && r.addr.row == row)
     }
 }
 
@@ -159,6 +623,10 @@ mod tests {
     use nuat_types::{Bank, Channel, Col, DecodedAddr, McCycle, Rank, Row};
 
     fn mk(kind: RequestKind, row: u32) -> MemoryRequest {
+        mk_at(kind, row, 0)
+    }
+
+    fn mk_at(kind: RequestKind, row: u32, bank: u32) -> MemoryRequest {
         MemoryRequest {
             id: RequestId(0),
             core: 0,
@@ -166,7 +634,7 @@ mod tests {
             addr: DecodedAddr {
                 channel: Channel::new(0),
                 rank: Rank::new(0),
-                bank: Bank::new(0),
+                bank: Bank::new(bank),
                 row: Row::new(row),
                 col: Col::new(0),
             },
@@ -175,7 +643,7 @@ mod tests {
     }
 
     fn queues() -> RequestQueues {
-        RequestQueues::new(ControllerConfig::default())
+        RequestQueues::new(ControllerConfig::default(), 1, 8)
     }
 
     #[test]
@@ -237,5 +705,87 @@ mod tests {
         for i in 0..=64 {
             q.push(mk(RequestKind::Read, i));
         }
+    }
+
+    #[test]
+    fn bank_lists_preserve_age_order_across_banks() {
+        let mut q = queues();
+        // Interleave two banks; each bank list must stay age-ordered
+        // and the global iteration must stay reads-then-writes by age.
+        q.push(mk_at(RequestKind::Read, 1, 0));
+        q.push(mk_at(RequestKind::Read, 2, 3));
+        q.push(mk_at(RequestKind::Write, 3, 0));
+        q.push(mk_at(RequestKind::Read, 4, 0));
+        q.push(mk_at(RequestKind::Write, 5, 3));
+        let bank0: Vec<u32> = q.bank_requests(0).map(|r| r.addr.row.raw()).collect();
+        assert_eq!(bank0, vec![1, 4, 3], "reads by age, then writes by age");
+        let bank3: Vec<u32> = q.bank_requests(3).map(|r| r.addr.row.raw()).collect();
+        assert_eq!(bank3, vec![2, 5]);
+        let global: Vec<u32> = q.iter().map(|r| r.addr.row.raw()).collect();
+        assert_eq!(global, vec![1, 2, 4, 3, 5]);
+        assert_eq!(q.bank_len(0), 3);
+        assert_eq!(q.bank_len(3), 2);
+        assert_eq!(q.rank_len(0), 5);
+        assert_eq!(q.bank_head(0).unwrap().addr.row.raw(), 1);
+    }
+
+    #[test]
+    fn open_row_match_index_tracks_enqueue_remove_and_row_changes() {
+        let mut q = queues();
+        let (rank, bank) = (Rank::new(0), Bank::new(0));
+        let a = q.push(mk(RequestKind::Read, 7));
+        q.push(mk(RequestKind::Read, 8));
+        assert_eq!(q.hit_counts(0), (0, 0), "no row open yet");
+        // Row 7 opens: the matching read is indexed.
+        q.note_row_open(rank, bank, Row::new(7));
+        assert_eq!(q.hit_counts(0), (1, 0));
+        assert_eq!(q.bank_hits_slots(0, RequestKind::Read).count(), 1);
+        // A late-arriving hit (either kind) is appended incrementally.
+        q.push(mk(RequestKind::Write, 7));
+        let c = q.push(mk(RequestKind::Read, 7));
+        assert_eq!(q.hit_counts(0), (2, 1));
+        let hit_rows: Vec<_> = q
+            .bank_hits_slots(0, RequestKind::Read)
+            .map(|(_, r)| r.id)
+            .collect();
+        assert_eq!(hit_rows, vec![a, c], "match list stays age-ordered");
+        // Removing an indexed request unthreads it from the match list.
+        q.remove(a);
+        assert_eq!(q.hit_counts(0), (1, 1));
+        // Closing the row clears the index; reopening a different row
+        // rebuilds it from scratch.
+        q.note_row_close(rank, bank);
+        assert_eq!(q.hit_counts(0), (0, 0));
+        q.note_row_open(rank, bank, Row::new(8));
+        assert_eq!(q.hit_counts(0), (1, 0));
+        assert_eq!(
+            q.bank_hits_slots(0, RequestKind::Read)
+                .next()
+                .unwrap()
+                .1
+                .addr
+                .row
+                .raw(),
+            8
+        );
+    }
+
+    #[test]
+    fn slots_are_recycled_without_breaking_order() {
+        let mut q = queues();
+        let ids: Vec<_> = (0..8)
+            .map(|i| q.push(mk_at(RequestKind::Read, i, i % 4)))
+            .collect();
+        for id in ids.iter().take(4) {
+            q.remove(*id);
+        }
+        // New pushes reuse freed slots; age order must still hold.
+        for i in 0..4 {
+            q.push(mk_at(RequestKind::Read, 100 + i, 0));
+        }
+        let rows: Vec<u32> = q.iter().map(|r| r.addr.row.raw()).collect();
+        assert_eq!(rows, vec![4, 5, 6, 7, 100, 101, 102, 103]);
+        assert_eq!(q.occupancy(), (8, 0));
+        assert_eq!(q.total_banks(), 8);
     }
 }

@@ -60,6 +60,18 @@ pub trait SchedulerPolicy: fmt::Debug {
     }
 
     /// Picks the index of the candidate to issue, if any.
+    ///
+    /// **Order contract:** the slice order is an implementation detail
+    /// of the controller's enumeration (today: bank-indexed, grouped by
+    /// (rank, bank) rather than global age) and may change between
+    /// releases. A policy's *selection* must therefore be a function of
+    /// the candidate **set** alone: any scoring tie must be broken by a
+    /// total order over candidate contents — all built-in policies use
+    /// `(arrival, id)`, and `RequestId` is a globally unique, monotone
+    /// age stamp — never by slice position. Policies honouring this are
+    /// bit-identical under any enumeration order; the
+    /// `indexed_enum_equals_linear_scan` proptest feeds both historic
+    /// orderings through `choose` to enforce it.
     fn choose(&mut self, view: &PolicyView<'_>, cands: &[Candidate]) -> Option<usize>;
 
     /// Called once per controller cycle (before `choose`).

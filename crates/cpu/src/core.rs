@@ -188,7 +188,10 @@ impl Core {
     }
 
     /// Advances one CPU cycle: retire, then fetch.
-    pub fn tick(&mut self, now: CpuCycle, port: &mut dyn MemoryPort) {
+    ///
+    /// Generic over the port (rather than `&mut dyn`) so the per-cycle
+    /// admission checks and submits inline into the system loop.
+    pub fn tick(&mut self, now: CpuCycle, port: &mut impl MemoryPort) {
         if self.is_done() {
             return;
         }
@@ -216,7 +219,7 @@ impl Core {
         }
     }
 
-    fn fetch(&mut self, now: CpuCycle, port: &mut dyn MemoryPort) {
+    fn fetch(&mut self, now: CpuCycle, port: &mut impl MemoryPort) {
         let done_at = now + self.cfg.pipeline_depth;
         for _ in 0..self.cfg.fetch_width {
             if self.fetched == self.total || self.rob.len() == self.cfg.rob_size {

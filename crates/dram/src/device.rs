@@ -79,6 +79,42 @@ pub struct RankTimingView {
     pub refresh_ready: McCycle,
 }
 
+/// The earliest legal cycle of each command class for *one bank*, with
+/// the rank-scoped bus/spacing gates already folded in. This is the
+/// bank-granular legality view the controller's indexed candidate
+/// enumeration keys on: a whole bank can be skipped (and its gate fed
+/// into the event horizon) by comparing `now` against these four values,
+/// without touching any queued request.
+///
+/// Like the views it is derived from, every field is monotone — it only
+/// moves forward when a command issues — so a `BankGates` snapshot stays
+/// exact until the next `issue` on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankGates {
+    /// Earliest legal `ACT`: bank tRP/tRC joined with rank tRRD/tFAW.
+    pub act: McCycle,
+    /// Earliest legal `RD`: bank tRCD joined with the rank column bus.
+    pub read: McCycle,
+    /// Earliest legal `WR`: bank tRCD joined with the rank column bus.
+    pub write: McCycle,
+    /// Earliest legal `PRE` (bank-scoped only: tRAS/tWR/tRTP).
+    pub pre: McCycle,
+}
+
+impl RankTimingView {
+    /// Joins this rank's gates with one bank's to yield the per-bank
+    /// legality view ([`BankGates`]) used for bank-granular scheduling.
+    #[inline]
+    pub fn bank_gates(&self, bank: &BankView) -> BankGates {
+        BankGates {
+            act: bank.earliest_act.max(self.next_act_rank_ok),
+            read: bank.earliest_read.max(self.earliest_col_read),
+            write: bank.earliest_write.max(self.earliest_col_write),
+            pre: bank.earliest_pre,
+        }
+    }
+}
+
 /// Per-rank timing and charge state.
 #[derive(Debug, Clone)]
 struct RankState {
@@ -290,6 +326,7 @@ impl DramDevice {
     /// # Panics
     ///
     /// Panics if `rank` is out of range.
+    #[inline]
     pub fn rank_timing(&self, rank: Rank) -> RankTimingView {
         let t = &self.cfg.timings;
         let rs = &self.ranks[rank.index()];

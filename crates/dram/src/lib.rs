@@ -48,7 +48,7 @@ pub mod refresh;
 pub use bank::{BankState, BankView};
 pub use command::DramCommand;
 pub use command_log::{CommandLog, LogEntry};
-pub use device::{DeviceStats, DramDevice, RankTimingView};
+pub use device::{BankGates, DeviceStats, DramDevice, RankTimingView};
 pub use energy::EnergyCounters;
 pub use error::IssueError;
 pub use reference::ReferenceChecker;

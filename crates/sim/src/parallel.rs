@@ -127,4 +127,20 @@ mod tests {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1000) >= 1);
     }
+
+    #[test]
+    fn single_worker_runs_inline_without_spawning() {
+        // A single job clamps the worker count to 1 (the same path
+        // `NUAT_JOBS=1` takes, without mutating process-global env from
+        // a test): the closure must execute on the calling thread, not
+        // a spawned one.
+        let caller = std::thread::current().id();
+        let out = parallel_map(&[42u64], |&x| (x, std::thread::current().id()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 42);
+        assert_eq!(
+            out[0].1, caller,
+            "single-worker fallback must not spawn a thread"
+        );
+    }
 }

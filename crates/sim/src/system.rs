@@ -18,6 +18,12 @@ struct Port<'a, S: TraceSink = NullSink> {
 
 impl<S: TraceSink> Port<'_, S> {
     fn channel_of(&self, addr: PhysAddr) -> usize {
+        // Single-channel systems (the paper's Table 3 configuration)
+        // route everything to controller 0; skip the full address decode
+        // on this per-CPU-cycle admission path.
+        if self.mcs.len() == 1 {
+            return 0;
+        }
         self.cfg
             .dram
             .geometry
@@ -254,15 +260,19 @@ impl<S: TraceSink> System<S> {
             return 0;
         }
         let mut cpu_span = u64::MAX;
+        let single = self.mcs.len() == 1;
         for core in &self.cores {
             cpu_span = cpu_span.min(core.quiescent_cycles(self.cpu_now, |op, addr| {
-                let ch = self
-                    .cfg
-                    .dram
-                    .geometry
-                    .decode(addr, self.cfg.controller.mapping)
-                    .channel
-                    .index();
+                let ch = if single {
+                    0
+                } else {
+                    self.cfg
+                        .dram
+                        .geometry
+                        .decode(addr, self.cfg.controller.mapping)
+                        .channel
+                        .index()
+                };
                 self.mcs[ch].can_accept(kind_of(op))
             }));
             if cpu_span < CPU_CYCLES_PER_MC_CYCLE {

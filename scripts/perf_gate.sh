@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Performance regression gate: re-runs the scheduler-throughput bench
+# (JSON emission only — criterion suppressed) into a scratch file and
+# compares NUAT's skip-mode end-to-end throughput on comm3 at the
+# default queue depth against the committed BENCH_scheduler.json
+# baseline. Fails when the fresh number regresses more than 10%.
+#
+# Opt-in from verify.sh via NUAT_PERF_GATE=1: wall-clock numbers are
+# only meaningful on a quiet machine, so the gate must not make routine
+# verification flaky on loaded CI workers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_scheduler.json
+[ -s "$BASELINE" ] || { echo "perf_gate: no committed $BASELINE" >&2; exit 1; }
+
+# Selector for the guarded row. Rows are single-line JSON objects with
+# explicit workload/queue_depth fields, so grep+sed suffices (no jq in
+# the image).
+extract_rate() {
+    grep '"scheduler": "NUAT"' "$1" \
+        | grep '"mode": "skip"' \
+        | grep '"workload": "comm3"' \
+        | grep '"queue_depth": 64' \
+        | sed -n 's/.*"simulated_cycles_per_sec": \([0-9.]*\).*/\1/p' \
+        | head -n1
+}
+
+baseline=$(extract_rate "$BASELINE")
+[ -n "$baseline" ] || { echo "perf_gate: baseline row not found in $BASELINE" >&2; exit 1; }
+
+fresh_json=$(mktemp)
+trap 'rm -f "$fresh_json"' EXIT
+NUAT_BENCH_JSON_ONLY=1 NUAT_BENCH_OUT="$fresh_json" \
+    cargo bench -q -p nuat-bench --bench scheduler_throughput >/dev/null
+
+fresh=$(extract_rate "$fresh_json")
+[ -n "$fresh" ] || { echo "perf_gate: fresh row not found in bench output" >&2; exit 1; }
+
+echo "perf_gate: NUAT skip comm3 depth-64: baseline ${baseline} cyc/s, fresh ${fresh} cyc/s"
+awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit !(f >= 0.9 * b) }' || {
+    echo "perf_gate: FAIL — fresh throughput below 90% of committed baseline" >&2
+    exit 1
+}
+echo "perf_gate: OK"

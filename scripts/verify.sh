@@ -20,4 +20,9 @@ cargo run --release -q -p nuat-bench --bin trace_study -- \
 for f in trace.json events.jsonl timeseries.csv; do
     test -s "$smoke_dir/$f" || { echo "verify: missing $f" >&2; exit 1; }
 done
+# Opt-in perf regression gate (wall-clock comparison against the
+# committed BENCH_scheduler.json — only meaningful on a quiet machine).
+if [ "${NUAT_PERF_GATE:-0}" = "1" ]; then
+    scripts/perf_gate.sh
+fi
 echo "verify: OK"
