@@ -111,78 +111,36 @@ criterion_group!(
     bench_simulation_throughput
 );
 
-/// One saturated direct-controller run: the read/write queues are
-/// sized to `depth` (write-drain watermarks scaled proportionally) and
-/// kept topped up from a deterministic LCG address stream for
-/// `mc_cycles` controller cycles, so the controller never leaves the
-/// busy path. This isolates exactly the cost the queue-depth sweep is
-/// about — candidate enumeration and horizon recomputation under deep
-/// occupancy — from trace generation and CPU-model overhead. Returns
-/// (simulated cycles, skipped cycles, wall seconds).
-fn one_saturated_run(kind: SchedulerKind, depth: usize, mc_cycles: u64) -> (u64, u64, f64) {
-    use nuat_core::{MemoryController, RequestKind};
-    use nuat_types::{Bank, Channel, Col, DecodedAddr, Rank, Row};
-
-    let mut cfg = SystemConfig::default();
-    cfg.controller.read_queue_capacity = depth;
-    cfg.controller.write_queue_capacity = depth;
-    cfg.controller.write_high_watermark = depth * 40 / 64;
-    cfg.controller.write_low_watermark = depth * 20 / 64;
-    let mut mc = MemoryController::new(cfg, kind);
-    let mut state = 0x9e3779b97f4a7c15u64 ^ (depth as u64) << 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        state >> 16
-    };
-    let t0 = std::time::Instant::now();
-    let mut done = Vec::new();
-    while mc.now().raw() < mc_cycles {
-        done.clear();
-        mc.drain_completions_into(&mut done);
-        while mc.can_accept(RequestKind::Read) || mc.can_accept(RequestKind::Write) {
-            let v = next();
-            let rk = if v & 1 == 0 {
-                RequestKind::Read
-            } else {
-                RequestKind::Write
-            };
-            if !mc.can_accept(rk) {
-                continue;
-            }
-            mc.enqueue_decoded(
-                0,
-                rk,
-                DecodedAddr {
-                    channel: Channel::new(0),
-                    rank: Rank::new(0),
-                    bank: Bank::new((v >> 1) as u32 % 8),
-                    // A modest row working set keeps a realistic mix of
-                    // hits, conflicts and fresh activations in flight.
-                    row: Row::new((v >> 4) as u32 % 512),
-                    col: Col::new((v >> 13) as u32 % 1024),
-                },
-            );
-        }
-        mc.run_for(64);
-    }
-    (
-        mc.now().raw(),
-        mc.cycles_skipped(),
-        t0.elapsed().as_secs_f64(),
-    )
+/// Warm-up plus median-of-3 around [`nuat_bench::saturated_run`] (the
+/// same saturated direct-controller loop the profiling `saturated` bin
+/// drives) — the same methodology as [`measure_end_to_end`].
+fn measure_saturated(kind: SchedulerKind, depth: usize, mc_cycles: u64) -> (u64, u64, f64) {
+    measure3(|| nuat_bench::saturated_run(kind, depth, mc_cycles, 0))
 }
 
-/// Warm-up plus median-of-3 around [`one_saturated_run`] — the same
-/// methodology as [`measure_end_to_end`].
-fn measure_saturated(kind: SchedulerKind, depth: usize, mc_cycles: u64) -> (u64, u64, f64) {
-    let _ = one_saturated_run(kind, depth, mc_cycles);
+/// Warm-up plus median-of-3 around
+/// [`nuat_bench::saturated_run_channels`]: `channels` independent
+/// controllers on scoped threads, reported as aggregate simulated
+/// cycles over the slowest channel's wall time.
+fn measure_saturated_channels(
+    kind: SchedulerKind,
+    depth: usize,
+    channels: usize,
+    mc_cycles: u64,
+) -> (u64, u64, f64) {
+    measure3(|| nuat_bench::saturated_run_channels(kind, depth, channels, mc_cycles))
+}
+
+/// One untimed warm-up call, then the median wall time of three timed
+/// calls — robust to a stray descheduling without rewarding a lucky
+/// outlier.
+fn measure3(mut run: impl FnMut() -> (u64, u64, f64)) -> (u64, u64, f64) {
+    let _ = run();
     let mut runs = [0.0f64; 3];
     let mut cycles = 0u64;
     let mut skipped = 0u64;
     for slot in &mut runs {
-        let (c, s, dt) = one_saturated_run(kind, depth, mc_cycles);
+        let (c, s, dt) = run();
         cycles = c;
         skipped = s;
         *slot = dt;
@@ -221,23 +179,13 @@ fn one_run(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, u64, f64) {
 /// timed runs. Median rather than best: robust to a stray descheduling
 /// without rewarding a lucky outlier.
 fn measure_end_to_end(kind: SchedulerKind, mem_ops: usize, skip: bool) -> (u64, u64, f64) {
-    let _ = one_run(kind, mem_ops, skip);
-    let mut runs = [0.0f64; 3];
-    let mut cycles = 0u64;
-    let mut skipped = 0u64;
-    for slot in &mut runs {
-        let (c, s, dt) = one_run(kind, mem_ops, skip);
-        cycles = c;
-        skipped = s;
-        *slot = dt;
-    }
-    runs.sort_by(|a, b| a.total_cmp(b));
-    (cycles, skipped, runs[1])
+    measure3(|| one_run(kind, mem_ops, skip))
 }
 
 /// Formats one `BENCH_scheduler.json` result row. Every row carries
 /// its workload ("comm3" = end-to-end trace replay, "saturated" =
-/// direct-controller queue-depth sweep) and its queue depth, so
+/// direct-controller queue-depth sweep, "saturated_channels" =
+/// channel-sharded scaling), its queue depth and its channel count, so
 /// downstream tooling (`scripts/perf_gate.sh`) can select rows without
 /// positional assumptions.
 #[allow(clippy::too_many_arguments)]
@@ -246,13 +194,14 @@ fn json_row(
     mode: &str,
     workload: &str,
     queue_depth: usize,
+    channels: usize,
     cycles: u64,
     skipped: u64,
     secs: f64,
     rate: f64,
 ) -> String {
     format!(
-        "    {{\"scheduler\": \"{scheduler}\", \"mode\": \"{mode}\", \"workload\": \"{workload}\", \"queue_depth\": {queue_depth}, \"mc_cycles\": {cycles}, \"skipped_cycles\": {skipped}, \"wall_seconds\": {secs:.6}, \"simulated_cycles_per_sec\": {rate:.0}}}"
+        "    {{\"scheduler\": \"{scheduler}\", \"mode\": \"{mode}\", \"workload\": \"{workload}\", \"queue_depth\": {queue_depth}, \"channels\": {channels}, \"mc_cycles\": {cycles}, \"skipped_cycles\": {skipped}, \"wall_seconds\": {secs:.6}, \"simulated_cycles_per_sec\": {rate:.0}}}"
     )
 }
 
@@ -297,6 +246,7 @@ fn emit_machine_readable() {
                 mode,
                 "comm3",
                 DEFAULT_DEPTH,
+                1,
                 cycles,
                 skipped,
                 secs,
@@ -321,6 +271,33 @@ fn emit_machine_readable() {
                 "skip",
                 "saturated",
                 depth,
+                1,
+                cycles,
+                skipped,
+                secs,
+                rate,
+            ));
+        }
+    }
+    for kind in schedulers {
+        for channels in [1usize, 2, 4] {
+            let (cycles, skipped, secs) =
+                measure_saturated_channels(kind, DEFAULT_DEPTH, channels, SWEEP_CYCLES);
+            let rate = cycles as f64 / secs;
+            println!(
+                "{:<16} chans {:<4} {:>10} saturated cycles in {:.4}s = {:>12.0} cycles/sec",
+                kind.name(),
+                channels,
+                cycles,
+                secs,
+                rate
+            );
+            entries.push(json_row(
+                kind.name(),
+                "skip",
+                "saturated_channels",
+                DEFAULT_DEPTH,
+                channels,
                 cycles,
                 skipped,
                 secs,
@@ -337,10 +314,58 @@ fn emit_machine_readable() {
         Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
         _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scheduler.json"),
     };
-    if let Err(e) = std::fs::write(&path, json) {
+    if let Err(e) = std::fs::write(&path, &json) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
         eprintln!("wrote {}", path.display());
+    }
+    append_history(&entries);
+}
+
+/// Appends this run to `BENCH_history.jsonl` — one JSON object per
+/// line, carrying a unix timestamp, the current commit (when git is
+/// available) and every result row — so the perf trajectory across
+/// commits is a queryable log, not just the latest snapshot that
+/// `BENCH_scheduler.json` overwrites. `NUAT_BENCH_HISTORY=<path>`
+/// redirects the log; the perf gate points it at a scratch file so
+/// trial runs don't pollute the committed trajectory.
+fn append_history(entries: &[String]) {
+    use std::io::Write;
+    let path = match std::env::var("NUAT_BENCH_HISTORY") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_history.jsonl"),
+    };
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_default();
+    // The per-row strings are already JSON objects (with leading
+    // indentation for the pretty snapshot) — strip the indent and join.
+    let rows: Vec<String> = entries.iter().map(|e| e.trim().to_string()).collect();
+    let line = format!(
+        "{{\"unix_time\": {unix}, \"commit\": \"{commit}\", \"results\": [{}]}}\n",
+        rows.join(", ")
+    );
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(line.as_bytes()) {
+                eprintln!("could not append {}: {e}", path.display());
+            } else {
+                eprintln!("appended run to {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not open {}: {e}", path.display()),
     }
 }
 

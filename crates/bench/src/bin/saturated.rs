@@ -1,0 +1,75 @@
+//! Standalone saturated-throughput driver, primarily for profiling the
+//! controller hot path in isolation (the criterion bench wraps the same
+//! loop in warmups and medians that drown a profiler in repetition).
+//!
+//! ```text
+//! cargo run --release -p nuat-bench --bin saturated -- \
+//!     [--scheduler NAME] [--depth N] [--channels N] [--cycles N] \
+//!     [--compare DEPTH_B]
+//! ```
+//!
+//! `--compare B` interleaves depth `--depth` and depth `B` in
+//! millisecond slices on one thread and reports the drift-cancelled
+//! wall-time ratio (see `saturated_compare_depths`).
+
+use nuat_bench::{saturated_compare_depths, saturated_run_channels, saturated_run_controller};
+use nuat_core::SchedulerKind;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scheduler = arg("--scheduler", "nuat".to_string());
+    let depth: usize = arg("--depth", 64);
+    let channels: usize = arg("--channels", 1);
+    let cycles: u64 = arg("--cycles", 4_000_000);
+    let kind = match scheduler.as_str() {
+        "fcfs" => SchedulerKind::Fcfs,
+        "open" => SchedulerKind::FrFcfsOpen,
+        "close" => SchedulerKind::FrFcfsClose,
+        "nuat" => SchedulerKind::Nuat,
+        other => panic!("unknown scheduler {other} (fcfs|open|close|nuat)"),
+    };
+    let depth_b: usize = arg("--compare", 0);
+    if depth_b > 0 {
+        let (wall_a, wall_b) = saturated_compare_depths(kind, depth, depth_b, cycles, 200_000);
+        println!(
+            "{} interleaved: depth {depth} {:.0} cyc/s vs depth {depth_b} {:.0} cyc/s \
+             (ratio {:.4}, gap {:+.1}%)",
+            kind.name(),
+            cycles as f64 / wall_a,
+            cycles as f64 / wall_b,
+            wall_a / wall_b,
+            (wall_b / wall_a - 1.0) * 100.0,
+        );
+        return;
+    }
+    let (sim, skipped, wall) = saturated_run_channels(kind, depth, channels, cycles);
+    println!(
+        "{} depth={depth} channels={channels}: {sim} cycles ({skipped} skipped) in {wall:.4}s = {:.0} cyc/s",
+        kind.name(),
+        sim as f64 / wall
+    );
+    if std::env::args().any(|a| a == "--stats") {
+        let (mc, _) = saturated_run_controller(kind, depth, cycles, 0);
+        let s = mc.stats();
+        println!(
+            "acts={} cols_read={} cols_write={} pre={} ref={} busy={}/{} reads_done={} writes_done={}",
+            s.acts_for_reads + s.acts_for_writes,
+            s.cols_read,
+            s.cols_write,
+            s.precharges,
+            s.refreshes,
+            s.busy_cycles,
+            s.total_cycles,
+            s.reads_completed,
+            s.writes_drained,
+        );
+    }
+}

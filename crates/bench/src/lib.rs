@@ -32,6 +32,193 @@ pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// One saturated direct-controller run: the read/write queues are
+/// sized to `depth` (write-drain watermarks scaled proportionally) and
+/// kept topped up from a deterministic LCG address stream for
+/// `mc_cycles` controller cycles, so the controller never leaves the
+/// busy path. This isolates exactly the cost the queue-depth sweep is
+/// about — candidate enumeration and horizon recomputation under deep
+/// occupancy — from trace generation and CPU-model overhead. `seed_salt`
+/// decorrelates the address streams of concurrent channels. Returns
+/// (simulated cycles, skipped cycles, wall seconds).
+pub fn saturated_run(
+    kind: nuat_core::SchedulerKind,
+    depth: usize,
+    mc_cycles: u64,
+    seed_salt: u64,
+) -> (u64, u64, f64) {
+    let (mc, wall) = saturated_run_controller(kind, depth, mc_cycles, seed_salt);
+    (mc.now().raw(), mc.cycles_skipped(), wall)
+}
+
+/// [`saturated_run`], returning the finished controller itself (command
+/// mix, occupancy and skip statistics) alongside the wall time — the
+/// profiling driver uses this to explain *why* a depth regresses, not
+/// just that it did.
+pub fn saturated_run_controller(
+    kind: nuat_core::SchedulerKind,
+    depth: usize,
+    mc_cycles: u64,
+    seed_salt: u64,
+) -> (nuat_core::MemoryController, f64) {
+    let mut drv = SaturatedDriver::new(kind, depth, seed_salt);
+    let t0 = std::time::Instant::now();
+    drv.step_to(mc_cycles);
+    let wall = t0.elapsed().as_secs_f64();
+    (drv.into_controller(), wall)
+}
+
+/// Incremental form of the saturated loop: the controller, its refill
+/// LCG and its completion scratch live in the struct, and
+/// [`step_to`](Self::step_to) advances any number of cycles at a time.
+/// One full `step_to(n)` is byte-identical to [`saturated_run`] — the
+/// address stream is a function of the persistent LCG state alone — but
+/// slicing lets callers interleave *two* configurations in one thread
+/// (`--compare` in the `saturated` bin): on hosts with erratic clock
+/// speed, alternating small slices subjects both configurations to the
+/// same drift, so the wall-time *ratio* stays meaningful when absolute
+/// rates are noise.
+pub struct SaturatedDriver {
+    mc: nuat_core::MemoryController,
+    state: u64,
+    done: Vec<nuat_core::Completion>,
+}
+
+impl SaturatedDriver {
+    /// A saturated controller of the given scheduler and queue depth
+    /// (write-drain watermarks scaled proportionally). `seed_salt`
+    /// decorrelates concurrent channels' address streams.
+    pub fn new(kind: nuat_core::SchedulerKind, depth: usize, seed_salt: u64) -> Self {
+        use nuat_types::SystemConfig;
+        let mut cfg = SystemConfig::default();
+        cfg.controller.read_queue_capacity = depth;
+        cfg.controller.write_queue_capacity = depth;
+        cfg.controller.write_high_watermark = depth * 40 / 64;
+        cfg.controller.write_low_watermark = depth * 20 / 64;
+        SaturatedDriver {
+            mc: nuat_core::MemoryController::new(cfg, kind),
+            state: 0x9e3779b97f4a7c15u64
+                ^ ((depth as u64) << 1)
+                ^ seed_salt.wrapping_mul(0xff51afd7ed558ccd),
+            done: Vec::new(),
+        }
+    }
+
+    /// Runs the refill/issue loop until the controller clock reaches at
+    /// least `target` cycles (64-cycle granules, like the original
+    /// monolithic loop).
+    pub fn step_to(&mut self, target: u64) {
+        use nuat_core::RequestKind;
+        use nuat_types::{Bank, Channel, Col, DecodedAddr, Rank, Row};
+        while self.mc.now().raw() < target {
+            self.done.clear();
+            self.mc.drain_completions_into(&mut self.done);
+            while self.mc.can_accept(RequestKind::Read) || self.mc.can_accept(RequestKind::Write) {
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let v = self.state >> 16;
+                let rk = if v & 1 == 0 {
+                    RequestKind::Read
+                } else {
+                    RequestKind::Write
+                };
+                if !self.mc.can_accept(rk) {
+                    continue;
+                }
+                self.mc.enqueue_decoded(
+                    0,
+                    rk,
+                    DecodedAddr {
+                        channel: Channel::new(0),
+                        rank: Rank::new(0),
+                        bank: Bank::new((v >> 1) as u32 % 8),
+                        // A modest row working set keeps a realistic mix
+                        // of hits, conflicts and fresh activations in
+                        // flight.
+                        row: Row::new((v >> 4) as u32 % 512),
+                        col: Col::new((v >> 13) as u32 % 1024),
+                    },
+                );
+            }
+            self.mc.run_for(64);
+        }
+    }
+
+    /// Current controller cycle.
+    pub fn now(&self) -> u64 {
+        self.mc.now().raw()
+    }
+
+    /// Consumes the driver, yielding the controller and its statistics.
+    pub fn into_controller(self) -> nuat_core::MemoryController {
+        self.mc
+    }
+}
+
+/// Drift-resistant A/B comparison of two queue depths under the same
+/// scheduler: both saturated loops advance in alternating `slice`-cycle
+/// granules on one thread, each granule's wall time accruing to its
+/// depth. Returns `(wall_a, wall_b)` after `mc_cycles` simulated cycles
+/// each. Because the granules interleave at millisecond scale, host
+/// clock drift (shared CI containers, thermal throttling) hits both
+/// configurations almost identically and cancels out of the ratio.
+pub fn saturated_compare_depths(
+    kind: nuat_core::SchedulerKind,
+    depth_a: usize,
+    depth_b: usize,
+    mc_cycles: u64,
+    slice: u64,
+) -> (f64, f64) {
+    let mut a = SaturatedDriver::new(kind, depth_a, 0);
+    let mut b = SaturatedDriver::new(kind, depth_b, 0);
+    let (mut wall_a, mut wall_b) = (0.0, 0.0);
+    let mut target = 0u64;
+    while target < mc_cycles {
+        target = (target + slice).min(mc_cycles);
+        let t0 = std::time::Instant::now();
+        a.step_to(target);
+        let t1 = std::time::Instant::now();
+        b.step_to(target);
+        wall_a += (t1 - t0).as_secs_f64();
+        wall_b += t1.elapsed().as_secs_f64();
+    }
+    (wall_a, wall_b)
+}
+
+/// Channel-sharded saturated throughput: `channels` independent
+/// controllers (the intra-run sharding unit — channels share no DRAM
+/// state) each drive [`saturated_run`] on its own scoped thread with a
+/// decorrelated address stream. Returns (total simulated cycles summed
+/// over channels, total skipped cycles, wall seconds of the slowest
+/// channel). The aggregate rate `total_cycles / wall` is what the
+/// multi-channel rows of `BENCH_scheduler.json` record: on a
+/// multi-core host it scales with min(channels, cores); on a single
+/// hardware thread it degenerates to the sequential rate, measuring —
+/// not asserting — whatever sharding win the machine can deliver.
+pub fn saturated_run_channels(
+    kind: nuat_core::SchedulerKind,
+    depth: usize,
+    channels: usize,
+    mc_cycles: u64,
+) -> (u64, u64, f64) {
+    if channels <= 1 {
+        return saturated_run(kind, depth, mc_cycles, 0);
+    }
+    let t0 = std::time::Instant::now();
+    let results: Vec<(u64, u64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..channels)
+            .map(|ch| scope.spawn(move || saturated_run(kind, depth, mc_cycles, ch as u64)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let cycles = results.iter().map(|r| r.0).sum();
+    let skipped = results.iter().map(|r| r.1).sum();
+    (cycles, skipped, wall)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -26,7 +26,7 @@ use crate::request::{MemoryRequest, RequestId, RequestKind};
 use crate::scheduler::{PolicyView, SchedulerKind, SchedulerPolicy};
 use crate::stats::ControllerStats;
 use nuat_circuit::PbGrouping;
-use nuat_dram::{BankState, DramCommand, DramDevice, RefreshEngine};
+use nuat_dram::{BankGates, BankState, DramCommand, DramDevice, RefreshEngine, IDLE_ROW};
 use nuat_obs::{EpochCadence, EpochSample, NullSink, TraceEvent, TraceSink};
 use nuat_types::{Bank, McCycle, PhysAddr, Rank, Row, SystemConfig};
 
@@ -60,9 +60,11 @@ struct TickScratch {
     /// This cycle's issuable candidates.
     candidates: Vec<Candidate>,
     /// The slab slot of each candidate's request, parallel to
-    /// `candidates` (`NO_SLOT` for activates/precharges, which leave
-    /// their request queued). Lets the issue path remove the chosen
-    /// column's request in O(1) instead of re-walking its bank list.
+    /// `candidates` (`NO_SLOT` for precharges, which leave their
+    /// request queued). Lets the issue path remove the chosen column's
+    /// request in O(1) instead of re-walking its bank list, and gives
+    /// an issued activate the hint `note_row_open` needs to skip its
+    /// match-list rebuild walk.
     candidate_slots: Vec<u32>,
     /// Per-bank earliest-legal-cycle cache: the bank's contribution to
     /// the gate horizon the last time it was enumerated and produced no
@@ -1008,6 +1010,7 @@ impl<S: TraceSink> MemoryController<S> {
             let p = pending[r];
             let lrra = lrras[r];
             let rt = self.device.rank_timing(rank);
+            let lanes = self.device.bank_lanes(rank);
             for bi in 0..banks_per_rank {
                 let key = r * banks_per_rank + bi;
                 if self.queues.bank_len(key) == 0 {
@@ -1030,16 +1033,23 @@ impl<S: TraceSink> MemoryController<S> {
                     continue;
                 }
                 let bank = Bank::new(bi as u32);
-                let bv = self.device.bank(rank, bank);
-                let gates = rt.bank_gates(bv);
+                // SoA hot path: read the bank's open row and timing gates
+                // straight from the flat lanes; no `BankView` materialised.
+                let open = lanes.open_row[bi];
+                let gates = BankGates {
+                    act: lanes.earliest_act[bi].max(rt.next_act_rank_ok),
+                    read: lanes.earliest_read[bi].max(rt.earliest_col_read),
+                    write: lanes.earliest_write[bi].max(rt.earliest_col_write),
+                    pre: lanes.earliest_pre[bi],
+                };
                 let mut bank_h = u64::MAX;
                 let n_before = out.len();
 
-                match bv.state {
-                    BankState::Active { row, .. } => {
+                if open != IDLE_ROW {
+                    {
                         debug_assert_eq!(
                             self.queues.open_row_mirror(key),
-                            Some(row),
+                            Some(Row::new(open)),
                             "queue open-row mirror out of sync with device"
                         );
                         let (hit_r, hit_w) = self.queues.hit_counts(key);
@@ -1131,7 +1141,8 @@ impl<S: TraceSink> MemoryController<S> {
                             }
                         }
                     }
-                    BankState::Idle => {
+                } else {
+                    {
                         // Activation (blocked while refresh pends; a
                         // pending bank contributes no gate either — the
                         // refresh horizon covers it).
@@ -1143,7 +1154,7 @@ impl<S: TraceSink> MemoryController<S> {
                                 // charge-state refusal of the oldest row
                                 // must not silence a younger sibling the
                                 // flat scan would have offered.
-                                for req in self.queues.bank_requests(key) {
+                                for (slot, req) in self.queues.bank_requests_slots(key) {
                                     let timings = self.policy.act_timings(&view, req);
                                     let command = DramCommand::Activate {
                                         rank,
@@ -1162,7 +1173,7 @@ impl<S: TraceSink> MemoryController<S> {
                                                 pb,
                                                 zone,
                                             });
-                                            out_slots.push(NO_SLOT);
+                                            out_slots.push(slot);
                                             break;
                                         }
                                         Err(e) if e.is_too_early() => {
@@ -1213,7 +1224,10 @@ impl<S: TraceSink> MemoryController<S> {
             DramCommand::Activate {
                 rank, bank, row, ..
             } => {
-                self.queues.note_row_open(rank, bank, row);
+                // `slot` is the activator's slab slot; with it the
+                // match-list rebuild is O(1) whenever the counting
+                // filter proves the activator is the only hit.
+                self.queues.note_row_open_hinted(rank, bank, row, slot);
             }
             DramCommand::Precharge { rank, bank } => {
                 self.queues.note_row_close(rank, bank);
@@ -1239,7 +1253,7 @@ impl<S: TraceSink> MemoryController<S> {
             }
             CandidateKind::Column => {
                 debug_assert_ne!(slot, NO_SLOT, "column candidate without a slot");
-                self.queues.remove_at(slot, cand.request.id);
+                self.queues.remove_at_issued(slot, &cand.request);
                 if let DramCommand::Read {
                     rank,
                     bank,

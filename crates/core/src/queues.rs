@@ -11,9 +11,9 @@
 //!
 //! ## Storage layout
 //!
-//! Requests live in a slab of slots threaded by three families of
-//! intrusive doubly-linked lists, all kept in **age order** (a global
-//! monotone id is assigned at `push` and never reused):
+//! Requests live in a slab threaded by three families of intrusive
+//! doubly-linked lists, all kept in **age order** (a global monotone id
+//! is assigned at `push` and never reused):
 //!
 //! * one *global* list per kind (reads, writes) — preserves the legacy
 //!   flat-FIFO iteration order for diagnostics and oracles,
@@ -24,6 +24,16 @@
 //!   enqueue / remove / row open / row close (the controller notifies
 //!   row transitions via [`note_row_open`](RequestQueues::note_row_open)
 //!   / [`note_row_close`](RequestQueues::note_row_close)).
+//!
+//! The slab is a structure of arrays: the six intrusive links live in a
+//! dense 12-byte-per-slot lane ([`SlotLinks`]), the row coordinate in a
+//! 4-byte lane, and the full request payload in its own lane that list
+//! walks never touch unless a request is actually inspected. At deep
+//! queues (256 entries and up) the row-match rebuild in `note_row_open`
+//! and the per-bank enumeration walks therefore stream through a few
+//! hundred bytes of contiguous memory instead of hopping across
+//! ~90-byte heterogeneous slots — the difference between staying in L1
+//! and going cache-cold (see DESIGN.md §7).
 //!
 //! Per-rank occupancy counters ride along so power management and the
 //! event-horizon computation need no queue scans either. Because every
@@ -48,6 +58,31 @@ pub enum DrainMode {
 /// bounded by the queue configuration).
 const NIL: u32 = u32::MAX;
 
+/// In-slab encoding of [`NIL`]. Links are stored as `u16` — the slab is
+/// capped to `u16::MAX - 1` slots at construction — so the links lane
+/// is half the size it would be with `u32` fields and stays L1-resident
+/// at queue depths where the slab itself no longer does.
+const NIL16: u16 = u16::MAX;
+
+#[inline]
+fn widen(v: u16) -> u32 {
+    if v == NIL16 {
+        NIL
+    } else {
+        v as u32
+    }
+}
+
+#[inline]
+fn narrow(v: u32) -> u16 {
+    if v == NIL {
+        NIL16
+    } else {
+        debug_assert!(v < NIL16 as u32, "slot index exceeds the u16 link space");
+        v as u16
+    }
+}
+
 /// Which intrusive list family a link operation addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Link {
@@ -59,54 +94,51 @@ enum Link {
     Hit,
 }
 
-/// One slab entry: the request plus its three pairs of intrusive links.
-#[derive(Debug, Clone)]
-struct Slot {
-    req: MemoryRequest,
-    live: bool,
-    gprev: u32,
-    gnext: u32,
-    bprev: u32,
-    bnext: u32,
-    hprev: u32,
-    hnext: u32,
-    /// True while the slot is threaded on its bank's open-row match
-    /// list (so removal knows whether to unlink from it).
-    in_hit: bool,
+/// One slab entry's intrusive links — the hot lane every list walk and
+/// every unlink's neighbour fix-up streams through. Kept to 12 bytes
+/// (six `u16`s, five slots per cache line): unlinks touch up to two
+/// *neighbour* slots scattered across the slab, so halving the lane is
+/// what keeps deep-queue (256+) removal churn from evicting the
+/// enumeration's working set. Slot indices pass through the public API
+/// as `u32`; [`widen`]/[`narrow`] translate at the lane boundary.
+#[derive(Debug, Clone, Copy)]
+struct SlotLinks {
+    gprev: u16,
+    gnext: u16,
+    bprev: u16,
+    bnext: u16,
+    hprev: u16,
+    hnext: u16,
 }
 
-impl Slot {
-    fn new(req: MemoryRequest) -> Self {
-        Slot {
-            req,
-            live: true,
-            gprev: NIL,
-            gnext: NIL,
-            bprev: NIL,
-            bnext: NIL,
-            hprev: NIL,
-            hnext: NIL,
-            in_hit: false,
-        }
-    }
+impl SlotLinks {
+    const UNLINKED: SlotLinks = SlotLinks {
+        gprev: NIL16,
+        gnext: NIL16,
+        bprev: NIL16,
+        bnext: NIL16,
+        hprev: NIL16,
+        hnext: NIL16,
+    };
 
     fn prev(&self, l: Link) -> u32 {
-        match l {
+        widen(match l {
             Link::Global => self.gprev,
             Link::Bank => self.bprev,
             Link::Hit => self.hprev,
-        }
+        })
     }
 
     fn next(&self, l: Link) -> u32 {
-        match l {
+        widen(match l {
             Link::Global => self.gnext,
             Link::Bank => self.bnext,
             Link::Hit => self.hnext,
-        }
+        })
     }
 
     fn set_prev(&mut self, l: Link, v: u32) {
+        let v = narrow(v);
         match l {
             Link::Global => self.gprev = v,
             Link::Bank => self.bprev = v,
@@ -115,6 +147,7 @@ impl Slot {
     }
 
     fn set_next(&mut self, l: Link, v: u32) {
+        let v = narrow(v);
         match l {
             Link::Global => self.gnext = v,
             Link::Bank => self.bnext = v,
@@ -122,6 +155,12 @@ impl Slot {
         }
     }
 }
+
+/// Slot-flag bit: the slot holds a queued request.
+const FLAG_LIVE: u8 = 1 << 0;
+/// Slot-flag bit: the slot is threaded on its bank's open-row match
+/// list (so removal knows whether to unlink from it).
+const FLAG_IN_HIT: u8 = 1 << 1;
 
 /// Head/tail of one intrusive list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,32 +177,32 @@ impl ListHeads {
 }
 
 /// Appends slot `i` at the tail of `list` (age order: newest last).
-fn push_back(slots: &mut [Slot], list: &mut ListHeads, i: u32, l: Link) {
-    slots[i as usize].set_prev(l, list.tail);
-    slots[i as usize].set_next(l, NIL);
+fn push_back(links: &mut [SlotLinks], list: &mut ListHeads, i: u32, l: Link) {
+    links[i as usize].set_prev(l, list.tail);
+    links[i as usize].set_next(l, NIL);
     if list.tail == NIL {
         list.head = i;
     } else {
-        slots[list.tail as usize].set_next(l, i);
+        links[list.tail as usize].set_next(l, i);
     }
     list.tail = i;
 }
 
 /// Unlinks slot `i` from `list`.
-fn unlink(slots: &mut [Slot], list: &mut ListHeads, i: u32, l: Link) {
+fn unlink(links: &mut [SlotLinks], list: &mut ListHeads, i: u32, l: Link) {
     let (p, n) = {
-        let s = &slots[i as usize];
+        let s = &links[i as usize];
         (s.prev(l), s.next(l))
     };
     if p == NIL {
         list.head = n;
     } else {
-        slots[p as usize].set_next(l, n);
+        links[p as usize].set_next(l, n);
     }
     if n == NIL {
         list.tail = p;
     } else {
-        slots[n as usize].set_prev(l, p);
+        links[n as usize].set_prev(l, p);
     }
 }
 
@@ -201,7 +240,8 @@ impl BankIndex {
 /// Age-order cursor over one intrusive list.
 #[derive(Debug)]
 pub struct ListIter<'a> {
-    slots: &'a [Slot],
+    links: &'a [SlotLinks],
+    reqs: &'a [MemoryRequest],
     cur: u32,
     link: Link,
 }
@@ -213,19 +253,20 @@ impl<'a> Iterator for ListIter<'a> {
         if self.cur == NIL {
             return None;
         }
-        let s = &self.slots[self.cur as usize];
-        self.cur = s.next(self.link);
-        Some(&s.req)
+        let i = self.cur;
+        self.cur = self.links[i as usize].next(self.link);
+        Some(&self.reqs[i as usize])
     }
 }
 
 /// Age-order cursor over one intrusive list that also yields each
 /// request's slab slot, so the issue path can remove the chosen request
-/// in O(1) via [`RequestQueues::remove_at`] instead of re-walking its
+/// in O(1) via `RequestQueues::remove_at_issued` instead of re-walking its
 /// bank list to find it.
 #[derive(Debug)]
 pub struct SlotIter<'a> {
-    slots: &'a [Slot],
+    links: &'a [SlotLinks],
+    reqs: &'a [MemoryRequest],
     cur: u32,
     link: Link,
 }
@@ -238,20 +279,44 @@ impl<'a> Iterator for SlotIter<'a> {
             return None;
         }
         let i = self.cur;
-        let s = &self.slots[i as usize];
-        self.cur = s.next(self.link);
-        Some((i, &s.req))
+        self.cur = self.links[i as usize].next(self.link);
+        Some((i, &self.reqs[i as usize]))
     }
 }
 
 /// Sentinel slot value for candidates that never need slot-addressed
-/// removal (activates and precharges leave their request queued).
+/// removal (precharges leave their request queued; activates carry
+/// their slot as a `note_row_open` hint instead).
 pub(crate) const NO_SLOT: u32 = NIL;
 
+/// Buckets per bank in the row counting filter (power of two; the
+/// bucket of a row is `row & (ROW_FILTER_BUCKETS - 1)`).
+const ROW_FILTER_BUCKETS: usize = 512;
+
 /// The controller's request queues, indexed per (rank, bank).
+///
+/// Slab storage is a structure of arrays (see the module docs): `links`,
+/// `rows` and `flags` are the lanes list maintenance and match rebuilds
+/// stream through; `reqs` holds the full payload and is only touched
+/// when a specific request is inspected or handed out.
 #[derive(Debug, Clone)]
 pub struct RequestQueues {
-    slots: Vec<Slot>,
+    links: Vec<SlotLinks>,
+    /// Row coordinate of each slot — the only payload field the
+    /// `note_row_open` match rebuild needs, lifted into its own dense
+    /// lane so that walk never touches `reqs`.
+    rows: Vec<u32>,
+    /// `FLAG_LIVE` / `FLAG_IN_HIT` bits per slot.
+    flags: Vec<u8>,
+    /// Per-bank counting filter over row-hash buckets, maintained at
+    /// enqueue/remove time. When an ACT opens a row and the activating
+    /// request's bucket holds exactly one entry, that request is
+    /// provably the bank's only possible row hit, so `note_row_open`
+    /// links it in O(1) instead of walking the whole bank list. A
+    /// colliding bucket (count > 1) merely falls back to the exact
+    /// walk — the filter never changes behaviour, only cost.
+    row_filter: Vec<u32>,
+    reqs: Vec<MemoryRequest>,
     free: Vec<u32>,
     reads: ListHeads,
     writes: ListHeads,
@@ -270,8 +335,16 @@ impl RequestQueues {
     /// for `ranks × banks_per_rank` bank sub-queues.
     pub fn new(cfg: ControllerConfig, ranks: usize, banks_per_rank: usize) -> Self {
         let cap = cfg.read_queue_capacity + cfg.write_queue_capacity;
+        assert!(
+            cap < NIL16 as usize,
+            "combined queue capacity {cap} exceeds the u16 slot-link space"
+        );
         RequestQueues {
-            slots: Vec::with_capacity(cap),
+            links: Vec::with_capacity(cap),
+            rows: Vec::with_capacity(cap),
+            flags: Vec::with_capacity(cap),
+            row_filter: vec![0; ranks * banks_per_rank * ROW_FILTER_BUCKETS],
+            reqs: Vec::with_capacity(cap),
             free: Vec::new(),
             reads: ListHeads::EMPTY,
             writes: ListHeads::EMPTY,
@@ -288,6 +361,11 @@ impl RequestQueues {
 
     fn key_of(&self, req: &MemoryRequest) -> usize {
         req.addr.rank.index() * self.banks_per_rank + req.addr.bank.index()
+    }
+
+    #[inline]
+    fn filter_bucket(key: usize, row: u32) -> usize {
+        key * ROW_FILTER_BUCKETS + (row as usize & (ROW_FILTER_BUCKETS - 1))
     }
 
     /// True if a request of `kind` can be accepted this cycle.
@@ -322,38 +400,45 @@ impl RequestQueues {
         let key = self.key_of(&req);
         let kind = req.kind;
         let row = req.addr.row;
+        self.row_filter[Self::filter_bucket(key, row.raw())] += 1;
         let i = match self.free.pop() {
             Some(i) => {
-                self.slots[i as usize] = Slot::new(req);
+                self.links[i as usize] = SlotLinks::UNLINKED;
+                self.rows[i as usize] = row.raw();
+                self.flags[i as usize] = FLAG_LIVE;
+                self.reqs[i as usize] = req;
                 i
             }
             None => {
-                self.slots.push(Slot::new(req));
-                (self.slots.len() - 1) as u32
+                self.links.push(SlotLinks::UNLINKED);
+                self.rows.push(row.raw());
+                self.flags.push(FLAG_LIVE);
+                self.reqs.push(req);
+                (self.reqs.len() - 1) as u32
             }
         };
         match kind {
-            RequestKind::Read => push_back(&mut self.slots, &mut self.reads, i, Link::Global),
-            RequestKind::Write => push_back(&mut self.slots, &mut self.writes, i, Link::Global),
+            RequestKind::Read => push_back(&mut self.links, &mut self.reads, i, Link::Global),
+            RequestKind::Write => push_back(&mut self.links, &mut self.writes, i, Link::Global),
         }
         let b = &mut self.banks[key];
         b.len += 1;
         match kind {
-            RequestKind::Read => push_back(&mut self.slots, &mut b.reads, i, Link::Bank),
-            RequestKind::Write => push_back(&mut self.slots, &mut b.writes, i, Link::Bank),
+            RequestKind::Read => push_back(&mut self.links, &mut b.reads, i, Link::Bank),
+            RequestKind::Write => push_back(&mut self.links, &mut b.writes, i, Link::Bank),
         }
         if b.open_row == Some(row) {
             match kind {
                 RequestKind::Read => {
-                    push_back(&mut self.slots, &mut b.hit_reads, i, Link::Hit);
+                    push_back(&mut self.links, &mut b.hit_reads, i, Link::Hit);
                     b.hit_read_count += 1;
                 }
                 RequestKind::Write => {
-                    push_back(&mut self.slots, &mut b.hit_writes, i, Link::Hit);
+                    push_back(&mut self.links, &mut b.hit_writes, i, Link::Hit);
                     b.hit_write_count += 1;
                 }
             }
-            self.slots[i as usize].in_hit = true;
+            self.flags[i as usize] |= FLAG_IN_HIT;
         }
         self.rank_len[rank] += 1;
         match kind {
@@ -369,60 +454,78 @@ impl RequestQueues {
         // Search reads then writes — the legacy flat-queue order.
         let mut i = self.reads.head;
         while i != NIL {
-            let s = &self.slots[i as usize];
-            if s.req.id == id {
+            if self.reqs[i as usize].id == id {
                 return Some(self.remove_slot(i));
             }
-            i = s.gnext;
+            i = self.links[i as usize].next(Link::Global);
         }
         let mut i = self.writes.head;
         while i != NIL {
-            let s = &self.slots[i as usize];
-            if s.req.id == id {
+            if self.reqs[i as usize].id == id {
                 return Some(self.remove_slot(i));
             }
-            i = s.gnext;
+            i = self.links[i as usize].next(Link::Global);
         }
         None
     }
 
-    /// Removes the request in `slot` — O(1), no list walk. The caller
-    /// supplies the id it believes the slot holds (candidates carry
-    /// their request by value); a mismatch means the slot reference
-    /// went stale between enumeration and issue, which is a controller
-    /// bug, never a recoverable condition.
-    pub(crate) fn remove_at(&mut self, slot: u32, id: RequestId) -> MemoryRequest {
-        assert_eq!(
-            self.slots[slot as usize].req.id, id,
-            "stale slot reference in remove_at"
+    /// Removes the issued request in `slot` — O(1), no list walk, and
+    /// no read of the (by now cache-cold) payload slot: the issue path
+    /// already holds the request by value in its candidate, and a
+    /// queued request's payload is immutable, so the copy taken at
+    /// enumeration is authoritative for every coordinate unthreading
+    /// needs. An id mismatch means the slot reference went stale
+    /// between enumeration and issue — a controller bug, never a
+    /// recoverable condition.
+    pub(crate) fn remove_at_issued(&mut self, slot: u32, req: &MemoryRequest) {
+        debug_assert_eq!(
+            self.reqs[slot as usize].id, req.id,
+            "stale slot reference in remove_at_issued"
         );
-        self.remove_slot(slot)
+        self.unthread_slot(
+            slot,
+            req.kind,
+            req.addr.rank,
+            self.key_of(req),
+            req.addr.row,
+        );
     }
 
     fn remove_slot(&mut self, i: u32) -> MemoryRequest {
-        debug_assert!(self.slots[i as usize].live, "double remove of slot {i}");
-        let req = self.slots[i as usize].req;
-        let kind = req.kind;
-        let rank = req.addr.rank.index();
+        let req = self.reqs[i as usize];
         let key = self.key_of(&req);
+        self.unthread_slot(i, req.kind, req.addr.rank, key, req.addr.row);
+        req
+    }
+
+    /// Unthreads slot `i` from every list and index, given the
+    /// coordinates of the request it holds (which the caller either
+    /// read from the slab or already had by value).
+    fn unthread_slot(&mut self, i: u32, kind: RequestKind, rank: Rank, key: usize, row: Row) {
+        debug_assert!(
+            self.flags[i as usize] & FLAG_LIVE != 0,
+            "double remove of slot {i}"
+        );
+        let rank = rank.index();
+        self.row_filter[Self::filter_bucket(key, row.raw())] -= 1;
         match kind {
-            RequestKind::Read => unlink(&mut self.slots, &mut self.reads, i, Link::Global),
-            RequestKind::Write => unlink(&mut self.slots, &mut self.writes, i, Link::Global),
+            RequestKind::Read => unlink(&mut self.links, &mut self.reads, i, Link::Global),
+            RequestKind::Write => unlink(&mut self.links, &mut self.writes, i, Link::Global),
         }
         let b = &mut self.banks[key];
         b.len -= 1;
         match kind {
-            RequestKind::Read => unlink(&mut self.slots, &mut b.reads, i, Link::Bank),
-            RequestKind::Write => unlink(&mut self.slots, &mut b.writes, i, Link::Bank),
+            RequestKind::Read => unlink(&mut self.links, &mut b.reads, i, Link::Bank),
+            RequestKind::Write => unlink(&mut self.links, &mut b.writes, i, Link::Bank),
         }
-        if self.slots[i as usize].in_hit {
+        if self.flags[i as usize] & FLAG_IN_HIT != 0 {
             match kind {
                 RequestKind::Read => {
-                    unlink(&mut self.slots, &mut b.hit_reads, i, Link::Hit);
+                    unlink(&mut self.links, &mut b.hit_reads, i, Link::Hit);
                     b.hit_read_count -= 1;
                 }
                 RequestKind::Write => {
-                    unlink(&mut self.slots, &mut b.hit_writes, i, Link::Hit);
+                    unlink(&mut self.links, &mut b.hit_writes, i, Link::Hit);
                     b.hit_write_count -= 1;
                 }
             }
@@ -432,23 +535,71 @@ impl RequestQueues {
             RequestKind::Read => self.read_len -= 1,
             RequestKind::Write => self.write_len -= 1,
         }
-        self.slots[i as usize].live = false;
+        self.flags[i as usize] = 0;
         self.free.push(i);
         self.update_mode();
-        req
     }
 
     /// Controller notification: an `ACT` opened `row` in (rank, bank).
     /// Rebuilds the bank's open-row match lists in one O(bank
     /// occupancy) pass (age order is inherited from the bank lists).
+    /// The walk reads only the `links` and `rows` lanes — dense
+    /// 28 bytes per visited slot, independent of payload size.
     pub fn note_row_open(&mut self, rank: Rank, bank: Bank, row: Row) {
+        self.note_row_open_hinted(rank, bank, row, NO_SLOT);
+    }
+
+    /// [`note_row_open`](Self::note_row_open) with the activating
+    /// request's slab slot as a hint. When the counting filter shows the
+    /// activator's row bucket holds exactly one entry, the activator is
+    /// provably the bank's only row hit and is linked directly in O(1)
+    /// — the dominant case under deep queues, where the full-bank walk
+    /// per ACT is what made depth 256 droop below depth 64. Any other
+    /// bucket count (a true multi-hit or a hash collision) takes the
+    /// exact walk, so the result is always identical to the unhinted
+    /// rebuild.
+    pub(crate) fn note_row_open_hinted(
+        &mut self,
+        rank: Rank,
+        bank: Bank,
+        row: Row,
+        activator: u32,
+    ) {
         let key = rank.index() * self.banks_per_rank + bank.index();
-        let b = &mut self.banks[key];
         debug_assert!(
-            b.open_row.is_none(),
+            self.banks[key].open_row.is_none(),
             "row opened over an already-open mirror"
         );
-        b.open_row = Some(row);
+        self.banks[key].open_row = Some(row);
+        let row = row.raw();
+        if activator != NO_SLOT && self.row_filter[Self::filter_bucket(key, row)] == 1 {
+            debug_assert_eq!(self.rows[activator as usize], row, "stale activator hint");
+            debug_assert!(self.flags[activator as usize] & FLAG_LIVE != 0);
+            debug_assert!(self.flags[activator as usize] & FLAG_IN_HIT == 0);
+            debug_assert!(
+                !self.any_other_request_hits(
+                    rank,
+                    bank,
+                    Row::new(row),
+                    self.reqs[activator as usize].id
+                ),
+                "counting filter claimed a unique hit but another request matches"
+            );
+            let b = &mut self.banks[key];
+            match self.reqs[activator as usize].kind {
+                RequestKind::Read => {
+                    push_back(&mut self.links, &mut b.hit_reads, activator, Link::Hit);
+                    b.hit_read_count += 1;
+                }
+                RequestKind::Write => {
+                    push_back(&mut self.links, &mut b.hit_writes, activator, Link::Hit);
+                    b.hit_write_count += 1;
+                }
+            }
+            self.flags[activator as usize] |= FLAG_IN_HIT;
+            return;
+        }
+        let b = &mut self.banks[key];
         for kind in [RequestKind::Read, RequestKind::Write] {
             let src = match kind {
                 RequestKind::Read => b.reads,
@@ -456,20 +607,20 @@ impl RequestQueues {
             };
             let mut cur = src.head;
             while cur != NIL {
-                let next = self.slots[cur as usize].bnext;
-                if self.slots[cur as usize].req.addr.row == row {
-                    debug_assert!(!self.slots[cur as usize].in_hit);
+                let next = self.links[cur as usize].next(Link::Bank);
+                if self.rows[cur as usize] == row {
+                    debug_assert!(self.flags[cur as usize] & FLAG_IN_HIT == 0);
                     match kind {
                         RequestKind::Read => {
-                            push_back(&mut self.slots, &mut b.hit_reads, cur, Link::Hit);
+                            push_back(&mut self.links, &mut b.hit_reads, cur, Link::Hit);
                             b.hit_read_count += 1;
                         }
                         RequestKind::Write => {
-                            push_back(&mut self.slots, &mut b.hit_writes, cur, Link::Hit);
+                            push_back(&mut self.links, &mut b.hit_writes, cur, Link::Hit);
                             b.hit_write_count += 1;
                         }
                     }
-                    self.slots[cur as usize].in_hit = true;
+                    self.flags[cur as usize] |= FLAG_IN_HIT;
                 }
                 cur = next;
             }
@@ -485,9 +636,8 @@ impl RequestQueues {
         for head in [b.hit_reads.head, b.hit_writes.head] {
             let mut cur = head;
             while cur != NIL {
-                let s = &mut self.slots[cur as usize];
-                s.in_hit = false;
-                cur = s.hnext;
+                self.flags[cur as usize] &= !FLAG_IN_HIT;
+                cur = self.links[cur as usize].next(Link::Hit);
             }
         }
         b.hit_reads = ListHeads::EMPTY;
@@ -513,7 +663,8 @@ impl RequestQueues {
 
     fn list_iter(&self, head: u32, link: Link) -> ListIter<'_> {
         ListIter {
-            slots: &self.slots,
+            links: &self.links,
+            reqs: &self.reqs,
             cur: head,
             link,
         }
@@ -556,9 +707,26 @@ impl RequestQueues {
         self.bank_requests(key).next()
     }
 
+    /// [`bank_requests`](Self::bank_requests) but yielding each
+    /// request's slab slot too, so an activate candidate can carry its
+    /// slot through issue as the `note_row_open` hint.
+    pub(crate) fn bank_requests_slots(
+        &self,
+        key: usize,
+    ) -> impl Iterator<Item = (u32, &MemoryRequest)> {
+        let b = &self.banks[key];
+        let slots = |head| SlotIter {
+            links: &self.links,
+            reqs: &self.reqs,
+            cur: head,
+            link: Link::Bank,
+        };
+        slots(b.reads.head).chain(slots(b.writes.head))
+    }
+
     /// Bank `key`'s open-row matches of one kind, age order, each with
     /// its slab slot (for O(1) removal of the issued request via
-    /// [`remove_at`](Self::remove_at)).
+    /// `remove_at_issued`).
     pub(crate) fn bank_hits_slots(&self, key: usize, kind: RequestKind) -> SlotIter<'_> {
         let b = &self.banks[key];
         let head = match kind {
@@ -566,7 +734,8 @@ impl RequestQueues {
             RequestKind::Write => b.hit_writes.head,
         };
         SlotIter {
-            slots: &self.slots,
+            links: &self.links,
+            reqs: &self.reqs,
             cur: head,
             link: Link::Hit,
         }
@@ -594,10 +763,22 @@ impl RequestQueues {
     }
 
     /// True if any queued request (of either kind) targets `row` in the
-    /// given bank — used to guard precharges of useful rows.
+    /// given bank — used to guard precharges of useful rows. Walks the
+    /// bank lists over the dense `rows` lane only.
     pub fn any_request_hits(&self, rank: Rank, bank: Bank, row: Row) -> bool {
         let key = rank.index() * self.banks_per_rank + bank.index();
-        self.bank_requests(key).any(|r| r.addr.row == row)
+        let b = &self.banks[key];
+        let row = row.raw();
+        for head in [b.reads.head, b.writes.head] {
+            let mut cur = head;
+            while cur != NIL {
+                if self.rows[cur as usize] == row {
+                    return true;
+                }
+                cur = self.links[cur as usize].next(Link::Bank);
+            }
+        }
+        false
     }
 
     /// Like [`any_request_hits`](Self::any_request_hits) but ignoring
@@ -771,6 +952,35 @@ mod tests {
     }
 
     #[test]
+    fn hinted_row_open_matches_unhinted_rebuild() {
+        let mut q = queues();
+        let (rank, bank) = (Rank::new(0), Bank::new(0));
+        // Fast path: the activator's bucket holds only itself.
+        q.push(mk(RequestKind::Read, 5)); // slot 0
+        q.push(mk(RequestKind::Write, 9)); // slot 1
+        q.note_row_open_hinted(rank, bank, Row::new(5), 0);
+        assert_eq!(q.hit_counts(0), (1, 0));
+        assert_eq!(q.bank_hits_slots(0, RequestKind::Read).next().unwrap().0, 0);
+        q.note_row_close(rank, bank);
+        // Bucket collision (rows 9 and 9 + ROW_FILTER_BUCKETS hash
+        // alike): the filter reads 2, so the exact walk runs and still
+        // indexes only the single true hit.
+        q.push(mk(RequestKind::Read, 9 + ROW_FILTER_BUCKETS as u32)); // slot 2
+        q.note_row_open_hinted(rank, bank, Row::new(9), 1);
+        assert_eq!(q.hit_counts(0), (0, 1));
+        q.note_row_close(rank, bank);
+        // A genuine multi-hit also walks: both same-row requests land
+        // in the match lists, not just the activator.
+        q.push(mk(RequestKind::Write, 5)); // slot 3
+        q.note_row_open_hinted(rank, bank, Row::new(5), 0);
+        assert_eq!(q.hit_counts(0), (1, 1));
+        // No hint (direct note_row_open users) always walks.
+        q.note_row_close(rank, bank);
+        q.note_row_open(rank, bank, Row::new(5));
+        assert_eq!(q.hit_counts(0), (1, 1));
+    }
+
+    #[test]
     fn slots_are_recycled_without_breaking_order() {
         let mut q = queues();
         let ids: Vec<_> = (0..8)
@@ -787,5 +997,22 @@ mod tests {
         assert_eq!(rows, vec![4, 5, 6, 7, 100, 101, 102, 103]);
         assert_eq!(q.occupancy(), (8, 0));
         assert_eq!(q.total_banks(), 8);
+    }
+
+    #[test]
+    fn row_lane_mirrors_payload_rows() {
+        // The dense row lane used by match rebuilds must track the
+        // payload through pushes, removals and slot recycling.
+        let mut q = queues();
+        let ids: Vec<_> = (0..6)
+            .map(|i| q.push(mk_at(RequestKind::Read, 10 + i, i % 2)))
+            .collect();
+        q.remove(ids[1]);
+        q.remove(ids[4]);
+        q.push(mk_at(RequestKind::Write, 99, 0));
+        for r in q.iter() {
+            let key = r.addr.bank.index();
+            assert!(q.any_request_hits(Rank::new(0), Bank::new(key as u32), r.addr.row));
+        }
     }
 }

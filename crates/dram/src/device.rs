@@ -27,7 +27,7 @@ use crate::energy::{EnergyCounters, EnergyModel};
 use crate::error::IssueError;
 use crate::refresh::RefreshEngine;
 use nuat_circuit::PhysicalTimingModel;
-use nuat_types::{Bank, DramConfig, McCycle, Rank, Row, MC_CYCLE_NS};
+use nuat_types::{Bank, DramConfig, McCycle, Rank, Row, RowTimings, MC_CYCLE_NS};
 use std::collections::VecDeque;
 
 /// Aggregate command statistics.
@@ -115,10 +115,163 @@ impl RankTimingView {
     }
 }
 
+/// Sentinel in the `open_row` lane: the bank has no open row.
+pub const IDLE_ROW: u32 = u32::MAX;
+
+/// Sentinel in a [`LegalityTable`] lane: the command class is illegal in
+/// the bank's current FSM state (not merely delayed by timing), so no
+/// passage of time alone can make it legal.
+pub const NEVER: u64 = u64::MAX;
+
+/// Per-bank FSM and timing state of one rank, stored as a structure of
+/// arrays: one dense lane per field, indexed by bank. Horizon folds and
+/// per-bank gate computation become tight loops over flat `u64`/`u32`
+/// arrays instead of strided walks over an array of structs — the layout
+/// the controller's candidate enumeration streams through every tick.
+#[derive(Debug, Clone)]
+struct BankLanesOwned {
+    /// Open row per bank, [`IDLE_ROW`] when closed.
+    open_row: Vec<u32>,
+    /// Cycle of the in-flight row cycle's ACT (valid while open).
+    act_at: Vec<McCycle>,
+    /// Timings promised for the in-flight row cycle (valid while open).
+    timings: Vec<RowTimings>,
+    /// Earliest legal `ACT` (covers tRP after PRE, tRC after ACT, tRFC
+    /// after REF). Monotone.
+    earliest_act: Vec<McCycle>,
+    /// Earliest legal `RD` (tRCD after ACT); reset to zero on close.
+    earliest_read: Vec<McCycle>,
+    /// Earliest legal `WR` (tRCD after ACT); reset to zero on close.
+    earliest_write: Vec<McCycle>,
+    /// Earliest legal `PRE` (tRAS/tRTP/tWR); reset to zero on close.
+    earliest_pre: Vec<McCycle>,
+}
+
+impl BankLanesOwned {
+    fn new(banks: usize) -> Self {
+        BankLanesOwned {
+            open_row: vec![IDLE_ROW; banks],
+            act_at: vec![McCycle::ZERO; banks],
+            timings: vec![RowTimings::new(0, 0, 0); banks],
+            earliest_act: vec![McCycle::ZERO; banks],
+            earliest_read: vec![McCycle::ZERO; banks],
+            earliest_write: vec![McCycle::ZERO; banks],
+            earliest_pre: vec![McCycle::ZERO; banks],
+        }
+    }
+
+    fn is_open(&self, b: usize) -> bool {
+        self.open_row[b] != IDLE_ROW
+    }
+
+    /// Reconstructs the classic per-bank view (API compatibility; the
+    /// hot paths read the lanes directly).
+    fn view(&self, b: usize) -> BankView {
+        let state = if self.is_open(b) {
+            BankState::Active {
+                row: Row::new(self.open_row[b]),
+                act_at: self.act_at[b],
+                timings: self.timings[b],
+            }
+        } else {
+            BankState::Idle
+        };
+        BankView {
+            state,
+            earliest_act: self.earliest_act[b],
+            earliest_read: self.earliest_read[b],
+            earliest_write: self.earliest_write[b],
+            earliest_pre: self.earliest_pre[b],
+        }
+    }
+}
+
+/// Borrowed view of one rank's bank lanes (see [`DramDevice::bank_lanes`]).
+/// All slices have length `banks_per_rank` and share indexing.
+#[derive(Debug, Clone, Copy)]
+pub struct BankLanes<'a> {
+    /// Open row per bank, [`IDLE_ROW`] when closed.
+    pub open_row: &'a [u32],
+    /// Earliest legal `ACT` per bank (bank-scoped; join with
+    /// [`RankTimingView::next_act_rank_ok`]).
+    pub earliest_act: &'a [McCycle],
+    /// Earliest legal `RD` per bank (bank-scoped; join with
+    /// [`RankTimingView::earliest_col_read`]).
+    pub earliest_read: &'a [McCycle],
+    /// Earliest legal `WR` per bank (bank-scoped; join with
+    /// [`RankTimingView::earliest_col_write`]).
+    pub earliest_write: &'a [McCycle],
+    /// Earliest legal `PRE` per bank (bank-scoped only).
+    pub earliest_pre: &'a [McCycle],
+}
+
+/// Precomputed branchless command-legality table for one rank: for each
+/// bank and command class, the earliest cycle the class becomes legal,
+/// with rank-scoped gates (tRRD/tFAW for ACT, the column bus for RD/WR)
+/// already folded in and [`NEVER`] for classes the bank's FSM state
+/// forbids outright. A command class is legal at `now` iff
+/// `now >= lane[bank]` — one comparison, no state branch.
+///
+/// The table is a *snapshot*: exact until the next `issue`, `power_down`
+/// or `power_up` on the device (all gate fields are monotone, so a stale
+/// table is conservative about timing but can be wrong about state).
+/// The `legality_table_matches_fsm_check` proptest holds this table to
+/// the check/apply FSM path command by command.
+#[derive(Debug, Clone, Default)]
+pub struct LegalityTable {
+    /// Earliest legal `ACT` per bank ([`NEVER`] while a row is open).
+    pub act: Vec<u64>,
+    /// Earliest legal `RD` per bank ([`NEVER`] while idle).
+    pub read: Vec<u64>,
+    /// Earliest legal `WR` per bank ([`NEVER`] while idle).
+    pub write: Vec<u64>,
+    /// Earliest legal `PRE` per bank ([`NEVER`] while idle).
+    pub pre: Vec<u64>,
+}
+
+impl LegalityTable {
+    /// Fills the table from `dev`'s lanes for `rank` in one branch-free
+    /// pass over the flat arrays (the only branch is the power-down
+    /// check, hoisted out of the loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn fill(&mut self, dev: &DramDevice, rank: Rank) {
+        let lanes = dev.bank_lanes(rank);
+        let n = lanes.open_row.len();
+        self.act.resize(n, 0);
+        self.read.resize(n, 0);
+        self.write.resize(n, 0);
+        self.pre.resize(n, 0);
+        if dev.is_powered_down(rank) {
+            self.act[..n].fill(NEVER);
+            self.read[..n].fill(NEVER);
+            self.write[..n].fill(NEVER);
+            self.pre[..n].fill(NEVER);
+            return;
+        }
+        let rt = dev.rank_timing(rank);
+        let rank_act = rt.next_act_rank_ok.raw();
+        let col_read = rt.earliest_col_read.raw();
+        let col_write = rt.earliest_col_write.raw();
+        for b in 0..n {
+            // 0 when idle, all-ones when a row is open: OR-ing a lane
+            // with the mask saturates it to NEVER in the illegal state.
+            let open_mask = ((lanes.open_row[b] != IDLE_ROW) as u64).wrapping_neg();
+            let idle_mask = !open_mask;
+            self.act[b] = lanes.earliest_act[b].raw().max(rank_act) | open_mask;
+            self.read[b] = lanes.earliest_read[b].raw().max(col_read) | idle_mask;
+            self.write[b] = lanes.earliest_write[b].raw().max(col_write) | idle_mask;
+            self.pre[b] = lanes.earliest_pre[b].raw() | idle_mask;
+        }
+    }
+}
+
 /// Per-rank timing and charge state.
 #[derive(Debug, Clone)]
 struct RankState {
-    banks: Vec<BankView>,
+    banks: BankLanesOwned,
     /// Issue times of the most recent ACTs (for tFAW, keeps up to 4).
     act_window: VecDeque<McCycle>,
     /// Most recent ACT in this rank (for tRRD).
@@ -185,7 +338,7 @@ impl DramDevice {
                     }
                 }
                 RankState {
-                    banks: vec![BankView::default(); banks],
+                    banks: BankLanesOwned::new(banks),
                     act_window: VecDeque::with_capacity(4),
                     last_act: None,
                     earliest_col_read: McCycle::ZERO,
@@ -237,13 +390,33 @@ impl DramDevice {
         &self.physical
     }
 
-    /// Read-only view of one bank.
+    /// Read-only view of one bank, reconstructed from the flat lanes
+    /// (state plus the four earliest-legal gates).
     ///
     /// # Panics
     ///
     /// Panics if `rank`/`bank` are out of range.
-    pub fn bank(&self, rank: Rank, bank: Bank) -> &BankView {
-        &self.ranks[rank.index()].banks[bank.index()]
+    pub fn bank(&self, rank: Rank, bank: Bank) -> BankView {
+        self.ranks[rank.index()].banks.view(bank.index())
+    }
+
+    /// The flat per-bank lanes of one rank — what the controller's
+    /// candidate enumeration and horizon folds stream through instead
+    /// of materializing a [`BankView`] per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[inline]
+    pub fn bank_lanes(&self, rank: Rank) -> BankLanes<'_> {
+        let b = &self.ranks[rank.index()].banks;
+        BankLanes {
+            open_row: &b.open_row,
+            earliest_act: &b.earliest_act,
+            earliest_read: &b.earliest_read,
+            earliest_write: &b.earliest_write,
+            earliest_pre: &b.earliest_pre,
+        }
     }
 
     /// The refresh engine of one rank (the controller reads LRRA and the
@@ -306,11 +479,11 @@ impl DramDevice {
         };
         rs.powerdown_cycles += now.saturating_sub(since);
         let ready = now + txp;
-        for bv in &mut rs.banks {
-            BankView::push_earliest(&mut bv.earliest_act, ready);
-            BankView::push_earliest(&mut bv.earliest_read, ready);
-            BankView::push_earliest(&mut bv.earliest_write, ready);
-            BankView::push_earliest(&mut bv.earliest_pre, ready);
+        for b in 0..rs.banks.open_row.len() {
+            BankView::push_earliest(&mut rs.banks.earliest_act[b], ready);
+            BankView::push_earliest(&mut rs.banks.earliest_read[b], ready);
+            BankView::push_earliest(&mut rs.banks.earliest_write[b], ready);
+            BankView::push_earliest(&mut rs.banks.earliest_pre[b], ready);
         }
         BankView::push_earliest(&mut rs.earliest_col_read, ready);
         BankView::push_earliest(&mut rs.earliest_col_write, ready);
@@ -372,8 +545,8 @@ impl DramDevice {
     pub fn open_bank_count(&self) -> u32 {
         self.ranks
             .iter()
-            .flat_map(|r| &r.banks)
-            .filter(|b| matches!(b.state, BankState::Active { .. }))
+            .flat_map(|r| &r.banks.open_row)
+            .filter(|&&row| row != IDLE_ROW)
             .count() as u32
     }
 
@@ -381,8 +554,9 @@ impl DramDevice {
     pub fn all_banks_idle(&self, rank: Rank) -> bool {
         self.ranks[rank.index()]
             .banks
+            .open_row
             .iter()
-            .all(|b| b.state == BankState::Idle)
+            .all(|&row| row == IDLE_ROW)
     }
 
     /// Checks whether `cmd` may issue at cycle `now` without applying it.
@@ -448,15 +622,15 @@ impl DramDevice {
                         value: row.as_u64(),
                     });
                 }
-                let bv = &rs.banks[bank.index()];
-                if bv.state != BankState::Idle {
+                let b = bank.index();
+                if rs.banks.is_open(b) {
                     return Err(IssueError::WrongBankState {
                         rank,
                         bank,
                         expected: "idle",
                     });
                 }
-                too_early("tRP/tRC/tRFC", bv.earliest_act, now)?;
+                too_early("tRP/tRC/tRFC", rs.banks.earliest_act[b], now)?;
                 if let Some(last) = rs.last_act {
                     too_early("tRRD", last + t.trrd, now)?;
                 }
@@ -501,46 +675,42 @@ impl DramDevice {
                         value: col.as_u64(),
                     });
                 }
-                let bv = &rs.banks[bank.index()];
-                let BankState::Active {
-                    act_at, timings, ..
-                } = bv.state
-                else {
+                let b = bank.index();
+                if !rs.banks.is_open(b) {
                     return Err(IssueError::WrongBankState {
                         rank,
                         bank,
                         expected: "active",
                     });
-                };
+                }
                 let is_read = matches!(cmd, DramCommand::Read { .. });
                 if is_read {
-                    too_early("tRCD", bv.earliest_read, now)?;
+                    too_early("tRCD", rs.banks.earliest_read[b], now)?;
                     too_early("tCCD/tWTR", rs.earliest_col_read, now)?;
                 } else {
-                    too_early("tRCD", bv.earliest_write, now)?;
+                    too_early("tRCD", rs.banks.earliest_write[b], now)?;
                     too_early("tCCD/RTW", rs.earliest_col_write, now)?;
                 }
                 // Auto-precharge timing resolved at apply time.
-                let _ = (act_at, timings);
                 Ok(IssuePlan)
             }
 
             DramCommand::Precharge { bank, .. } => {
-                let bv = &rs.banks[bank.index()];
-                if !matches!(bv.state, BankState::Active { .. }) {
+                let b = bank.index();
+                if !rs.banks.is_open(b) {
                     return Err(IssueError::WrongBankState {
                         rank,
                         bank,
                         expected: "active",
                     });
                 }
-                too_early("tRAS/tRTP/tWR", bv.earliest_pre, now)?;
+                too_early("tRAS/tRTP/tWR", rs.banks.earliest_pre[b], now)?;
                 Ok(IssuePlan)
             }
 
             DramCommand::Refresh { .. } => {
-                for (i, bv) in rs.banks.iter().enumerate() {
-                    if bv.state != BankState::Idle {
+                for (i, &row) in rs.banks.open_row.iter().enumerate() {
+                    if row != IDLE_ROW {
                         return Err(IssueError::RefreshWithOpenBank {
                             bank: Bank::new(i as u32),
                         });
@@ -551,8 +721,9 @@ impl DramDevice {
                 debug_assert_eq!(
                     rs.ref_ready,
                     rs.banks
+                        .earliest_act
                         .iter()
-                        .map(|b| b.earliest_act)
+                        .copied()
                         .fold(McCycle::ZERO, McCycle::max),
                     "ref_ready cache out of sync with per-bank earliest_act"
                 );
@@ -578,16 +749,14 @@ impl DramDevice {
             DramCommand::Activate {
                 bank, row, timings, ..
             } => {
-                let bv = &mut rs.banks[bank.index()];
-                bv.state = BankState::Active {
-                    row,
-                    act_at: now,
-                    timings,
-                };
-                bv.earliest_read = now + timings.trcd;
-                bv.earliest_write = now + timings.trcd;
-                bv.earliest_pre = now + timings.tras;
-                BankView::push_earliest(&mut bv.earliest_act, now + timings.trc);
+                let b = bank.index();
+                rs.banks.open_row[b] = row.raw();
+                rs.banks.act_at[b] = now;
+                rs.banks.timings[b] = timings;
+                rs.banks.earliest_read[b] = now + timings.trcd;
+                rs.banks.earliest_write[b] = now + timings.trcd;
+                rs.banks.earliest_pre[b] = now + timings.tras;
+                BankView::push_earliest(&mut rs.banks.earliest_act[b], now + timings.trc);
                 BankView::push_earliest(&mut rs.ref_ready, now + timings.trc);
                 rs.last_act = Some(now);
                 if rs.act_window.len() == 4 {
@@ -611,14 +780,11 @@ impl DramDevice {
                 auto_precharge,
                 ..
             } => {
-                let bv = &mut rs.banks[bank.index()];
-                let BankState::Active {
-                    act_at, timings, ..
-                } = bv.state
-                else {
-                    unreachable!("checked in can_issue")
-                };
-                BankView::push_earliest(&mut bv.earliest_pre, now + t.trtp);
+                let b = bank.index();
+                debug_assert!(rs.banks.is_open(b), "checked in can_issue");
+                let act_at = rs.banks.act_at[b];
+                let timings = rs.banks.timings[b];
+                BankView::push_earliest(&mut rs.banks.earliest_pre[b], now + t.trtp);
                 rs.earliest_col_read = now + t.tccd;
                 BankView::push_earliest(&mut rs.earliest_col_write, now + t.read_to_write());
                 self.stats.energy.reads += 1;
@@ -626,12 +792,7 @@ impl DramDevice {
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.trtp);
                     self.stats.bank_active_cycles += pre_at.saturating_sub(act_at);
-                    Self::close_bank(
-                        &mut rs.banks[bank.index()],
-                        &mut rs.ref_ready,
-                        pre_at,
-                        t.trp,
-                    );
+                    rs.close_bank(b, pre_at, t.trp);
                     self.stats.energy.precharges += 1;
                 }
                 done
@@ -642,14 +803,14 @@ impl DramDevice {
                 auto_precharge,
                 ..
             } => {
-                let bv = &mut rs.banks[bank.index()];
-                let BankState::Active {
-                    act_at, timings, ..
-                } = bv.state
-                else {
-                    unreachable!("checked in can_issue")
-                };
-                BankView::push_earliest(&mut bv.earliest_pre, now + t.write_to_precharge());
+                let b = bank.index();
+                debug_assert!(rs.banks.is_open(b), "checked in can_issue");
+                let act_at = rs.banks.act_at[b];
+                let timings = rs.banks.timings[b];
+                BankView::push_earliest(
+                    &mut rs.banks.earliest_pre[b],
+                    now + t.write_to_precharge(),
+                );
                 rs.earliest_col_write = now + t.tccd;
                 BankView::push_earliest(&mut rs.earliest_col_read, now + t.write_to_read());
                 self.stats.energy.writes += 1;
@@ -657,22 +818,18 @@ impl DramDevice {
                 if auto_precharge {
                     let pre_at = (act_at + timings.tras).max(now + t.write_to_precharge());
                     self.stats.bank_active_cycles += pre_at.saturating_sub(act_at);
-                    Self::close_bank(
-                        &mut rs.banks[bank.index()],
-                        &mut rs.ref_ready,
-                        pre_at,
-                        t.trp,
-                    );
+                    rs.close_bank(b, pre_at, t.trp);
                     self.stats.energy.precharges += 1;
                 }
                 done
             }
 
             DramCommand::Precharge { bank, .. } => {
-                if let BankState::Active { act_at, .. } = rs.banks[bank.index()].state {
-                    self.stats.bank_active_cycles += now.saturating_sub(act_at);
+                let b = bank.index();
+                if rs.banks.is_open(b) {
+                    self.stats.bank_active_cycles += now.saturating_sub(rs.banks.act_at[b]);
                 }
-                Self::close_bank(&mut rs.banks[bank.index()], &mut rs.ref_ready, now, t.trp);
+                rs.close_bank(b, now, t.trp);
                 self.stats.energy.precharges += 1;
                 now
             }
@@ -683,8 +840,7 @@ impl DramDevice {
                     for row in &refreshed {
                         rs.restore[b * rows + row.index()] = now.raw() as i64;
                     }
-                    let bv = &mut rs.banks[b];
-                    BankView::push_earliest(&mut bv.earliest_act, now + t.trfc);
+                    BankView::push_earliest(&mut rs.banks.earliest_act[b], now + t.trfc);
                 }
                 BankView::push_earliest(&mut rs.ref_ready, now + t.trfc);
                 self.stats.energy.refreshes += 1;
@@ -692,19 +848,22 @@ impl DramDevice {
             }
         }
     }
+}
 
-    /// Transitions a bank to idle at `pre_at`, making the next ACT legal
-    /// `trp` after that (and never earlier than already scheduled).
-    /// `ref_ready` is the rank's cached max-`earliest_act`, kept in sync.
-    fn close_bank(bv: &mut BankView, ref_ready: &mut McCycle, pre_at: McCycle, trp: u64) {
-        bv.state = BankState::Idle;
-        BankView::push_earliest(&mut bv.earliest_act, pre_at + trp);
-        BankView::push_earliest(ref_ready, pre_at + trp);
+impl RankState {
+    /// Transitions bank `b` to idle at `pre_at`, making the next ACT
+    /// legal `trp` after that (and never earlier than already
+    /// scheduled). `ref_ready` — the rank's cached max-`earliest_act` —
+    /// is kept in sync.
+    fn close_bank(&mut self, b: usize, pre_at: McCycle, trp: u64) {
+        self.banks.open_row[b] = IDLE_ROW;
+        BankView::push_earliest(&mut self.banks.earliest_act[b], pre_at + trp);
+        BankView::push_earliest(&mut self.ref_ready, pre_at + trp);
         // Column commands to an idle bank are state errors; reset their
         // gates so a future ACT fully determines them.
-        bv.earliest_read = McCycle::ZERO;
-        bv.earliest_write = McCycle::ZERO;
-        bv.earliest_pre = McCycle::ZERO;
+        self.banks.earliest_read[b] = McCycle::ZERO;
+        self.banks.earliest_write[b] = McCycle::ZERO;
+        self.banks.earliest_pre[b] = McCycle::ZERO;
     }
 }
 

@@ -48,7 +48,9 @@ pub mod refresh;
 pub use bank::{BankState, BankView};
 pub use command::DramCommand;
 pub use command_log::{CommandLog, LogEntry};
-pub use device::{BankGates, DeviceStats, DramDevice, RankTimingView};
+pub use device::{
+    BankGates, BankLanes, DeviceStats, DramDevice, LegalityTable, RankTimingView, IDLE_ROW, NEVER,
+};
 pub use energy::EnergyCounters;
 pub use error::IssueError;
 pub use reference::ReferenceChecker;

@@ -94,14 +94,14 @@ proptest! {
                 continue;
             };
             let pre_views: Vec<_> =
-                (0..8).map(|b| *dev.bank(Rank::new(0), Bank::new(b))).collect();
+                (0..8).map(|b| dev.bank(Rank::new(0), Bank::new(b))).collect();
             let check = dev.can_issue(&cmd, now);
             let apply = dev.issue(cmd, now);
             prop_assert_eq!(check.is_ok(), apply.is_ok(), "{:?}", cmd);
             if apply.is_err() {
                 // Rejection must be side-effect free.
                 for (b, before) in pre_views.iter().enumerate() {
-                    prop_assert_eq!(dev.bank(Rank::new(0), Bank::new(b as u32)), before);
+                    prop_assert_eq!(dev.bank(Rank::new(0), Bank::new(b as u32)), *before);
                 }
             } else {
                 now += 1;

@@ -1,0 +1,186 @@
+//! Oracle property test for the branchless SoA legality table: after an
+//! arbitrary command history, [`LegalityTable`] must agree with the FSM
+//! `can_issue` path for every bank × command class × probe time. This
+//! mirrors the indexed-vs-linear queue oracle in `nuat-core`: the flat
+//! table is the fast path, `can_issue` stays the single source of truth.
+
+use nuat_dram::{DramCommand, DramDevice, IssueError, LegalityTable, NEVER};
+use nuat_types::{Bank, Col, DramConfig, DramTimings, McCycle, Rank, Row, RowTimings};
+use proptest::prelude::*;
+
+/// A random command attempt, to be fired at a random time step (same
+/// generator shape as `prop_device.rs`).
+#[derive(Debug, Clone, Copy)]
+enum Attempt {
+    Act { bank: u32, row: u32, fast: bool },
+    Read { bank: u32, col: u32, auto: bool },
+    Write { bank: u32, col: u32, auto: bool },
+    Pre { bank: u32 },
+    Refresh,
+    Wait { cycles: u16 },
+}
+
+fn arb_attempt() -> impl Strategy<Value = Attempt> {
+    prop_oneof![
+        (0u32..8, 0u32..8192, proptest::bool::ANY).prop_map(|(bank, row, fast)| Attempt::Act {
+            bank,
+            row,
+            fast
+        }),
+        (0u32..8, 0u32..1024, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Read {
+            bank,
+            col,
+            auto
+        }),
+        (0u32..8, 0u32..1024, proptest::bool::ANY).prop_map(|(bank, col, auto)| Attempt::Write {
+            bank,
+            col,
+            auto
+        }),
+        (0u32..8).prop_map(|bank| Attempt::Pre { bank }),
+        Just(Attempt::Refresh),
+        (1u16..64).prop_map(|cycles| Attempt::Wait { cycles }),
+    ]
+}
+
+fn to_command(a: Attempt, timings: &DramTimings) -> Option<DramCommand> {
+    let rank = Rank::new(0);
+    Some(match a {
+        Attempt::Act { bank, row, fast } => DramCommand::Activate {
+            rank,
+            bank: Bank::new(bank),
+            row: Row::new(row),
+            timings: if fast {
+                RowTimings::new(8, 22, timings.trp)
+            } else {
+                timings.worst_case_row()
+            },
+        },
+        Attempt::Read { bank, col, auto } => DramCommand::Read {
+            rank,
+            bank: Bank::new(bank),
+            col: Col::new(col),
+            auto_precharge: auto,
+        },
+        Attempt::Write { bank, col, auto } => DramCommand::Write {
+            rank,
+            bank: Bank::new(bank),
+            col: Col::new(col),
+            auto_precharge: auto,
+        },
+        Attempt::Pre { bank } => DramCommand::Precharge {
+            rank,
+            bank: Bank::new(bank),
+        },
+        Attempt::Refresh => DramCommand::Refresh { rank },
+        Attempt::Wait { .. } => return None,
+    })
+}
+
+/// One representative probe command per table class. Worst-case ACT
+/// timings are used so charge physics never interferes: the physical
+/// minimum can only shrink below the fully-discharged worst case, so
+/// the probe's legality is purely FSM-state + timing — exactly what
+/// the table encodes.
+fn probes(bank: u32, timings: &DramTimings) -> [DramCommand; 4] {
+    let rank = Rank::new(0);
+    let bank = Bank::new(bank);
+    [
+        DramCommand::Activate {
+            rank,
+            bank,
+            row: Row::new(0),
+            timings: timings.worst_case_row(),
+        },
+        DramCommand::Read {
+            rank,
+            bank,
+            col: Col::new(0),
+            auto_precharge: false,
+        },
+        DramCommand::Write {
+            rank,
+            bank,
+            col: Col::new(0),
+            auto_precharge: false,
+        },
+        DramCommand::Precharge { rank, bank },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// After every step of an arbitrary command history, for every bank
+    /// and command class: `now >= lane[bank]` iff the FSM accepts the
+    /// class. Boundary probes additionally pin the lane value exactly —
+    /// legal *at* the lane, `TooEarly` one cycle before it.
+    #[test]
+    fn legality_table_matches_fsm_check(
+        attempts in proptest::collection::vec(arb_attempt(), 1..150)
+    ) {
+        let mut dev = DramDevice::new(DramConfig::default());
+        let timings = *dev.timings();
+        let mut table = LegalityTable::default();
+        let mut now = McCycle::new(10);
+        for a in attempts {
+            if let Some(cmd) = to_command(a, &timings) {
+                if dev.issue(cmd, now).is_ok() {
+                    now += 1;
+                }
+            } else if let Attempt::Wait { cycles } = a {
+                now += cycles as u64;
+            }
+            table.fill(&dev, Rank::new(0));
+            for b in 0..8usize {
+                let cmds = probes(b as u32, &timings);
+                let lanes = [table.act[b], table.read[b], table.write[b], table.pre[b]];
+                for (cmd, lane) in cmds.iter().zip(lanes) {
+                    // The one-comparison claim, at the current cycle.
+                    prop_assert_eq!(
+                        now.raw() >= lane,
+                        dev.can_issue(cmd, now).is_ok(),
+                        "table/FSM disagree at now={} lane={} for {:?}",
+                        now, lane, cmd
+                    );
+                    if lane == NEVER {
+                        // State-forbidden: the FSM must refuse with a
+                        // state error, not a timing one (a stale table
+                        // may be wrong about state; a fresh one not).
+                        match dev.can_issue(cmd, now) {
+                            Err(IssueError::WrongBankState { .. }) => {}
+                            other => prop_assert!(
+                                false,
+                                "NEVER lane but FSM said {:?} for {:?}",
+                                other, cmd
+                            ),
+                        }
+                        continue;
+                    }
+                    // Boundary: legal exactly at the lane...
+                    prop_assert!(
+                        dev.can_issue(cmd, McCycle::new(lane)).is_ok(),
+                        "illegal at its own lane {} for {:?}",
+                        lane, cmd
+                    );
+                    // ...and `TooEarly` one cycle before it.
+                    if lane > 0 {
+                        match dev.can_issue(cmd, McCycle::new(lane - 1)) {
+                            Err(IssueError::TooEarly { earliest, .. }) => {
+                                prop_assert_eq!(
+                                    earliest.raw(), lane,
+                                    "FSM earliest disagrees with lane for {:?}", cmd
+                                );
+                            }
+                            other => prop_assert!(
+                                false,
+                                "expected TooEarly below lane {}, got {:?} for {:?}",
+                                lane, other, cmd
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -181,7 +181,7 @@ impl<W: Write> ChromeTraceSink<W> {
     }
 }
 
-impl<W: Write> TraceSink for ChromeTraceSink<W> {
+impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
     fn on_event(&mut self, event: &TraceEvent) {
         match *event {
             TraceEvent::Command(ref e) => self.command(e),

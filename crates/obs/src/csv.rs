@@ -80,7 +80,7 @@ impl<W: Write> CsvTimeSeries<W> {
     }
 }
 
-impl<W: Write> TraceSink for CsvTimeSeries<W> {
+impl<W: Write + Send> TraceSink for CsvTimeSeries<W> {
     fn on_epoch(&mut self, s: &EpochSample) {
         if !self.wrote_header {
             self.header(s.pb_acts.len());

@@ -140,7 +140,7 @@ pub fn epoch_line(s: &EpochSample) -> String {
     b.finish()
 }
 
-impl<W: Write> TraceSink for JsonlSink<W> {
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn on_event(&mut self, event: &TraceEvent) {
         let line = event_line(event);
         self.line(&line);

@@ -16,7 +16,13 @@ use crate::event::TraceEvent;
 /// Sinks observe; they must never influence the simulation (the
 /// determinism guard locks this: goldens with and without an attached
 /// sink are byte-identical).
-pub trait TraceSink {
+///
+/// `Send` is a supertrait: under channel-parallel execution
+/// (`NUAT_CHANNEL_JOBS`) each controller — and the sink riding it —
+/// migrates to a worker thread between CPU sync points. Sinks are never
+/// shared (`Sync` is not required); one channel's event stream is
+/// always written by exactly one thread at a time.
+pub trait TraceSink: Send {
     /// Compile-time enable flag: `false` only for [`NullSink`]. Emission
     /// sites and span accumulators wrap themselves in
     /// `if S::ENABLED { ... }`, so under the null sink the branch — and

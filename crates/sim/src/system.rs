@@ -1,11 +1,14 @@
 //! Full-system wiring: N trace-driven cores sharing one memory
 //! controller, clocked at the paper's 4:1 CPU-to-memory ratio.
 
+use crate::parallel::{channel_worker_count, SpinBarrier};
 use nuat_circuit::PbGrouping;
 use nuat_core::{MemoryController, RequestKind, SchedulerKind};
 use nuat_cpu::{Core, MemOp, MemoryPort, Trace};
 use nuat_obs::{NullSink, TraceSink};
 use nuat_types::{CpuCycle, McCycle, PhysAddr, SystemConfig, CPU_CYCLES_PER_MC_CYCLE};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 
 /// Adapter exposing the channel controllers as the cores'
 /// [`MemoryPort`]. Requests route by the decoded channel; completion
@@ -53,6 +56,48 @@ impl<S: TraceSink> MemoryPort for Port<'_, S> {
 /// Packs `(request id, channel)` into the opaque core-facing token.
 fn token(id: u64, channel: usize, channels: usize) -> u64 {
     id * channels as u64 + channel as u64
+}
+
+/// [`MemoryPort`] over mutex-cells, for the channel-sharded run loop:
+/// the controllers live in per-channel `Mutex<&mut _>` cells so worker
+/// threads can tick them, and the CPU phase (which runs on the main
+/// thread while every worker is parked at the phase barrier) locks the
+/// target channel per operation. The locks are uncontended by
+/// construction — phases never overlap — so each is one atomic
+/// exchange, and the port behaves identically to [`Port`].
+struct ShardedPort<'a, 'm, S: TraceSink> {
+    cells: &'a [Mutex<&'m mut MemoryController<S>>],
+    cfg: &'a SystemConfig,
+}
+
+impl<S: TraceSink> MemoryPort for ShardedPort<'_, '_, S> {
+    fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool {
+        let ch = self
+            .cfg
+            .dram
+            .geometry
+            .decode(addr, self.cfg.controller.mapping)
+            .channel
+            .index();
+        self.cells[ch]
+            .lock()
+            .expect("no prior panic holding a channel cell")
+            .can_accept(kind_of(op))
+    }
+
+    fn submit(&mut self, core: usize, op: MemOp, addr: PhysAddr) -> u64 {
+        let decoded = self
+            .cfg
+            .dram
+            .geometry
+            .decode(addr, self.cfg.controller.mapping);
+        let ch = decoded.channel.index();
+        let id = self.cells[ch]
+            .lock()
+            .expect("no prior panic holding a channel cell")
+            .enqueue_decoded(core, kind_of(op), decoded);
+        token(id.0, ch, self.cells.len())
+    }
 }
 
 fn kind_of(op: MemOp) -> RequestKind {
@@ -110,6 +155,9 @@ pub struct System<S: TraceSink = NullSink> {
     /// Reused each step to drain controller completions without
     /// allocating a fresh `Vec` per controller per cycle.
     completions_buf: Vec<nuat_core::Completion>,
+    /// Channel-sharding worker override; `None` defers to
+    /// `NUAT_CHANNEL_JOBS` (see [`channel_worker_count`]).
+    channel_workers: Option<usize>,
 }
 
 impl System {
@@ -188,7 +236,17 @@ impl<S: TraceSink> System<S> {
             cfg,
             cpu_now: CpuCycle::ZERO,
             completions_buf: Vec::new(),
+            channel_workers: None,
         }
+    }
+
+    /// Forces the channel-sharding worker count for this run, bypassing
+    /// the `NUAT_CHANNEL_JOBS` environment lookup (tests compare the
+    /// sequential and sharded paths in one process without touching
+    /// process-global state). Clamped to the channel count; `1` means
+    /// the sequential loop.
+    pub fn set_channel_workers(&mut self, workers: usize) {
+        self.channel_workers = Some(workers);
     }
 
     /// The channel-0 controller (for inspection mid-run).
@@ -337,6 +395,14 @@ impl<S: TraceSink> System<S> {
     /// The shared simulation loop: runs to completion or the cap, then
     /// drains the controllers (posted writes).
     fn run_core(&mut self, max_mc_cycles: u64, warmup_reads: u64) {
+        let workers = self
+            .channel_workers
+            .map(|n| n.clamp(1, self.mcs.len().max(1)))
+            .unwrap_or_else(|| channel_worker_count(self.mcs.len()));
+        if workers > 1 {
+            self.run_core_sharded(max_mc_cycles, warmup_reads, workers);
+            return;
+        }
         let mut warm = warmup_reads == 0;
         while !self.is_done() && self.mc_now() < max_mc_cycles {
             // Joint dead-span skip: when every controller is timing-
@@ -381,6 +447,207 @@ impl<S: TraceSink> System<S> {
                 }
             }
         }
+    }
+
+    /// Channel-sharded variant of [`run_core`](Self::run_core): the
+    /// per-channel controllers tick on `workers` persistent scoped
+    /// threads while the main thread keeps everything else — CPU
+    /// subcycles, completion draining, warmup bookkeeping — exactly
+    /// where the sequential loop runs it. Enabled by `NUAT_CHANNEL_JOBS`
+    /// (see [`channel_worker_count`]).
+    ///
+    /// **Byte-identity argument.** The sequential step interleaves
+    /// `tick(ch)` with `drain(ch)` in channel order; here all ticks run
+    /// first (in parallel) and all drains after (on the main thread, in
+    /// channel order). The reorder is invisible because a tick mutates
+    /// only its own controller — channels share no DRAM state and never
+    /// read the cores — while a drain mutates only the cores and its own
+    /// controller's completion queue. Likewise `run_for` bulk-advances
+    /// are per-channel dead spans with no cross-channel reads. Every
+    /// cross-channel-observable effect (request admission, completion
+    /// delivery, stats reset, aggregation) happens on the main thread in
+    /// the sequential order, so the result — stats, sinks, goldens — is
+    /// byte-identical to `NUAT_CHANNEL_JOBS=1` for any worker count and
+    /// any thread schedule. The determinism guard pins this.
+    ///
+    /// Rendezvous is two [`SpinBarrier`]s per phase (release, join);
+    /// phases never overlap, so the per-channel mutex cells are always
+    /// uncontended and exist only to carry `&mut` access across threads.
+    fn run_core_sharded(&mut self, max_mc_cycles: u64, warmup_reads: u64, workers: usize) {
+        const PH_TICK: u8 = 0;
+        const PH_RUN: u8 = 1;
+        const PH_EXIT: u8 = 2;
+        let channels = self.mcs.len();
+        let cfg = &self.cfg;
+        let cores = &mut self.cores;
+        let cells: Vec<Mutex<&mut MemoryController<S>>> =
+            self.mcs.iter_mut().map(Mutex::new).collect();
+        let lock = |ch: usize| {
+            cells[ch]
+                .lock()
+                .expect("no prior panic holding a channel cell")
+        };
+        let phase = AtomicU8::new(PH_TICK);
+        let span_arg = AtomicU64::new(0);
+        let start = SpinBarrier::new(workers + 1);
+        let done = SpinBarrier::new(workers + 1);
+        let mut cpu_now = self.cpu_now;
+        let mut buf = std::mem::take(&mut self.completions_buf);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let cells = &cells;
+                let phase = &phase;
+                let span_arg = &span_arg;
+                let start = &start;
+                let done = &done;
+                scope.spawn(move || loop {
+                    start.wait();
+                    let p = phase.load(Ordering::Acquire);
+                    if p == PH_EXIT {
+                        break;
+                    }
+                    let n = span_arg.load(Ordering::Acquire);
+                    let mut ch = w;
+                    while ch < channels {
+                        let mut mc = cells[ch].lock().expect("no prior panic in a worker");
+                        if p == PH_TICK {
+                            mc.tick();
+                        } else {
+                            mc.run_for(n);
+                        }
+                        ch += workers;
+                    }
+                    done.wait();
+                });
+            }
+            // Releases the parked workers into one controller phase and
+            // joins them back before main touches the cells again.
+            let run_phase = |p: u8, n: u64| {
+                phase.store(p, Ordering::Release);
+                span_arg.store(n, Ordering::Release);
+                start.wait();
+                done.wait();
+            };
+            let mc_now = || lock(0).now().raw();
+            let mut warm = warmup_reads == 0;
+            while !cores.iter().all(Core::is_done) && mc_now() < max_mc_cycles {
+                // Joint dead-span skip, as in the sequential loop.
+                let span = {
+                    let mc_span = cells
+                        .iter()
+                        .map(|c| {
+                            c.lock()
+                                .expect("no prior panic holding a channel cell")
+                                .skippable_cycles()
+                        })
+                        .min()
+                        .unwrap_or(0);
+                    let mut span = 0;
+                    if mc_span > 0 {
+                        let mut cpu_span = u64::MAX;
+                        let mut inert = true;
+                        for core in cores.iter() {
+                            cpu_span = cpu_span.min(core.quiescent_cycles(cpu_now, |op, addr| {
+                                let ch = cfg
+                                    .dram
+                                    .geometry
+                                    .decode(addr, cfg.controller.mapping)
+                                    .channel
+                                    .index();
+                                lock(ch).can_accept(kind_of(op))
+                            }));
+                            if cpu_span < CPU_CYCLES_PER_MC_CYCLE {
+                                inert = false;
+                                break;
+                            }
+                        }
+                        if inert {
+                            span = mc_span.min(cpu_span / CPU_CYCLES_PER_MC_CYCLE);
+                        }
+                    }
+                    span.min(max_mc_cycles - mc_now())
+                };
+                if span > 0 {
+                    for core in cores.iter_mut() {
+                        core.advance_stalled(CPU_CYCLES_PER_MC_CYCLE * span);
+                    }
+                    cpu_now += CPU_CYCLES_PER_MC_CYCLE * span;
+                    run_phase(PH_RUN, span);
+                    continue;
+                }
+                // One step: CPU subcycles on main, ticks on the workers,
+                // completion drain back on main in channel order.
+                for _ in 0..CPU_CYCLES_PER_MC_CYCLE {
+                    for core in cores.iter_mut() {
+                        let mut port = ShardedPort { cells: &cells, cfg };
+                        core.tick(cpu_now, &mut port);
+                    }
+                    cpu_now += 1;
+                }
+                run_phase(PH_TICK, 0);
+                for (ch, cell) in cells.iter().enumerate() {
+                    let mut mc = cell.lock().expect("no prior panic holding a channel cell");
+                    buf.clear();
+                    mc.drain_completions_into(&mut buf);
+                    drop(mc);
+                    for done in &buf {
+                        cores[done.request.core]
+                            .complete_read(token(done.request.id.0, ch, channels), cpu_now);
+                    }
+                }
+                if !warm {
+                    let reads: u64 = cells
+                        .iter()
+                        .map(|c| {
+                            c.lock()
+                                .expect("no prior panic holding a channel cell")
+                                .stats()
+                                .reads_completed
+                        })
+                        .sum();
+                    if reads >= warmup_reads {
+                        for ch in 0..channels {
+                            lock(ch).reset_stats();
+                        }
+                        warm = true;
+                    }
+                }
+            }
+            // Post-retirement drain, sharded the same way.
+            loop {
+                let now = mc_now();
+                if now >= max_mc_cycles {
+                    break;
+                }
+                let idle = cells.iter().all(|c| {
+                    c.lock()
+                        .expect("no prior panic holding a channel cell")
+                        .is_idle()
+                });
+                if idle {
+                    break;
+                }
+                let span = cells
+                    .iter()
+                    .map(|c| {
+                        c.lock()
+                            .expect("no prior panic holding a channel cell")
+                            .skippable_cycles()
+                    })
+                    .min()
+                    .unwrap_or(0)
+                    .min(max_mc_cycles - now);
+                if span > 0 {
+                    run_phase(PH_RUN, span);
+                } else {
+                    run_phase(PH_TICK, 0);
+                }
+            }
+            phase.store(PH_EXIT, Ordering::Release);
+            start.wait();
+        });
+        self.cpu_now = cpu_now;
+        self.completions_buf = buf;
     }
 
     /// Aggregates the finished run into a [`SimResult`]. Multi-channel

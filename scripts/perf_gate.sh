@@ -1,45 +1,88 @@
 #!/usr/bin/env bash
 # Performance regression gate: re-runs the scheduler-throughput bench
 # (JSON emission only — criterion suppressed) into a scratch file and
-# compares NUAT's skip-mode end-to-end throughput on comm3 at the
-# default queue depth against the committed BENCH_scheduler.json
-# baseline. Fails when the fresh number regresses more than 10%.
+# compares EVERY (scheduler × mode × workload × queue_depth × channels)
+# cell against the committed BENCH_scheduler.json baseline. A cell
+# fails when the fresh rate drops below TOLERANCE (default 75%) of the
+# committed rate; the gate fails if any cell fails. Per-cell rather
+# than a single guarded row, so a regression confined to one scheduler
+# or one queue depth (the depth-256 droop class of bug) cannot hide
+# behind a healthy aggregate.
+#
+# The fresh run also appends to a scratch history file (not the
+# committed BENCH_history.jsonl) so trial gate runs don't pollute the
+# trajectory log.
 #
 # Opt-in from verify.sh via NUAT_PERF_GATE=1: wall-clock numbers are
 # only meaningful on a quiet machine, so the gate must not make routine
-# verification flaky on loaded CI workers.
+# verification flaky on loaded CI workers. NUAT_PERF_TOLERANCE
+# overrides the per-cell floor (fraction of baseline, e.g. 0.9).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=BENCH_scheduler.json
+TOLERANCE="${NUAT_PERF_TOLERANCE:-0.75}"
 [ -s "$BASELINE" ] || { echo "perf_gate: no committed $BASELINE" >&2; exit 1; }
 
-# Selector for the guarded row. Rows are single-line JSON objects with
-# explicit workload/queue_depth fields, so grep+sed suffices (no jq in
-# the image).
-extract_rate() {
-    grep '"scheduler": "NUAT"' "$1" \
-        | grep '"mode": "skip"' \
-        | grep '"workload": "comm3"' \
-        | grep '"queue_depth": 64' \
-        | sed -n 's/.*"simulated_cycles_per_sec": \([0-9.]*\).*/\1/p' \
-        | head -n1
-}
-
-baseline=$(extract_rate "$BASELINE")
-[ -n "$baseline" ] || { echo "perf_gate: baseline row not found in $BASELINE" >&2; exit 1; }
-
 fresh_json=$(mktemp)
-trap 'rm -f "$fresh_json"' EXIT
-NUAT_BENCH_JSON_ONLY=1 NUAT_BENCH_OUT="$fresh_json" \
+fresh_hist=$(mktemp)
+trap 'rm -f "$fresh_json" "$fresh_hist"' EXIT
+NUAT_BENCH_JSON_ONLY=1 NUAT_BENCH_OUT="$fresh_json" NUAT_BENCH_HISTORY="$fresh_hist" \
     cargo bench -q -p nuat-bench --bench scheduler_throughput >/dev/null
 
-fresh=$(extract_rate "$fresh_json")
-[ -n "$fresh" ] || { echo "perf_gate: fresh row not found in bench output" >&2; exit 1; }
-
-echo "perf_gate: NUAT skip comm3 depth-64: baseline ${baseline} cyc/s, fresh ${fresh} cyc/s"
-awk -v f="$fresh" -v b="$baseline" 'BEGIN { exit !(f >= 0.9 * b) }' || {
-    echo "perf_gate: FAIL — fresh throughput below 90% of committed baseline" >&2
-    exit 1
+# Rows are single-line JSON objects with explicit field names, so awk
+# suffices (no jq in the image). Key: scheduler|mode|workload|depth|channels.
+# Older baselines without a "channels" field default that key part to 1.
+rates() {
+    awk '
+        /"scheduler":/ {
+            sched = mode = wl = depth = chans = rate = ""
+            if (match($0, /"scheduler": "[^"]*"/))
+                sched = substr($0, RSTART + 14, RLENGTH - 15)
+            if (match($0, /"mode": "[^"]*"/))
+                mode = substr($0, RSTART + 9, RLENGTH - 10)
+            if (match($0, /"workload": "[^"]*"/))
+                wl = substr($0, RSTART + 13, RLENGTH - 14)
+            if (match($0, /"queue_depth": [0-9]+/))
+                depth = substr($0, RSTART + 15, RLENGTH - 15)
+            chans = 1
+            if (match($0, /"channels": [0-9]+/))
+                chans = substr($0, RSTART + 12, RLENGTH - 12)
+            if (match($0, /"simulated_cycles_per_sec": [0-9.]+/))
+                rate = substr($0, RSTART + 28, RLENGTH - 28)
+            if (sched != "" && rate != "")
+                print sched "|" mode "|" wl "|" depth "|" chans " " rate
+        }
+    ' "$1"
 }
-echo "perf_gate: OK"
+
+base_rates=$(rates "$BASELINE")
+fresh_rates=$(rates "$fresh_json")
+[ -n "$base_rates" ] || { echo "perf_gate: no rows in $BASELINE" >&2; exit 1; }
+[ -n "$fresh_rates" ] || { echo "perf_gate: no rows in fresh bench output" >&2; exit 1; }
+
+fail=0
+checked=0
+while read -r key base; do
+    fresh=$(printf '%s\n' "$fresh_rates" | awk -v k="$key" '$1 == k { print $2; exit }')
+    if [ -z "$fresh" ]; then
+        echo "perf_gate: MISSING cell $key in fresh run" >&2
+        fail=1
+        continue
+    fi
+    checked=$((checked + 1))
+    if awk -v f="$fresh" -v b="$base" -v t="$TOLERANCE" 'BEGIN { exit !(f >= t * b) }'; then
+        printf 'perf_gate: ok   %-40s baseline %12.0f fresh %12.0f\n' "$key" "$base" "$fresh"
+    else
+        printf 'perf_gate: FAIL %-40s baseline %12.0f fresh %12.0f (< %s×)\n' \
+            "$key" "$base" "$fresh" "$TOLERANCE" >&2
+        fail=1
+    fi
+done <<< "$base_rates"
+
+[ "$checked" -gt 0 ] || { echo "perf_gate: no cells compared" >&2; exit 1; }
+if [ "$fail" -ne 0 ]; then
+    echo "perf_gate: FAIL — at least one cell regressed below ${TOLERANCE}× of baseline" >&2
+    exit 1
+fi
+echo "perf_gate: OK (${checked} cells within ${TOLERANCE}× of baseline)"

@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release
 cargo test -q
+# Replay the determinism goldens once under forced channel sharding:
+# a worker-per-channel run must be byte-identical to the sequential
+# loop (DESIGN.md §7 "Channel sharding").
+NUAT_CHANNEL_JOBS=4 cargo test -q -p nuat-sim --test determinism_guard
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
 smoke_dir=$(mktemp -d)

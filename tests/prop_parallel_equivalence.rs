@@ -1,0 +1,145 @@
+//! Property test for channel-parallel execution: a sharded run
+//! (`NUAT_CHANNEL_JOBS`-style worker-per-channel mode, forced via
+//! `System::set_channel_workers`) must be byte-identical to the
+//! sequential loop — same stats fingerprint, same per-channel command
+//! stream, same per-channel sink contents — for every scheduler, any
+//! channel/worker count, and any thread schedule.
+
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_obs::MemorySink;
+use nuat_sim::{traces_for, RunConfig, SimResult, System};
+use nuat_types::{DramGeometry, SystemConfig};
+use nuat_workloads::by_name;
+use proptest::prelude::*;
+
+const WORKLOADS: [&str; 6] = ["black", "face", "ferret", "comm1", "libq", "mummer"];
+const SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Fcfs,
+    SchedulerKind::FrFcfsOpen,
+    SchedulerKind::FrFcfsClose,
+    SchedulerKind::Nuat,
+];
+
+/// Every scalar a run produces, bit-exact (mirrors the determinism
+/// guard's fingerprint).
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    r: &SimResult,
+) -> (
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    nuat_dram::DeviceStats,
+    u64,
+    u64,
+    Vec<u64>,
+) {
+    (
+        r.mc_cycles,
+        r.execution_cpu_cycles,
+        r.stats.total_read_latency,
+        r.stats.reads_completed,
+        r.stats.writes_drained,
+        r.device,
+        r.powerdown_cycles,
+        r.energy_pj.to_bits(),
+        r.core_finish_cpu_cycles.clone(),
+    )
+}
+
+/// One instrumented multi-channel run with a forced worker count
+/// (`1` = the sequential reference loop).
+fn run_with(
+    workers: usize,
+    scheduler: SchedulerKind,
+    channels: u64,
+    workloads: &[&str],
+    mem_ops: usize,
+) -> (SimResult, Vec<MemorySink>) {
+    let mut cfg = SystemConfig::with_cores(workloads.len());
+    cfg.dram.geometry = DramGeometry {
+        channels,
+        ..DramGeometry::default()
+    };
+    let rc = RunConfig {
+        mem_ops_per_core: mem_ops,
+        ..RunConfig::quick()
+    };
+    let specs: Vec<_> = workloads.iter().map(|w| by_name(w).unwrap()).collect();
+    let traces = traces_for(&specs, &cfg, &rc);
+    let mut sys = System::with_sinks(
+        cfg,
+        scheduler,
+        PbGrouping::paper(5),
+        traces,
+        vec![MemorySink::default(); channels as usize],
+        None,
+    );
+    sys.set_channel_workers(workers);
+    sys.run_traced(rc.max_mc_cycles, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Sequential vs sharded, all four schedulers per sampled
+    /// configuration: fingerprints, per-channel event streams (which
+    /// include every DRAM command in issue order — the command log) and
+    /// epoch samples must match exactly.
+    #[test]
+    fn channel_parallel_run_is_byte_identical_to_sequential(
+        channels in prop_oneof![Just(2u64), Just(4u64)],
+        workers in 2usize..=4,
+        w0 in 0usize..WORKLOADS.len(),
+        w1 in 0usize..WORKLOADS.len(),
+        mem_ops in 150usize..400,
+    ) {
+        let workloads = [WORKLOADS[w0], WORKLOADS[w1]];
+        for scheduler in SCHEDULERS {
+            let (seq, seq_sinks) = run_with(1, scheduler, channels, &workloads, mem_ops);
+            let (par, par_sinks) = run_with(workers, scheduler, channels, &workloads, mem_ops);
+            prop_assert!(seq.completed, "{:?} sequential run must finish", scheduler);
+            prop_assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&par),
+                "fingerprint diverged for {:?} ({} channels, {} workers)",
+                scheduler, channels, workers
+            );
+            prop_assert_eq!(seq_sinks.len(), par_sinks.len());
+            for (ch, (s, p)) in seq_sinks.iter().zip(&par_sinks).enumerate() {
+                prop_assert_eq!(
+                    s.events.len(), p.events.len(),
+                    "channel {} event count diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    s.events == p.events,
+                    "channel {} event stream diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    s.epochs == p.epochs,
+                    "channel {} epoch samples diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(s.finished && p.finished);
+            }
+        }
+    }
+}
+
+/// Deterministic smoke for the same property (always runs, no sampling):
+/// four channels, four workers, two cores, every scheduler.
+#[test]
+fn sharded_four_channel_goldens_match_sequential() {
+    for scheduler in SCHEDULERS {
+        let workloads = ["ferret", "comm1"];
+        let (seq, seq_sinks) = run_with(1, scheduler, 4, &workloads, 600);
+        let (par, par_sinks) = run_with(4, scheduler, 4, &workloads, 600);
+        assert!(seq.completed);
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "{scheduler:?}");
+        for (s, p) in seq_sinks.iter().zip(&par_sinks) {
+            assert!(s.events == p.events, "{scheduler:?} command/event stream");
+        }
+    }
+}
