@@ -305,9 +305,28 @@ fn emit_machine_readable() {
             ));
         }
     }
+    // The deep-queue droop delta, measured drift-cancelled: depth 64
+    // and depth 256 interleaved in 200k-cycle slices on one thread
+    // (`saturated_compare_depths`), so wall-clock drift hits both
+    // alike and cancels out of the ratio. Recorded as its own object —
+    // absolute per-cell rates swing ±30% on this box, the interleaved
+    // ratio is reproducible to ~±1% (DESIGN.md §7 "SoA bank state").
+    // 8× the sweep length: at 1M cycles the interleaved ratio still
+    // wobbles by several points run to run; at 8M it settles to ~±1%.
+    let droop_cycles = SWEEP_CYCLES * 8;
+    let (wall64, wall256) =
+        nuat_bench::saturated_compare_depths(SchedulerKind::Nuat, 64, 256, droop_cycles, 200_000);
+    let droop = format!(
+        "{{\"scheduler\": \"NUAT\", \"mode\": \"interleaved\", \"depth_a\": 64, \"depth_b\": 256, \"cycles_per_sec_a\": {:.0}, \"cycles_per_sec_b\": {:.0}, \"gap_percent\": {:.1}}}",
+        droop_cycles as f64 / wall64,
+        droop_cycles as f64 / wall256,
+        (wall256 / wall64 - 1.0) * 100.0,
+    );
+    println!("depth droop (interleaved): {droop}");
     let json = format!(
-        "{{\n  \"bench\": \"scheduler_throughput\",\n  \"workload\": \"comm3\",\n  \"mem_ops\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"scheduler_throughput\",\n  \"workload\": \"comm3\",\n  \"mem_ops\": {},\n  \"depth_droop\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         MEM_OPS,
+        droop,
         entries.join(",\n")
     );
     let path = match std::env::var("NUAT_BENCH_OUT") {

@@ -25,8 +25,12 @@ use crate::queues::{RequestQueues, NO_SLOT};
 use crate::request::{MemoryRequest, RequestId, RequestKind};
 use crate::scheduler::{PolicyView, SchedulerKind, SchedulerPolicy};
 use crate::stats::ControllerStats;
+use crate::wheel::{BankWheel, PARKED};
 use nuat_circuit::PbGrouping;
-use nuat_dram::{BankGates, BankState, DramCommand, DramDevice, RefreshEngine, IDLE_ROW};
+use nuat_dram::{
+    BankGates, BankLanes, BankState, DramCommand, DramDevice, RankTimingView, RefreshEngine,
+    IDLE_ROW,
+};
 use nuat_obs::{EpochCadence, EpochSample, NullSink, TraceEvent, TraceSink};
 use nuat_types::{Bank, McCycle, PhysAddr, Rank, Row, SystemConfig};
 
@@ -87,6 +91,13 @@ struct TickScratch {
     /// filled by `next_busy_event_cycle` and read by `advance_quiet`.
     /// Valid exactly while `busy_horizon` is `Some`.
     counting: Vec<bool>,
+    /// This tick's due wheel entries (sorted ascending — the full
+    /// scan's bank visit order), snapshotted at the top of every full
+    /// tick while the wheel is enabled.
+    ready_banks: Vec<u32>,
+    /// Re-key verdicts collected during wheel-driven enumeration
+    /// (which holds `&self`) and applied by `post_tick_rekey`.
+    rekeys: Vec<(u32, u64)>,
     /// Earliest cycle any gated-out queued request clears its timing
     /// gates, accumulated as a by-product of candidate enumeration so
     /// `next_busy_event_cycle` needs no second queue scan. Valid for
@@ -138,6 +149,21 @@ pub struct MemoryController<S: TraceSink = NullSink> {
     /// power-state decision). `None` = unknown, recompute after the
     /// next real tick. Invalidated by `enqueue_decoded`.
     busy_horizon: Option<u64>,
+    /// Incremental ready-set index (set `NUAT_NO_WHEEL=1` to disable):
+    /// one earliest-actionable-cycle key per `(rank, bank)` pair plus
+    /// one per-rank refresh marker. While enabled, candidate
+    /// enumeration visits only due entries and the event horizon is an
+    /// O(1) wheel peek — including after acting ticks, which the
+    /// legacy path always follows with a full re-enumeration.
+    wheel: BankWheel,
+    /// Whether the wheel drives enumeration; the legacy full scan (and
+    /// its per-bank gate cache) is kept intact behind this flag as the
+    /// `prop_wheel_equals_scan` oracle and escape hatch.
+    wheel_enabled: bool,
+    /// Per rank: the pending flag each refresh marker was last keyed
+    /// with. While the flag is unchanged (and no `REF` issues, and the
+    /// marker is not due) the marker's key needs no re-derivation.
+    marker_pending: Vec<bool>,
     /// Cycles advanced through `advance_quiet` instead of full ticks
     /// (diagnostic; deliberately not part of `ControllerStats`, which
     /// must stay bit-identical between skipping and per-tick modes).
@@ -240,6 +266,15 @@ impl<S: TraceSink> MemoryController<S> {
         // force the per-tick loop too.
         let skip_enabled = std::env::var("NUAT_NO_SKIP").map_or(true, |v| v.is_empty() || v == "0")
             && stall_debug.is_none();
+        let wheel_enabled =
+            std::env::var("NUAT_NO_WHEEL").map_or(true, |v| v.is_empty() || v == "0");
+        // Banks start parked (no requests); the per-rank refresh
+        // markers start due so the first full tick derives their real
+        // transition keys.
+        let mut wheel = BankWheel::new(banks + ranks);
+        for r in 0..ranks {
+            wheel.rekey((banks + r) as u32, 0);
+        }
         MemoryController {
             queues: RequestQueues::new(cfg.controller, ranks, banks_per_rank),
             device,
@@ -255,6 +290,9 @@ impl<S: TraceSink> MemoryController<S> {
             rank_idle_cycles: vec![0; ranks],
             skip_enabled,
             busy_horizon: None,
+            wheel,
+            wheel_enabled,
+            marker_pending: vec![false; ranks],
             cycles_skipped: 0,
             sink,
             quiet_acc: None,
@@ -427,6 +465,35 @@ impl<S: TraceSink> MemoryController<S> {
         self.busy_horizon = None;
     }
 
+    /// Enables or disables the incremental ready-set wheel at run time
+    /// (tests use this for A/B comparisons without racing on the
+    /// `NUAT_NO_WHEEL` environment variable). Like cycle skipping, the
+    /// wheel never changes simulated behaviour — only which cycles pay
+    /// for a full enumeration — so this is purely a speed/diagnostics
+    /// knob.
+    pub fn set_wheel(&mut self, enabled: bool) {
+        if self.wheel_enabled == enabled {
+            return;
+        }
+        self.wheel_enabled = enabled;
+        self.busy_horizon = None;
+        if enabled {
+            // The wheel was not maintained while disabled: every entry
+            // is conservatively due now, and the next full tick
+            // re-derives exact keys for all of them.
+            self.wheel.advance_to(self.now.raw());
+            let entries =
+                self.queues.total_banks() + self.cfg.dram.geometry.ranks_per_channel as usize;
+            for e in 0..entries as u32 {
+                self.wheel.rekey(e, self.now.raw());
+            }
+        } else {
+            // The legacy per-bank gate cache was not refreshed while
+            // the wheel drove enumeration; force cold passes.
+            self.gate_gen += 1;
+        }
+    }
+
     /// Cycles advanced in bulk by busy skipping instead of full ticks
     /// (diagnostic; not part of [`ControllerStats`]).
     pub fn cycles_skipped(&self) -> u64 {
@@ -504,6 +571,13 @@ impl<S: TraceSink> MemoryController<S> {
         if let Some(g) = self.scratch.bank_gate_gen.get_mut(key) {
             *g = 0;
         }
+        // Arrival is one of the two events that can make a bank
+        // actionable *earlier* than its wheel key (the other being
+        // refresh-window edges): pull the bank due now; the next full
+        // tick re-derives its exact key.
+        if self.wheel_enabled {
+            self.wheel.rekey(key as u32, self.now.raw());
+        }
         if S::ENABLED {
             self.flush_quiet();
             self.sink.on_event(&TraceEvent::Enqueue {
@@ -567,26 +641,43 @@ impl<S: TraceSink> MemoryController<S> {
             self.flush_quiet();
         }
         let mut scratch = std::mem::take(&mut self.scratch);
-        let acted = self.tick_inner(&mut scratch);
+        let issued = self.tick_inner(&mut scratch);
         if S::ENABLED {
             self.sample_epochs();
         }
-        // A tick that issued nothing is the start of a dead span: pay
-        // for one horizon computation now so the span's remaining
-        // cycles cost O(1) each (or one bulk advance under `run_for`).
-        // After an issuing tick the horizon is left unknown — dense
-        // phases then never pay for horizons they would not use.
-        self.busy_horizon = if self.skip_enabled && !acted {
-            Some(self.next_busy_event_cycle(&mut scratch))
+        if self.wheel_enabled {
+            // Incremental path: fold this tick's observations back into
+            // the wheel — exact keys for every entry the tick touched,
+            // conservative lower bounds for the rest — and the horizon
+            // becomes an O(1) peek. Crucially it is valid after *acting*
+            // ticks too: the legacy path pays a full no-op enumeration
+            // tick after every issue just to learn the next horizon.
+            self.post_tick_rekey(&mut scratch, issued);
+            self.busy_horizon = if self.skip_enabled {
+                Some(self.next_busy_event_cycle_wheel(&mut scratch))
+            } else {
+                None
+            };
         } else {
-            None
-        };
+            // A tick that issued nothing is the start of a dead span:
+            // pay for one horizon computation now so the span's
+            // remaining cycles cost O(1) each (or one bulk advance
+            // under `run_for`). After an issuing tick the horizon is
+            // left unknown — dense phases then never pay for horizons
+            // they would not use.
+            self.busy_horizon = if self.skip_enabled && issued.is_none() {
+                Some(self.next_busy_event_cycle(&mut scratch))
+            } else {
+                None
+            };
+        }
         self.scratch = scratch;
     }
 
-    /// One full pipeline pass. Returns true if a command was issued
-    /// (equivalently: if `busy_cycles` advanced).
-    fn tick_inner(&mut self, scratch: &mut TickScratch) -> bool {
+    /// One full pipeline pass. Returns the issued command, if any
+    /// (`Some` ⟺ `busy_cycles` advanced); the wheel's post-tick re-key
+    /// uses it to pinpoint which gates moved.
+    fn tick_inner(&mut self, scratch: &mut TickScratch) -> Option<DramCommand> {
         self.policy.on_cycle();
         self.stats.total_cycles += 1;
 
@@ -617,19 +708,33 @@ impl<S: TraceSink> MemoryController<S> {
 
         let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
 
+        if self.wheel_enabled {
+            // Promote entries whose key came due and snapshot this
+            // tick's ready set; the wheel emits it in ascending entry
+            // order, i.e. the full scan's flat bank order (candidate
+            // order feeds the policy's tie-breaks). Done before any
+            // early return so `post_tick_rekey` always sees the set.
+            self.wheel.advance_to(self.now.raw());
+            scratch.ready_banks.clear();
+            self.wheel.collect_ready_into(&mut scratch.ready_banks);
+            scratch.rekeys.clear();
+        }
+
         // Power management: wake ranks with work or a due refresh; send
         // long-idle ranks to power-down (closing parked rows first).
-        if self.cfg.controller.powerdown_after_idle > 0 && self.manage_power(ranks) {
-            self.now += 1;
-            return true;
+        if self.cfg.controller.powerdown_after_idle > 0 {
+            if let Some(cmd) = self.manage_power(ranks) {
+                self.now += 1;
+                return Some(cmd);
+            }
         }
 
         self.compute_refresh_pending(&mut scratch.pending);
 
         // (2) Issue a due refresh the moment it is legal.
-        if self.service_pending_refresh(&scratch.pending, false) {
+        if let Some(cmd) = self.service_pending_refresh(&scratch.pending, false) {
             self.now += 1;
-            return true;
+            return Some(cmd);
         }
 
         // (3) Candidate enumeration.
@@ -637,7 +742,11 @@ impl<S: TraceSink> MemoryController<S> {
         scratch
             .lrras
             .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
-        self.enumerate_candidates(scratch);
+        if self.wheel_enabled {
+            self.enumerate_candidates_wheel(scratch);
+        } else {
+            self.enumerate_candidates(scratch);
+        }
 
         // (4) Policy decision.
         let choice = {
@@ -653,17 +762,17 @@ impl<S: TraceSink> MemoryController<S> {
             let cand = scratch.candidates[i];
             self.issue_candidate(cand, scratch.candidate_slots[i]);
             self.now += 1;
-            return true;
+            return Some(cand.command);
         }
 
         // (5) Refresh-pending fallback: force-close an open bank.
-        if self.service_pending_refresh(&scratch.pending, true) {
+        if let Some(cmd) = self.service_pending_refresh(&scratch.pending, true) {
             self.now += 1;
-            return true;
+            return Some(cmd);
         }
 
         self.now += 1;
-        false
+        None
     }
 
     /// Fills the per-rank "refresh wants this rank drained" flags at the
@@ -694,9 +803,13 @@ impl<S: TraceSink> MemoryController<S> {
     /// Scans the ranks whose refresh is pending and issues the first
     /// legal service command: the `REF` itself, or — in `force_close`
     /// mode, once nothing else issued this cycle — a precharge to an
-    /// open bank standing in the refresh's way. Returns true if a
-    /// command was issued (it consumed this cycle's command slot).
-    fn service_pending_refresh(&mut self, pending: &[bool], force_close: bool) -> bool {
+    /// open bank standing in the refresh's way. Returns the issued
+    /// command, if any (it consumed this cycle's command slot).
+    fn service_pending_refresh(
+        &mut self,
+        pending: &[bool],
+        force_close: bool,
+    ) -> Option<DramCommand> {
         for (r, &p) in pending.iter().enumerate() {
             if !p {
                 continue;
@@ -718,7 +831,7 @@ impl<S: TraceSink> MemoryController<S> {
                             self.sink
                                 .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
                         }
-                        return true;
+                        return Some(cmd);
                     }
                 }
             } else {
@@ -732,11 +845,11 @@ impl<S: TraceSink> MemoryController<S> {
                         self.sink
                             .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
                     }
-                    return true;
+                    return Some(cmd);
                 }
             }
         }
-        false
+        None
     }
 
     /// Bulk-advances `n` provably-quiet cycles: exactly the state a
@@ -966,8 +1079,8 @@ impl<S: TraceSink> MemoryController<S> {
             bank_gate,
             bank_gate_gen,
             bank_gate_pending,
-            counting: _,
             cand_horizon,
+            ..
         } = scratch;
         out.clear();
         out_slots.clear();
@@ -1036,160 +1149,11 @@ impl<S: TraceSink> MemoryController<S> {
                 // SoA hot path: read the bank's open row and timing gates
                 // straight from the flat lanes; no `BankView` materialised.
                 let open = lanes.open_row[bi];
-                let gates = BankGates {
-                    act: lanes.earliest_act[bi].max(rt.next_act_rank_ok),
-                    read: lanes.earliest_read[bi].max(rt.earliest_col_read),
-                    write: lanes.earliest_write[bi].max(rt.earliest_col_write),
-                    pre: lanes.earliest_pre[bi],
-                };
-                let mut bank_h = u64::MAX;
+                let gates = lanes.bank_gates(bi, &rt);
                 let n_before = out.len();
-
-                if open != IDLE_ROW {
-                    {
-                        debug_assert_eq!(
-                            self.queues.open_row_mirror(key),
-                            Some(Row::new(open)),
-                            "queue open-row mirror out of sync with device"
-                        );
-                        let (hit_r, hit_w) = self.queues.hit_counts(key);
-                        let hits = hit_r + hit_w;
-                        if hits > 0 {
-                            // Column candidates, per kind, from the
-                            // incremental match index.
-                            for (kind, count) in
-                                [(RequestKind::Read, hit_r), (RequestKind::Write, hit_w)]
-                            {
-                                if count == 0 {
-                                    continue;
-                                }
-                                let gate = match kind {
-                                    RequestKind::Read => gates.read,
-                                    RequestKind::Write => gates.write,
-                                };
-                                if now < gate {
-                                    bank_h = bank_h.min(gate.raw());
-                                    continue;
-                                }
-                                for (slot, req) in self.queues.bank_hits_slots(key, kind) {
-                                    // NUAT's close-page decisions preserve
-                                    // imminent hits: a row some other queued
-                                    // request still needs stays open (this
-                                    // request itself accounts for one entry
-                                    // in the hit count). The FR-FCFS(close)
-                                    // baseline stays pure.
-                                    let auto = p
-                                        || (self.policy.auto_precharge(&view, req)
-                                            && !(self.policy.preserve_pending_hits() && hits > 1));
-                                    let command = match kind {
-                                        RequestKind::Read => DramCommand::Read {
-                                            rank,
-                                            bank,
-                                            col: req.addr.col,
-                                            auto_precharge: auto,
-                                        },
-                                        RequestKind::Write => DramCommand::Write {
-                                            rank,
-                                            bank,
-                                            col: req.addr.col,
-                                            auto_precharge: auto,
-                                        },
-                                    };
-                                    if self.device.can_issue(&command, now).is_ok() {
-                                        let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
-                                        out.push(Candidate {
-                                            request: *req,
-                                            command,
-                                            kind: CandidateKind::Column,
-                                            pb,
-                                            zone,
-                                        });
-                                        out_slots.push(slot);
-                                        if dedup_cols {
-                                            break;
-                                        }
-                                    } else {
-                                        // Legal by the mirrored gates but
-                                        // refused by the device: stay
-                                        // conservative and keep the horizon
-                                        // at `now` (a gate value `<= now`
-                                        // does exactly that after the
-                                        // saturating clamp).
-                                        bank_h = bank_h.min(gate.raw());
-                                    }
-                                }
-                            }
-                        } else if now < gates.pre {
-                            // Conflict: consider precharging, but never
-                            // close a row some queued request still hits.
-                            bank_h = bank_h.min(gates.pre.raw());
-                        } else {
-                            let req = *self.queues.bank_head(key).expect("bank_len > 0");
-                            let command = DramCommand::Precharge { rank, bank };
-                            if self.device.can_issue(&command, now).is_ok() {
-                                let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
-                                out.push(Candidate {
-                                    request: req,
-                                    command,
-                                    kind: CandidateKind::Precharge,
-                                    pb,
-                                    zone,
-                                });
-                                out_slots.push(NO_SLOT);
-                            } else {
-                                bank_h = bank_h.min(gates.pre.raw());
-                            }
-                        }
-                    }
-                } else {
-                    {
-                        // Activation (blocked while refresh pends; a
-                        // pending bank contributes no gate either — the
-                        // refresh horizon covers it).
-                        if !p {
-                            if now < gates.act {
-                                bank_h = bank_h.min(gates.act.raw());
-                            } else {
-                                // Walk until the device accepts one: a
-                                // charge-state refusal of the oldest row
-                                // must not silence a younger sibling the
-                                // flat scan would have offered.
-                                for (slot, req) in self.queues.bank_requests_slots(key) {
-                                    let timings = self.policy.act_timings(&view, req);
-                                    let command = DramCommand::Activate {
-                                        rank,
-                                        bank,
-                                        row: req.addr.row,
-                                        timings,
-                                    };
-                                    match self.device.can_issue(&command, now) {
-                                        Ok(()) => {
-                                            let (pb, zone) =
-                                                self.pbr.pb_and_zone(lrra, req.addr.row);
-                                            out.push(Candidate {
-                                                request: *req,
-                                                command,
-                                                kind: CandidateKind::Activate,
-                                                pb,
-                                                zone,
-                                            });
-                                            out_slots.push(slot);
-                                            break;
-                                        }
-                                        Err(e) if e.is_too_early() => {
-                                            bank_h = bank_h.min(gates.act.raw());
-                                        }
-                                        // A non-timing rejection (physical
-                                        // violation, protocol misuse) would
-                                        // silently starve the request forever
-                                        // — that is always a bug.
-                                        Err(e) => panic!("illegal ACT candidate {command}: {e}"),
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+                let bank_h = self.enumerate_bank(
+                    &view, key, rank, bank, p, lrra, gates, open, dedup_cols, out, out_slots,
+                );
 
                 if out.len() == n_before {
                     // No candidate: memoize the bank's gate until the
@@ -1206,6 +1170,515 @@ impl<S: TraceSink> MemoryController<S> {
             }
         }
         *cand_horizon = gate_h;
+    }
+
+    /// The per-bank enumeration body shared verbatim by the full scan
+    /// ([`enumerate_candidates`](Self::enumerate_candidates)) and the
+    /// wheel-driven path — one implementation is what keeps the two
+    /// bit-identical. Appends `key`'s candidates (if any) to
+    /// `out`/`out_slots` and returns the bank's gate-horizon
+    /// contribution: the earliest future cycle a re-enumeration could
+    /// find something new, a value `<= now` when the bank holds
+    /// already-offerable (or device-refused) work, or `u64::MAX` when
+    /// the bank is inert until an external event (refresh suppression,
+    /// arrival).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn enumerate_bank(
+        &self,
+        view: &PolicyView<'_>,
+        key: usize,
+        rank: Rank,
+        bank: Bank,
+        p: bool,
+        lrra: Row,
+        gates: BankGates,
+        open: u32,
+        dedup_cols: bool,
+        out: &mut Vec<Candidate>,
+        out_slots: &mut Vec<u32>,
+    ) -> u64 {
+        let now = self.now;
+        let mut bank_h = u64::MAX;
+
+        if open != IDLE_ROW {
+            {
+                debug_assert_eq!(
+                    self.queues.open_row_mirror(key),
+                    Some(Row::new(open)),
+                    "queue open-row mirror out of sync with device"
+                );
+                let (hit_r, hit_w) = self.queues.hit_counts(key);
+                let hits = hit_r + hit_w;
+                if hits > 0 {
+                    // Column candidates, per kind, from the
+                    // incremental match index.
+                    for (kind, count) in [(RequestKind::Read, hit_r), (RequestKind::Write, hit_w)] {
+                        if count == 0 {
+                            continue;
+                        }
+                        let gate = match kind {
+                            RequestKind::Read => gates.read,
+                            RequestKind::Write => gates.write,
+                        };
+                        if now < gate {
+                            bank_h = bank_h.min(gate.raw());
+                            continue;
+                        }
+                        for (slot, req) in self.queues.bank_hits_slots(key, kind) {
+                            // NUAT's close-page decisions preserve
+                            // imminent hits: a row some other queued
+                            // request still needs stays open (this
+                            // request itself accounts for one entry
+                            // in the hit count). The FR-FCFS(close)
+                            // baseline stays pure.
+                            let auto = p
+                                || (self.policy.auto_precharge(view, req)
+                                    && !(self.policy.preserve_pending_hits() && hits > 1));
+                            let command = match kind {
+                                RequestKind::Read => DramCommand::Read {
+                                    rank,
+                                    bank,
+                                    col: req.addr.col,
+                                    auto_precharge: auto,
+                                },
+                                RequestKind::Write => DramCommand::Write {
+                                    rank,
+                                    bank,
+                                    col: req.addr.col,
+                                    auto_precharge: auto,
+                                },
+                            };
+                            if self.device.can_issue(&command, now).is_ok() {
+                                let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                                out.push(Candidate {
+                                    request: *req,
+                                    command,
+                                    kind: CandidateKind::Column,
+                                    pb,
+                                    zone,
+                                });
+                                out_slots.push(slot);
+                                if dedup_cols {
+                                    break;
+                                }
+                            } else {
+                                // Legal by the mirrored gates but
+                                // refused by the device: stay
+                                // conservative and keep the horizon
+                                // at `now` (a gate value `<= now`
+                                // does exactly that after the
+                                // saturating clamp).
+                                bank_h = bank_h.min(gate.raw());
+                            }
+                        }
+                    }
+                } else if now < gates.pre {
+                    // Conflict: consider precharging, but never
+                    // close a row some queued request still hits.
+                    bank_h = bank_h.min(gates.pre.raw());
+                } else {
+                    let req = *self.queues.bank_head(key).expect("bank_len > 0");
+                    let command = DramCommand::Precharge { rank, bank };
+                    if self.device.can_issue(&command, now).is_ok() {
+                        let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                        out.push(Candidate {
+                            request: req,
+                            command,
+                            kind: CandidateKind::Precharge,
+                            pb,
+                            zone,
+                        });
+                        out_slots.push(NO_SLOT);
+                    } else {
+                        bank_h = bank_h.min(gates.pre.raw());
+                    }
+                }
+            }
+        } else {
+            {
+                // Activation (blocked while refresh pends; a
+                // pending bank contributes no gate either — the
+                // refresh horizon covers it).
+                if !p {
+                    if now < gates.act {
+                        bank_h = bank_h.min(gates.act.raw());
+                    } else {
+                        // Walk until the device accepts one: a
+                        // charge-state refusal of the oldest row
+                        // must not silence a younger sibling the
+                        // flat scan would have offered.
+                        for (slot, req) in self.queues.bank_requests_slots(key) {
+                            let timings = self.policy.act_timings(view, req);
+                            let command = DramCommand::Activate {
+                                rank,
+                                bank,
+                                row: req.addr.row,
+                                timings,
+                            };
+                            match self.device.can_issue(&command, now) {
+                                Ok(()) => {
+                                    let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                                    out.push(Candidate {
+                                        request: *req,
+                                        command,
+                                        kind: CandidateKind::Activate,
+                                        pb,
+                                        zone,
+                                    });
+                                    out_slots.push(slot);
+                                    break;
+                                }
+                                Err(e) if e.is_too_early() => {
+                                    bank_h = bank_h.min(gates.act.raw());
+                                }
+                                // A non-timing rejection (physical
+                                // violation, protocol misuse) would
+                                // silently starve the request forever
+                                // — that is always a bug.
+                                Err(e) => panic!("illegal ACT candidate {command}: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        bank_h
+    }
+
+    /// Wheel-driven enumeration: the same per-bank body as
+    /// [`enumerate_candidates`](Self::enumerate_candidates), but only
+    /// over `scratch.ready_banks` — the entries whose
+    /// earliest-actionable key has come due — instead of every bank in
+    /// the channel. Sound because every wheel key is a conservative
+    /// lower bound (see `crate::wheel`): a bank strictly before its key
+    /// cannot produce a candidate, so skipping it changes nothing the
+    /// full scan would have found.
+    ///
+    /// Each visited bank's verdict is recorded into `scratch.rekeys`
+    /// (applied by `post_tick_rekey`; enumeration holds `&self`):
+    /// candidate-producing banks stay pinned at `now` (offerable work
+    /// keeps the horizon here until something issues), inert banks get
+    /// their exact next-gate key, drained banks park.
+    fn enumerate_candidates_wheel(&self, scratch: &mut TickScratch) {
+        let TickScratch {
+            pending,
+            lrras,
+            candidates: out,
+            candidate_slots: out_slots,
+            ready_banks,
+            rekeys,
+            cand_horizon,
+            ..
+        } = scratch;
+        out.clear();
+        out_slots.clear();
+        rekeys.clear();
+        let mut gate_h = u64::MAX;
+        let view = PolicyView {
+            now: self.now,
+            mode: self.queues.mode(),
+            lrras,
+            pbr: &self.pbr,
+        };
+        let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
+        let total_banks = self.queues.total_banks();
+        let dedup_cols = self.policy.prefers_oldest_equal_command();
+        let now = self.now.raw();
+
+        // Ready entries arrive sorted, so same-rank banks are
+        // consecutive: track the rank base additively (no division in
+        // the loop) and fetch the rank-scoped views once per rank.
+        let mut r = 0usize;
+        let mut rank_base = 0usize;
+        let mut views: Option<(RankTimingView, BankLanes<'_>)> = None;
+        for &entry in ready_banks.iter() {
+            let key = entry as usize;
+            if key >= total_banks {
+                // Rank refresh markers carry no candidates; they are
+                // re-keyed by `post_tick_rekey`.
+                continue;
+            }
+            if self.queues.bank_len(key) == 0 {
+                rekeys.push((entry, PARKED));
+                continue;
+            }
+            while key >= rank_base + banks_per_rank {
+                r += 1;
+                rank_base += banks_per_rank;
+                views = None;
+            }
+            let bi = key - rank_base;
+            let rank = Rank::new(r as u32);
+            let bank = Bank::new(bi as u32);
+            if views.is_none() {
+                views = Some((self.device.rank_timing(rank), self.device.bank_lanes(rank)));
+            }
+            let (rt, lanes) = views.as_ref().unwrap();
+            let n_before = out.len();
+            let bank_h = self.enumerate_bank(
+                &view,
+                key,
+                rank,
+                bank,
+                pending[r],
+                lrras[r],
+                lanes.bank_gates(bi, rt),
+                lanes.open_row[bi],
+                dedup_cols,
+                out,
+                out_slots,
+            );
+            rekeys.push(if out.len() == n_before {
+                // Inert this cycle: the bank's own horizon contribution
+                // is its exact next chance (`u64::MAX` = parked until
+                // an external event re-keys it).
+                (entry, bank_h)
+            } else {
+                // Offerable work pins the bank — and thus the horizon —
+                // at `now` until a command issues here.
+                (entry, now)
+            });
+            gate_h = gate_h.min(bank_h);
+        }
+        *cand_horizon = gate_h;
+    }
+
+    /// Recomputes one bank's earliest-actionable key from the current
+    /// device gates and queue indices — O(1), no request walk. The key
+    /// mirrors `enumerate_bank`'s case analysis exactly: column gates
+    /// joined over the hit kinds present, the precharge gate for a
+    /// conflict, the activate gate when idle, [`PARKED`] when drained
+    /// or refresh-suppressed (the post-`REF` rank sweep revives
+    /// suppressed banks). The rank-scoped views are parameters so bulk
+    /// re-key sweeps fetch them once per rank instead of once per bank.
+    #[inline]
+    fn bank_key(
+        &self,
+        key: usize,
+        bi: usize,
+        pending: bool,
+        rt: &RankTimingView,
+        lanes: &BankLanes<'_>,
+    ) -> u64 {
+        if self.queues.bank_len(key) == 0 {
+            PARKED
+        } else if lanes.open_row[bi] != IDLE_ROW {
+            let (hit_r, hit_w) = self.queues.hit_counts(key);
+            if hit_r + hit_w > 0 {
+                let gates = lanes.bank_gates(bi, rt);
+                let mut k = u64::MAX;
+                if hit_r > 0 {
+                    k = k.min(gates.read.raw());
+                }
+                if hit_w > 0 {
+                    k = k.min(gates.write.raw());
+                }
+                k
+            } else {
+                lanes.earliest_pre[bi].raw()
+            }
+        } else if pending {
+            PARKED
+        } else {
+            lanes.earliest_act[bi].max(rt.next_act_rank_ok).raw()
+        }
+    }
+
+    /// Recomputes rank `r`'s refresh-marker key: the rank's next
+    /// urgency transition, joined — while its refresh is pending — with
+    /// the cycle the `REF` itself (banks idle) or a way-clearing
+    /// force-close precharge becomes legal. This is exactly the legacy
+    /// horizon's per-rank refresh part, held incrementally.
+    fn rekey_rank_marker(&mut self, total_banks: usize, r: usize, pending: bool) {
+        self.marker_pending[r] = pending;
+        let rank = Rank::new(r as u32);
+        let mut k = self
+            .device
+            .refresh_engine(rank)
+            .next_transition_after(self.now)
+            .map_or(PARKED, |t| t.raw());
+        if pending {
+            if self.device.all_banks_idle(rank) {
+                k = k.min(self.device.rank_timing(rank).refresh_ready.raw());
+            } else {
+                let lanes = self.device.bank_lanes(rank);
+                for (bi, &row) in lanes.open_row.iter().enumerate() {
+                    if row != IDLE_ROW {
+                        k = k.min(lanes.earliest_pre[bi].raw());
+                    }
+                }
+            }
+        }
+        self.wheel.rekey((total_banks + r) as u32, k);
+    }
+
+    /// Folds one tick's observations back into the wheel. Runs after
+    /// *every* full tick while the wheel is enabled:
+    ///
+    /// * the enumeration's verdict keys are applied first;
+    /// * on an acting tick, every bank that was due this tick plus the
+    ///   issued command's own bank get fresh exact keys from the
+    ///   post-issue gates (the issue moved rank-scoped gates for all of
+    ///   them), a `REF` re-keys its whole rank (tRFC moved every act
+    ///   gate and the cleared pending flag un-suppresses idle banks),
+    ///   and every rank marker is re-derived (an issue can flip a
+    ///   postponing rank's pending flag by draining the queues);
+    /// * due rank markers are always re-derived (their transition
+    ///   passed).
+    fn post_tick_rekey(&mut self, scratch: &mut TickScratch, issued: Option<DramCommand>) {
+        let total_banks = self.queues.total_banks();
+        let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let Some(cmd) = issued else {
+            // Non-acting tick: the enumeration's verdicts are exact, and
+            // no gate moved. Only a due rank marker (its transition cycle
+            // passed) needs a fresh key — and only that case needs the
+            // post-tick pending flags at all.
+            for (e, k) in scratch.rekeys.drain(..) {
+                self.wheel.rekey(e, k);
+            }
+            let any_marker = scratch
+                .ready_banks
+                .last()
+                .is_some_and(|&e| e as usize >= total_banks);
+            if any_marker {
+                self.compute_refresh_pending(&mut scratch.pending);
+                for i in 0..scratch.ready_banks.len() {
+                    let e = scratch.ready_banks[i] as usize;
+                    if e >= total_banks {
+                        let r = e - total_banks;
+                        self.rekey_rank_marker(total_banks, r, scratch.pending[r]);
+                    }
+                }
+            }
+            return;
+        };
+        // Acting tick: every ready bank is re-keyed exactly from the
+        // post-issue gates (the enumeration's verdicts would be
+        // overwritten, so they are dropped), and a `REF` re-keys its
+        // whole rank. The pending flags are taken at the *post-tick*
+        // clock — the values the next full tick's pipeline will
+        // compute. Keys are computed into `scratch.rekeys` first with
+        // the rank-scoped device views hoisted per rank, then applied.
+        self.compute_refresh_pending(&mut scratch.pending);
+        scratch.rekeys.clear();
+        let is_ref = matches!(cmd, DramCommand::Refresh { .. });
+        {
+            let ir = cmd.rank().index();
+            let rank = Rank::new(ir as u32);
+            let rt = self.device.rank_timing(rank);
+            let lanes = self.device.bank_lanes(rank);
+            if is_ref {
+                for bi in 0..banks_per_rank {
+                    let key = ir * banks_per_rank + bi;
+                    let k = self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes);
+                    scratch.rekeys.push((key as u32, k));
+                }
+            } else if let Some(bank) = cmd.bank() {
+                let bi = bank.index();
+                let key = ir * banks_per_rank + bi;
+                let k = self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes);
+                scratch.rekeys.push((key as u32, k));
+            }
+        }
+        {
+            // Ready entries arrive sorted (markers at the tail): track
+            // the rank base additively — no division in the loop — and
+            // fetch the rank views once per rank.
+            let mut r = 0usize;
+            let mut rank_base = 0usize;
+            let mut views: Option<(RankTimingView, BankLanes<'_>)> = None;
+            for i in 0..scratch.ready_banks.len() {
+                let e = scratch.ready_banks[i] as usize;
+                if e >= total_banks {
+                    break;
+                }
+                while e >= rank_base + banks_per_rank {
+                    r += 1;
+                    rank_base += banks_per_rank;
+                    views = None;
+                }
+                if views.is_none() {
+                    let rank = Rank::new(r as u32);
+                    views = Some((self.device.rank_timing(rank), self.device.bank_lanes(rank)));
+                }
+                let (rt, lanes) = views.as_ref().unwrap();
+                let k = self.bank_key(e, e - rank_base, scratch.pending[r], rt, lanes);
+                scratch.rekeys.push((e as u32, k));
+            }
+        }
+        for (e, k) in scratch.rekeys.drain(..) {
+            self.wheel.rekey(e, k);
+        }
+        // Rank markers: a marker's key only moves on a `REF` (the
+        // schedule advances), a pending-flag flip (an issue drained a
+        // postponing rank), or its own coming due — while pending stays
+        // false the key is exactly the same future urgency transition,
+        // and while pending stays true the old key is a still-valid
+        // conservative bound (service gates only move later). Re-derive
+        // only in those cases instead of every acting tick.
+        let any_marker_ready = scratch
+            .ready_banks
+            .last()
+            .is_some_and(|&e| e as usize >= total_banks);
+        for r in 0..ranks {
+            let p = scratch.pending[r];
+            if is_ref || any_marker_ready || p != self.marker_pending[r] {
+                self.rekey_rank_marker(total_banks, r, p);
+            }
+        }
+    }
+
+    /// Wheel-path event horizon: an O(1) peek of the wheel's next
+    /// occupied slot merged with the power-management deadline, instead
+    /// of the legacy path's full per-rank/per-bank rescan. Valid after
+    /// acting ticks too, because `post_tick_rekey` has already folded
+    /// the issue's gate movements back into the keys. The demand-wake
+    /// and already-due pins mirror `next_busy_event_cycle` exactly.
+    ///
+    /// Also fills `scratch.counting`, the idle-counter mask
+    /// `advance_quiet` applies across the span.
+    fn next_busy_event_cycle_wheel(&mut self, scratch: &mut TickScratch) -> u64 {
+        let now = self.now.raw();
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        if self.cfg.controller.powerdown_after_idle > 0
+            && (0..ranks).any(|r| {
+                self.queues.rank_len(r) > 0 && self.device.is_powered_down(Rank::new(r as u32))
+            })
+        {
+            // Demand wake-up happens on a real tick.
+            return now;
+        }
+        if self.wheel.has_ready() {
+            // A due entry means possible work this very cycle (an
+            // un-issued candidate, a refusal pin, a due refresh step).
+            return now;
+        }
+        let mut h = self.wheel.peek_future();
+
+        // Power management: same part as the legacy horizon — the tick
+        // on which an idle-counting rank reaches the power-down
+        // threshold must run for real.
+        let threshold = self.cfg.controller.powerdown_after_idle;
+        scratch.counting.clear();
+        scratch.counting.resize(ranks, false);
+        if threshold > 0 {
+            for r in 0..ranks {
+                let rank = Rank::new(r as u32);
+                use nuat_dram::refresh::RefreshUrgency;
+                scratch.counting[r] = self.queues.rank_len(r) == 0
+                    && !self.device.is_powered_down(rank)
+                    && self.device.refresh_engine(rank).urgency(self.now) == RefreshUrgency::NotDue;
+            }
+            for (r, &counting) in scratch.counting.iter().enumerate() {
+                if counting {
+                    h = h.min(now + (threshold - 1).saturating_sub(self.rank_idle_cycles[r]));
+                }
+            }
+        }
+        h
     }
 
     /// Issues `cand` on the device and retires its request (columns
@@ -1307,9 +1780,9 @@ impl<S: TraceSink> MemoryController<S> {
     /// Per-cycle CKE management: ranks with queued work or a due
     /// refresh are woken (paying tXP through the device's earliest-time
     /// registers); ranks idle beyond the configured threshold close any
-    /// parked rows and enter precharge power-down. Returns true if a
-    /// precharge consumed this cycle's command slot.
-    fn manage_power(&mut self, ranks: usize) -> bool {
+    /// parked rows and enter precharge power-down. Returns the issued
+    /// precharge if one consumed this cycle's command slot.
+    fn manage_power(&mut self, ranks: usize) -> Option<DramCommand> {
         for r in 0..ranks {
             let rank = Rank::new(r as u32);
             let has_work = self.queues.rank_len(r) > 0;
@@ -1368,11 +1841,11 @@ impl<S: TraceSink> MemoryController<S> {
                         self.sink
                             .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
                     }
-                    return true;
+                    return Some(cmd);
                 }
             }
         }
-        false
+        None
     }
 
     fn bank_index(&self, cand: &Candidate) -> usize {
@@ -1402,6 +1875,38 @@ impl<S: TraceSink> MemoryController<S> {
             .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
         self.gate_gen += 1;
         self.enumerate_candidates(&mut scratch);
+        let n = scratch.candidates.len();
+        self.scratch = scratch;
+        n
+    }
+
+    /// Wheel-path counterpart of
+    /// [`bench_enumerate_candidates`](Self::bench_enumerate_candidates)
+    /// for the `candidate_wheel` micro-bench: re-keys the `dirty`
+    /// entries to due-now (modelling the post-issue dirtying a real
+    /// tick performs), advances the wheel, and runs one wheel-driven
+    /// enumeration over the resulting ready set, applying the verdict
+    /// re-keys exactly as a real tick would. Returns the candidate
+    /// count so the bench has a value to sink. Not a stable API.
+    #[doc(hidden)]
+    pub fn bench_enumerate_candidates_wheel(&mut self, dirty: &[u32]) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.compute_refresh_pending(&mut scratch.pending);
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        scratch.lrras.clear();
+        scratch
+            .lrras
+            .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+        for &e in dirty {
+            self.wheel.rekey(e, self.now.raw());
+        }
+        self.wheel.advance_to(self.now.raw());
+        scratch.ready_banks.clear();
+        self.wheel.collect_ready_into(&mut scratch.ready_banks);
+        self.enumerate_candidates_wheel(&mut scratch);
+        for (e, k) in scratch.rekeys.drain(..) {
+            self.wheel.rekey(e, k);
+        }
         let n = scratch.candidates.len();
         self.scratch = scratch;
         n

@@ -44,6 +44,7 @@ pub mod request;
 pub mod scheduler;
 pub mod stats;
 pub mod table;
+mod wheel;
 
 pub use candidate::{Candidate, CandidateKind};
 pub use controller::{Completion, MemoryController};

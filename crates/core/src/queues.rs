@@ -25,15 +25,18 @@
 //!   row transitions via [`note_row_open`](RequestQueues::note_row_open)
 //!   / [`note_row_close`](RequestQueues::note_row_close)).
 //!
-//! The slab is a structure of arrays: the six intrusive links live in a
-//! dense 12-byte-per-slot lane ([`SlotLinks`]), the row coordinate in a
-//! 4-byte lane, and the full request payload in its own lane that list
-//! walks never touch unless a request is actually inspected. At deep
-//! queues (256 entries and up) the row-match rebuild in `note_row_open`
-//! and the per-bank enumeration walks therefore stream through a few
-//! hundred bytes of contiguous memory instead of hopping across
-//! ~90-byte heterogeneous slots — the difference between staying in L1
-//! and going cache-cold (see DESIGN.md §7).
+//! The slab is split into *hot* and *cold* lanes. Hot: the six
+//! intrusive links in a dense 12-byte-per-slot lane ([`SlotLinks`]),
+//! the age id (8 bytes), the bank key (2 bytes), the row coordinate
+//! (4 bytes), and a flags byte that also encodes the request kind.
+//! Cold: the full ~56-byte request payload (`reqs`). Every list walk —
+//! match rebuilds, id-addressed removal, hit probes, unthreading —
+//! reads hot lanes only; the payload is touched exactly when a specific
+//! request is inspected or handed out. At deep queues (256 entries and
+//! up) the walks therefore stream through a few hundred bytes of
+//! contiguous memory instead of hopping across heterogeneous payload
+//! slots — the difference between staying in L1 and going cache-cold
+//! (see DESIGN.md §7).
 //!
 //! Per-rank occupancy counters ride along so power management and the
 //! event-horizon computation need no queue scans either. Because every
@@ -161,6 +164,19 @@ const FLAG_LIVE: u8 = 1 << 0;
 /// Slot-flag bit: the slot is threaded on its bank's open-row match
 /// list (so removal knows whether to unlink from it).
 const FLAG_IN_HIT: u8 = 1 << 1;
+/// Slot-flag bit: the slot holds a write (clear = read), so unthreading
+/// and the O(1) hinted row-open path learn the kind without touching the
+/// cold payload lane.
+const FLAG_WRITE: u8 = 1 << 2;
+
+#[inline]
+fn kind_of_flags(flags: u8) -> RequestKind {
+    if flags & FLAG_WRITE != 0 {
+        RequestKind::Write
+    } else {
+        RequestKind::Read
+    }
+}
 
 /// Head/tail of one intrusive list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,10 +311,11 @@ const ROW_FILTER_BUCKETS: usize = 512;
 
 /// The controller's request queues, indexed per (rank, bank).
 ///
-/// Slab storage is a structure of arrays (see the module docs): `links`,
-/// `rows` and `flags` are the lanes list maintenance and match rebuilds
-/// stream through; `reqs` holds the full payload and is only touched
-/// when a specific request is inspected or handed out.
+/// Slab storage is a structure of arrays (see the module docs): the hot
+/// lanes (`links`, `rows`, `flags`, `ids`, `bank_keys`) are what list
+/// maintenance, match rebuilds and id-addressed walks stream through;
+/// `reqs` is the cold payload lane, only touched when a specific
+/// request is inspected or handed out.
 #[derive(Debug, Clone)]
 pub struct RequestQueues {
     links: Vec<SlotLinks>,
@@ -306,8 +323,17 @@ pub struct RequestQueues {
     /// `note_row_open` match rebuild needs, lifted into its own dense
     /// lane so that walk never touches `reqs`.
     rows: Vec<u32>,
-    /// `FLAG_LIVE` / `FLAG_IN_HIT` bits per slot.
+    /// `FLAG_LIVE` / `FLAG_IN_HIT` / `FLAG_WRITE` bits per slot.
     flags: Vec<u8>,
+    /// Age id of each slot (the raw [`RequestId`]), lifted out of the
+    /// payload so id-addressed walks (`remove`, hit probes that exempt
+    /// one request) stream a dense 8-byte lane instead of the ~56-byte
+    /// payload slots.
+    ids: Vec<u64>,
+    /// Bank sub-queue key (`rank * banks_per_rank + bank`) of each
+    /// slot, so unthreading recovers every coordinate it needs from hot
+    /// lanes alone.
+    bank_keys: Vec<u16>,
     /// Per-bank counting filter over row-hash buckets, maintained at
     /// enqueue/remove time. When an ACT opens a row and the activating
     /// request's bucket holds exactly one entry, that request is
@@ -339,10 +365,16 @@ impl RequestQueues {
             cap < NIL16 as usize,
             "combined queue capacity {cap} exceeds the u16 slot-link space"
         );
+        assert!(
+            ranks * banks_per_rank <= u16::MAX as usize,
+            "bank count exceeds the u16 bank-key lane"
+        );
         RequestQueues {
             links: Vec::with_capacity(cap),
             rows: Vec::with_capacity(cap),
             flags: Vec::with_capacity(cap),
+            ids: Vec::with_capacity(cap),
+            bank_keys: Vec::with_capacity(cap),
             row_filter: vec![0; ranks * banks_per_rank * ROW_FILTER_BUCKETS],
             reqs: Vec::with_capacity(cap),
             free: Vec::new(),
@@ -401,18 +433,26 @@ impl RequestQueues {
         let kind = req.kind;
         let row = req.addr.row;
         self.row_filter[Self::filter_bucket(key, row.raw())] += 1;
+        let live = match kind {
+            RequestKind::Read => FLAG_LIVE,
+            RequestKind::Write => FLAG_LIVE | FLAG_WRITE,
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.links[i as usize] = SlotLinks::UNLINKED;
                 self.rows[i as usize] = row.raw();
-                self.flags[i as usize] = FLAG_LIVE;
+                self.flags[i as usize] = live;
+                self.ids[i as usize] = id.0;
+                self.bank_keys[i as usize] = key as u16;
                 self.reqs[i as usize] = req;
                 i
             }
             None => {
                 self.links.push(SlotLinks::UNLINKED);
                 self.rows.push(row.raw());
-                self.flags.push(FLAG_LIVE);
+                self.flags.push(live);
+                self.ids.push(id.0);
+                self.bank_keys.push(key as u16);
                 self.reqs.push(req);
                 (self.reqs.len() - 1) as u32
             }
@@ -449,22 +489,18 @@ impl RequestQueues {
         id
     }
 
-    /// Removes a completed/issued request.
+    /// Removes a completed/issued request. The search walks the dense
+    /// `ids` lane only; the payload is read once, for the slot found.
     pub fn remove(&mut self, id: RequestId) -> Option<MemoryRequest> {
         // Search reads then writes — the legacy flat-queue order.
-        let mut i = self.reads.head;
-        while i != NIL {
-            if self.reqs[i as usize].id == id {
-                return Some(self.remove_slot(i));
+        for head in [self.reads.head, self.writes.head] {
+            let mut i = head;
+            while i != NIL {
+                if self.ids[i as usize] == id.0 {
+                    return Some(self.remove_slot(i));
+                }
+                i = self.links[i as usize].next(Link::Global);
             }
-            i = self.links[i as usize].next(Link::Global);
-        }
-        let mut i = self.writes.head;
-        while i != NIL {
-            if self.reqs[i as usize].id == id {
-                return Some(self.remove_slot(i));
-            }
-            i = self.links[i as usize].next(Link::Global);
         }
         None
     }
@@ -479,34 +515,31 @@ impl RequestQueues {
     /// recoverable condition.
     pub(crate) fn remove_at_issued(&mut self, slot: u32, req: &MemoryRequest) {
         debug_assert_eq!(
-            self.reqs[slot as usize].id, req.id,
+            self.ids[slot as usize], req.id.0,
             "stale slot reference in remove_at_issued"
         );
-        self.unthread_slot(
-            slot,
-            req.kind,
-            req.addr.rank,
-            self.key_of(req),
-            req.addr.row,
-        );
+        self.unthread_slot(slot, req.kind, self.key_of(req), req.addr.row);
     }
 
     fn remove_slot(&mut self, i: u32) -> MemoryRequest {
-        let req = self.reqs[i as usize];
-        let key = self.key_of(&req);
-        self.unthread_slot(i, req.kind, req.addr.rank, key, req.addr.row);
-        req
+        let kind = kind_of_flags(self.flags[i as usize]);
+        let key = self.bank_keys[i as usize] as usize;
+        let row = Row::new(self.rows[i as usize]);
+        self.unthread_slot(i, kind, key, row);
+        self.reqs[i as usize]
     }
 
     /// Unthreads slot `i` from every list and index, given the
-    /// coordinates of the request it holds (which the caller either
-    /// read from the slab or already had by value).
-    fn unthread_slot(&mut self, i: u32, kind: RequestKind, rank: Rank, key: usize, row: Row) {
+    /// coordinates of the request it holds (all available from hot
+    /// lanes; the cold payload is never read here).
+    fn unthread_slot(&mut self, i: u32, kind: RequestKind, key: usize, row: Row) {
         debug_assert!(
             self.flags[i as usize] & FLAG_LIVE != 0,
             "double remove of slot {i}"
         );
-        let rank = rank.index();
+        debug_assert_eq!(kind_of_flags(self.flags[i as usize]), kind);
+        debug_assert_eq!(self.bank_keys[i as usize] as usize, key);
+        let rank = key / self.banks_per_rank;
         self.row_filter[Self::filter_bucket(key, row.raw())] -= 1;
         match kind {
             RequestKind::Read => unlink(&mut self.links, &mut self.reads, i, Link::Global),
@@ -581,12 +614,12 @@ impl RequestQueues {
                     rank,
                     bank,
                     Row::new(row),
-                    self.reqs[activator as usize].id
+                    RequestId(self.ids[activator as usize])
                 ),
                 "counting filter claimed a unique hit but another request matches"
             );
             let b = &mut self.banks[key];
-            match self.reqs[activator as usize].kind {
+            match kind_of_flags(self.flags[activator as usize]) {
                 RequestKind::Read => {
                     push_back(&mut self.links, &mut b.hit_reads, activator, Link::Hit);
                     b.hit_read_count += 1;
@@ -793,8 +826,18 @@ impl RequestQueues {
         except: RequestId,
     ) -> bool {
         let key = rank.index() * self.banks_per_rank + bank.index();
-        self.bank_requests(key)
-            .any(|r| r.id != except && r.addr.row == row)
+        let b = &self.banks[key];
+        let row = row.raw();
+        for head in [b.reads.head, b.writes.head] {
+            let mut cur = head;
+            while cur != NIL {
+                if self.rows[cur as usize] == row && self.ids[cur as usize] != except.0 {
+                    return true;
+                }
+                cur = self.links[cur as usize].next(Link::Bank);
+            }
+        }
+        false
     }
 }
 

@@ -205,6 +205,22 @@ pub struct BankLanes<'a> {
     pub earliest_pre: &'a [McCycle],
 }
 
+impl BankLanes<'_> {
+    /// Joins bank `b`'s lanes with the rank-scoped gates in `rank` into
+    /// the per-bank legality view, without materialising a `BankView`.
+    /// This is the timing-edge report the incremental scheduler keys its
+    /// wheel from: every field is the exact cycle the corresponding
+    /// command class unblocks, and every field is monotone under issue.
+    pub fn bank_gates(&self, b: usize, rank: &RankTimingView) -> BankGates {
+        BankGates {
+            act: self.earliest_act[b].max(rank.next_act_rank_ok),
+            read: self.earliest_read[b].max(rank.earliest_col_read),
+            write: self.earliest_write[b].max(rank.earliest_col_write),
+            pre: self.earliest_pre[b],
+        }
+    }
+}
+
 /// Precomputed branchless command-legality table for one rank: for each
 /// bank and command class, the earliest cycle the class becomes legal,
 /// with rank-scoped gates (tRRD/tFAW for ACT, the column bus for RD/WR)

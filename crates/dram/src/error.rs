@@ -72,6 +72,17 @@ impl IssueError {
     pub fn is_too_early(&self) -> bool {
         matches!(self, IssueError::TooEarly { .. })
     }
+
+    /// The cycle at which the refused command unblocks, when the device
+    /// can name one: `Some(earliest)` for a pure timing refusal, `None`
+    /// for state/protocol violations (those clear only on a state
+    /// change, which the controller observes through other events).
+    pub fn unblock_cycle(&self) -> Option<McCycle> {
+        match self {
+            IssueError::TooEarly { earliest, .. } => Some(*earliest),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for IssueError {

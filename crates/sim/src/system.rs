@@ -307,6 +307,14 @@ impl<S: TraceSink> System<S> {
     /// is inert for the corresponding CPU cycles (stalled on a read,
     /// blocked on a full queue, or finished). 0 when the next step must
     /// run for real.
+    ///
+    /// Each controller's contribution (`skippable_cycles`) is its
+    /// cached busy-event horizon, which the ready-set wheel keeps as an
+    /// O(1) peek of the next due bank/refresh key (DESIGN.md §7
+    /// "Incremental ready-set scheduling") — so probing quiescence
+    /// every lockstep iteration costs O(channels), not
+    /// O(channels × banks), in both this sequential loop and the
+    /// sharded barrier loop below.
     fn quiescent_steps(&self) -> u64 {
         let mc_span = self
             .mcs

@@ -61,28 +61,44 @@ fresh_rates=$(rates "$fresh_json")
 [ -n "$base_rates" ] || { echo "perf_gate: no rows in $BASELINE" >&2; exit 1; }
 [ -n "$fresh_rates" ] || { echo "perf_gate: no rows in fresh bench output" >&2; exit 1; }
 
+# Full per-cell delta table: every cell is compared and printed —
+# baseline, measured, measured/baseline ratio, the tolerance floor it
+# is held to, and a verdict — so a failing run shows the complete
+# regression picture, not just the first offender. The table goes to
+# stdout; the regression summary lines repeat on stderr so CI logs
+# that capture only stderr still name every failing cell. Exit status
+# is decided once, after the whole table has printed.
 fail=0
 checked=0
+regressions=""
+printf 'perf_gate: %-42s %13s %13s %7s %7s  %s\n' \
+    "cell (sched|mode|workload|depth|chans)" "baseline" "measured" "ratio" "floor" "verdict"
 while read -r key base; do
     fresh=$(printf '%s\n' "$fresh_rates" | awk -v k="$key" '$1 == k { print $2; exit }')
     if [ -z "$fresh" ]; then
-        echo "perf_gate: MISSING cell $key in fresh run" >&2
+        printf 'perf_gate: %-42s %13.0f %13s %7s %7s  %s\n' \
+            "$key" "$base" "-" "-" "$TOLERANCE" "MISSING"
+        regressions="${regressions}perf_gate: MISSING cell $key in fresh run\n"
         fail=1
         continue
     fi
     checked=$((checked + 1))
+    ratio=$(awk -v f="$fresh" -v b="$base" 'BEGIN { printf "%.3f", f / b }')
     if awk -v f="$fresh" -v b="$base" -v t="$TOLERANCE" 'BEGIN { exit !(f >= t * b) }'; then
-        printf 'perf_gate: ok   %-40s baseline %12.0f fresh %12.0f\n' "$key" "$base" "$fresh"
+        verdict=ok
     else
-        printf 'perf_gate: FAIL %-40s baseline %12.0f fresh %12.0f (< %s×)\n' \
-            "$key" "$base" "$fresh" "$TOLERANCE" >&2
+        verdict=FAIL
+        regressions="${regressions}perf_gate: FAIL $key measured ${fresh} < ${TOLERANCE} x baseline ${base} (ratio ${ratio})\n"
         fail=1
     fi
+    printf 'perf_gate: %-42s %13.0f %13.0f %7s %7s  %s\n' \
+        "$key" "$base" "$fresh" "$ratio" "$TOLERANCE" "$verdict"
 done <<< "$base_rates"
 
 [ "$checked" -gt 0 ] || { echo "perf_gate: no cells compared" >&2; exit 1; }
 if [ "$fail" -ne 0 ]; then
-    echo "perf_gate: FAIL — at least one cell regressed below ${TOLERANCE}× of baseline" >&2
+    printf '%b' "$regressions" >&2
+    echo "perf_gate: FAIL — cells regressed below ${TOLERANCE}x of baseline (full table above)" >&2
     exit 1
 fi
-echo "perf_gate: OK (${checked} cells within ${TOLERANCE}× of baseline)"
+echo "perf_gate: OK (${checked} cells within ${TOLERANCE}x of baseline)"

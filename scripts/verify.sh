@@ -15,6 +15,10 @@ cargo test -q
 # a worker-per-channel run must be byte-identical to the sequential
 # loop (DESIGN.md §7 "Channel sharding").
 NUAT_CHANNEL_JOBS=4 cargo test -q -p nuat-sim --test determinism_guard
+# ... and once with the ready-set wheel disabled: the legacy full-bank
+# scan must produce the same bytes (DESIGN.md §7 "Incremental ready-set
+# scheduling").
+NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
 smoke_dir=$(mktemp -d)

@@ -1,0 +1,196 @@
+//! Property test for incremental ready-set scheduling: a wheel-driven
+//! run (the default) must be byte-identical to the legacy full-bank
+//! scan (the `NUAT_NO_WHEEL=1` escape hatch, forced per-controller via
+//! `MemoryController::set_wheel`) — same stats fingerprint, same
+//! per-channel command/event stream, same epoch samples — for every
+//! scheduler, random workload pairs, and random queue depths.
+//!
+//! The one legitimate divergence is the *skip structure*: the wheel's
+//! busy-event horizon is often tighter than the scan's (it can skip
+//! past cycles the scan pessimistically wakes on, and vice versa after
+//! an issue), so the split between "ticked" and "bulk-advanced" quiet
+//! cycles differs while every observable outcome — commands, their
+//! cycles, completion times, energy — stays bit-exact. Fingerprints
+//! therefore exclude `cycles_skipped`, epoch samples are compared with
+//! that single field normalized to zero, and `QuietSpan` events (the
+//! per-span encoding of the same split) are filtered from the compared
+//! event streams. Every command, enqueue, read completion and power
+//! transition must still match byte for byte.
+
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_obs::{EpochSample, MemorySink, TraceEvent};
+use nuat_sim::{traces_for, RunConfig, SimResult, System};
+use nuat_types::{DramGeometry, SystemConfig};
+use nuat_workloads::by_name;
+use proptest::prelude::*;
+
+const WORKLOADS: [&str; 6] = ["black", "face", "ferret", "comm1", "libq", "mummer"];
+const SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Fcfs,
+    SchedulerKind::FrFcfsOpen,
+    SchedulerKind::FrFcfsClose,
+    SchedulerKind::Nuat,
+];
+
+/// Every scalar a run produces, bit-exact (mirrors the determinism
+/// guard's fingerprint; `cycles_skipped` deliberately excluded — see
+/// the module docs).
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    r: &SimResult,
+) -> (
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    nuat_dram::DeviceStats,
+    u64,
+    u64,
+    Vec<u64>,
+) {
+    (
+        r.mc_cycles,
+        r.execution_cpu_cycles,
+        r.stats.total_read_latency,
+        r.stats.reads_completed,
+        r.stats.writes_drained,
+        r.device,
+        r.powerdown_cycles,
+        r.energy_pj.to_bits(),
+        r.core_finish_cpu_cycles.clone(),
+    )
+}
+
+/// Epoch samples with the skip-split normalized out.
+fn normalized_epochs(sink: &MemorySink) -> Vec<EpochSample> {
+    sink.epochs
+        .iter()
+        .map(|e| EpochSample {
+            cycles_skipped: 0,
+            ..e.clone()
+        })
+        .collect()
+}
+
+/// The observable event stream: everything except `QuietSpan` (the
+/// per-span encoding of the skip split — see the module docs).
+fn observable_events(sink: &MemorySink) -> Vec<TraceEvent> {
+    sink.events
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::QuietSpan { .. }))
+        .copied()
+        .collect()
+}
+
+/// One instrumented run with the ready-set wheel forced on or off on
+/// every channel controller.
+fn run_with(
+    wheel: bool,
+    scheduler: SchedulerKind,
+    channels: u64,
+    depth: usize,
+    workloads: &[&str],
+    mem_ops: usize,
+) -> (SimResult, Vec<MemorySink>) {
+    let mut cfg = SystemConfig::with_cores(workloads.len());
+    cfg.dram.geometry = DramGeometry {
+        channels,
+        ..DramGeometry::default()
+    };
+    cfg.controller.read_queue_capacity = depth;
+    cfg.controller.write_queue_capacity = depth;
+    cfg.controller.write_high_watermark = depth * 40 / 64;
+    cfg.controller.write_low_watermark = depth * 20 / 64;
+    let rc = RunConfig {
+        mem_ops_per_core: mem_ops,
+        ..RunConfig::quick()
+    };
+    let specs: Vec<_> = workloads.iter().map(|w| by_name(w).unwrap()).collect();
+    let traces = traces_for(&specs, &cfg, &rc);
+    let mut sys = System::with_sinks(
+        cfg,
+        scheduler,
+        PbGrouping::paper(5),
+        traces,
+        vec![MemorySink::default(); channels as usize],
+        None,
+    );
+    for mc in sys.controllers_mut() {
+        mc.set_wheel(wheel);
+    }
+    sys.run_traced(rc.max_mc_cycles, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Wheel vs full scan, all four schedulers per sampled
+    /// configuration: fingerprints, per-channel event streams (every
+    /// DRAM command in issue order) and normalized epoch samples must
+    /// match exactly.
+    #[test]
+    fn prop_wheel_equals_scan(
+        channels in prop_oneof![Just(1u64), Just(2u64)],
+        depth in prop_oneof![Just(16usize), Just(64usize), Just(128usize)],
+        w0 in 0usize..WORKLOADS.len(),
+        w1 in 0usize..WORKLOADS.len(),
+        mem_ops in 150usize..400,
+    ) {
+        let workloads = [WORKLOADS[w0], WORKLOADS[w1]];
+        for scheduler in SCHEDULERS {
+            let (wheel, wheel_sinks) =
+                run_with(true, scheduler, channels, depth, &workloads, mem_ops);
+            let (scan, scan_sinks) =
+                run_with(false, scheduler, channels, depth, &workloads, mem_ops);
+            prop_assert!(wheel.completed, "{:?} wheel run must finish", scheduler);
+            prop_assert_eq!(
+                fingerprint(&wheel),
+                fingerprint(&scan),
+                "fingerprint diverged for {:?} ({} channels, depth {})",
+                scheduler, channels, depth
+            );
+            prop_assert_eq!(wheel_sinks.len(), scan_sinks.len());
+            for (ch, (w, s)) in wheel_sinks.iter().zip(&scan_sinks).enumerate() {
+                let (we, se) = (observable_events(w), observable_events(s));
+                prop_assert!(
+                    !we.is_empty(),
+                    "channel {} observed no events for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    we == se,
+                    "channel {} event stream diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    normalized_epochs(w) == normalized_epochs(s),
+                    "channel {} epoch samples diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(w.finished && s.finished);
+            }
+        }
+    }
+}
+
+/// Deterministic smoke for the same property (always runs, no
+/// sampling): two channels, every scheduler, the stock depth.
+#[test]
+fn wheel_two_channel_goldens_match_scan() {
+    for scheduler in SCHEDULERS {
+        let workloads = ["ferret", "comm1"];
+        let (wheel, wheel_sinks) = run_with(true, scheduler, 2, 64, &workloads, 600);
+        let (scan, scan_sinks) = run_with(false, scheduler, 2, 64, &workloads, 600);
+        assert!(wheel.completed);
+        assert_eq!(fingerprint(&wheel), fingerprint(&scan), "{scheduler:?}");
+        for (w, s) in wheel_sinks.iter().zip(&scan_sinks) {
+            assert!(
+                observable_events(w) == observable_events(s),
+                "{scheduler:?} command/event stream"
+            );
+            assert!(
+                normalized_epochs(w) == normalized_epochs(s),
+                "{scheduler:?} epoch samples"
+            );
+        }
+    }
+}
