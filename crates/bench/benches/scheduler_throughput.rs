@@ -309,13 +309,26 @@ fn emit_machine_readable() {
     // and depth 256 interleaved in 200k-cycle slices on one thread
     // (`saturated_compare_depths`), so wall-clock drift hits both
     // alike and cancels out of the ratio. Recorded as its own object —
-    // absolute per-cell rates swing ±30% on this box, the interleaved
-    // ratio is reproducible to ~±1% (DESIGN.md §7 "SoA bank state").
-    // 8× the sweep length: at 1M cycles the interleaved ratio still
-    // wobbles by several points run to run; at 8M it settles to ~±1%.
+    // absolute per-cell rates swing ±30% on this box. 8× the sweep
+    // length, and the *median of three* interleaved runs by ratio:
+    // even drift-cancelled, single 8M-cycle ratios still wobble by a
+    // few points under co-tenant load, and the median discards the
+    // one-sided outliers a mean would absorb (DESIGN.md §7 "SoA bank
+    // state").
     let droop_cycles = SWEEP_CYCLES * 8;
-    let (wall64, wall256) =
-        nuat_bench::saturated_compare_depths(SchedulerKind::Nuat, 64, 256, droop_cycles, 200_000);
+    let mut trials: Vec<(f64, f64)> = (0..3)
+        .map(|_| {
+            nuat_bench::saturated_compare_depths(
+                SchedulerKind::Nuat,
+                64,
+                256,
+                droop_cycles,
+                200_000,
+            )
+        })
+        .collect();
+    trials.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (wall64, wall256) = trials[trials.len() / 2];
     let droop = format!(
         "{{\"scheduler\": \"NUAT\", \"mode\": \"interleaved\", \"depth_a\": 64, \"depth_b\": 256, \"cycles_per_sec_a\": {:.0}, \"cycles_per_sec_b\": {:.0}, \"gap_percent\": {:.1}}}",
         droop_cycles as f64 / wall64,

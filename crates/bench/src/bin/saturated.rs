@@ -71,5 +71,10 @@ fn main() {
             s.reads_completed,
             s.writes_drained,
         );
+        println!(
+            "full_ticks={} wheel_overflow={}",
+            mc.full_ticks(),
+            mc.wheel_overflow_len(),
+        );
     }
 }

@@ -160,10 +160,26 @@ pub struct MemoryController<S: TraceSink = NullSink> {
     /// its per-bank gate cache) is kept intact behind this flag as the
     /// `prop_wheel_equals_scan` oracle and escape hatch.
     wheel_enabled: bool,
+    /// Discrete-event mode (set `NUAT_NO_DES=1` to disable): with the
+    /// wheel active, arrivals re-key their bank with an *exact*
+    /// earliest-actionable key (instead of conservatively pinning it
+    /// due-now) and merge it into the cached horizon rather than
+    /// discarding it, and an issue re-keys every bank of its rank
+    /// exactly (the device's gate mutations are rank-scoped, so the
+    /// sweep leaves no conservatively-early keys behind). Together
+    /// these keep the controller inside bulk-advanced quiet spans
+    /// across traffic instead of dropping to per-cycle stepping on
+    /// every arrival. Requires the wheel; purely a speed knob — the
+    /// command stream is bit-identical either way.
+    des_enabled: bool,
     /// Per rank: the pending flag each refresh marker was last keyed
     /// with. While the flag is unchanged (and no `REF` issues, and the
     /// marker is not due) the marker's key needs no re-derivation.
     marker_pending: Vec<bool>,
+    /// Full pipeline passes (`tick_inner` executions) — the cycles that
+    /// were *not* crossed by quiet-span or idle fast-forwarding
+    /// (diagnostic; deliberately not part of `ControllerStats`).
+    full_ticks: u64,
     /// Cycles advanced through `advance_quiet` instead of full ticks
     /// (diagnostic; deliberately not part of `ControllerStats`, which
     /// must stay bit-identical between skipping and per-tick modes).
@@ -268,6 +284,7 @@ impl<S: TraceSink> MemoryController<S> {
             && stall_debug.is_none();
         let wheel_enabled =
             std::env::var("NUAT_NO_WHEEL").map_or(true, |v| v.is_empty() || v == "0");
+        let des_enabled = std::env::var("NUAT_NO_DES").map_or(true, |v| v.is_empty() || v == "0");
         // Banks start parked (no requests); the per-rank refresh
         // markers start due so the first full tick derives their real
         // transition keys.
@@ -292,7 +309,9 @@ impl<S: TraceSink> MemoryController<S> {
             busy_horizon: None,
             wheel,
             wheel_enabled,
+            des_enabled,
             marker_pending: vec![false; ranks],
+            full_ticks: 0,
             cycles_skipped: 0,
             sink,
             quiet_acc: None,
@@ -494,10 +513,49 @@ impl<S: TraceSink> MemoryController<S> {
         }
     }
 
+    /// Enables or disables discrete-event arrival/issue re-keying at
+    /// run time (tests use this for A/B comparisons without racing on
+    /// the `NUAT_NO_DES` environment variable). Like the wheel and
+    /// cycle skipping it never changes simulated behaviour, only how
+    /// many cycles are executed as full ticks. No key fixup is needed
+    /// on toggle: DES keys are exact and non-DES keys are conservative
+    /// lower bounds, and each mode tolerates the other's keys.
+    pub fn set_des(&mut self, enabled: bool) {
+        self.des_enabled = enabled;
+        self.busy_horizon = None;
+    }
+
+    /// True while arrivals/issues maintain exact event-calendar keys
+    /// (the wheel must be active for DES to have a calendar to keep).
+    fn des_active(&self) -> bool {
+        self.des_enabled && self.wheel_enabled
+    }
+
     /// Cycles advanced in bulk by busy skipping instead of full ticks
     /// (diagnostic; not part of [`ControllerStats`]).
     pub fn cycles_skipped(&self) -> u64 {
         self.cycles_skipped
+    }
+
+    /// Full pipeline passes executed (cycles not crossed in bulk by
+    /// quiet-span or idle fast-forwarding; diagnostic, not part of
+    /// [`ControllerStats`]).
+    pub fn full_ticks(&self) -> u64 {
+        self.full_ticks
+    }
+
+    /// Slots currently in the wheel's lazy-deletion overflow heap
+    /// (diagnostic: the heap-compaction regression test bounds this).
+    pub fn wheel_overflow_len(&self) -> usize {
+        self.wheel.overflow_len()
+    }
+
+    /// The queues' slot-release epoch (see
+    /// [`RequestQueues::release_epoch`]): system loops compare it to
+    /// know when a cached "core blocked on a full queue" wake bound
+    /// must be discarded.
+    pub fn queue_release_epoch(&self) -> u64 {
+        self.queues.release_epoch()
     }
 
     /// How many cycles from `now` are provably quiet and could be
@@ -559,24 +617,14 @@ impl<S: TraceSink> MemoryController<S> {
         kind: RequestKind,
         addr: nuat_types::DecodedAddr,
     ) -> RequestId {
-        // A new request adds candidates (and can flip a rank's
-        // postponable-refresh decision), so any cached quiet span ends
-        // here.
-        self.busy_horizon = None;
-        // It also changes exactly one bank's candidate shape: drop that
-        // bank's cached gate. (Pending-flag effects on *other* banks are
-        // covered by the cache's pending check, not the generation.)
+        // A new request changes exactly one bank's candidate shape:
+        // drop that bank's cached gate. (Pending-flag effects on *other*
+        // banks are covered by the cache's pending check, not the
+        // generation.)
         let key =
             addr.rank.index() * self.cfg.dram.geometry.banks_per_rank as usize + addr.bank.index();
         if let Some(g) = self.scratch.bank_gate_gen.get_mut(key) {
             *g = 0;
-        }
-        // Arrival is one of the two events that can make a bank
-        // actionable *earlier* than its wheel key (the other being
-        // refresh-window edges): pull the bank due now; the next full
-        // tick re-derives its exact key.
-        if self.wheel_enabled {
-            self.wheel.rekey(key as u32, self.now.raw());
         }
         if S::ENABLED {
             self.flush_quiet();
@@ -589,13 +637,93 @@ impl<S: TraceSink> MemoryController<S> {
                 row: addr.row.raw(),
             });
         }
-        self.queues.push(MemoryRequest {
+        let des = self.des_active();
+        let r = addr.rank.index();
+        let bi = addr.bank.index();
+        let rank = addr.rank;
+        // Pre-push occupancy snapshots feed the DES side-effect guards
+        // below (the push itself can flip a rank's postponable-refresh
+        // decision or a power-down countdown).
+        let was_empty = des && self.queues.is_empty();
+        let rank_was_empty = des && self.queues.rank_len(r) == 0;
+        let bank_was_empty = des && self.queues.bank_len(key) == 0;
+        let pre_hits = if des {
+            self.queues.hit_counts(key)
+        } else {
+            (0, 0)
+        };
+        let id = self.queues.push(MemoryRequest {
             id: RequestId(0), // assigned by the queue
             core,
             kind,
             addr,
             arrival: self.now,
-        })
+        });
+        if !des {
+            // Tick/skip fallback: arrival is one of the two events that
+            // can make a bank actionable *earlier* than its wheel key
+            // (the other being refresh-window edges). End any cached
+            // quiet span and pull the bank due now; the next full tick
+            // re-derives its exact key.
+            self.busy_horizon = None;
+            if self.wheel_enabled {
+                self.wheel.rekey(key as u32, self.now.raw());
+            }
+            return id;
+        }
+        // DES path: the arrival's only effect on wheel keys is the
+        // target bank's own (no device gate moved, and other banks'
+        // keys are conservative bounds revalidated at enumeration), so
+        // compute that bank's *exact* key and merge it into the cached
+        // horizon instead of discarding the whole quiet span. Two
+        // side-effect cases fall back to a due-now pin + full re-derive:
+        //
+        // * power management: a powered-down rank needs a real tick to
+        //   take the demand wake, and an arrival to a drained rank
+        //   restarts its idle countdown;
+        // * postponable refresh: the first request into empty queues
+        //   flips every postponing rank's pending flag, moving marker
+        //   keys this O(1) path does not touch.
+        let powerdown = self.cfg.controller.powerdown_after_idle > 0;
+        let postponing = self.cfg.controller.refresh_postpone_batches > 0;
+        if (powerdown && (rank_was_empty || self.device.is_powered_down(rank)))
+            || (postponing && was_empty)
+        {
+            self.busy_horizon = None;
+            self.wheel.rekey(key as u32, self.now.raw());
+            return id;
+        }
+        // An arrival leaves the bank's key valid unless it was the
+        // bank's first request (PARKED → real key) or the first
+        // row-hit of its kind (a column gate may undercut the old
+        // key). Anything else only appends to the FCFS tail: the
+        // oldest-request representative and the hit-gate min are
+        // untouched, so both the wheel key and the cached horizon
+        // stand as-is and the common enqueue costs nothing.
+        if !bank_was_empty {
+            let post_hits = self.queues.hit_counts(key);
+            let first_hit = match kind {
+                RequestKind::Read => pre_hits.0 == 0 && post_hits.0 > 0,
+                RequestKind::Write => pre_hits.1 == 0 && post_hits.1 > 0,
+            };
+            if !first_hit {
+                return id;
+            }
+        }
+        use nuat_dram::refresh::RefreshUrgency::*;
+        let pending = match self.device.refresh_engine(rank).urgency(self.now) {
+            NotDue => false,
+            Overdue => true,
+            // Post-push the queues are non-empty, so a postpone budget
+            // always defers (mirrors `compute_refresh_pending`).
+            Pending | Postponable => !postponing,
+        };
+        let rt = self.device.rank_timing(rank);
+        let lanes = self.device.bank_lanes(rank);
+        let k = self.bank_key(key, bi, pending, &rt, &lanes);
+        self.wheel.rekey(key as u32, k);
+        self.busy_horizon = self.busy_horizon.map(|h| h.min(k));
+        id
     }
 
     /// Drains the completed reads recorded since the last call.
@@ -680,6 +808,7 @@ impl<S: TraceSink> MemoryController<S> {
     fn tick_inner(&mut self, scratch: &mut TickScratch) -> Option<DramCommand> {
         self.policy.on_cycle();
         self.stats.total_cycles += 1;
+        self.full_ticks += 1;
 
         if let Some(threshold) = self.stall_debug {
             if !self.stall_reported {
@@ -1577,10 +1706,75 @@ impl<S: TraceSink> MemoryController<S> {
                     scratch.rekeys.push((key as u32, k));
                 }
             } else if let Some(bank) = cmd.bank() {
-                let bi = bank.index();
-                let key = ir * banks_per_rank + bi;
-                let k = self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes);
+                let ibi = bank.index();
+                let key = ir * banks_per_rank + ibi;
+                let k = self.bank_key(key, ibi, scratch.pending[ir], &rt, &lanes);
                 scratch.rekeys.push((key as u32, k));
+                if self.des_active() && self.queues.masks_valid() {
+                    // Targeted sibling sweep: an issue moves rank-scoped
+                    // gates for exactly one sibling key class — an ACT
+                    // moves the rank act window (tRRD/tFAW), so
+                    // idle-with-work siblings get fresh act-gate keys; a
+                    // column command moves the rank column/turnaround
+                    // gates, so open-row siblings with queued hits get
+                    // fresh column-gate keys. A precharge is bank-local.
+                    // Everything else keeps its still-exact key, which
+                    // is what lets DES spans run to the true next event
+                    // without paying a full-rank sweep per issue.
+                    //
+                    // Both sweeps are specialized to their key class:
+                    // the queues' per-rank bitmaps pin each sibling's
+                    // `bank_key` branch (queued work / open row / hit
+                    // kinds present), so the key is rebuilt from the
+                    // hoisted rank gates plus one or two dense device
+                    // timing-lane loads — no per-bank queue-state probe
+                    // inside the loop. Each key is asserted identical to
+                    // the generic recompute in debug builds.
+                    match cmd {
+                        DramCommand::Activate { .. } if !scratch.pending[ir] => {
+                            let mut affected = self.queues.work_mask(ir)
+                                & !self.queues.open_mask(ir)
+                                & !(1u64 << ibi);
+                            let act_ok = rt.next_act_rank_ok;
+                            while affected != 0 {
+                                let bi = affected.trailing_zeros() as usize;
+                                affected &= affected - 1;
+                                let key = ir * banks_per_rank + bi;
+                                let k = lanes.earliest_act[bi].max(act_ok).raw();
+                                debug_assert_eq!(
+                                    k,
+                                    self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes)
+                                );
+                                scratch.rekeys.push((key as u32, k));
+                            }
+                        }
+                        DramCommand::Read { .. } | DramCommand::Write { .. } => {
+                            let hr = self.queues.hit_read_mask(ir);
+                            let hw = self.queues.hit_write_mask(ir);
+                            let col_r = rt.earliest_col_read;
+                            let col_w = rt.earliest_col_write;
+                            let mut affected = (hr | hw) & !(1u64 << ibi);
+                            while affected != 0 {
+                                let bi = affected.trailing_zeros() as usize;
+                                affected &= affected - 1;
+                                let key = ir * banks_per_rank + bi;
+                                let mut k = u64::MAX;
+                                if hr >> bi & 1 != 0 {
+                                    k = k.min(lanes.earliest_read[bi].max(col_r).raw());
+                                }
+                                if hw >> bi & 1 != 0 {
+                                    k = k.min(lanes.earliest_write[bi].max(col_w).raw());
+                                }
+                                debug_assert_eq!(
+                                    k,
+                                    self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes)
+                                );
+                                scratch.rekeys.push((key as u32, k));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
             }
         }
         {

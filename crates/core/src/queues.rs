@@ -309,31 +309,46 @@ pub(crate) const NO_SLOT: u32 = NIL;
 /// bucket of a row is `row & (ROW_FILTER_BUCKETS - 1)`).
 const ROW_FILTER_BUCKETS: usize = 512;
 
+/// Per-slot hot metadata, packed so every slot-scattered access costs
+/// one cache line: the row coordinate (the only payload field the
+/// `note_row_open` match rebuild needs), the bank sub-queue key
+/// (`rank * banks_per_rank + bank`, so unthreading recovers every
+/// coordinate from hot lanes alone), and the
+/// `FLAG_LIVE`/`FLAG_IN_HIT`/`FLAG_WRITE` bits.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    /// Row coordinate (raw [`Row`]).
+    row: u32,
+    /// Bank sub-queue key, `rank * banks_per_rank + bank`.
+    bank_key: u16,
+    /// `FLAG_LIVE` / `FLAG_IN_HIT` / `FLAG_WRITE` bits.
+    flags: u8,
+}
+
 /// The controller's request queues, indexed per (rank, bank).
 ///
 /// Slab storage is a structure of arrays (see the module docs): the hot
-/// lanes (`links`, `rows`, `flags`, `ids`, `bank_keys`) are what list
-/// maintenance, match rebuilds and id-addressed walks stream through;
-/// `reqs` is the cold payload lane, only touched when a specific
-/// request is inspected or handed out.
+/// lanes (`links`, `meta`, `ids`) are what list maintenance, match
+/// rebuilds and id-addressed walks stream through; `reqs` is the cold
+/// payload lane, only touched when a specific request is inspected or
+/// handed out.
 #[derive(Debug, Clone)]
 pub struct RequestQueues {
     links: Vec<SlotLinks>,
-    /// Row coordinate of each slot — the only payload field the
-    /// `note_row_open` match rebuild needs, lifted into its own dense
-    /// lane so that walk never touches `reqs`.
-    rows: Vec<u32>,
-    /// `FLAG_LIVE` / `FLAG_IN_HIT` / `FLAG_WRITE` bits per slot.
-    flags: Vec<u8>,
+    /// Packed per-slot metadata (row, bank key, flags). One 8-byte
+    /// record instead of three parallel lanes: the slot-scattered
+    /// operations — enqueue into a recycled slot, unthreading at
+    /// issue, hit-flag maintenance — touch a single cache line where
+    /// split `rows`/`flags`/`bank_keys` lanes touched three. At deep
+    /// queue capacities the slab working set outgrows L1, so the lane
+    /// count per scattered slot access is what the depth-64→256
+    /// throughput droop scaled with.
+    meta: Vec<SlotMeta>,
     /// Age id of each slot (the raw [`RequestId`]), lifted out of the
     /// payload so id-addressed walks (`remove`, hit probes that exempt
     /// one request) stream a dense 8-byte lane instead of the ~56-byte
     /// payload slots.
     ids: Vec<u64>,
-    /// Bank sub-queue key (`rank * banks_per_rank + bank`) of each
-    /// slot, so unthreading recovers every coordinate it needs from hot
-    /// lanes alone.
-    bank_keys: Vec<u16>,
     /// Per-bank counting filter over row-hash buckets, maintained at
     /// enqueue/remove time. When an ACT opens a row and the activating
     /// request's bucket holds exactly one entry, that request is
@@ -354,6 +369,29 @@ pub struct RequestQueues {
     cfg: ControllerConfig,
     mode: DrainMode,
     next_id: u64,
+    /// Monotone count of slot releases (issued columns, drained
+    /// writes). A queue-full admission verdict can only change when
+    /// this moves, so cached "core blocked on a full queue" wake bounds
+    /// in the system loop are invalidated by comparing epochs instead
+    /// of re-probing every queue every cycle.
+    releases: u64,
+    /// Per-rank bank bitmaps, maintained at the same sites that update
+    /// the per-bank counters they summarize (only when
+    /// `banks_per_rank <= 64`; wider ranks leave them zero and callers
+    /// fall back to per-bank probes). The controller's DES targeted
+    /// re-key sweep classifies a whole rank from these three loads
+    /// instead of touching every sibling's `BankIndex`:
+    /// bit b of `work_mask[r]` ⟺ bank b has queued requests,
+    /// `open_mask[r]` ⟺ its open-row mirror is set,
+    /// `hit_read_mask[r]` / `hit_write_mask[r]` ⟺ it has open-row
+    /// read / write hits queued. Hits are split by kind so the
+    /// controller's post-column re-key sweep can derive each sibling's
+    /// exact column-gate key from the masks plus the dense device
+    /// timing lanes alone — no per-bank counter load in the sweep.
+    work_mask: Vec<u64>,
+    open_mask: Vec<u64>,
+    hit_read_mask: Vec<u64>,
+    hit_write_mask: Vec<u64>,
 }
 
 impl RequestQueues {
@@ -371,10 +409,8 @@ impl RequestQueues {
         );
         RequestQueues {
             links: Vec::with_capacity(cap),
-            rows: Vec::with_capacity(cap),
-            flags: Vec::with_capacity(cap),
+            meta: Vec::with_capacity(cap),
             ids: Vec::with_capacity(cap),
-            bank_keys: Vec::with_capacity(cap),
             row_filter: vec![0; ranks * banks_per_rank * ROW_FILTER_BUCKETS],
             reqs: Vec::with_capacity(cap),
             free: Vec::new(),
@@ -388,7 +424,44 @@ impl RequestQueues {
             cfg,
             mode: DrainMode::ServeReads,
             next_id: 0,
+            releases: 0,
+            work_mask: vec![0; ranks],
+            open_mask: vec![0; ranks],
+            hit_read_mask: vec![0; ranks],
+            hit_write_mask: vec![0; ranks],
         }
+    }
+
+    /// True when the per-rank bank bitmaps are maintained (see the
+    /// field docs); callers on wider topologies must probe per bank.
+    pub(crate) fn masks_valid(&self) -> bool {
+        self.banks_per_rank <= 64
+    }
+
+    /// Banks of rank `r` with queued requests, as a bitmap.
+    pub(crate) fn work_mask(&self, r: usize) -> u64 {
+        self.work_mask[r]
+    }
+
+    /// Banks of rank `r` whose open-row mirror is set, as a bitmap.
+    pub(crate) fn open_mask(&self, r: usize) -> u64 {
+        self.open_mask[r]
+    }
+
+    /// Banks of rank `r` with queued open-row *read* hits, as a bitmap.
+    pub(crate) fn hit_read_mask(&self, r: usize) -> u64 {
+        self.hit_read_mask[r]
+    }
+
+    /// Banks of rank `r` with queued open-row *write* hits, as a bitmap.
+    pub(crate) fn hit_write_mask(&self, r: usize) -> u64 {
+        self.hit_write_mask[r]
+    }
+
+    /// The slot-release epoch (see the field docs): bumped every time a
+    /// request leaves the queues.
+    pub fn release_epoch(&self) -> u64 {
+        self.releases
     }
 
     fn key_of(&self, req: &MemoryRequest) -> usize {
@@ -437,22 +510,23 @@ impl RequestQueues {
             RequestKind::Read => FLAG_LIVE,
             RequestKind::Write => FLAG_LIVE | FLAG_WRITE,
         };
+        let meta = SlotMeta {
+            row: row.raw(),
+            bank_key: key as u16,
+            flags: live,
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.links[i as usize] = SlotLinks::UNLINKED;
-                self.rows[i as usize] = row.raw();
-                self.flags[i as usize] = live;
+                self.meta[i as usize] = meta;
                 self.ids[i as usize] = id.0;
-                self.bank_keys[i as usize] = key as u16;
                 self.reqs[i as usize] = req;
                 i
             }
             None => {
                 self.links.push(SlotLinks::UNLINKED);
-                self.rows.push(row.raw());
-                self.flags.push(live);
+                self.meta.push(meta);
                 self.ids.push(id.0);
-                self.bank_keys.push(key as u16);
                 self.reqs.push(req);
                 (self.reqs.len() - 1) as u32
             }
@@ -478,9 +552,19 @@ impl RequestQueues {
                     b.hit_write_count += 1;
                 }
             }
-            self.flags[i as usize] |= FLAG_IN_HIT;
+            self.meta[i as usize].flags |= FLAG_IN_HIT;
         }
         self.rank_len[rank] += 1;
+        if self.masks_valid() {
+            let bit = 1u64 << (key - rank * self.banks_per_rank);
+            self.work_mask[rank] |= bit;
+            if self.meta[i as usize].flags & FLAG_IN_HIT != 0 {
+                match kind {
+                    RequestKind::Read => self.hit_read_mask[rank] |= bit,
+                    RequestKind::Write => self.hit_write_mask[rank] |= bit,
+                }
+            }
+        }
         match kind {
             RequestKind::Read => self.read_len += 1,
             RequestKind::Write => self.write_len += 1,
@@ -522,9 +606,10 @@ impl RequestQueues {
     }
 
     fn remove_slot(&mut self, i: u32) -> MemoryRequest {
-        let kind = kind_of_flags(self.flags[i as usize]);
-        let key = self.bank_keys[i as usize] as usize;
-        let row = Row::new(self.rows[i as usize]);
+        let m = self.meta[i as usize];
+        let kind = kind_of_flags(m.flags);
+        let key = m.bank_key as usize;
+        let row = Row::new(m.row);
         self.unthread_slot(i, kind, key, row);
         self.reqs[i as usize]
     }
@@ -534,11 +619,11 @@ impl RequestQueues {
     /// lanes; the cold payload is never read here).
     fn unthread_slot(&mut self, i: u32, kind: RequestKind, key: usize, row: Row) {
         debug_assert!(
-            self.flags[i as usize] & FLAG_LIVE != 0,
+            self.meta[i as usize].flags & FLAG_LIVE != 0,
             "double remove of slot {i}"
         );
-        debug_assert_eq!(kind_of_flags(self.flags[i as usize]), kind);
-        debug_assert_eq!(self.bank_keys[i as usize] as usize, key);
+        debug_assert_eq!(kind_of_flags(self.meta[i as usize].flags), kind);
+        debug_assert_eq!(self.meta[i as usize].bank_key as usize, key);
         let rank = key / self.banks_per_rank;
         self.row_filter[Self::filter_bucket(key, row.raw())] -= 1;
         match kind {
@@ -551,7 +636,7 @@ impl RequestQueues {
             RequestKind::Read => unlink(&mut self.links, &mut b.reads, i, Link::Bank),
             RequestKind::Write => unlink(&mut self.links, &mut b.writes, i, Link::Bank),
         }
-        if self.flags[i as usize] & FLAG_IN_HIT != 0 {
+        if self.meta[i as usize].flags & FLAG_IN_HIT != 0 {
             match kind {
                 RequestKind::Read => {
                     unlink(&mut self.links, &mut b.hit_reads, i, Link::Hit);
@@ -564,12 +649,26 @@ impl RequestQueues {
             }
         }
         self.rank_len[rank] -= 1;
+        if self.masks_valid() {
+            let bit = 1u64 << (key - rank * self.banks_per_rank);
+            let b = &self.banks[key];
+            if b.len == 0 {
+                self.work_mask[rank] &= !bit;
+            }
+            if b.hit_read_count == 0 {
+                self.hit_read_mask[rank] &= !bit;
+            }
+            if b.hit_write_count == 0 {
+                self.hit_write_mask[rank] &= !bit;
+            }
+        }
         match kind {
             RequestKind::Read => self.read_len -= 1,
             RequestKind::Write => self.write_len -= 1,
         }
-        self.flags[i as usize] = 0;
+        self.meta[i as usize].flags = 0;
         self.free.push(i);
+        self.releases += 1;
         self.update_mode();
     }
 
@@ -604,11 +703,17 @@ impl RequestQueues {
             "row opened over an already-open mirror"
         );
         self.banks[key].open_row = Some(row);
+        if self.masks_valid() {
+            self.open_mask[rank.index()] |= 1u64 << bank.index();
+        }
         let row = row.raw();
         if activator != NO_SLOT && self.row_filter[Self::filter_bucket(key, row)] == 1 {
-            debug_assert_eq!(self.rows[activator as usize], row, "stale activator hint");
-            debug_assert!(self.flags[activator as usize] & FLAG_LIVE != 0);
-            debug_assert!(self.flags[activator as usize] & FLAG_IN_HIT == 0);
+            debug_assert_eq!(
+                self.meta[activator as usize].row, row,
+                "stale activator hint"
+            );
+            debug_assert!(self.meta[activator as usize].flags & FLAG_LIVE != 0);
+            debug_assert!(self.meta[activator as usize].flags & FLAG_IN_HIT == 0);
             debug_assert!(
                 !self.any_other_request_hits(
                     rank,
@@ -619,7 +724,8 @@ impl RequestQueues {
                 "counting filter claimed a unique hit but another request matches"
             );
             let b = &mut self.banks[key];
-            match kind_of_flags(self.flags[activator as usize]) {
+            let kind = kind_of_flags(self.meta[activator as usize].flags);
+            match kind {
                 RequestKind::Read => {
                     push_back(&mut self.links, &mut b.hit_reads, activator, Link::Hit);
                     b.hit_read_count += 1;
@@ -629,7 +735,14 @@ impl RequestQueues {
                     b.hit_write_count += 1;
                 }
             }
-            self.flags[activator as usize] |= FLAG_IN_HIT;
+            self.meta[activator as usize].flags |= FLAG_IN_HIT;
+            if self.masks_valid() {
+                let bit = 1u64 << bank.index();
+                match kind {
+                    RequestKind::Read => self.hit_read_mask[rank.index()] |= bit,
+                    RequestKind::Write => self.hit_write_mask[rank.index()] |= bit,
+                }
+            }
             return;
         }
         let b = &mut self.banks[key];
@@ -641,8 +754,8 @@ impl RequestQueues {
             let mut cur = src.head;
             while cur != NIL {
                 let next = self.links[cur as usize].next(Link::Bank);
-                if self.rows[cur as usize] == row {
-                    debug_assert!(self.flags[cur as usize] & FLAG_IN_HIT == 0);
+                if self.meta[cur as usize].row == row {
+                    debug_assert!(self.meta[cur as usize].flags & FLAG_IN_HIT == 0);
                     match kind {
                         RequestKind::Read => {
                             push_back(&mut self.links, &mut b.hit_reads, cur, Link::Hit);
@@ -653,9 +766,19 @@ impl RequestQueues {
                             b.hit_write_count += 1;
                         }
                     }
-                    self.flags[cur as usize] |= FLAG_IN_HIT;
+                    self.meta[cur as usize].flags |= FLAG_IN_HIT;
                 }
                 cur = next;
+            }
+        }
+        let b = &self.banks[key];
+        if self.masks_valid() {
+            let bit = 1u64 << bank.index();
+            if b.hit_read_count > 0 {
+                self.hit_read_mask[rank.index()] |= bit;
+            }
+            if b.hit_write_count > 0 {
+                self.hit_write_mask[rank.index()] |= bit;
             }
         }
     }
@@ -669,7 +792,7 @@ impl RequestQueues {
         for head in [b.hit_reads.head, b.hit_writes.head] {
             let mut cur = head;
             while cur != NIL {
-                self.flags[cur as usize] &= !FLAG_IN_HIT;
+                self.meta[cur as usize].flags &= !FLAG_IN_HIT;
                 cur = self.links[cur as usize].next(Link::Hit);
             }
         }
@@ -677,6 +800,12 @@ impl RequestQueues {
         b.hit_writes = ListHeads::EMPTY;
         b.hit_read_count = 0;
         b.hit_write_count = 0;
+        if self.masks_valid() {
+            let bit = !(1u64 << bank.index());
+            self.open_mask[rank.index()] &= bit;
+            self.hit_read_mask[rank.index()] &= bit;
+            self.hit_write_mask[rank.index()] &= bit;
+        }
     }
 
     fn update_mode(&mut self) {
@@ -805,7 +934,7 @@ impl RequestQueues {
         for head in [b.reads.head, b.writes.head] {
             let mut cur = head;
             while cur != NIL {
-                if self.rows[cur as usize] == row {
+                if self.meta[cur as usize].row == row {
                     return true;
                 }
                 cur = self.links[cur as usize].next(Link::Bank);
@@ -831,7 +960,7 @@ impl RequestQueues {
         for head in [b.reads.head, b.writes.head] {
             let mut cur = head;
             while cur != NIL {
-                if self.rows[cur as usize] == row && self.ids[cur as usize] != except.0 {
+                if self.meta[cur as usize].row == row && self.ids[cur as usize] != except.0 {
                     return true;
                 }
                 cur = self.links[cur as usize].next(Link::Bank);

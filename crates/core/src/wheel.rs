@@ -85,6 +85,18 @@ pub(crate) struct BankWheel {
     occupied: [u64; OCC_WORDS],
     /// Keys beyond `cursor + WHEEL_BUCKETS`, lazily deleted.
     overflow: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Bit `e` set ⟺ entry `e`'s *authoritative* key currently lives in
+    /// the overflow heap (set on push, cleared when that slot is popped
+    /// live or the entry is re-keyed away). Lets `rekey` tell a rotting
+    /// heap slot from a calendar bit in O(1).
+    heaped: Vec<u64>,
+    /// Lower-bound count of heap slots whose `(key, entry)` no longer
+    /// matches `keys` — left behind by re-keys and reclaimed on pop or
+    /// by [`compact_overflow`](Self::compact_overflow). Kept as a
+    /// saturating estimate (rare pop-order races can momentarily
+    /// miscount by a bounded amount in either direction); it only
+    /// steers *when* compaction runs, never correctness.
+    stale: usize,
     /// The wheel's notion of "now". Entries with `key <= cursor` live in
     /// the ready bitmap, not the calendar.
     cursor: u64,
@@ -105,6 +117,8 @@ impl BankWheel {
             buckets: vec![0; WHEEL_BUCKETS * words],
             occupied: [0; OCC_WORDS],
             overflow: BinaryHeap::new(),
+            heaped: vec![0; words],
+            stale: 0,
             cursor: 0,
             ready: vec![0; words],
             soonest: 0,
@@ -123,12 +137,16 @@ impl BankWheel {
             return;
         }
         let (w, bit) = (e / 64, 1u64 << (e % 64));
-        if old <= self.cursor {
+        if self.heaped[w] & bit != 0 {
+            // The authoritative slot sits in the heap; it stays behind
+            // to rot (lazy deletion) and is reclaimed on pop or by the
+            // next compaction.
+            self.heaped[w] &= !bit;
+            self.stale += 1;
+        } else if old <= self.cursor {
             self.ready[w] &= !bit;
         } else if old != PARKED && old - self.cursor <= WHEEL_BUCKETS as u64 {
-            // In the calendar window; clear its bit (a no-op if the
-            // entry actually sits in the heap from an earlier, farther
-            // cursor).
+            // In the calendar window; clear its bit.
             let b = old as usize & (WHEEL_BUCKETS - 1);
             let idx = b * self.words + w;
             self.buckets[idx] &= !bit;
@@ -149,11 +167,36 @@ impl BankWheel {
                 self.occupied[b / 64] |= 1 << (b % 64);
             } else {
                 self.overflow.push(Reverse((key, entry)));
+                self.heaped[w] |= bit;
             }
             if key < self.soonest {
                 self.soonest = key;
             }
         }
+        // Rotting slots would otherwise accumulate without bound on
+        // refresh-heavy runs (every marker re-key beyond the calendar
+        // window leaves one behind): once they outnumber the live
+        // slots, rebuild the heap from the survivors. Removing ≥ half
+        // the heap per rebuild makes the cost amortized O(1) per
+        // re-key, and the heap stays O(live entries).
+        if self.stale * 2 > self.overflow.len() {
+            self.compact_overflow();
+        }
+    }
+
+    /// Drops every rotting slot from the overflow heap. A slot is live
+    /// iff its `(key, entry)` still matches the authoritative key; the
+    /// survivors rebuild the heap in O(live).
+    fn compact_overflow(&mut self) {
+        if self.overflow.is_empty() {
+            self.stale = 0;
+            return;
+        }
+        let keys = &self.keys;
+        let mut slots = std::mem::take(&mut self.overflow).into_vec();
+        slots.retain(|&Reverse((key, entry))| key == keys[entry as usize]);
+        self.overflow = BinaryHeap::from(slots);
+        self.stale = 0;
     }
 
     /// Promotes every entry in bucket `b` into the ready bitmap and
@@ -209,10 +252,12 @@ impl BankWheel {
         while let Some(&Reverse((key, entry))) = self.overflow.peek() {
             if key != self.keys[entry as usize] {
                 self.overflow.pop();
+                self.stale = self.stale.saturating_sub(1);
             } else if key <= now {
                 self.overflow.pop();
                 let e = entry as usize;
                 self.ready[e / 64] |= 1 << (e % 64);
+                self.heaped[e / 64] &= !(1 << (e % 64));
             } else {
                 break;
             }
@@ -274,9 +319,17 @@ impl BankWheel {
                 break;
             }
             self.overflow.pop();
+            self.stale = self.stale.saturating_sub(1);
         }
         self.soonest = best;
         best
+    }
+
+    /// Slots currently in the overflow heap, live and rotting alike
+    /// (diagnostic: the compaction regression test bounds this against
+    /// the entry count).
+    pub(crate) fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 }
 
@@ -406,6 +459,48 @@ mod tests {
         let mut v = Vec::new();
         w.collect_ready_into(&mut v);
         assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn overflow_heap_stays_bounded_under_rekey_churn() {
+        // Re-keying entries between far-future keys forever (the
+        // refresh-marker pattern: every derivation lands ~tREFI ahead,
+        // beyond the calendar window) must not grow the heap without
+        // bound: compaction keeps it O(live entries).
+        let n = 10u32;
+        let mut w = BankWheel::new(n as usize);
+        for round in 0u64..10_000 {
+            let e = (round % n as u64) as u32;
+            w.rekey(e, 100_000 + round * 7 + e as u64);
+            assert!(
+                w.overflow_len() <= 2 * n as usize + 1,
+                "round {round}: heap grew to {}",
+                w.overflow_len()
+            );
+        }
+        // Every entry still surfaces at its final (latest) key.
+        w.advance_to(1_000_000);
+        assert_eq!(ready_of(&mut w), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_behaviour_across_advances() {
+        let mut w = BankWheel::new(3);
+        // Churn entry 0 hard to force several compactions while 1 and 2
+        // hold stable far keys that must survive every rebuild.
+        w.rekey(1, 5_000);
+        w.rekey(2, 9_000);
+        for i in 0..1_000u64 {
+            w.rekey(0, 10_000 + i);
+        }
+        assert_eq!(w.peek_future(), 5_000);
+        w.advance_to(5_000);
+        assert_eq!(ready_of(&mut w), vec![1]);
+        w.advance_to(9_000);
+        assert_eq!(ready_of(&mut w), vec![1, 2]);
+        assert_eq!(w.peek_future(), 10_999);
+        w.advance_to(10_999);
+        assert_eq!(ready_of(&mut w), vec![0, 1, 2]);
     }
 
     #[test]

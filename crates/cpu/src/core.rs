@@ -129,15 +129,32 @@ impl Core {
         now: CpuCycle,
         can_accept: impl Fn(MemOp, PhysAddr) -> bool,
     ) -> u64 {
+        self.next_wake(now, can_accept).0
+    }
+
+    /// The event-calendar form of [`quiescent_cycles`]: returns the
+    /// inert span plus whether that span assumed the next trace record
+    /// was rejected by `can_accept` (a full memory queue). The caller
+    /// may cache `now + span` as this core's wake entry and substitute
+    /// [`advance_stalled`](Self::advance_stalled) for [`tick`] until it
+    /// expires, provided it discards the entry when a completion is
+    /// delivered to this core — and, when the flag is set, whenever any
+    /// controller frees a queue slot (the release could re-admit the
+    /// fetch before both the retire bound and the cached span elapse).
+    pub fn next_wake(
+        &self,
+        now: CpuCycle,
+        can_accept: impl Fn(MemOp, PhysAddr) -> bool,
+    ) -> (u64, bool) {
         if self.is_done() {
-            return u64::MAX;
+            return (u64::MAX, false);
         }
         // Retire side: only the ROB head can unblock by itself, at its
         // recorded completion time.
         let retire = match self.rob.front() {
             Some(RobEntry::Done(t)) => {
                 if *t <= now {
-                    return 0;
+                    return (0, false);
                 }
                 t.raw() - now.raw()
             }
@@ -146,6 +163,7 @@ impl Core {
         // Fetch side: progresses immediately unless structurally
         // blocked. A full ROB reopens only after a retirement, which
         // the retire bound already caps.
+        let mut queue_blocked = false;
         let fetch = if self.fetched == self.total || self.rob.len() == self.cfg.rob_size {
             u64::MAX
         } else if self.gap_remaining > 0 {
@@ -154,12 +172,13 @@ impl Core {
             if can_accept(rec.op, rec.addr) {
                 0
             } else {
+                queue_blocked = true;
                 u64::MAX
             }
         } else {
             u64::MAX
         };
-        retire.min(fetch)
+        (retire.min(fetch), queue_blocked)
     }
 
     /// Bulk-advances an inert span in one step. The caller guarantees
@@ -187,19 +206,25 @@ impl Core {
         );
     }
 
-    /// Advances one CPU cycle: retire, then fetch.
+    /// Advances one CPU cycle: retire, then fetch. Returns whether any
+    /// instruction retired or fetched — a `false` tick changed nothing
+    /// but the stall counter, which tells an event-driven caller this
+    /// core just went inert and its [`next_wake`](Self::next_wake) span
+    /// is worth computing and caching.
     ///
     /// Generic over the port (rather than `&mut dyn`) so the per-cycle
     /// admission checks and submits inline into the system loop.
-    pub fn tick(&mut self, now: CpuCycle, port: &mut impl MemoryPort) {
+    pub fn tick(&mut self, now: CpuCycle, port: &mut impl MemoryPort) -> bool {
         if self.is_done() {
-            return;
+            return false;
         }
+        let before = self.retired + self.fetched;
         self.retire(now);
         self.fetch(now, port);
         if self.is_done() && self.finished_at.is_none() {
             self.finished_at = Some(now);
         }
+        self.retired + self.fetched > before
     }
 
     fn retire(&mut self, now: CpuCycle) {

@@ -158,6 +158,24 @@ pub struct System<S: TraceSink = NullSink> {
     /// Channel-sharding worker override; `None` defers to
     /// `NUAT_CHANNEL_JOBS` (see [`channel_worker_count`]).
     channel_workers: Option<usize>,
+    /// Per-core calendar entries for the event-driven loop: the
+    /// absolute CPU cycle before which core `i` is provably inert
+    /// (`Core::next_wake`), or 0 when unknown and the core must be
+    /// ticked for real. Entries are written when a tick reports no
+    /// progress, and discarded when the event they assumed frozen
+    /// fires: a completion delivery to that core, or — for entries
+    /// flagged in `core_wake_qblocked` — any controller freeing a
+    /// queue slot (tracked by the summed release epoch).
+    core_wake: Vec<u64>,
+    /// Whether the matching `core_wake` entry assumed a full queue.
+    core_wake_qblocked: Vec<bool>,
+    /// Sum of `MemoryController::queue_release_epoch` across channels
+    /// at the last invalidation check.
+    release_epoch: u64,
+    /// Event-driven system loop enabled (`NUAT_NO_DES` unset). When
+    /// off, every core is ticked every CPU cycle as before and the
+    /// wake cache stays empty.
+    des_enabled: bool,
 }
 
 impl System {
@@ -225,11 +243,12 @@ impl<S: TraceSink> System<S> {
                 mc
             })
             .collect();
-        let cores = traces
+        let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
             .map(|(i, t)| Core::new(i, cfg.processor, t))
             .collect();
+        let n_cores = cores.len();
         System {
             cores,
             mcs,
@@ -237,6 +256,24 @@ impl<S: TraceSink> System<S> {
             cpu_now: CpuCycle::ZERO,
             completions_buf: Vec::new(),
             channel_workers: None,
+            core_wake: vec![0; n_cores],
+            core_wake_qblocked: vec![false; n_cores],
+            release_epoch: 0,
+            des_enabled: std::env::var("NUAT_NO_DES").map_or(true, |v| v.is_empty() || v == "0"),
+        }
+    }
+
+    /// Toggles the event-driven execution mode at runtime for both the
+    /// system loop (core wake calendar) and every channel controller
+    /// (`MemoryController::set_des`), overriding the `NUAT_NO_DES`
+    /// environment default. A/B correctness tests use this to compare
+    /// the event-driven and per-cycle paths in one process.
+    pub fn set_des(&mut self, enabled: bool) {
+        self.des_enabled = enabled;
+        self.core_wake.fill(0);
+        self.core_wake_qblocked.fill(false);
+        for mc in &mut self.mcs {
+            mc.set_des(enabled);
         }
     }
 
@@ -273,14 +310,73 @@ impl<S: TraceSink> System<S> {
     }
 
     /// Advances one memory-controller cycle (four CPU cycles).
+    ///
+    /// In event-driven mode each core's cached wake entry (see
+    /// `core_wake`) replaces provably-inert ticks with the exact
+    /// equivalent stall-counter bump; a tick that makes no progress
+    /// refreshes the entry from [`Core::next_wake`]. The observable
+    /// state after every step is identical to the per-cycle loop —
+    /// within a cached span a tick could only have counted one stall,
+    /// which is exactly what [`Core::advance_stalled`] does.
     pub fn step(&mut self) {
+        // Queue releases happen only inside the controller ticks at the
+        // end of a step, so checking the summed release epoch here at
+        // the top of the next step catches every slot freed since the
+        // wake entries were cached.
+        if self.des_enabled {
+            let epoch: u64 = self
+                .mcs
+                .iter()
+                .map(MemoryController::queue_release_epoch)
+                .sum();
+            if epoch != self.release_epoch {
+                self.release_epoch = epoch;
+                for (w, qb) in self
+                    .core_wake
+                    .iter_mut()
+                    .zip(self.core_wake_qblocked.iter_mut())
+                {
+                    if *qb {
+                        *w = 0;
+                        *qb = false;
+                    }
+                }
+            }
+        }
         for _ in 0..CPU_CYCLES_PER_MC_CYCLE {
-            for core in &mut self.cores {
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                // Calendar fast path: the cached bound proves this tick
+                // would change nothing but the stall counter.
+                if self.core_wake[i] > self.cpu_now.raw() {
+                    core.advance_stalled(1);
+                    continue;
+                }
                 let mut port = Port {
                     mcs: &mut self.mcs,
                     cfg: &self.cfg,
                 };
-                core.tick(self.cpu_now, &mut port);
+                let progress = core.tick(self.cpu_now, &mut port);
+                if self.des_enabled && !progress {
+                    let mcs = &self.mcs;
+                    let cfg = &self.cfg;
+                    let single = mcs.len() == 1;
+                    let (span, qb) = core.next_wake(self.cpu_now, |op, addr| {
+                        let ch = if single {
+                            0
+                        } else {
+                            cfg.dram
+                                .geometry
+                                .decode(addr, cfg.controller.mapping)
+                                .channel
+                                .index()
+                        };
+                        mcs[ch].can_accept(kind_of(op))
+                    });
+                    if span > 0 {
+                        self.core_wake[i] = self.cpu_now.raw().saturating_add(span);
+                        self.core_wake_qblocked[i] = qb;
+                    }
+                }
             }
             self.cpu_now += 1;
         }
@@ -293,6 +389,9 @@ impl<S: TraceSink> System<S> {
             for done in &buf {
                 self.cores[done.request.core]
                     .complete_read(token(done.request.id.0, ch, channels), self.cpu_now);
+                // The wake entry assumed no delivery; recompute next step.
+                self.core_wake[done.request.core] = 0;
+                self.core_wake_qblocked[done.request.core] = false;
             }
         }
         self.completions_buf = buf;
@@ -327,20 +426,29 @@ impl<S: TraceSink> System<S> {
         }
         let mut cpu_span = u64::MAX;
         let single = self.mcs.len() == 1;
-        for core in &self.cores {
-            cpu_span = cpu_span.min(core.quiescent_cycles(self.cpu_now, |op, addr| {
-                let ch = if single {
-                    0
-                } else {
-                    self.cfg
-                        .dram
-                        .geometry
-                        .decode(addr, self.cfg.controller.mapping)
-                        .channel
-                        .index()
-                };
-                self.mcs[ch].can_accept(kind_of(op))
-            }));
+        for (i, core) in self.cores.iter().enumerate() {
+            // Reuse the calendar entry when it is still live: entries
+            // that assumed a full queue are excluded because a release
+            // since caching could have shortened them (the live
+            // `can_accept` probe below is always exact).
+            let cached = if self.core_wake[i] > self.cpu_now.raw() && !self.core_wake_qblocked[i] {
+                self.core_wake[i] - self.cpu_now.raw()
+            } else {
+                core.quiescent_cycles(self.cpu_now, |op, addr| {
+                    let ch = if single {
+                        0
+                    } else {
+                        self.cfg
+                            .dram
+                            .geometry
+                            .decode(addr, self.cfg.controller.mapping)
+                            .channel
+                            .index()
+                    };
+                    self.mcs[ch].can_accept(kind_of(op))
+                })
+            };
+            cpu_span = cpu_span.min(cached);
             if cpu_span < CPU_CYCLES_PER_MC_CYCLE {
                 return 0;
             }
@@ -488,6 +596,10 @@ impl<S: TraceSink> System<S> {
         let channels = self.mcs.len();
         let cfg = &self.cfg;
         let cores = &mut self.cores;
+        let des = self.des_enabled;
+        let core_wake = &mut self.core_wake;
+        let core_wake_qblocked = &mut self.core_wake_qblocked;
+        let mut release_epoch = self.release_epoch;
         let cells: Vec<Mutex<&mut MemoryController<S>>> =
             self.mcs.iter_mut().map(Mutex::new).collect();
         let lock = |ch: usize| {
@@ -554,16 +666,23 @@ impl<S: TraceSink> System<S> {
                     if mc_span > 0 {
                         let mut cpu_span = u64::MAX;
                         let mut inert = true;
-                        for core in cores.iter() {
-                            cpu_span = cpu_span.min(core.quiescent_cycles(cpu_now, |op, addr| {
-                                let ch = cfg
-                                    .dram
-                                    .geometry
-                                    .decode(addr, cfg.controller.mapping)
-                                    .channel
-                                    .index();
-                                lock(ch).can_accept(kind_of(op))
-                            }));
+                        for (i, core) in cores.iter().enumerate() {
+                            // Calendar reuse, as in `quiescent_steps`:
+                            // queue-blocked entries always re-probe.
+                            let c = if core_wake[i] > cpu_now.raw() && !core_wake_qblocked[i] {
+                                core_wake[i] - cpu_now.raw()
+                            } else {
+                                core.quiescent_cycles(cpu_now, |op, addr| {
+                                    let ch = cfg
+                                        .dram
+                                        .geometry
+                                        .decode(addr, cfg.controller.mapping)
+                                        .channel
+                                        .index();
+                                    lock(ch).can_accept(kind_of(op))
+                                })
+                            };
+                            cpu_span = cpu_span.min(c);
                             if cpu_span < CPU_CYCLES_PER_MC_CYCLE {
                                 inert = false;
                                 break;
@@ -584,11 +703,44 @@ impl<S: TraceSink> System<S> {
                     continue;
                 }
                 // One step: CPU subcycles on main, ticks on the workers,
-                // completion drain back on main in channel order.
+                // completion drain back on main in channel order. Wake
+                // entries work exactly as in the sequential `step`;
+                // the epoch probe locks each (uncontended) cell once.
+                if des {
+                    let epoch: u64 = (0..channels).map(|ch| lock(ch).queue_release_epoch()).sum();
+                    if epoch != release_epoch {
+                        release_epoch = epoch;
+                        for (w, qb) in core_wake.iter_mut().zip(core_wake_qblocked.iter_mut()) {
+                            if *qb {
+                                *w = 0;
+                                *qb = false;
+                            }
+                        }
+                    }
+                }
                 for _ in 0..CPU_CYCLES_PER_MC_CYCLE {
-                    for core in cores.iter_mut() {
+                    for (i, core) in cores.iter_mut().enumerate() {
+                        if core_wake[i] > cpu_now.raw() {
+                            core.advance_stalled(1);
+                            continue;
+                        }
                         let mut port = ShardedPort { cells: &cells, cfg };
-                        core.tick(cpu_now, &mut port);
+                        let progress = core.tick(cpu_now, &mut port);
+                        if des && !progress {
+                            let (span, qb) = core.next_wake(cpu_now, |op, addr| {
+                                let ch = cfg
+                                    .dram
+                                    .geometry
+                                    .decode(addr, cfg.controller.mapping)
+                                    .channel
+                                    .index();
+                                lock(ch).can_accept(kind_of(op))
+                            });
+                            if span > 0 {
+                                core_wake[i] = cpu_now.raw().saturating_add(span);
+                                core_wake_qblocked[i] = qb;
+                            }
+                        }
                     }
                     cpu_now += 1;
                 }
@@ -601,6 +753,8 @@ impl<S: TraceSink> System<S> {
                     for done in &buf {
                         cores[done.request.core]
                             .complete_read(token(done.request.id.0, ch, channels), cpu_now);
+                        core_wake[done.request.core] = 0;
+                        core_wake_qblocked[done.request.core] = false;
                     }
                 }
                 if !warm {
@@ -656,6 +810,7 @@ impl<S: TraceSink> System<S> {
         });
         self.cpu_now = cpu_now;
         self.completions_buf = buf;
+        self.release_epoch = release_epoch;
     }
 
     /// Aggregates the finished run into a [`SimResult`]. Multi-channel

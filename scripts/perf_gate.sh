@@ -96,6 +96,33 @@ while read -r key base; do
 done <<< "$base_rates"
 
 [ "$checked" -gt 0 ] || { echo "perf_gate: no cells compared" >&2; exit 1; }
+
+# Depth-droop gate: the interleaved depth-64-vs-256 gap (the one
+# drift-cancelled number in the file) must stay at or below the 5%
+# target, or — while the residual L1-capacity droop keeps the honest
+# value above that — within NUAT_DROOP_SLACK points (default 3) of the
+# committed baseline gap, so the gap can only ratchet down.
+droop_gap() {
+    awk '/"depth_droop"|"mode": "interleaved"/ {
+        if (match($0, /"gap_percent": -?[0-9.]+/))
+            { print substr($0, RSTART + 15, RLENGTH - 15); exit }
+    }' "$1"
+}
+base_gap=$(droop_gap "$BASELINE")
+fresh_gap=$(droop_gap "$fresh_json")
+if [ -n "$base_gap" ] && [ -n "$fresh_gap" ]; then
+    slack="${NUAT_DROOP_SLACK:-3}"
+    if awk -v f="$fresh_gap" -v b="$base_gap" -v s="$slack" \
+        'BEGIN { cap = b + s; if (5.0 > cap) cap = 5.0; exit !(f <= cap) }'; then
+        echo "perf_gate: depth_droop ok (gap ${fresh_gap}% vs baseline ${base_gap}%, slack ${slack})"
+    else
+        echo "perf_gate: FAIL depth_droop gap ${fresh_gap}% exceeds baseline ${base_gap}% + ${slack} (and the 5% target)" >&2
+        fail=1
+    fi
+else
+    echo "perf_gate: depth_droop row missing (baseline: '${base_gap:-none}', fresh: '${fresh_gap:-none}')" >&2
+    fail=1
+fi
 if [ "$fail" -ne 0 ]; then
     printf '%b' "$regressions" >&2
     echo "perf_gate: FAIL — cells regressed below ${TOLERANCE}x of baseline (full table above)" >&2

@@ -11,14 +11,23 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo build --release
 cargo test -q
-# Replay the determinism goldens once under forced channel sharding:
-# a worker-per-channel run must be byte-identical to the sequential
-# loop (DESIGN.md §7 "Channel sharding").
+# Replay the determinism goldens once under forced channel sharding.
+# The event calendar is on by default, so this is also the
+# DES + sharded-barrier replay: workers rendezvous on calendar time
+# and must be byte-identical to the sequential loop (DESIGN.md §7
+# "Channel sharding" / "Unified event calendar").
 NUAT_CHANNEL_JOBS=4 cargo test -q -p nuat-sim --test determinism_guard
+# ... once with the unified event calendar disabled: the per-cycle
+# stepping fallback must produce the same bytes (DESIGN.md §7
+# "Unified event calendar").
+NUAT_NO_DES=1 cargo test -q -p nuat-sim --test determinism_guard
 # ... and once with the ready-set wheel disabled: the legacy full-bank
 # scan must produce the same bytes (DESIGN.md §7 "Incremental ready-set
-# scheduling").
+# scheduling"). Composed with NUAT_NO_DES this is the fully legacy
+# loop; the wheel-off case alone also covers the calendar's
+# wheel-gated controller side.
 NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
+NUAT_NO_DES=1 NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
 smoke_dir=$(mktemp -d)

@@ -101,3 +101,59 @@ fn config_rejects_excessive_postpone_budget() {
         "DDR3 permits at most 8 postponed REFs"
     );
 }
+
+/// PR-8 satellite: the event wheel's lazy-deletion overflow heap must
+/// stay `O(live entries)` on long refresh-heavy runs. Every tREFI the
+/// rank markers re-key (a far-future key lands in the overflow heap and
+/// the superseded one rots in place), so an unbounded heap would grow
+/// by one slot per refresh forever; the stale-majority compaction in
+/// `wheel.rs` caps it at twice the live population. The wheel holds one
+/// live slot per bank plus one rank marker each, so the bound below is
+/// `2 x (banks + ranks)` with one slack slot for a just-pushed key.
+#[test]
+fn wheel_overflow_heap_stays_bounded_on_refresh_heavy_run() {
+    use nuat_core::{MemoryController, RequestKind};
+    let cfg = SystemConfig::default();
+    let g = cfg.dram.geometry;
+    let live = (g.ranks_per_channel * g.banks_per_rank + g.ranks_per_channel) as usize;
+    let mut mc = MemoryController::new(cfg, SchedulerKind::Nuat);
+
+    // A sparse read trickle (one request every ~4k cycles, far below
+    // one per tREFI) keeps bank re-keys flowing without ever letting
+    // demand mask the refresh cadence that churns the heap.
+    let mut i = 0u32;
+    while mc.now().raw() < 2_000_000 {
+        if mc.can_accept(RequestKind::Read) {
+            let addr = g
+                .encode(
+                    nuat_types::DecodedAddr {
+                        channel: nuat_types::Channel::new(0),
+                        rank: Rank::new(i % g.ranks_per_channel as u32),
+                        bank: nuat_types::Bank::new(i % g.banks_per_rank as u32),
+                        row: nuat_types::Row::new(i % 512),
+                        col: nuat_types::Col::new(i % 64),
+                    },
+                    nuat_types::AddressMapping::OpenPageBaseline,
+                )
+                .unwrap();
+            mc.enqueue(0, RequestKind::Read, addr);
+        }
+        mc.run_for(4_096);
+        i += 1;
+        assert!(
+            mc.wheel_overflow_len() <= 2 * live + 1,
+            "overflow heap holds {} slots for {} wheel entries at cycle {} — \
+             compaction is not keeping the heap O(live)",
+            mc.wheel_overflow_len(),
+            live,
+            mc.now().raw()
+        );
+    }
+    // ~40 batches at the default 50k-cycle batch interval: each one
+    // re-keys its rank marker (plus a whole-rank sweep), so the heap
+    // saw hundreds of far-future pushes while staying bounded above.
+    assert!(
+        mc.refresh_engine(Rank::new(0)).batches_done() >= 30,
+        "run was not refresh-heavy enough to exercise the heap"
+    );
+}
