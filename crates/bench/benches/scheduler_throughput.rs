@@ -354,13 +354,41 @@ fn emit_machine_readable() {
     append_history(&entries);
 }
 
+/// Best-effort host fingerprint for `BENCH_history.jsonl` entries: CPU
+/// model, logical CPU count, and the cpufreq governor when readable.
+/// Throughput numbers from different machines (or the same machine in a
+/// different power state) are not comparable; the fingerprint lets the
+/// trajectory log be filtered to like-for-like rows.
+fn host_fingerprint() -> String {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let nproc = std::thread::available_parallelism().map_or(0, usize::from);
+    let governor = std::fs::read_to_string("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    format!(
+        "{{\"cpu\": \"{}\", \"nproc\": {nproc}, \"governor\": \"{}\"}}",
+        escape(&cpu),
+        escape(&governor)
+    )
+}
+
 /// Appends this run to `BENCH_history.jsonl` — one JSON object per
 /// line, carrying a unix timestamp, the current commit (when git is
-/// available) and every result row — so the perf trajectory across
-/// commits is a queryable log, not just the latest snapshot that
-/// `BENCH_scheduler.json` overwrites. `NUAT_BENCH_HISTORY=<path>`
-/// redirects the log; the perf gate points it at a scratch file so
-/// trial runs don't pollute the committed trajectory.
+/// available), a host fingerprint and every result row — so the perf
+/// trajectory across commits is a queryable log, not just the latest
+/// snapshot that `BENCH_scheduler.json` overwrites.
+/// `NUAT_BENCH_HISTORY=<path>` redirects the log; the perf gate points
+/// it at a scratch file so trial runs don't pollute the committed
+/// trajectory.
 fn append_history(entries: &[String]) {
     use std::io::Write;
     let path = match std::env::var("NUAT_BENCH_HISTORY") {
@@ -382,7 +410,8 @@ fn append_history(entries: &[String]) {
     // indentation for the pretty snapshot) — strip the indent and join.
     let rows: Vec<String> = entries.iter().map(|e| e.trim().to_string()).collect();
     let line = format!(
-        "{{\"unix_time\": {unix}, \"commit\": \"{commit}\", \"results\": [{}]}}\n",
+        "{{\"unix_time\": {unix}, \"commit\": \"{commit}\", \"host\": {}, \"results\": [{}]}}\n",
+        host_fingerprint(),
         rows.join(", ")
     );
     match std::fs::OpenOptions::new()

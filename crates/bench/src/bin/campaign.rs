@@ -10,6 +10,10 @@
 //! added, writing its epoch time-series (one sample every N memory
 //! cycles) to `nuat_comm3_timeseries.csv` — see the `trace_study` bin
 //! for the full trace-artifact stack.
+//!
+//! With `--metrics PATH`, a metrics-attached NUAT run on comm3 is added,
+//! writing `PATH` (Prometheus text format) and `PATH.jsonl` and printing
+//! the end-of-run health report.
 
 use nuat_bench::{quick_requested, run_config_from_args};
 use nuat_circuit::{BinningProcess, DeviceSample, EccSupport, Fig9Report, PbGrouping};
@@ -128,6 +132,30 @@ fn main() -> std::io::Result<()> {
             "nuat_comm3_timeseries.csv",
             String::from_utf8(csv.into_inner()).expect("CSV is ASCII"),
         )?;
+    }
+
+    if let Some(path) = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--metrics")
+            .and_then(|i| args.get(i + 1).cloned())
+    } {
+        eprintln!("[extra] metrics-attached NUAT run on comm3");
+        let interval = sample_interval().unwrap_or(10_000);
+        let (_result, _sinks, recorders) = nuat_sim::run_mix_instrumented(
+            &[nuat_workloads::by_name("comm3").expect("comm3 exists")],
+            nuat_core::SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            &rc,
+            vec![nuat_obs::NullSink],
+            vec![nuat_obs::MetricsRecorder::with_sample_interval(interval)],
+            None,
+        );
+        eprintln!("  -> {path}");
+        fs::write(&path, nuat_obs::prometheus_text(&recorders))?;
+        eprintln!("  -> {path}.jsonl");
+        fs::write(format!("{path}.jsonl"), nuat_obs::jsonl_lines(&recorders))?;
+        print!("{}", nuat_obs::health_report(&recorders));
     }
 
     eprintln!("[6/6] done — see {}", dir.display());

@@ -11,9 +11,18 @@
 //! `--compare B` interleaves depth `--depth` and depth `B` in
 //! millisecond slices on one thread and reports the drift-cancelled
 //! wall-time ratio (see `saturated_compare_depths`).
+//!
+//! `--metrics PATH` additionally runs one metrics-attached channel at
+//! the same scheduler/depth/cycles, asserts that every registry counter
+//! reconciles exactly with the controller's own statistics (the same
+//! totals `BENCH_scheduler.json` records), writes `PATH` (Prometheus
+//! text) and `PATH.jsonl`, and prints the health report.
 
-use nuat_bench::{saturated_compare_depths, saturated_run_channels, saturated_run_controller};
+use nuat_bench::{
+    saturated_compare_depths, saturated_run_channels, saturated_run_controller, SaturatedDriver,
+};
 use nuat_core::SchedulerKind;
+use nuat_obs::{health_report, jsonl_lines, prometheus_text, Counter, MetricsRecorder};
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -76,5 +85,67 @@ fn main() {
             mc.full_ticks(),
             mc.wheel_overflow_len(),
         );
+    }
+    if let Some(path) = std::env::args()
+        .collect::<Vec<_>>()
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| std::env::args().nth(i + 1))
+    {
+        let mut drv = SaturatedDriver::with_metrics(
+            kind,
+            depth,
+            0,
+            MetricsRecorder::with_sample_interval(cycles / 64),
+        );
+        drv.step_to(cycles);
+        let mc = drv.into_controller();
+        let skipped = mc.cycles_skipped();
+        let ticks = mc.full_ticks();
+        let stats = mc.stats().clone();
+        let (_, rec) = mc.into_instrumentation();
+        // Every total the bench JSON records must reconcile exactly with
+        // the registry's own accounting — same run, two ledgers.
+        assert_eq!(
+            rec.counter(Counter::SkipBusyCycles),
+            skipped,
+            "skipped cycles"
+        );
+        assert_eq!(rec.counter(Counter::TickCycles), ticks, "full ticks");
+        assert_eq!(
+            rec.counter(Counter::CmdActivate),
+            stats.acts_for_reads + stats.acts_for_writes,
+            "activates"
+        );
+        assert_eq!(
+            rec.counter(Counter::CmdRead),
+            stats.cols_read,
+            "column reads"
+        );
+        assert_eq!(
+            rec.counter(Counter::CmdWrite),
+            stats.cols_write,
+            "column writes"
+        );
+        assert_eq!(
+            rec.counter(Counter::CmdRefresh),
+            stats.refreshes,
+            "refreshes"
+        );
+        assert_eq!(
+            rec.counter(Counter::CmdPrecharge),
+            stats.precharges,
+            "precharges"
+        );
+        assert_eq!(rec.counter(Counter::ReadsCompleted), stats.reads_completed);
+        assert_eq!(rec.counter(Counter::WritesDrained), stats.writes_drained);
+        let recs = [rec];
+        std::fs::write(&path, prometheus_text(&recs)).expect("write metrics");
+        std::fs::write(format!("{path}.jsonl"), jsonl_lines(&recs)).expect("write metrics jsonl");
+        println!("metrics reconciled exactly with controller statistics");
+        println!("  -> {path} (Prometheus text format)");
+        println!("  -> {path}.jsonl (JSONL)");
+        println!();
+        print!("{}", health_report(&recs));
     }
 }

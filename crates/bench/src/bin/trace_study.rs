@@ -13,16 +13,27 @@
 //! the end-of-run controller and device statistics — the exported time
 //! series and the simulator's own accounting must agree exactly.
 //!
+//! With `--metrics <path>` the run also carries the self-profiling
+//! metrics registry (phase wall-time attribution, wheel health, skip
+//! effectiveness, queue pressure) and writes `<path>` (Prometheus text
+//! format), `<path>.jsonl` (one JSON object per channel), merges the
+//! sampled counter tracks into `trace.json`, and prints the
+//! human-readable health report to stdout.
+//!
 //! ```sh
 //! cargo run --release -p nuat-bench --bin trace_study -- \
 //!     [--quick] [--workload comm3] [--scheduler nuat] \
-//!     [--sample-interval 10000] [--out results/trace]
+//!     [--sample-interval 10000] [--out results/trace] \
+//!     [--metrics results/trace/metrics.prom]
 //! ```
 
 use nuat_bench::run_config_from_args;
 use nuat_core::SchedulerKind;
-use nuat_obs::{ChromeTraceConfig, ChromeTraceSink, CsvTimeSeries, JsonlSink, Tee};
-use nuat_sim::run_mix_traced;
+use nuat_obs::{
+    health_report, jsonl_lines, prometheus_text, ChromeTraceConfig, ChromeTraceSink, Counter,
+    CsvTimeSeries, JsonlSink, MetricsRecorder, Tee,
+};
+use nuat_sim::{run_mix_instrumented, run_mix_traced};
 use nuat_types::SystemConfig;
 use nuat_workloads::by_name;
 use std::fs::{self, File};
@@ -86,14 +97,28 @@ fn main() -> std::io::Result<()> {
         "tracing {workload} under {scheduler:?}: {} mem ops, epoch every {interval} cycles",
         rc.mem_ops_per_core
     );
-    let (result, mut sinks) = run_mix_traced(
-        &[spec],
-        scheduler,
-        nuat_circuit::PbGrouping::paper(5),
-        &rc,
-        vec![sink],
-        Some(interval),
-    );
+    let metrics_path = arg_value("--metrics").map(PathBuf::from);
+    let (result, mut sinks, recorders) = if metrics_path.is_some() {
+        run_mix_instrumented(
+            &[spec],
+            scheduler,
+            nuat_circuit::PbGrouping::paper(5),
+            &rc,
+            vec![sink],
+            vec![MetricsRecorder::with_sample_interval(interval)],
+            Some(interval),
+        )
+    } else {
+        let (result, sinks) = run_mix_traced(
+            &[spec],
+            scheduler,
+            nuat_circuit::PbGrouping::paper(5),
+            &rc,
+            vec![sink],
+            Some(interval),
+        );
+        (result, sinks, Vec::new())
+    };
     let Tee(_jsonl, Tee(_chrome, csv)) = sinks.remove(0);
 
     // The exported time series must agree exactly with the simulator's
@@ -125,6 +150,34 @@ fn main() -> std::io::Result<()> {
         chrome_text.matches('}').count(),
         "unbalanced braces in Chrome trace"
     );
+
+    if let Some(mpath) = &metrics_path {
+        let rec = &recorders[0];
+        // The metrics registry keeps its own command/skip accounting;
+        // it must reconcile exactly with the controller statistics.
+        assert_eq!(
+            rec.counter(Counter::ReadsCompleted),
+            result.stats.reads_completed
+        );
+        assert_eq!(
+            rec.counter(Counter::WritesDrained),
+            result.stats.writes_drained
+        );
+        assert_eq!(rec.counter(Counter::CmdRefresh), result.stats.refreshes);
+        assert_eq!(rec.counter(Counter::CmdPrecharge), result.stats.precharges);
+        assert_eq!(rec.counter(Counter::SkipBusyCycles), result.cycles_skipped);
+        fs::write(mpath, prometheus_text(&recorders))?;
+        let jsonl = mpath.with_extension(mpath.extension().map_or_else(
+            || "jsonl".to_string(),
+            |e| format!("{}.jsonl", e.to_string_lossy()),
+        ));
+        fs::write(&jsonl, jsonl_lines(&recorders))?;
+        println!("metrics counters reconciled against end-of-run statistics");
+        println!("  -> {} (Prometheus text format)", mpath.display());
+        println!("  -> {} (JSONL)", jsonl.display());
+        println!();
+        print!("{}", health_report(&recorders));
+    }
 
     println!(
         "completed: {} reads, {} writes in {} mc cycles ({} skipped)",

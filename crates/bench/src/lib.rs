@@ -78,8 +78,8 @@ pub fn saturated_run_controller(
 /// speed, alternating small slices subjects both configurations to the
 /// same drift, so the wall-time *ratio* stays meaningful when absolute
 /// rates are noise.
-pub struct SaturatedDriver {
-    mc: nuat_core::MemoryController,
+pub struct SaturatedDriver<M: nuat_obs::MetricsSink = nuat_obs::NullMetrics> {
+    mc: nuat_core::MemoryController<nuat_obs::NullSink, M>,
     state: u64,
     done: Vec<nuat_core::Completion>,
 }
@@ -89,6 +89,22 @@ impl SaturatedDriver {
     /// (write-drain watermarks scaled proportionally). `seed_salt`
     /// decorrelates concurrent channels' address streams.
     pub fn new(kind: nuat_core::SchedulerKind, depth: usize, seed_salt: u64) -> Self {
+        Self::with_metrics(kind, depth, seed_salt, nuat_obs::NullMetrics)
+    }
+}
+
+impl<M: nuat_obs::MetricsSink> SaturatedDriver<M> {
+    /// [`new`](SaturatedDriver::new) with a metrics sink riding the
+    /// controller — the saturated loop is identical (metrics observe,
+    /// they never influence), so the command stream and final cycle
+    /// count are byte-identical to the [`nuat_obs::NullMetrics`] driver.
+    pub fn with_metrics(
+        kind: nuat_core::SchedulerKind,
+        depth: usize,
+        seed_salt: u64,
+        metrics: M,
+    ) -> Self {
+        use nuat_circuit::PbGrouping;
         use nuat_types::SystemConfig;
         let mut cfg = SystemConfig::default();
         cfg.controller.read_queue_capacity = depth;
@@ -96,7 +112,13 @@ impl SaturatedDriver {
         cfg.controller.write_high_watermark = depth * 40 / 64;
         cfg.controller.write_low_watermark = depth * 20 / 64;
         SaturatedDriver {
-            mc: nuat_core::MemoryController::new(cfg, kind),
+            mc: nuat_core::MemoryController::with_instrumentation(
+                cfg,
+                kind,
+                PbGrouping::paper(5),
+                nuat_obs::NullSink,
+                metrics,
+            ),
             state: 0x9e3779b97f4a7c15u64
                 ^ ((depth as u64) << 1)
                 ^ seed_salt.wrapping_mul(0xff51afd7ed558ccd),
@@ -152,7 +174,7 @@ impl SaturatedDriver {
     }
 
     /// Consumes the driver, yielding the controller and its statistics.
-    pub fn into_controller(self) -> nuat_core::MemoryController {
+    pub fn into_controller(self) -> nuat_core::MemoryController<nuat_obs::NullSink, M> {
         self.mc
     }
 }

@@ -31,7 +31,10 @@ use nuat_dram::{
     BankGates, BankLanes, BankState, DramCommand, DramDevice, RankTimingView, RefreshEngine,
     IDLE_ROW,
 };
-use nuat_obs::{EpochCadence, EpochSample, NullSink, TraceEvent, TraceSink};
+use nuat_obs::{
+    Counter, EpochCadence, EpochSample, Hist, MetricsSink, NullMetrics, NullSink, TraceEvent,
+    TraceSink,
+};
 use nuat_types::{Bank, McCycle, PhysAddr, Rank, Row, SystemConfig};
 
 /// A read request whose data has returned.
@@ -107,17 +110,38 @@ struct TickScratch {
     cand_horizon: u64,
 }
 
+/// Starts a wall-clock phase timer — `None` (and no clock read) unless
+/// the metrics sink is enabled, so the uninstrumented hot path never
+/// touches `Instant`.
+#[inline(always)]
+fn phase_start<M: MetricsSink>() -> Option<std::time::Instant> {
+    if M::ENABLED {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Credits the elapsed wall time since `t0` to phase counter `c`.
+#[inline(always)]
+fn phase_end<M: MetricsSink>(metrics: &mut M, c: Counter, t0: Option<std::time::Instant>) {
+    if let Some(t) = t0 {
+        metrics.add(c, t.elapsed().as_nanos() as u64);
+    }
+}
+
 /// One channel's memory controller. See the module docs.
 ///
 /// The controller is generic over a [`TraceSink`] receiving structured
-/// instrumentation events; the default [`NullSink`] compiles every
-/// emission site out (static dispatch on a zero-sized type whose
-/// `ENABLED` flag is `false`), so an uninstrumented controller is
-/// bit-identical — in behaviour *and* speed — to one with no
-/// instrumentation at all. Sinks observe and never influence the
-/// simulation.
+/// instrumentation events and a [`MetricsSink`] receiving counter /
+/// histogram increments; the defaults ([`NullSink`] / [`NullMetrics`])
+/// compile every emission site out (static dispatch on zero-sized
+/// types whose `ENABLED` flags are `false`), so an uninstrumented
+/// controller is bit-identical — in behaviour *and* speed — to one
+/// with no instrumentation at all. Sinks and metrics observe and never
+/// influence the simulation.
 #[derive(Debug)]
-pub struct MemoryController<S: TraceSink = NullSink> {
+pub struct MemoryController<S: TraceSink = NullSink, M: MetricsSink = NullMetrics> {
     cfg: SystemConfig,
     device: DramDevice,
     queues: RequestQueues,
@@ -187,6 +211,11 @@ pub struct MemoryController<S: TraceSink = NullSink> {
     /// The instrumentation sink. [`NullSink`] by default; see the type
     /// docs.
     sink: S,
+    /// The metrics sink. [`NullMetrics`] by default; see the type docs.
+    metrics: M,
+    /// Requests accepted since the last full tick (feeds the
+    /// enqueue-batch histogram). Only maintained while `M::ENABLED`.
+    enq_since_tick: u32,
     /// Quiet-span coalescer `(from, cycles, busy)`: consecutive skipped
     /// cycles of the same kind merge into one [`TraceEvent::QuietSpan`],
     /// flushed when a real tick (or any stamped event) interrupts the
@@ -212,7 +241,7 @@ impl MemoryController {
     pub fn with_grouping(cfg: SystemConfig, kind: SchedulerKind, grouping: PbGrouping) -> Self {
         let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         let policy = kind.build(&pbr, &cfg.dram.timings);
-        Self::from_parts(cfg, policy, pbr, NullSink)
+        Self::from_parts(cfg, policy, pbr, NullSink, NullMetrics)
     }
 
     /// Builds a controller around a caller-supplied scheduling policy.
@@ -230,7 +259,7 @@ impl MemoryController {
         grouping: PbGrouping,
     ) -> Self {
         let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
-        Self::from_parts(cfg, policy, pbr, NullSink)
+        Self::from_parts(cfg, policy, pbr, NullSink, NullMetrics)
     }
 }
 
@@ -250,9 +279,28 @@ impl<S: TraceSink> MemoryController<S> {
         grouping: PbGrouping,
         sink: S,
     ) -> Self {
+        MemoryController::with_instrumentation(cfg, kind, grouping, sink, NullMetrics)
+    }
+}
+
+impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
+    /// Builds a fully-instrumented controller: structured events flow
+    /// into `sink`, counters and histograms into `metrics`. Either side
+    /// can be the null implementation, which compiles its half out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_instrumentation(
+        cfg: SystemConfig,
+        kind: SchedulerKind,
+        grouping: PbGrouping,
+        sink: S,
+        metrics: M,
+    ) -> Self {
         let pbr = PbrAcquisition::new(grouping, cfg.dram.geometry.rows_per_bank, &cfg.dram.timings);
         let policy = kind.build(&pbr, &cfg.dram.timings);
-        Self::from_parts(cfg, policy, pbr, sink)
+        Self::from_parts(cfg, policy, pbr, sink, metrics)
     }
 
     /// Shared constructor tail: both public builders used to construct
@@ -263,6 +311,7 @@ impl<S: TraceSink> MemoryController<S> {
         mut policy: Box<dyn SchedulerPolicy>,
         mut pbr: PbrAcquisition,
         sink: S,
+        metrics: M,
     ) -> Self {
         cfg.validate().expect("invalid system config");
         let mut device = DramDevice::new(cfg.dram);
@@ -314,6 +363,8 @@ impl<S: TraceSink> MemoryController<S> {
             full_ticks: 0,
             cycles_skipped: 0,
             sink,
+            metrics,
+            enq_since_tick: 0,
             quiet_acc: None,
             sampler: None,
             cfg,
@@ -356,7 +407,17 @@ impl<S: TraceSink> MemoryController<S> {
                 self.sink.on_epoch(&s);
             }
         }
+        if M::ENABLED {
+            self.refresh_wheel_gauges();
+            self.metrics.flush(self.now.raw());
+            if S::ENABLED {
+                if let Some(rec) = self.metrics.recorder() {
+                    self.sink.on_metrics(rec);
+                }
+            }
+        }
         self.sink.finish();
+        self.metrics.finish();
     }
 
     /// Finishes the trace (see [`finish_trace`](Self::finish_trace)) and
@@ -364,6 +425,39 @@ impl<S: TraceSink> MemoryController<S> {
     pub fn into_sink(mut self) -> S {
         self.finish_trace();
         self.sink
+    }
+
+    /// Finishes the trace and returns both instrumentation halves,
+    /// consuming the controller.
+    pub fn into_instrumentation(mut self) -> (S, M) {
+        self.finish_trace();
+        (self.sink, self.metrics)
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// The metrics sink, mutably (system loops credit completion-drain
+    /// phase time here).
+    pub fn metrics_mut(&mut self) -> &mut M {
+        &mut self.metrics
+    }
+
+    /// Copies the wheel's current health accounting into the metric
+    /// gauges (overflow length, stale estimate, live entries,
+    /// compaction count). Called at sample boundaries and at
+    /// end-of-run.
+    fn refresh_wheel_gauges(&mut self) {
+        self.metrics
+            .set_gauge(Counter::WheelOverflowLen, self.wheel.overflow_len() as u64);
+        self.metrics
+            .set_gauge(Counter::WheelStale, self.wheel.stale_estimate() as u64);
+        self.metrics
+            .set_gauge(Counter::WheelLive, self.wheel.live_entries() as u64);
+        self.metrics
+            .set_gauge(Counter::WheelCompactions, self.wheel.compactions());
     }
 
     /// Emits the quiet span accumulated so far, if any.
@@ -505,6 +599,9 @@ impl<S: TraceSink> MemoryController<S> {
                 self.queues.total_banks() + self.cfg.dram.geometry.ranks_per_channel as usize;
             for e in 0..entries as u32 {
                 self.wheel.rekey(e, self.now.raw());
+            }
+            if M::ENABLED {
+                self.metrics.add(Counter::WheelRekeys, entries as u64);
             }
         } else {
             // The legacy per-bank gate cache was not refreshed while
@@ -659,6 +756,15 @@ impl<S: TraceSink> MemoryController<S> {
             addr,
             arrival: self.now,
         });
+        if M::ENABLED {
+            self.enq_since_tick += 1;
+            self.metrics.add(Counter::EnqueuedRequests, 1);
+            self.metrics
+                .observe(Hist::QueueDepth, u64::from(self.queues.bank_len(key)));
+            let (r_occ, w_occ) = self.queues.occupancy();
+            self.metrics
+                .lift_max(Counter::SlabHighWater, (r_occ + w_occ) as u64);
+        }
         if !des {
             // Tick/skip fallback: arrival is one of the two events that
             // can make a bank actionable *earlier* than its wheel key
@@ -668,6 +774,9 @@ impl<S: TraceSink> MemoryController<S> {
             self.busy_horizon = None;
             if self.wheel_enabled {
                 self.wheel.rekey(key as u32, self.now.raw());
+                if M::ENABLED {
+                    self.metrics.add(Counter::WheelRekeys, 1);
+                }
             }
             return id;
         }
@@ -691,6 +800,9 @@ impl<S: TraceSink> MemoryController<S> {
         {
             self.busy_horizon = None;
             self.wheel.rekey(key as u32, self.now.raw());
+            if M::ENABLED {
+                self.metrics.add(Counter::WheelRekeys, 1);
+            }
             return id;
         }
         // An arrival leaves the bank's key valid unless it was the
@@ -722,6 +834,13 @@ impl<S: TraceSink> MemoryController<S> {
         let lanes = self.device.bank_lanes(rank);
         let k = self.bank_key(key, bi, pending, &rt, &lanes);
         self.wheel.rekey(key as u32, k);
+        if M::ENABLED {
+            self.metrics.add(Counter::WheelRekeys, 1);
+            if k != PARKED {
+                self.metrics
+                    .observe(Hist::WheelSlack, k.saturating_sub(self.now.raw()));
+            }
+        }
         self.busy_horizon = self.busy_horizon.map(|h| h.min(k));
         id
     }
@@ -773,6 +892,10 @@ impl<S: TraceSink> MemoryController<S> {
         if S::ENABLED {
             self.sample_epochs();
         }
+        if M::ENABLED && self.metrics.sample_due(self.now.raw()) {
+            self.refresh_wheel_gauges();
+            self.metrics.sample(self.now.raw());
+        }
         if self.wheel_enabled {
             // Incremental path: fold this tick's observations back into
             // the wheel — exact keys for every entry the tick touched,
@@ -780,12 +903,16 @@ impl<S: TraceSink> MemoryController<S> {
             // becomes an O(1) peek. Crucially it is valid after *acting*
             // ticks too: the legacy path pays a full no-op enumeration
             // tick after every issue just to learn the next horizon.
+            let t0 = phase_start::<M>();
             self.post_tick_rekey(&mut scratch, issued);
+            phase_end(&mut self.metrics, Counter::PhaseRekeyNanos, t0);
+            let t0 = phase_start::<M>();
             self.busy_horizon = if self.skip_enabled {
                 Some(self.next_busy_event_cycle_wheel(&mut scratch))
             } else {
                 None
             };
+            phase_end(&mut self.metrics, Counter::PhaseHorizonNanos, t0);
         } else {
             // A tick that issued nothing is the start of a dead span:
             // pay for one horizon computation now so the span's
@@ -793,11 +920,13 @@ impl<S: TraceSink> MemoryController<S> {
             // under `run_for`). After an issuing tick the horizon is
             // left unknown — dense phases then never pay for horizons
             // they would not use.
+            let t0 = phase_start::<M>();
             self.busy_horizon = if self.skip_enabled && issued.is_none() {
                 Some(self.next_busy_event_cycle(&mut scratch))
             } else {
                 None
             };
+            phase_end(&mut self.metrics, Counter::PhaseHorizonNanos, t0);
         }
         self.scratch = scratch;
     }
@@ -809,6 +938,12 @@ impl<S: TraceSink> MemoryController<S> {
         self.policy.on_cycle();
         self.stats.total_cycles += 1;
         self.full_ticks += 1;
+        if M::ENABLED {
+            self.metrics.add(Counter::TickCycles, 1);
+            self.metrics
+                .observe(Hist::EnqueueBatch, u64::from(self.enq_since_tick));
+            self.enq_since_tick = 0;
+        }
 
         if let Some(threshold) = self.stall_debug {
             if !self.stall_reported {
@@ -852,21 +987,28 @@ impl<S: TraceSink> MemoryController<S> {
         // Power management: wake ranks with work or a due refresh; send
         // long-idle ranks to power-down (closing parked rows first).
         if self.cfg.controller.powerdown_after_idle > 0 {
-            if let Some(cmd) = self.manage_power(ranks) {
+            let t0 = phase_start::<M>();
+            let power = self.manage_power(ranks);
+            phase_end(&mut self.metrics, Counter::PhasePowerNanos, t0);
+            if let Some(cmd) = power {
                 self.now += 1;
                 return Some(cmd);
             }
         }
 
+        let t0 = phase_start::<M>();
         self.compute_refresh_pending(&mut scratch.pending);
 
         // (2) Issue a due refresh the moment it is legal.
-        if let Some(cmd) = self.service_pending_refresh(&scratch.pending, false) {
+        let refreshed = self.service_pending_refresh(&scratch.pending, false);
+        phase_end(&mut self.metrics, Counter::PhaseRefreshNanos, t0);
+        if let Some(cmd) = refreshed {
             self.now += 1;
             return Some(cmd);
         }
 
         // (3) Candidate enumeration.
+        let t0 = phase_start::<M>();
         scratch.lrras.clear();
         scratch
             .lrras
@@ -876,8 +1018,10 @@ impl<S: TraceSink> MemoryController<S> {
         } else {
             self.enumerate_candidates(scratch);
         }
+        phase_end(&mut self.metrics, Counter::PhaseEnumNanos, t0);
 
         // (4) Policy decision.
+        let t0 = phase_start::<M>();
         let choice = {
             let view = PolicyView {
                 now: self.now,
@@ -887,15 +1031,21 @@ impl<S: TraceSink> MemoryController<S> {
             };
             self.policy.choose(&view, &scratch.candidates)
         };
+        phase_end(&mut self.metrics, Counter::PhaseChooseNanos, t0);
         if let Some(i) = choice {
             let cand = scratch.candidates[i];
+            let t0 = phase_start::<M>();
             self.issue_candidate(cand, scratch.candidate_slots[i]);
+            phase_end(&mut self.metrics, Counter::PhaseIssueNanos, t0);
             self.now += 1;
             return Some(cand.command);
         }
 
         // (5) Refresh-pending fallback: force-close an open bank.
-        if let Some(cmd) = self.service_pending_refresh(&scratch.pending, true) {
+        let t0 = phase_start::<M>();
+        let closed = self.service_pending_refresh(&scratch.pending, true);
+        phase_end(&mut self.metrics, Counter::PhaseRefreshNanos, t0);
+        if let Some(cmd) = closed {
             self.now += 1;
             return Some(cmd);
         }
@@ -956,6 +1106,9 @@ impl<S: TraceSink> MemoryController<S> {
                         self.queues.note_row_close(rank, bank);
                         self.stats.precharges += 1;
                         self.stats.busy_cycles += 1;
+                        if M::ENABLED {
+                            self.metrics.add(Counter::CmdPrecharge, 1);
+                        }
                         if S::ENABLED {
                             self.sink
                                 .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
@@ -970,6 +1123,9 @@ impl<S: TraceSink> MemoryController<S> {
                     self.gate_gen += 1;
                     self.stats.refreshes += 1;
                     self.stats.busy_cycles += 1;
+                    if M::ENABLED {
+                        self.metrics.add(Counter::CmdRefresh, 1);
+                    }
                     if S::ENABLED {
                         self.sink
                             .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
@@ -1000,6 +1156,14 @@ impl<S: TraceSink> MemoryController<S> {
         let from = self.now.raw();
         self.now += n;
         self.cycles_skipped += n;
+        if M::ENABLED {
+            self.metrics.add(Counter::SkipBusyCycles, n);
+            self.metrics.observe(Hist::BusySkipSpan, n);
+            if self.metrics.sample_due(self.now.raw()) {
+                self.refresh_wheel_gauges();
+                self.metrics.sample(self.now.raw());
+            }
+        }
         if S::ENABLED {
             self.note_quiet(from, n, true);
             self.sample_epochs();
@@ -1179,6 +1343,14 @@ impl<S: TraceSink> MemoryController<S> {
         }
         let from = self.now.raw();
         self.now += n;
+        if M::ENABLED {
+            self.metrics.add(Counter::SkipIdleCycles, n);
+            self.metrics.observe(Hist::IdleSkipSpan, n);
+            if self.metrics.sample_due(self.now.raw()) {
+                self.refresh_wheel_gauges();
+                self.metrics.sample(self.now.raw());
+            }
+        }
         if S::ENABLED {
             self.note_quiet(from, n, false);
             self.sample_epochs();
@@ -1641,6 +1813,25 @@ impl<S: TraceSink> MemoryController<S> {
             }
         }
         self.wheel.rekey((total_banks + r) as u32, k);
+        if M::ENABLED {
+            self.metrics.add(Counter::WheelRekeys, 1);
+        }
+    }
+
+    /// Credits the verdict re-keys about to be applied to the wheel:
+    /// one rekey count each, plus the lower-bound slack (key minus
+    /// current cycle) of every live key into the slack histogram.
+    fn note_rekeys(&mut self, rekeys: &[(u32, u64)]) {
+        if M::ENABLED {
+            self.metrics.add(Counter::WheelRekeys, rekeys.len() as u64);
+            let now = self.now.raw();
+            for &(_, k) in rekeys {
+                if k != PARKED {
+                    self.metrics
+                        .observe(Hist::WheelSlack, k.saturating_sub(now));
+                }
+            }
+        }
     }
 
     /// Folds one tick's observations back into the wheel. Runs after
@@ -1665,6 +1856,7 @@ impl<S: TraceSink> MemoryController<S> {
             // no gate moved. Only a due rank marker (its transition cycle
             // passed) needs a fresh key — and only that case needs the
             // post-tick pending flags at all.
+            self.note_rekeys(&scratch.rekeys);
             for (e, k) in scratch.rekeys.drain(..) {
                 self.wheel.rekey(e, k);
             }
@@ -1803,6 +1995,7 @@ impl<S: TraceSink> MemoryController<S> {
                 scratch.rekeys.push((e as u32, k));
             }
         }
+        self.note_rekeys(&scratch.rekeys);
         for (e, k) in scratch.rekeys.drain(..) {
             self.wheel.rekey(e, k);
         }
@@ -1917,6 +2110,9 @@ impl<S: TraceSink> MemoryController<S> {
                 self.stats.pb_act_histogram[cand.pb.index()] += 1;
                 let bi = self.bank_index(&cand);
                 self.stats.per_bank_acts[bi] += 1;
+                if M::ENABLED {
+                    self.metrics.add(Counter::CmdActivate, 1);
+                }
             }
             CandidateKind::Column => {
                 debug_assert_ne!(slot, NO_SLOT, "column candidate without a slot");
@@ -1945,6 +2141,10 @@ impl<S: TraceSink> MemoryController<S> {
                         self.stats.record_read(cand.request.core, latency);
                         self.stats.per_pb_reads[cand.pb.index()] += 1;
                         self.stats.per_pb_read_latency[cand.pb.index()] += latency;
+                        if M::ENABLED {
+                            self.metrics.add(Counter::CmdRead, 1);
+                            self.metrics.add(Counter::ReadsCompleted, 1);
+                        }
                         if S::ENABLED {
                             self.sink.on_event(&TraceEvent::ReadComplete {
                                 at: done.raw(),
@@ -1960,6 +2160,10 @@ impl<S: TraceSink> MemoryController<S> {
                     RequestKind::Write => {
                         self.stats.cols_write += 1;
                         self.stats.writes_drained += 1;
+                        if M::ENABLED {
+                            self.metrics.add(Counter::CmdWrite, 1);
+                            self.metrics.add(Counter::WritesDrained, 1);
+                        }
                     }
                 }
             }
@@ -1967,6 +2171,9 @@ impl<S: TraceSink> MemoryController<S> {
                 self.stats.precharges += 1;
                 let bi = self.bank_index(&cand);
                 self.stats.per_bank_conflicts[bi] += 1;
+                if M::ENABLED {
+                    self.metrics.add(Counter::CmdPrecharge, 1);
+                }
             }
         }
     }
@@ -2031,6 +2238,9 @@ impl<S: TraceSink> MemoryController<S> {
                     self.queues.note_row_close(rank, bank);
                     self.stats.precharges += 1;
                     self.stats.busy_cycles += 1;
+                    if M::ENABLED {
+                        self.metrics.add(Counter::CmdPrecharge, 1);
+                    }
                     if S::ENABLED {
                         self.sink
                             .on_event(&TraceEvent::Command(cmd.to_event(self.now, None)));
@@ -2651,6 +2861,60 @@ mod tests {
         assert_eq!(plain.device().stats(), traced.device().stats());
         assert_eq!(plain.now(), traced.now());
         assert_eq!(plain.cycles_skipped(), traced.cycles_skipped());
+    }
+
+    #[test]
+    fn wheel_health_metrics_match_wheel_ground_truth() {
+        use nuat_obs::metrics::TRACKED;
+        use nuat_obs::{MetricsRecorder, NullSink};
+        let mut mc = MemoryController::with_instrumentation(
+            SystemConfig::default(),
+            SchedulerKind::Nuat,
+            PbGrouping::paper(5),
+            NullSink,
+            MetricsRecorder::with_sample_interval(5_000),
+        );
+        // Refresh-heavy: bursts of work interleaved with long spans
+        // crossing many tREFI boundaries, so the wheel churns through
+        // rekeys, refresh keys, parking and (possibly) compactions.
+        for round in 0..20u32 {
+            for i in 0..12 {
+                mc.enqueue(
+                    0,
+                    RequestKind::Read,
+                    addr_for(200 + round * 7 + i, i % 8, 0),
+                );
+            }
+            mc.run_for(10_000);
+        }
+        assert!(mc.stats().refreshes > 0, "run must be refresh-heavy");
+        // Ground truth straight from the wheel's internal accounting;
+        // `into_instrumentation` flushes the final gauges from the same
+        // state, so the recorder must agree exactly.
+        let ovf = mc.wheel.overflow_len() as u64;
+        let stale = mc.wheel.stale_estimate() as u64;
+        let live = mc.wheel.live_entries() as u64;
+        let comps = mc.wheel.compactions();
+        let (_sink, rec) = mc.into_instrumentation();
+        assert_eq!(rec.counter(Counter::WheelOverflowLen), ovf);
+        assert_eq!(rec.counter(Counter::WheelStale), stale);
+        assert_eq!(rec.counter(Counter::WheelLive), live);
+        assert_eq!(rec.counter(Counter::WheelCompactions), comps);
+        assert!(rec.counter(Counter::WheelRekeys) > 0, "wheel never rekeyed");
+        // Every sampled point respects the compaction invariant the
+        // wheel maintains internally: stale overflow entries are
+        // compacted away before they can exceed half the heap.
+        let idx = |c: Counter| TRACKED.iter().position(|&t| t == c).unwrap();
+        let (oi, si) = (idx(Counter::WheelOverflowLen), idx(Counter::WheelStale));
+        assert!(!rec.timeline().is_empty());
+        for &(_, vals) in rec.timeline() {
+            assert!(
+                vals[si] * 2 <= vals[oi].max(1),
+                "sampled stale count {} exceeds half the overflow heap {}",
+                vals[si],
+                vals[oi]
+            );
+        }
     }
 
     mod indexed_vs_linear {

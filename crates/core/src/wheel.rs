@@ -105,6 +105,10 @@ pub(crate) struct BankWheel {
     /// Lower bound on the minimum non-ready key: `advance_to` exits
     /// O(1) while the target cycle stays below it. 0 = unknown.
     soonest: u64,
+    /// Overflow-heap rebuilds performed (diagnostic; compaction is rare
+    /// and amortized, so an unconditional count costs nothing the hot
+    /// path can feel).
+    compactions: u64,
 }
 
 impl BankWheel {
@@ -122,6 +126,7 @@ impl BankWheel {
             cursor: 0,
             ready: vec![0; words],
             soonest: 0,
+            compactions: 0,
         }
     }
 
@@ -188,6 +193,7 @@ impl BankWheel {
     /// iff its `(key, entry)` still matches the authoritative key; the
     /// survivors rebuild the heap in O(live).
     fn compact_overflow(&mut self) {
+        self.compactions += 1;
         if self.overflow.is_empty() {
             self.stale = 0;
             return;
@@ -330,6 +336,22 @@ impl BankWheel {
     /// the entry count).
     pub(crate) fn overflow_len(&self) -> usize {
         self.overflow.len()
+    }
+
+    /// Current estimate of rotting overflow-heap slots (the count that
+    /// steers compaction).
+    pub(crate) fn stale_estimate(&self) -> usize {
+        self.stale
+    }
+
+    /// Entries with a live (non-[`PARKED`]) key.
+    pub(crate) fn live_entries(&self) -> usize {
+        self.keys.iter().filter(|&&k| k != PARKED).count()
+    }
+
+    /// Overflow-heap compactions performed so far.
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -501,6 +523,25 @@ mod tests {
         assert_eq!(w.peek_future(), 10_999);
         w.advance_to(10_999);
         assert_eq!(ready_of(&mut w), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn health_accessors_track_internal_accounting() {
+        let mut w = BankWheel::new(4);
+        assert_eq!(w.live_entries(), 0);
+        w.rekey(0, 10);
+        w.rekey(1, 5_000);
+        assert_eq!(w.live_entries(), 2);
+        assert_eq!(w.compactions(), 0);
+        // Far-key churn leaves rotting heap slots; compaction must fire
+        // and the stale estimate must respect its own trigger invariant.
+        for i in 1..1_000u64 {
+            w.rekey(1, 5_000 + i);
+            assert!(w.stale_estimate() * 2 <= w.overflow_len());
+        }
+        assert!(w.compactions() > 0);
+        w.rekey(1, PARKED);
+        assert_eq!(w.live_entries(), 1);
     }
 
     #[test]

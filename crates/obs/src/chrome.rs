@@ -13,6 +13,7 @@ use std::io::Write;
 use crate::epoch::EpochSample;
 use crate::event::{CommandClass, CommandEvent, TraceEvent};
 use crate::json::ObjBuilder;
+use crate::metrics::{Counter, MetricsRecorder, TRACKED};
 use crate::sink::TraceSink;
 
 /// Geometry and fallback timings the exporter needs but the events do
@@ -237,6 +238,43 @@ impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
             s.cycle,
             &[("open", u64::from(s.active_banks))],
         );
+    }
+
+    fn on_metrics(&mut self, metrics: &MetricsRecorder) {
+        // Merge the sampled metrics timeline into the trace as counter
+        // tracks; Perfetto orders samples by ts, so interleaving with
+        // the already-written slices is fine.
+        let idx = |c: Counter| {
+            TRACKED
+                .iter()
+                .position(|&t| t == c)
+                .expect("tracked counter")
+        };
+        let (ovf, stale, live, slab, act, rd) = (
+            idx(Counter::WheelOverflowLen),
+            idx(Counter::WheelStale),
+            idx(Counter::WheelLive),
+            idx(Counter::SlabHighWater),
+            idx(Counter::CmdActivate),
+            idx(Counter::CmdRead),
+        );
+        for &(cycle, vals) in metrics.timeline() {
+            self.counter(
+                "wheel health",
+                cycle,
+                &[
+                    ("overflow", vals[ovf]),
+                    ("stale", vals[stale]),
+                    ("live", vals[live]),
+                ],
+            );
+            self.counter("slab high-water", cycle, &[("requests", vals[slab])]);
+            self.counter(
+                "commands issued",
+                cycle,
+                &[("act", vals[act]), ("rd", vals[rd])],
+            );
+        }
     }
 
     fn finish(&mut self) {

@@ -39,6 +39,7 @@ pub mod epoch;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod sink;
 
 pub use chrome::{ChromeTraceConfig, ChromeTraceSink};
@@ -46,4 +47,8 @@ pub use csv::CsvTimeSeries;
 pub use epoch::{EpochCadence, EpochSample};
 pub use event::{CommandClass, CommandEvent, TraceEvent};
 pub use jsonl::JsonlSink;
+pub use metrics::{
+    health_report, jsonl_lines, prometheus_text, Counter, Hist, Histogram, MetricsRecorder,
+    MetricsSink, NullMetrics,
+};
 pub use sink::{MemorySink, NullSink, Tee, TraceSink};

@@ -2,6 +2,7 @@
 
 use crate::epoch::EpochSample;
 use crate::event::TraceEvent;
+use crate::metrics::MetricsRecorder;
 
 /// Receives structured events and epoch samples from an instrumented
 /// simulation.
@@ -38,6 +39,12 @@ pub trait TraceSink: Send {
     #[inline(always)]
     fn on_epoch(&mut self, _sample: &EpochSample) {}
 
+    /// Receives the run's collected metrics just before
+    /// [`TraceSink::finish`], when a [`MetricsRecorder`] rode the same
+    /// controller. Exporters that render counter tracks (the Chrome
+    /// sink) hook this; everyone else ignores it.
+    fn on_metrics(&mut self, _metrics: &MetricsRecorder) {}
+
     /// Called once when the run ends; exporters close brackets and
     /// flush buffers here.
     fn finish(&mut self) {}
@@ -69,6 +76,11 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     fn on_epoch(&mut self, sample: &EpochSample) {
         self.0.on_epoch(sample);
         self.1.on_epoch(sample);
+    }
+
+    fn on_metrics(&mut self, metrics: &MetricsRecorder) {
+        self.0.on_metrics(metrics);
+        self.1.on_metrics(metrics);
     }
 
     fn finish(&mut self) {

@@ -107,6 +107,40 @@ pub fn run_mix_traced<S: nuat_obs::TraceSink>(
         .run_traced(rc.max_mc_cycles, rc.warmup_reads)
 }
 
+/// Like [`run_mix_traced`], but with a metrics sink riding each channel
+/// controller as well (one per configured channel). Returns the
+/// finalized trace sinks *and* metrics sinks alongside the result; pass
+/// the recorders to [`nuat_obs::prometheus_text`] /
+/// [`nuat_obs::health_report`] to export them.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or `sinks` / `metrics` do not match the
+/// channel count.
+pub fn run_mix_instrumented<S: nuat_obs::TraceSink, M: nuat_obs::MetricsSink>(
+    specs: &[WorkloadSpec],
+    scheduler: SchedulerKind,
+    grouping: PbGrouping,
+    rc: &RunConfig,
+    sinks: Vec<S>,
+    metrics: Vec<M>,
+    sample_interval: Option<u64>,
+) -> (SimResult, Vec<S>, Vec<M>) {
+    assert!(!specs.is_empty(), "need at least one workload");
+    let cfg = SystemConfig::with_cores(specs.len());
+    let traces = traces_for(specs, &cfg, rc);
+    System::with_instrumentation(
+        cfg,
+        scheduler,
+        grouping,
+        traces,
+        sinks,
+        metrics,
+        sample_interval,
+    )
+    .run_instrumented(rc.max_mc_cycles, rc.warmup_reads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use crate::parallel::{channel_worker_count, SpinBarrier};
 use nuat_circuit::PbGrouping;
 use nuat_core::{MemoryController, RequestKind, SchedulerKind};
 use nuat_cpu::{Core, MemOp, MemoryPort, Trace};
-use nuat_obs::{NullSink, TraceSink};
+use nuat_obs::{Counter, MetricsSink, NullMetrics, NullSink, TraceSink};
 use nuat_types::{CpuCycle, McCycle, PhysAddr, SystemConfig, CPU_CYCLES_PER_MC_CYCLE};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -14,12 +14,12 @@ use std::sync::Mutex;
 /// [`MemoryPort`]. Requests route by the decoded channel; completion
 /// tokens encode `(request id, channel)` so the system can match them
 /// back even though each controller numbers requests independently.
-struct Port<'a, S: TraceSink = NullSink> {
-    mcs: &'a mut [MemoryController<S>],
+struct Port<'a, S: TraceSink = NullSink, M: MetricsSink = NullMetrics> {
+    mcs: &'a mut [MemoryController<S, M>],
     cfg: &'a SystemConfig,
 }
 
-impl<S: TraceSink> Port<'_, S> {
+impl<S: TraceSink, M: MetricsSink> Port<'_, S, M> {
     fn channel_of(&self, addr: PhysAddr) -> usize {
         // Single-channel systems (the paper's Table 3 configuration)
         // route everything to controller 0; skip the full address decode
@@ -36,7 +36,7 @@ impl<S: TraceSink> Port<'_, S> {
     }
 }
 
-impl<S: TraceSink> MemoryPort for Port<'_, S> {
+impl<S: TraceSink, M: MetricsSink> MemoryPort for Port<'_, S, M> {
     fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool {
         self.mcs[self.channel_of(addr)].can_accept(kind_of(op))
     }
@@ -65,12 +65,12 @@ fn token(id: u64, channel: usize, channels: usize) -> u64 {
 /// target channel per operation. The locks are uncontended by
 /// construction — phases never overlap — so each is one atomic
 /// exchange, and the port behaves identically to [`Port`].
-struct ShardedPort<'a, 'm, S: TraceSink> {
-    cells: &'a [Mutex<&'m mut MemoryController<S>>],
+struct ShardedPort<'a, 'm, S: TraceSink, M: MetricsSink> {
+    cells: &'a [Mutex<&'m mut MemoryController<S, M>>],
     cfg: &'a SystemConfig,
 }
 
-impl<S: TraceSink> MemoryPort for ShardedPort<'_, '_, S> {
+impl<S: TraceSink, M: MetricsSink> MemoryPort for ShardedPort<'_, '_, S, M> {
     fn can_accept(&self, op: MemOp, addr: PhysAddr) -> bool {
         let ch = self
             .cfg
@@ -147,9 +147,9 @@ impl SimResult {
 /// [`NullSink`] compiles every instrumentation site out, so an
 /// uninstrumented `System` is identical to one predating observability.
 #[derive(Debug)]
-pub struct System<S: TraceSink = NullSink> {
+pub struct System<S: TraceSink = NullSink, M: MetricsSink = NullMetrics> {
     cores: Vec<Core>,
-    mcs: Vec<MemoryController<S>>,
+    mcs: Vec<MemoryController<S, M>>,
     cfg: SystemConfig,
     cpu_now: CpuCycle,
     /// Reused each step to drain controller completions without
@@ -223,6 +223,41 @@ impl<S: TraceSink> System<S> {
         sinks: Vec<S>,
         sample_interval: Option<u64>,
     ) -> Self {
+        let channels = sinks.len();
+        System::with_instrumentation(
+            cfg,
+            scheduler,
+            grouping,
+            traces,
+            sinks,
+            vec![NullMetrics; channels],
+            sample_interval,
+        )
+    }
+}
+
+impl<S: TraceSink, M: MetricsSink> System<S, M> {
+    /// Builds a fully instrumented system: one trace sink *and* one
+    /// metrics sink per channel controller (both vectors must match the
+    /// configured channel count). The metrics sinks ride their
+    /// controllers for the whole run and come back out of
+    /// [`run_instrumented`](Self::run_instrumented); with
+    /// [`NullMetrics`] this is exactly [`with_sinks`](System::with_sinks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace count differs from `cfg.processor.cores`, the
+    /// sink or metrics count differs from the channel count, or the
+    /// configuration is invalid.
+    pub fn with_instrumentation(
+        cfg: SystemConfig,
+        scheduler: SchedulerKind,
+        grouping: PbGrouping,
+        traces: Vec<Trace>,
+        sinks: Vec<S>,
+        metrics: Vec<M>,
+        sample_interval: Option<u64>,
+    ) -> Self {
         assert_eq!(
             traces.len(),
             cfg.processor.cores,
@@ -233,10 +268,22 @@ impl<S: TraceSink> System<S> {
             cfg.dram.geometry.channels as usize,
             "need exactly one sink per configured channel"
         );
-        let mcs: Vec<MemoryController<S>> = sinks
+        assert_eq!(
+            metrics.len(),
+            cfg.dram.geometry.channels as usize,
+            "need exactly one metrics sink per configured channel"
+        );
+        let mcs: Vec<MemoryController<S, M>> = sinks
             .into_iter()
-            .map(|sink| {
-                let mut mc = MemoryController::with_sink(cfg, scheduler, grouping.clone(), sink);
+            .zip(metrics)
+            .map(|(sink, m)| {
+                let mut mc = MemoryController::with_instrumentation(
+                    cfg,
+                    scheduler,
+                    grouping.clone(),
+                    sink,
+                    m,
+                );
                 if let Some(interval) = sample_interval {
                     mc.set_sample_interval(interval);
                 }
@@ -287,12 +334,12 @@ impl<S: TraceSink> System<S> {
     }
 
     /// The channel-0 controller (for inspection mid-run).
-    pub fn controller(&self) -> &MemoryController<S> {
+    pub fn controller(&self) -> &MemoryController<S, M> {
         &self.mcs[0]
     }
 
     /// All channel controllers.
-    pub fn controllers(&self) -> &[MemoryController<S>] {
+    pub fn controllers(&self) -> &[MemoryController<S, M>] {
         &self.mcs
     }
 
@@ -300,7 +347,7 @@ impl<S: TraceSink> System<S> {
     /// configuration (e.g. [`MemoryController::set_cycle_skip`] in
     /// A/B correctness tests that compare the event-driven and
     /// strictly per-tick execution modes).
-    pub fn controllers_mut(&mut self) -> &mut [MemoryController<S>] {
+    pub fn controllers_mut(&mut self) -> &mut [MemoryController<S, M>] {
         &mut self.mcs
     }
 
@@ -384,6 +431,11 @@ impl<S: TraceSink> System<S> {
         let mut buf = std::mem::take(&mut self.completions_buf);
         for (ch, mc) in self.mcs.iter_mut().enumerate() {
             mc.tick();
+            let t0 = if M::ENABLED {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             buf.clear();
             mc.drain_completions_into(&mut buf);
             for done in &buf {
@@ -392,6 +444,10 @@ impl<S: TraceSink> System<S> {
                 // The wake entry assumed no delivery; recompute next step.
                 self.core_wake[done.request.core] = 0;
                 self.core_wake_qblocked[done.request.core] = false;
+            }
+            if let Some(t) = t0 {
+                mc.metrics_mut()
+                    .add(Counter::PhaseDrainNanos, t.elapsed().as_nanos() as u64);
             }
         }
         self.completions_buf = buf;
@@ -508,6 +564,24 @@ impl<S: TraceSink> System<S> {
         (result, sinks)
     }
 
+    /// Like [`run_traced`](Self::run_traced), but also returns the
+    /// per-channel metrics sinks (flushed and finalized) so callers can
+    /// export Prometheus/JSONL text or render the health report.
+    pub fn run_instrumented(
+        mut self,
+        max_mc_cycles: u64,
+        warmup_reads: u64,
+    ) -> (SimResult, Vec<S>, Vec<M>) {
+        self.run_core(max_mc_cycles, warmup_reads);
+        let result = self.result();
+        let (sinks, metrics) = self
+            .mcs
+            .into_iter()
+            .map(MemoryController::into_instrumentation)
+            .unzip();
+        (result, sinks, metrics)
+    }
+
     /// The shared simulation loop: runs to completion or the cap, then
     /// drains the controllers (posted writes).
     fn run_core(&mut self, max_mc_cycles: u64, warmup_reads: u64) {
@@ -600,7 +674,7 @@ impl<S: TraceSink> System<S> {
         let core_wake = &mut self.core_wake;
         let core_wake_qblocked = &mut self.core_wake_qblocked;
         let mut release_epoch = self.release_epoch;
-        let cells: Vec<Mutex<&mut MemoryController<S>>> =
+        let cells: Vec<Mutex<&mut MemoryController<S, M>>> =
             self.mcs.iter_mut().map(Mutex::new).collect();
         let lock = |ch: usize| {
             cells[ch]
@@ -620,24 +694,61 @@ impl<S: TraceSink> System<S> {
                 let span_arg = &span_arg;
                 let start = &start;
                 let done = &done;
-                scope.spawn(move || loop {
-                    start.wait();
-                    let p = phase.load(Ordering::Acquire);
-                    if p == PH_EXIT {
-                        break;
-                    }
-                    let n = span_arg.load(Ordering::Acquire);
-                    let mut ch = w;
-                    while ch < channels {
-                        let mut mc = cells[ch].lock().expect("no prior panic in a worker");
-                        if p == PH_TICK {
-                            mc.tick();
+                scope.spawn(move || {
+                    // Barrier-wait accounting: time parked at either
+                    // rendezvous, summed locally (no shared state on the
+                    // hot path) and deposited into this worker's first
+                    // owned channel once at exit. Compiles out entirely
+                    // under `NullMetrics`.
+                    let mut wait_nanos: u64 = 0;
+                    let mut phases: u64 = 0;
+                    loop {
+                        let t0 = if M::ENABLED {
+                            Some(std::time::Instant::now())
                         } else {
-                            mc.run_for(n);
+                            None
+                        };
+                        start.wait();
+                        if let Some(t) = t0 {
+                            wait_nanos += t.elapsed().as_nanos() as u64;
                         }
-                        ch += workers;
+                        let p = phase.load(Ordering::Acquire);
+                        if p == PH_EXIT {
+                            break;
+                        }
+                        if M::ENABLED {
+                            phases += 1;
+                        }
+                        let n = span_arg.load(Ordering::Acquire);
+                        let mut ch = w;
+                        while ch < channels {
+                            let mut mc = cells[ch].lock().expect("no prior panic in a worker");
+                            if p == PH_TICK {
+                                mc.tick();
+                            } else {
+                                mc.run_for(n);
+                            }
+                            ch += workers;
+                        }
+                        let t1 = if M::ENABLED {
+                            Some(std::time::Instant::now())
+                        } else {
+                            None
+                        };
+                        done.wait();
+                        if let Some(t) = t1 {
+                            wait_nanos += t.elapsed().as_nanos() as u64;
+                        }
                     }
-                    done.wait();
+                    if M::ENABLED && w < channels {
+                        // Workers have distinct first channels, and main
+                        // only rejoins the cells after the scope joins,
+                        // so this final deposit is uncontended.
+                        let mut mc = cells[w].lock().expect("no prior panic in a worker");
+                        mc.metrics_mut()
+                            .add(Counter::ShardBarrierWaitNanos, wait_nanos);
+                        mc.metrics_mut().add(Counter::ShardPhases, phases);
+                    }
                 });
             }
             // Releases the parked workers into one controller phase and
@@ -746,6 +857,11 @@ impl<S: TraceSink> System<S> {
                 }
                 run_phase(PH_TICK, 0);
                 for (ch, cell) in cells.iter().enumerate() {
+                    let t0 = if M::ENABLED {
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
                     let mut mc = cell.lock().expect("no prior panic holding a channel cell");
                     buf.clear();
                     mc.drain_completions_into(&mut buf);
@@ -755,6 +871,11 @@ impl<S: TraceSink> System<S> {
                             .complete_read(token(done.request.id.0, ch, channels), cpu_now);
                         core_wake[done.request.core] = 0;
                         core_wake_qblocked[done.request.core] = false;
+                    }
+                    if let Some(t) = t0 {
+                        lock(ch)
+                            .metrics_mut()
+                            .add(Counter::PhaseDrainNanos, t.elapsed().as_nanos() as u64);
                     }
                 }
                 if !warm {

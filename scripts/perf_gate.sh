@@ -17,6 +17,11 @@
 # only meaningful on a quiet machine, so the gate must not make routine
 # verification flaky on loaded CI workers. NUAT_PERF_TOLERANCE
 # overrides the per-cell floor (fraction of baseline, e.g. 0.9).
+#
+# Alongside the human-readable delta table, the gate writes a
+# machine-readable verdict (per-cell baseline/measured/ratio/pass plus
+# the droop check and the overall outcome) to
+# ${NUAT_PERF_GATE_JSON:-results/perf_gate.json} for CI dashboards.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,6 +76,7 @@ fresh_rates=$(rates "$fresh_json")
 fail=0
 checked=0
 regressions=""
+cells_json=""
 printf 'perf_gate: %-42s %13s %13s %7s %7s  %s\n' \
     "cell (sched|mode|workload|depth|chans)" "baseline" "measured" "ratio" "floor" "verdict"
 while read -r key base; do
@@ -79,6 +85,8 @@ while read -r key base; do
         printf 'perf_gate: %-42s %13.0f %13s %7s %7s  %s\n' \
             "$key" "$base" "-" "-" "$TOLERANCE" "MISSING"
         regressions="${regressions}perf_gate: MISSING cell $key in fresh run\n"
+        cells_json="${cells_json}${cells_json:+,
+}    {\"cell\": \"${key}\", \"baseline\": ${base}, \"measured\": null, \"ratio\": null, \"pass\": false}"
         fail=1
         continue
     fi
@@ -86,11 +94,15 @@ while read -r key base; do
     ratio=$(awk -v f="$fresh" -v b="$base" 'BEGIN { printf "%.3f", f / b }')
     if awk -v f="$fresh" -v b="$base" -v t="$TOLERANCE" 'BEGIN { exit !(f >= t * b) }'; then
         verdict=ok
+        cell_pass=true
     else
         verdict=FAIL
+        cell_pass=false
         regressions="${regressions}perf_gate: FAIL $key measured ${fresh} < ${TOLERANCE} x baseline ${base} (ratio ${ratio})\n"
         fail=1
     fi
+    cells_json="${cells_json}${cells_json:+,
+}    {\"cell\": \"${key}\", \"baseline\": ${base}, \"measured\": ${fresh}, \"ratio\": ${ratio}, \"pass\": ${cell_pass}}"
     printf 'perf_gate: %-42s %13.0f %13.0f %7s %7s  %s\n' \
         "$key" "$base" "$fresh" "$ratio" "$TOLERANCE" "$verdict"
 done <<< "$base_rates"
@@ -110,11 +122,13 @@ droop_gap() {
 }
 base_gap=$(droop_gap "$BASELINE")
 fresh_gap=$(droop_gap "$fresh_json")
+droop_pass=false
 if [ -n "$base_gap" ] && [ -n "$fresh_gap" ]; then
     slack="${NUAT_DROOP_SLACK:-3}"
     if awk -v f="$fresh_gap" -v b="$base_gap" -v s="$slack" \
         'BEGIN { cap = b + s; if (5.0 > cap) cap = 5.0; exit !(f <= cap) }'; then
         echo "perf_gate: depth_droop ok (gap ${fresh_gap}% vs baseline ${base_gap}%, slack ${slack})"
+        droop_pass=true
     else
         echo "perf_gate: FAIL depth_droop gap ${fresh_gap}% exceeds baseline ${base_gap}% + ${slack} (and the 5% target)" >&2
         fail=1
@@ -123,6 +137,25 @@ else
     echo "perf_gate: depth_droop row missing (baseline: '${base_gap:-none}', fresh: '${fresh_gap:-none}')" >&2
     fail=1
 fi
+# Machine-readable verdict, written whether the gate passes or fails
+# (a dashboard needs the failing runs most of all).
+verdict_json="${NUAT_PERF_GATE_JSON:-results/perf_gate.json}"
+mkdir -p "$(dirname "$verdict_json")"
+overall=true
+[ "$fail" -eq 0 ] || overall=false
+{
+    echo "{"
+    echo "  \"tolerance\": ${TOLERANCE},"
+    echo "  \"pass\": ${overall},"
+    echo "  \"cells_checked\": ${checked},"
+    echo "  \"depth_droop\": {\"baseline_gap_percent\": ${base_gap:-null}, \"measured_gap_percent\": ${fresh_gap:-null}, \"pass\": ${droop_pass}},"
+    echo "  \"cells\": ["
+    printf '%s\n' "$cells_json"
+    echo "  ]"
+    echo "}"
+} > "$verdict_json"
+echo "perf_gate: verdict JSON -> ${verdict_json}"
+
 if [ "$fail" -ne 0 ]; then
     printf '%b' "$regressions" >&2
     echo "perf_gate: FAIL — cells regressed below ${TOLERANCE}x of baseline (full table above)" >&2

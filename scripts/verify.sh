@@ -33,10 +33,34 @@ cargo bench --no-run
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -q -p nuat-bench --bin trace_study -- \
-    --quick --out "$smoke_dir" >/dev/null
-for f in trace.json events.jsonl timeseries.csv; do
+    --quick --out "$smoke_dir" --metrics "$smoke_dir/metrics.prom" >/dev/null
+for f in trace.json events.jsonl timeseries.csv metrics.prom metrics.prom.jsonl; do
     test -s "$smoke_dir/$f" || { echo "verify: missing $f" >&2; exit 1; }
 done
+# Metrics smoke: the Prometheus exposition must be structurally sound
+# (every sample line preceded by a TYPE for its series) and the key
+# counters must have actually counted — a zero here means the
+# instrumentation silently compiled out or lost its emission site.
+awk '
+    /^# TYPE nuat_/ { typed[$3] = 1 }
+    /^nuat_/ {
+        split($1, a, "{"); n = a[1]
+        # Histogram samples are declared under the base metric name.
+        sub(/_(bucket|sum|count)$/, "", n)
+        if (!(a[1] in typed) && !(n in typed)) { print "untyped series " a[1]; bad = 1 }
+    }
+    END { exit bad }
+' "$smoke_dir/metrics.prom" || { echo "verify: malformed metrics.prom" >&2; exit 1; }
+for series in nuat_tick_cycles_total nuat_skip_busy_cycles_total \
+    nuat_cmd_read_total nuat_wheel_rekeys_total nuat_phase_issue_nanos_total; do
+    awk -v s="$series" '$0 ~ "^"s"\\{" && $NF + 0 > 0 { found = 1 } END { exit !found }' \
+        "$smoke_dir/metrics.prom" \
+        || { echo "verify: $series missing or zero in metrics.prom" >&2; exit 1; }
+done
+# The JSONL line must at least be one balanced object per channel.
+awk 'NF { o = gsub(/{/, "{"); c = gsub(/}/, "}"); if (o != c || $0 !~ /^\{/) exit 1 }' \
+    "$smoke_dir/metrics.prom.jsonl" \
+    || { echo "verify: malformed metrics.prom.jsonl" >&2; exit 1; }
 # Opt-in perf regression gate (wall-clock comparison against the
 # committed BENCH_scheduler.json — only meaningful on a quiet machine).
 if [ "${NUAT_PERF_GATE:-0}" = "1" ]; then
