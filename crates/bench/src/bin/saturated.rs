@@ -12,6 +12,16 @@
 //! millisecond slices on one thread and reports the drift-cancelled
 //! wall-time ratio (see `saturated_compare_depths`).
 //!
+//! `--phases` upgrades the comparison to per-issuing-tick phase
+//! attribution: both sides carry metrics recorders and the report is a
+//! side-by-side table of nanoseconds per issuing tick in each
+//! controller phase, plus the combined enumerate+choose+horizon+rekey
+//! row the batch-kernel acceptance bar is measured on. Alone,
+//! `--phases` compares the SWAR batch kernel on (A) vs off (B) at the
+//! same `--depth` — the two builds of the `NUAT_NO_BATCH` escape hatch
+//! in one process; combined with `--compare B` it attributes the two
+//! depths instead (both with the default kernel).
+//!
 //! `--metrics PATH` additionally runs one metrics-attached channel at
 //! the same scheduler/depth/cycles, asserts that every registry counter
 //! reconciles exactly with the controller's own statistics (the same
@@ -19,10 +29,72 @@
 //! text) and `PATH.jsonl`, and prints the health report.
 
 use nuat_bench::{
-    saturated_compare_depths, saturated_run_channels, saturated_run_controller, SaturatedDriver,
+    saturated_compare_depths, saturated_compare_phases, saturated_run_channels,
+    saturated_run_controller, SaturatedDriver,
 };
 use nuat_core::SchedulerKind;
 use nuat_obs::{health_report, jsonl_lines, prometheus_text, Counter, MetricsRecorder};
+
+/// Prints the side-by-side per-issuing-tick phase table for two
+/// recorders, returning the combined enumerate+choose+horizon+rekey
+/// nanos-per-tick of each side (the acceptance-bar scalar).
+fn print_phase_table(
+    label_a: &str,
+    label_b: &str,
+    rec_a: &MetricsRecorder,
+    rec_b: &MetricsRecorder,
+) -> (f64, f64) {
+    let phases = [
+        ("power", Counter::PhasePowerNanos),
+        ("refresh", Counter::PhaseRefreshNanos),
+        ("enumerate", Counter::PhaseEnumNanos),
+        ("choose", Counter::PhaseChooseNanos),
+        ("issue", Counter::PhaseIssueNanos),
+        ("rekey", Counter::PhaseRekeyNanos),
+        ("horizon", Counter::PhaseHorizonNanos),
+        ("drain", Counter::PhaseDrainNanos),
+    ];
+    let per_tick = |rec: &MetricsRecorder, c: Counter| {
+        rec.counter(c) as f64 / rec.counter(Counter::TickCycles).max(1) as f64
+    };
+    println!(
+        "phase attribution, ns per issuing tick ({} ticks A, {} ticks B):",
+        rec_a.counter(Counter::TickCycles),
+        rec_b.counter(Counter::TickCycles),
+    );
+    println!(
+        "  {:<12} {:>14} {:>14} {:>8}",
+        "phase", label_a, label_b, "delta"
+    );
+    for (label, c) in phases {
+        let (a, b) = (per_tick(rec_a, c), per_tick(rec_b, c));
+        println!(
+            "  {:<12} {:>14.1} {:>14.1} {:>+7.1}%",
+            label,
+            a,
+            b,
+            if b > 0.0 { (a / b - 1.0) * 100.0 } else { 0.0 },
+        );
+    }
+    let bar = [
+        Counter::PhaseEnumNanos,
+        Counter::PhaseChooseNanos,
+        Counter::PhaseHorizonNanos,
+        Counter::PhaseRekeyNanos,
+    ];
+    let (a, b) = (
+        bar.iter().map(|&c| per_tick(rec_a, c)).sum::<f64>(),
+        bar.iter().map(|&c| per_tick(rec_b, c)).sum::<f64>(),
+    );
+    println!(
+        "  {:<12} {:>14.1} {:>14.1} {:>+7.1}%   <- acceptance bar",
+        "enum+cho+hor+rek",
+        a,
+        b,
+        if b > 0.0 { (a / b - 1.0) * 100.0 } else { 0.0 },
+    );
+    (a, b)
+}
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -46,6 +118,45 @@ fn main() {
         other => panic!("unknown scheduler {other} (fcfs|open|close|nuat)"),
     };
     let depth_b: usize = arg("--compare", 0);
+    if std::env::args().any(|a| a == "--phases") {
+        // With --compare B: attribute the two depths. Alone: attribute
+        // the batch kernel on (A) vs off (B) at the same depth — the
+        // NUAT_NO_BATCH escape hatch's two builds in one process.
+        let (a, b, label_a, label_b) = if depth_b > 0 {
+            (
+                (depth, true),
+                (depth_b, true),
+                format!("A(depth {depth})"),
+                format!("B(depth {depth_b})"),
+            )
+        } else {
+            (
+                (depth, true),
+                (depth, false),
+                "A(batch on)".to_string(),
+                "B(batch off)".to_string(),
+            )
+        };
+        let (rec_a, rec_b, wall_a, wall_b) = saturated_compare_phases(kind, a, b, cycles, 200_000);
+        println!(
+            "{} interleaved: {label_a} {:.0} cyc/s vs {label_b} {:.0} cyc/s (ratio {:.4})",
+            kind.name(),
+            cycles as f64 / wall_a,
+            cycles as f64 / wall_b,
+            wall_a / wall_b,
+        );
+        let (bar_a, bar_b) = print_phase_table(&label_a, &label_b, &rec_a, &rec_b);
+        if depth_b == 0 {
+            println!(
+                "batch kernel: combined hot-phase time per issuing tick {:.1} -> {:.1} ns \
+                 ({:+.1}%)",
+                bar_b,
+                bar_a,
+                (bar_a / bar_b - 1.0) * 100.0,
+            );
+        }
+        return;
+    }
     if depth_b > 0 {
         let (wall_a, wall_b) = saturated_compare_depths(kind, depth, depth_b, cycles, 200_000);
         println!(

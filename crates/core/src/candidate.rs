@@ -42,6 +42,16 @@ pub struct Candidate {
     pub zone: BoundaryZone,
 }
 
+impl Candidate {
+    /// The request's flat bank index (`rank * banks_per_rank + bank`) —
+    /// the key shared by the per-bank queue sub-lists, the wheel's
+    /// entry numbering, and the per-bank statistics lanes.
+    #[inline]
+    pub fn flat_bank(&self, banks_per_rank: usize) -> usize {
+        self.request.addr.rank.index() * banks_per_rank + self.request.addr.bank.index()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,8 +28,8 @@ use crate::stats::ControllerStats;
 use crate::wheel::{BankWheel, PARKED};
 use nuat_circuit::PbGrouping;
 use nuat_dram::{
-    BankGates, BankLanes, BankState, DramCommand, DramDevice, RankTimingView, RefreshEngine,
-    IDLE_ROW,
+    BankGates, BankLanes, BankState, DramCommand, DramDevice, LegalityTable, RankTimingView,
+    RefreshEngine, IDLE_ROW,
 };
 use nuat_obs::{
     Counter, EpochCadence, EpochSample, Hist, MetricsSink, NullMetrics, NullSink, TraceEvent,
@@ -62,8 +62,22 @@ pub struct Completion {
 struct TickScratch {
     /// Per-rank "refresh wants this rank drained" flags.
     pending: Vec<bool>,
+    /// The previous tick-pipeline's `pending` flags (swapped in by the
+    /// acting-tick re-key before `pending` is refreshed at the
+    /// post-tick clock): the batch sweep re-uses an untouched rank's
+    /// enumeration verdicts only while its flag provably held.
+    pending_prev: Vec<bool>,
+    /// True once this tick's wheel enumeration has run — the signal
+    /// that `rekeys` holds the tick's verdicts (the early-return tick
+    /// shapes skip enumeration, leaving the due entries uncovered).
+    enumerated: bool,
     /// Per-rank last-refreshed-row snapshot.
     lrras: Vec<Row>,
+    /// Refresh count (`stats.refreshes`) at which `lrras` was filled.
+    /// The LRRA only advances when a `REF` issues, so the snapshot
+    /// stays valid — and the per-tick refill can be skipped — until
+    /// the counter moves.
+    lrras_gen: u64,
     /// This cycle's issuable candidates.
     candidates: Vec<Candidate>,
     /// The slab slot of each candidate's request, parallel to
@@ -101,6 +115,18 @@ struct TickScratch {
     /// Re-key verdicts collected during wheel-driven enumeration
     /// (which holds `&self`) and applied by `post_tick_rekey`.
     rekeys: Vec<(u32, u64)>,
+    /// Per-rank packed legality tables for the batch kernel: the four
+    /// earliest-legal-cycle lanes (plus the rank-gate snapshot) the
+    /// SWAR legality compare and batch key derivation run over.
+    legality: Vec<LegalityTable>,
+    /// Validity stamp per legality table: fresh iff equal to the
+    /// controller's `gate_gen` (tables depend only on device state, so
+    /// the device-mutation generation is exactly their invalidation
+    /// signal — a table survives any number of non-acting ticks).
+    legality_gen: Vec<u64>,
+    /// One rank's batch-derived bank keys (dense, bank-indexed), the
+    /// staging buffer `batch_bank_keys` fills and `rekey_range` drains.
+    rank_keys: Vec<u64>,
     /// Earliest cycle any gated-out queued request clears its timing
     /// gates, accumulated as a by-product of candidate enumeration so
     /// `next_busy_event_cycle` needs no second queue scan. Valid for
@@ -112,11 +138,15 @@ struct TickScratch {
 
 /// Starts a wall-clock phase timer — `None` (and no clock read) unless
 /// the metrics sink is enabled, so the uninstrumented hot path never
-/// touches `Instant`.
+/// touches the clock. Timestamps come from [`nuat_obs::clock`] (the
+/// calibrated TSC on x86-64): at four phase boundaries per issuing
+/// tick, a `clock_gettime`-class read is a measurable slice of the
+/// phases being measured, so the cheap clock lowers both the overhead
+/// and the attribution error.
 #[inline(always)]
-fn phase_start<M: MetricsSink>() -> Option<std::time::Instant> {
+fn phase_start<M: MetricsSink>() -> Option<u64> {
     if M::ENABLED {
-        Some(std::time::Instant::now())
+        Some(nuat_obs::clock::now())
     } else {
         None
     }
@@ -124,9 +154,27 @@ fn phase_start<M: MetricsSink>() -> Option<std::time::Instant> {
 
 /// Credits the elapsed wall time since `t0` to phase counter `c`.
 #[inline(always)]
-fn phase_end<M: MetricsSink>(metrics: &mut M, c: Counter, t0: Option<std::time::Instant>) {
-    if let Some(t) = t0 {
-        metrics.add(c, t.elapsed().as_nanos() as u64);
+fn phase_end<M: MetricsSink>(metrics: &mut M, c: Counter, t0: Option<u64>) {
+    if let Some(t0) = t0 {
+        metrics.add(c, nuat_obs::clock::now().saturating_sub(t0));
+    }
+}
+
+/// Ends phase `c` and starts the next one with a single clock read.
+/// Adjacent phases share their boundary timestamp: an end/start pair
+/// costs two clock reads per boundary and parks a whole extra
+/// clock-read latency inside the downstream phase's measurement, so
+/// the instrumented pipeline both runs and reads faster this way.
+#[inline(always)]
+fn phase_cut<M: MetricsSink>(metrics: &mut M, c: Counter, t0: Option<u64>) -> Option<u64> {
+    if M::ENABLED {
+        let t = nuat_obs::clock::now();
+        if let Some(t0) = t0 {
+            metrics.add(c, t.saturating_sub(t0));
+        }
+        Some(t)
+    } else {
+        None
     }
 }
 
@@ -196,6 +244,16 @@ pub struct MemoryController<S: TraceSink = NullSink, M: MetricsSink = NullMetric
     /// every arrival. Requires the wheel; purely a speed knob — the
     /// command stream is bit-identical either way.
     des_enabled: bool,
+    /// Batch issuing-tick kernel (set `NUAT_NO_BATCH=1` to disable):
+    /// with the wheel active, candidate enumeration and the post-issue
+    /// re-key sweep evaluate whole ranks at once — packed legality
+    /// lanes compared lane-wise against `now`, bank keys derived
+    /// branchlessly from two queue-mask loads, the horizon min fused
+    /// into the same pass — instead of per-bank branch ladders. Purely
+    /// a speed knob: the scalar per-bank path is retained verbatim as
+    /// the oracle and escape hatch, and the command stream is
+    /// bit-identical either way.
+    batch_enabled: bool,
     /// Per rank: the pending flag each refresh marker was last keyed
     /// with. While the flag is unchanged (and no `REF` issues, and the
     /// marker is not due) the marker's key needs no re-derivation.
@@ -334,6 +392,8 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
         let wheel_enabled =
             std::env::var("NUAT_NO_WHEEL").map_or(true, |v| v.is_empty() || v == "0");
         let des_enabled = std::env::var("NUAT_NO_DES").map_or(true, |v| v.is_empty() || v == "0");
+        let batch_enabled =
+            std::env::var("NUAT_NO_BATCH").map_or(true, |v| v.is_empty() || v == "0");
         // Banks start parked (no requests); the per-rank refresh
         // markers start due so the first full tick derives their real
         // transition keys.
@@ -359,6 +419,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             wheel,
             wheel_enabled,
             des_enabled,
+            batch_enabled,
             marker_pending: vec![false; ranks],
             full_ticks: 0,
             cycles_skipped: 0,
@@ -626,6 +687,29 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
     /// (the wheel must be active for DES to have a calendar to keep).
     fn des_active(&self) -> bool {
         self.des_enabled && self.wheel_enabled
+    }
+
+    /// Enables or disables the batch issuing-tick kernel at run time
+    /// (tests use this for A/B comparisons without racing on the
+    /// `NUAT_NO_BATCH` environment variable). No key fixup is needed on
+    /// toggle: both the batch and the scalar path maintain keys the
+    /// other accepts (batch keys are exact, scalar keys are exact or
+    /// conservative lower bounds). Purely a speed/diagnostics knob —
+    /// the command stream is bit-identical either way.
+    pub fn set_batch_kernel(&mut self, enabled: bool) {
+        self.batch_enabled = enabled;
+        self.busy_horizon = None;
+    }
+
+    /// True while the batch kernel drives enumeration and re-keying:
+    /// it batches the *wheel* pipeline (the legacy full scan is its own
+    /// escape hatch), and the branchless key selects need the queues'
+    /// per-rank bank bitmaps (`banks_per_rank <= 64`).
+    fn batch_active(&self) -> bool {
+        self.batch_enabled
+            && self.wheel_enabled
+            && self.queues.masks_valid()
+            && self.cfg.dram.geometry.ranks_per_channel <= 64
     }
 
     /// Cycles advanced in bulk by busy skipping instead of full ticks
@@ -905,8 +989,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             // tick after every issue just to learn the next horizon.
             let t0 = phase_start::<M>();
             self.post_tick_rekey(&mut scratch, issued);
-            phase_end(&mut self.metrics, Counter::PhaseRekeyNanos, t0);
-            let t0 = phase_start::<M>();
+            let t0 = phase_cut(&mut self.metrics, Counter::PhaseRekeyNanos, t0);
             self.busy_horizon = if self.skip_enabled {
                 Some(self.next_busy_event_cycle_wheel(&mut scratch))
             } else {
@@ -982,6 +1065,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             scratch.ready_banks.clear();
             self.wheel.collect_ready_into(&mut scratch.ready_banks);
             scratch.rekeys.clear();
+            scratch.enumerated = false;
         }
 
         // Power management: wake ranks with work or a due refresh; send
@@ -1007,39 +1091,50 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             return Some(cmd);
         }
 
-        // (3) Candidate enumeration.
+        // (3) Candidate enumeration. The LRRA snapshot is refilled only
+        // when a refresh has issued since the last fill (the only event
+        // that moves any rank's LRRA), not on every issuing tick.
         let t0 = phase_start::<M>();
-        scratch.lrras.clear();
-        scratch
-            .lrras
-            .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+        if scratch.lrras.len() != ranks || scratch.lrras_gen != self.stats.refreshes {
+            scratch.lrras.clear();
+            scratch
+                .lrras
+                .extend((0..ranks).map(|r| self.device.refresh_engine(Rank::new(r as u32)).lrra()));
+            scratch.lrras_gen = self.stats.refreshes;
+        }
         if self.wheel_enabled {
-            self.enumerate_candidates_wheel(scratch);
+            self.enumerate_candidates_wheel(scratch, self.batch_active());
         } else {
             self.enumerate_candidates(scratch);
         }
-        phase_end(&mut self.metrics, Counter::PhaseEnumNanos, t0);
+        let t0 = phase_cut(&mut self.metrics, Counter::PhaseEnumNanos, t0);
 
-        // (4) Policy decision.
-        let t0 = phase_start::<M>();
-        let choice = {
-            let view = PolicyView {
-                now: self.now,
-                mode: self.queues.mode(),
-                lrras: &scratch.lrras,
-                pbr: &self.pbr,
-            };
-            self.policy.choose(&view, &scratch.candidates)
+        // (4) Policy decision. Every policy is a pure argmin/argmax
+        // over the slate (the trait requires a non-empty slate to yield
+        // a choice), so the trivial slates skip the dynamic dispatch —
+        // and, for NUAT, the scoring-table walk — entirely.
+        let choice = match scratch.candidates.len() {
+            0 => None,
+            1 => Some(0),
+            _ => {
+                let view = PolicyView {
+                    now: self.now,
+                    mode: self.queues.mode(),
+                    lrras: &scratch.lrras,
+                    pbr: &self.pbr,
+                };
+                self.policy.choose(&view, &scratch.candidates)
+            }
         };
-        phase_end(&mut self.metrics, Counter::PhaseChooseNanos, t0);
         if let Some(i) = choice {
+            let t0 = phase_cut(&mut self.metrics, Counter::PhaseChooseNanos, t0);
             let cand = scratch.candidates[i];
-            let t0 = phase_start::<M>();
             self.issue_candidate(cand, scratch.candidate_slots[i]);
             phase_end(&mut self.metrics, Counter::PhaseIssueNanos, t0);
             self.now += 1;
             return Some(cand.command);
         }
+        phase_end(&mut self.metrics, Counter::PhaseChooseNanos, t0);
 
         // (5) Refresh-pending fallback: force-close an open bank.
         let t0 = phase_start::<M>();
@@ -1453,7 +1548,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                 let gates = lanes.bank_gates(bi, &rt);
                 let n_before = out.len();
                 let bank_h = self.enumerate_bank(
-                    &view, key, rank, bank, p, lrra, gates, open, dedup_cols, out, out_slots,
+                    &view, key, rank, bank, p, lrra, gates, open, dedup_cols, false, out, out_slots,
                 );
 
                 if out.len() == n_before {
@@ -1483,6 +1578,15 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
     /// already-offerable (or device-refused) work, or `u64::MAX` when
     /// the bank is inert until an external event (refresh suppression,
     /// arrival).
+    /// With `trust_gates` set (the batch-kernel path), a column or
+    /// precharge whose mirrored gate has passed skips the per-candidate
+    /// `can_issue` probe: the gate values *are* the device's own check
+    /// inputs (`earliest_read/write` joined with the rank column gates,
+    /// `earliest_pre`), the bank's FSM state is pinned by the open-row
+    /// mirror, and a powered-down rank cannot reach enumeration with
+    /// queued work (`manage_power` wakes it first), so gate-legal ⇒
+    /// device-legal. Activates always probe — the device may refuse on
+    /// row charge state, which no timing lane encodes.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
     fn enumerate_bank(
@@ -1496,6 +1600,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
         gates: BankGates,
         open: u32,
         dedup_cols: bool,
+        trust_gates: bool,
         out: &mut Vec<Candidate>,
         out_slots: &mut Vec<u32>,
     ) -> u64 {
@@ -1550,7 +1655,11 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                                     auto_precharge: auto,
                                 },
                             };
-                            if self.device.can_issue(&command, now).is_ok() {
+                            debug_assert!(
+                                !trust_gates || self.device.can_issue(&command, now).is_ok(),
+                                "gate-legal column refused by the device: {command}"
+                            );
+                            if trust_gates || self.device.can_issue(&command, now).is_ok() {
                                 let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
                                 out.push(Candidate {
                                     request: *req,
@@ -1581,7 +1690,11 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                 } else {
                     let req = *self.queues.bank_head(key).expect("bank_len > 0");
                     let command = DramCommand::Precharge { rank, bank };
-                    if self.device.can_issue(&command, now).is_ok() {
+                    debug_assert!(
+                        !trust_gates || self.device.can_issue(&command, now).is_ok(),
+                        "gate-legal precharge refused by the device: {command}"
+                    );
+                    if trust_gates || self.device.can_issue(&command, now).is_ok() {
                         let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
                         out.push(Candidate {
                             request: req,
@@ -1604,6 +1717,46 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                 if !p {
                     if now < gates.act {
                         bank_h = bank_h.min(gates.act.raw());
+                    } else if trust_gates {
+                        // Gate-legal elision: the act gate folds in
+                        // every `TooEarly` source of the device's
+                        // ladder (tRP/tRC/tRFC per bank, tRRD/tFAW
+                        // via the rank act window), so a refusal here
+                        // could only be a physical charge-state or
+                        // timing-consistency violation — which the
+                        // probing walk below treats as a controller
+                        // bug (its panic arm). Take the oldest
+                        // request directly; the debug oracle and the
+                        // issue-time check keep that invariant honest.
+                        if let Some((slot, req)) = self.queues.bank_requests_slots(key).next() {
+                            let timings = self.policy.act_timings(view, req);
+                            let command = DramCommand::Activate {
+                                rank,
+                                bank,
+                                row: req.addr.row,
+                                timings,
+                            };
+                            // Debug oracle, preserving the walk's
+                            // failure taxonomy: a non-timing refusal
+                            // is a broken policy promise (same loud
+                            // panic as the walk's arm below); a
+                            // too-early refusal would be a gate
+                            // soundness bug in the SoA lanes.
+                            #[cfg(debug_assertions)]
+                            if let Err(e) = self.device.can_issue(&command, now) {
+                                assert!(e.is_too_early(), "illegal ACT candidate {command}: {e}");
+                                panic!("gate-legal activate refused as too-early: {command}: {e}");
+                            }
+                            let (pb, zone) = self.pbr.pb_and_zone(lrra, req.addr.row);
+                            out.push(Candidate {
+                                request: *req,
+                                command,
+                                kind: CandidateKind::Activate,
+                                pb,
+                                zone,
+                            });
+                            out_slots.push(slot);
+                        }
                     } else {
                         // Walk until the device accepts one: a
                         // charge-state refusal of the oldest row
@@ -1659,10 +1812,21 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
     ///
     /// Each visited bank's verdict is recorded into `scratch.rekeys`
     /// (applied by `post_tick_rekey`; enumeration holds `&self`):
-    /// candidate-producing banks stay pinned at `now` (offerable work
-    /// keeps the horizon here until something issues), inert banks get
-    /// their exact next-gate key, drained banks park.
-    fn enumerate_candidates_wheel(&self, scratch: &mut TickScratch) {
+    /// inert banks get their exact next-gate key, drained banks park.
+    /// Candidate-producing banks record nothing — their stored key is
+    /// already at-or-before the cursor, so they stay due (which keeps
+    /// the horizon at `now` until something issues) without a re-key.
+    ///
+    /// `trust_gates` (the batch-kernel mode) forwards to
+    /// [`enumerate_bank`](Self::enumerate_bank): candidate legality is
+    /// read off the mirrored timing gates instead of per-candidate
+    /// device probes. The wheel itself is what batches the rest — every
+    /// key it holds was derived by the SWAR `batch_bank_keys` sweep at
+    /// the last issue, so the per-tick legality filter the batch kernel
+    /// once re-derived here is already folded into the ready set
+    /// (re-deriving it each tick measured *slower* than this walk: on
+    /// issuing ticks the keys are exact and the filter never fired).
+    fn enumerate_candidates_wheel(&self, scratch: &mut TickScratch, trust_gates: bool) {
         let TickScratch {
             pending,
             lrras,
@@ -1671,11 +1835,13 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             ready_banks,
             rekeys,
             cand_horizon,
+            enumerated,
             ..
         } = scratch;
         out.clear();
         out_slots.clear();
         rekeys.clear();
+        *enumerated = true;
         let mut gate_h = u64::MAX;
         let view = PolicyView {
             now: self.now,
@@ -1686,7 +1852,6 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
         let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
         let total_banks = self.queues.total_banks();
         let dedup_cols = self.policy.prefers_oldest_equal_command();
-        let now = self.now.raw();
 
         // Ready entries arrive sorted, so same-rank banks are
         // consecutive: track the rank base additively (no division in
@@ -1728,19 +1893,19 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                 lanes.bank_gates(bi, rt),
                 lanes.open_row[bi],
                 dedup_cols,
+                trust_gates,
                 out,
                 out_slots,
             );
-            rekeys.push(if out.len() == n_before {
+            if out.len() == n_before {
                 // Inert this cycle: the bank's own horizon contribution
                 // is its exact next chance (`u64::MAX` = parked until
                 // an external event re-keys it).
-                (entry, bank_h)
-            } else {
-                // Offerable work pins the bank — and thus the horizon —
-                // at `now` until a command issues here.
-                (entry, now)
-            });
+                rekeys.push((entry, bank_h));
+            }
+            // Offerable banks record nothing: the stored key is already
+            // at-or-before the cursor, so the entry stays due — and the
+            // horizon stays at `now` — until a command issues here.
             gate_h = gate_h.min(bank_h);
         }
         *cand_horizon = gate_h;
@@ -1877,16 +2042,31 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             return;
         };
         // Acting tick: every ready bank is re-keyed exactly from the
-        // post-issue gates (the enumeration's verdicts would be
-        // overwritten, so they are dropped), and a `REF` re-keys its
-        // whole rank. The pending flags are taken at the *post-tick*
-        // clock — the values the next full tick's pipeline will
-        // compute. Keys are computed into `scratch.rekeys` first with
-        // the rank-scoped device views hoisted per rank, then applied.
-        self.compute_refresh_pending(&mut scratch.pending);
-        scratch.rekeys.clear();
+        // post-issue gates (the scalar path drops the enumeration's
+        // verdicts and recomputes; the batch path re-applies the
+        // verdicts of every rank the issue provably did not touch), and
+        // a `REF` re-keys its whole rank.
+        //
+        // The pending flags are a pure function of refresh urgency —
+        // fixed within the tick, the clock has not advanced — and,
+        // with a postpone budget, of channel emptiness. Post-issue
+        // they can differ from the enumeration-time values only when
+        // the `REF` itself moved the schedule or a column drain left
+        // the channel empty: recompute only then (keeping the
+        // enumeration-time flags in `pending_prev` so the batch path
+        // can prove which ranks' verdicts survived the boundary), and
+        // reuse the tick-start flags on every other acting tick.
         let is_ref = matches!(cmd, DramCommand::Refresh { .. });
-        {
+        let pending_moved =
+            is_ref || (self.cfg.controller.refresh_postpone_batches > 0 && self.queues.is_empty());
+        if pending_moved {
+            std::mem::swap(&mut scratch.pending, &mut scratch.pending_prev);
+            self.compute_refresh_pending(&mut scratch.pending);
+        }
+        if self.batch_active() {
+            self.post_tick_rekey_batch(scratch, &cmd, total_banks, banks_per_rank, pending_moved);
+        } else {
+            scratch.rekeys.clear();
             let ir = cmd.rank().index();
             let rank = Rank::new(ir as u32);
             let rt = self.device.rank_timing(rank);
@@ -1969,7 +2149,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
                 }
             }
         }
-        {
+        if !self.batch_active() {
             // Ready entries arrive sorted (markers at the tail): track
             // the rank base additively — no division in the loop — and
             // fetch the rank views once per rank.
@@ -2015,6 +2195,183 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
             if is_ref || any_marker_ready || p != self.marker_pending[r] {
                 self.rekey_rank_marker(total_banks, r, p);
             }
+        }
+    }
+
+    /// Batch-kernel post-issue sweep: the minimal exact re-key set.
+    ///
+    /// Device timing gates are rank-scoped and an issue mutates exactly
+    /// one bank's queue state, so the enumeration's verdict keys stay
+    /// exact for every rank the command did not touch — they are
+    /// re-applied as-is (the wheel's due-region fast path makes each
+    /// ~one store). Within the issued rank only the banks whose key
+    /// class the command actually moved go stale: the issued bank
+    /// itself (its queue state changed), plus — for an `ACT` — the
+    /// idle-with-work siblings (the rank act window moved) or — for a
+    /// column command — the open-row hit siblings (the rank column
+    /// gates moved). A precharge is bank-local. Those banks are
+    /// recomputed from the post-issue gates with the scalar `bank_key`
+    /// oracle, mask-steered so the loop touches no other bank.
+    ///
+    /// The SWAR `batch_bank_keys` kernel handles the full-rank
+    /// re-derivations, where every bank's key shape can change at
+    /// once: a `REF` (tRFC moved every act gate and the cleared
+    /// pending flag un-suppresses idle banks), a rank whose
+    /// refresh-pending flag flipped across the tick boundary
+    /// (suppression changes key shapes without a device mutation), and
+    /// the early-return tick shapes that skip enumeration entirely
+    /// (power transitions, a due refresh), where no verdicts cover the
+    /// due entries. Each derived key is the exact `bank_key` oracle
+    /// value (asserted in debug builds); for the re-applied verdicts a
+    /// candidate-producing bank's `now` pin and the oracle's gate key
+    /// are both at-or-before the cursor, so the ready set — and with
+    /// it the command stream — is identical either way. Only
+    /// observability differs from the scalar path: `WheelRekeys`
+    /// counts keys that actually moved, and the per-key `WheelSlack`
+    /// histogram is not fed (a verdict re-application is not a wait
+    /// the wheel observes).
+    fn post_tick_rekey_batch(
+        &mut self,
+        scratch: &mut TickScratch,
+        cmd: &DramCommand,
+        total_banks: usize,
+        banks_per_rank: usize,
+        pending_moved: bool,
+    ) {
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let ir = cmd.rank().index();
+        let mut derive: u64 = 0;
+        if !scratch.enumerated {
+            // Early-return tick (power transition, due refresh): no
+            // verdicts cover the due entries, so their ranks — and the
+            // issued rank — re-derive in full.
+            derive |= 1 << ir;
+            let mut r = 0usize;
+            let mut rank_base = 0usize;
+            for &e in scratch.ready_banks.iter() {
+                let e = e as usize;
+                if e >= total_banks {
+                    break;
+                }
+                while e >= rank_base + banks_per_rank {
+                    r += 1;
+                    rank_base += banks_per_rank;
+                }
+                derive |= 1 << r;
+            }
+        } else if pending_moved {
+            for (r, &p) in scratch.pending.iter().enumerate() {
+                if scratch.pending_prev.get(r) != Some(&p) {
+                    derive |= 1 << r;
+                }
+            }
+        }
+        if matches!(cmd, DramCommand::Refresh { .. }) {
+            derive |= 1 << ir;
+        }
+        // Banks of the issued rank whose stored keys the issue moved,
+        // recomputed below — unless the whole rank re-derives anyway.
+        let stale: u64 = if derive >> ir & 1 != 0 {
+            0
+        } else {
+            match *cmd {
+                DramCommand::Activate { bank, .. } => {
+                    let own = 1u64 << bank.index();
+                    if scratch.pending[ir] {
+                        // Idle siblings are refresh-suppressed (PARKED
+                        // does not read the moved act window).
+                        own
+                    } else {
+                        own | (self.queues.work_mask(ir) & !self.queues.open_mask(ir))
+                    }
+                }
+                DramCommand::Read { bank, .. } | DramCommand::Write { bank, .. } => {
+                    (1u64 << bank.index())
+                        | self.queues.hit_read_mask(ir)
+                        | self.queues.hit_write_mask(ir)
+                }
+                DramCommand::Precharge { bank, .. } => 1u64 << bank.index(),
+                _ => {
+                    derive |= 1 << ir;
+                    0
+                }
+            }
+        };
+        let mut moved = 0u64;
+        // Re-apply the surviving verdicts (sorted; rank tracked
+        // additively), skipping fully re-derived ranks and the issued
+        // rank's stale banks.
+        let mut r = 0usize;
+        let mut rank_base = 0usize;
+        for i in 0..scratch.rekeys.len() {
+            let (e, k) = scratch.rekeys[i];
+            while e as usize >= rank_base + banks_per_rank {
+                r += 1;
+                rank_base += banks_per_rank;
+            }
+            if derive >> r & 1 != 0 || (r == ir && stale >> (e as usize - rank_base) & 1 != 0) {
+                continue;
+            }
+            moved += u64::from(self.wheel.rekey(e, k));
+        }
+        scratch.rekeys.clear();
+        if stale != 0 {
+            let rank = Rank::new(ir as u32);
+            let rt = self.device.rank_timing(rank);
+            let lanes = self.device.bank_lanes(rank);
+            let mut m = stale;
+            while m != 0 {
+                let bi = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let key = ir * banks_per_rank + bi;
+                let k = self.bank_key(key, bi, scratch.pending[ir], &rt, &lanes);
+                moved += u64::from(self.wheel.rekey(key as u32, k));
+            }
+        }
+        if derive != 0 && scratch.legality.len() != ranks {
+            scratch.legality.resize_with(ranks, LegalityTable::default);
+            scratch.legality_gen.clear();
+            scratch.legality_gen.resize(ranks, 0);
+        }
+        while derive != 0 {
+            let r = derive.trailing_zeros() as usize;
+            derive &= derive - 1;
+            let rank = Rank::new(r as u32);
+            if scratch.legality_gen[r] != self.gate_gen {
+                scratch.legality[r].fill(&self.device, rank);
+                scratch.legality_gen[r] = self.gate_gen;
+            }
+            let m = self.queues.bank_masks(r);
+            scratch.legality[r].batch_bank_keys(
+                m.work,
+                m.open,
+                m.hit_read,
+                m.hit_write,
+                scratch.pending[r],
+                &mut scratch.rank_keys,
+            );
+            #[cfg(debug_assertions)]
+            {
+                // A powered-down rank cannot hold queued work here
+                // (`manage_power` woke any such rank at the top of this
+                // very tick), so the all-`NEVER` table and the scalar
+                // oracle agree on PARKED for every bank.
+                let rt = self.device.rank_timing(rank);
+                let lanes = self.device.bank_lanes(rank);
+                for bi in 0..banks_per_rank {
+                    debug_assert_eq!(
+                        scratch.rank_keys[bi],
+                        self.bank_key(r * banks_per_rank + bi, bi, scratch.pending[r], &rt, &lanes),
+                        "batch key diverged from scalar oracle (rank {r}, bank {bi})"
+                    );
+                }
+            }
+            moved += self
+                .wheel
+                .rekey_range((r * banks_per_rank) as u32, &scratch.rank_keys);
+        }
+        if M::ENABLED {
+            self.metrics.add(Counter::WheelRekeys, moved);
         }
     }
 
@@ -2253,8 +2610,7 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
     }
 
     fn bank_index(&self, cand: &Candidate) -> usize {
-        cand.request.addr.rank.index() * self.cfg.dram.geometry.banks_per_rank as usize
-            + cand.request.addr.bank.index()
+        cand.flat_bank(self.cfg.dram.geometry.banks_per_rank as usize)
     }
 
     /// The refresh engine of one rank (stats/tests).
@@ -2307,13 +2663,99 @@ impl<S: TraceSink, M: MetricsSink> MemoryController<S, M> {
         self.wheel.advance_to(self.now.raw());
         scratch.ready_banks.clear();
         self.wheel.collect_ready_into(&mut scratch.ready_banks);
-        self.enumerate_candidates_wheel(&mut scratch);
+        self.enumerate_candidates_wheel(&mut scratch, self.batch_active());
         for (e, k) in scratch.rekeys.drain(..) {
             self.wheel.rekey(e, k);
         }
         let n = scratch.candidates.len();
         self.scratch = scratch;
         n
+    }
+
+    /// Cross-checks every batch-kernel product against its scalar
+    /// oracle at the controller's *current* state: the SWAR ready
+    /// bitmaps against per-bank gate compares, each branchlessly
+    /// selected bank key against `bank_key`, and the fused min
+    /// reduction against a scalar fold. Panics on any divergence.
+    /// Driven mid-run by `prop_batch_equals_scalar` across random
+    /// timing states; not a stable API.
+    #[doc(hidden)]
+    pub fn debug_check_batch_vs_scalar(&mut self) {
+        if !self.queues.masks_valid() {
+            return;
+        }
+        let ranks = self.cfg.dram.geometry.ranks_per_channel as usize;
+        let banks_per_rank = self.cfg.dram.geometry.banks_per_rank as usize;
+        let mut pending = std::mem::take(&mut self.scratch.pending);
+        self.compute_refresh_pending(&mut pending);
+        let now = self.now.raw();
+        let mut tbl = LegalityTable::default();
+        let mut keys = Vec::new();
+        for (r, &rank_pending) in pending.iter().enumerate().take(ranks) {
+            let rank = Rank::new(r as u32);
+            tbl.fill(&self.device, rank);
+            let rm = tbl.ready_masks(now);
+            if self.device.is_powered_down(rank) {
+                // Every lane saturates to NEVER: no class may read as
+                // legal. Keys are not compared here — a powered-down
+                // rank can hold freshly arrived work until the next
+                // tick's demand wake, a state the pipeline never
+                // derives batch keys in (`manage_power` runs first).
+                assert_eq!(
+                    (rm.act, rm.read, rm.write, rm.pre),
+                    (0, 0, 0, 0),
+                    "powered-down rank {r} reported ready classes"
+                );
+                continue;
+            }
+            let rt = self.device.rank_timing(rank);
+            assert_eq!(tbl.rank, rt, "stale rank-gate snapshot (rank {r})");
+            let lanes = self.device.bank_lanes(rank);
+            for bi in 0..banks_per_rank {
+                let gates = lanes.bank_gates(bi, &rt);
+                let open = lanes.open_row[bi] != IDLE_ROW;
+                assert_eq!(
+                    rm.act >> bi & 1 != 0,
+                    !open && now >= gates.act.raw(),
+                    "ACT ready bit diverged (rank {r}, bank {bi})"
+                );
+                assert_eq!(
+                    rm.read >> bi & 1 != 0,
+                    open && now >= gates.read.raw(),
+                    "RD ready bit diverged (rank {r}, bank {bi})"
+                );
+                assert_eq!(
+                    rm.write >> bi & 1 != 0,
+                    open && now >= gates.write.raw(),
+                    "WR ready bit diverged (rank {r}, bank {bi})"
+                );
+                assert_eq!(
+                    rm.pre >> bi & 1 != 0,
+                    open && now >= lanes.earliest_pre[bi].raw(),
+                    "PRE ready bit diverged (rank {r}, bank {bi})"
+                );
+            }
+            let m = self.queues.bank_masks(r);
+            let kmin = tbl.batch_bank_keys(
+                m.work,
+                m.open,
+                m.hit_read,
+                m.hit_write,
+                rank_pending,
+                &mut keys,
+            );
+            let mut smin = u64::MAX;
+            for (bi, &bk) in keys.iter().enumerate().take(banks_per_rank) {
+                let sk = self.bank_key(r * banks_per_rank + bi, bi, rank_pending, &rt, &lanes);
+                assert_eq!(
+                    bk, sk,
+                    "batch bank key diverged from scalar oracle (rank {r}, bank {bi})"
+                );
+                smin = smin.min(sk);
+            }
+            assert_eq!(kmin, smin, "fused min-reduction diverged (rank {r})");
+        }
+        self.scratch.pending = pending;
     }
 
     /// Reference enumeration: the pre-index O(occupancy) flat queue

@@ -309,6 +309,22 @@ pub(crate) const NO_SLOT: u32 = NIL;
 /// bucket of a row is `row & (ROW_FILTER_BUCKETS - 1)`).
 const ROW_FILTER_BUCKETS: usize = 512;
 
+/// One rank's queue-occupancy bitmaps, snapshotted together (see
+/// [`RequestQueues::bank_masks`]). Bit `b` of each word describes bank
+/// `b`; all four words share the validity condition of
+/// [`RequestQueues::masks_valid`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BankMasks {
+    /// Banks with at least one queued request.
+    pub work: u64,
+    /// Banks whose open-row mirror is set.
+    pub open: u64,
+    /// Banks with at least one queued open-row read hit.
+    pub hit_read: u64,
+    /// Banks with at least one queued open-row write hit.
+    pub hit_write: u64,
+}
+
 /// Per-slot hot metadata, packed so every slot-scattered access costs
 /// one cache line: the row coordinate (the only payload field the
 /// `note_row_open` match rebuild needs), the bank sub-queue key
@@ -456,6 +472,20 @@ impl RequestQueues {
     /// Banks of rank `r` with queued open-row *write* hits, as a bitmap.
     pub(crate) fn hit_write_mask(&self, r: usize) -> u64 {
         self.hit_write_mask[r]
+    }
+
+    /// All four of rank `r`'s bank bitmaps in one load — the two mask
+    /// reads the batch legality kernel steers a whole rank's key
+    /// derivation from. Only meaningful while [`masks_valid`] holds.
+    ///
+    /// [`masks_valid`]: Self::masks_valid
+    pub(crate) fn bank_masks(&self, r: usize) -> BankMasks {
+        BankMasks {
+            work: self.work_mask[r],
+            open: self.open_mask[r],
+            hit_read: self.hit_read_mask[r],
+            hit_write: self.hit_write_mask[r],
+        }
     }
 
     /// The slot-release epoch (see the field docs): bumped every time a

@@ -76,6 +76,12 @@ pub trait SchedulerPolicy: fmt::Debug + Send {
     /// bit-identical under any enumeration order; the
     /// `indexed_enum_equals_linear_scan` proptest feeds both historic
     /// orderings through `choose` to enforce it.
+    ///
+    /// **Slate contract:** a non-empty slate must yield `Some` — every
+    /// candidate is already device-legal this cycle, so "issue
+    /// nothing" is never a better schedule than the policy's argmin.
+    /// The controller relies on this to skip the call outright on
+    /// trivial slates (empty ⇒ `None`, singleton ⇒ `Some(0)`).
     fn choose(&mut self, view: &PolicyView<'_>, cands: &[Candidate]) -> Option<usize>;
 
     /// Called once per controller cycle (before `choose`).

@@ -135,11 +135,66 @@ impl BankWheel {
     /// wheel; keys within one rotation land in the calendar, farther
     /// ones in the heap. The old key's calendar/ready bit is cleared
     /// eagerly; an old heap slot is left to rot (validated on pop).
-    pub(crate) fn rekey(&mut self, entry: u32, key: u64) {
+    /// Returns whether the key actually moved (the same-key fast path
+    /// reports `false`), so callers metering re-key traffic count only
+    /// real movements.
+    pub(crate) fn rekey(&mut self, entry: u32, key: u64) -> bool {
+        let moved = self.rekey_one(entry, key);
+        self.maybe_compact();
+        moved
+    }
+
+    /// Batch re-key: applies a dense key slice to the consecutive
+    /// entries starting at `base` (entry `base + i` gets `keys[i]`).
+    /// This is the post-issue sibling-sweep entry point — one rank's
+    /// worth of keys derived in a single batch pass lands here — and
+    /// it amortizes the overflow-compaction check across the whole
+    /// slice instead of paying it per entry. Unchanged keys exit in
+    /// the same-key fast path, so re-keying a full rank where only a
+    /// few banks moved costs little more than the targeted sweep did.
+    /// Returns how many keys actually moved.
+    pub(crate) fn rekey_range(&mut self, base: u32, keys: &[u64]) -> u64 {
+        let mut moved = 0;
+        for (i, &key) in keys.iter().enumerate() {
+            moved += u64::from(self.rekey_one(base + i as u32, key));
+        }
+        self.maybe_compact();
+        moved
+    }
+
+    /// Rebuilds the overflow heap once rotting slots outnumber live
+    /// ones. Rotting slots would otherwise accumulate without bound on
+    /// refresh-heavy runs (every marker re-key beyond the calendar
+    /// window leaves one behind); removing ≥ half the heap per rebuild
+    /// makes the cost amortized O(1) per re-key, and the heap stays
+    /// O(live entries).
+    #[inline]
+    fn maybe_compact(&mut self) {
+        if self.stale * 2 > self.overflow.len() {
+            self.compact_overflow();
+        }
+    }
+
+    /// One entry's re-key, without the compaction check (the public
+    /// entry points bundle it so batch callers pay it once per batch).
+    /// Returns whether the key moved.
+    #[inline]
+    fn rekey_one(&mut self, entry: u32, key: u64) -> bool {
         let e = entry as usize;
         let old = self.keys[e];
         if old == key {
-            return;
+            return false;
+        }
+        if old <= self.cursor && key <= self.cursor {
+            // Both due: the ready bit — the only state the wheel keeps
+            // for a due entry (`collect_ready_into` reads the bitmap,
+            // never the value) — is already set, so only the stored
+            // value moves. This is the steady-state churn of an
+            // offerable bank oscillating between its `now` pin and its
+            // exact (passed) gate key; one store instead of two bitmap
+            // round-trips.
+            self.keys[e] = key;
+            return false;
         }
         let (w, bit) = (e / 64, 1u64 << (e % 64));
         if self.heaped[w] & bit != 0 {
@@ -178,15 +233,7 @@ impl BankWheel {
                 self.soonest = key;
             }
         }
-        // Rotting slots would otherwise accumulate without bound on
-        // refresh-heavy runs (every marker re-key beyond the calendar
-        // window leaves one behind): once they outnumber the live
-        // slots, rebuild the heap from the survivors. Removing ≥ half
-        // the heap per rebuild makes the cost amortized O(1) per
-        // re-key, and the heap stays O(live entries).
-        if self.stale * 2 > self.overflow.len() {
-            self.compact_overflow();
-        }
+        true
     }
 
     /// Drops every rotting slot from the overflow heap. A slot is live

@@ -64,7 +64,7 @@ impl DeviceStats {
 /// scheduler to compute the earliest cycle any command could become
 /// legal. All fields are monotone (they only move forward on issue), so
 /// a horizon computed from them stays valid until the next command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RankTimingView {
     /// Earliest cycle the rank-level ACT spacing rules (tRRD and tFAW)
     /// admit another `Activate`. Per-bank tRP/tRC gates still apply on
@@ -243,6 +243,28 @@ pub struct LegalityTable {
     pub write: Vec<u64>,
     /// Earliest legal `PRE` per bank ([`NEVER`] while idle).
     pub pre: Vec<u64>,
+    /// Rank-scoped gate snapshot taken by the same [`fill`](Self::fill)
+    /// pass, so table consumers that also need the rank view (refresh
+    /// horizons, marker keys) read it from the snapshot instead of
+    /// re-querying the device.
+    pub rank: RankTimingView,
+}
+
+/// Per-command-class readiness bitmaps for one rank at one instant: bit
+/// `b` of a mask is set iff the class is legal on bank `b` *now* (its
+/// [`LegalityTable`] lane is at or before `now`). Produced lane-wise by
+/// [`LegalityTable::ready_masks`]; [`NEVER`]-saturated lanes can never
+/// set a bit, so FSM-illegal classes are filtered for free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadyMasks {
+    /// Banks where `ACT` is legal now (idle banks past their act gate).
+    pub act: u64,
+    /// Banks where `RD` is legal now (open banks past the column gate).
+    pub read: u64,
+    /// Banks where `WR` is legal now (open banks past the column gate).
+    pub write: u64,
+    /// Banks where `PRE` is legal now (open banks past tRAS/tWR/tRTP).
+    pub pre: u64,
 }
 
 impl LegalityTable {
@@ -260,6 +282,8 @@ impl LegalityTable {
         self.read.resize(n, 0);
         self.write.resize(n, 0);
         self.pre.resize(n, 0);
+        let rt = dev.rank_timing(rank);
+        self.rank = rt;
         if dev.is_powered_down(rank) {
             self.act[..n].fill(NEVER);
             self.read[..n].fill(NEVER);
@@ -267,7 +291,6 @@ impl LegalityTable {
             self.pre[..n].fill(NEVER);
             return;
         }
-        let rt = dev.rank_timing(rank);
         let rank_act = rt.next_act_rank_ok.raw();
         let col_read = rt.earliest_col_read.raw();
         let col_write = rt.earliest_col_write.raw();
@@ -281,6 +304,83 @@ impl LegalityTable {
             self.write[b] = lanes.earliest_write[b].raw().max(col_write) | idle_mask;
             self.pre[b] = lanes.earliest_pre[b].raw() | idle_mask;
         }
+    }
+
+    /// Compares every lane against `now` and packs the verdicts into
+    /// per-class bitmaps: bit `b` of a mask is set iff `now >=
+    /// lane[b]`. Branch-free — each loop body is a compare and a shift
+    /// the compiler auto-vectorizes over the dense lanes — so the whole
+    /// rank's command legality resolves in a handful of ops instead of
+    /// a per-bank FSM branch ladder.
+    #[inline]
+    pub fn ready_masks(&self, now: u64) -> ReadyMasks {
+        let n = self.act.len();
+        debug_assert!(n <= 64, "ready bitmaps need banks_per_rank <= 64");
+        let mut m = ReadyMasks::default();
+        for b in 0..n {
+            m.act |= ((now >= self.act[b]) as u64) << b;
+            m.read |= ((now >= self.read[b]) as u64) << b;
+            m.write |= ((now >= self.write[b]) as u64) << b;
+            m.pre |= ((now >= self.pre[b]) as u64) << b;
+        }
+        m
+    }
+
+    /// Derives every bank's earliest-actionable cycle for one rank in a
+    /// single branchless pass over the table lanes, steered by the
+    /// caller's queue-occupancy bitmaps, and returns the tree-reduced
+    /// minimum over all banks. Per bank the selected key is exactly the
+    /// scalar case analysis the controller's re-keying uses:
+    ///
+    /// * no queued work → `u64::MAX` (parked),
+    /// * open row with queued hits → min over the column gates of the
+    ///   hit kinds present,
+    /// * open row, no hits (conflict) → the precharge gate,
+    /// * idle while a refresh is pending → `u64::MAX` (suppressed),
+    /// * idle otherwise → the activate gate.
+    ///
+    /// Every branch is an all-ones/all-zeros mask select, so the loop
+    /// body is straight-line integer ops over the four dense lanes plus
+    /// the four mask words — no per-bank queue probe, no FSM branch.
+    /// `keys` is resized to the rank's bank count and fully overwritten.
+    ///
+    /// A [`NEVER`]-saturated lane is only selected in states that
+    /// cannot occur (the open/idle masks steer away from it), except on
+    /// a powered-down rank, where every lane is `NEVER` and every bank
+    /// with no queued work parks — the only state a powered-down rank
+    /// can be in once its queues are drained.
+    #[inline]
+    pub fn batch_bank_keys(
+        &self,
+        work: u64,
+        open: u64,
+        hit_read: u64,
+        hit_write: u64,
+        refresh_pending: bool,
+        keys: &mut Vec<u64>,
+    ) -> u64 {
+        let n = self.act.len();
+        debug_assert!(n <= 64, "batch keys need banks_per_rank <= 64");
+        keys.clear();
+        keys.resize(n, 0);
+        let pend_mask = (refresh_pending as u64).wrapping_neg();
+        let mut min = u64::MAX;
+        for (b, key) in keys.iter_mut().enumerate() {
+            let m_hr = ((hit_read >> b) & 1).wrapping_neg();
+            let m_hw = ((hit_write >> b) & 1).wrapping_neg();
+            // Column gates of the hit kinds present; an absent kind
+            // saturates to MAX and falls out of the min.
+            let k_col = (self.read[b] | !m_hr).min(self.write[b] | !m_hw);
+            let m_hit = m_hr | m_hw;
+            let k_open = (k_col & m_hit) | (self.pre[b] & !m_hit);
+            let k_idle = self.act[b] | pend_mask;
+            let m_open = ((open >> b) & 1).wrapping_neg();
+            let m_work = ((work >> b) & 1).wrapping_neg();
+            let k = ((k_open & m_open) | (k_idle & !m_open)) | !m_work;
+            *key = k;
+            min = min.min(k);
+        }
+        min
     }
 }
 

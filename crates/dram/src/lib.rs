@@ -49,7 +49,8 @@ pub use bank::{BankState, BankView};
 pub use command::DramCommand;
 pub use command_log::{CommandLog, LogEntry};
 pub use device::{
-    BankGates, BankLanes, DeviceStats, DramDevice, LegalityTable, RankTimingView, IDLE_ROW, NEVER,
+    BankGates, BankLanes, DeviceStats, DramDevice, LegalityTable, RankTimingView, ReadyMasks,
+    IDLE_ROW, NEVER,
 };
 pub use energy::EnergyCounters;
 pub use error::IssueError;

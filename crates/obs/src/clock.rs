@@ -1,0 +1,100 @@
+//! Fast monotonic phase clock for wall-time attribution.
+//!
+//! `std::time::Instant` costs tens of nanoseconds per read on common
+//! Linux hosts (a `clock_gettime` vDSO call). The controller's phase
+//! attribution reads the clock at every phase boundary of every full
+//! tick, so that cost is both measurement overhead *and* real wall
+//! time inside the instrumented pipeline. On x86-64 this module reads
+//! the invariant TSC instead (a handful of nanoseconds) and scales it
+//! to nanoseconds with a factor calibrated once per process against
+//! the std clock; everywhere else it falls back to `Instant`.
+//!
+//! Values are nanoseconds since an arbitrary per-process origin — only
+//! differences are meaningful, which is all phase attribution needs.
+//! Calibration happens eagerly in the [`MetricsRecorder`] constructors
+//! (any sink that will observe phase counters exists before the run it
+//! instruments), so no measured region ever swallows the calibration
+//! spin. Uncalibrated reads fall back to the std clock; consumers
+//! subtract with saturation, so a calibration racing a first read
+//! costs at worst one zeroed sample, never a wrapped one.
+//!
+//! [`MetricsRecorder`]: crate::MetricsRecorder
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Origin for the std-clock fallback path.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// TSC-tick → nanosecond scale, `None` until [`calibrate`] has run.
+#[cfg(target_arch = "x86_64")]
+static TSC_SCALE: OnceLock<f64> = OnceLock::new();
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn rdtsc() -> u64 {
+    // SAFETY: RDTSC has no preconditions on x86-64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Calibrates the TSC scale by spinning ~2 ms against the std clock.
+/// Idempotent and cheap after the first call; invoke from setup code
+/// (recorder construction), never from a measured region.
+pub fn calibrate() {
+    let _ = ORIGIN.get_or_init(Instant::now);
+    #[cfg(target_arch = "x86_64")]
+    TSC_SCALE.get_or_init(|| {
+        let t0 = Instant::now();
+        let c0 = rdtsc();
+        while t0.elapsed().as_micros() < 2_000 {
+            std::hint::spin_loop();
+        }
+        let c1 = rdtsc();
+        let elapsed = t0.elapsed();
+        elapsed.as_nanos() as f64 / (c1.wrapping_sub(c0)) as f64
+    });
+}
+
+/// Nanoseconds since the process origin: one TSC read plus a multiply
+/// once calibrated, a std-clock read otherwise (and on non-x86-64).
+#[inline(always)]
+pub fn now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(&scale) = TSC_SCALE.get() {
+        return (rdtsc() as f64 * scale) as u64;
+    }
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_clock_tracks_std_time() {
+        calibrate();
+        let (t0, n0) = (Instant::now(), now());
+        let target = std::time::Duration::from_millis(20);
+        while t0.elapsed() < target {
+            std::hint::spin_loop();
+        }
+        let dn = now().saturating_sub(n0);
+        let dt = t0.elapsed().as_nanos() as u64;
+        // Within 10% of the std clock over 20 ms.
+        assert!(
+            dn.abs_diff(dt) < dt / 10,
+            "phase clock drifted: {dn} ns vs std {dt} ns"
+        );
+    }
+
+    #[test]
+    fn monotone_non_wrapping() {
+        calibrate();
+        let mut last = now();
+        for _ in 0..10_000 {
+            let t = now();
+            assert!(t >= last, "phase clock went backwards: {t} < {last}");
+            last = t;
+        }
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+pub mod clock;
 pub mod csv;
 pub mod epoch;
 pub mod event;

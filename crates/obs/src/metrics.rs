@@ -427,6 +427,9 @@ impl Default for MetricsRecorder {
 impl MetricsRecorder {
     /// Creates an empty recorder with no timeline sampling.
     pub fn new() -> Self {
+        // A recorder existing means phase wall-time will be attributed;
+        // calibrate the phase clock now, outside any measured region.
+        crate::clock::calibrate();
         MetricsRecorder {
             counters: [0; Counter::ALL.len()],
             hists: [

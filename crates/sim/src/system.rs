@@ -324,6 +324,17 @@ impl<S: TraceSink, M: MetricsSink> System<S, M> {
         }
     }
 
+    /// Toggles the batch issuing-tick kernel on every channel
+    /// controller ([`MemoryController::set_batch_kernel`]), overriding
+    /// the `NUAT_NO_BATCH` environment default. A/B correctness tests
+    /// use this to compare the SWAR batch path and the scalar per-bank
+    /// path in one process without racing on process-global state.
+    pub fn set_batch_kernel(&mut self, enabled: bool) {
+        for mc in &mut self.mcs {
+            mc.set_batch_kernel(enabled);
+        }
+    }
+
     /// Forces the channel-sharding worker count for this run, bypassing
     /// the `NUAT_CHANNEL_JOBS` environment lookup (tests compare the
     /// sequential and sharded paths in one process without touching

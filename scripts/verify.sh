@@ -28,6 +28,12 @@ NUAT_NO_DES=1 cargo test -q -p nuat-sim --test determinism_guard
 # wheel-gated controller side.
 NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
 NUAT_NO_DES=1 NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
+# ... and with the batch issuing-tick kernel disabled: the scalar
+# targeted sweeps and probing enumeration walk must produce the same
+# bytes, alone and composed with the wheel-off scan path (DESIGN.md §7
+# "Batch legality kernel").
+NUAT_NO_BATCH=1 cargo test -q -p nuat-sim --test determinism_guard
+NUAT_NO_BATCH=1 NUAT_NO_WHEEL=1 cargo test -q -p nuat-sim --test determinism_guard
 cargo clippy --workspace --all-targets -- -D warnings
 cargo bench --no-run
 smoke_dir=$(mktemp -d)

@@ -1,0 +1,297 @@
+//! Property test for the data-oriented issuing-tick kernel: a run with
+//! the SWAR batch legality kernel (the default) must be byte-identical
+//! to the retained scalar path (the `NUAT_NO_BATCH=1` escape hatch,
+//! forced per-controller via `MemoryController::set_batch_kernel`) —
+//! same stats fingerprint, same per-channel command/event stream, same
+//! epoch samples — for every scheduler and random workload pairs at the
+//! two queue depths the issue's acceptance bar names (32 and 256).
+//!
+//! Two independent checks:
+//!
+//! 1. End-to-end A/B (`prop_batch_equals_scalar` + the deterministic
+//!    smoke): whole runs with the kernel on vs off. As with the wheel
+//!    escape hatch, only the *skip structure* may differ — batch-mode
+//!    full-rank re-keys are sound supersets of the scalar targeted
+//!    sweeps, so the wheel's busy horizon can be momentarily looser or
+//!    tighter while every observable outcome stays bit-exact.
+//!    Fingerprints therefore exclude `cycles_skipped`, epochs are
+//!    compared with that field normalized, and `QuietSpan` events are
+//!    filtered (same contract as `prop_wheel_equals_scan`).
+//!
+//! 2. In-situ oracle (`prop_swar_lanes_match_scalar_oracle`): step live
+//!    systems and call `debug_check_batch_vs_scalar` on every
+//!    controller at random points, asserting — against the *actual*
+//!    mid-run timing state, not a synthetic one — that the packed-lane
+//!    ready bitmaps, per-bank batch keys, and the fused horizon
+//!    min-reduction all equal the scalar `BankGates`/`bank_key` oracle.
+
+use nuat_circuit::PbGrouping;
+use nuat_core::SchedulerKind;
+use nuat_obs::{EpochSample, MemorySink, TraceEvent};
+use nuat_sim::{traces_for, RunConfig, SimResult, System};
+use nuat_types::{DramGeometry, SystemConfig};
+use nuat_workloads::by_name;
+use proptest::prelude::*;
+
+const WORKLOADS: [&str; 6] = ["black", "face", "ferret", "comm1", "libq", "mummer"];
+const SCHEDULERS: [SchedulerKind; 4] = [
+    SchedulerKind::Fcfs,
+    SchedulerKind::FrFcfsOpen,
+    SchedulerKind::FrFcfsClose,
+    SchedulerKind::Nuat,
+];
+
+/// Every scalar a run produces, bit-exact (`cycles_skipped` deliberately
+/// excluded — see the module docs).
+#[allow(clippy::type_complexity)]
+fn fingerprint(
+    r: &SimResult,
+) -> (
+    u64,
+    u64,
+    u64,
+    u64,
+    u64,
+    nuat_dram::DeviceStats,
+    u64,
+    u64,
+    Vec<u64>,
+) {
+    (
+        r.mc_cycles,
+        r.execution_cpu_cycles,
+        r.stats.total_read_latency,
+        r.stats.reads_completed,
+        r.stats.writes_drained,
+        r.device,
+        r.powerdown_cycles,
+        r.energy_pj.to_bits(),
+        r.core_finish_cpu_cycles.clone(),
+    )
+}
+
+/// Epoch samples with the skip-split normalized out.
+fn normalized_epochs(sink: &MemorySink) -> Vec<EpochSample> {
+    sink.epochs
+        .iter()
+        .map(|e| EpochSample {
+            cycles_skipped: 0,
+            ..e.clone()
+        })
+        .collect()
+}
+
+/// The observable event stream: everything except `QuietSpan`.
+fn observable_events(sink: &MemorySink) -> Vec<TraceEvent> {
+    sink.events
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::QuietSpan { .. }))
+        .copied()
+        .collect()
+}
+
+fn config_for(channels: u64, depth: usize, cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::with_cores(cores);
+    cfg.dram.geometry = DramGeometry {
+        channels,
+        ..DramGeometry::default()
+    };
+    cfg.controller.read_queue_capacity = depth;
+    cfg.controller.write_queue_capacity = depth;
+    cfg.controller.write_high_watermark = depth * 40 / 64;
+    cfg.controller.write_low_watermark = depth * 20 / 64;
+    cfg
+}
+
+/// One instrumented run with the batch legality kernel forced on or off
+/// on every channel controller.
+fn run_with(
+    batch: bool,
+    scheduler: SchedulerKind,
+    channels: u64,
+    depth: usize,
+    workloads: &[&str],
+    mem_ops: usize,
+) -> (SimResult, Vec<MemorySink>) {
+    let cfg = config_for(channels, depth, workloads.len());
+    let rc = RunConfig {
+        mem_ops_per_core: mem_ops,
+        ..RunConfig::quick()
+    };
+    let specs: Vec<_> = workloads.iter().map(|w| by_name(w).unwrap()).collect();
+    let traces = traces_for(&specs, &cfg, &rc);
+    let mut sys = System::with_sinks(
+        cfg,
+        scheduler,
+        PbGrouping::paper(5),
+        traces,
+        vec![MemorySink::default(); channels as usize],
+        None,
+    );
+    for mc in sys.controllers_mut() {
+        mc.set_batch_kernel(batch);
+    }
+    sys.run_traced(rc.max_mc_cycles, 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Batch kernel vs scalar path, all four schedulers per sampled
+    /// configuration at depths 32 and 256: fingerprints, per-channel
+    /// event streams (every DRAM command in issue order) and normalized
+    /// epoch samples must match exactly.
+    #[test]
+    fn prop_batch_equals_scalar(
+        channels in prop_oneof![Just(1u64), Just(2u64)],
+        depth in prop_oneof![Just(32usize), Just(256usize)],
+        w0 in 0usize..WORKLOADS.len(),
+        w1 in 0usize..WORKLOADS.len(),
+        mem_ops in 150usize..400,
+    ) {
+        let workloads = [WORKLOADS[w0], WORKLOADS[w1]];
+        for scheduler in SCHEDULERS {
+            let (batch, batch_sinks) =
+                run_with(true, scheduler, channels, depth, &workloads, mem_ops);
+            let (scalar, scalar_sinks) =
+                run_with(false, scheduler, channels, depth, &workloads, mem_ops);
+            prop_assert!(batch.completed, "{:?} batch run must finish", scheduler);
+            prop_assert_eq!(
+                fingerprint(&batch),
+                fingerprint(&scalar),
+                "fingerprint diverged for {:?} ({} channels, depth {})",
+                scheduler, channels, depth
+            );
+            prop_assert_eq!(batch_sinks.len(), scalar_sinks.len());
+            for (ch, (b, s)) in batch_sinks.iter().zip(&scalar_sinks).enumerate() {
+                let (be, se) = (observable_events(b), observable_events(s));
+                prop_assert!(
+                    !be.is_empty(),
+                    "channel {} observed no events for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    be == se,
+                    "channel {} event stream diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(
+                    normalized_epochs(b) == normalized_epochs(s),
+                    "channel {} epoch samples diverged for {:?}", ch, scheduler
+                );
+                prop_assert!(b.finished && s.finished);
+            }
+        }
+    }
+
+    /// In-situ oracle: step live two-channel systems under every
+    /// scheduler and, at random intervals, have each controller rebuild
+    /// its SWAR lanes from scratch and compare ready bitmaps, per-bank
+    /// batch keys, and the fused min against the scalar
+    /// `BankGates`/`bank_key` oracle over its *current* timing state.
+    #[test]
+    fn prop_swar_lanes_match_scalar_oracle(
+        depth in prop_oneof![Just(32usize), Just(256usize)],
+        w0 in 0usize..WORKLOADS.len(),
+        w1 in 0usize..WORKLOADS.len(),
+        stride in 13u64..97,
+    ) {
+        for scheduler in SCHEDULERS {
+            let workloads = [WORKLOADS[w0], WORKLOADS[w1]];
+            let cfg = config_for(2, depth, workloads.len());
+            let rc = RunConfig {
+                mem_ops_per_core: 200,
+                ..RunConfig::quick()
+            };
+            let specs: Vec<_> =
+                workloads.iter().map(|w| by_name(w).unwrap()).collect();
+            let traces = traces_for(&specs, &cfg, &rc);
+            let mut sys = System::with_sinks(
+                cfg,
+                scheduler,
+                PbGrouping::paper(5),
+                traces,
+                vec![MemorySink::default(); 2],
+                None,
+            );
+            // 40 probe points spaced `stride` steps apart reach deep
+            // enough to see open rows, conflicts, refresh pressure and
+            // write drains under every scheduler.
+            for _ in 0..40 {
+                for _ in 0..stride {
+                    sys.step();
+                }
+                for mc in sys.controllers_mut() {
+                    mc.debug_check_batch_vs_scalar();
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic smoke (always runs, no sampling): the scalar path
+/// behind `NUAT_NO_BATCH=1` must still reproduce the committed golden
+/// fingerprints from `determinism_guard` — the escape hatch is the
+/// reference implementation, not a second dialect.
+#[test]
+fn no_batch_goldens_match_determinism_guard() {
+    // (scheduler, mc_cycles, total_read_latency, execution_cpu_cycles)
+    // — the exact tuples locked in determinism_guard.rs.
+    let goldens = [
+        (SchedulerKind::Fcfs, 12713u64, 67650u64, 50821u64),
+        (SchedulerKind::FrFcfsOpen, 12732, 67172, 50897),
+        (SchedulerKind::FrFcfsClose, 13064, 68455, 52253),
+        (SchedulerKind::Nuat, 12990, 67075, 51957),
+    ];
+    let rc = RunConfig::quick();
+    for (kind, mc_cycles, total_read_latency, exec_cpu) in goldens {
+        let cfg = SystemConfig::with_cores(1);
+        let traces = traces_for(&[by_name("comm3").unwrap()], &cfg, &rc);
+        let mut sys = System::new(cfg, kind, PbGrouping::paper(5), traces);
+        for mc in sys.controllers_mut() {
+            mc.set_batch_kernel(false);
+        }
+        let r = sys.run(rc.max_mc_cycles);
+        assert!(r.completed, "{}: run must complete", r.scheduler);
+        assert_eq!(r.mc_cycles, mc_cycles, "{}: mc_cycles", r.scheduler);
+        assert_eq!(
+            r.stats.total_read_latency, total_read_latency,
+            "{}: total_read_latency",
+            r.scheduler
+        );
+        assert_eq!(
+            r.execution_cpu_cycles, exec_cpu,
+            "{}: execution_cpu_cycles",
+            r.scheduler
+        );
+        assert_eq!(r.stats.reads_completed, 985, "{}: reads", r.scheduler);
+        assert_eq!(r.stats.writes_drained, 515, "{}: writes", r.scheduler);
+    }
+}
+
+/// Deterministic A/B smoke for the same property (always runs): two
+/// channels, every scheduler, both issue depths.
+#[test]
+fn batch_two_channel_goldens_match_scalar() {
+    for scheduler in SCHEDULERS {
+        for depth in [32usize, 256] {
+            let workloads = ["ferret", "comm1"];
+            let (batch, batch_sinks) = run_with(true, scheduler, 2, depth, &workloads, 600);
+            let (scalar, scalar_sinks) = run_with(false, scheduler, 2, depth, &workloads, 600);
+            assert!(batch.completed);
+            assert_eq!(
+                fingerprint(&batch),
+                fingerprint(&scalar),
+                "{scheduler:?} depth {depth}"
+            );
+            for (b, s) in batch_sinks.iter().zip(&scalar_sinks) {
+                assert!(
+                    observable_events(b) == observable_events(s),
+                    "{scheduler:?} depth {depth} command/event stream"
+                );
+                assert!(
+                    normalized_epochs(b) == normalized_epochs(s),
+                    "{scheduler:?} depth {depth} epoch samples"
+                );
+            }
+        }
+    }
+}
